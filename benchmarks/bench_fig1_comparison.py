@@ -1,0 +1,32 @@
+"""Fig. 1: the mechanism-comparison table, measured.
+
+The paper's Fig. 1 states analytic guarantees; this bench measures every
+mechanism on one reference graph so the orderings can be verified:
+recursive(edge) is at least competitive with the specialized baselines,
+and RHMS is unusable for multi-edge subgraphs.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.comparison import fig1_comparison_table
+
+
+def test_fig1(benchmark, scale, record_figure):
+    rows = benchmark.pedantic(
+        lambda: fig1_comparison_table(scale=scale, rng=2024), rounds=1, iterations=1
+    )
+    text = format_table(
+        rows,
+        ["query", "mechanism", "privacy", "median_relative_error",
+         "seconds", "true_answer", "US_node", "US_edge"],
+        title=f"Fig 1 — measured comparison table (eps=0.5, scale={scale.name})",
+    )
+    record_figure("fig1_comparison", text)
+
+    by_key = {(r["query"], r["mechanism"]): r for r in rows}
+    for query in ("triangle", "2-triangle"):
+        recursive = by_key[(query, "recursive-edge")]["median_relative_error"]
+        rhms = by_key[(query, "rhms")]["median_relative_error"]
+        assert recursive < rhms
+    # the PINQ row exists for every query and is biased (clipped truth)
+    for query in ("triangle", "2-star", "2-triangle"):
+        assert (query, "pinq-restricted") in by_key

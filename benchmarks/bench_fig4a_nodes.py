@@ -1,0 +1,32 @@
+"""Fig. 4(a): accuracy vs number of nodes (avgdeg = 10, ε = 0.5).
+
+Paper shape to verify: recursive(edge) is the most accurate everywhere;
+RHMS is meaningless (errors ≫ 1) for triangle and 2-triangle;
+recursive(node) error decreases as the graph grows.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.synthetic import fig4a_nodes_sweep
+
+
+def test_fig4a(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig4a_nodes_sweep(scale=scale, rng=2024), rounds=1, iterations=1
+    )
+    nodes = result["_x"]["nodes"]
+    sections = []
+    for query in ("triangle", "2-star", "2-triangle"):
+        sections.append(
+            format_series(
+                "nodes",
+                nodes,
+                result[query],
+                title=f"Fig 4(a) — {query}: median relative error vs |V| "
+                f"(avgdeg=10, eps=0.5, scale={scale.name})",
+            )
+        )
+    record_figure("fig4a_nodes", "\n\n".join(sections))
+
+    # paper-shape assertions: recursive-edge beats RHMS on triangles
+    tri = result["triangle"]
+    assert sum(tri["recursive-edge"]) < sum(tri["rhms"])

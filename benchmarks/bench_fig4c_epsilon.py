@@ -1,0 +1,31 @@
+"""Fig. 4(c): accuracy vs ε (|V| = 200 scaled, avgdeg = 10).
+
+Paper shape: every mechanism's error decreases roughly as 1/ε; the
+ordering between mechanisms is stable across ε.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.synthetic import fig4c_epsilon_sweep
+
+
+def test_fig4c(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig4c_epsilon_sweep(scale=scale, rng=2024), rounds=1, iterations=1
+    )
+    eps = result["_x"]["epsilon"]
+    sections = []
+    for query in ("triangle", "2-star", "2-triangle"):
+        sections.append(
+            format_series(
+                "epsilon",
+                eps,
+                result[query],
+                title=f"Fig 4(c) — {query}: median relative error vs eps "
+                f"(scale={scale.name})",
+            )
+        )
+    record_figure("fig4c_epsilon", "\n\n".join(sections))
+
+    # error at the largest eps should not exceed error at the smallest
+    tri = result["triangle"]["recursive-edge"]
+    assert tri[-1] <= tri[0] * 2

@@ -1,0 +1,33 @@
+"""Fig. 9: error/time vs |supp(R)| at 3 clauses per expression.
+
+Paper shape: relative error stays flat-to-decreasing as the relation
+grows (the universal empirical sensitivity is insensitive to |supp(R)|);
+running time grows polynomially with |supp(R)|.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.krelations import fig9_size_sweep
+
+
+def test_fig9(benchmark, scale, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig9_size_sweep(scale=scale, rng=2024), rounds=1, iterations=1
+    )
+    sections = []
+    for kind, rows in result.items():
+        sections.append(
+            format_table(
+                rows,
+                ["size", "true_answer", "median_relative_error",
+                 "us_reference", "universal_sensitivity", "seconds"],
+                title=f"Fig 9 — 3-{kind.upper()} K-relations, varying size "
+                f"(3 clauses, scale={scale.name})",
+            )
+        )
+    record_figure("fig9_relation_size", "\n\n".join(sections))
+
+    for rows in result.values():
+        # relative error must not blow up as the relation grows
+        assert rows[-1]["median_relative_error"] <= max(
+            4 * rows[0]["median_relative_error"], 1.0
+        )

@@ -1,0 +1,42 @@
+"""Benchmark suite configuration.
+
+Each ``bench_figXX`` module regenerates one figure/table of the paper at
+the scale preset from ``$REPRO_BENCH_SCALE`` (``smoke`` / ``default`` /
+``full``; see :mod:`repro.experiments.harness`).  The rendered tables are
+printed to stdout and written to ``benchmarks/results/``, so a
+``--benchmark-only`` run leaves a complete textual reproduction of the
+paper's evaluation section behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import resolve_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(results_dir, scale):
+    """Write a rendered figure to results/ and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.{scale.name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

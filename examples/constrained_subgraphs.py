@@ -1,0 +1,75 @@
+"""Constrained subgraph counting (Sec. 1.1's "arbitrary constraints").
+
+When nodes/edges carry attributes, the paper's mechanism supports
+constraints on any part of the query subgraph — each constrained match is
+still one tuple in the K-relation, so privacy and utility guarantees are
+unchanged.  Here: count triangles of mutual followers in which *all three
+accounts are verified*, and cross-group 2-stars whose center is an admin.
+
+Run:  python examples/constrained_subgraphs.py
+"""
+
+import numpy as np
+
+from repro import (
+    Pattern,
+    private_subgraph_count,
+    random_graph_with_avg_degree,
+)
+from repro.subgraphs import enumerate_subgraphs, subgraph_krelation
+from repro.core import private_linear_query
+
+
+def main():
+    rng = np.random.default_rng(5)
+    graph = random_graph_with_avg_degree(90, 8, rng=rng)
+
+    # attach attributes: ~60% verified accounts, ~10% admins
+    verified = {node: bool(rng.random() < 0.6) for node in graph.nodes()}
+    admin = {node: bool(rng.random() < 0.1) for node in graph.nodes()}
+    node_data = {
+        node: {"verified": verified[node], "admin": admin[node]}
+        for node in graph.nodes()
+    }
+
+    # Pattern 1: all-verified triangles
+    verified_triangle = Pattern(
+        [(0, 1), (1, 2), (0, 2)],
+        name="verified-triangle",
+        node_constraints={
+            i: (lambda data: bool(data and data["verified"])) for i in range(3)
+        },
+    )
+    matches = list(
+        enumerate_subgraphs(graph, verified_triangle, node_data=node_data)
+    )
+    print(f"verified triangles (true): {len(matches)}")
+    relation = subgraph_krelation(
+        graph, verified_triangle, privacy="node", occurrences=matches
+    )
+    result = private_linear_query(relation, epsilon=1.0, node_privacy=True, rng=1)
+    print(f"node-DP released count:    {result.answer:.1f} "
+          f"(error {result.relative_error:.2%})\n")
+
+    # Pattern 2: 2-stars centered at an admin (pattern node 0 is the center)
+    admin_star = Pattern(
+        [(0, 1), (0, 2)],
+        name="admin-2-star",
+        node_constraints={0: lambda data: bool(data and data["admin"])},
+    )
+    matches = list(enumerate_subgraphs(graph, admin_star, node_data=node_data))
+    print(f"admin-centered 2-stars (true): {len(matches)}")
+    relation = subgraph_krelation(
+        graph, admin_star, privacy="edge", occurrences=matches
+    )
+    result = private_linear_query(relation, epsilon=1.0, rng=2)
+    print(f"edge-DP released count:        {result.answer:.1f} "
+          f"(error {result.relative_error:.2%})")
+    print(
+        "\nNo prior work supports such constraints: the local-sensitivity\n"
+        "baselines are hard-wired to unconstrained k-stars/k-triangles."
+    )
+
+
+if __name__ == "__main__":
+    main()

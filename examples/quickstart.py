@@ -1,0 +1,54 @@
+"""Quickstart: node-differentially-private triangle counting.
+
+The headline capability of the paper: release the number of triangles in a
+social network such that the output distribution is almost unchanged when
+any single *person* (node, with all incident edges) is removed — something
+no prior mechanism could do with usable accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    RecursiveMechanismParams,
+    private_subgraph_count,
+    random_graph_with_avg_degree,
+    triangle,
+)
+
+
+def main():
+    # A synthetic social network: 120 people, ~8 friends each.
+    graph = random_graph_with_avg_degree(120, 8, rng=42)
+    print(f"social network: {graph.num_nodes} people, {graph.num_edges} friendships")
+
+    # One call: enumerate triangles, build the annotated K-relation,
+    # run the recursive mechanism with the paper's parameter settings.
+    result = private_subgraph_count(
+        graph, triangle(), privacy="node", epsilon=1.0, rng=7
+    )
+    print(f"true triangle count:      {result.true_answer:.0f}")
+    print(f"node-DP released count:   {result.answer:.1f}")
+    print(f"relative error:           {result.relative_error:.2%}")
+    print(f"privacy guarantee:        {result.params.epsilon:.2f}-differential privacy (node)")
+
+    # Edge privacy is weaker but more accurate — the trade-off is the
+    # user's choice (Sec. 1.1 of the paper).
+    result_edge = private_subgraph_count(
+        graph, triangle(), privacy="edge", epsilon=1.0, rng=7
+    )
+    print(f"\nedge-DP released count:   {result_edge.answer:.1f}")
+    print(f"relative error:           {result_edge.relative_error:.2%}")
+
+    # Everything is parameterizable; e.g. a tighter budget with custom split.
+    params = RecursiveMechanismParams(
+        epsilon1=0.2, epsilon2=0.3, beta=0.1, theta=1.0, mu=1.0, g=2
+    )
+    result_tight = private_subgraph_count(
+        graph, triangle(), privacy="node", params=params, rng=7
+    )
+    print(f"\nwith eps=0.5 (custom):    {result_tight.answer:.1f} "
+          f"(error {result_tight.relative_error:.2%})")
+
+
+if __name__ == "__main__":
+    main()

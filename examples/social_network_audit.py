@@ -1,0 +1,56 @@
+"""Scenario: a privacy-preserving network-statistics release.
+
+A platform wants to publish three statistics of its friendship graph —
+triangle count, 2-star count (pairs of friendships sharing a person), and
+2-triangle count — and must decide which mechanism to use.  This example
+runs the paper's full comparison (Fig. 1 / Fig. 4 in miniature): the
+recursive mechanism under node and edge privacy against the
+local-sensitivity baselines and RHMS.
+
+Run:  python examples/social_network_audit.py
+"""
+
+import numpy as np
+
+from repro import random_graph_with_avg_degree
+from repro.experiments import format_table, make_runner, run_mechanism_trials
+from repro.experiments.mechanisms import MECHANISM_NAMES, true_count
+
+
+def main():
+    graph = random_graph_with_avg_degree(80, 10, rng=99)
+    epsilon, trials = 0.5, 15
+    print(
+        f"auditing a network with {graph.num_nodes} users / "
+        f"{graph.num_edges} friendships at eps={epsilon}\n"
+    )
+
+    rows = []
+    for query in ("triangle", "2-star", "2-triangle"):
+        row = {"query": query, "true_count": true_count(graph, query)}
+        for mechanism in MECHANISM_NAMES:
+            run_once, truth = make_runner(mechanism, graph, query, epsilon)
+            row[mechanism] = run_mechanism_trials(
+                run_once, truth, trials, rng=np.random.default_rng(0)
+            )
+        rows.append(row)
+
+    print(
+        format_table(
+            rows,
+            ["query", "true_count", *MECHANISM_NAMES],
+            title="median relative error per mechanism "
+            "(recursive-node is the only node-DP column)",
+        )
+    )
+    print(
+        "\nReading the table: only the recursive mechanism offers *node*"
+        "\nprivacy at all; under edge privacy it is competitive with or"
+        "\nbetter than the specialized baselines, while RHMS is unusable"
+        "\nfor multi-edge patterns (its noise grows exponentially in the"
+        "\npattern's edge count)."
+    )
+
+
+if __name__ == "__main__":
+    main()

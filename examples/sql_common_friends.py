@@ -1,0 +1,90 @@
+"""Fig. 2(b) end-to-end: a relational query with unrestricted joins.
+
+"How many pairs of friends have a common friend?" — as SQL:
+
+    SELECT COUNT(DISTINCT e1.u, e2.v)
+    FROM   E e1 JOIN E e2 ON e1.w = e2.w JOIN E e3
+    WHERE  e1.u = e3.u AND e2.v = e3.v AND e1.u <> e2.v
+
+One person participates in unboundedly many output rows, so the query's
+global sensitivity is infinite and no Laplace-style mechanism applies.
+This example builds the provenance-annotated output table through the
+positive relational algebra layer (annotations propagate automatically and
+safely), converts it into a sensitive K-relation under node privacy, and
+releases the count with the recursive mechanism.
+
+Run:  python examples/sql_common_friends.py
+"""
+
+from repro import (
+    Join,
+    KRelation,
+    PROVENANCE,
+    Project,
+    Rename,
+    Select,
+    SensitiveKRelation,
+    Table,
+    Tup,
+    Var,
+    evaluate_query,
+    private_linear_query,
+    random_graph_with_avg_degree,
+)
+
+
+def edge_table_node_privacy(graph) -> KRelation:
+    """The symmetric friendship table, annotated per Fig. 2(b) (node DP).
+
+    A row (u, v) exists iff both endpoints participate: annotation u ∧ v.
+    """
+    table = KRelation({"src", "dst"}, PROVENANCE)
+    for u, v in graph.edges():
+        annotation = Var(f"v:{u}") & Var(f"v:{v}")
+        table.add(Tup(src=u, dst=v), annotation)
+        table.add(Tup(src=v, dst=u), annotation)
+    return table
+
+
+def main():
+    graph = random_graph_with_avg_degree(60, 6, rng=21)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    # Positive relational algebra: e1(u,w) ⋈ e2(w,v) ⋈ e3(u,v), u < v.
+    e1 = Rename(Table("E"), {"src": "u", "dst": "w"})
+    e2 = Rename(Table("E"), {"src": "w", "dst": "v"})
+    e3 = Rename(Table("E"), {"src": "u", "dst": "v"})
+    query = Project(
+        Select(Join(Join(e1, e2), e3), lambda t: repr(t["u"]) < repr(t["v"])),
+        ("u", "v"),
+    )
+    output = evaluate_query(query, {"E": edge_table_node_privacy(graph)})
+    print(f"output table: {len(output)} friend pairs with a common friend")
+
+    sample_tup, sample_annotation = next(iter(output.items()))
+    print(f"example provenance: {dict(sample_tup)} <- {sample_annotation}")
+
+    # The projection builds the (u∧v∧w1) ∨ (u∧v∧w2) ∨ ... disjunctions of
+    # Fig. 2(b) automatically — a safe annotation by construction.  The raw
+    # join provenance repeats variables (u appears in e1 and e3), which
+    # inflates the φ-sensitivity; normalizing to canonical minimal DNF
+    # (the paper's recommended discipline, S <= 1) tightens the error.
+    participants = [f"v:{node}" for node in graph.nodes()]
+    relation = SensitiveKRelation(participants, output).normalized()
+
+    result = private_linear_query(
+        relation, epsilon=1.0, node_privacy=True, rng=3
+    )
+    print(f"\ntrue answer:            {result.true_answer:.0f}")
+    print(f"node-DP released count: {result.answer:.1f}")
+    print(f"relative error:         {result.relative_error:.2%}")
+    print(
+        "\nNote: the same pipeline answers ANY positive relational algebra "
+        "query —\nthe mechanism never sees the graph, only the annotated "
+        "output table.\nOne-call form: SensitiveKRelation.from_query(query, "
+        "{'E': table}, participants)."
+    )
+
+
+if __name__ == "__main__":
+    main()

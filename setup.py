@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file exists so that
+legacy editable installs (`pip install -e . --no-build-isolation`) work
+offline where PEP 660 builds would require the `wheel` distribution.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""K-relations and positive relational algebra (Sec. 2.4 of the paper).
+
+A K-relation annotates every tuple with an element of a commutative semiring
+``(K, +, ·, 0, 1)``; positive relational algebra (∅, ∪, π, σ, ⋈, ρ) is
+generalized to annotated relations following Green, Karvounarakis and Tannen
+(PODS 2007).  Instantiating ``K`` with positive Boolean expressions over the
+participant set yields the *c-table* provenance the recursive mechanism
+consumes: the annotation of an output tuple is exactly its condition of
+presence when participants opt out, and — crucially — the algebra-produced
+syntax is always a *safe annotation* in the paper's sense (Sec. 5.2).
+
+Public surface
+--------------
+* :class:`~repro.algebra.tuples.Tup` — immutable attribute→value tuples.
+* :class:`~repro.algebra.semiring.Semiring` and the stock instances
+  ``BOOLEAN``, ``COUNTING``, ``PROVENANCE``, ``TROPICAL``.
+* :class:`~repro.algebra.krelation.KRelation` — finite-support annotated
+  relations.
+* :mod:`~repro.algebra.ops` — the positive algebra operators.
+* :mod:`~repro.algebra.query` — a small query AST + evaluator so relational
+  queries can be written declaratively and replayed on neighboring
+  databases.
+"""
+
+from .krelation import KRelation
+from .ops import cartesian_product, difference_unsupported, intersection, natural_join
+from .ops import project, rename, select, union
+from .query import (
+    Join,
+    Project,
+    Query,
+    Rename,
+    Select,
+    Table,
+    Union,
+    evaluate_query,
+)
+from .semiring import (
+    BOOLEAN,
+    COUNTING,
+    PROVENANCE,
+    TROPICAL,
+    BooleanSemiring,
+    CountingSemiring,
+    ProvenanceSemiring,
+    Semiring,
+    TropicalSemiring,
+)
+from .tuples import Tup
+
+__all__ = [
+    "Tup",
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "ProvenanceSemiring",
+    "TropicalSemiring",
+    "BOOLEAN",
+    "COUNTING",
+    "PROVENANCE",
+    "TROPICAL",
+    "KRelation",
+    "union",
+    "project",
+    "select",
+    "natural_join",
+    "cartesian_product",
+    "intersection",
+    "rename",
+    "difference_unsupported",
+    "Query",
+    "Table",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Rename",
+    "evaluate_query",
+]

@@ -1,0 +1,136 @@
+"""Finite-support K-relations.
+
+A K-relation over attribute set ``U`` is a function ``R : U-Tup → K`` with
+finite support (Sec. 2.4).  :class:`KRelation` stores only the support — a
+mapping from :class:`~repro.algebra.tuples.Tup` to nonzero annotations — and
+carries its semiring and attribute schema explicitly so the algebra can
+type-check operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..errors import SchemaError
+from .semiring import Semiring
+from .tuples import Tup
+
+__all__ = ["KRelation"]
+
+
+class KRelation:
+    """An annotated relation with finite support.
+
+    Parameters
+    ----------
+    attributes:
+        The schema ``U``.  May be empty (the 0-ary relations used for
+        Boolean queries).
+    semiring:
+        The annotation semiring.
+    entries:
+        Optional initial ``tuple → annotation`` mapping; zero annotations
+        are dropped, duplicate tuples are combined with semiring ``+``.
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        semiring: Semiring,
+        entries: Optional[Mapping[Tup, object]] = None,
+    ):
+        self.attributes: FrozenSet[str] = frozenset(attributes)
+        self.semiring = semiring
+        self._entries: Dict[Tup, object] = {}
+        if entries:
+            for tup, annotation in entries.items():
+                self.add(tup, annotation)
+
+    # -- mutation (build phase) ---------------------------------------------
+    def add(self, tup: Tup, annotation) -> None:
+        """Accumulate ``annotation`` onto ``tup`` with semiring ``+``."""
+        if not isinstance(tup, Tup):
+            tup = Tup(tup)
+        if tup.attributes != self.attributes:
+            raise SchemaError(
+                f"tuple attributes {sorted(tup.attributes)} do not match "
+                f"schema {sorted(self.attributes)}"
+            )
+        if self.semiring.is_zero(annotation):
+            return
+        if tup in self._entries:
+            combined = self.semiring.add(self._entries[tup], annotation)
+            if self.semiring.is_zero(combined):
+                del self._entries[tup]
+            else:
+                self._entries[tup] = combined
+        else:
+            self._entries[tup] = annotation
+
+    # -- access ---------------------------------------------------------------
+    def annotation(self, tup: Tup):
+        """``R(t)`` — the annotation of ``tup`` (semiring zero if absent)."""
+        if not isinstance(tup, Tup):
+            tup = Tup(tup)
+        return self._entries.get(tup, self.semiring.zero)
+
+    def __contains__(self, tup) -> bool:
+        if not isinstance(tup, Tup):
+            tup = Tup(tup)
+        return tup in self._entries
+
+    def support(self) -> Tuple[Tup, ...]:
+        """``supp(R)`` in deterministic (sorted-repr) order."""
+        return tuple(sorted(self._entries, key=repr))
+
+    def items(self) -> Iterator[Tuple[Tup, object]]:
+        """Iterate ``(tuple, annotation)`` pairs in deterministic order."""
+        for tup in self.support():
+            yield tup, self._entries[tup]
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self.support())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- conversions ---------------------------------------------------------
+    def map_annotations(self, fn, semiring: Optional[Semiring] = None) -> "KRelation":
+        """A new relation with each annotation passed through ``fn``.
+
+        Used e.g. to ground a provenance relation under a participant
+        valuation (yielding a Boolean relation) or to rewrite annotations
+        into a normal form.
+        """
+        out = KRelation(self.attributes, semiring or self.semiring)
+        for tup, annotation in self._entries.items():
+            out.add(tup, fn(annotation))
+        return out
+
+    def copy(self) -> "KRelation":
+        """An independent copy (same semiring instance, fresh entry map)."""
+        return KRelation(self.attributes, self.semiring, self._entries)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, KRelation)
+            and self.attributes == other.attributes
+            and self._entries == other._entries
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KRelation(attributes={sorted(self.attributes)}, "
+            f"semiring={self.semiring.name}, size={len(self)})"
+        )
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small fixed-width rendering for docs and examples."""
+        attrs = sorted(self.attributes)
+        lines = ["\t".join(attrs + ["annotation"])]
+        for index, (tup, annotation) in enumerate(self.items()):
+            if index >= limit:
+                lines.append(f"... ({len(self) - limit} more)")
+                break
+            lines.append("\t".join([str(tup[a]) for a in attrs] + [str(annotation)]))
+        return "\n".join(lines)

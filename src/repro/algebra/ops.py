@@ -1,0 +1,142 @@
+"""Positive relational algebra on K-relations (Green et al. semantics).
+
+Each operator propagates annotations through the semiring exactly as in
+Sec. 2.4 of the paper:
+
+* union adds annotations (``+``),
+* projection sums the annotations of collapsing tuples (``+``),
+* selection multiplies by the 0/1 predicate value,
+* natural join multiplies the annotations of the joined tuples (``·``),
+* renaming relabels attributes.
+
+Difference is deliberately unsupported — positive algebra has no negation,
+and the privacy analysis depends on monotonicity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, Mapping
+
+from ..errors import AlgebraError, SchemaError
+from .krelation import KRelation
+from .tuples import Tup
+
+__all__ = [
+    "union",
+    "project",
+    "select",
+    "natural_join",
+    "cartesian_product",
+    "intersection",
+    "rename",
+    "difference_unsupported",
+]
+
+
+def _require_same_semiring(r1: KRelation, r2: KRelation) -> None:
+    if type(r1.semiring) is not type(r2.semiring):
+        raise AlgebraError(
+            f"semiring mismatch: {r1.semiring.name} vs {r2.semiring.name}"
+        )
+
+
+def union(r1: KRelation, r2: KRelation) -> KRelation:
+    """``(R1 ∪ R2)(t) = R1(t) + R2(t)``; schemas must match."""
+    _require_same_semiring(r1, r2)
+    if r1.attributes != r2.attributes:
+        raise SchemaError(
+            f"union schema mismatch: {sorted(r1.attributes)} vs {sorted(r2.attributes)}"
+        )
+    out = KRelation(r1.attributes, r1.semiring)
+    for tup, annotation in r1.items():
+        out.add(tup, annotation)
+    for tup, annotation in r2.items():
+        out.add(tup, annotation)
+    return out
+
+
+def project(r: KRelation, attrs: Iterable[str]) -> KRelation:
+    """``(π_V R)(t) = Σ_{t' agrees with t on V} R(t')``."""
+    attrs = frozenset(attrs)
+    if not attrs <= r.attributes:
+        raise SchemaError(
+            f"projection attributes {sorted(attrs - r.attributes)} not in schema"
+        )
+    out = KRelation(attrs, r.semiring)
+    for tup, annotation in r.items():
+        out.add(tup.project(attrs), annotation)
+    return out
+
+
+def select(r: KRelation, predicate: Callable[[Tup], bool]) -> KRelation:
+    """``(σ_P R)(t) = R(t) · P(t)`` for a 0/1 predicate."""
+    out = KRelation(r.attributes, r.semiring)
+    for tup, annotation in r.items():
+        if predicate(tup):
+            out.add(tup, annotation)
+    return out
+
+
+def natural_join(r1: KRelation, r2: KRelation) -> KRelation:
+    """``(R1 ⋈ R2)(t) = R1(t↾U1) · R2(t↾U2)``.
+
+    Implemented as a hash join on the shared attributes; with no shared
+    attributes it degenerates to the cartesian product, which is how the
+    paper (and Green et al.) define ``×`` as a special case.
+    """
+    _require_same_semiring(r1, r2)
+    shared = tuple(sorted(r1.attributes & r2.attributes))
+    out = KRelation(r1.attributes | r2.attributes, r1.semiring)
+    buckets: Dict[tuple, list] = defaultdict(list)
+    for tup2, annotation2 in r2.items():
+        key = tuple(tup2[a] for a in shared)
+        buckets[key].append((tup2, annotation2))
+    semiring = r1.semiring
+    for tup1, annotation1 in r1.items():
+        key = tuple(tup1[a] for a in shared)
+        for tup2, annotation2 in buckets.get(key, ()):
+            out.add(tup1.merge(tup2), semiring.mul(annotation1, annotation2))
+    return out
+
+
+def cartesian_product(r1: KRelation, r2: KRelation) -> KRelation:
+    """Cartesian product — natural join over disjoint schemas."""
+    if r1.attributes & r2.attributes:
+        raise SchemaError(
+            f"cartesian product requires disjoint schemas, shared: "
+            f"{sorted(r1.attributes & r2.attributes)}"
+        )
+    return natural_join(r1, r2)
+
+
+def intersection(r1: KRelation, r2: KRelation) -> KRelation:
+    """Intersection — natural join of relations over the same schema."""
+    if r1.attributes != r2.attributes:
+        raise SchemaError("intersection requires identical schemas")
+    return natural_join(r1, r2)
+
+
+def rename(r: KRelation, mapping: Mapping[str, str]) -> KRelation:
+    """``ρ_β R`` for a bijective attribute renaming ``β``."""
+    unknown = set(mapping) - set(r.attributes)
+    if unknown:
+        raise SchemaError(f"rename of unknown attributes {sorted(unknown)}")
+    out = KRelation(
+        frozenset(mapping.get(a, a) for a in r.attributes), r.semiring
+    )
+    for tup, annotation in r.items():
+        out.add(tup.rename(mapping), annotation)
+    return out
+
+
+def difference_unsupported(*_args, **_kwargs):
+    """Difference is not part of positive relational algebra.
+
+    Provided only so that attempts to use it fail with a clear message
+    instead of an ``AttributeError``.
+    """
+    raise AlgebraError(
+        "difference requires negation, which positive relational algebra "
+        "(and the monotonicity analysis of the mechanism) does not support"
+    )

@@ -1,0 +1,163 @@
+"""A declarative positive relational algebra query AST.
+
+Queries built from these nodes can be evaluated repeatedly against different
+base-table assignments — exactly what the sensitive-database model needs,
+since ``M(P')`` re-derives the output table for every participant subset.
+Because evaluation routes every operator through :mod:`repro.algebra.ops`,
+the provenance annotations of the output are produced by the Sec. 2.4 rules
+and are therefore always safe.
+
+Example
+-------
+Count pairs of friends that have a common friend (Fig. 2(b))::
+
+    edges = Table("E")                      # schema {src, dst}
+    e1 = Rename(edges, {"src": "a", "dst": "b"})
+    e2 = Rename(edges, {"src": "b", "dst": "c"})
+    two_paths = Join(e1, e2)                # a-b-c paths
+    pairs = Project(Select(two_paths, lambda t: t["a"] < t["c"]), ["a", "c"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from ..errors import AlgebraError
+from .krelation import KRelation
+from .ops import natural_join, project, rename, select, union
+from .tuples import Tup
+
+__all__ = [
+    "Query",
+    "Table",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Rename",
+    "evaluate_query",
+]
+
+
+class Query:
+    """Base class of positive relational algebra query nodes."""
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        """Evaluate against a ``name → KRelation`` base-table assignment."""
+        raise NotImplementedError
+
+    def table_names(self) -> frozenset:
+        """Names of all base tables referenced by this query."""
+        raise NotImplementedError
+
+    # sugar so queries compose with operators
+    def join(self, other: "Query") -> "Join":
+        """Fluent natural join: ``q.join(r)`` is ``Join(q, r)``."""
+        return Join(self, other)
+
+    def where(self, predicate: Callable[[Tup], bool]) -> "Select":
+        """Fluent selection: ``q.where(pred)`` is ``Select(q, pred)``."""
+        return Select(self, predicate)
+
+    def onto(self, attrs: Sequence[str]) -> "Project":
+        """Fluent projection: ``q.onto(attrs)`` is ``Project(q, attrs)``."""
+        return Project(self, tuple(attrs))
+
+
+@dataclass(frozen=True)
+class Table(Query):
+    """A reference to a named base table."""
+
+    name: str
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        if self.name not in tables:
+            raise AlgebraError(f"unknown base table {self.name!r}")
+        return tables[self.name]
+
+    def table_names(self) -> frozenset:
+        return frozenset((self.name,))
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """``σ_P`` with a Python predicate over tuples."""
+
+    child: Query
+    predicate: Callable[[Tup], bool]
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        return select(self.child.evaluate(tables), self.predicate)
+
+    def table_names(self) -> frozenset:
+        return self.child.table_names()
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    """``π_V`` onto the given attributes."""
+
+    child: Query
+    attributes: Tuple[str, ...]
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        return project(self.child.evaluate(tables), self.attributes)
+
+    def table_names(self) -> frozenset:
+        return self.child.table_names()
+
+
+@dataclass(frozen=True)
+class Join(Query):
+    """Natural join ``⋈`` (cartesian product when schemas are disjoint)."""
+
+    left: Query
+    right: Query
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        return natural_join(self.left.evaluate(tables), self.right.evaluate(tables))
+
+    def table_names(self) -> frozenset:
+        return self.left.table_names() | self.right.table_names()
+
+
+@dataclass(frozen=True)
+class Union(Query):
+    """``∪`` of two union-compatible queries."""
+
+    left: Query
+    right: Query
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        return union(self.left.evaluate(tables), self.right.evaluate(tables))
+
+    def table_names(self) -> frozenset:
+        return self.left.table_names() | self.right.table_names()
+
+
+@dataclass(frozen=True)
+class Rename(Query):
+    """``ρ_β`` with ``mapping`` old → new (tuple of pairs for hashability)."""
+
+    child: Query
+    mapping_items: Tuple[Tuple[str, str], ...]
+
+    def __init__(self, child: Query, mapping: Mapping[str, str]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping_items", tuple(sorted(mapping.items())))
+
+    @property
+    def mapping(self) -> Dict[str, str]:
+        return dict(self.mapping_items)
+
+    def evaluate(self, tables: Mapping[str, KRelation]) -> KRelation:
+        return rename(self.child.evaluate(tables), self.mapping)
+
+    def table_names(self) -> frozenset:
+        return self.child.table_names()
+
+
+def evaluate_query(query: Query, tables: Mapping[str, KRelation]) -> KRelation:
+    """Evaluate ``query`` against ``tables`` (thin functional wrapper)."""
+    return query.evaluate(tables)

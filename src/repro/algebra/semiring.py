@@ -1,0 +1,158 @@
+"""Commutative semirings for K-relations.
+
+The annotation domain of a K-relation is a commutative semiring
+``(K, +, ·, 0, 1)``: ``+`` combines alternative derivations (union,
+projection collapse) and ``·`` combines joint derivations (join).  The
+instance that matters for the privacy mechanism is :class:`ProvenanceSemiring`
+— positive Boolean expressions with ``+ = ∨`` and ``· = ∧`` — but the other
+stock semirings let the same algebra compute set semantics, bag multiplicity
+and min-cost derivations, and serve as cross-checks in the test suite
+(evaluating provenance under a valuation must commute with evaluating the
+query on the corresponding plain database).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from ..boolexpr.expr import FALSE, TRUE, And, Expr, Or
+
+K = TypeVar("K")
+
+__all__ = [
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "ProvenanceSemiring",
+    "TropicalSemiring",
+    "BOOLEAN",
+    "COUNTING",
+    "PROVENANCE",
+    "TROPICAL",
+]
+
+
+class Semiring(Generic[K]):
+    """Protocol for commutative semirings; subclass and fill the five slots."""
+
+    name: str = "abstract"
+
+    @property
+    def zero(self) -> K:
+        raise NotImplementedError
+
+    @property
+    def one(self) -> K:
+        raise NotImplementedError
+
+    def add(self, a: K, b: K) -> K:
+        """Semiring ``+`` — combines alternative derivations."""
+        raise NotImplementedError
+
+    def mul(self, a: K, b: K) -> K:
+        """Semiring ``·`` — combines joint derivations."""
+        raise NotImplementedError
+
+    def is_zero(self, a: K) -> bool:
+        """Support-membership test — tuples with zero annotation are absent."""
+        return a == self.zero
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BooleanSemiring(Semiring[bool]):
+    """``({False, True}, ∨, ∧)`` — plain set semantics."""
+
+    name = "boolean"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return bool(a or b)
+
+    def mul(self, a: bool, b: bool) -> bool:
+        return bool(a and b)
+
+
+class CountingSemiring(Semiring[int]):
+    """``(ℕ, +, ×)`` — bag (multiplicity) semantics."""
+
+    name = "counting"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        return int(a) + int(b)
+
+    def mul(self, a: int, b: int) -> int:
+        return int(a) * int(b)
+
+
+class TropicalSemiring(Semiring[float]):
+    """``(ℝ∪{∞}, min, +)`` — minimum derivation cost."""
+
+    name = "tropical"
+
+    @property
+    def zero(self) -> float:
+        return float("inf")
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        return a + b
+
+
+class ProvenanceSemiring(Semiring[Expr]):
+    """Positive Boolean expressions: ``+ = ∨``, ``· = ∧``.
+
+    This is the c-table semiring of the paper.  Note that expression
+    construction applies only the φ-invariant simplifications (identity,
+    annihilator, associativity folding), so annotations produced through
+    this semiring by relational algebra are always *safe* in the Sec. 5.2
+    sense: when a participant opts out, the new annotation is obtained from
+    ``k|p→False`` by invariant transformations alone.
+    """
+
+    name = "provenance"
+
+    @property
+    def zero(self) -> Expr:
+        return FALSE
+
+    @property
+    def one(self) -> Expr:
+        return TRUE
+
+    def add(self, a: Expr, b: Expr) -> Expr:
+        return Or((a, b))
+
+    def mul(self, a: Expr, b: Expr) -> Expr:
+        return And((a, b))
+
+    def is_zero(self, a: Expr) -> bool:
+        return a == FALSE
+
+
+BOOLEAN = BooleanSemiring()
+COUNTING = CountingSemiring()
+TROPICAL = TropicalSemiring()
+PROVENANCE = ProvenanceSemiring()

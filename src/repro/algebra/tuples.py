@@ -1,0 +1,105 @@
+"""Immutable tuples over a finite attribute set.
+
+Following the paper's formalization, a tuple is a function ``t : U → C``
+from attributes to values.  :class:`Tup` is a hashable frozen mapping with
+the handful of operations the algebra needs: restriction to an attribute
+subset (projection), compatibility testing (join), and attribute renaming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional
+
+from ..errors import SchemaError
+
+__all__ = ["Tup"]
+
+
+class Tup(Mapping):
+    """An immutable attribute → value mapping.
+
+    >>> t = Tup(a=1, b="x")
+    >>> t["a"], t.attributes == {"a", "b"}
+    (1, True)
+    >>> t.project({"a"})
+    Tup(a=1)
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Optional[Mapping] = None, **kwargs):
+        data: Dict = {}
+        if mapping is not None:
+            data.update(mapping)
+        data.update(kwargs)
+        for attr in data:
+            if not isinstance(attr, str):
+                raise SchemaError(f"attribute names must be str, got {attr!r}")
+        self._items = tuple(sorted(data.items()))
+        self._hash = hash(self._items)
+
+    # -- Mapping protocol -----------------------------------------------------
+    def __getitem__(self, attr: str):
+        for key, value in self._items:
+            if key == attr:
+                return value
+        raise KeyError(attr)
+
+    def __iter__(self) -> Iterator[str]:
+        return (key for key, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Tup):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    # -- algebra support --------------------------------------------------------
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset(key for key, _ in self._items)
+
+    def project(self, attrs) -> "Tup":
+        """Restrict to ``attrs`` (must be a subset of the attributes)."""
+        attrs = frozenset(attrs)
+        missing = attrs - self.attributes
+        if missing:
+            raise SchemaError(f"cannot project onto missing attributes {sorted(missing)}")
+        return Tup({key: value for key, value in self._items if key in attrs})
+
+    def compatible_with(self, other: "Tup") -> bool:
+        """True if the tuples agree on every shared attribute."""
+        shared = self.attributes & other.attributes
+        return all(self[attr] == other[attr] for attr in shared)
+
+    def merge(self, other: "Tup") -> "Tup":
+        """Natural-join merge; requires :meth:`compatible_with`."""
+        if not self.compatible_with(other):
+            raise SchemaError(f"tuples disagree on shared attributes: {self} vs {other}")
+        data = dict(self._items)
+        data.update(other._items)
+        return Tup(data)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Tup":
+        """Rename attributes through a bijection ``old → new``."""
+        targets = list(mapping.values())
+        if len(set(targets)) != len(targets):
+            raise SchemaError(f"rename mapping is not injective: {mapping}")
+        data = {}
+        for key, value in self._items:
+            new_key = mapping.get(key, key)
+            if new_key in data:
+                raise SchemaError(f"rename collides on attribute {new_key!r}")
+            data[new_key] = value
+        return Tup(data)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value!r}" for key, value in self._items)
+        return f"Tup({inner})"

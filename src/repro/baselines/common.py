@@ -1,0 +1,37 @@
+"""Shared result type for baseline mechanisms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """A single baseline release.
+
+    ``answer`` is the private output; ``true_answer`` and ``noise_scale``
+    are diagnostics for the experiment harness.
+    """
+
+    answer: float
+    true_answer: float
+    noise_scale: float
+    mechanism: str
+    privacy: str = "edge"
+    epsilon: float = 0.0
+    delta: float = 0.0
+    seconds: float = 0.0
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.answer - self.true_answer)
+
+    @property
+    def relative_error(self) -> float:
+        if self.true_answer == 0:
+            return float("inf") if self.answer != 0 else 0.0
+        return self.absolute_error / abs(self.true_answer)

@@ -1,0 +1,67 @@
+"""The global-sensitivity Laplace mechanism (Dwork et al., TCC 2006).
+
+Releases ``q(D) + Lap(GS_q / ε)`` — ε-differentially private whenever the
+global sensitivity ``GS_q`` is finite (Sec. 2.2 of the paper).  For queries
+with unrestricted joins ``GS_q = +∞`` and the mechanism is inapplicable;
+the class raises in that case rather than silently releasing garbage,
+mirroring the "Not solvable" row of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..errors import MechanismError, PrivacyParameterError
+from ..rng import RngLike, ensure_rng, laplace
+from .common import BaselineResult
+
+__all__ = ["GlobalSensitivityLaplace", "laplace_mechanism"]
+
+
+class GlobalSensitivityLaplace:
+    """Laplace mechanism with a caller-supplied global sensitivity.
+
+    Parameters
+    ----------
+    global_sensitivity:
+        ``GS_q``; ``math.inf`` marks an unbounded query (raises at run).
+    """
+
+    def __init__(self, global_sensitivity: float):
+        if global_sensitivity < 0:
+            raise PrivacyParameterError(
+                f"global sensitivity must be nonnegative, got {global_sensitivity}"
+            )
+        self.global_sensitivity = float(global_sensitivity)
+
+    def run(self, true_answer: float, epsilon: float, rng: RngLike = None) -> BaselineResult:
+        """Release ``true_answer + Lap(GS/ε)`` (ε-DP for bounded GS)."""
+        if epsilon <= 0:
+            raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
+        if math.isinf(self.global_sensitivity):
+            raise MechanismError(
+                "global sensitivity is unbounded — the Laplace mechanism "
+                "cannot answer queries with unrestricted joins (Fig. 1)"
+            )
+        start = time.perf_counter()
+        scale = self.global_sensitivity / epsilon
+        answer = float(true_answer) + laplace(scale, rng)
+        return BaselineResult(
+            answer=answer,
+            true_answer=float(true_answer),
+            noise_scale=scale,
+            mechanism="laplace",
+            epsilon=epsilon,
+            seconds=time.perf_counter() - start,
+        )
+
+
+def laplace_mechanism(
+    true_answer: float,
+    global_sensitivity: float,
+    epsilon: float,
+    rng: RngLike = None,
+) -> BaselineResult:
+    """Functional one-shot form of :class:`GlobalSensitivityLaplace`."""
+    return GlobalSensitivityLaplace(global_sensitivity).run(true_answer, epsilon, rng)

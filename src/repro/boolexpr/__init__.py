@@ -1,0 +1,73 @@
+"""Positive Boolean expressions — the annotation language of the paper.
+
+Tuples in a sensitive K-relation are annotated with *positive* Boolean
+expressions (no negation; only ``And``, ``Or``, variables and the constants
+``TRUE``/``FALSE``) over the participant set.  An annotation gives the
+condition under which the tuple is present when some participants opt out
+(Sec. 2.4 of the paper).
+
+The central subtlety (Sec. 5.2) is that expressions are **not** identified up
+to truth-table equality: the efficient mechanism evaluates them through the
+relaxation φ, and only the four *invariant transformations* — identity,
+annihilator, associativity, and distributivity of ∧ over ∨ — preserve φ.
+This package therefore keeps expressions as explicit syntax trees and applies
+only φ-invariant simplifications automatically.
+
+Public surface
+--------------
+* :class:`Expr`, :class:`Var`, :class:`And`, :class:`Or`,
+  :data:`TRUE`, :data:`FALSE` — the AST.
+* :func:`parse` — text to expression (``"(a & b) | c"``).
+* :func:`~repro.boolexpr.transform.expand_dnf` — φ-invariant DNF expansion
+  via distributivity.
+* :func:`~repro.boolexpr.transform.minimal_dnf` — the canonical minimal DNF
+  (unique prime-implicant form of a monotone function); the paper's
+  recommended safe annotation normal form.
+* :func:`~repro.boolexpr.sensitivity.phi_sensitivity` — the φ-sensitivity
+  ``S_{k,p}`` (Sec. 5.2).
+* :func:`~repro.boolexpr.truth.truth_equivalent` — truth-table equivalence.
+"""
+
+from .expr import FALSE, TRUE, And, Expr, Or, Var, all_vars, and_all, or_all
+from .parser import parse
+from .sensitivity import max_phi_sensitivity, phi_sensitivities, phi_sensitivity
+from .transform import (
+    expand_dnf,
+    is_conjunction_of_vars,
+    is_dnf,
+    minimal_dnf,
+    restrict,
+    restrict_false,
+)
+from .truth import (
+    evaluate,
+    iter_assignments,
+    minimal_satisfying_sets,
+    truth_equivalent,
+)
+
+__all__ = [
+    "Expr",
+    "Var",
+    "And",
+    "Or",
+    "TRUE",
+    "FALSE",
+    "and_all",
+    "or_all",
+    "all_vars",
+    "parse",
+    "expand_dnf",
+    "minimal_dnf",
+    "is_dnf",
+    "is_conjunction_of_vars",
+    "restrict",
+    "restrict_false",
+    "phi_sensitivity",
+    "phi_sensitivities",
+    "max_phi_sensitivity",
+    "evaluate",
+    "iter_assignments",
+    "truth_equivalent",
+    "minimal_satisfying_sets",
+]

@@ -1,0 +1,310 @@
+"""AST for positive Boolean expressions.
+
+Expressions are immutable and hashable.  ``And``/``Or`` are n-ary and
+flatten nested nodes of the same kind on construction (associativity is one
+of the paper's φ-invariant transformations, so flattening never changes the
+relaxation).  The constant-folding rules applied on construction — identity
+(``x ∧ True = x``, ``x ∨ False = x``) and annihilator (``x ∧ False = False``,
+``x ∨ True = True``) — are exactly the other φ-invariant transformations
+listed in Sec. 5.2, so constructing an expression through this module keeps
+it φ-equivalent to the fully explicit syntax tree.
+
+No other simplification is performed.  In particular ``a ∧ a`` is *not*
+reduced to ``a`` (idempotence changes φ: ``max(0, 2f(a)-1) ≠ f(a)``), and
+absorption is not applied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+from ..errors import ExpressionError
+
+__all__ = ["Expr", "Var", "And", "Or", "TRUE", "FALSE", "and_all", "or_all", "all_vars"]
+
+
+class Expr:
+    """Base class of all positive Boolean expression nodes."""
+
+    __slots__ = ("_hash",)
+
+    # -- construction sugar -------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, _check_expr(other)))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, _check_expr(other)))
+
+    def __rand__(self, other: "Expr") -> "Expr":
+        return And((_check_expr(other), self))
+
+    def __ror__(self, other: "Expr") -> "Expr":
+        return Or((_check_expr(other), self))
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def children(self) -> Tuple["Expr", ...]:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variable names occurring in this expression."""
+        raise NotImplementedError
+
+    def leaf_count(self) -> int:
+        """Number of leaf occurrences — the expression *length* ``|k|``.
+
+        The paper's complexity statements are in terms of ``L``, the total
+        length of all annotations; this is the per-expression contribution.
+        """
+        raise NotImplementedError
+
+    def node_count(self) -> int:
+        """Total number of AST nodes (leaves and connectives)."""
+        raise NotImplementedError
+
+    def occurrences(self, name: str) -> int:
+        """Number of occurrences of variable ``name`` in this expression."""
+        raise NotImplementedError
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a Boolean assignment.
+
+        Missing variables default to ``False`` (an absent participant),
+        matching the convention that ``M(P')`` is the world where only the
+        participants in ``P'`` contribute.
+        """
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        """Replace variables by expressions, re-simplifying φ-invariantly."""
+        raise NotImplementedError
+
+    def iter_nodes(self) -> Iterator["Expr"]:
+        """Yield every node of the AST (pre-order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __invert__(self):  # pragma: no cover - guard
+        raise ExpressionError("negation is not allowed in positive expressions")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self!s})"
+
+
+def _check_expr(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    raise ExpressionError(
+        f"expected a positive Boolean expression, got {type(value).__name__}"
+    )
+
+
+class _Const(Expr):
+    """The constants ``TRUE`` and ``FALSE`` (singletons)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+        self._hash = hash(("const", self.value))
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def leaf_count(self) -> int:
+        return 1
+
+    def node_count(self) -> int:
+        return 1
+
+    def occurrences(self, name: str) -> int:
+        return 0
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return self.value
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return self
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return "True" if self.value else "False"
+
+
+TRUE = _Const(True)
+"""The constant ``True`` annotation (tuple always present)."""
+
+FALSE = _Const(False)
+"""The constant ``False`` annotation (tuple never present / semiring zero)."""
+
+
+class Var(Expr):
+    """A participant variable.
+
+    Variable names are arbitrary hashable strings; for graph privacy they are
+    node identifiers (node privacy) or edge identifiers (edge privacy).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ExpressionError(f"variable name must be a non-empty str, got {name!r}")
+        self.name = name
+        self._hash = hash(("var", name))
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def leaf_count(self) -> int:
+        return 1
+
+    def node_count(self) -> int:
+        return 1
+
+    def occurrences(self, name: str) -> int:
+        return 1 if name == self.name else 0
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return bool(assignment.get(self.name, False))
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _NaryOp(Expr):
+    """Shared implementation of the n-ary connectives."""
+
+    __slots__ = ("_children", "_vars")
+
+    #: overridden by subclasses
+    _symbol = "?"
+    _identity: Expr = TRUE
+    _annihilator: Expr = FALSE
+
+    def __new__(cls, children: Iterable[Expr]):
+        flat = []
+        for child in children:
+            child = _check_expr(child)
+            if isinstance(child, cls):
+                flat.extend(child._children)  # associativity (φ-invariant)
+            elif child is cls._annihilator or child == cls._annihilator:
+                return cls._annihilator  # annihilator (φ-invariant)
+            elif child is cls._identity or child == cls._identity:
+                continue  # identity (φ-invariant)
+            else:
+                flat.append(child)
+        if not flat:
+            return cls._identity
+        if len(flat) == 1:
+            return flat[0]
+        self = object.__new__(cls)
+        self._children = tuple(flat)
+        self._vars = frozenset().union(*(c.variables() for c in flat))
+        self._hash = hash((cls._symbol, self._children))
+        return self
+
+    def __init__(self, children: Iterable[Expr]):
+        # construction happens in __new__ (it may return a simplified node of
+        # a different type); nothing to do here.
+        pass
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return self._children
+
+    def variables(self) -> FrozenSet[str]:
+        return self._vars
+
+    def leaf_count(self) -> int:
+        return sum(c.leaf_count() for c in self._children)
+
+    def node_count(self) -> int:
+        return 1 + sum(c.node_count() for c in self._children)
+
+    def occurrences(self, name: str) -> int:
+        if name not in self._vars:
+            return 0
+        return sum(c.occurrences(name) for c in self._children)
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        if not self._vars.intersection(mapping):
+            return self
+        return type(self)(c.substitute(mapping) for c in self._children)
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is type(self)
+            and self._hash == other._hash
+            and self._children == other._children
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        parts = []
+        for child in self._children:
+            text = str(child)
+            if isinstance(child, _NaryOp):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._symbol} ".join(parts)
+
+
+class And(_NaryOp):
+    """n-ary conjunction.  Relaxes to the Łukasiewicz t-norm under φ."""
+
+    __slots__ = ()
+    _symbol = "&"
+    _identity = TRUE
+    _annihilator = FALSE
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(c.evaluate(assignment) for c in self._children)
+
+
+class Or(_NaryOp):
+    """n-ary disjunction.  Relaxes to ``max`` under φ."""
+
+    __slots__ = ()
+    _symbol = "|"
+    _identity = FALSE
+    _annihilator = TRUE
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return any(c.evaluate(assignment) for c in self._children)
+
+
+def and_all(exprs: Iterable[Expr]) -> Expr:
+    """Conjunction of an iterable of expressions (``TRUE`` if empty)."""
+    return And(exprs)
+
+
+def or_all(exprs: Iterable[Expr]) -> Expr:
+    """Disjunction of an iterable of expressions (``FALSE`` if empty)."""
+    return Or(exprs)
+
+
+def all_vars(names: Iterable[str]) -> Tuple[Var, ...]:
+    """Convenience: build a tuple of :class:`Var` from names."""
+    return tuple(Var(n) for n in names)

@@ -1,0 +1,114 @@
+"""A small recursive-descent parser for positive Boolean expressions.
+
+Grammar (``|`` binds weaker than ``&``)::
+
+    expr   := term ( OR term )*
+    term   := factor ( AND factor )*
+    factor := '(' expr ')' | 'True' | 'False' | IDENT
+
+``AND`` is ``&``, ``∧`` or the word ``and``; ``OR`` is ``|``, ``∨``, or the
+word ``or``.  Identifiers match ``[A-Za-z_][A-Za-z0-9_.:-]*`` so that node
+ids like ``v12`` and edge ids like ``e:3-7`` parse directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ..errors import ParseError
+from .expr import FALSE, TRUE, And, Expr, Or, Var
+
+__all__ = ["parse"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lpar>\()|(?P<rpar>\))|(?P<and>&|∧|\band\b)"
+    r"|(?P<or>\||∨|\bor\b)|(?P<ident>[A-Za-z_][A-Za-z0-9_.:\-]*))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ParseError(f"unexpected character at position {pos}: {rest[:10]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._pos = 0
+
+    def _peek(self) -> str:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos][0]
+        return "eof"
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        if self._peek() != "eof":
+            raise ParseError(f"trailing tokens in {self._text!r}")
+        return expr
+
+    def _expr(self) -> Expr:
+        terms = [self._term()]
+        while self._peek() == "or":
+            self._advance()
+            terms.append(self._term())
+        if len(terms) == 1:
+            return terms[0]
+        return Or(terms)
+
+    def _term(self) -> Expr:
+        factors = [self._factor()]
+        while self._peek() == "and":
+            self._advance()
+            factors.append(self._factor())
+        if len(factors) == 1:
+            return factors[0]
+        return And(factors)
+
+    def _factor(self) -> Expr:
+        kind = self._peek()
+        if kind == "lpar":
+            self._advance()
+            inner = self._expr()
+            if self._peek() != "rpar":
+                raise ParseError(f"missing ')' in {self._text!r}")
+            self._advance()
+            return inner
+        if kind == "ident":
+            _, name = self._advance()
+            if name == "True":
+                return TRUE
+            if name == "False":
+                return FALSE
+            return Var(name)
+        raise ParseError(f"expected a factor at token {self._pos} in {self._text!r}")
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into a positive Boolean :class:`~repro.boolexpr.Expr`.
+
+    >>> parse("(a & b) | c").variables() == {"a", "b", "c"}
+    True
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    return _Parser(tokens, text).parse()

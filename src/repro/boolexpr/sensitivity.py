@@ -1,0 +1,79 @@
+"""φ-sensitivities ``S_{k,p}`` of positive Boolean expressions (Sec. 5.2).
+
+``S_{k,p}`` upper-bounds the partial derivative of the relaxed expression
+``φ_k`` with respect to participant ``p``'s coordinate.  It is computed by
+the paper's recursion::
+
+    S_{True,p} = S_{False,p} = 0          S_{p,p} = 1  (and S_{q,p} = 0, q≠p)
+    S_{x∧y,p}  = S_{x,p} + S_{y,p}        S_{x∨y,p} = max(S_{x,p}, S_{y,p})
+
+Consequences verified by the test suite: ``S_{k,p}`` never exceeds the
+number of occurrences of ``p`` in ``k``; if ``k`` is in DNF then
+``S_{k,p} ≤ 1``; and the bound Eq. 17 holds for every coordinate-wise
+increase of the assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..errors import ExpressionError
+from .expr import And, Expr, Or, Var, _Const
+
+__all__ = ["phi_sensitivity", "phi_sensitivities", "max_phi_sensitivity"]
+
+
+def phi_sensitivity(expr: Expr, name: str) -> int:
+    """The φ-sensitivity ``S_{k,p}`` for a single variable ``p = name``."""
+    if isinstance(expr, _Const):
+        return 0
+    if isinstance(expr, Var):
+        return 1 if expr.name == name else 0
+    if name not in expr.variables():
+        return 0
+    if isinstance(expr, And):
+        return sum(phi_sensitivity(child, name) for child in expr.children)
+    if isinstance(expr, Or):
+        return max(phi_sensitivity(child, name) for child in expr.children)
+    raise ExpressionError(f"unknown expression node {expr!r}")
+
+
+def phi_sensitivities(expr: Expr) -> Dict[str, int]:
+    """``S_{k,p}`` for every variable ``p`` of ``expr``, as a dict.
+
+    Computed in one bottom-up pass (cheaper than calling
+    :func:`phi_sensitivity` per variable on large expressions).
+    """
+    if isinstance(expr, _Const):
+        return {}
+    if isinstance(expr, Var):
+        return {expr.name: 1}
+    child_maps = [phi_sensitivities(child) for child in expr.children]
+    result: Dict[str, int] = {}
+    if isinstance(expr, And):
+        for child_map in child_maps:
+            for name, value in child_map.items():
+                result[name] = result.get(name, 0) + value
+        return result
+    if isinstance(expr, Or):
+        for child_map in child_maps:
+            for name, value in child_map.items():
+                if value > result.get(name, 0):
+                    result[name] = value
+        return result
+    raise ExpressionError(f"unknown expression node {expr!r}")
+
+
+def max_phi_sensitivity(exprs) -> int:
+    """``S = max_{k,p} S_{k,p}`` over an iterable of expressions.
+
+    The paper's error bound for the efficient mechanism is roughly
+    proportional to ``S`` times the universal empirical sensitivity
+    (end of Sec. 5.2).
+    """
+    best = 0
+    for expr in exprs:
+        sens = phi_sensitivities(expr)
+        if sens:
+            best = max(best, max(sens.values()))
+    return best

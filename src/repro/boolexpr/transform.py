@@ -1,0 +1,197 @@
+"""Transformations on positive Boolean expressions.
+
+Two different notions of "normal form" matter in the paper, and we keep them
+strictly separate:
+
+* :func:`expand_dnf` applies **only** distributivity of ∧ over ∨ (plus the
+  constructor's identity/annihilator/associativity folding).  These are
+  exactly the φ-invariant transformations of Sec. 5.2, so
+  ``phi(expand_dnf(k)) == phi(k)`` pointwise.  Duplicate literals inside a
+  clause are preserved (removing them would change φ).
+
+* :func:`minimal_dnf` additionally deduplicates literals within clauses and
+  removes absorbed (superset) clauses, producing the unique prime-implicant
+  form of the underlying *monotone* Boolean function.  This is **not**
+  φ-invariant in general, but it is *canonical*: truth-table-equivalent
+  positive expressions map to the identical syntax tree.  The paper's safe
+  annotation discipline — "if we always expand all expressions into
+  disjunctive normal form, then the annotation is always safe" — is realized
+  by normalizing every annotation through this function, which also caps the
+  φ-sensitivity at ``S_{k,p} ≤ 1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..errors import ExpressionError
+from .expr import FALSE, TRUE, And, Expr, Or, Var
+
+__all__ = [
+    "restrict",
+    "restrict_false",
+    "expand_dnf",
+    "minimal_dnf",
+    "dnf_clauses",
+    "clauses_to_expr",
+    "is_dnf",
+    "is_conjunction_of_vars",
+]
+
+#: Safety valve: expanding a CNF with c clauses of width w yields up to w**c
+#: DNF clauses; refuse to build more than this many.
+MAX_DNF_CLAUSES = 2_000_000
+
+
+def restrict(expr: Expr, assignment: Dict[str, bool]) -> Expr:
+    """Fix some variables to constants, φ-invariantly simplifying.
+
+    ``restrict(k, {p: False})`` is exactly the paper's ``k|p→False``
+    operation followed by identity/annihilator folding (both φ-invariant).
+    """
+    mapping = {name: (TRUE if value else FALSE) for name, value in assignment.items()}
+    return expr.substitute(mapping)
+
+
+def restrict_false(expr: Expr, *names: str) -> Expr:
+    """Shorthand for ``k|p→False`` for each of ``names``."""
+    return restrict(expr, {name: False for name in names})
+
+
+def _expand_node(expr: Expr) -> List[Tuple[Expr, ...]]:
+    """Return the DNF of ``expr`` as a list of clauses.
+
+    Each clause is a tuple of leaf expressions (``Var`` or ``TRUE``);
+    duplicates are preserved.  An empty list means ``FALSE``; a clause equal
+    to ``()`` means ``TRUE``.
+    """
+    if expr is FALSE or expr == FALSE:
+        return []
+    if expr is TRUE or expr == TRUE:
+        return [()]
+    if isinstance(expr, Var):
+        return [(expr,)]
+    if isinstance(expr, Or):
+        clauses: List[Tuple[Expr, ...]] = []
+        for child in expr.children:
+            clauses.extend(_expand_node(child))
+            if len(clauses) > MAX_DNF_CLAUSES:
+                raise ExpressionError("DNF expansion exceeds MAX_DNF_CLAUSES")
+        return clauses
+    if isinstance(expr, And):
+        # distribute: cartesian product of the children's clause lists
+        product: List[Tuple[Expr, ...]] = [()]
+        for child in expr.children:
+            child_clauses = _expand_node(child)
+            if not child_clauses:
+                return []  # conjunct is FALSE
+            product = [
+                left + right for left in product for right in child_clauses
+            ]
+            if len(product) > MAX_DNF_CLAUSES:
+                raise ExpressionError("DNF expansion exceeds MAX_DNF_CLAUSES")
+        return product
+    raise ExpressionError(f"unknown expression node {expr!r}")
+
+
+def expand_dnf(expr: Expr) -> Expr:
+    """φ-invariant DNF expansion (distributivity only).
+
+    The result is an ``Or`` of ``And``-of-``Var`` clauses (degenerate cases:
+    a single clause, a single variable, or a constant).  Duplicate literals
+    and absorbed clauses are kept so that φ is preserved exactly.
+    """
+    clauses = _expand_node(expr)
+    return clauses_to_expr([tuple(leaf for leaf in clause) for clause in clauses])
+
+
+def dnf_clauses(expr: Expr) -> List[FrozenSet[str]]:
+    """The clauses of ``expr``'s DNF as variable-name sets (deduplicated).
+
+    This moves to the *semantic* clause view (a clause is the set of
+    variables it requires), so duplicate literals collapse.  Used by
+    :func:`minimal_dnf` and by the truth-table utilities.
+    """
+    raw = _expand_node(expr)
+    out = []
+    for clause in raw:
+        names = frozenset(leaf.name for leaf in clause if isinstance(leaf, Var))
+        out.append(names)
+    return out
+
+
+def _prime_clauses(clauses: List[FrozenSet[str]]) -> List[FrozenSet[str]]:
+    """Remove absorbed clauses, keeping only minimal (prime) ones."""
+    unique = set(clauses)
+    primes = []
+    for clause in unique:
+        if not any(other < clause for other in unique):
+            primes.append(clause)
+    return primes
+
+
+def clauses_to_expr(clauses) -> Expr:
+    """Build an ``Or`` of ``And`` expressions from clause tuples/sets.
+
+    Accepts clauses as iterables of ``Var`` leaves or of variable names.
+    Clause sets are ordered deterministically (sorted by sorted names).
+    """
+    built = []
+    for clause in clauses:
+        leaves = []
+        for item in clause:
+            if isinstance(item, Expr):
+                leaves.append(item)
+            else:
+                leaves.append(Var(item))
+        leaves.sort(key=lambda leaf: leaf.name if isinstance(leaf, Var) else "")
+        key = tuple(leaf.name if isinstance(leaf, Var) else "" for leaf in leaves)
+        built.append((key, leaves))
+    built.sort(key=lambda pair: (len(pair[0]), pair[0]))
+    return Or(And(leaves) for _, leaves in built)
+
+
+def minimal_dnf(expr: Expr) -> Expr:
+    """Canonical minimal DNF (unique prime-implicant form).
+
+    Positive expressions denote monotone Boolean functions, whose set of
+    minimal satisfying variable sets (prime implicants) is unique.  Two
+    positive expressions have the same truth table *iff* their minimal DNFs
+    are structurally identical, which makes this the canonical safe
+    annotation form of the paper (Sec. 5.2) with ``S_{k,p} ≤ 1``.
+    """
+    if expr is TRUE or expr == TRUE:
+        return TRUE
+    if expr is FALSE or expr == FALSE:
+        return FALSE
+    clauses = dnf_clauses(expr)
+    if any(len(clause) == 0 for clause in clauses):
+        return TRUE
+    primes = _prime_clauses(clauses)
+    if not primes:
+        return FALSE
+    return clauses_to_expr(primes)
+
+
+def is_dnf(expr: Expr) -> bool:
+    """True if ``expr`` is an Or-of-And-of-Var (or a degenerate case)."""
+    if expr in (TRUE, FALSE) or isinstance(expr, Var):
+        return True
+    if is_conjunction_of_vars(expr):
+        return True
+    if isinstance(expr, Or):
+        return all(
+            isinstance(child, Var) or is_conjunction_of_vars(child)
+            for child in expr.children
+        )
+    return False
+
+
+def is_conjunction_of_vars(expr: Expr) -> bool:
+    """True if ``expr`` is a ``Var`` or an ``And`` of ``Var`` leaves."""
+    if isinstance(expr, Var):
+        return True
+    return isinstance(expr, And) and all(
+        isinstance(child, Var) for child in expr.children
+    )

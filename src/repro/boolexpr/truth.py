@@ -1,0 +1,77 @@
+"""Truth-table utilities for positive Boolean expressions.
+
+Positive expressions denote *monotone* Boolean functions, which makes
+semantic questions tractable: the function is fully determined by its
+minimal satisfying variable sets (prime implicants), so truth-table
+equivalence reduces to comparing those sets rather than enumerating all
+``2^n`` assignments.  Both the exact set-based route and the brute-force
+enumeration (useful as a test oracle for small expressions) are provided.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Sequence
+
+from .expr import Expr
+from .transform import _prime_clauses, dnf_clauses
+
+__all__ = [
+    "evaluate",
+    "iter_assignments",
+    "truth_equivalent",
+    "truth_equivalent_bruteforce",
+    "minimal_satisfying_sets",
+]
+
+
+def evaluate(expr: Expr, true_vars) -> bool:
+    """Evaluate with exactly the variables in ``true_vars`` set to True."""
+    assignment = {name: True for name in true_vars}
+    return expr.evaluate(assignment)
+
+
+def iter_assignments(names: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    """Yield all ``2^len(names)`` Boolean assignments over ``names``."""
+    names = list(names)
+    for bits in itertools.product((False, True), repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def minimal_satisfying_sets(expr: Expr) -> List[FrozenSet[str]]:
+    """The prime implicants of ``expr`` as variable-name sets.
+
+    Sorted deterministically (by size, then lexicographically) so the result
+    doubles as a canonical semantic signature of the monotone function.
+    """
+    clauses = dnf_clauses(expr)
+    if any(len(clause) == 0 for clause in clauses):
+        return [frozenset()]
+    primes = _prime_clauses(clauses)
+    return sorted(primes, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+def truth_equivalent(k1: Expr, k2: Expr) -> bool:
+    """Exact truth-table equivalence via prime implicant comparison.
+
+    Note: truth-table equivalence is *weaker* than the paper's φ-equivalence
+    (Def. 19).  ``(b1 ∨ b2) ∧ (b1 ∨ b3)`` and ``b1 ∨ (b2 ∧ b3)`` are
+    truth-equivalent but not φ-equivalent; rewriting one into the other can
+    break the privacy proof.  Use :func:`repro.relax.phi_equivalent` when
+    the relaxation semantics matter.
+    """
+    return minimal_satisfying_sets(k1) == minimal_satisfying_sets(k2)
+
+
+def truth_equivalent_bruteforce(k1: Expr, k2: Expr, max_vars: int = 20) -> bool:
+    """Truth-table equivalence by enumerating all assignments.
+
+    Exponential in the number of variables; intended as a test oracle.
+    """
+    names = sorted(k1.variables() | k2.variables())
+    if len(names) > max_vars:
+        raise ValueError(f"too many variables for brute force: {len(names)}")
+    for assignment in iter_assignments(names):
+        if k1.evaluate(assignment) != k2.evaluate(assignment):
+            return False
+    return True

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``count``
+    Differentially private subgraph count on a random graph, a dataset
+    stand-in, or an edge-list file.
+``fig``
+    Regenerate one of the paper's figures at a chosen scale preset and
+    print the rendered table.
+``audit``
+    Empirical privacy audit of the mechanism on a small random graph.
+``datasets``
+    List the Fig. 6 dataset stand-ins and their paper statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recursive mechanism: node-DP statistics with unrestricted joins",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="private subgraph count")
+    count.add_argument("--query", default="triangle",
+                       help="triangle | K-star | K-triangle (e.g. 2-star)")
+    count.add_argument("--privacy", choices=["node", "edge"], default="node")
+    count.add_argument("--epsilon", type=float, default=0.5)
+    count.add_argument("--seed", type=int, default=0)
+    source = count.add_mutually_exclusive_group()
+    source.add_argument("--edge-list", help="read the graph from this file")
+    source.add_argument("--dataset", help="use a Fig. 6 dataset stand-in")
+    count.add_argument("--dataset-scale", type=float, default=0.05)
+    count.add_argument("--nodes", type=int, default=100,
+                       help="random graph size (when no source is given)")
+    count.add_argument("--avgdeg", type=float, default=8.0)
+    count.add_argument("--show-true", action="store_true",
+                       help="also print the exact count (diagnostic!)")
+
+    fig = sub.add_parser("fig", help="regenerate a figure of the paper")
+    fig.add_argument("name", choices=[
+        "fig1", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "all",
+    ])
+    fig.add_argument("--scale", default=None, help="smoke | default | full")
+    fig.add_argument("--seed", type=int, default=2024)
+
+    audit = sub.add_parser("audit", help="empirical privacy audit")
+    audit.add_argument("--epsilon", type=float, default=1.0)
+    audit.add_argument("--nodes", type=int, default=24)
+    audit.add_argument("--avgdeg", type=float, default=6.0)
+    audit.add_argument("--trials", type=int, default=1500)
+    audit.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list dataset stand-ins")
+    return parser
+
+
+def _cmd_count(args) -> int:
+    from .experiments.mechanisms import parse_query
+    from .graphs import load_dataset, random_graph_with_avg_degree, read_edge_list
+    from . import private_subgraph_count
+
+    if args.edge_list:
+        graph = read_edge_list(args.edge_list)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.dataset_scale)
+    else:
+        graph = random_graph_with_avg_degree(args.nodes, args.avgdeg, rng=args.seed)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    result = private_subgraph_count(
+        graph,
+        parse_query(args.query),
+        privacy=args.privacy,
+        epsilon=args.epsilon,
+        rng=args.seed,
+    )
+    print(f"{args.privacy}-DP {args.query} count (eps={args.epsilon}): "
+          f"{result.answer:.2f}")
+    if args.show_true:
+        print(f"true count: {result.true_answer:.0f} "
+              f"(relative error {result.relative_error:.2%})")
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from .experiments import format_series, format_table, resolve_scale
+
+    scale = resolve_scale(args.scale)
+    name, seed = args.name, args.seed
+    if name == "all":
+        from .experiments.full_report import generate_report
+
+        print(generate_report(scale=scale, rng=seed))
+        return 0
+    if name in ("fig4a", "fig4b", "fig4c"):
+        from .experiments import synthetic
+
+        fn = {
+            "fig4a": synthetic.fig4a_nodes_sweep,
+            "fig4b": synthetic.fig4b_avgdeg_sweep,
+            "fig4c": synthetic.fig4c_epsilon_sweep,
+        }[name]
+        result = fn(scale=scale, rng=seed)
+        (x_name, x_values), = result.pop("_x").items()
+        for query, series in result.items():
+            print(format_series(x_name, x_values, series,
+                                title=f"{name} — {query}"))
+            print()
+    elif name == "fig5":
+        from .experiments.runtime import fig5_runtime_sweep
+
+        for combo, rows in fig5_runtime_sweep(scale=scale, rng=seed).items():
+            print(format_table(rows, ["nodes", "tuples", "mechanism_seconds"],
+                               title=f"fig5 — {combo}"))
+            print()
+    elif name == "fig6":
+        from .experiments.real_graphs import fig6_dataset_table
+
+        print(format_table(
+            fig6_dataset_table(scale=scale, rng=seed),
+            ["dataset", "V", "E", "triangles", "node_seconds", "edge_seconds"],
+            title="fig6",
+        ))
+    elif name == "fig7":
+        from .experiments.real_graphs import fig7_accuracy_table
+
+        print(format_table(
+            fig7_accuracy_table(scale=scale, rng=seed),
+            ["dataset", "recursive-node", "recursive-edge",
+             "local-sensitivity", "rhms"],
+            title="fig7",
+        ))
+    elif name in ("fig8", "fig9"):
+        from .experiments.krelations import fig8_clause_sweep, fig9_size_sweep
+
+        sweep = fig8_clause_sweep if name == "fig8" else fig9_size_sweep
+        for kind, rows in sweep(scale=scale, rng=seed).items():
+            print(format_table(
+                rows,
+                ["clauses" if name == "fig8" else "size",
+                 "median_relative_error", "us_reference", "seconds"],
+                title=f"{name} — 3-{kind.upper()}",
+            ))
+            print()
+    elif name == "fig1":
+        from .experiments.comparison import fig1_comparison_table
+
+        print(format_table(
+            fig1_comparison_table(scale=scale, rng=seed),
+            ["query", "mechanism", "privacy", "median_relative_error", "seconds"],
+            title="fig1",
+        ))
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from .core.params import RecursiveMechanismParams
+    from .experiments.privacy_audit import audit_krelation_withdrawal
+    from .graphs import random_graph_with_avg_degree
+    from .subgraphs import subgraph_krelation, triangle
+
+    graph = random_graph_with_avg_degree(args.nodes, args.avgdeg, rng=args.seed)
+    relation = subgraph_krelation(graph, triangle(), privacy="node")
+    params = RecursiveMechanismParams.paper(args.epsilon, node_privacy=True)
+    report = audit_krelation_withdrawal(
+        relation, params, trials=args.trials, rng=args.seed
+    )
+    print(f"claimed epsilon:   {report.claimed_epsilon:.3f}")
+    print(f"empirical epsilon: {report.empirical_epsilon:.3f} "
+          f"({report.trials} trials, {report.bins} bins)")
+    print(f"verdict:           {'PASS' if report.passed else 'FAIL'}")
+    return 0 if report.passed else 1
+
+
+def _cmd_datasets(_args) -> int:
+    from .experiments import format_table
+    from .graphs import DATASETS
+
+    rows = [
+        {
+            "dataset": spec.name,
+            "paper_V": spec.num_nodes,
+            "paper_E": spec.num_edges,
+            "paper_triangles": spec.paper_triangles,
+            "family": spec.family,
+        }
+        for spec in DATASETS.values()
+    ]
+    print(format_table(
+        rows, ["dataset", "paper_V", "paper_E", "paper_triangles", "family"],
+        title="Fig. 6 dataset stand-ins (synthetic; see DESIGN.md §4)",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "count": _cmd_count,
+        "fig": _cmd_fig,
+        "audit": _cmd_audit,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

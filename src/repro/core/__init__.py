@@ -1,0 +1,61 @@
+"""The recursive mechanism — the paper's primary contribution.
+
+Layering:
+
+* :mod:`~repro.core.sensitive` — the sensitive database/relation models
+  (Def. 5–7, 13–14): participants plus a content map over participant
+  subsets, and the K-relation specialization.
+* :mod:`~repro.core.queries` — monotonic real-valued queries and
+  nonnegative linear queries (Def. 8, 11, 12).
+* :mod:`~repro.core.sensitivity` — empirical sensitivity notions
+  (Def. 9, 10, 15, 16): local, global, impact, universal.
+* :mod:`~repro.core.params` — mechanism parameters and the Theorem-1
+  error bound.
+* :mod:`~repro.core.framework` — the three-step mechanism skeleton
+  (Δ of Eq. 11, Δ̂, X of Eq. 12, X̂) shared by both implementations.
+* :mod:`~repro.core.general` — the general but inefficient implementation
+  (Sec. 4.2; exponential in ``|P|``, used on small instances and as the
+  test oracle).
+* :mod:`~repro.core.efficient` — the efficient implementation for linear
+  queries on sensitive K-relations (Sec. 5; polynomial via LP).
+"""
+
+from .efficient import EfficientRecursiveMechanism, private_linear_query
+from .framework import MechanismResult, RecursiveMechanismBase
+from .general import GeneralRecursiveMechanism
+from .params import RecursiveMechanismParams, theorem1_error_bound
+from .queries import CountQuery, LinearQuery, SumQuery, WeightedQuery
+from .sensitive import (
+    SensitiveDatabase,
+    SensitiveKRelation,
+    are_neighboring_databases,
+    are_neighboring_krelations,
+)
+from .sensitivity import (
+    global_empirical_sensitivity,
+    impact,
+    local_empirical_sensitivity,
+    universal_empirical_sensitivity,
+)
+
+__all__ = [
+    "SensitiveDatabase",
+    "SensitiveKRelation",
+    "are_neighboring_databases",
+    "are_neighboring_krelations",
+    "LinearQuery",
+    "CountQuery",
+    "SumQuery",
+    "WeightedQuery",
+    "local_empirical_sensitivity",
+    "global_empirical_sensitivity",
+    "impact",
+    "universal_empirical_sensitivity",
+    "RecursiveMechanismParams",
+    "theorem1_error_bound",
+    "MechanismResult",
+    "RecursiveMechanismBase",
+    "GeneralRecursiveMechanism",
+    "EfficientRecursiveMechanism",
+    "private_linear_query",
+]

@@ -1,0 +1,110 @@
+"""Sequential-composition privacy budget accounting.
+
+Differential privacy composes additively over sequential releases on the
+same database: running an ε₁-DP and then an ε₂-DP mechanism is
+(ε₁+ε₂)-DP.  :class:`PrivacyAccountant` tracks a total budget and gates
+mechanism runs on it, so a workload of several statistics (e.g. triangle,
+2-star and 2-triangle counts of the same graph) carries an explicit global
+guarantee.
+
+The recursive mechanism itself is internally a sequential composition of
+its Δ̂ release (ε₁) and X̂ release (ε₂); the accountant charges the total
+``params.epsilon`` per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import PrivacyParameterError
+from ..rng import RngLike
+from .framework import MechanismResult, RecursiveMechanismBase
+from .params import RecursiveMechanismParams
+
+__all__ = ["PrivacyAccountant", "BudgetExceededError"]
+
+
+class BudgetExceededError(PrivacyParameterError):
+    """Raised when a release would exceed the remaining privacy budget."""
+
+
+@dataclass
+class PrivacyAccountant:
+    """A simple sequential-composition (pure ε) accountant.
+
+    >>> accountant = PrivacyAccountant(total_epsilon=1.0)
+    >>> accountant.charge(0.4, label="triangles")
+    >>> accountant.remaining
+    0.6
+    """
+
+    total_epsilon: float
+    total_delta: float = 0.0
+    _spent_epsilon: float = field(default=0.0, init=False)
+    _spent_delta: float = field(default=0.0, init=False)
+    _ledger: List[Tuple[str, float, float]] = field(default_factory=list, init=False)
+
+    def __post_init__(self):
+        if self.total_epsilon <= 0:
+            raise PrivacyParameterError(
+                f"total epsilon must be positive, got {self.total_epsilon}"
+            )
+        if self.total_delta < 0:
+            raise PrivacyParameterError(
+                f"total delta must be nonnegative, got {self.total_delta}"
+            )
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def spent(self) -> float:
+        return self._spent_epsilon
+
+    @property
+    def remaining(self) -> float:
+        return self.total_epsilon - self._spent_epsilon
+
+    @property
+    def ledger(self) -> List[Tuple[str, float, float]]:
+        """``(label, epsilon, delta)`` per charged release."""
+        return list(self._ledger)
+
+    def can_afford(self, epsilon: float, delta: float = 0.0) -> bool:
+        """Whether a further ``(ε, δ)`` release fits the remaining budget."""
+        return (
+            self._spent_epsilon + epsilon <= self.total_epsilon + 1e-12
+            and self._spent_delta + delta <= self.total_delta + 1e-12
+        )
+
+    def charge(self, epsilon: float, delta: float = 0.0, label: str = "release") -> None:
+        """Record a release; raises :class:`BudgetExceededError` if over."""
+        if epsilon <= 0:
+            raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
+        if not self.can_afford(epsilon, delta):
+            raise BudgetExceededError(
+                f"release {label!r} (eps={epsilon}, delta={delta}) exceeds the "
+                f"remaining budget (eps={self.remaining:.6g}, "
+                f"delta={self.total_delta - self._spent_delta:.6g})"
+            )
+        self._spent_epsilon += epsilon
+        self._spent_delta += delta
+        self._ledger.append((label, epsilon, delta))
+
+    # -- gated mechanism execution -----------------------------------------------
+    def run(
+        self,
+        mechanism: RecursiveMechanismBase,
+        params: RecursiveMechanismParams,
+        rng: RngLike = None,
+        label: str = "recursive-mechanism",
+    ) -> MechanismResult:
+        """Charge ``params.epsilon`` and run the mechanism (atomic: the
+        budget is only charged if the run succeeds)."""
+        if not self.can_afford(params.epsilon):
+            raise BudgetExceededError(
+                f"release {label!r} needs eps={params.epsilon} but only "
+                f"{self.remaining:.6g} remains"
+            )
+        result = mechanism.run(params, rng)
+        self.charge(params.epsilon, label=label)
+        return result

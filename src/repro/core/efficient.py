@@ -1,0 +1,173 @@
+"""The efficient recursive mechanism for sensitive K-relations (Sec. 5).
+
+``H_i`` (Eq. 16) and the 2-bounding ``G_i`` (Eq. 19) are evaluated as linear
+programs over the φ-epigraph encoding (:mod:`repro.relax.encode`).  The
+Δ search touches ``O(log(ln G/β))`` G-entries (Sec. 5.3); the X step solves
+the continuous relaxation Eq. 20 as a single LP and then uses convexity of
+``H`` (Lemma 10) to restrict the integer argmin to ``{⌊i'⌋, ⌈i'⌉}``.
+
+Overall cost is a polynomial of the total annotation length ``L`` — this is
+the mechanism that makes node-differentially-private subgraph counting
+practical (Theorem 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..errors import MechanismError
+from ..relax.encode import EncodedRelation
+from ..rng import RngLike
+from .framework import MechanismResult, RecursiveMechanismBase
+from .params import RecursiveMechanismParams
+from .queries import CountQuery, LinearQuery
+from .sensitive import SensitiveKRelation
+
+__all__ = ["EfficientRecursiveMechanism", "private_linear_query"]
+
+
+class EfficientRecursiveMechanism(RecursiveMechanismBase):
+    """LP-based recursive mechanism for a nonnegative linear query.
+
+    Parameters
+    ----------
+    relation:
+        The sensitive K-relation ``(P, R)``.
+    query:
+        The nonnegative per-tuple weight ``q+`` (default: counting).
+    backend:
+        LP backend; defaults to SciPy/HiGHS.
+    normalize:
+        If True, rewrite all annotations to canonical minimal DNF before
+        encoding (guarantees ``S ≤ 1`` and safe annotations for hand-built
+        relations; algebra-produced annotations are already safe, and for
+        subgraph-counting relations they are already DNF).
+    bounding:
+        Which bounding sequence to use for the Δ computation:
+
+        * ``"paper"`` — Eq. 19 exactly.  **Erratum** (DESIGN.md §6): for
+          annotations containing disjunctions this sequence can violate
+          Def. 17, inflating the effective ε1 by a data-dependent factor;
+          for conjunctive annotations (all subgraph counting) it is sound
+          and much tighter.
+        * ``"uniform"`` — the sound ``Ĝ_i = 2·S̄·H_i`` sequence: valid for
+          arbitrary annotations, looser on conjunctive ones.
+        * ``"auto"`` (default) — ``"paper"`` when every annotation is a
+          conjunction of variables, ``"uniform"`` otherwise.
+    """
+
+    def __init__(
+        self,
+        relation: SensitiveKRelation,
+        query: Optional[LinearQuery] = None,
+        backend=None,
+        normalize: bool = False,
+        bounding: str = "auto",
+        s_bar=None,
+    ):
+        super().__init__()
+        if bounding not in ("paper", "uniform", "auto"):
+            raise MechanismError(
+                f"bounding must be 'paper', 'uniform' or 'auto', got {bounding!r}"
+            )
+        if normalize:
+            relation = relation.normalized()
+        self.relation = relation
+        self.query = query or CountQuery()
+        annotated = [
+            (annotation, self.query(tup)) for tup, annotation in relation.items()
+        ]
+        if backend is None:
+            from ..lp import DEFAULT_BACKEND
+
+            backend = DEFAULT_BACKEND
+        self._encoded = EncodedRelation(
+            sorted(relation.participants), annotated, backend
+        )
+        if bounding == "auto":
+            from ..boolexpr.transform import is_conjunction_of_vars
+
+            bounding = (
+                "paper"
+                if all(
+                    is_conjunction_of_vars(annotation)
+                    for _, annotation in relation.items()
+                )
+                else "uniform"
+            )
+        self.bounding = bounding
+        #: query-level φ-sensitivity cap for the "uniform" bounding mode;
+        #: falls back to the max over the current annotations (see
+        #: EncodedRelation.solve_g_uniform for the neighbor-consistency
+        #: caveat — pass the query-derived constant for strict ε-DP).
+        self.s_bar = s_bar
+
+    # -- framework plumbing -------------------------------------------------------
+    @property
+    def num_participants(self) -> int:
+        return self._encoded.num_participants
+
+    def _h_entry(self, i: int) -> float:
+        return self._encoded.solve_h(i)
+
+    def _g_entry(self, i: int) -> float:
+        if self.bounding == "uniform":
+            return self._encoded.solve_g_uniform(i, s_bar=self.s_bar)
+        return self._encoded.solve_g(i)
+
+    def true_answer(self) -> float:
+        """``q(supp(R)) = H_{|P|}`` (Theorem 3) without solving an LP."""
+        return self._encoded.true_answer()
+
+    def _compute_x(self, delta_hat: float) -> Tuple[float, float]:
+        """Eq. 12 via Eq. 20: one LP plus at most two cached H-entries."""
+        n = self.num_participants
+        relaxed_value, i_prime = self._encoded.solve_x_relaxation(delta_hat)
+        candidates = sorted(
+            {
+                max(0, min(n, int(math.floor(i_prime)))),
+                max(0, min(n, int(math.ceil(i_prime)))),
+                max(0, min(n, int(round(i_prime)))),
+            }
+        )
+        best_value = math.inf
+        best_index = float(candidates[0])
+        for i in candidates:
+            value = self.h_entry(i) + (n - i) * delta_hat
+            if value < best_value:
+                best_value = value
+                best_index = float(i)
+        # The integer optimum can never beat the continuous relaxation.
+        if best_value < relaxed_value - 1e-6 * max(1.0, abs(relaxed_value)):
+            raise MechanismError(
+                "convexity violation in X computation: integer value "
+                f"{best_value} below relaxed value {relaxed_value}"
+            )
+        return best_value, best_index
+
+    # -- diagnostics ---------------------------------------------------------------
+    @property
+    def lp_size(self) -> int:
+        """Number of LP variables in the encoding (``O(L)``, Sec. 5.3)."""
+        return self._encoded.num_lp_variables
+
+
+def private_linear_query(
+    relation: SensitiveKRelation,
+    epsilon: float,
+    query: Optional[LinearQuery] = None,
+    node_privacy: bool = False,
+    rng: RngLike = None,
+    backend=None,
+    params: Optional[RecursiveMechanismParams] = None,
+) -> MechanismResult:
+    """One-call convenience wrapper: build the mechanism and run it once.
+
+    Uses the paper's experimental parameter settings
+    (:meth:`RecursiveMechanismParams.paper`) unless ``params`` is given.
+    """
+    if params is None:
+        params = RecursiveMechanismParams.paper(epsilon, node_privacy=node_privacy)
+    mechanism = EfficientRecursiveMechanism(relation, query=query, backend=backend)
+    return mechanism.run(params, rng)

@@ -1,0 +1,137 @@
+"""The general but inefficient implementation (Sec. 4.2).
+
+For an arbitrary monotonic query ``q`` on an arbitrary sensitive database,
+Eq. 13–14 define::
+
+    H_i = min_{|P'| = i} q(M(P'))
+    G_i = min_{|P'| = i} ~GS_q(P', M)
+
+Theorem 2 shows ``H`` is a recursive sequence and ``G`` a (1-)bounding
+sequence, so the framework releases an answer with error roughly
+proportional to the *global empirical sensitivity* ``~GS_q(P, M)``.
+
+The computation enumerates all participant subsets — ``O(2^|P|)`` query
+evaluations — so this implementation is only usable for small ``P``.  It
+exists (as in the paper) as the fully general mechanism and doubles as the
+exact oracle against which the efficient LP implementation is tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Optional
+
+from ..errors import SensitiveModelError
+from .framework import RecursiveMechanismBase
+from .sensitive import SensitiveDatabase
+
+__all__ = ["GeneralRecursiveMechanism"]
+
+#: hard cap on exact subset enumeration
+MAX_PARTICIPANTS = 18
+
+
+class GeneralRecursiveMechanism(RecursiveMechanismBase):
+    """Eq. 13–14 by exhaustive subset enumeration.
+
+    Parameters
+    ----------
+    database:
+        The sensitive database ``(P, M)``.
+    query:
+        A monotonic real-valued query on database contents: ``q(M(P'))``
+        must be 0 at ``M(∅)`` and nondecreasing along the ancestor order.
+        Monotonicity is *checked* on the enumerated lattice (cheap here,
+        since every subset is visited anyway) and violations raise.
+    check_monotone:
+        Set False to skip the lattice monotonicity check.
+    """
+
+    def __init__(
+        self,
+        database: SensitiveDatabase,
+        query: Callable[[object], float],
+        check_monotone: bool = True,
+    ):
+        super().__init__()
+        self.database = database
+        self.query = query
+        participants = sorted(database.participants)
+        if len(participants) > MAX_PARTICIPANTS:
+            raise SensitiveModelError(
+                f"general mechanism enumerates 2^|P| subsets; |P|="
+                f"{len(participants)} exceeds the cap {MAX_PARTICIPANTS}"
+            )
+        self._participants = participants
+
+        # q(M(P')) for every subset
+        self._value: Dict[FrozenSet[str], float] = {}
+        for r in range(len(participants) + 1):
+            for combo in itertools.combinations(participants, r):
+                subset = frozenset(combo)
+                self._value[subset] = float(query(database.content(subset)))
+
+        empty_value = self._value[frozenset()]
+        if check_monotone and empty_value != 0.0:
+            raise SensitiveModelError(
+                f"query is not monotonic: q(M(∅)) = {empty_value} != 0"
+            )
+
+        # ~LS at every subset, and ~GS by lattice dynamic programming:
+        # gs[S] = max(ls[S], max_p gs[S - {p}])
+        self._ls: Dict[FrozenSet[str], float] = {}
+        self._gs: Dict[FrozenSet[str], float] = {}
+        for r in range(len(participants) + 1):
+            for combo in itertools.combinations(participants, r):
+                subset = frozenset(combo)
+                base = self._value[subset]
+                ls = 0.0
+                gs = 0.0
+                for p in subset:
+                    smaller = subset - {p}
+                    drop = base - self._value[smaller]
+                    if check_monotone and drop < -1e-12:
+                        raise SensitiveModelError(
+                            f"query is not monotonic: q decreases when "
+                            f"{p!r} joins {sorted(smaller)}"
+                        )
+                    ls = max(ls, abs(drop))
+                    gs = max(gs, self._gs[smaller])
+                self._ls[subset] = ls
+                self._gs[subset] = max(ls, gs)
+
+        # H_i / G_i per level
+        n = len(participants)
+        self._h_levels = [float("inf")] * (n + 1)
+        self._g_levels = [float("inf")] * (n + 1)
+        for subset, value in self._value.items():
+            level = len(subset)
+            self._h_levels[level] = min(self._h_levels[level], value)
+            self._g_levels[level] = min(self._g_levels[level], self._gs[subset])
+
+    # -- framework plumbing -----------------------------------------------------
+    @property
+    def num_participants(self) -> int:
+        return len(self._participants)
+
+    def _h_entry(self, i: int) -> float:
+        return self._h_levels[i]
+
+    def _g_entry(self, i: int) -> float:
+        return self._g_levels[i]
+
+    def true_answer(self) -> Optional[float]:
+        return self._value[frozenset(self._participants)]
+
+    # -- exposed exact quantities (test oracle) -------------------------------------
+    def h_sequence(self) -> list:
+        """All ``H_0..H_{|P|}`` (Eq. 13)."""
+        return list(self._h_levels)
+
+    def g_sequence(self) -> list:
+        """All ``G_0..G_{|P|}`` (Eq. 14)."""
+        return list(self._g_levels)
+
+    def global_empirical_sensitivity(self) -> float:
+        """``~GS_q(P, M) = G_{|P|}``."""
+        return self._g_levels[-1]

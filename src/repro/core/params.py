@@ -1,0 +1,129 @@
+"""Mechanism parameters and the Theorem-1 accuracy bound.
+
+The recursive mechanism spends its privacy budget in two parts:
+``ε1`` on releasing the noisy bound ``Δ̂`` and ``ε2`` on releasing the noisy
+answer ``X̂`` (total ``ε1 + ε2``).  The remaining knobs:
+
+* ``β`` — the grid step of Eq. 11 (``ln Δ`` has global sensitivity ≤ β,
+  Lemma 1);
+* ``θ`` — the floor of the Δ grid;
+* ``μ`` — the upward bias applied to Δ̂ so that ``Δ̂ ≥ Δ`` except with
+  probability ``e^{-μ ε1/β}/2`` (Lemma 6);
+* ``g`` — the bounding-sequence slack (1 for the general implementation,
+  2 for the efficient one, Thm. 4).
+
+The paper's experiments use ``θ = 1``, ``β = ε/5``, ``μ = 0.5`` (edge
+privacy) or ``μ = 1`` (node privacy); :meth:`RecursiveMechanismParams.paper`
+reproduces those choices with an even ``ε1 = ε2 = ε/2`` split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PrivacyParameterError
+
+__all__ = [
+    "RecursiveMechanismParams",
+    "theorem1_error_bound",
+    "group_privacy_epsilon",
+]
+
+
+@dataclass(frozen=True)
+class RecursiveMechanismParams:
+    """Immutable parameter bundle for the recursive mechanism."""
+
+    epsilon1: float
+    epsilon2: float
+    beta: float
+    theta: float = 1.0
+    mu: float = 0.5
+    g: int = 1
+
+    def __post_init__(self):
+        if self.epsilon1 <= 0 or self.epsilon2 <= 0:
+            raise PrivacyParameterError(
+                f"epsilon1 and epsilon2 must be positive, got "
+                f"{self.epsilon1}, {self.epsilon2}"
+            )
+        if self.beta <= 0:
+            raise PrivacyParameterError(f"beta must be positive, got {self.beta}")
+        if self.theta <= 0:
+            raise PrivacyParameterError(f"theta must be positive, got {self.theta}")
+        if self.mu <= 0:
+            raise PrivacyParameterError(f"mu must be positive, got {self.mu}")
+        if self.g < 1:
+            raise PrivacyParameterError(f"g must be >= 1, got {self.g}")
+
+    @property
+    def epsilon(self) -> float:
+        """The total privacy budget ``ε = ε1 + ε2``."""
+        return self.epsilon1 + self.epsilon2
+
+    @classmethod
+    def paper(
+        cls,
+        epsilon: float,
+        node_privacy: bool = False,
+        g: int = 2,
+        split: float = 0.5,
+    ) -> "RecursiveMechanismParams":
+        """The experimental settings of Sec. 6.
+
+        ``θ = 1``, ``β = ε/5``, ``μ = 1`` for node privacy else ``0.5``;
+        ``ε`` is split ``split : 1-split`` between ε1 and ε2.
+        """
+        if epsilon <= 0:
+            raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")
+        if not 0 < split < 1:
+            raise PrivacyParameterError(f"split must be in (0,1), got {split}")
+        return cls(
+            epsilon1=split * epsilon,
+            epsilon2=(1.0 - split) * epsilon,
+            beta=epsilon / 5.0,
+            theta=1.0,
+            mu=1.0 if node_privacy else 0.5,
+            g=g,
+        )
+
+    def failure_probability(self, c: float) -> float:
+        """Theorem 1's failure probability ``e^{-μ ε1/β} + e^{-c}``."""
+        return math.exp(-self.mu * self.epsilon1 / self.beta) + math.exp(-c)
+
+
+def group_privacy_epsilon(params: RecursiveMechanismParams, group_size: int) -> float:
+    """The guarantee against coordinated withdrawal of ``k`` participants.
+
+    Pure ε-differential privacy degrades linearly under group privacy: an
+    ε-DP mechanism is (k·ε)-DP for groups of ``k`` neighbors (a chain of
+    ``k`` single withdrawals).  Useful when one real-world entity
+    contributes several participants (e.g. one person controlling several
+    accounts = several graph nodes).
+    """
+    if group_size < 1:
+        raise PrivacyParameterError(f"group size must be >= 1, got {group_size}")
+    return group_size * params.epsilon
+
+
+def theorem1_error_bound(
+    params: RecursiveMechanismParams, g_final: float, c: float = 3.0
+) -> float:
+    """The Theorem-1 error bound for a database with ``G_{|P|} = g_final``.
+
+    With probability at least ``1 - e^{-μ ε1/β} - e^{-c}`` the mechanism's
+    error is at most::
+
+        e^{2μ} Δ* c / ε2  +  g ⌈ln(Δ*/θ)/β⌉ G_{|P|}
+
+    where ``Δ* = max(θ, e^β G_{|P|})``.
+    """
+    if c <= 0:
+        raise PrivacyParameterError(f"c must be positive, got {c}")
+    delta_star = max(params.theta, math.exp(params.beta) * g_final)
+    log_term = math.ceil(math.log(delta_star / params.theta) / params.beta) if delta_star > params.theta else 0
+    return (
+        math.exp(2 * params.mu) * delta_star * c / params.epsilon2
+        + params.g * log_term * g_final
+    )

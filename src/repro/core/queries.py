@@ -1,0 +1,93 @@
+"""Query objects: monotonic queries and nonnegative linear queries.
+
+A *linear query* ``q = q+ ∘ q*`` (Def. 11) first derives a finite tuple set
+from the database and then sums a nonnegative per-tuple weight ``q+``
+(Def. 12).  In this package the derivation step lives in the sensitive
+K-relation (its annotations already describe ``q*`` applied to every world),
+so a :class:`LinearQuery` is just the weight function.
+
+Weights must be nonnegative; a signed linear function should be decomposed
+as ``q+ = max(0, q+) - max(0, -q+)`` and each part answered separately
+(Sec. 3.2) — :func:`decompose_signed` does this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from ..errors import MechanismError
+
+__all__ = ["LinearQuery", "CountQuery", "SumQuery", "WeightedQuery", "decompose_signed"]
+
+
+class LinearQuery:
+    """A nonnegative per-tuple weight ``q+``.
+
+    Subclasses implement :meth:`weight`; the base class adds the summed
+    evaluation over tuple collections and validation.
+    """
+
+    def weight(self, tup) -> float:
+        """The raw (unvalidated) weight ``q+(t)``."""
+        raise NotImplementedError
+
+    def __call__(self, tup) -> float:
+        value = float(self.weight(tup))
+        if value < 0:
+            raise MechanismError(
+                f"linear query produced negative weight {value} for {tup!r}; "
+                "decompose signed queries with decompose_signed()"
+            )
+        return value
+
+    def total(self, tuples) -> float:
+        """``q+(T) = Σ_{t∈T} q+(t)``."""
+        return float(sum(self(tup) for tup in tuples))
+
+
+class CountQuery(LinearQuery):
+    """``q(t) = 1`` — the counting query (e.g. subgraph counting)."""
+
+    def weight(self, tup) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "CountQuery()"
+
+
+class WeightedQuery(LinearQuery):
+    """An arbitrary nonnegative weight given by a Python callable."""
+
+    def __init__(self, fn: Callable[[object], float], name: str = "weighted"):
+        self._fn = fn
+        self.name = name
+
+    def weight(self, tup) -> float:
+        return float(self._fn(tup))
+
+    def __repr__(self) -> str:
+        return f"WeightedQuery({self.name})"
+
+
+class SumQuery(LinearQuery):
+    """Sum of a nonnegative numeric attribute of relational tuples."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+
+    def weight(self, tup) -> float:
+        return float(tup[self.attribute])
+
+    def __repr__(self) -> str:
+        return f"SumQuery({self.attribute!r})"
+
+
+def decompose_signed(fn: Callable[[object], float]) -> Tuple[LinearQuery, LinearQuery]:
+    """Split a signed weight into its positive and negative parts.
+
+    Returns ``(q_pos, q_neg)`` with ``fn(t) = q_pos(t) - q_neg(t)`` and both
+    parts nonnegative; answer each with its own privacy budget and subtract.
+    """
+    positive = WeightedQuery(lambda t: max(0.0, float(fn(t))), name="positive-part")
+    negative = WeightedQuery(lambda t: max(0.0, -float(fn(t))), name="negative-part")
+    return positive, negative

@@ -1,0 +1,312 @@
+"""Sensitive databases and sensitive K-relations (Def. 5–7, 13–14).
+
+A *sensitive database* is a pair ``(P, M)``: a finite participant set and a
+content map ``M : 2^P → D`` describing what the database would contain for
+every participant subset.  Two sensitive databases are *neighboring* when one
+is obtained from the other by a single participant withdrawing (Def. 6), and
+``(P1, M1) ⪯ (P2, M2)`` (*ancestor*, Def. 7) when ``P1 ⊆ P2`` and the
+content maps agree on subsets of ``P1``.
+
+A *sensitive K-relation* ``(P, R)`` specializes the content map to a
+provenance-annotated relation: each tuple carries a positive Boolean
+expression over ``P`` giving its condition of presence.  Neighboring for
+K-relations (Def. 14) compares annotations up to φ-equivalence after the
+``p → False`` substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebra.krelation import KRelation
+from ..algebra.semiring import PROVENANCE
+from ..algebra.tuples import Tup
+from ..boolexpr.expr import FALSE, TRUE, Expr
+from ..boolexpr.transform import minimal_dnf, restrict
+from ..errors import AnnotationError, SensitiveModelError
+from ..relax.phi import phi_equivalent
+
+__all__ = [
+    "SensitiveDatabase",
+    "SensitiveKRelation",
+    "are_neighboring_databases",
+    "are_neighboring_krelations",
+]
+
+
+class SensitiveDatabase:
+    """The general ``(P, M)`` model (Def. 5).
+
+    Parameters
+    ----------
+    participants:
+        The participant identifiers ``P``.
+    content_fn:
+        ``M`` — maps a frozenset ``P' ⊆ P`` to the database content for
+        that subset.  Must be deterministic and defined on every subset.
+
+    The class never materializes all ``2^|P|`` contents; callers (e.g. the
+    general mechanism) decide which subsets to visit.
+    """
+
+    def __init__(self, participants: Iterable[str], content_fn: Callable[[FrozenSet[str]], object]):
+        self.participants: FrozenSet[str] = frozenset(participants)
+        self._content_fn = content_fn
+
+    def content(self, subset: Optional[Iterable[str]] = None):
+        """``M(P')``; defaults to the full participant set."""
+        if subset is None:
+            subset = self.participants
+        subset = frozenset(subset)
+        extra = subset - self.participants
+        if extra:
+            raise SensitiveModelError(f"unknown participants {sorted(extra)}")
+        return self._content_fn(subset)
+
+    def restrict(self, subset: Iterable[str]) -> "SensitiveDatabase":
+        """The ancestor ``(P', M|P')`` for ``P' ⊆ P`` (Def. 7)."""
+        subset = frozenset(subset)
+        extra = subset - self.participants
+        if extra:
+            raise SensitiveModelError(f"unknown participants {sorted(extra)}")
+        return SensitiveDatabase(subset, self._content_fn)
+
+    def without(self, participant: str) -> "SensitiveDatabase":
+        """The neighbor where ``participant`` withdraws (Def. 6)."""
+        if participant not in self.participants:
+            raise SensitiveModelError(f"{participant!r} is not a participant")
+        return self.restrict(self.participants - {participant})
+
+    def __len__(self) -> int:
+        return len(self.participants)
+
+    def __repr__(self) -> str:
+        return f"SensitiveDatabase(|P|={len(self.participants)})"
+
+
+def are_neighboring_databases(d1: SensitiveDatabase, d2: SensitiveDatabase, subsets_to_check: int = 64) -> bool:
+    """Check Def. 6 (probabilistically for large ``P``).
+
+    Verifies the symmetric difference of participant sets has size one and
+    that the content maps agree on subsets of the intersection.  For small
+    intersections all subsets are checked; otherwise a deterministic sample
+    of ``subsets_to_check`` subsets (all singletons plus prefixes) is used.
+    """
+    p1, p2 = d1.participants, d2.participants
+    if len(p1 - p2) + len(p2 - p1) != 1:
+        return False
+    shared = p1 & p2
+    ordered = sorted(shared)
+    candidates: List[FrozenSet[str]] = [frozenset()]
+    if len(ordered) <= 6:
+        import itertools
+
+        for r in range(1, len(ordered) + 1):
+            candidates.extend(frozenset(c) for c in itertools.combinations(ordered, r))
+    else:
+        candidates.extend(frozenset((p,)) for p in ordered)
+        for cut in range(1, min(len(ordered), subsets_to_check)):
+            candidates.append(frozenset(ordered[:cut]))
+        candidates.append(frozenset(ordered))
+    return all(d1.content(s) == d2.content(s) for s in candidates)
+
+
+class SensitiveKRelation:
+    """A sensitive relation represented as a c-table / K-relation (Sec. 3.2).
+
+    Parameters
+    ----------
+    participants:
+        All participants ``P`` — a superset of the variables appearing in
+        the annotations (participants contributing no tuple are legal and
+        affect the mechanism's ``H_i``/``G_i`` indices).
+    relation:
+        Either a provenance-semiring :class:`~repro.algebra.KRelation` or an
+        iterable of ``(tuple, annotation)`` pairs.  ``tuple`` may be any
+        hashable value when not using the relational layer.
+    validate:
+        When True (default), enforce the model invariants: annotations are
+        positive expressions over ``P``; no tuple is annotated ``TRUE``
+        (such a tuple would be present in ``M(∅)``, violating the
+        monotonic-query requirement ``q(D0) = 0``); ``FALSE`` annotations
+        are dropped (zero of the semiring).
+    """
+
+    def __init__(self, participants: Iterable[str], relation, validate: bool = True):
+        self.participants: FrozenSet[str] = frozenset(participants)
+        pairs: List[Tuple[object, Expr]] = []
+        if isinstance(relation, KRelation):
+            items: Iterable[Tuple[object, Expr]] = relation.items()
+        else:
+            items = relation
+        for tup, annotation in items:
+            if not isinstance(annotation, Expr):
+                raise AnnotationError(
+                    f"annotation for {tup!r} is not a positive Boolean expression"
+                )
+            if annotation == FALSE:
+                continue
+            if validate:
+                if annotation == TRUE:
+                    raise AnnotationError(
+                        f"tuple {tup!r} is annotated TRUE: it would be present "
+                        "with zero participants, violating q(D0) = 0"
+                    )
+                extra = annotation.variables() - self.participants
+                if extra:
+                    raise AnnotationError(
+                        f"annotation of {tup!r} references non-participants {sorted(extra)}"
+                    )
+            pairs.append((tup, annotation))
+        self._pairs: Tuple[Tuple[object, Expr], ...] = tuple(pairs)
+
+    @classmethod
+    def from_query(
+        cls,
+        query,
+        tables,
+        participants: Iterable[str],
+        normalize: bool = True,
+    ) -> "SensitiveKRelation":
+        """Evaluate a positive RA query and wrap its output table.
+
+        Parameters
+        ----------
+        query:
+            A :class:`repro.algebra.Query` over provenance-annotated base
+            tables.
+        tables:
+            ``name -> KRelation`` base-table assignment (provenance
+            semiring; annotations over ``participants``).
+        participants:
+            The full participant set ``P``.
+        normalize:
+            Rewrite output annotations to canonical minimal DNF (the
+            paper's safe-annotation discipline, ``S ≤ 1``); set False to
+            keep the raw algebra provenance (still safe, possibly with
+            repeated variables from self-joins and hence larger
+            φ-sensitivity).
+
+        This is the "SQL query → differentially private aggregate"
+        pipeline of Sec. 1 in one call::
+
+            relation = SensitiveKRelation.from_query(query, {"E": edges}, P)
+            result = private_linear_query(relation, epsilon=1.0,
+                                          node_privacy=True)
+        """
+        output = query.evaluate(tables)
+        relation = cls(participants, output)
+        if normalize:
+            relation = relation.normalized()
+        return relation
+
+    # -- basic views ---------------------------------------------------------
+    def items(self) -> Tuple[Tuple[object, Expr], ...]:
+        """The ``(tuple, annotation)`` pairs of the support."""
+        return self._pairs
+
+    def support(self) -> Tuple[object, ...]:
+        """``supp(R)`` — the tuples, in insertion order."""
+        return tuple(tup for tup, _ in self._pairs)
+
+    def annotations(self) -> Tuple[Expr, ...]:
+        """The annotations, aligned with :meth:`support`."""
+        return tuple(annotation for _, annotation in self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def num_participants(self) -> int:
+        return len(self.participants)
+
+    def total_annotation_length(self) -> int:
+        """``L`` — total length of all annotations (Sec. 5.3)."""
+        return sum(annotation.leaf_count() for _, annotation in self._pairs)
+
+    # -- worlds ---------------------------------------------------------------
+    def world(self, subset: Iterable[str]) -> FrozenSet[object]:
+        """``M(P')``: the tuples present when only ``subset`` participates."""
+        subset = frozenset(subset)
+        extra = subset - self.participants
+        if extra:
+            raise SensitiveModelError(f"unknown participants {sorted(extra)}")
+        assignment = {p: True for p in subset}
+        return frozenset(
+            tup for tup, annotation in self._pairs if annotation.evaluate(assignment)
+        )
+
+    def as_sensitive_database(self) -> SensitiveDatabase:
+        """View as a general sensitive database mapping subsets to worlds."""
+        return SensitiveDatabase(self.participants, self.world)
+
+    # -- restriction (participant withdrawal) ------------------------------------
+    def withdraw(self, *names: str) -> "SensitiveKRelation":
+        """The neighbor/ancestor where ``names`` withdraw their data.
+
+        Annotations are rewritten by ``k|p→False`` followed by the
+        φ-invariant identity/annihilator folding; tuples whose annotation
+        collapses to ``FALSE`` disappear.  By construction the result is
+        neighboring with ``self`` (Def. 14) when a single name is given.
+        """
+        for name in names:
+            if name not in self.participants:
+                raise SensitiveModelError(f"{name!r} is not a participant")
+        removed = set(names)
+        new_pairs = []
+        for tup, annotation in self._pairs:
+            new_annotation = restrict(annotation, {name: False for name in removed})
+            if new_annotation == FALSE:
+                continue
+            new_pairs.append((tup, new_annotation))
+        return SensitiveKRelation(
+            self.participants - removed, new_pairs, validate=False
+        )
+
+    def normalized(self) -> "SensitiveKRelation":
+        """Rewrite every annotation into canonical minimal DNF.
+
+        This is the paper's "always expand into disjunctive normal form"
+        discipline: the result has φ-sensitivity ``S ≤ 1`` and canonical
+        annotations (truth-table equivalent inputs become identical), at the
+        cost of a possibly exponential expansion for deeply nested CNF-like
+        annotations.
+        """
+        return SensitiveKRelation(
+            self.participants,
+            [(tup, minimal_dnf(annotation)) for tup, annotation in self._pairs],
+            validate=False,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SensitiveKRelation(|P|={len(self.participants)}, "
+            f"|supp(R)|={len(self._pairs)}, L={self.total_annotation_length()})"
+        )
+
+
+def are_neighboring_krelations(
+    r1: SensitiveKRelation, r2: SensitiveKRelation
+) -> bool:
+    """Def. 14: neighboring sensitive K-relations up to φ-equivalence.
+
+    ``(P1, R1)`` and ``(P2, R2)`` with ``P2 = P1 ∪ {p}`` are neighboring if
+    ``R1(t) ~ R2(t)|p→False`` for every tuple, where ``~`` is φ-equivalence
+    (Def. 19).  The check is symmetric in its arguments.
+    """
+    if len(r2.participants - r1.participants) == 1 and r1.participants <= r2.participants:
+        smaller, larger = r1, r2
+    elif len(r1.participants - r2.participants) == 1 and r2.participants <= r1.participants:
+        smaller, larger = r2, r1
+    else:
+        return False
+    (p,) = tuple(larger.participants - smaller.participants)
+    reduced: Dict[object, Expr] = {}
+    for tup, annotation in larger.items():
+        restricted = restrict(annotation, {p: False})
+        if restricted != FALSE:
+            reduced[tup] = restricted
+    small = dict(smaller.items())
+    if set(reduced) != set(small):
+        return False
+    return all(phi_equivalent(reduced[tup], small[tup]) for tup in reduced)

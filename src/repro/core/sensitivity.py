@@ -1,0 +1,138 @@
+"""Empirical sensitivity (Def. 9, 10, 15, 16).
+
+These notions replace global/local sensitivity when a participant's impact
+on the query answer is unbounded over the database class but finite for any
+*actual* database content:
+
+* local empirical sensitivity ``~LS_q(P, M)``: the largest change when one
+  current participant withdraws;
+* global empirical sensitivity ``~GS_q(P, M)``: the maximum of ``~LS`` over
+  all ancestors — the quantity that bounds the general mechanism's error;
+* impact ``impact(p, R)``: the tuples whose annotation changes (up to
+  φ-equivalence) when ``p`` opts out of a K-relation;
+* universal empirical sensitivity ``~US_q(P, R)``: the largest total query
+  weight of any one participant's impact set — the quantity that bounds the
+  efficient mechanism's error.
+
+``~LS ≤ ~GS ≤ GS`` and, for subgraph counting, ``~US = ~GS = ~LS``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, List
+
+from ..boolexpr.expr import FALSE, Expr
+from ..boolexpr.transform import restrict
+from ..errors import SensitiveModelError
+from ..relax.phi import phi_equivalent
+from .queries import LinearQuery
+from .sensitive import SensitiveDatabase, SensitiveKRelation
+
+__all__ = [
+    "local_empirical_sensitivity",
+    "global_empirical_sensitivity",
+    "impact",
+    "universal_empirical_sensitivity",
+]
+
+#: refuse subset enumeration beyond this many participants
+MAX_EXACT_PARTICIPANTS = 20
+
+
+def local_empirical_sensitivity(
+    query: Callable[[object], float], database: SensitiveDatabase
+) -> float:
+    """``~LS_q(P, M) = max_{p∈P} |q(M(P)) - q(M(P-{p}))|`` (Def. 9)."""
+    participants = database.participants
+    if not participants:
+        return 0.0
+    full = float(query(database.content()))
+    best = 0.0
+    for p in participants:
+        reduced = float(query(database.content(participants - {p})))
+        best = max(best, abs(full - reduced))
+    return best
+
+
+def global_empirical_sensitivity(
+    query: Callable[[object], float], database: SensitiveDatabase
+) -> float:
+    """``~GS_q(P, M) = max over ancestors of ~LS`` (Def. 10).
+
+    Enumerates all participant subsets — exponential, guarded at
+    ``MAX_EXACT_PARTICIPANTS`` participants.  This is the test oracle for
+    the bounding sequences; production code paths use the universal
+    empirical sensitivity of the K-relation instead.
+    """
+    participants = sorted(database.participants)
+    if len(participants) > MAX_EXACT_PARTICIPANTS:
+        raise SensitiveModelError(
+            f"exact ~GS enumeration over {len(participants)} participants "
+            f"(limit {MAX_EXACT_PARTICIPANTS}) — use universal empirical "
+            "sensitivity on the K-relation form instead"
+        )
+    value_cache: Dict[FrozenSet[str], float] = {}
+
+    def value(subset: FrozenSet[str]) -> float:
+        if subset not in value_cache:
+            value_cache[subset] = float(query(database.content(subset)))
+        return value_cache[subset]
+
+    best = 0.0
+    for r in range(1, len(participants) + 1):
+        for combo in itertools.combinations(participants, r):
+            subset = frozenset(combo)
+            base = value(subset)
+            for p in subset:
+                best = max(best, abs(base - value(subset - {p})))
+    return best
+
+
+def impact(participant: str, relation: SensitiveKRelation) -> List[object]:
+    """``impact(p, R) = {t : R(t) ≁ R(t)|p→False}`` (Def. 15).
+
+    A tuple whose annotation does not mention ``p`` is never impacted; for
+    the rest, φ-equivalence of ``R(t)`` and ``R(t)|p→False`` is tested
+    (for positive expressions the substitution can only shrink the
+    function, so inequivalence is the common case).
+    """
+    if participant not in relation.participants:
+        raise SensitiveModelError(f"{participant!r} is not a participant")
+    impacted = []
+    for tup, annotation in relation.items():
+        if participant not in annotation.variables():
+            continue
+        reduced = restrict(annotation, {participant: False})
+        if reduced == FALSE or not phi_equivalent(annotation, reduced):
+            impacted.append(tup)
+    return impacted
+
+
+def universal_empirical_sensitivity(
+    query: LinearQuery,
+    relation: SensitiveKRelation,
+    participant: str = None,
+) -> float:
+    """``~US_q`` (Def. 16) for one participant or the max over all.
+
+    ``~US_q(p, R) = Σ_{t ∈ impact(p,R)} q(t)``;
+    ``~US_q(P, R) = max_p ~US_q(p, R)``.
+
+    For the common case (every annotation mentions each of its variables
+    essentially, e.g. DNF), this equals the largest total weight of tuples
+    whose annotation mentions ``p``.
+    """
+    if participant is not None:
+        return float(sum(query(t) for t in impact(participant, relation)))
+    # Group tuples by variable first so each annotation is scanned once.
+    by_var: Dict[str, float] = {}
+    for tup, annotation in relation.items():
+        weight = query(tup)
+        if weight == 0:
+            continue
+        for name in annotation.variables():
+            reduced = restrict(annotation, {name: False})
+            if reduced == FALSE or not phi_equivalent(annotation, reduced):
+                by_var[name] = by_var.get(name, 0.0) + weight
+    return max(by_var.values(), default=0.0)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ExpressionError",
+    "ParseError",
+    "AnnotationError",
+    "AlgebraError",
+    "SchemaError",
+    "SensitiveModelError",
+    "MechanismError",
+    "PrivacyParameterError",
+    "LPError",
+    "LPInfeasibleError",
+    "LPUnboundedError",
+    "GraphError",
+    "PatternError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ExpressionError(ReproError):
+    """Invalid construction or use of a positive Boolean expression."""
+
+
+class ParseError(ExpressionError):
+    """The expression text could not be parsed."""
+
+
+class AnnotationError(ReproError):
+    """A K-relation annotation violates the safe-annotation rules."""
+
+
+class AlgebraError(ReproError):
+    """Invalid relational algebra operation."""
+
+
+class SchemaError(AlgebraError):
+    """Tuples or relations with incompatible attribute sets."""
+
+
+class SensitiveModelError(ReproError):
+    """Invalid sensitive database/relation construction or use."""
+
+
+class MechanismError(ReproError):
+    """A differential privacy mechanism could not produce an answer."""
+
+
+class PrivacyParameterError(MechanismError):
+    """Privacy parameters (epsilon, delta, beta, theta, mu) are invalid."""
+
+
+class LPError(ReproError):
+    """Linear programming layer failure."""
+
+
+class LPInfeasibleError(LPError):
+    """The linear program has no feasible point."""
+
+
+class LPUnboundedError(LPError):
+    """The linear program is unbounded below."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or operation."""
+
+
+class PatternError(GraphError):
+    """Invalid subgraph pattern specification."""
+
+
+class DatasetError(ReproError):
+    """A dataset stand-in could not be generated or located."""

@@ -1,0 +1,157 @@
+"""One-shot regeneration of the paper's whole evaluation section.
+
+:func:`generate_report` runs every figure at a chosen scale and renders a
+single text report — the programmatic equivalent of running the complete
+benchmark suite, usable from the CLI (``python -m repro fig all``) or from
+notebooks.  Figures can be cherry-picked and are computed lazily, so a
+partial report is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..rng import RngLike
+from .harness import Scale, resolve_scale
+from .reporting import format_series, format_table
+
+__all__ = ["FIGURES", "generate_report"]
+
+
+def _render_fig4(name: str, fn, scale: Scale, rng) -> str:
+    result = fn(scale=scale, rng=rng)
+    (x_name, x_values), = result.pop("_x").items()
+    sections = [
+        format_series(x_name, x_values, series, title=f"{name} — {query}")
+        for query, series in result.items()
+    ]
+    return "\n\n".join(sections)
+
+
+def _fig1(scale: Scale, rng) -> str:
+    from .comparison import fig1_comparison_table
+
+    return format_table(
+        fig1_comparison_table(scale=scale, rng=rng),
+        ["query", "mechanism", "privacy", "median_relative_error", "seconds"],
+        title="Fig 1 — measured comparison",
+    )
+
+
+def _fig4a(scale: Scale, rng) -> str:
+    from .synthetic import fig4a_nodes_sweep
+
+    return _render_fig4("Fig 4(a)", fig4a_nodes_sweep, scale, rng)
+
+
+def _fig4b(scale: Scale, rng) -> str:
+    from .synthetic import fig4b_avgdeg_sweep
+
+    return _render_fig4("Fig 4(b)", fig4b_avgdeg_sweep, scale, rng)
+
+
+def _fig4c(scale: Scale, rng) -> str:
+    from .synthetic import fig4c_epsilon_sweep
+
+    return _render_fig4("Fig 4(c)", fig4c_epsilon_sweep, scale, rng)
+
+
+def _fig5(scale: Scale, rng) -> str:
+    from .runtime import fig5_runtime_sweep
+
+    sections = []
+    for combo, rows in fig5_runtime_sweep(scale=scale, rng=rng).items():
+        sections.append(
+            format_table(
+                rows,
+                ["nodes", "tuples", "delta_seconds", "release_seconds",
+                 "mechanism_seconds"],
+                title=f"Fig 5 — {combo}",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _fig6(scale: Scale, rng) -> str:
+    from .real_graphs import fig6_dataset_table
+
+    return format_table(
+        fig6_dataset_table(scale=scale, rng=rng),
+        ["dataset", "V", "E", "triangles", "node_seconds", "edge_seconds",
+         "paper_V", "paper_E", "paper_triangles"],
+        title="Fig 6 — dataset stand-ins",
+    )
+
+
+def _fig7(scale: Scale, rng) -> str:
+    from .real_graphs import fig7_accuracy_table
+
+    return format_table(
+        fig7_accuracy_table(scale=scale, rng=rng),
+        ["dataset", "recursive-node", "recursive-edge", "local-sensitivity", "rhms"],
+        title="Fig 7 — triangle counting accuracy",
+    )
+
+
+def _fig8(scale: Scale, rng) -> str:
+    from .krelations import fig8_clause_sweep
+
+    sections = []
+    for kind, rows in fig8_clause_sweep(scale=scale, rng=rng).items():
+        sections.append(
+            format_table(
+                rows,
+                ["clauses", "median_relative_error", "us_reference", "seconds"],
+                title=f"Fig 8 — 3-{kind.upper()}",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _fig9(scale: Scale, rng) -> str:
+    from .krelations import fig9_size_sweep
+
+    sections = []
+    for kind, rows in fig9_size_sweep(scale=scale, rng=rng).items():
+        sections.append(
+            format_table(
+                rows,
+                ["size", "median_relative_error", "us_reference", "seconds"],
+                title=f"Fig 9 — 3-{kind.upper()}",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+FIGURES: Dict[str, Callable[[Scale, RngLike], str]] = {
+    "fig1": _fig1,
+    "fig4a": _fig4a,
+    "fig4b": _fig4b,
+    "fig4c": _fig4c,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+}
+
+
+def generate_report(
+    figures: Optional[Sequence[str]] = None,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 2024,
+) -> str:
+    """Render the selected figures (default: all) into one report string."""
+    scale = scale or resolve_scale()
+    names = list(figures) if figures else list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        raise ValueError(f"unknown figures {unknown}; choose from {sorted(FIGURES)}")
+    header = (
+        f"Recursive mechanism — reproduction report (scale={scale.name})\n"
+        + "=" * 64
+    )
+    sections = [header]
+    for name in names:
+        sections.append(FIGURES[name](scale, rng))
+    return "\n\n".join(sections)

@@ -1,0 +1,103 @@
+"""Trial running, accuracy aggregation, and scale presets."""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..rng import RngLike, ensure_rng
+
+__all__ = [
+    "median_relative_error",
+    "aggregate_median",
+    "run_mechanism_trials",
+    "Scale",
+    "resolve_scale",
+]
+
+
+def median_relative_error(answers: Sequence[float], true_answer: float) -> float:
+    """The paper's accuracy metric (Sec. 6).
+
+    Median over trials of ``|answer - truth| / truth``.  A zero truth with
+    any nonzero answer yields ``inf`` (and 0 if all answers are 0) —
+    configurations with zero true count are reported as such rather than
+    silently skipped.
+    """
+    if not answers:
+        raise ValueError("no answers to aggregate")
+    if true_answer == 0:
+        errors = [0.0 if a == 0 else float("inf") for a in answers]
+    else:
+        errors = [abs(a - true_answer) / abs(true_answer) for a in answers]
+    return float(statistics.median(errors))
+
+
+def aggregate_median(values: Sequence[float]) -> float:
+    """Median across per-graph results (used when several graphs per point)."""
+    if not values:
+        raise ValueError("no values to aggregate")
+    return float(statistics.median(values))
+
+
+def run_mechanism_trials(
+    run_once: Callable[[object], float],
+    true_answer: float,
+    trials: int,
+    rng: RngLike = None,
+) -> float:
+    """Run ``run_once(generator) -> answer`` repeatedly; median rel. error."""
+    generator = ensure_rng(rng)
+    answers = [float(run_once(generator)) for _ in range(trials)]
+    return median_relative_error(answers, true_answer)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """A benchmark scale preset.
+
+    ``graph_nodes_factor`` multiplies the paper's |V| sweeps; ``trials`` is
+    the number of noise draws per configuration; ``graphs_per_point`` the
+    number of random graphs aggregated per sweep point;
+    ``krelation_factor`` scales |supp(R)| for Fig. 8/9;
+    ``dataset_scale`` shrinks the Fig. 6/7 dataset stand-ins;
+    ``sweep_points`` caps how many x-axis points of each paper sweep are
+    evaluated (evenly spaced, endpoints always included).
+    """
+
+    name: str
+    graph_nodes_factor: float
+    trials: int
+    graphs_per_point: int
+    krelation_factor: float
+    dataset_scale: float
+    sweep_points: int
+
+    def subset(self, values: Sequence) -> list:
+        """Evenly spaced subset of a paper sweep, endpoints included."""
+        values = list(values)
+        if self.sweep_points >= len(values) or len(values) <= 2:
+            return values
+        k = max(2, self.sweep_points)
+        indices = sorted(
+            {round(i * (len(values) - 1) / (k - 1)) for i in range(k)}
+        )
+        return [values[i] for i in indices]
+
+
+_SCALES = {
+    "smoke": Scale("smoke", 0.15, 5, 1, 0.05, 0.02, sweep_points=3),
+    "default": Scale("default", 0.2, 7, 1, 0.1, 0.03, sweep_points=4),
+    "full": Scale("full", 1.0, 25, 3, 1.0, 1.0, sweep_points=99),
+}
+
+
+def resolve_scale(name: Optional[str] = None) -> Scale:
+    """Pick a scale preset: argument > ``$REPRO_BENCH_SCALE`` > default."""
+    if name is None:
+        name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name not in _SCALES:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}")
+    return _SCALES[name]

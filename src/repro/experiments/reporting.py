@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are log-scale line plots; a terminal reproduction
+prints the same series as aligned tables so "who wins, by what factor,
+where the crossovers fall" is readable at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Compact numeric formatting: scientific for extremes, inf-safe."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    value = float(value)
+    if math.isinf(value):
+        return "inf"
+    if math.isnan(value):
+        return "nan"
+    if value == int(value) and abs(value) < 10**12:
+        return str(int(value))
+    if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-precision):
+        return f"{value:.2e}"
+    return f"{value:.{precision}g}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Fixed-width table from a list of dict rows."""
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([format_value(row.get(c)) for c in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """One row per x value, one column per named series (a figure's lines)."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_name: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else None
+        rows.append(row)
+    return format_table(rows, [x_name, *series.keys()], title=title)

@@ -1,0 +1,100 @@
+"""Fig. 5: running time of the recursive mechanism vs graph size.
+
+The paper times the mechanism for triangle / 2-star / 2-triangle counting
+under node and edge privacy on random graphs with avgdeg = 10, |V| up to
+200.  We separate the three cost components the paper discusses:
+
+* match enumeration + K-relation construction (the paper excludes this
+  from its reported cost, "we do not take account of the time needed for
+  generating ... the list of matched subgraphs" — reported separately);
+* the Δ computation (binary search over G-entries — per database);
+* one mechanism release (the X LP plus noise — per query answer).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.efficient import EfficientRecursiveMechanism
+from ..core.params import RecursiveMechanismParams
+from ..graphs.generators import random_graph_with_avg_degree
+from ..rng import RngLike, ensure_rng
+from ..subgraphs.annotate import subgraph_krelation
+from .harness import Scale, resolve_scale
+from .mechanisms import parse_query
+from .synthetic import PAPER_NODE_SWEEP
+
+__all__ = ["runtime_point", "fig5_runtime_sweep"]
+
+
+def runtime_point(
+    num_nodes: int,
+    avgdeg: float,
+    query: str,
+    privacy: str,
+    epsilon: float = 0.5,
+    rng: RngLike = 0,
+) -> Dict[str, float]:
+    """Timing breakdown for one configuration (seconds)."""
+    generator = ensure_rng(rng)
+    graph = random_graph_with_avg_degree(num_nodes, avgdeg, generator)
+
+    start = time.perf_counter()
+    relation = subgraph_krelation(graph, parse_query(query), privacy=privacy)
+    build_seconds = time.perf_counter() - start
+
+    params = RecursiveMechanismParams.paper(epsilon, node_privacy=(privacy == "node"))
+    start = time.perf_counter()
+    mechanism = EfficientRecursiveMechanism(relation)
+    encode_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    mechanism.compute_delta(params)
+    delta_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = mechanism.run(params, generator)
+    release_seconds = time.perf_counter() - start
+
+    return {
+        "nodes": float(num_nodes),
+        "tuples": float(len(relation)),
+        "build_seconds": build_seconds,
+        "encode_seconds": encode_seconds,
+        "delta_seconds": delta_seconds,
+        "release_seconds": release_seconds,
+        "mechanism_seconds": delta_seconds + release_seconds,
+        "true_answer": float(result.true_answer),
+    }
+
+
+def fig5_runtime_sweep(
+    queries: Sequence[str] = ("triangle", "2-star", "2-triangle"),
+    privacies: Sequence[str] = ("node", "edge"),
+    avgdeg: float = 10.0,
+    epsilon: float = 0.5,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 0,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Fig. 5: mechanism running time for the six query/privacy combos.
+
+    Returns ``{"<query>/<privacy>": [runtime_point dict per node count]}``.
+    """
+    scale = scale or resolve_scale()
+    nodes = sorted(
+        {
+            max(16, int(round(v * scale.graph_nodes_factor)))
+            for v in scale.subset(PAPER_NODE_SWEEP)
+        }
+    )
+    generator = ensure_rng(rng)
+    out: Dict[str, List[Dict[str, float]]] = {}
+    for query in queries:
+        for privacy in privacies:
+            key = f"{query}/{privacy}"
+            out[key] = [
+                runtime_point(n, avgdeg, query, privacy, epsilon, generator)
+                for n in nodes
+            ]
+    return out

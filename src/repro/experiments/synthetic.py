@@ -1,0 +1,152 @@
+"""Fig. 4: accuracy comparison on random graphs.
+
+The paper sweeps three knobs, holding the others at ε = 0.5, |V| = 200,
+avgdeg = 10:
+
+* **(a)** number of nodes ∈ {20, 40, ..., 200};
+* **(b)** average degree ∈ {2, 4, ..., 16};
+* **(c)** ε ∈ {0.1, ..., 0.5};
+
+for the three queries (triangle, 2-star, 2-triangle) and four mechanisms
+(recursive node/edge privacy, local-sensitivity, RHMS), reporting median
+relative error over repeated runs on several random graphs per point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..graphs.generators import random_graph_with_avg_degree
+from ..rng import RngLike, ensure_rng, split_rng
+from .harness import Scale, aggregate_median, resolve_scale, run_mechanism_trials
+from .mechanisms import MECHANISM_NAMES, QUERY_NAMES, make_runner
+
+__all__ = [
+    "accuracy_point",
+    "fig4a_nodes_sweep",
+    "fig4b_avgdeg_sweep",
+    "fig4c_epsilon_sweep",
+    "PAPER_NODE_SWEEP",
+    "PAPER_AVGDEG_SWEEP",
+    "PAPER_EPSILON_SWEEP",
+]
+
+PAPER_NODE_SWEEP = (20, 40, 60, 80, 100, 120, 140, 160, 180, 200)
+PAPER_AVGDEG_SWEEP = (2, 4, 6, 8, 10, 12, 14, 16)
+PAPER_EPSILON_SWEEP = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def accuracy_point(
+    num_nodes: int,
+    avgdeg: float,
+    query: str,
+    mechanism: str,
+    epsilon: float,
+    scale: Scale,
+    rng: RngLike = None,
+) -> float:
+    """Median relative error for one (graph config, query, mechanism) point.
+
+    Aggregates the per-graph median over ``scale.graphs_per_point`` random
+    graphs, each with ``scale.trials`` noise draws — the paper's "generate
+    several different graphs by random, run every mechanism many times".
+    """
+    generator = ensure_rng(rng)
+    graph_rngs = split_rng(generator, scale.graphs_per_point)
+    per_graph: List[float] = []
+    for graph_rng in graph_rngs:
+        graph = random_graph_with_avg_degree(num_nodes, avgdeg, graph_rng)
+        run_once, truth = make_runner(mechanism, graph, query, epsilon)
+        per_graph.append(
+            run_mechanism_trials(run_once, truth, scale.trials, graph_rng)
+        )
+    return aggregate_median(per_graph)
+
+
+def _scaled_nodes(scale: Scale, values: Sequence[int]) -> List[int]:
+    scaled = [max(16, int(round(v * scale.graph_nodes_factor))) for v in values]
+    return sorted(set(scaled))
+
+
+def fig4a_nodes_sweep(
+    queries: Sequence[str] = QUERY_NAMES,
+    mechanisms: Sequence[str] = MECHANISM_NAMES,
+    epsilon: float = 0.5,
+    avgdeg: float = 10.0,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 4(a): error vs number of nodes.
+
+    Returns ``{query: {mechanism: [error per node count]}}`` along with the
+    node counts used under ``result["_nodes"]``-style metadata left to the
+    caller (the benchmark prints them via the reporting module).
+    """
+    scale = scale or resolve_scale()
+    nodes = _scaled_nodes(scale, scale.subset(PAPER_NODE_SWEEP))
+    generator = ensure_rng(rng)
+    out: Dict[str, Dict[str, List[float]]] = {"_x": {"nodes": [float(n) for n in nodes]}}
+    for query in queries:
+        out[query] = {}
+        for mechanism in mechanisms:
+            errors = []
+            for n in nodes:
+                errors.append(
+                    accuracy_point(n, avgdeg, query, mechanism, epsilon, scale, generator)
+                )
+            out[query][mechanism] = errors
+    return out
+
+
+def fig4b_avgdeg_sweep(
+    queries: Sequence[str] = QUERY_NAMES,
+    mechanisms: Sequence[str] = MECHANISM_NAMES,
+    epsilon: float = 0.5,
+    num_nodes: int = 200,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 4(b): error vs average degree at fixed |V|."""
+    scale = scale or resolve_scale()
+    n = max(16, int(round(num_nodes * scale.graph_nodes_factor)))
+    generator = ensure_rng(rng)
+    out: Dict[str, Dict[str, List[float]]] = {
+        "_x": {"avgdeg": [float(d) for d in scale.subset(PAPER_AVGDEG_SWEEP)]}
+    }
+    for query in queries:
+        out[query] = {}
+        for mechanism in mechanisms:
+            errors = []
+            for avgdeg in scale.subset(PAPER_AVGDEG_SWEEP):
+                errors.append(
+                    accuracy_point(n, avgdeg, query, mechanism, epsilon, scale, generator)
+                )
+            out[query][mechanism] = errors
+    return out
+
+
+def fig4c_epsilon_sweep(
+    queries: Sequence[str] = QUERY_NAMES,
+    mechanisms: Sequence[str] = MECHANISM_NAMES,
+    num_nodes: int = 200,
+    avgdeg: float = 10.0,
+    scale: Optional[Scale] = None,
+    rng: RngLike = 0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 4(c): error vs ε at fixed |V| and average degree."""
+    scale = scale or resolve_scale()
+    n = max(16, int(round(num_nodes * scale.graph_nodes_factor)))
+    generator = ensure_rng(rng)
+    out: Dict[str, Dict[str, List[float]]] = {
+        "_x": {"epsilon": list(scale.subset(PAPER_EPSILON_SWEEP))}
+    }
+    for query in queries:
+        out[query] = {}
+        for mechanism in mechanisms:
+            errors = []
+            for epsilon in scale.subset(PAPER_EPSILON_SWEEP):
+                errors.append(
+                    accuracy_point(n, avgdeg, query, mechanism, epsilon, scale, generator)
+                )
+            out[query][mechanism] = errors
+    return out

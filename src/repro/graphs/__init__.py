@@ -1,0 +1,47 @@
+"""Graph substrate: simple undirected graphs, generators, datasets, IO.
+
+The subgraph-counting experiments view a social network as an undirected
+simple graph whose *nodes* (node privacy) or *edges* (edge privacy) are the
+participants.  Everything here is implemented from scratch on adjacency
+sets; ``networkx`` is deliberately not used by the library code so the whole
+pipeline is auditable (tests may cross-check against it when available).
+"""
+
+from .datasets import DATASETS, DatasetSpec, load_dataset
+from .generators import (
+    erdos_renyi,
+    gnm_random_graph,
+    preferential_attachment,
+    random_graph_with_avg_degree,
+    watts_strogatz,
+)
+from .graph import Graph
+from .io import read_edge_list, write_edge_list
+from .stats import (
+    average_clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    global_clustering_coefficient,
+    summarize,
+    triangle_density,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi",
+    "gnm_random_graph",
+    "random_graph_with_avg_degree",
+    "preferential_attachment",
+    "watts_strogatz",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "read_edge_list",
+    "write_edge_list",
+    "degree_histogram",
+    "connected_components",
+    "global_clustering_coefficient",
+    "average_clustering_coefficient",
+    "triangle_density",
+    "summarize",
+]

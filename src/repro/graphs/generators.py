@@ -1,0 +1,174 @@
+"""Random graph generators.
+
+The paper's synthetic experiments use G(n, p) graphs parameterized by an
+average degree: "each edge in the graph appears independently with
+probability avgdeg/(|V|-1)" (Sec. 6.1) — :func:`random_graph_with_avg_degree`
+implements exactly that.  The preferential-attachment generator (with a
+triadic-closure step) and the small-world generator exist to build the
+synthetic stand-ins for the paper's real datasets: collaboration networks
+are triangle-rich and heavy-tailed, power grids are sparse and nearly
+planar.  All generators take an explicit seed/generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+import numpy as np
+
+from ..errors import GraphError
+from ..rng import RngLike, ensure_rng
+from .graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "gnm_random_graph",
+    "random_graph_with_avg_degree",
+    "preferential_attachment",
+    "watts_strogatz",
+]
+
+
+def erdos_renyi(n: int, p: float, rng: RngLike = None) -> Graph:
+    """G(n, p): each of the C(n,2) edges appears independently w.p. ``p``.
+
+    Vectorized over numpy for speed: one Bernoulli draw per candidate pair.
+    """
+    if n < 0:
+        raise GraphError(f"n must be nonnegative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0,1], got {p}")
+    generator = ensure_rng(rng)
+    graph = Graph(nodes=range(n))
+    if n < 2 or p == 0.0:
+        return graph
+    pairs = np.array(list(itertools.combinations(range(n), 2)), dtype=np.int64)
+    mask = generator.random(len(pairs)) < p
+    for u, v in pairs[mask]:
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def random_graph_with_avg_degree(n: int, avgdeg: float, rng: RngLike = None) -> Graph:
+    """The paper's synthetic model: G(n, p) with ``p = avgdeg/(n-1)``."""
+    if n <= 1:
+        return Graph(nodes=range(max(n, 0)))
+    p = min(1.0, max(0.0, avgdeg / (n - 1)))
+    return erdos_renyi(n, p, rng)
+
+
+def gnm_random_graph(n: int, m: int, rng: RngLike = None) -> Graph:
+    """G(n, m): exactly ``m`` distinct edges drawn uniformly at random."""
+    if n < 0:
+        raise GraphError(f"n must be nonnegative, got {n}")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    generator = ensure_rng(rng)
+    graph = Graph(nodes=range(n))
+    if m == 0:
+        return graph
+    if m > max_edges // 2:
+        # dense regime: sample by index without replacement
+        chosen = generator.choice(max_edges, size=m, replace=False)
+        pairs = list(itertools.combinations(range(n), 2))
+        for index in chosen:
+            u, v = pairs[int(index)]
+            graph.add_edge(u, v)
+        return graph
+    added = 0
+    while added < m:
+        u = int(generator.integers(0, n))
+        v = int(generator.integers(0, n))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def preferential_attachment(
+    n: int,
+    m: int,
+    rng: RngLike = None,
+    closure_probability: float = 0.0,
+) -> Graph:
+    """Barabási–Albert-style growth with optional triadic closure.
+
+    Each arriving node attaches to ``m`` existing nodes chosen with
+    probability proportional to degree (plus one, so isolated seeds can be
+    picked).  With probability ``closure_probability``, each attachment
+    after the first is redirected to a random neighbor of the previous
+    target — the classic triadic-closure trick that produces the high
+    triangle counts of collaboration networks (used for the ca-GrQc and
+    ca-HepTh stand-ins).
+    """
+    if n < 1:
+        raise GraphError(f"n must be >= 1, got {n}")
+    if m < 1:
+        raise GraphError(f"m must be >= 1, got {m}")
+    generator = ensure_rng(rng)
+    graph = Graph(nodes=range(min(n, m + 1)))
+    # seed: a small clique so degrees start positive
+    for u, v in itertools.combinations(range(min(n, m + 1)), 2):
+        graph.add_edge(u, v)
+    repeated: List[int] = []  # node appears once per degree unit
+    for node in graph.nodes():
+        repeated.extend([node] * max(1, graph.degree(node)))
+    for new_node in range(min(n, m + 1), n):
+        graph.add_node(new_node)
+        targets: List[int] = []
+        previous = None
+        while len(targets) < min(m, new_node):
+            if (
+                previous is not None
+                and closure_probability > 0
+                and generator.random() < closure_probability
+                and graph.degree(previous) > 0
+            ):
+                candidate = int(
+                    generator.choice(sorted(graph.neighbors(previous)))
+                )
+            else:
+                candidate = int(repeated[int(generator.integers(0, len(repeated)))])
+            if candidate != new_node and candidate not in targets:
+                targets.append(candidate)
+                previous = candidate
+        for target in targets:
+            graph.add_edge(new_node, target)
+            repeated.append(target)
+            repeated.append(new_node)
+    return graph
+
+
+def watts_strogatz(n: int, k: int, beta: float, rng: RngLike = None) -> Graph:
+    """Small-world graph: ring lattice of degree ``k`` with rewiring ``beta``.
+
+    Used for the power-grid stand-ins (sparse, low-triangle, high-diameter
+    when ``beta`` is small).
+    """
+    if n < 3:
+        raise GraphError(f"n must be >= 3, got {n}")
+    if k < 2 or k % 2 != 0 or k >= n:
+        raise GraphError(f"k must be an even integer in [2, n), got {k}")
+    if not 0.0 <= beta <= 1.0:
+        raise GraphError(f"beta must be in [0,1], got {beta}")
+    generator = ensure_rng(rng)
+    graph = Graph(nodes=range(n))
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(node, (node + offset) % n)
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            if generator.random() < beta:
+                old = (node + offset) % n
+                candidates = [
+                    c
+                    for c in range(n)
+                    if c != node and not graph.has_edge(node, c)
+                ]
+                if candidates and graph.has_edge(node, old):
+                    new = int(generator.choice(candidates))
+                    graph.remove_edge(node, old)
+                    graph.add_edge(node, new)
+    return graph

@@ -1,0 +1,165 @@
+"""A minimal undirected simple graph.
+
+Nodes are arbitrary hashable labels (the generators use ``int``); edges are
+unordered pairs without self-loops or multiplicity.  The class keeps
+adjacency as sets for O(1) membership, which the subgraph enumerators rely
+on, and exposes the handful of statistics the baselines need (degrees,
+common neighbors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from ..errors import GraphError
+
+__all__ = ["Graph"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    >>> g = Graph()
+    >>> g.add_edge(1, 2); g.add_edge(2, 3)
+    >>> g.num_nodes, g.num_edges, g.degree(2)
+    (3, 2, 2)
+    """
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
+        self._adj: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction ------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating nodes as needed."""
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} not allowed in a simple graph")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges (the node-privacy change)."""
+        if node not in self._adj:
+            raise GraphError(f"unknown node {node!r}")
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        del self._adj[node]
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}`` (the edge-privacy change)."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"unknown edge ({u!r}, {v!r})")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def copy(self) -> "Graph":
+        """An independent deep copy of the adjacency structure."""
+        clone = Graph()
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        return clone
+
+    # -- queries --------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    def nodes(self) -> List[Node]:
+        """All nodes in deterministic (sorted-repr) order."""
+        return sorted(self._adj, key=repr)
+
+    def edges(self) -> List[Edge]:
+        """All edges, each as a repr-sorted pair, in deterministic order."""
+        seen = []
+        for u in self.nodes():
+            for v in self._adj[u]:
+                if repr(u) < repr(v) or (repr(u) == repr(v) and u != v):
+                    seen.append((u, v))
+        return sorted(seen, key=repr)
+
+    def has_node(self, node: Node) -> bool:
+        """Membership test for a node."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Membership test for an undirected edge."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """A fresh set of the node's neighbors."""
+        if node not in self._adj:
+            raise GraphError(f"unknown node {node!r}")
+        return set(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbors of ``node``."""
+        if node not in self._adj:
+            raise GraphError(f"unknown node {node!r}")
+        return len(self._adj[node])
+
+    def degrees(self) -> Dict[Node, int]:
+        """``node -> degree`` for every node."""
+        return {node: len(neighbors) for node, neighbors in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """``d_max`` (0 for the empty graph)."""
+        return max((len(n) for n in self._adj.values()), default=0)
+
+    def average_degree(self) -> float:
+        """``2|E| / |V|`` (0 for the empty graph)."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_nodes
+
+    def common_neighbors(self, u: Node, v: Node) -> Set[Node]:
+        """Shared neighbors of ``u`` and ``v`` (the ``a_ij`` of the paper)."""
+        if u not in self._adj or v not in self._adj:
+            raise GraphError(f"unknown node in pair ({u!r}, {v!r})")
+        return self._adj[u] & self._adj[v]
+
+    def max_common_neighbors(self) -> int:
+        """``a_max`` over *adjacent* pairs — used by the k-triangle baseline."""
+        best = 0
+        for u, v in self.edges():
+            best = max(best, len(self.common_neighbors(u, v)))
+        return best
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        unknown = keep - set(self._adj)
+        if unknown:
+            raise GraphError(f"unknown nodes {sorted(map(repr, unknown))}")
+        out = Graph(nodes=keep)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep:
+                    out._adj[u].add(v)
+        return out
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Graph) and self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

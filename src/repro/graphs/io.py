@@ -1,0 +1,53 @@
+"""Edge-list IO.
+
+The format is the plain whitespace-separated edge list used by SNAP and the
+UF sparse matrix collection exports: one ``u v`` pair per line, ``#``
+comments allowed.  Node labels are read as ints when possible, else strings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["read_edge_list", "write_edge_list"]
+
+
+def _parse_label(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(path: Union[str, Path]) -> Graph:
+    """Read a graph from an edge-list file (self-loops are skipped)."""
+    graph = Graph()
+    path = Path(path)
+    if not path.exists():
+        raise GraphError(f"edge list not found: {path}")
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: expected 'u v', got {line!r}")
+            u, v = _parse_label(parts[0]), _parse_label(parts[1])
+            if u == v:
+                continue
+            graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(graph: Graph, path: Union[str, Path]) -> None:
+    """Write a graph as a sorted edge list with a size-comment header."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")

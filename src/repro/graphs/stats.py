@@ -1,0 +1,124 @@
+"""Graph statistics.
+
+Used to validate that the synthetic dataset stand-ins reproduce the
+qualitative structure of the paper's real graphs (triangle density,
+clustering, degree spread), and generally useful alongside the private
+counting mechanisms as the non-private ground truth toolkit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List
+
+from .graph import Graph
+
+__all__ = [
+    "degree_histogram",
+    "connected_components",
+    "largest_component_size",
+    "global_clustering_coefficient",
+    "average_clustering_coefficient",
+    "triangle_density",
+    "degree_assortativity_proxy",
+    "summarize",
+]
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """``degree -> number of nodes`` (the statistic of Hay et al. [5])."""
+    return dict(Counter(graph.degrees().values()))
+
+
+def connected_components(graph: Graph) -> List[List]:
+    """Connected components as sorted node lists, largest first."""
+    seen = set()
+    components = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        stack = [start]
+        component = []
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(sorted(component, key=repr))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component_size(graph: Graph) -> int:
+    """Size of the largest connected component (0 for the empty graph)."""
+    components = connected_components(graph)
+    return len(components[0]) if components else 0
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """``3 × triangles / open-or-closed wedges`` (transitivity)."""
+    from ..subgraphs.counting import count_k_stars, count_triangles
+
+    wedges = count_k_stars(graph, 2)
+    if wedges == 0:
+        return 0.0
+    return 3.0 * count_triangles(graph) / wedges
+
+
+def average_clustering_coefficient(graph: Graph) -> float:
+    """Mean over nodes of the local clustering coefficient."""
+    total = 0.0
+    nodes = graph.nodes()
+    if not nodes:
+        return 0.0
+    for node in nodes:
+        neighbors = sorted(graph.neighbors(node), key=repr)
+        degree = len(neighbors)
+        if degree < 2:
+            continue
+        links = 0
+        for index, u in enumerate(neighbors):
+            for v in neighbors[index + 1:]:
+                if graph.has_edge(u, v):
+                    links += 1
+        total += 2.0 * links / (degree * (degree - 1))
+    return total / len(nodes)
+
+
+def triangle_density(graph: Graph) -> float:
+    """Triangles per edge — the scale-free contrast between collaboration
+    networks and power grids in Fig. 6."""
+    from ..subgraphs.counting import count_triangles
+
+    if graph.num_edges == 0:
+        return 0.0
+    return count_triangles(graph) / graph.num_edges
+
+
+def degree_assortativity_proxy(graph: Graph) -> float:
+    """A cheap heavy-tail indicator: max degree / mean degree."""
+    degrees = list(graph.degrees().values())
+    if not degrees:
+        return 0.0
+    mean = sum(degrees) / len(degrees)
+    if mean == 0:
+        return 0.0
+    return max(degrees) / mean
+
+
+def summarize(graph: Graph) -> Dict[str, float]:
+    """All scalar statistics in one dict (used by tests and docs)."""
+    return {
+        "nodes": float(graph.num_nodes),
+        "edges": float(graph.num_edges),
+        "average_degree": graph.average_degree(),
+        "max_degree": float(graph.max_degree()),
+        "largest_component": float(largest_component_size(graph)),
+        "global_clustering": global_clustering_coefficient(graph),
+        "triangle_density": triangle_density(graph),
+        "degree_spread": degree_assortativity_proxy(graph),
+    }

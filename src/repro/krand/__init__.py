@@ -1,0 +1,18 @@
+"""Random sensitive K-relations (Sec. 6.2 of the paper).
+
+The general-query experiments (Fig. 8, Fig. 9) evaluate the mechanism on
+directly generated K-relations rather than on graphs:
+
+* a **3-DNF** K-relation — each annotation is a disjunction of ``c``
+  conjunctions of 3 variables — "can be produced by a union of many join
+  results";
+* a **3-CNF** K-relation — each annotation is a conjunction of ``c``
+  disjunctions of 3 variables — "a join of many unions of tables".
+
+Following the paper: all annotations have the same length, the number of
+variables equals ``|supp(R)|``, and ``q(t) = 1``.
+"""
+
+from .generators import random_cnf_krelation, random_dnf_krelation
+
+__all__ = ["random_dnf_krelation", "random_cnf_krelation"]

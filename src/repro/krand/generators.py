@@ -1,0 +1,90 @@
+"""Generators for random 3-DNF / 3-CNF sensitive K-relations."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..boolexpr.expr import And, Expr, Or, Var
+from ..core.sensitive import SensitiveKRelation
+from ..errors import SensitiveModelError
+from ..rng import RngLike, ensure_rng
+
+__all__ = ["random_dnf_krelation", "random_cnf_krelation"]
+
+
+def _participant_names(count: int) -> List[str]:
+    return [f"p{i}" for i in range(count)]
+
+
+def _random_clause_vars(
+    names: List[str], width: int, rng
+) -> Tuple[str, ...]:
+    """``width`` distinct variable names chosen uniformly."""
+    indices = rng.choice(len(names), size=width, replace=False)
+    return tuple(names[int(i)] for i in indices)
+
+
+def random_dnf_krelation(
+    size: int,
+    clauses: int,
+    width: int = 3,
+    num_participants: Optional[int] = None,
+    rng: RngLike = None,
+) -> SensitiveKRelation:
+    """A sensitive K-relation with ``size`` tuples of ``clauses``-clause DNF.
+
+    Each annotation is ``(x∧y∧z) ∨ ... ∨ (x'∧y'∧z')`` with ``clauses``
+    conjunctions of ``width`` distinct variables.  Defaults follow Sec. 6.2:
+    ``width = 3`` and ``num_participants = size``.
+    """
+    if size < 0 or clauses < 1 or width < 1:
+        raise SensitiveModelError(
+            f"invalid K-relation shape: size={size}, clauses={clauses}, width={width}"
+        )
+    generator = ensure_rng(rng)
+    participants = _participant_names(num_participants or size)
+    if width > len(participants):
+        raise SensitiveModelError(
+            f"clause width {width} exceeds participant count {len(participants)}"
+        )
+    pairs = []
+    for index in range(size):
+        conjunctions: List[Expr] = []
+        for _ in range(clauses):
+            chosen = _random_clause_vars(participants, width, generator)
+            conjunctions.append(And(Var(name) for name in chosen))
+        pairs.append((f"t{index}", Or(conjunctions)))
+    return SensitiveKRelation(participants, pairs)
+
+
+def random_cnf_krelation(
+    size: int,
+    clauses: int,
+    width: int = 3,
+    num_participants: Optional[int] = None,
+    rng: RngLike = None,
+) -> SensitiveKRelation:
+    """A sensitive K-relation with ``size`` tuples of ``clauses``-clause CNF.
+
+    Each annotation is ``(x∨y∨z) ∧ ... ∧ (x'∨y'∨z')``.  Note the CNF
+    φ-sensitivity grows with the number of clauses (``S_{k,p}`` sums over
+    conjuncts), which is exactly the contrast Fig. 8 draws against DNF.
+    """
+    if size < 0 or clauses < 1 or width < 1:
+        raise SensitiveModelError(
+            f"invalid K-relation shape: size={size}, clauses={clauses}, width={width}"
+        )
+    generator = ensure_rng(rng)
+    participants = _participant_names(num_participants or size)
+    if width > len(participants):
+        raise SensitiveModelError(
+            f"clause width {width} exceeds participant count {len(participants)}"
+        )
+    pairs = []
+    for index in range(size):
+        disjunctions: List[Expr] = []
+        for _ in range(clauses):
+            chosen = _random_clause_vars(participants, width, generator)
+            disjunctions.append(Or(Var(name) for name in chosen))
+        pairs.append((f"t{index}", And(disjunctions)))
+    return SensitiveKRelation(participants, pairs)

@@ -1,0 +1,29 @@
+"""Linear programming layer.
+
+The efficient recursive mechanism (Sec. 5.3 of the paper) reduces each
+``H_i`` / ``G_i`` evaluation to a linear program with ``O(L)`` variables.
+This package provides:
+
+* :class:`~repro.lp.model.LinearProgram` — a small declarative LP builder
+  (minimization, ``<=`` / ``>=`` / ``==`` rows, box bounds).
+* :class:`~repro.lp.scipy_backend.ScipyBackend` — the default solver, using
+  :func:`scipy.optimize.linprog` with the HiGHS method on sparse matrices.
+* :class:`~repro.lp.simplex.SimplexBackend` — a self-contained dense
+  two-phase primal simplex (Bland's rule), dependency-free and auditable;
+  suitable for small programs and used to cross-check HiGHS in tests.
+"""
+
+from .model import Constraint, LinearProgram, LPSolution
+from .scipy_backend import ScipyBackend
+from .simplex import SimplexBackend
+
+DEFAULT_BACKEND = ScipyBackend()
+
+__all__ = [
+    "LinearProgram",
+    "Constraint",
+    "LPSolution",
+    "ScipyBackend",
+    "SimplexBackend",
+    "DEFAULT_BACKEND",
+]

@@ -1,0 +1,246 @@
+"""A self-contained dense two-phase primal simplex solver.
+
+This backend exists so the whole mechanism can be audited end-to-end without
+trusting an external solver, and so the test suite can cross-check HiGHS on
+small programs.  It uses the classical tableau method with Bland's rule
+(guaranteeing termination) and is intended for programs with at most a few
+hundred variables — the benchmarks use :class:`~repro.lp.ScipyBackend`.
+
+Standard-form conversion: every variable ``lb <= x <= ub`` is shifted to
+``x' = x - lb >= 0`` (finite upper bounds become extra rows), and every
+inequality gains a slack/surplus column; phase 1 drives artificials to zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LPError
+from .model import LinearProgram, LPSolution
+
+__all__ = ["SimplexBackend"]
+
+_EPS = 1e-9
+
+
+class SimplexBackend:
+    """Dense two-phase primal simplex with Bland's anti-cycling rule."""
+
+    def __init__(self, max_iterations: int = 100_000):
+        self.max_iterations = max_iterations
+
+    def solve(self, lp: LinearProgram) -> LPSolution:
+        """Solve via two-phase simplex; status mirrors the SciPy backend."""
+        n = lp.num_variables
+        if n == 0:
+            return LPSolution("optimal", lp.objective_constant, np.zeros(0))
+
+        bounds = lp.bounds()
+        lower = np.array([lb for lb, _ in bounds], dtype=float)
+
+        # Rows: original constraints (rhs adjusted for the lb shift) plus one
+        # "<=" row per finite upper bound.
+        rows: List[Tuple[np.ndarray, str, float]] = []
+        for constraint in lp.constraints:
+            row = np.zeros(n)
+            for index, value in zip(constraint.indices, constraint.coefficients):
+                row[index] += value
+            shift = float(row @ lower)
+            rows.append((row, constraint.sense, constraint.rhs - shift))
+        for index, (lb, ub) in enumerate(bounds):
+            if ub is not None:
+                row = np.zeros(n)
+                row[index] = 1.0
+                rows.append((row, "<=", ub - lb))
+
+        c = lp.objective_vector()
+        objective_shift = float(c @ lower)
+
+        solution = self._solve_standard(rows, c)
+        if solution is None:
+            return LPSolution("infeasible", float("nan"), np.zeros(0))
+        status, x_shifted, objective = solution
+        if status == "unbounded":
+            return LPSolution("unbounded", float("nan"), np.zeros(0))
+        x = x_shifted + lower
+        return LPSolution(
+            "optimal",
+            objective + objective_shift + lp.objective_constant,
+            x,
+        )
+
+    # -- tableau machinery ----------------------------------------------------
+    def _solve_standard(
+        self,
+        rows: List[Tuple[np.ndarray, str, float]],
+        c: np.ndarray,
+    ) -> Optional[Tuple[str, np.ndarray, float]]:
+        """Solve min c'x s.t. rows, x >= 0.  None means infeasible."""
+        n = len(c)
+        m = len(rows)
+        if m == 0:
+            # Feasible iff objective bounded: any negative cost is unbounded.
+            if np.any(c < -_EPS):
+                return ("unbounded", np.zeros(n), float("nan"))
+            return ("optimal", np.zeros(n), 0.0)
+
+        # Count extra columns: one slack/surplus per inequality, artificials
+        # where needed (">=" rows, "==" rows, and "<=" rows with negative rhs
+        # are first sign-normalized so rhs >= 0).
+        norm_rows = []
+        for row, sense, rhs in rows:
+            row = row.copy()
+            if rhs < 0:
+                row = -row
+                rhs = -rhs
+                sense = {"<=": ">=", ">=": "<=", "==": "=="}[sense]
+            norm_rows.append((row, sense, rhs))
+
+        num_slack = sum(1 for _, sense, _ in norm_rows if sense != "==")
+        a = np.zeros((m, n + num_slack))
+        b = np.zeros(m)
+        needs_artificial = []
+        slack_col = n
+        for i, (row, sense, rhs) in enumerate(norm_rows):
+            a[i, :n] = row
+            b[i] = rhs
+            if sense == "<=":
+                a[i, slack_col] = 1.0
+                needs_artificial.append(False)
+                slack_col += 1
+            elif sense == ">=":
+                a[i, slack_col] = -1.0
+                needs_artificial.append(True)
+                slack_col += 1
+            else:
+                needs_artificial.append(True)
+
+        artificial_cols = []
+        extra = sum(needs_artificial)
+        if extra:
+            art = np.zeros((m, extra))
+            j = 0
+            for i, needed in enumerate(needs_artificial):
+                if needed:
+                    art[i, j] = 1.0
+                    artificial_cols.append(n + num_slack + j)
+                    j += 1
+            a = np.hstack([a, art])
+
+        total = a.shape[1]
+        basis = [-1] * m
+        # initial basis: slack for "<=" rows, artificial otherwise
+        slack_col = n
+        art_iter = iter(artificial_cols)
+        for i, (row, sense, rhs) in enumerate(norm_rows):
+            if sense == "<=":
+                basis[i] = slack_col
+                slack_col += 1
+            else:
+                if sense == ">=":
+                    slack_col += 1
+                basis[i] = next(art_iter)
+
+        tableau = np.hstack([a, b.reshape(-1, 1)])
+
+        if artificial_cols:
+            phase1_cost = np.zeros(total)
+            phase1_cost[artificial_cols] = 1.0
+            status = self._run_simplex(tableau, basis, phase1_cost)
+            if status == "unbounded":  # cannot happen in phase 1
+                raise LPError("phase 1 unbounded — internal error")
+            value = self._objective_value(tableau, basis, phase1_cost)
+            if value > 1e-7:
+                return None  # infeasible
+            self._drive_out_artificials(tableau, basis, set(artificial_cols))
+
+        full_cost = np.zeros(total)
+        full_cost[:n] = c
+        blocked = set(artificial_cols)
+        status = self._run_simplex(tableau, basis, full_cost, blocked_columns=blocked)
+        x = np.zeros(total)
+        for i, col in enumerate(basis):
+            if col >= 0:
+                x[col] = tableau[i, -1]
+        if status == "unbounded":
+            return ("unbounded", x[:n], float("nan"))
+        return ("optimal", x[:n], float(full_cost @ x))
+
+    def _objective_value(self, tableau, basis, cost) -> float:
+        total = tableau.shape[1] - 1
+        x = np.zeros(total)
+        for i, col in enumerate(basis):
+            if col >= 0:
+                x[col] = tableau[i, -1]
+        return float(cost @ x)
+
+    def _run_simplex(
+        self,
+        tableau: np.ndarray,
+        basis: List[int],
+        cost: np.ndarray,
+        blocked_columns=frozenset(),
+    ) -> str:
+        m, width = tableau.shape
+        total = width - 1
+        for _ in range(self.max_iterations):
+            # reduced costs: z_j - c_j with z from basic costs
+            cb = cost[basis]
+            reduced = cost.copy()
+            reduced -= cb @ tableau[:, :total]
+            entering = -1
+            for j in range(total):  # Bland: smallest index with negative cost
+                if j in blocked_columns:
+                    continue
+                if reduced[j] < -_EPS:
+                    entering = j
+                    break
+            if entering < 0:
+                return "optimal"
+            # ratio test (Bland ties: smallest basis index)
+            best_ratio = None
+            leaving = -1
+            for i in range(m):
+                coeff = tableau[i, entering]
+                if coeff > _EPS:
+                    ratio = tableau[i, -1] / coeff
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio - _EPS
+                        or (abs(ratio - best_ratio) <= _EPS and basis[i] < basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return "unbounded"
+            self._pivot(tableau, leaving, entering)
+            basis[leaving] = entering
+        raise LPError("simplex iteration limit exceeded")
+
+    @staticmethod
+    def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+        tableau[row] /= tableau[row, col]
+        for i in range(tableau.shape[0]):
+            if i != row and abs(tableau[i, col]) > _EPS:
+                tableau[i] -= tableau[i, col] * tableau[row]
+
+    def _drive_out_artificials(self, tableau, basis, artificial_cols) -> None:
+        """Pivot basic artificials out of the basis where possible."""
+        m, width = tableau.shape
+        total = width - 1
+        for i in range(m):
+            if basis[i] in artificial_cols:
+                pivot_col = -1
+                for j in range(total):
+                    if j not in artificial_cols and abs(tableau[i, j]) > _EPS:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    self._pivot(tableau, i, pivot_col)
+                    basis[i] = pivot_col
+                # else: redundant row with zero rhs; leave the artificial at 0.
+
+    def __repr__(self) -> str:
+        return f"SimplexBackend(max_iterations={self.max_iterations})"

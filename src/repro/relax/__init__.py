@@ -1,0 +1,27 @@
+"""The relaxation mapping φ (Sec. 5 of the paper).
+
+φ maps each positive Boolean expression ``k`` to a function
+``φ_k : [0,1]^P → [0,1]``::
+
+    φ_False = 0      φ_True = 1      φ_p(f) = f(p)
+    φ_{x∧y}(f) = max(0, φ_x(f) + φ_y(f) - 1)      (Łukasiewicz t-norm)
+    φ_{x∨y}(f) = max(φ_x(f), φ_y(f))              (max t-conorm)
+
+Theorem 5 gives φ the properties the mechanism needs: correctness (agrees
+with Boolean evaluation on 0/1 assignments), naturalness, monotonicity,
+convexity, and truncated linearity.  This package provides the numeric
+evaluator, the φ-equivalence test of Def. 19, and the epigraph LP encoding
+used to compute ``H_i`` and ``G_i`` (Eq. 16 / Eq. 19) in polynomial time.
+"""
+
+from .encode import EncodedRelation, encode_relation
+from .phi import phi, phi_equivalent, phi_on_vector, phi_star
+
+__all__ = [
+    "phi",
+    "phi_on_vector",
+    "phi_star",
+    "phi_equivalent",
+    "encode_relation",
+    "EncodedRelation",
+]

@@ -1,0 +1,261 @@
+"""Epigraph LP encoding of the relaxed sequences ``H_i`` and ``G_i``.
+
+Every node of every annotation gets (at most) one LP variable, lower-bounded
+by the epigraph of its relaxation:
+
+* ``And`` node with children values ``v_1..v_m``:
+  ``v >= v_1 + ... + v_m - (m-1)`` and ``v >= 0`` (Łukasiewicz t-norm);
+* ``Or`` node: ``v >= v_j`` for each child (max);
+* a ``Var`` leaf reuses the participant's assignment variable ``f_p`` —
+  no extra column.
+
+Both relaxations are *convex and monotone nondecreasing* in the children.
+With a nonnegative objective weight on each root, any minimizing solution
+drives every node variable down to its exact φ value (simple induction), so
+
+* ``H_i = min Σ_t q(t)·v_root(t)  s.t.  Σ_p f_p = i``           (Eq. 16)
+* ``G_i = 2·min z  s.t.  z ≥ Σ_t q(t)·S_{R(t),p}·v_root(t) ∀p,
+  Σ_p f_p = i``                                                  (Eq. 19)
+* ``X`` step (Eq. 20): ``min Σ_t q(t)·v_root(t) + (|P| - Σ_p f_p)·Δ̂``
+  over the whole cube — one LP whose optimal ``Σ f_p`` is the real ``i'``.
+
+are each a single linear program with ``O(L)`` variables, where ``L`` is the
+total annotation length (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..boolexpr.expr import And, Expr, Or, Var, _Const
+from ..boolexpr.sensitivity import phi_sensitivities
+from ..errors import ExpressionError, LPError
+from ..lp.model import LinearProgram, LPSolution
+
+__all__ = ["EncodedRelation", "encode_relation"]
+
+
+class EncodedRelation:
+    """A sensitive K-relation compiled to reusable LP structure.
+
+    Parameters
+    ----------
+    participants:
+        Ordered participant names — **all** participants of the sensitive
+        relation, including any that appear in no annotation (they still
+        absorb assignment mass in the minimizations, exactly as Eq. 16
+        ranges over all of ``[0,1]^P``).
+    annotated:
+        Pairs ``(expression, weight)`` with nonnegative weights ``q(t)``;
+        zero-weight tuples may be passed and are skipped.
+    backend:
+        An LP backend (``ScipyBackend`` by default at the call sites).
+    """
+
+    def __init__(
+        self,
+        participants: Sequence[str],
+        annotated: Sequence[Tuple[Expr, float]],
+        backend,
+    ):
+        self.participants: List[str] = list(participants)
+        self.backend = backend
+        if len(set(self.participants)) != len(self.participants):
+            raise LPError("duplicate participant names")
+        self._pindex: Dict[str, int] = {}
+
+        self._lp = LinearProgram()
+        for name in self.participants:
+            self._pindex[name] = self._lp.add_variable(lb=0.0, ub=1.0, name=f"f[{name}]")
+
+        self._root_terms: List[Tuple[int, float]] = []  # (var index, weight)
+        self._constant_weight = 0.0  # weight of TRUE-annotated tuples
+        self.total_weight = 0.0
+        # per-participant accumulated (root var, q*S) coefficients for G rows
+        self._g_rows: Dict[str, Dict[int, float]] = {}
+        #: S̄ = max_{t,p} S_{R(t),p} over all (weight > 0) annotations
+        self.max_phi_sensitivity = 0
+
+        for expr, weight in annotated:
+            weight = float(weight)
+            if weight < 0:
+                raise LPError(f"negative query weight {weight} — decompose the query first")
+            if weight == 0:
+                continue
+            unknown = expr.variables() - set(self._pindex)
+            if unknown:
+                raise LPError(f"annotation references unknown participants {sorted(unknown)}")
+            self.total_weight += weight
+            if isinstance(expr, _Const):
+                if expr.value:
+                    self._constant_weight += weight
+                continue
+            root = self._encode_node(expr)
+            self._root_terms.append((root, weight))
+            for pname, s_value in phi_sensitivities(expr).items():
+                if s_value <= 0:
+                    continue
+                if s_value > self.max_phi_sensitivity:
+                    self.max_phi_sensitivity = s_value
+                row = self._g_rows.setdefault(pname, {})
+                row[root] = row.get(root, 0.0) + weight * s_value
+
+        self._num_structural = self._lp.num_variables
+
+    # -- construction helpers -------------------------------------------------
+    def _encode_node(self, expr: Expr) -> int:
+        """Return the LP variable index holding ``φ_expr`` (epigraph)."""
+        if isinstance(expr, Var):
+            return self._pindex[expr.name]
+        if isinstance(expr, _Const):
+            raise ExpressionError(
+                "constants inside connectives should have been folded away"
+            )
+        child_vars = [self._encode_node(child) for child in expr.children]
+        v = self._lp.add_variable(lb=0.0, ub=1.0)
+        if isinstance(expr, And):
+            # v >= sum(children) - (m-1)
+            coeffs: Dict[int, float] = {v: 1.0}
+            for child in child_vars:
+                coeffs[child] = coeffs.get(child, 0.0) - 1.0
+            self._lp.add_constraint(coeffs, ">=", -(len(child_vars) - 1))
+        elif isinstance(expr, Or):
+            for child in child_vars:
+                if child == v:  # impossible, defensive
+                    continue
+                self._lp.add_constraint({v: 1.0, child: -1.0}, ">=", 0.0)
+        else:
+            raise ExpressionError(f"unknown expression node {expr!r}")
+        return v
+
+    # -- basic facts ------------------------------------------------------------
+    @property
+    def num_participants(self) -> int:
+        return len(self.participants)
+
+    @property
+    def num_encoded_tuples(self) -> int:
+        return len(self._root_terms)
+
+    @property
+    def num_lp_variables(self) -> int:
+        return self._num_structural
+
+    def true_answer(self) -> float:
+        """``q(supp(R)) = H_{|P|}`` — the exact (non-private) query answer."""
+        return self.total_weight
+
+    # -- LP assembly ------------------------------------------------------------
+    def _clone_lp(self) -> LinearProgram:
+        return self._lp.clone()
+
+    def _mass_row(self) -> Dict[int, float]:
+        return {self._pindex[name]: 1.0 for name in self.participants}
+
+    def _objective_terms(self) -> Dict[int, float]:
+        coeffs: Dict[int, float] = {}
+        for var, weight in self._root_terms:
+            coeffs[var] = coeffs.get(var, 0.0) + weight
+        return coeffs
+
+    def _check(self, solution: LPSolution, what: str) -> LPSolution:
+        if not solution.is_optimal:
+            raise LPError(f"{what} LP not optimal: {solution.status} {solution.message}")
+        return solution
+
+    # -- the three solves ---------------------------------------------------------
+    def solve_h(self, i: float) -> float:
+        """``H_i`` (Eq. 16) for integer or fractional ``i ∈ [0, |P|]``."""
+        if not 0.0 <= i <= self.num_participants + 1e-9:
+            raise LPError(f"H index {i} outside [0, {self.num_participants}]")
+        if not self._root_terms:
+            return self._constant_weight
+        lp = self._clone_lp()
+        lp.add_constraint(self._mass_row(), "==", float(i))
+        lp.set_objective(self._objective_terms(), constant=self._constant_weight)
+        solution = self._check(self.backend.solve(lp), f"H_{i}")
+        return max(0.0, float(solution.objective))
+
+    def solve_g(self, i: float) -> float:
+        """``G_i`` (Eq. 19) — twice the min-max LP value."""
+        if not 0.0 <= i <= self.num_participants + 1e-9:
+            raise LPError(f"G index {i} outside [0, {self.num_participants}]")
+        if not self._g_rows:
+            return 0.0
+        lp = self._clone_lp()
+        z = lp.add_variable(lb=0.0, name="z")
+        for row in self._g_rows.values():
+            coeffs = {z: 1.0}
+            for var, coeff in row.items():
+                coeffs[var] = coeffs.get(var, 0.0) - coeff
+            lp.add_constraint(coeffs, ">=", 0.0)
+        lp.add_constraint(self._mass_row(), "==", float(i))
+        lp.set_objective({z: 1.0})
+        solution = self._check(self.backend.solve(lp), f"G_{i}")
+        return max(0.0, 2.0 * float(solution.objective))
+
+    def solve_g_uniform(self, i: float, s_bar: Optional[float] = None) -> float:
+        """The sound alternative bounding sequence ``Ĝ_i = 2·S̄·H_i``.
+
+        ``s_bar`` should be a *query-level* constant upper bound on the
+        φ-sensitivities (e.g. 1 for DNF output, or 1 + the number of
+        operations in the positive RA query — Sec. 5.2 property 4), so that
+        it is identical on neighboring databases; when omitted, the maximum
+        over the current annotations is used, which is an upper bound for
+        every ancestor but may differ from a *larger* neighbor's value.
+
+        Eq. 19's ``G`` is *not* a recursive sequence (Def. 17) for general
+        annotations — a counterexample with disjunctive annotations makes
+        ``ln Δ`` move by ``2β`` between neighbors, breaking Lemma 1 (see
+        DESIGN.md §6 "Erratum").  Scaling the (provably recursive) ``H`` by
+        the withdrawal-monotone constant ``2·S̄`` yields a sequence that is
+        both recursive and a valid 2-bounding sequence of ``H``: Theorem
+        4's truncation argument bounds the coordinate-Lipschitz constant of
+        ``H`` by ``max_p Σ_{t: φ(f)>0} q·S_{t,p} ≤ S̄·Σ_t q·2·φ(g) =
+        2·S̄·H_k`` at the level-``k`` minimizer ``g``.
+
+        ``Ĝ`` never beats Eq. 19's G on conjunctive (subgraph counting)
+        relations — there ``G ≈ 2·~US ≪ 2·H`` — but it restores the full
+        ε-DP guarantee for arbitrary positive annotations.
+        """
+        if s_bar is None:
+            s_bar = float(self.max_phi_sensitivity)
+        return 2.0 * float(s_bar) * self.solve_h(i)
+
+    def solve_x_relaxation(self, delta_hat: float) -> Tuple[float, float]:
+        """Solve Eq. 20: ``min_{i'∈[0,|P|]} H_{i'} + (|P| - i')·Δ̂``.
+
+        Returns ``(value, i')`` where ``i' = |f*|`` at the optimum.  By
+        Lemma 10 (convexity of ``H``) the integer minimizer of Eq. 12 lies
+        in ``{⌊i'⌋, ⌈i'⌉}``.
+        """
+        if delta_hat < 0:
+            raise LPError(f"delta_hat must be nonnegative, got {delta_hat}")
+        n = self.num_participants
+        if not self._root_terms:
+            # H is constant; X = H + (n - n)·Δ̂ at i' = n.
+            return self._constant_weight, float(n)
+        lp = self._clone_lp()
+        coeffs = self._objective_terms()
+        for name in self.participants:
+            idx = self._pindex[name]
+            coeffs[idx] = coeffs.get(idx, 0.0) - delta_hat
+        lp.set_objective(coeffs, constant=self._constant_weight + n * delta_hat)
+        solution = self._check(self.backend.solve(lp), "X relaxation")
+        mass = float(
+            sum(solution.x[self._pindex[name]] for name in self.participants)
+        )
+        return float(solution.objective), min(max(mass, 0.0), float(n))
+
+
+def encode_relation(
+    participants: Sequence[str],
+    annotated: Sequence[Tuple[Expr, float]],
+    backend=None,
+) -> EncodedRelation:
+    """Build an :class:`EncodedRelation` (default backend: SciPy/HiGHS)."""
+    if backend is None:
+        from ..lp import DEFAULT_BACKEND
+
+        backend = DEFAULT_BACKEND
+    return EncodedRelation(participants, annotated, backend)

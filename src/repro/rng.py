@@ -1,0 +1,71 @@
+"""Randomness utilities shared across the library.
+
+All randomized components in this package accept either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy) and normalize it
+through :func:`ensure_rng`.  Laplace sampling is centralized here so that the
+noise distribution used by every mechanism is implemented exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .errors import PrivacyParameterError
+
+__all__ = ["RngLike", "ensure_rng", "laplace", "laplace_array", "split_rng"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed for reproducibility, or an
+        existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {rng!r}")
+
+
+def split_rng(rng: RngLike, n: int) -> list:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Used by experiment sweeps so that trials are independent yet the whole
+    sweep stays reproducible from one seed.
+    """
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def laplace(scale: float, rng: RngLike = None) -> float:
+    """Draw one sample from the Laplace distribution ``Lap(scale)``.
+
+    The density is ``Lap(y | b) = exp(-|y|/b) / (2b)`` (Eq. 4 of the paper).
+    ``scale == 0`` returns exactly ``0.0`` (the degenerate distribution),
+    which arises for queries with zero sensitivity.
+    """
+    if scale < 0:
+        raise PrivacyParameterError(f"Laplace scale must be >= 0, got {scale}")
+    if scale == 0:
+        return 0.0
+    return float(ensure_rng(rng).laplace(loc=0.0, scale=scale))
+
+
+def laplace_array(scale: float, size: int, rng: RngLike = None) -> np.ndarray:
+    """Draw ``size`` i.i.d. samples from ``Lap(scale)``."""
+    if scale < 0:
+        raise PrivacyParameterError(f"Laplace scale must be >= 0, got {scale}")
+    if scale == 0:
+        return np.zeros(size)
+    return ensure_rng(rng).laplace(loc=0.0, scale=scale, size=size)

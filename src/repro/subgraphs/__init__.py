@@ -1,0 +1,61 @@
+"""Subgraph counting and its sensitive K-relation construction.
+
+Subgraph counting is the paper's flagship application: every occurrence of
+the query pattern contributes one tuple to a K-relation, annotated with the
+conjunction of the participants it needs — its nodes under node privacy,
+its edges under edge privacy (Fig. 2(a)).  The annotations are single
+conjunctions of distinct variables, hence DNF with φ-sensitivity 1, and
+``~US = ~GS = ~LS`` (Sec. 5.2).
+
+Specialized enumerators cover the patterns of the evaluation (triangles,
+k-stars, k-triangles, cliques, paths); a generic backtracking matcher
+handles arbitrary connected patterns, including patterns with per-node or
+per-edge constraints (Sec. 1.1's "arbitrary kinds of constraints").
+"""
+
+from .counting import (
+    count_k_stars,
+    count_triangles,
+    enumerate_k_cliques,
+    enumerate_k_stars,
+    enumerate_k_triangles,
+    enumerate_paths,
+    enumerate_triangles,
+)
+from .matching import Occurrence, enumerate_subgraphs
+from .patterns import (
+    Pattern,
+    cycle_pattern,
+    k_clique,
+    k_star,
+    k_triangle,
+    path_pattern,
+    triangle,
+)
+from .annotate import (
+    edge_var,
+    occurrences_for_pattern,
+    subgraph_krelation,
+)
+
+__all__ = [
+    "enumerate_triangles",
+    "enumerate_k_stars",
+    "enumerate_k_triangles",
+    "enumerate_k_cliques",
+    "enumerate_paths",
+    "count_triangles",
+    "count_k_stars",
+    "Occurrence",
+    "enumerate_subgraphs",
+    "Pattern",
+    "triangle",
+    "k_star",
+    "k_triangle",
+    "k_clique",
+    "path_pattern",
+    "cycle_pattern",
+    "edge_var",
+    "occurrences_for_pattern",
+    "subgraph_krelation",
+]

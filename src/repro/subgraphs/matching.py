@@ -1,0 +1,148 @@
+"""Generic connected-subgraph matching by backtracking.
+
+An *occurrence* of a pattern in a host graph is a subgraph of the host that
+the pattern maps onto isomorphically — identified by its node set and the
+set of host edges used.  Automorphic re-mappings of the pattern produce the
+same occurrence, so enumeration deduplicates by the (frozen) used-edge set;
+this matches the counting convention of the paper's examples (e.g. each
+triangle is counted once, not six times).
+
+The matcher orders pattern nodes so each new node is adjacent to an already
+matched one (a connected search order), extending candidates only through
+neighbors of matched hosts — polynomial per occurrence on sparse graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..errors import PatternError
+from ..graphs.graph import Graph
+from .patterns import Pattern
+
+__all__ = ["Occurrence", "enumerate_subgraphs"]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One matched subgraph: its host nodes and the host edges it uses."""
+
+    nodes: FrozenSet[object]
+    edges: FrozenSet[Tuple[object, object]]
+
+    @staticmethod
+    def normalize_edge(u, v) -> Tuple[object, object]:
+        """Canonical (repr-sorted) edge key, stable across runs."""
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    @classmethod
+    def from_mapping(cls, pattern: Pattern, mapping: Dict[int, object]) -> "Occurrence":
+        edges = frozenset(
+            cls.normalize_edge(mapping[u], mapping[v]) for u, v in pattern.graph.edges()
+        )
+        return cls(nodes=frozenset(mapping.values()), edges=edges)
+
+
+def _search_order(pattern: Pattern) -> List[int]:
+    """Pattern nodes ordered so each (after the first) touches a prior one."""
+    nodes = pattern.graph.nodes()
+    # start from the max-degree node for better pruning
+    start = max(nodes, key=pattern.graph.degree)
+    order = [start]
+    seen = {start}
+    while len(order) < len(nodes):
+        frontier = [
+            node
+            for node in nodes
+            if node not in seen
+            and any(prior in pattern.graph.neighbors(node) for prior in seen)
+        ]
+        if not frontier:
+            raise PatternError("pattern is not connected")
+        best = max(
+            frontier,
+            key=lambda node: sum(
+                1 for prior in seen if prior in pattern.graph.neighbors(node)
+            ),
+        )
+        order.append(best)
+        seen.add(best)
+    return order
+
+
+def enumerate_subgraphs(
+    graph: Graph,
+    pattern: Pattern,
+    node_data: Optional[Dict[object, object]] = None,
+    edge_data: Optional[Dict[Tuple[object, object], object]] = None,
+) -> Iterator[Occurrence]:
+    """Yield every occurrence of ``pattern`` in ``graph`` exactly once.
+
+    ``node_data``/``edge_data`` supply the host attributes that pattern
+    constraints test; absent entries default to ``None``.
+    """
+    order = _search_order(pattern)
+    pattern_adjacency = {
+        node: pattern.graph.neighbors(node) for node in pattern.graph.nodes()
+    }
+    node_data = node_data or {}
+    edge_data = edge_data or {}
+    seen_occurrences = set()
+
+    def node_ok(pattern_node: int, host) -> bool:
+        constraint = pattern.node_constraints.get(pattern_node)
+        if constraint is None:
+            return True
+        return bool(constraint(node_data.get(host)))
+
+    def edge_ok(pattern_edge: Tuple[int, int], host_u, host_v) -> bool:
+        constraint = pattern.edge_constraints.get(Pattern._norm_edge(pattern_edge))
+        if constraint is None:
+            return True
+        key = Occurrence.normalize_edge(host_u, host_v)
+        return bool(constraint(edge_data.get(key)))
+
+    mapping: Dict[int, object] = {}
+    used = set()
+
+    def extend(depth: int) -> Iterator[Occurrence]:
+        if depth == len(order):
+            occurrence = Occurrence.from_mapping(pattern, mapping)
+            if occurrence.edges not in seen_occurrences:
+                seen_occurrences.add(occurrence.edges)
+                yield occurrence
+            return
+        pattern_node = order[depth]
+        matched_neighbors = [
+            prior for prior in order[:depth] if prior in pattern_adjacency[pattern_node]
+        ]
+        if matched_neighbors:
+            anchor = mapping[matched_neighbors[0]]
+            candidates = graph.neighbors(anchor)
+        else:  # only the first node
+            candidates = set(graph.nodes())
+        for host in sorted(candidates, key=repr):
+            if host in used:
+                continue
+            if not node_ok(pattern_node, host):
+                continue
+            # adjacency consistency with all previously matched neighbors
+            consistent = True
+            for prior in matched_neighbors:
+                prior_host = mapping[prior]
+                if not graph.has_edge(host, prior_host):
+                    consistent = False
+                    break
+                if not edge_ok((pattern_node, prior), host, prior_host):
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            mapping[pattern_node] = host
+            used.add(host)
+            yield from extend(depth + 1)
+            del mapping[pattern_node]
+            used.discard(host)
+
+    yield from extend(0)

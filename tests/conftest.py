@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boolexpr import And, Or, Var
+from repro.graphs import Graph
+from repro.lp import ScipyBackend, SimplexBackend
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def scipy_backend():
+    return ScipyBackend()
+
+
+@pytest.fixture
+def simplex_backend():
+    return SimplexBackend()
+
+
+@pytest.fixture(params=["scipy", "simplex"])
+def any_backend(request):
+    """Parametrized over both LP backends (for conformance tests)."""
+    if request.param == "scipy":
+        return ScipyBackend()
+    return SimplexBackend()
+
+
+@pytest.fixture
+def paper_graph():
+    """The 6-node social network of Fig. 2 (a-b-c-d-e path of triangles)."""
+    g = Graph()
+    for u, v in [
+        ("a", "b"), ("a", "c"), ("b", "c"),
+        ("b", "d"), ("c", "d"),
+        ("c", "e"), ("d", "e"),
+        ("e", "f"),
+    ]:
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def small_random_graph():
+    from repro.graphs import random_graph_with_avg_degree
+
+    return random_graph_with_avg_degree(30, 6, rng=7)
+
+
+@pytest.fixture
+def abc_vars():
+    return Var("a"), Var("b"), Var("c")

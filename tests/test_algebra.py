@@ -1,0 +1,304 @@
+"""Tests for tuples, semirings, K-relations and positive relational algebra.
+
+The central correctness property is the *commutation with valuation* of
+provenance semantics (Green et al.): grounding the provenance annotations
+under a participant valuation and evaluating the query on the corresponding
+plain database must agree.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algebra import (
+    BOOLEAN,
+    COUNTING,
+    PROVENANCE,
+    TROPICAL,
+    Join,
+    KRelation,
+    Project,
+    Rename,
+    Select,
+    Table,
+    Tup,
+    Union,
+    cartesian_product,
+    difference_unsupported,
+    evaluate_query,
+    intersection,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.boolexpr import FALSE, TRUE, And, Or, Var, parse
+from repro.errors import AlgebraError, SchemaError
+
+
+class TestTup:
+    def test_mapping_protocol(self):
+        t = Tup(a=1, b="x")
+        assert t["a"] == 1
+        assert set(t) == {"a", "b"}
+        assert len(t) == 2
+
+    def test_equality_and_hash(self):
+        assert Tup(a=1, b=2) == Tup(b=2, a=1)
+        assert hash(Tup(a=1)) == hash(Tup(a=1))
+
+    def test_project(self):
+        assert Tup(a=1, b=2).project({"a"}) == Tup(a=1)
+
+    def test_project_missing_attr(self):
+        with pytest.raises(SchemaError):
+            Tup(a=1).project({"z"})
+
+    def test_compatible_and_merge(self):
+        t1, t2 = Tup(a=1, b=2), Tup(b=2, c=3)
+        assert t1.compatible_with(t2)
+        assert t1.merge(t2) == Tup(a=1, b=2, c=3)
+
+    def test_incompatible_merge_rejected(self):
+        with pytest.raises(SchemaError):
+            Tup(a=1).merge(Tup(a=2))
+
+    def test_rename(self):
+        assert Tup(a=1, b=2).rename({"a": "x"}) == Tup(x=1, b=2)
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            Tup(a=1, b=2).rename({"a": "b"})
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Tup({1: "x"})
+
+
+class TestSemirings:
+    @pytest.mark.parametrize("semiring", [BOOLEAN, COUNTING, TROPICAL])
+    def test_laws_on_samples(self, semiring):
+        if semiring is BOOLEAN:
+            samples = [False, True]
+        elif semiring is COUNTING:
+            samples = [0, 1, 2, 3]
+        else:
+            samples = [0.0, 1.0, 2.5, float("inf")]
+        zero, one = semiring.zero, semiring.one
+        for a, b, c in itertools.product(samples, repeat=3):
+            assert semiring.add(a, b) == semiring.add(b, a)
+            assert semiring.mul(a, b) == semiring.mul(b, a)
+            assert semiring.add(a, zero) == a
+            assert semiring.mul(a, one) == a
+            assert semiring.mul(a, zero) == zero
+            assert semiring.add(semiring.add(a, b), c) == semiring.add(
+                a, semiring.add(b, c)
+            )
+            assert semiring.mul(semiring.mul(a, b), c) == semiring.mul(
+                a, semiring.mul(b, c)
+            )
+            assert semiring.mul(a, semiring.add(b, c)) == semiring.add(
+                semiring.mul(a, b), semiring.mul(a, c)
+            )
+
+    def test_provenance_operations(self):
+        a, b = Var("a"), Var("b")
+        assert PROVENANCE.add(a, b) == Or((a, b))
+        assert PROVENANCE.mul(a, b) == And((a, b))
+        assert PROVENANCE.zero == FALSE
+        assert PROVENANCE.one == TRUE
+        assert PROVENANCE.is_zero(FALSE)
+        assert not PROVENANCE.is_zero(a)
+
+
+class TestKRelation:
+    def test_add_and_annotation(self):
+        r = KRelation({"a"}, COUNTING)
+        r.add(Tup(a=1), 2)
+        r.add(Tup(a=1), 3)
+        assert r.annotation(Tup(a=1)) == 5
+
+    def test_zero_annotations_dropped(self):
+        r = KRelation({"a"}, COUNTING)
+        r.add(Tup(a=1), 0)
+        assert len(r) == 0
+        assert Tup(a=1) not in r
+
+    def test_schema_mismatch_rejected(self):
+        r = KRelation({"a"}, COUNTING)
+        with pytest.raises(SchemaError):
+            r.add(Tup(b=1), 1)
+
+    def test_support_deterministic(self):
+        r = KRelation({"a"}, COUNTING, {Tup(a=2): 1, Tup(a=1): 1})
+        assert r.support() == (Tup(a=1), Tup(a=2))
+
+    def test_map_annotations(self):
+        r = KRelation({"a"}, COUNTING, {Tup(a=1): 3})
+        doubled = r.map_annotations(lambda k: k * 2)
+        assert doubled.annotation(Tup(a=1)) == 6
+
+    def test_pretty_renders(self):
+        r = KRelation({"a"}, COUNTING, {Tup(a=1): 3})
+        assert "annotation" in r.pretty()
+
+
+def _edge_relation(edges):
+    """Provenance relation for an undirected edge table, one var per edge."""
+    r = KRelation({"src", "dst"}, PROVENANCE)
+    for u, v in edges:
+        var = Var(f"e{min(u,v)}{max(u,v)}")
+        r.add(Tup(src=u, dst=v), var)
+        r.add(Tup(src=v, dst=u), var)
+    return r
+
+
+class TestOps:
+    def test_union_adds(self):
+        r1 = KRelation({"a"}, COUNTING, {Tup(a=1): 1})
+        r2 = KRelation({"a"}, COUNTING, {Tup(a=1): 2, Tup(a=2): 1})
+        u = union(r1, r2)
+        assert u.annotation(Tup(a=1)) == 3
+        assert u.annotation(Tup(a=2)) == 1
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            union(KRelation({"a"}, COUNTING), KRelation({"b"}, COUNTING))
+
+    def test_union_semiring_mismatch(self):
+        with pytest.raises(AlgebraError):
+            union(KRelation({"a"}, COUNTING), KRelation({"a"}, BOOLEAN))
+
+    def test_projection_sums(self):
+        r = KRelation({"a", "b"}, COUNTING, {Tup(a=1, b=1): 2, Tup(a=1, b=2): 3})
+        p = project(r, {"a"})
+        assert p.annotation(Tup(a=1)) == 5
+
+    def test_projection_provenance_builds_or(self):
+        r = KRelation(
+            {"a", "b"},
+            PROVENANCE,
+            {Tup(a=1, b=1): Var("x"), Tup(a=1, b=2): Var("y")},
+        )
+        p = project(r, {"a"})
+        assert p.annotation(Tup(a=1)) == Or((Var("x"), Var("y")))
+
+    def test_selection_multiplies_by_predicate(self):
+        r = KRelation({"a"}, COUNTING, {Tup(a=1): 2, Tup(a=2): 3})
+        s = select(r, lambda t: t["a"] > 1)
+        assert Tup(a=1) not in s
+        assert s.annotation(Tup(a=2)) == 3
+
+    def test_join_multiplies(self):
+        r1 = KRelation({"a", "b"}, COUNTING, {Tup(a=1, b=1): 2})
+        r2 = KRelation({"b", "c"}, COUNTING, {Tup(b=1, c=1): 3})
+        j = natural_join(r1, r2)
+        assert j.annotation(Tup(a=1, b=1, c=1)) == 6
+
+    def test_join_provenance_builds_and(self):
+        r1 = KRelation({"a", "b"}, PROVENANCE, {Tup(a=1, b=1): Var("x")})
+        r2 = KRelation({"b", "c"}, PROVENANCE, {Tup(b=1, c=1): Var("y")})
+        j = natural_join(r1, r2)
+        assert j.annotation(Tup(a=1, b=1, c=1)) == And((Var("x"), Var("y")))
+
+    def test_cartesian_product_requires_disjoint(self):
+        r1 = KRelation({"a"}, COUNTING, {Tup(a=1): 1})
+        with pytest.raises(SchemaError):
+            cartesian_product(r1, r1)
+
+    def test_intersection_requires_same_schema(self):
+        r1 = KRelation({"a"}, COUNTING, {Tup(a=1): 2})
+        r2 = KRelation({"a"}, COUNTING, {Tup(a=1): 3})
+        assert intersection(r1, r2).annotation(Tup(a=1)) == 6
+
+    def test_rename(self):
+        r = KRelation({"a"}, COUNTING, {Tup(a=1): 1})
+        assert rename(r, {"a": "z"}).annotation(Tup(z=1)) == 1
+
+    def test_difference_unsupported(self):
+        with pytest.raises(AlgebraError):
+            difference_unsupported()
+
+    def test_valuation_commutes_with_query(self):
+        """Ground provenance then evaluate == evaluate then ground."""
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4)]
+        r = _edge_relation(edges)
+        e1 = rename(r, {"src": "x", "dst": "y"})
+        e2 = rename(r, {"src": "y", "dst": "z"})
+        joined = select(natural_join(e1, e2), lambda t: t["x"] != t["z"])
+        result = project(joined, {"x", "z"})
+
+        # choose a valuation: drop edge (2,3)
+        def ground(expr):
+            return expr.evaluate(
+                {f"e{min(u,v)}{max(u,v)}": (u, v) != (2, 3) for u, v in edges}
+            )
+
+        grounded_after = {
+            t for t, annotation in result.items() if ground(annotation)
+        }
+        # evaluate the same query on the reduced plain relation
+        reduced = _edge_relation([e for e in edges if e != (2, 3)])
+        reduced_bool = reduced.map_annotations(ground, semiring=BOOLEAN)
+        e1b = rename(reduced_bool, {"src": "x", "dst": "y"})
+        e2b = rename(reduced_bool, {"src": "y", "dst": "z"})
+        joined_b = select(natural_join(e1b, e2b), lambda t: t["x"] != t["z"])
+        grounded_before = set(project(joined_b, {"x", "z"}).support())
+        assert grounded_after == grounded_before
+
+
+class TestQueryAst:
+    def _tables(self):
+        return {"E": _edge_relation([("a", "b"), ("b", "c"), ("c", "d"), ("c", "e")])}
+
+    def test_table_lookup(self):
+        tables = self._tables()
+        assert evaluate_query(Table("E"), tables) is tables["E"]
+
+    def test_unknown_table(self):
+        with pytest.raises(AlgebraError):
+            evaluate_query(Table("missing"), {})
+
+    def test_fig2b_common_friend_pairs(self):
+        """Fig. 2(b): pairs of friends with a common friend."""
+        tables = self._tables()
+        e1 = Rename(Table("E"), {"src": "u", "dst": "w"})
+        e2 = Rename(Table("E"), {"src": "w", "dst": "v"})
+        e3 = Rename(Table("E"), {"src": "u", "dst": "v"})
+        two_path = Select(Join(e1, e2), lambda t: t["u"] != t["v"])
+        friends_with_common = Join(two_path, e3)
+        result = evaluate_query(
+            Project(friends_with_common, ("u", "v")), tables
+        )
+        # b-c are friends and share no common friend? b's neighbors {a,c};
+        # c's {b,d,e}; common = {} -> not in result. Add a-b? a-b share c? a's
+        # neighbors {b}, b's {a,c}: common {} -> no pairs here at all except
+        # none. Extend the graph for a positive case:
+        tables["E"] = _edge_relation(
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        )
+        result = evaluate_query(
+            Project(friends_with_common, ("u", "v")), tables
+        )
+        pairs = {frozenset((t["u"], t["v"])) for t in result.support()}
+        assert frozenset(("a", "b")) in pairs  # common friend c
+        # the annotation of (a,b) must mention all three edges
+        annotation = result.annotation(Tup(u="a", v="b"))
+        assert {"eab", "eac", "ebc"} <= annotation.variables()
+
+    def test_union_node(self):
+        r1 = KRelation({"a"}, COUNTING, {Tup(a=1): 1})
+        r2 = KRelation({"a"}, COUNTING, {Tup(a=2): 1})
+        out = evaluate_query(Union(Table("R1"), Table("R2")), {"R1": r1, "R2": r2})
+        assert len(out) == 2
+
+    def test_query_sugar(self):
+        tables = self._tables()
+        q = Table("E").where(lambda t: t["src"] == "a").onto(["dst"])
+        out = evaluate_query(q, tables)
+        assert Tup(dst="b") in out
+
+    def test_table_names(self):
+        q = Join(Table("A"), Union(Table("B"), Table("A")))
+        assert q.table_names() == frozenset({"A", "B"})

@@ -1,0 +1,129 @@
+"""Property-based tests for the algebra layer (hypothesis).
+
+Checks the semiring-lifted laws of positive relational algebra on random
+provenance-annotated relations, and the fundamental provenance property:
+grounding annotations under a random valuation commutes with evaluating
+the query on the grounded database.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    BOOLEAN,
+    PROVENANCE,
+    KRelation,
+    Tup,
+    natural_join,
+    project,
+    select,
+    union,
+)
+from repro.boolexpr import And, Expr, Or, Var
+from repro.relax import phi_equivalent
+
+VARS = ["p0", "p1", "p2", "p3"]
+VALUES = [0, 1, 2]
+
+
+def annotations() -> st.SearchStrategy[Expr]:
+    leaves = st.sampled_from([Var(v) for v in VARS])
+    return st.recursive(
+        leaves,
+        lambda kids: st.lists(kids, min_size=2, max_size=2).map(And)
+        | st.lists(kids, min_size=2, max_size=2).map(Or),
+        max_leaves=4,
+    )
+
+
+def relations(attrs: tuple) -> st.SearchStrategy[KRelation]:
+    tuple_strategy = st.fixed_dictionaries(
+        {a: st.sampled_from(VALUES) for a in attrs}
+    ).map(Tup)
+    entry = st.tuples(tuple_strategy, annotations())
+    return st.lists(entry, max_size=5).map(
+        lambda pairs: KRelation(attrs, PROVENANCE, dict(pairs))
+    )
+
+
+def _equivalent_relations(r1: KRelation, r2: KRelation) -> bool:
+    """Same support; annotations equal up to φ-equivalence."""
+    if set(r1.support()) != set(r2.support()):
+        return False
+    return all(
+        phi_equivalent(r1.annotation(t), r2.annotation(t)) for t in r1.support()
+    )
+
+
+@given(relations(("a",)), relations(("a",)))
+@settings(max_examples=60, deadline=None)
+def test_union_commutative_up_to_phi(r1, r2):
+    assert _equivalent_relations(union(r1, r2), union(r2, r1))
+
+
+@given(relations(("a",)), relations(("a",)), relations(("a",)))
+@settings(max_examples=60, deadline=None)
+def test_union_associative_up_to_phi(r1, r2, r3):
+    assert _equivalent_relations(
+        union(union(r1, r2), r3), union(r1, union(r2, r3))
+    )
+
+
+@given(relations(("a", "b")), relations(("b", "c")))
+@settings(max_examples=60, deadline=None)
+def test_join_commutative_up_to_phi(r1, r2):
+    assert _equivalent_relations(natural_join(r1, r2), natural_join(r2, r1))
+
+
+@given(relations(("a", "b")), relations(("b", "c")), relations(("b", "c")))
+@settings(max_examples=60, deadline=None)
+def test_join_distributes_over_union_up_to_phi(r, s1, s2):
+    left = natural_join(r, union(s1, s2))
+    right = union(natural_join(r, s1), natural_join(r, s2))
+    assert _equivalent_relations(left, right)
+
+
+@given(
+    relations(("a", "b")),
+    st.fixed_dictionaries({v: st.booleans() for v in VARS}),
+)
+@settings(max_examples=80, deadline=None)
+def test_projection_commutes_with_valuation(relation, valuation):
+    """Ground-then-project == project-then-ground (support level)."""
+    projected = project(relation, ("a",))
+    ground_after = {
+        t for t, ann in projected.items() if ann.evaluate(valuation)
+    }
+    grounded = relation.map_annotations(
+        lambda ann: ann.evaluate(valuation), semiring=BOOLEAN
+    )
+    ground_before = set(project(grounded, ("a",)).support())
+    assert ground_after == ground_before
+
+
+@given(
+    relations(("a", "b")),
+    relations(("b", "c")),
+    st.fixed_dictionaries({v: st.booleans() for v in VARS}),
+)
+@settings(max_examples=80, deadline=None)
+def test_join_commutes_with_valuation(r1, r2, valuation):
+    joined = natural_join(r1, r2)
+    ground_after = {
+        t for t, ann in joined.items() if ann.evaluate(valuation)
+    }
+    g1 = r1.map_annotations(lambda a: a.evaluate(valuation), semiring=BOOLEAN)
+    g2 = r2.map_annotations(lambda a: a.evaluate(valuation), semiring=BOOLEAN)
+    ground_before = set(natural_join(g1, g2).support())
+    assert ground_after == ground_before
+
+
+@given(relations(("a", "b")), st.sampled_from(["a", "b"]), st.sampled_from(VALUES))
+@settings(max_examples=60, deadline=None)
+def test_selection_is_subset(relation, attr, value):
+    selected = select(relation, lambda t: t[attr] == value)
+    assert set(selected.support()) <= set(relation.support())
+    for t in selected.support():
+        assert selected.annotation(t) == relation.annotation(t)

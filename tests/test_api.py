@@ -1,0 +1,94 @@
+"""Tests for the top-level public API surface."""
+
+import math
+
+import pytest
+
+import repro
+from repro import (
+    RecursiveMechanismParams,
+    private_subgraph_count,
+    random_graph_with_avg_degree,
+    triangle,
+)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_classes_importable_from_top_level(self):
+        from repro import (
+            And,
+            CountQuery,
+            EfficientRecursiveMechanism,
+            Graph,
+            KRelation,
+            Or,
+            SensitiveKRelation,
+            Var,
+        )
+
+        assert Var("a") & Var("b") == And((Var("a"), Var("b")))
+
+
+class TestPrivateSubgraphCount:
+    def test_node_privacy(self):
+        g = random_graph_with_avg_degree(40, 8, rng=1)
+        result = private_subgraph_count(
+            g, triangle(), privacy="node", epsilon=1.0, rng=2
+        )
+        assert math.isfinite(result.answer)
+        assert result.params.mu == 1.0  # node privacy default
+
+    def test_edge_privacy(self):
+        g = random_graph_with_avg_degree(40, 8, rng=1)
+        result = private_subgraph_count(
+            g, triangle(), privacy="edge", epsilon=1.0, rng=2
+        )
+        assert result.params.mu == 0.5
+
+    def test_custom_params_override(self):
+        g = random_graph_with_avg_degree(30, 6, rng=1)
+        params = RecursiveMechanismParams(
+            epsilon1=0.4, epsilon2=0.4, beta=0.2, mu=0.7, g=2
+        )
+        result = private_subgraph_count(g, triangle(), params=params, rng=0)
+        assert result.params is params
+
+    def test_deterministic_with_seed(self):
+        g = random_graph_with_avg_degree(30, 6, rng=1)
+        r1 = private_subgraph_count(g, triangle(), epsilon=1.0, rng=5)
+        r2 = private_subgraph_count(g, triangle(), epsilon=1.0, rng=5)
+        assert r1.answer == r2.answer
+
+    def test_different_seeds_differ(self):
+        g = random_graph_with_avg_degree(30, 6, rng=1)
+        r1 = private_subgraph_count(g, triangle(), epsilon=1.0, rng=5)
+        r2 = private_subgraph_count(g, triangle(), epsilon=1.0, rng=6)
+        assert r1.answer != r2.answer
+
+    def test_accuracy_improves_with_epsilon(self):
+        """Statistically: eps=8 should beat eps=0.1 in median error."""
+        import numpy as np
+
+        g = random_graph_with_avg_degree(60, 8, rng=3)
+        rng = np.random.default_rng(0)
+        from repro.core import EfficientRecursiveMechanism
+        from repro.subgraphs import subgraph_krelation
+
+        rel = subgraph_krelation(g, triangle(), privacy="edge")
+        mech = EfficientRecursiveMechanism(rel)
+        lo = [
+            mech.run(RecursiveMechanismParams.paper(0.1), rng).relative_error
+            for _ in range(15)
+        ]
+        hi = [
+            mech.run(RecursiveMechanismParams.paper(8.0), rng).relative_error
+            for _ in range(15)
+        ]
+        assert sorted(hi)[7] < sorted(lo)[7]

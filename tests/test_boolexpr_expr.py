@@ -1,0 +1,194 @@
+"""Tests for the positive Boolean expression AST."""
+
+import pytest
+
+from repro.boolexpr import (
+    FALSE,
+    TRUE,
+    And,
+    Or,
+    Var,
+    all_vars,
+    and_all,
+    or_all,
+)
+from repro.errors import ExpressionError
+
+
+class TestConstants:
+    def test_true_evaluates_true(self):
+        assert TRUE.evaluate({}) is True
+
+    def test_false_evaluates_false(self):
+        assert FALSE.evaluate({}) is False
+
+    def test_constants_have_no_variables(self):
+        assert TRUE.variables() == frozenset()
+        assert FALSE.variables() == frozenset()
+
+    def test_constants_are_singleton_like(self):
+        assert TRUE == TRUE and FALSE == FALSE
+        assert TRUE != FALSE
+
+    def test_str(self):
+        assert str(TRUE) == "True"
+        assert str(FALSE) == "False"
+
+    def test_substitute_is_identity(self):
+        assert TRUE.substitute({"a": FALSE}) == TRUE
+
+
+class TestVar:
+    def test_variables(self):
+        assert Var("x").variables() == frozenset({"x"})
+
+    def test_evaluate_defaults_to_false(self):
+        assert Var("x").evaluate({}) is False
+        assert Var("x").evaluate({"x": True}) is True
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            Var("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            Var(3)
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert hash(Var("x")) == hash(Var("x"))
+        assert Var("x") != Var("y")
+
+    def test_substitute(self):
+        assert Var("x").substitute({"x": TRUE}) == TRUE
+        assert Var("x").substitute({"y": TRUE}) == Var("x")
+
+    def test_counts(self):
+        v = Var("x")
+        assert v.leaf_count() == 1
+        assert v.node_count() == 1
+        assert v.occurrences("x") == 1
+        assert v.occurrences("y") == 0
+
+
+class TestAndOr:
+    def test_and_evaluates(self, abc_vars):
+        a, b, c = abc_vars
+        expr = And((a, b, c))
+        assert expr.evaluate({"a": True, "b": True, "c": True}) is True
+        assert expr.evaluate({"a": True, "b": True}) is False
+
+    def test_or_evaluates(self, abc_vars):
+        a, b, c = abc_vars
+        expr = Or((a, b, c))
+        assert expr.evaluate({"c": True}) is True
+        assert expr.evaluate({}) is False
+
+    def test_and_flattens_nested_and(self, abc_vars):
+        a, b, c = abc_vars
+        assert And((And((a, b)), c)) == And((a, b, c))
+
+    def test_or_flattens_nested_or(self, abc_vars):
+        a, b, c = abc_vars
+        assert Or((Or((a, b)), c)) == Or((a, b, c))
+
+    def test_and_does_not_flatten_or(self, abc_vars):
+        a, b, c = abc_vars
+        expr = And((Or((a, b)), c))
+        assert len(expr.children) == 2
+
+    def test_identity_true_dropped_from_and(self, abc_vars):
+        a, b, _ = abc_vars
+        assert And((a, TRUE, b)) == And((a, b))
+
+    def test_identity_false_dropped_from_or(self, abc_vars):
+        a, b, _ = abc_vars
+        assert Or((a, FALSE, b)) == Or((a, b))
+
+    def test_annihilator_false_in_and(self, abc_vars):
+        a, b, _ = abc_vars
+        assert And((a, FALSE, b)) == FALSE
+
+    def test_annihilator_true_in_or(self, abc_vars):
+        a, b, _ = abc_vars
+        assert Or((a, TRUE, b)) == TRUE
+
+    def test_empty_and_is_true(self):
+        assert And(()) == TRUE
+
+    def test_empty_or_is_false(self):
+        assert Or(()) == FALSE
+
+    def test_singleton_collapses(self, abc_vars):
+        a, _, _ = abc_vars
+        assert And((a,)) == a
+        assert Or((a,)) == a
+
+    def test_idempotence_not_applied(self, abc_vars):
+        """a ∧ a must NOT simplify to a — that would change φ."""
+        a, _, _ = abc_vars
+        expr = And((a, a))
+        assert expr != a
+        assert expr.leaf_count() == 2
+
+    def test_operator_sugar(self, abc_vars):
+        a, b, c = abc_vars
+        assert (a & b) == And((a, b))
+        assert (a | b) == Or((a, b))
+        assert (a & b & c) == And((a, b, c))
+
+    def test_variables_union(self, abc_vars):
+        a, b, c = abc_vars
+        assert ((a & b) | c).variables() == {"a", "b", "c"}
+
+    def test_counts(self, abc_vars):
+        a, b, c = abc_vars
+        expr = (a & b) | (a & c)
+        assert expr.leaf_count() == 4
+        assert expr.node_count() == 7  # 4 leaves + 2 Ands + 1 Or
+        assert expr.occurrences("a") == 2
+        assert expr.occurrences("b") == 1
+
+    def test_substitute_rebuilds(self, abc_vars):
+        a, b, c = abc_vars
+        expr = (a & b) | c
+        assert expr.substitute({"a": TRUE}) == Or((b, c))
+        assert expr.substitute({"c": FALSE}) == And((a, b))
+
+    def test_structural_equality_is_ordered(self, abc_vars):
+        a, b, _ = abc_vars
+        assert And((a, b)) != And((b, a))  # syntax trees, not canonical forms
+
+    def test_hash_consistency(self, abc_vars):
+        a, b, _ = abc_vars
+        assert hash(And((a, b))) == hash(And((a, b)))
+
+    def test_negation_rejected(self, abc_vars):
+        a, _, _ = abc_vars
+        with pytest.raises(ExpressionError):
+            ~a
+
+    def test_non_expr_child_rejected(self, abc_vars):
+        a, _, _ = abc_vars
+        with pytest.raises(ExpressionError):
+            And((a, "b"))
+
+    def test_iter_nodes_covers_tree(self, abc_vars):
+        a, b, c = abc_vars
+        expr = (a & b) | c
+        kinds = [type(node).__name__ for node in expr.iter_nodes()]
+        assert kinds.count("Var") == 3
+        assert kinds.count("And") == 1
+        assert kinds.count("Or") == 1
+
+
+class TestHelpers:
+    def test_and_all_or_all(self, abc_vars):
+        a, b, c = abc_vars
+        assert and_all([a, b, c]) == And((a, b, c))
+        assert or_all([a, b, c]) == Or((a, b, c))
+        assert and_all([]) == TRUE
+        assert or_all([]) == FALSE
+
+    def test_all_vars(self):
+        assert all_vars(["x", "y"]) == (Var("x"), Var("y"))

@@ -1,0 +1,64 @@
+"""Tests for the expression parser."""
+
+import pytest
+
+from repro.boolexpr import FALSE, TRUE, And, Or, Var, parse
+from repro.errors import ParseError
+
+
+class TestParse:
+    def test_single_variable(self):
+        assert parse("x") == Var("x")
+
+    def test_constants(self):
+        assert parse("True") == TRUE
+        assert parse("False") == FALSE
+
+    def test_and(self):
+        assert parse("a & b") == And((Var("a"), Var("b")))
+
+    def test_or(self):
+        assert parse("a | b") == Or((Var("a"), Var("b")))
+
+    def test_precedence_and_binds_tighter(self):
+        assert parse("a & b | c") == Or((And((Var("a"), Var("b"))), Var("c")))
+
+    def test_parentheses(self):
+        assert parse("a & (b | c)") == And((Var("a"), Or((Var("b"), Var("c")))))
+
+    def test_word_operators(self):
+        assert parse("a and b or c") == parse("a & b | c")
+
+    def test_unicode_operators(self):
+        assert parse("a ∧ b ∨ c") == parse("a & b | c")
+
+    def test_nary_flattening(self):
+        assert parse("a & b & c") == And((Var("a"), Var("b"), Var("c")))
+
+    def test_edge_style_identifiers(self):
+        expr = parse("e:1-2 & e:2-3")
+        assert expr.variables() == {"e:1-2", "e:2-3"}
+
+    def test_paper_example(self):
+        """(b1 ∨ b2) ∧ (b1 ∨ b3) from Sec. 2.4."""
+        expr = parse("(b1 | b2) & (b1 | b3)")
+        assert isinstance(expr, And)
+        assert all(isinstance(child, Or) for child in expr.children)
+
+    def test_identity_folding_through_parse(self):
+        assert parse("a & True") == Var("a")
+        assert parse("a | False") == Var("a")
+        assert parse("a & False") == FALSE
+        assert parse("a | True") == TRUE
+
+    def test_roundtrip_through_str(self):
+        for text in ("a & b | c", "(a | b) & (c | d)", "a & (b | (c & d))"):
+            expr = parse(text)
+            assert parse(str(expr)) == expr
+
+    @pytest.mark.parametrize(
+        "bad", ["", "   ", "a &", "& a", "(a", "a)", "a b", "a ! b", "a & ()"]
+    )
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for expressions and the φ relaxation.
+
+These verify the Theorem-5 properties of φ — correctness, naturalness,
+monotonicity, convexity, truncated linearity — plus the φ-invariance of the
+constructor simplifications, on randomly generated positive expressions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolexpr import And, Expr, Or, Var, expand_dnf, minimal_dnf, truth_equivalent
+from repro.boolexpr.transform import restrict
+from repro.relax import phi, phi_star
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+def exprs(max_leaves: int = 12) -> st.SearchStrategy[Expr]:
+    """Random positive expressions over a small variable pool."""
+    leaves = st.sampled_from([Var(name) for name in NAMES])
+    return st.recursive(
+        leaves,
+        lambda children: st.lists(children, min_size=2, max_size=3).map(And)
+        | st.lists(children, min_size=2, max_size=3).map(Or),
+        max_leaves=max_leaves,
+    )
+
+
+def assignments(fractional: bool = True) -> st.SearchStrategy[dict]:
+    value = st.floats(0.0, 1.0) if fractional else st.booleans().map(float)
+    return st.fixed_dictionaries({name: value for name in NAMES})
+
+
+@given(exprs(), assignments(fractional=False))
+@settings(max_examples=150, deadline=None)
+def test_phi_correctness_on_boolean_points(expr, f):
+    """Theorem 5, correctness: φ agrees with Boolean evaluation on {0,1}^P."""
+    boolean = expr.evaluate({name: bool(v) for name, v in f.items()})
+    assert phi(expr, f) == (1.0 if boolean else 0.0)
+
+
+@given(exprs(), assignments())
+@settings(max_examples=150, deadline=None)
+def test_phi_range(expr, f):
+    assert 0.0 <= phi(expr, f) <= 1.0
+
+
+@given(exprs(), assignments(), st.sampled_from(NAMES))
+@settings(max_examples=150, deadline=None)
+def test_phi_naturalness(expr, f, name):
+    """Theorem 5, naturalness: pinning f(p) to 0/1 equals substitution."""
+    f0 = dict(f)
+    f0[name] = 0.0
+    assert math.isclose(
+        phi(expr, f0), phi(restrict(expr, {name: False}), f0), abs_tol=1e-12
+    )
+    f1 = dict(f)
+    f1[name] = 1.0
+    assert math.isclose(
+        phi(expr, f1), phi(restrict(expr, {name: True}), f1), abs_tol=1e-12
+    )
+
+
+@given(exprs(), assignments(), assignments())
+@settings(max_examples=150, deadline=None)
+def test_phi_monotonicity(expr, f, g):
+    """Theorem 5, monotonicity: f <= g pointwise implies φ(f) <= φ(g)."""
+    lo = {name: min(f[name], g[name]) for name in NAMES}
+    hi = {name: max(f[name], g[name]) for name in NAMES}
+    assert phi(expr, lo) <= phi(expr, hi) + 1e-12
+
+
+@given(exprs(), assignments(), assignments(), st.floats(0.0, 1.0))
+@settings(max_examples=150, deadline=None)
+def test_phi_convexity(expr, f, g, lam):
+    """Theorem 5, convexity: φ(λf + (1-λ)g) <= λφ(f) + (1-λ)φ(g)."""
+    mix = {name: lam * f[name] + (1 - lam) * g[name] for name in NAMES}
+    assert phi(expr, mix) <= lam * phi(expr, f) + (1 - lam) * phi(expr, g) + 1e-9
+
+
+@given(exprs(), assignments(), st.floats(1.0, 5.0))
+@settings(max_examples=150, deadline=None)
+def test_phi_truncated_linearity(expr, f, c):
+    """Theorem 5, truncated linearity: φ*(c·f) = min(1, c·φ*(f))."""
+    scaled = {name: c * f[name] for name in NAMES}
+    assert math.isclose(
+        phi_star(expr, scaled), min(1.0, c * phi_star(expr, f)), abs_tol=1e-9
+    )
+
+
+@given(exprs(), assignments())
+@settings(max_examples=100, deadline=None)
+def test_expand_dnf_is_phi_invariant(expr, f):
+    assert math.isclose(phi(expr, f), phi(expand_dnf(expr), f), abs_tol=1e-12)
+
+
+@given(exprs())
+@settings(max_examples=100, deadline=None)
+def test_minimal_dnf_preserves_truth_table(expr):
+    assert truth_equivalent(expr, minimal_dnf(expr))
+
+
+@given(exprs())
+@settings(max_examples=100, deadline=None)
+def test_minimal_dnf_is_canonical(expr):
+    """Idempotence: the minimal DNF of a minimal DNF is itself."""
+    once = minimal_dnf(expr)
+    assert minimal_dnf(once) == once
+
+
+@given(exprs(), st.sampled_from(NAMES), assignments(fractional=False))
+@settings(max_examples=100, deadline=None)
+def test_restrict_false_matches_semantics(expr, name, f):
+    """k|p→False evaluates like k with p forced off."""
+    reduced = restrict(expr, {name: False})
+    forced = dict(f)
+    forced[name] = 0.0
+    assert phi(reduced, forced) == phi(expr, forced)

@@ -1,0 +1,149 @@
+"""Tests for restriction, DNF expansion, and the canonical minimal DNF."""
+
+import pytest
+
+from repro.boolexpr import (
+    FALSE,
+    TRUE,
+    And,
+    Or,
+    Var,
+    expand_dnf,
+    is_conjunction_of_vars,
+    is_dnf,
+    minimal_dnf,
+    parse,
+    restrict,
+    restrict_false,
+    truth_equivalent,
+)
+from repro.boolexpr.transform import clauses_to_expr, dnf_clauses
+from repro.relax import phi, phi_equivalent
+
+
+class TestRestrict:
+    def test_restrict_to_false_prunes(self):
+        expr = parse("(a & b) | c")
+        assert restrict(expr, {"a": False}) == Var("c")
+
+    def test_restrict_to_true_simplifies(self):
+        expr = parse("(a & b) | c")
+        assert restrict(expr, {"a": True}) == Or((Var("b"), Var("c")))
+
+    def test_restrict_all_false_gives_false(self):
+        expr = parse("a & b & c")
+        assert restrict_false(expr, "a") == FALSE
+
+    def test_restrict_false_multiple(self):
+        expr = parse("(a & b) | (c & d)")
+        assert restrict_false(expr, "a", "c") == FALSE
+
+    def test_restrict_is_paper_substitution(self):
+        """restrict(k, {p: False}) equals k|p→False up to φ."""
+        expr = parse("(a | b) & (a | c)")
+        reduced = restrict(expr, {"a": False})
+        assert phi_equivalent(reduced, parse("b & c"))
+
+    def test_restrict_missing_var_noop(self):
+        expr = parse("a & b")
+        assert restrict(expr, {"z": False}) == expr
+
+
+class TestExpandDnf:
+    def test_already_dnf_unchanged_semantics(self):
+        expr = parse("(a & b) | c")
+        assert phi_equivalent(expand_dnf(expr), expr)
+
+    def test_cnf_expansion(self):
+        expr = parse("(a | b) & (c | d)")
+        expanded = expand_dnf(expr)
+        assert is_dnf(expanded)
+        assert truth_equivalent(expanded, expr)
+
+    def test_expansion_preserves_phi_exactly(self):
+        """Distributivity is a φ-invariant transformation (Sec. 5.2)."""
+        cases = [
+            "(a | b) & (a | c)",
+            "(a | b) & (c | d) & (e | f)",
+            "a & ((b | c) & (d | e))",
+            "(a & b) | ((c | d) & e)",
+        ]
+        for text in cases:
+            expr = parse(text)
+            expanded = expand_dnf(expr)
+            assert is_dnf(expanded)
+            assert phi_equivalent(expr, expanded), text
+
+    def test_duplicate_literals_preserved(self):
+        """(a|b)&(a|c) expands with an a∧a clause; dedup would change φ."""
+        expr = parse("(a | b) & (a | c)")
+        expanded = expand_dnf(expr)
+        f = {"a": 0.5, "b": 0.0, "c": 0.0}
+        # φ of the a∧a clause at a=0.5 is 0, so the whole DNF stays 0
+        assert phi(expanded, f) == phi(expr, f) == 0.0
+
+    def test_constants(self):
+        assert expand_dnf(TRUE) == TRUE
+        assert expand_dnf(FALSE) == FALSE
+
+
+class TestMinimalDnf:
+    def test_paper_equivalence_example(self):
+        """(b1∨b2)∧(b1∨b3) and b1∨(b2∧b3) share the minimal DNF."""
+        left = minimal_dnf(parse("(b1 | b2) & (b1 | b3)"))
+        right = minimal_dnf(parse("b1 | (b2 & b3)"))
+        assert left == right
+
+    def test_absorption_removed(self):
+        expr = parse("a | (a & b)")
+        assert minimal_dnf(expr) == Var("a")
+
+    def test_duplicates_removed(self):
+        expr = And((Var("a"), Var("a")))
+        assert minimal_dnf(expr) == Var("a")
+
+    def test_canonical_across_orderings(self):
+        e1 = minimal_dnf(parse("(a & b) | (c & d)"))
+        e2 = minimal_dnf(parse("(d & c) | (b & a)"))
+        assert e1 == e2
+
+    def test_truth_preserved(self):
+        for text in ["(a | b) & (c | d)", "a & (b | c)", "(a & b) | (b & c) | (c & a)"]:
+            expr = parse(text)
+            assert truth_equivalent(expr, minimal_dnf(expr))
+
+    def test_constants(self):
+        assert minimal_dnf(TRUE) == TRUE
+        assert minimal_dnf(FALSE) == FALSE
+        assert minimal_dnf(parse("a | True")) == TRUE
+
+    def test_result_is_dnf_with_sensitivity_one(self):
+        from repro.boolexpr import phi_sensitivities
+
+        expr = minimal_dnf(parse("(a | b) & (a | c) & (b | d)"))
+        assert is_dnf(expr)
+        sens = phi_sensitivities(expr)
+        assert all(value <= 1 for value in sens.values())
+
+
+class TestDnfHelpers:
+    def test_dnf_clauses(self):
+        clauses = dnf_clauses(parse("(a & b) | c"))
+        assert frozenset({"a", "b"}) in clauses
+        assert frozenset({"c"}) in clauses
+
+    def test_clauses_to_expr_roundtrip(self):
+        expr = clauses_to_expr([("a", "b"), ("c",)])
+        assert truth_equivalent(expr, parse("(a & b) | c"))
+
+    def test_is_conjunction_of_vars(self):
+        assert is_conjunction_of_vars(parse("a & b & c"))
+        assert is_conjunction_of_vars(Var("a"))
+        assert not is_conjunction_of_vars(parse("a | b"))
+        assert not is_conjunction_of_vars(parse("a & (b | c)"))
+
+    def test_is_dnf(self):
+        assert is_dnf(parse("(a & b) | (c & d)"))
+        assert is_dnf(parse("a | b"))
+        assert is_dnf(TRUE)
+        assert not is_dnf(parse("(a | b) & c"))

@@ -1,0 +1,138 @@
+"""Tests for truth-table utilities and φ-sensitivities S_{k,p}."""
+
+import pytest
+
+from repro.boolexpr import (
+    And,
+    Or,
+    Var,
+    evaluate,
+    iter_assignments,
+    max_phi_sensitivity,
+    minimal_satisfying_sets,
+    parse,
+    phi_sensitivities,
+    phi_sensitivity,
+    truth_equivalent,
+)
+from repro.boolexpr.truth import truth_equivalent_bruteforce
+
+
+class TestTruth:
+    def test_evaluate_with_set(self):
+        expr = parse("(a & b) | c")
+        assert evaluate(expr, {"a", "b"})
+        assert evaluate(expr, {"c"})
+        assert not evaluate(expr, {"a"})
+
+    def test_iter_assignments_count(self):
+        assert len(list(iter_assignments(["a", "b", "c"]))) == 8
+
+    def test_minimal_satisfying_sets(self):
+        expr = parse("(a & b) | c | (a & b & d)")
+        assert minimal_satisfying_sets(expr) == [
+            frozenset({"c"}),
+            frozenset({"a", "b"}),
+        ]
+
+    def test_truth_equivalent_paper_pair(self):
+        assert truth_equivalent(
+            parse("(b1 | b2) & (b1 | b3)"), parse("b1 | (b2 & b3)")
+        )
+
+    def test_truth_equivalent_negative(self):
+        assert not truth_equivalent(parse("a & b"), parse("a | b"))
+
+    def test_bruteforce_agrees_with_prime_implicants(self):
+        pairs = [
+            ("(a | b) & (a | c)", "a | (b & c)", True),
+            ("(a & b) | (a & c)", "a & (b | c)", True),
+            ("a & b", "a | b", False),
+            ("a", "a & a", True),
+        ]
+        for left, right, expected in pairs:
+            assert truth_equivalent(parse(left), parse(right)) is expected
+            assert truth_equivalent_bruteforce(parse(left), parse(right)) is expected
+
+    def test_bruteforce_guard(self):
+        wide = Or(Var(f"x{i}") for i in range(25))
+        with pytest.raises(ValueError):
+            truth_equivalent_bruteforce(wide, wide, max_vars=20)
+
+
+class TestPhiSensitivity:
+    def test_recursion_base_cases(self):
+        from repro.boolexpr import FALSE, TRUE
+
+        assert phi_sensitivity(TRUE, "a") == 0
+        assert phi_sensitivity(FALSE, "a") == 0
+        assert phi_sensitivity(Var("a"), "a") == 1
+        assert phi_sensitivity(Var("a"), "b") == 0
+
+    def test_and_sums(self):
+        assert phi_sensitivity(parse("a & a"), "a") == 2
+
+    def test_or_maxes(self):
+        assert phi_sensitivity(parse("a | a"), "a") == 1
+
+    def test_fig3_row1(self):
+        """a∧b∧c: all sensitivities 1."""
+        sens = phi_sensitivities(parse("a & b & c"))
+        assert sens == {"a": 1, "b": 1, "c": 1}
+
+    def test_fig3_row2(self):
+        """(a∨b)∧(a∨c)∧(b∨d): S_a=S_b=2, S_c=S_d=1."""
+        sens = phi_sensitivities(parse("(a | b) & (a | c) & (b | d)"))
+        assert sens == {"a": 2, "b": 2, "c": 1, "d": 1}
+
+    def test_fig3_row3(self):
+        """(a∧b)∨(a∧c)∨(b∧d): all 1."""
+        sens = phi_sensitivities(parse("(a & b) | (a & c) | (b & d)"))
+        assert sens == {"a": 1, "b": 1, "c": 1, "d": 1}
+
+    def test_bounded_by_occurrences(self):
+        """Property 1 of Sec. 5.2."""
+        for text in ["(a | b) & (a | c)", "a & a & a", "(a & b) | (a & c)"]:
+            expr = parse(text)
+            for name in expr.variables():
+                assert phi_sensitivity(expr, name) <= expr.occurrences(name)
+
+    def test_dnf_bounded_by_one(self):
+        """Property 3 of Sec. 5.2: DNF with distinct clause literals."""
+        expr = parse("(a & b) | (b & c & d) | (a & d)")
+        sens = phi_sensitivities(expr)
+        assert all(value <= 1 for value in sens.values())
+
+    def test_batch_matches_single(self):
+        expr = parse("(a | b) & (a | c) & (b | d)")
+        batch = phi_sensitivities(expr)
+        for name in expr.variables():
+            assert batch[name] == phi_sensitivity(expr, name)
+
+    def test_max_phi_sensitivity(self):
+        exprs = [parse("a & b"), parse("(a | b) & (a | c)")]
+        assert max_phi_sensitivity(exprs) == 2
+        assert max_phi_sensitivity([]) == 0
+
+    def test_eq17_bound_holds(self):
+        """S_{k,p} bounds the φ increase from raising f(p) (Eq. 17)."""
+        import numpy as np
+
+        from repro.relax import phi
+
+        rng = np.random.default_rng(3)
+        exprs = [
+            parse("(a | b) & (a | c) & (b | d)"),
+            parse("(a & b) | (a & c)"),
+            parse("a & a & b"),
+        ]
+        for expr in exprs:
+            names = sorted(expr.variables())
+            for _ in range(100):
+                f = dict(zip(names, rng.random(len(names))))
+                p = names[int(rng.integers(len(names)))]
+                g = dict(f)
+                g[p] = min(1.0, f[p] + float(rng.random()) * (1 - f[p]))
+                lhs = phi(expr, g) - phi(expr, f)
+                rhs = (g[p] - f[p]) * phi_sensitivity(expr, p)
+                assert lhs <= rhs + 1e-9

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count"])
+        assert args.query == "triangle"
+        assert args.privacy == "node"
+
+    def test_fig_choices(self):
+        args = build_parser().parse_args(["fig", "fig4a"])
+        assert args.name == "fig4a"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ca-GrQc" in out
+        assert "48260" in out
+
+    def test_count_random_graph(self, capsys):
+        code = main([
+            "count", "--nodes", "24", "--avgdeg", "5", "--privacy", "edge",
+            "--epsilon", "2", "--seed", "3", "--show-true",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edge-DP triangle count" in out
+        assert "true count" in out
+
+    def test_count_dataset(self, capsys):
+        code = main([
+            "count", "--dataset", "1138_bus", "--dataset-scale", "0.02",
+            "--privacy", "edge", "--seed", "1",
+        ])
+        assert code == 0
+        assert "graph:" in capsys.readouterr().out
+
+    def test_count_edge_list(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n0 2\n2 3\n")
+        code = main(["count", "--edge-list", str(path), "--privacy", "edge"])
+        assert code == 0
+        assert "4 nodes" in capsys.readouterr().out
+
+    def test_audit_passes(self, capsys):
+        code = main([
+            "audit", "--nodes", "14", "--avgdeg", "5",
+            "--trials", "500", "--epsilon", "1.0", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert "empirical epsilon" in out
+        assert code == 0
+
+    def test_fig9_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        code = main(["fig", "fig9", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3-DNF" in out and "3-CNF" in out

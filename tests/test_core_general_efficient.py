@@ -1,0 +1,213 @@
+"""Tests for the general (Sec. 4.2) and efficient (Sec. 5) implementations.
+
+The central cross-check: on small instances, the efficient LP-based H must
+*equal* the general subset-enumeration H (both compute the same minimum for
+conjunctive DNF annotations), and the efficient G must be a valid bounding
+sequence sandwiched by Theorem 4.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.boolexpr import Var, parse
+from repro.core import (
+    CountQuery,
+    EfficientRecursiveMechanism,
+    GeneralRecursiveMechanism,
+    RecursiveMechanismParams,
+    SensitiveKRelation,
+    private_linear_query,
+)
+from repro.errors import SensitiveModelError
+from repro.graphs import Graph
+from repro.subgraphs import subgraph_krelation, triangle
+
+
+def count_query(world) -> float:
+    return float(len(world))
+
+
+@pytest.fixture
+def small_relation():
+    return SensitiveKRelation(
+        ["a", "b", "c", "d"],
+        [
+            ("t1", parse("a & b")),
+            ("t2", parse("b & c")),
+            ("t3", parse("(a & d) | (c & d)")),
+        ],
+    )
+
+
+class TestGeneralMechanism:
+    def test_h_is_recursive_sequence(self, small_relation):
+        gen = GeneralRecursiveMechanism(
+            small_relation.as_sensitive_database(), count_query
+        )
+        h = gen.h_sequence()
+        assert h[0] == 0.0
+        # within one database, H must be nondecreasing and convex (Lemma 10)
+        assert all(a <= b + 1e-12 for a, b in zip(h, h[1:]))
+
+    def test_recursive_monotonicity_across_neighbors(self, small_relation):
+        gen_full = GeneralRecursiveMechanism(
+            small_relation.as_sensitive_database(), count_query
+        )
+        reduced = small_relation.withdraw("a")
+        gen_small = GeneralRecursiveMechanism(
+            reduced.as_sensitive_database(), count_query
+        )
+        h_full, h_small = gen_full.h_sequence(), gen_small.h_sequence()
+        g_full, g_small = gen_full.g_sequence(), gen_small.g_sequence()
+        for i in range(len(h_small)):
+            assert h_full[i] <= h_small[i] + 1e-12
+            assert h_small[i] <= h_full[i + 1] + 1e-12
+            assert g_full[i] <= g_small[i] + 1e-12
+            assert g_small[i] <= g_full[i + 1] + 1e-12
+
+    def test_bounding_sequence_property(self, small_relation):
+        """Def. 18 with g = 1: H_j <= H_i + (|P|-i) G_j."""
+        gen = GeneralRecursiveMechanism(
+            small_relation.as_sensitive_database(), count_query
+        )
+        h, g = gen.h_sequence(), gen.g_sequence()
+        n = len(h) - 1
+        for i in range(n + 1):
+            for j in range(i, n + 1):
+                assert h[j] <= h[i] + (n - i) * g[j] + 1e-9
+
+    def test_g_final_is_global_empirical_sensitivity(self, small_relation):
+        from repro.core import global_empirical_sensitivity
+
+        gen = GeneralRecursiveMechanism(
+            small_relation.as_sensitive_database(), count_query
+        )
+        assert gen.global_empirical_sensitivity() == pytest.approx(
+            global_empirical_sensitivity(
+                count_query, small_relation.as_sensitive_database()
+            )
+        )
+
+    def test_rejects_nonmonotonic_query(self):
+        rel = SensitiveKRelation(["a", "b"], [("t", parse("a & b"))])
+
+        def bad_query(world):
+            return 1.0 if len(world) == 0 else 0.0  # q(M(∅)) != 0
+
+        with pytest.raises(SensitiveModelError):
+            GeneralRecursiveMechanism(rel.as_sensitive_database(), bad_query)
+
+    def test_rejects_too_many_participants(self):
+        rel = SensitiveKRelation(
+            [f"p{i}" for i in range(20)], [("t", Var("p0"))]
+        )
+        with pytest.raises(SensitiveModelError):
+            GeneralRecursiveMechanism(rel.as_sensitive_database(), count_query)
+
+    def test_run_end_to_end(self, small_relation):
+        gen = GeneralRecursiveMechanism(
+            small_relation.as_sensitive_database(), count_query
+        )
+        params = RecursiveMechanismParams.paper(1.0)
+        result = gen.run(params, rng=0)
+        assert result.true_answer == 3.0
+        assert math.isfinite(result.answer)
+
+
+class TestEfficientVsGeneral:
+    def test_h_matches_on_triangle_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4), (2, 4)])
+        rel = subgraph_krelation(g, triangle(), privacy="node")
+        eff = EfficientRecursiveMechanism(rel)
+        gen = GeneralRecursiveMechanism(
+            rel.as_sensitive_database(), count_query
+        )
+        n = eff.num_participants
+        for i in range(n + 1):
+            assert eff.h_entry(i) == pytest.approx(gen.h_entry(i), abs=1e-6)
+
+    def test_h_matches_on_mixed_annotations(self, small_relation):
+        """H_i(LP) <= H_i(general): the relaxation can only go lower, and
+        for these instances equality holds at the integer points."""
+        eff = EfficientRecursiveMechanism(small_relation)
+        gen = GeneralRecursiveMechanism(
+            small_relation.as_sensitive_database(), count_query
+        )
+        n = eff.num_participants
+        for i in range(n + 1):
+            assert eff.h_entry(i) <= gen.h_entry(i) + 1e-6
+
+    def test_efficient_g_is_2bounding(self, small_relation):
+        """Theorem 4: H_j <= H_i + (|P|-i)·G_k, k = |P| - floor((|P|-j)/2)."""
+        eff = EfficientRecursiveMechanism(small_relation)
+        n = eff.num_participants
+        h = [eff.h_entry(i) for i in range(n + 1)]
+        g = [eff.g_entry(i) for i in range(n + 1)]
+        for i in range(n + 1):
+            for j in range(i, n + 1):
+                k = n - (n - j) // 2
+                assert h[j] <= h[i] + (n - i) * g[k] + 1e-7
+
+    def test_true_answer_is_h_n(self, small_relation):
+        eff = EfficientRecursiveMechanism(small_relation)
+        assert eff.true_answer() == pytest.approx(
+            eff.h_entry(eff.num_participants), abs=1e-6
+        )
+
+    def test_x_candidates_match_full_scan(self, small_relation):
+        eff = EfficientRecursiveMechanism(small_relation)
+        n = eff.num_participants
+        for delta_hat in (0.01, 0.2, 0.7, 2.0, 10.0):
+            x_fast, _ = eff._compute_x(delta_hat)
+            x_scan = min(
+                eff.h_entry(i) + (n - i) * delta_hat for i in range(n + 1)
+            )
+            assert x_fast == pytest.approx(x_scan, abs=1e-6)
+
+
+class TestEfficientMechanism:
+    def test_normalize_option(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"], [("t", parse("(a | b) & (a | c)"))]
+        )
+        eff = EfficientRecursiveMechanism(rel, normalize=True)
+        assert eff.true_answer() == pytest.approx(1.0)
+
+    def test_weighted_query(self):
+        from repro.core.queries import WeightedQuery
+
+        rel = SensitiveKRelation(
+            ["a", "b"], [("t1", parse("a & b")), ("t2", Var("a"))]
+        )
+        eff = EfficientRecursiveMechanism(
+            rel, query=WeightedQuery(lambda t: 3.0)
+        )
+        assert eff.true_answer() == pytest.approx(6.0)
+
+    def test_lp_size_reported(self, small_relation):
+        eff = EfficientRecursiveMechanism(small_relation)
+        assert eff.lp_size >= small_relation.num_participants
+
+    def test_private_linear_query_wrapper(self, small_relation):
+        result = private_linear_query(small_relation, epsilon=1.0, rng=0)
+        assert result.true_answer == pytest.approx(3.0)
+        assert math.isfinite(result.answer)
+
+    def test_answers_concentrate_around_truth(self):
+        """With a generous ε the answer distribution centers on the truth."""
+        g = Graph(edges=[(i, j) for i in range(8) for j in range(i + 1, 8)])
+        rel = subgraph_krelation(g, triangle(), privacy="edge")
+        eff = EfficientRecursiveMechanism(rel)
+        params = RecursiveMechanismParams.paper(4.0)
+        rng = np.random.default_rng(11)
+        answers = [eff.run(params, rng).answer for _ in range(40)]
+        truth = eff.true_answer()
+        median = sorted(answers)[len(answers) // 2]
+        assert abs(median - truth) / truth < 0.5
+
+    def test_empty_relation_run(self):
+        rel = SensitiveKRelation(["a", "b"], [])
+        result = private_linear_query(rel, epsilon=1.0, rng=0)
+        assert result.true_answer == 0.0

@@ -1,0 +1,149 @@
+"""Tests for sensitive databases, sensitive K-relations and neighboring."""
+
+import pytest
+
+from repro.boolexpr import FALSE, TRUE, And, Or, Var, parse
+from repro.core import (
+    SensitiveDatabase,
+    SensitiveKRelation,
+    are_neighboring_databases,
+    are_neighboring_krelations,
+)
+from repro.errors import AnnotationError, SensitiveModelError
+
+
+def counting_db(participants):
+    """A toy (P, M): content is the sorted tuple of present participants."""
+    return SensitiveDatabase(
+        participants, lambda subset: tuple(sorted(subset))
+    )
+
+
+class TestSensitiveDatabase:
+    def test_content_defaults_to_full(self):
+        db = counting_db(["a", "b"])
+        assert db.content() == ("a", "b")
+
+    def test_content_of_subset(self):
+        db = counting_db(["a", "b"])
+        assert db.content({"a"}) == ("a",)
+        assert db.content(set()) == ()
+
+    def test_unknown_participant_rejected(self):
+        db = counting_db(["a"])
+        with pytest.raises(SensitiveModelError):
+            db.content({"z"})
+
+    def test_restrict_is_ancestor(self):
+        db = counting_db(["a", "b", "c"])
+        ancestor = db.restrict({"a", "b"})
+        assert ancestor.participants == {"a", "b"}
+        assert ancestor.content() == ("a", "b")
+
+    def test_without(self):
+        db = counting_db(["a", "b"])
+        assert db.without("a").participants == {"b"}
+        with pytest.raises(SensitiveModelError):
+            db.without("z")
+
+    def test_neighboring_check(self):
+        db = counting_db(["a", "b", "c"])
+        assert are_neighboring_databases(db, db.without("c"))
+        assert not are_neighboring_databases(db, db.restrict({"a"}))
+        assert not are_neighboring_databases(db, db)
+
+    def test_neighboring_rejects_content_disagreement(self):
+        d1 = counting_db(["a", "b"])
+        d2 = SensitiveDatabase(["a"], lambda s: ("different",))
+        assert not are_neighboring_databases(d1, d2)
+
+
+class TestSensitiveKRelation:
+    def test_basic_construction(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"], [("t1", parse("a & b")), ("t2", parse("b | c"))]
+        )
+        assert len(rel) == 2
+        assert rel.num_participants == 3
+        assert rel.total_annotation_length() == 4
+
+    def test_false_annotations_dropped(self):
+        rel = SensitiveKRelation(["a"], [("t1", FALSE), ("t2", Var("a"))])
+        assert len(rel) == 1
+
+    def test_true_annotation_rejected(self):
+        with pytest.raises(AnnotationError):
+            SensitiveKRelation(["a"], [("t1", TRUE)])
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(AnnotationError):
+            SensitiveKRelation(["a"], [("t1", parse("a & z"))])
+
+    def test_non_expression_annotation_rejected(self):
+        with pytest.raises(AnnotationError):
+            SensitiveKRelation(["a"], [("t1", True)])
+
+    def test_world_semantics(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"],
+            [("t1", parse("a & b")), ("t2", parse("b | c"))],
+        )
+        assert rel.world({"a", "b"}) == {"t1", "t2"}
+        assert rel.world({"c"}) == {"t2"}
+        assert rel.world(set()) == frozenset()
+
+    def test_world_unknown_participant(self):
+        rel = SensitiveKRelation(["a"], [("t", Var("a"))])
+        with pytest.raises(SensitiveModelError):
+            rel.world({"z"})
+
+    def test_withdraw_prunes_tuples(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"],
+            [("t1", parse("a & b")), ("t2", parse("b | c"))],
+        )
+        reduced = rel.withdraw("a")
+        assert reduced.num_participants == 2
+        assert len(reduced) == 1  # t1 collapsed to FALSE
+        assert dict(reduced.items())["t2"] == parse("b | c")
+
+    def test_withdraw_unknown(self):
+        rel = SensitiveKRelation(["a"], [("t", Var("a"))])
+        with pytest.raises(SensitiveModelError):
+            rel.withdraw("z")
+
+    def test_withdraw_produces_neighbor(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"],
+            [("t1", parse("(a & b) | c")), ("t2", parse("b & c"))],
+        )
+        assert are_neighboring_krelations(rel, rel.withdraw("a"))
+        assert are_neighboring_krelations(rel.withdraw("a"), rel)  # symmetric
+
+    def test_not_neighboring_when_two_apart(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"], [("t1", parse("(a & b) | c"))]
+        )
+        assert not are_neighboring_krelations(rel, rel.withdraw("a", "b"))
+
+    def test_not_neighboring_when_annotations_differ(self):
+        r1 = SensitiveKRelation(["a", "b"], [("t", parse("a & b"))])
+        r2 = SensitiveKRelation(["a", "b", "c"], [("t", parse("a | b"))])
+        assert not are_neighboring_krelations(r1, r2)
+
+    def test_as_sensitive_database(self):
+        rel = SensitiveKRelation(["a", "b"], [("t", parse("a & b"))])
+        db = rel.as_sensitive_database()
+        assert db.content({"a"}) == frozenset()
+        assert db.content({"a", "b"}) == {"t"}
+
+    def test_normalized_rewrites_to_minimal_dnf(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"], [("t", parse("(a | b) & (a | c)"))]
+        )
+        normalized = rel.normalized()
+        assert dict(normalized.items())["t"] == parse("a | (b & c)")
+
+    def test_repr_mentions_sizes(self):
+        rel = SensitiveKRelation(["a"], [("t", Var("a"))])
+        assert "|P|=1" in repr(rel)

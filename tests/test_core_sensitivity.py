@@ -1,0 +1,126 @@
+"""Tests for empirical sensitivity notions (Def. 9, 10, 15, 16)."""
+
+import pytest
+
+from repro.core import (
+    CountQuery,
+    SensitiveKRelation,
+    global_empirical_sensitivity,
+    impact,
+    local_empirical_sensitivity,
+    universal_empirical_sensitivity,
+)
+from repro.boolexpr import Var, parse
+from repro.core.queries import WeightedQuery
+from repro.errors import SensitiveModelError
+from repro.graphs import Graph
+from repro.subgraphs import subgraph_krelation, triangle
+
+
+def count_query(world) -> float:
+    return float(len(world))
+
+
+class TestLocalEmpirical:
+    def test_triangle_example(self):
+        """Fig. 2(a): node c is in all 3 triangles, ~LS = 3."""
+        rel = SensitiveKRelation(
+            list("abcdef"),
+            [(t, parse(" & ".join(t))) for t in ("abc", "bcd", "cde")],
+        )
+        db = rel.as_sensitive_database()
+        assert local_empirical_sensitivity(count_query, db) == 3.0
+
+    def test_empty_participants(self):
+        rel = SensitiveKRelation([], [])
+        assert local_empirical_sensitivity(count_query, rel.as_sensitive_database()) == 0.0
+
+    def test_bounded_by_global_empirical(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c", "d"],
+            [("t1", parse("a & b")), ("t2", parse("(b | c) & d")), ("t3", Var("d"))],
+        )
+        db = rel.as_sensitive_database()
+        assert local_empirical_sensitivity(count_query, db) <= global_empirical_sensitivity(
+            count_query, db
+        )
+
+
+class TestGlobalEmpirical:
+    def test_can_exceed_local(self):
+        """~GS maximizes over ancestors, so it can exceed ~LS at the top.
+
+        Two tuples t1 = a|b, t2 = a|c: at full participation removing any
+        one participant changes nothing (~LS = 0), but the ancestor {a}
+        loses both tuples when a withdraws (~GS = 2).
+        """
+        rel = SensitiveKRelation(
+            ["a", "b", "c"], [("t1", parse("a | b")), ("t2", parse("a | c"))]
+        )
+        db = rel.as_sensitive_database()
+        assert local_empirical_sensitivity(count_query, db) == 0.0
+        assert global_empirical_sensitivity(count_query, db) == 2.0
+
+    def test_guard_on_large_participant_sets(self):
+        rel = SensitiveKRelation(
+            [f"p{i}" for i in range(25)], [("t", Var("p0"))]
+        )
+        with pytest.raises(SensitiveModelError):
+            global_empirical_sensitivity(count_query, rel.as_sensitive_database())
+
+
+class TestImpact:
+    def test_impact_lists_affected_tuples(self):
+        rel = SensitiveKRelation(
+            ["a", "b", "c"],
+            [("t1", parse("a & b")), ("t2", parse("b & c")), ("t3", Var("c"))],
+        )
+        assert impact("a", rel) == ["t1"]
+        assert set(impact("c", rel)) == {"t2", "t3"}
+
+    def test_unimpacted_variable(self):
+        """A variable that is syntactically present but φ-irrelevant."""
+        rel = SensitiveKRelation(
+            ["a", "b"], [("t", parse("a | (a & b)"))], validate=True
+        )
+        # dropping b: a | (a & False) = a; φ(a|(a&b)) vs φ(a)?  At f=(.6,.9):
+        # max(.6, .6+.9-1) = .6 — equal to φ(a) everywhere, so b has no impact.
+        assert impact("b", rel) == []
+        assert impact("a", rel) == ["t"]
+
+    def test_unknown_participant(self):
+        rel = SensitiveKRelation(["a"], [("t", Var("a"))])
+        with pytest.raises(SensitiveModelError):
+            impact("z", rel)
+
+
+class TestUniversalEmpirical:
+    def test_counts_tuples_per_participant(self):
+        rel = SensitiveKRelation(
+            list("abcdef"),
+            [(t, parse(" & ".join(t))) for t in ("abc", "bcd", "cde")],
+        )
+        q = CountQuery()
+        assert universal_empirical_sensitivity(q, rel, "c") == 3.0
+        assert universal_empirical_sensitivity(q, rel, "a") == 1.0
+        assert universal_empirical_sensitivity(q, rel) == 3.0
+
+    def test_weighted_query(self):
+        rel = SensitiveKRelation(
+            ["a", "b"], [("t1", parse("a & b")), ("t2", Var("a"))]
+        )
+        q = WeightedQuery(lambda t: 2.0 if t == "t1" else 5.0)
+        assert universal_empirical_sensitivity(q, rel, "a") == 7.0
+        assert universal_empirical_sensitivity(q, rel, "b") == 2.0
+
+    def test_equals_local_empirical_for_subgraph_counting(self):
+        """Sec. 5.2: for subgraph counting ~US = ~GS = ~LS."""
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+        rel = subgraph_krelation(g, triangle(), privacy="node")
+        us = universal_empirical_sensitivity(CountQuery(), rel)
+        ls = local_empirical_sensitivity(count_query, rel.as_sensitive_database())
+        assert us == ls
+
+    def test_empty_relation(self):
+        rel = SensitiveKRelation(["a"], [])
+        assert universal_empirical_sensitivity(CountQuery(), rel) == 0.0

@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile and expose a ``main()``; the fast ones
+are executed end-to-end (output captured).  The slower comparison examples
+are exercised by the benchmark suite at scale instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart.py", "sql_common_friends.py"]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert set(FAST_EXAMPLES) <= set(ALL_EXAMPLES)
+        assert len(ALL_EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_compiles_and_has_main(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        compile(source, name, "exec")
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_examples_run(self, name, capsys):
+        module = _load(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 3
+
+    def test_quickstart_reports_both_privacy_levels(self, capsys):
+        _load("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "node-DP" in out and "edge-DP" in out

@@ -1,0 +1,134 @@
+"""Failure injection and complexity-contract tests.
+
+The mechanism must fail loudly — never release a junk answer — when its
+substrate misbehaves (solver failures, invalid intermediate values), and
+its query complexity must match the paper's contracts (few G-entries per
+Δ search, two H-entries per X).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import (
+    EfficientRecursiveMechanism,
+    RecursiveMechanismParams,
+    SensitiveKRelation,
+)
+from repro.errors import LPError, MechanismError
+from repro.graphs import random_graph_with_avg_degree
+from repro.lp import LPSolution, ScipyBackend
+from repro.subgraphs import subgraph_krelation, triangle
+
+
+class FailingBackend:
+    """A backend that reports infeasibility for every program."""
+
+    def solve(self, lp):
+        return LPSolution("infeasible", float("nan"), np.zeros(0), "injected")
+
+
+class CorruptingBackend:
+    """A backend that returns wrong (optimal-looking) objective values."""
+
+    def __init__(self, inner=None, offset=-100.0):
+        self.inner = inner or ScipyBackend()
+        self.offset = offset
+
+    def solve(self, lp):
+        solution = self.inner.solve(lp)
+        if solution.is_optimal:
+            solution.objective += self.offset
+        return solution
+
+
+@pytest.fixture
+def relation():
+    return SensitiveKRelation(
+        ["a", "b", "c"],
+        [("t1", parse("a & b")), ("t2", parse("b & c")), ("t3", parse("a | c"))],
+    )
+
+
+class TestSolverFailures:
+    def test_infeasible_solver_raises_not_releases(self, relation):
+        mechanism = EfficientRecursiveMechanism(relation, backend=FailingBackend())
+        params = RecursiveMechanismParams.paper(1.0)
+        with pytest.raises(LPError):
+            mechanism.run(params, rng=0)
+
+    def test_corrupted_objective_detected_by_convexity_guard(self, relation):
+        """A solver returning too-low X values trips the Eq. 20 consistency
+        check instead of silently biasing the release."""
+        mechanism = EfficientRecursiveMechanism(relation)
+        # corrupt only the H entries used by _compute_x via a hostile cache
+        mechanism._h_cache = {0: -500.0, 1: -500.0, 2: -500.0, 3: -500.0}
+        with pytest.raises(MechanismError):
+            mechanism._compute_x(0.5)
+
+
+class TestComplexityContracts:
+    def test_delta_search_touches_logarithmic_g_entries(self):
+        graph = random_graph_with_avg_degree(60, 8, rng=0)
+        relation = subgraph_krelation(graph, triangle(), privacy="node")
+        mechanism = EfficientRecursiveMechanism(relation)
+        params = RecursiveMechanismParams.paper(0.5, node_privacy=True)
+        mechanism.compute_delta(params)
+        touched = len(mechanism._g_cache)
+        g_final = mechanism.g_entry(mechanism.num_participants)
+        # Sec. 5.3: O(log(ln(G)/beta)) entries; generous constant
+        bound = 4 + 2 * math.log2(max(2.0, 1 + math.log(max(g_final, 2)) / params.beta))
+        assert touched <= bound
+
+    def test_x_touches_constant_h_entries_per_run(self, relation):
+        mechanism = EfficientRecursiveMechanism(relation)
+        params = RecursiveMechanismParams.paper(1.0)
+        mechanism.run(params, rng=0)
+        first = len(mechanism._h_cache)
+        mechanism.run(params, rng=1)
+        mechanism.run(params, rng=2)
+        # each extra run adds at most 2 new H entries (floor/ceil of i')
+        assert len(mechanism._h_cache) <= first + 4
+
+    def test_lp_size_linear_in_annotation_length(self):
+        graph = random_graph_with_avg_degree(40, 8, rng=1)
+        relation = subgraph_krelation(graph, triangle(), privacy="node")
+        mechanism = EfficientRecursiveMechanism(relation)
+        length = relation.total_annotation_length()
+        assert mechanism.lp_size <= length + relation.num_participants + 1
+
+    def test_trial_cost_independent_of_trial_count(self, relation):
+        """sample_answers reuses Δ: G entries stay fixed across trials."""
+        mechanism = EfficientRecursiveMechanism(relation)
+        params = RecursiveMechanismParams.paper(1.0)
+        mechanism.sample_answers(params, trials=3, rng=0)
+        g_after_three = len(mechanism._g_cache)
+        mechanism.sample_answers(params, trials=10, rng=1)
+        assert len(mechanism._g_cache) == g_after_three
+
+
+class TestValidationGuards:
+    def test_zero_epsilon_everywhere(self, relation):
+        from repro.errors import PrivacyParameterError
+
+        with pytest.raises(PrivacyParameterError):
+            RecursiveMechanismParams.paper(0.0)
+
+    def test_answer_never_uses_unknown_weight_sign(self):
+        from repro.core.queries import WeightedQuery
+        from repro.errors import MechanismError
+
+        relation = SensitiveKRelation(["a"], [("t", parse("a"))])
+        with pytest.raises(MechanismError):
+            EfficientRecursiveMechanism(
+                relation, query=WeightedQuery(lambda t: -2.0)
+            )
+
+    def test_mechanism_diagnostics_populated(self, relation):
+        mechanism = EfficientRecursiveMechanism(relation)
+        result = mechanism.run(RecursiveMechanismParams.paper(1.0), rng=0)
+        assert result.diagnostics["num_participants"] == 3.0
+        assert result.seconds > 0
+        assert result.j_star >= 0

@@ -1,0 +1,36 @@
+"""Tests for the combined report generator."""
+
+import pytest
+
+from repro.experiments.full_report import FIGURES, generate_report
+from repro.experiments.harness import Scale
+
+TINY = Scale("tiny", 0.1, 2, 1, 0.02, 0.01, sweep_points=2)
+
+
+class TestGenerateReport:
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig1", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7",
+            "fig8", "fig9",
+        }
+
+    def test_single_figure(self):
+        report = generate_report(figures=["fig9"], scale=TINY, rng=0)
+        assert "Fig 9 — 3-DNF" in report
+        assert "Fig 9 — 3-CNF" in report
+        assert "scale=tiny" in report
+
+    def test_krelation_figures_pair(self):
+        report = generate_report(figures=["fig8"], scale=TINY, rng=0)
+        assert "Fig 8 — 3-DNF" in report
+        assert "us_reference" in report
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(figures=["fig99"], scale=TINY)
+
+    def test_dataset_figure(self):
+        report = generate_report(figures=["fig6"], scale=TINY, rng=0)
+        assert "ca-GrQc" in report
+        assert "paper_triangles" in report

@@ -1,0 +1,60 @@
+"""Seeded golden regression tests.
+
+These pin exact end-to-end outputs for fixed seeds so that refactors which
+accidentally change the noise path, the Δ grid, or the LP objective are
+caught immediately.  The values depend only on (a) numpy's Generator bit
+stream, which is stability-guaranteed per algorithm, and (b) LP *objective
+values* (not vertex choices), which are deterministic for these instances.
+
+If a deliberate behavior change invalidates them, re-record via the
+commands in each docstring — and say so in the changelog.
+"""
+
+import pytest
+
+from repro import (
+    k_star,
+    private_subgraph_count,
+    random_graph_with_avg_degree,
+    triangle,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_with_avg_degree(30, 6, rng=1)
+
+
+class TestGoldenOutputs:
+    def test_triangle_edge_privacy(self, graph):
+        result = private_subgraph_count(
+            graph, triangle(), privacy="edge", epsilon=1.0, rng=5
+        )
+        assert result.true_answer == 44.0
+        assert result.delta == pytest.approx(3.320116922736548, abs=1e-9)
+        assert result.x_value == pytest.approx(44.0, abs=1e-6)
+        assert result.answer == pytest.approx(59.26618548349654, abs=1e-6)
+
+    def test_triangle_node_privacy(self, graph):
+        result = private_subgraph_count(
+            graph, triangle(), privacy="node", epsilon=1.0, rng=5
+        )
+        assert result.true_answer == 44.0
+        # Δ = e^{jβ}θ with j = 5, β = 0.2: exactly e
+        assert result.delta == pytest.approx(2.718281828459045, abs=1e-9)
+        assert result.x_value == pytest.approx(41.76876068390463, abs=1e-6)
+        assert result.answer == pytest.approx(62.37595561689136, abs=1e-6)
+
+    def test_2star_edge_privacy(self, graph):
+        result = private_subgraph_count(
+            graph, k_star(2), privacy="edge", epsilon=1.0, rng=9
+        )
+        assert result.true_answer == 548.0
+        assert result.delta == pytest.approx(16.444646771097055, abs=1e-9)
+        assert result.answer == pytest.approx(496.3065645091851, abs=1e-6)
+
+    def test_graph_is_stable(self, graph):
+        """The generator's bit stream itself (guards rng refactors)."""
+        assert graph.num_nodes == 30
+        assert graph.num_edges == 92
+        assert graph.degree(0) == 5

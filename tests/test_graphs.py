@@ -1,0 +1,228 @@
+"""Tests for the graph substrate: Graph, generators, IO, datasets."""
+
+import math
+
+import pytest
+
+from repro.errors import DatasetError, GraphError
+from repro.graphs import (
+    DATASETS,
+    Graph,
+    erdos_renyi,
+    gnm_random_graph,
+    load_dataset,
+    preferential_attachment,
+    random_graph_with_avg_degree,
+    read_edge_list,
+    watts_strogatz,
+    write_edge_list,
+)
+
+
+class TestGraph:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge(2, 1)  # undirected
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph().add_edge(1, 1)
+
+    def test_parallel_edges_collapse(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_degrees(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.max_degree() == 3
+        assert g.average_degree() == pytest.approx(6 / 4)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_node(2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert g.num_edges == 1
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 2)
+
+    def test_unknown_node_errors(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.degree(9)
+        with pytest.raises(GraphError):
+            g.neighbors(9)
+        with pytest.raises(GraphError):
+            g.remove_node(9)
+
+    def test_common_neighbors(self):
+        g = Graph(edges=[(1, 3), (2, 3), (1, 4), (2, 4), (1, 2)])
+        assert g.common_neighbors(1, 2) == {3, 4}
+        assert g.max_common_neighbors() == 2
+
+    def test_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph({1, 2, 3})
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        with pytest.raises(GraphError):
+            g.subgraph({99})
+
+    def test_copy_independent(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_edges == 1
+
+    def test_deterministic_ordering(self):
+        g = Graph(edges=[(3, 1), (2, 1)])
+        assert g.nodes() == [1, 2, 3]
+        assert g.edges() == [(1, 2), (1, 3)]
+
+    def test_equality(self):
+        assert Graph(edges=[(1, 2)]) == Graph(edges=[(2, 1)])
+        assert Graph(edges=[(1, 2)]) != Graph(edges=[(1, 3)])
+
+
+class TestGenerators:
+    def test_erdos_renyi_determinism(self):
+        g1 = erdos_renyi(30, 0.2, rng=5)
+        g2 = erdos_renyi(30, 0.2, rng=5)
+        assert g1 == g2
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(10, 0.0, rng=0).num_edges == 0
+        assert erdos_renyi(10, 1.0, rng=0).num_edges == 45
+
+    def test_erdos_renyi_invalid(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(-1, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi(5, 1.5)
+
+    def test_avg_degree_parameterization(self):
+        """The paper's model: p = avgdeg/(|V|-1)."""
+        g = random_graph_with_avg_degree(300, 10, rng=1)
+        assert g.average_degree() == pytest.approx(10, rel=0.25)
+
+    def test_avg_degree_tiny_graphs(self):
+        assert random_graph_with_avg_degree(1, 10).num_nodes == 1
+        assert random_graph_with_avg_degree(0, 10).num_nodes == 0
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(40, 100, rng=2)
+        assert g.num_edges == 100
+        assert g.num_nodes == 40
+
+    def test_gnm_dense_regime(self):
+        g = gnm_random_graph(10, 40, rng=2)  # > half of 45
+        assert g.num_edges == 40
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(5, 11)
+
+    def test_preferential_attachment_shape(self):
+        g = preferential_attachment(120, 3, rng=3)
+        assert g.num_nodes == 120
+        # heavy tail: max degree well above the median
+        degrees = sorted(g.degrees().values())
+        assert degrees[-1] > 3 * degrees[len(degrees) // 2]
+
+    def test_preferential_attachment_closure_adds_triangles(self):
+        from repro.subgraphs import count_triangles
+
+        flat = preferential_attachment(150, 3, rng=4, closure_probability=0.0)
+        closed = preferential_attachment(150, 3, rng=4, closure_probability=0.8)
+        assert count_triangles(closed) > count_triangles(flat)
+
+    def test_preferential_attachment_invalid(self):
+        with pytest.raises(GraphError):
+            preferential_attachment(0, 2)
+        with pytest.raises(GraphError):
+            preferential_attachment(10, 0)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(50, 4, 0.1, rng=6)
+        assert g.num_nodes == 50
+        assert g.num_edges == 100  # rewiring preserves edge count
+
+    def test_watts_strogatz_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(2, 2, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(20, 0.3, rng=7)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_comments_and_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n% other\n1 2\n3 3\n2 4\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphError):
+            read_edge_list(tmp_path / "absent.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_string_labels(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = read_edge_list(path)
+        assert g.has_edge("alice", "bob")
+
+
+class TestDatasets:
+    def test_registry_matches_paper_fig6(self):
+        assert DATASETS["ca-GrQc"].num_nodes == 5242
+        assert DATASETS["ca-GrQc"].num_edges == 14496
+        assert DATASETS["ca-GrQc"].paper_triangles == 48260
+        assert DATASETS["power"].num_nodes == 4941
+        assert len(DATASETS) == 7
+
+    def test_load_scaled(self):
+        g = load_dataset("1138_bus", scale=0.1)
+        assert abs(g.num_nodes - 114) <= 2
+
+    def test_load_deterministic(self):
+        assert load_dataset("power", scale=0.05) == load_dataset("power", scale=0.05)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("power", scale=0.0)
+
+    def test_collaboration_standins_are_triangle_rich(self):
+        from repro.subgraphs import count_triangles
+
+        collab = load_dataset("ca-GrQc", scale=0.05)
+        grid = load_dataset("power", scale=0.05)
+        density_collab = count_triangles(collab) / max(collab.num_edges, 1)
+        density_grid = count_triangles(grid) / max(grid.num_edges, 1)
+        assert density_collab > density_grid

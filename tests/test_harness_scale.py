@@ -1,0 +1,54 @@
+"""Tests for Scale presets, subsetting, and params helpers."""
+
+import pytest
+
+from repro.core.params import RecursiveMechanismParams, group_privacy_epsilon
+from repro.errors import PrivacyParameterError
+from repro.experiments.harness import Scale, resolve_scale
+
+
+class TestScaleSubset:
+    def _scale(self, points):
+        return Scale("t", 1.0, 1, 1, 1.0, 1.0, sweep_points=points)
+
+    def test_subset_includes_endpoints(self):
+        values = list(range(10))
+        subset = self._scale(4).subset(values)
+        assert subset[0] == 0 and subset[-1] == 9
+        assert len(subset) == 4
+
+    def test_subset_noop_when_enough_points(self):
+        values = [1, 2, 3]
+        assert self._scale(10).subset(values) == values
+
+    def test_subset_short_lists_unchanged(self):
+        assert self._scale(2).subset([1, 2]) == [1, 2]
+        assert self._scale(2).subset([5]) == [5]
+
+    def test_subset_is_sorted_and_unique(self):
+        subset = self._scale(5).subset(list(range(100)))
+        assert subset == sorted(set(subset))
+
+    def test_presets_exist(self):
+        for name in ("smoke", "default", "full"):
+            scale = resolve_scale(name)
+            assert scale.trials >= 1
+            assert 0 < scale.graph_nodes_factor <= 1
+
+    def test_full_scale_is_paper_scale(self):
+        full = resolve_scale("full")
+        assert full.graph_nodes_factor == 1.0
+        assert full.krelation_factor == 1.0
+        assert full.dataset_scale == 1.0
+
+
+class TestGroupPrivacy:
+    def test_linear_degradation(self):
+        params = RecursiveMechanismParams.paper(0.5)
+        assert group_privacy_epsilon(params, 1) == pytest.approx(0.5)
+        assert group_privacy_epsilon(params, 4) == pytest.approx(2.0)
+
+    def test_invalid_group(self):
+        params = RecursiveMechanismParams.paper(0.5)
+        with pytest.raises(PrivacyParameterError):
+            group_privacy_epsilon(params, 0)

@@ -1,0 +1,234 @@
+"""Tests for random K-relation generators and the experiment harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.boolexpr import And, Or
+from repro.core import CountQuery, universal_empirical_sensitivity
+from repro.errors import SensitiveModelError
+from repro.experiments import (
+    MECHANISM_NAMES,
+    format_series,
+    format_table,
+    make_runner,
+    median_relative_error,
+    resolve_scale,
+    run_mechanism_trials,
+)
+from repro.experiments.harness import Scale, aggregate_median
+from repro.experiments.mechanisms import parse_query, true_count
+from repro.graphs import random_graph_with_avg_degree
+from repro.krand import random_cnf_krelation, random_dnf_krelation
+
+
+class TestKrandGenerators:
+    def test_dnf_shape(self):
+        rel = random_dnf_krelation(50, clauses=4, rng=0)
+        assert len(rel) == 50
+        assert rel.num_participants == 50
+        for _, annotation in rel.items():
+            assert isinstance(annotation, Or)
+            assert len(annotation.children) == 4
+            for clause in annotation.children:
+                assert isinstance(clause, And)
+                assert len(clause.variables()) == 3
+
+    def test_cnf_shape(self):
+        rel = random_cnf_krelation(50, clauses=4, rng=0)
+        for _, annotation in rel.items():
+            assert isinstance(annotation, And)
+            assert len(annotation.children) == 4
+            for clause in annotation.children:
+                assert isinstance(clause, Or)
+
+    def test_single_clause_degenerates(self):
+        rel = random_dnf_krelation(10, clauses=1, rng=0)
+        for _, annotation in rel.items():
+            assert isinstance(annotation, And)  # single conjunction
+
+    def test_deterministic(self):
+        r1 = random_dnf_krelation(20, 3, rng=5)
+        r2 = random_dnf_krelation(20, 3, rng=5)
+        assert dict(r1.items()) == dict(r2.items())
+
+    def test_participant_count_override(self):
+        rel = random_dnf_krelation(10, 2, num_participants=30, rng=0)
+        assert rel.num_participants == 30
+
+    def test_invalid_shapes(self):
+        with pytest.raises(SensitiveModelError):
+            random_dnf_krelation(-1, 3)
+        with pytest.raises(SensitiveModelError):
+            random_cnf_krelation(10, 0)
+        with pytest.raises(SensitiveModelError):
+            random_dnf_krelation(2, 3, width=5)
+
+    def test_cnf_sensitivity_grows_with_clauses(self):
+        from repro.boolexpr import max_phi_sensitivity
+
+        small = random_cnf_krelation(30, 2, rng=1)
+        large = random_cnf_krelation(30, 8, rng=1)
+        assert max_phi_sensitivity(large.annotations()) >= max_phi_sensitivity(
+            small.annotations()
+        )
+
+
+class TestHarness:
+    def test_median_relative_error(self):
+        assert median_relative_error([90, 100, 110], 100) == pytest.approx(0.1)
+
+    def test_median_relative_error_zero_truth(self):
+        assert median_relative_error([0, 0, 0], 0) == 0.0
+        assert math.isinf(median_relative_error([0, 1, 1], 0))
+
+    def test_median_relative_error_empty(self):
+        with pytest.raises(ValueError):
+            median_relative_error([], 1.0)
+
+    def test_aggregate_median(self):
+        assert aggregate_median([1.0, 3.0, 2.0]) == 2.0
+
+    def test_run_mechanism_trials(self):
+        calls = []
+
+        def run_once(rng):
+            calls.append(1)
+            return 100.0 + float(rng.normal(0, 1))
+
+        error = run_mechanism_trials(run_once, 100.0, trials=9, rng=0)
+        assert len(calls) == 9
+        assert error < 0.05
+
+    def test_resolve_scale(self, monkeypatch):
+        assert resolve_scale("smoke").name == "smoke"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert resolve_scale().name == "full"
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+
+class TestMechanismRunners:
+    def test_parse_query(self):
+        assert parse_query("triangle").name == "triangle"
+        assert parse_query("3-star").num_edges == 3
+        assert parse_query("2-triangle").num_nodes == 4
+        from repro.errors import MechanismError
+
+        with pytest.raises(MechanismError):
+            parse_query("square")
+
+    def test_true_count_consistency(self):
+        g = random_graph_with_avg_degree(30, 6, rng=2)
+        from repro.subgraphs import count_triangles
+
+        assert true_count(g, "triangle") == count_triangles(g)
+
+    @pytest.mark.parametrize("mechanism", MECHANISM_NAMES)
+    def test_all_runners_produce_finite_answers(self, mechanism):
+        g = random_graph_with_avg_degree(25, 8, rng=3)
+        run_once, truth = make_runner(mechanism, g, "triangle", epsilon=1.0)
+        rng = np.random.default_rng(0)
+        answer = run_once(rng)
+        assert math.isfinite(answer)
+        assert truth > 0
+
+    def test_unknown_mechanism(self):
+        from repro.errors import MechanismError
+
+        g = random_graph_with_avg_degree(10, 4, rng=0)
+        with pytest.raises(MechanismError):
+            make_runner("magic", g, "triangle", 1.0)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            [{"a": 1, "b": 0.5}, {"a": 2, "b": float("inf")}],
+            ["a", "b"],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "inf" in text
+
+    def test_format_series(self):
+        text = format_series(
+            "x", [1, 2], {"m1": [0.1, 0.2], "m2": [1e-9, 2e9]}
+        )
+        assert "m1" in text and "m2" in text
+        assert "1e-09" in text or "1.00e-09" in text
+
+    def test_format_value_handles_none_nan(self):
+        from repro.experiments.reporting import format_value
+
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "nan"
+        assert format_value("label") == "label"
+
+
+class TestSweepsSmoke:
+    """Tiny end-to-end runs of each figure module (smoke scale)."""
+
+    def _tiny_scale(self):
+        return Scale("tiny", 0.1, 3, 1, 0.03, 0.015, sweep_points=3)
+
+    def test_fig4_point(self):
+        from repro.experiments.synthetic import accuracy_point
+
+        error = accuracy_point(
+            24, 6, "triangle", "recursive-edge", 0.5, self._tiny_scale(), rng=0
+        )
+        assert error >= 0
+
+    def test_fig5_runtime_point(self):
+        from repro.experiments.runtime import runtime_point
+
+        row = runtime_point(24, 6, "triangle", "edge", rng=0)
+        assert row["mechanism_seconds"] > 0
+        assert row["tuples"] >= 0
+
+    def test_fig8_point(self):
+        from repro.experiments.krelations import krelation_point
+
+        row = krelation_point("dnf", 30, 3, 0.5, trials=3, rng=0)
+        assert row["true_answer"] == 30.0
+        assert row["median_relative_error"] >= 0
+        assert row["us_reference"] > 0
+
+    def test_fig8_rejects_bad_kind(self):
+        from repro.experiments.krelations import krelation_point
+
+        with pytest.raises(ValueError):
+            krelation_point("xor", 10, 3, 0.5, trials=1)
+
+    def test_fig6_table(self):
+        from repro.experiments.real_graphs import fig6_dataset_table
+
+        rows = fig6_dataset_table(
+            datasets=["1138_bus"], scale=self._tiny_scale(), rng=0
+        )
+        assert rows[0]["dataset"] == "1138_bus"
+        assert rows[0]["paper_triangles"] == 128
+        assert rows[0]["node_seconds"] > 0
+
+    def test_fig7_table(self):
+        from repro.experiments.real_graphs import fig7_accuracy_table
+
+        rows = fig7_accuracy_table(
+            datasets=["1138_bus"],
+            mechanisms=["recursive-edge", "rhms"],
+            scale=self._tiny_scale(),
+            rng=0,
+        )
+        assert set(rows[0]) == {"dataset", "recursive-edge", "rhms"}
+
+    def test_fig1_comparison(self):
+        from repro.experiments.comparison import fig1_comparison_table
+
+        rows = fig1_comparison_table(
+            num_nodes=30, queries=["triangle"], scale=self._tiny_scale(), rng=0
+        )
+        assert len(rows) == 5  # four mechanisms + the PINQ-restricted row
+        mechanisms = {row["mechanism"] for row in rows}
+        assert mechanisms == set(MECHANISM_NAMES) | {"pinq-restricted"}

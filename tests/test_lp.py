@@ -1,0 +1,167 @@
+"""Tests for the LP layer: model builder and both backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LPError
+from repro.lp import LinearProgram, ScipyBackend, SimplexBackend
+
+
+class TestModel:
+    def test_variable_bounds(self):
+        lp = LinearProgram()
+        x = lp.add_variable(lb=1.0, ub=2.0)
+        assert lp.bounds()[x] == (1.0, 2.0)
+
+    def test_bad_bounds_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_variable(lb=2.0, ub=1.0)
+
+    def test_bad_sense_rejected(self):
+        lp = LinearProgram()
+        x = lp.add_variable()
+        with pytest.raises(LPError):
+            lp.add_constraint({x: 1.0}, "!=", 0.0)
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.add_constraint({0: 1.0}, "<=", 1.0)
+
+    def test_unknown_variable_in_objective(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError):
+            lp.set_objective({3: 1.0})
+
+    def test_objective_vector(self):
+        lp = LinearProgram()
+        x = lp.add_variable()
+        y = lp.add_variable()
+        lp.set_objective({y: 2.0})
+        assert list(lp.objective_vector()) == [0.0, 2.0]
+
+    def test_add_variables_bulk(self):
+        lp = LinearProgram()
+        indices = lp.add_variables(5, lb=0.0, ub=1.0)
+        assert indices == [0, 1, 2, 3, 4]
+        assert lp.num_variables == 5
+
+
+def _solve_both(lp):
+    return ScipyBackend().solve(lp), SimplexBackend().solve(lp)
+
+
+class TestBackends:
+    def test_trivial_empty(self, any_backend):
+        lp = LinearProgram()
+        solution = any_backend.solve(lp)
+        assert solution.is_optimal
+        assert solution.objective == 0.0
+
+    def test_simple_minimum(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 10)
+        y = lp.add_variable(0, 10)
+        lp.add_constraint({x: 1, y: 1}, ">=", 4)
+        lp.set_objective({x: 1, y: 2})
+        solution = any_backend.solve(lp)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(4.0)
+        assert solution.x[x] == pytest.approx(4.0)
+
+    def test_equality_constraint(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 1)
+        y = lp.add_variable(0, 1)
+        lp.add_constraint({x: 1, y: 1}, "==", 1.2)
+        lp.set_objective({x: 3, y: 1})
+        solution = any_backend.solve(lp)
+        assert solution.objective == pytest.approx(0.2 * 3 + 1.0)
+
+    def test_objective_constant(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 1)
+        lp.set_objective({x: 1}, constant=7.0)
+        solution = any_backend.solve(lp)
+        assert solution.objective == pytest.approx(7.0)
+
+    def test_infeasible(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 1)
+        lp.add_constraint({x: 1}, ">=", 2.0)
+        lp.set_objective({x: 1})
+        assert any_backend.solve(lp).status == "infeasible"
+
+    def test_unbounded(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, None)
+        lp.set_objective({x: -1})
+        assert any_backend.solve(lp).status == "unbounded"
+
+    def test_nonzero_lower_bounds(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(lb=2.0, ub=5.0)
+        lp.set_objective({x: 1})
+        solution = any_backend.solve(lp)
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.x[x] == pytest.approx(2.0)
+
+    def test_negative_rhs_normalization(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 10)
+        lp.add_constraint({x: -1}, "<=", -3.0)  # x >= 3
+        lp.set_objective({x: 1})
+        assert any_backend.solve(lp).objective == pytest.approx(3.0)
+
+    def test_redundant_equality_rows(self, any_backend):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 10)
+        y = lp.add_variable(0, 10)
+        lp.add_constraint({x: 1, y: 1}, "==", 4)
+        lp.add_constraint({x: 2, y: 2}, "==", 8)  # redundant
+        lp.set_objective({x: 1, y: 3})
+        assert any_backend.solve(lp).objective == pytest.approx(4.0)
+
+    def test_backends_agree_on_random_lps(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            lp = LinearProgram()
+            n = int(rng.integers(2, 6))
+            variables = [lp.add_variable(0.0, float(rng.uniform(0.5, 3))) for _ in range(n)]
+            for _ in range(int(rng.integers(1, 5))):
+                coeffs = {
+                    v: float(rng.uniform(-2, 2))
+                    for v in rng.choice(variables, size=min(n, 3), replace=False)
+                }
+                sense = ["<=", ">="][int(rng.integers(2))]
+                lp.add_constraint(coeffs, sense, float(rng.uniform(-1, 3)))
+            lp.set_objective(
+                {v: float(rng.uniform(-1, 2)) for v in variables}
+            )
+            s1, s2 = _solve_both(lp)
+            assert s1.status == s2.status, f"trial {trial}"
+            if s1.is_optimal:
+                assert s1.objective == pytest.approx(s2.objective, abs=1e-6), (
+                    f"trial {trial}"
+                )
+
+    def test_simplex_iteration_limit(self):
+        backend = SimplexBackend(max_iterations=1)
+        lp = LinearProgram()
+        x = lp.add_variable(0, 10)
+        y = lp.add_variable(0, 10)
+        lp.add_constraint({x: 1, y: 2}, ">=", 3)
+        lp.add_constraint({x: 2, y: 1}, ">=", 3)
+        lp.set_objective({x: 1, y: 1})
+        with pytest.raises(LPError):
+            backend.solve(lp)
+
+    def test_adaptive_method_selection(self):
+        backend = ScipyBackend(method="adaptive", ipm_threshold=2)
+        small = LinearProgram()
+        small.add_variable(0, 1)
+        assert backend._resolve_method(small) == "highs"
+        big = LinearProgram()
+        big.add_variables(5, 0, 1)
+        assert backend._resolve_method(big) == "highs-ipm"

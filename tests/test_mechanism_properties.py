@@ -1,0 +1,183 @@
+"""Property-based tests of the efficient mechanism's sequence invariants.
+
+On random small sensitive K-relations (hypothesis-generated annotations),
+verify against the definitions:
+
+* H is a recursive sequence across real withdrawals (Def. 17);
+* H is convex in i (Lemma 10) and H_{|P|} = q(supp(R)) (Thm. 3);
+* G is nondecreasing, and the Δ from Eq. 11 obeys Lemmas 1–3 across
+  withdrawals;
+* X has global sensitivity ≤ Δ̂ across withdrawals (Lemma 7).
+
+These are the privacy-critical invariants: every lemma that the proof of
+Theorem 1 relies on is exercised on machine-generated instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolexpr import And, Expr, Or, Var
+from repro.core import EfficientRecursiveMechanism, SensitiveKRelation
+from repro.core.params import RecursiveMechanismParams
+
+VARS = ["p0", "p1", "p2", "p3", "p4"]
+
+
+def annotations() -> st.SearchStrategy[Expr]:
+    leaves = st.sampled_from([Var(v) for v in VARS])
+    return st.recursive(
+        leaves,
+        lambda kids: st.lists(kids, min_size=2, max_size=2).map(And)
+        | st.lists(kids, min_size=2, max_size=2).map(Or),
+        max_leaves=5,
+    )
+
+
+def krelations() -> st.SearchStrategy[SensitiveKRelation]:
+    entry = st.tuples(st.integers(0, 10**6), annotations())
+    return st.lists(entry, min_size=1, max_size=4).map(
+        lambda pairs: SensitiveKRelation(
+            VARS,
+            [(f"t{i}", ann) for i, (_, ann) in enumerate(pairs)],
+            validate=False,
+        )
+    )
+
+
+PARAMS = RecursiveMechanismParams.paper(0.5, g=2)
+
+
+@given(krelations())
+@settings(max_examples=40, deadline=None)
+def test_h_boundary_and_convexity(relation):
+    mech = EfficientRecursiveMechanism(relation)
+    n = mech.num_participants
+    h = [mech.h_entry(i) for i in range(n + 1)]
+    assert h[0] == 0.0
+    assert math.isclose(h[n], mech.true_answer(), abs_tol=1e-6)
+    assert all(a <= b + 1e-7 for a, b in zip(h, h[1:]))  # nondecreasing
+    increments = [b - a for a, b in zip(h, h[1:])]
+    assert all(
+        x <= y + 1e-6 for x, y in zip(increments, increments[1:])
+    )  # Lemma 10
+
+
+@given(krelations(), st.sampled_from(VARS))
+@settings(max_examples=30, deadline=None)
+def test_recursive_monotonicity_across_withdrawal(relation, victim):
+    """Def. 17: H_i(P2) <= H_i(P1) <= H_{i+1}(P2) for P1 = P2 - {victim}."""
+    mech_full = EfficientRecursiveMechanism(relation)
+    mech_less = EfficientRecursiveMechanism(relation.withdraw(victim))
+    n1 = mech_less.num_participants
+    for i in range(n1 + 1):
+        h2_i = mech_full.h_entry(i)
+        h1_i = mech_less.h_entry(i)
+        h2_next = mech_full.h_entry(i + 1)
+        assert h2_i <= h1_i + 1e-6
+        assert h1_i <= h2_next + 1e-6
+
+
+@given(krelations(), st.sampled_from(VARS))
+@settings(max_examples=30, deadline=None)
+def test_g_recursive_monotonicity_across_withdrawal_uniform(relation, victim):
+    """The sound Ĝ = 2·S̄·H bounding sequence (fixed query-level S̄) is a
+    recursive sequence on arbitrary annotations.  Eq. 19's G is NOT — see
+    test_erratum_eq19.py — which is why the cross-withdrawal property is
+    asserted for the "uniform" mode here and for the conjunctive case in
+    the dedicated test below."""
+    mech_full = EfficientRecursiveMechanism(relation, bounding="uniform", s_bar=5.0)
+    mech_less = EfficientRecursiveMechanism(
+        relation.withdraw(victim), bounding="uniform", s_bar=5.0
+    )
+    n1 = mech_less.num_participants
+    for i in range(n1 + 1):
+        assert mech_full.g_entry(i) <= mech_less.g_entry(i) + 1e-6
+        assert mech_less.g_entry(i) <= mech_full.g_entry(i + 1) + 1e-6
+
+
+def conjunctive_krelations():
+    clause = st.lists(
+        st.sampled_from(VARS), min_size=1, max_size=4, unique=True
+    ).map(lambda names: And(Var(n) for n in names) if len(names) > 1 else Var(names[0]))
+    entry = st.tuples(st.integers(0, 10**6), clause)
+    return st.lists(entry, min_size=1, max_size=4).map(
+        lambda pairs: SensitiveKRelation(
+            VARS,
+            [(f"t{i}", ann) for i, (_, ann) in enumerate(pairs)],
+            validate=False,
+        )
+    )
+
+
+@given(conjunctive_krelations(), st.sampled_from(VARS))
+@settings(max_examples=30, deadline=None)
+def test_g_recursive_monotonicity_conjunctive_paper_mode(relation, victim):
+    """Eq. 19's G IS a recursive sequence on conjunctive annotations —
+    the subgraph-counting case, where the paper's Lemma 1 is sound."""
+    mech_full = EfficientRecursiveMechanism(relation, bounding="paper")
+    mech_less = EfficientRecursiveMechanism(
+        relation.withdraw(victim), bounding="paper"
+    )
+    n1 = mech_less.num_participants
+    for i in range(n1 + 1):
+        assert mech_full.g_entry(i) <= mech_less.g_entry(i) + 1e-6
+        assert mech_less.g_entry(i) <= mech_full.g_entry(i + 1) + 1e-6
+
+
+@given(krelations(), st.sampled_from(VARS))
+@settings(max_examples=25, deadline=None)
+def test_lemma1_delta_log_sensitivity_across_withdrawal(relation, victim):
+    """GS_{ln Δ} <= β on real neighbors (the heart of the ε1 guarantee),
+    using the sound uniform bounding mode with a fixed query-level S̄."""
+    delta_full, _ = EfficientRecursiveMechanism(
+        relation, bounding="uniform", s_bar=5.0
+    ).compute_delta(PARAMS)
+    delta_less, _ = EfficientRecursiveMechanism(
+        relation.withdraw(victim), bounding="uniform", s_bar=5.0
+    ).compute_delta(PARAMS)
+    assert abs(math.log(delta_full) - math.log(delta_less)) <= PARAMS.beta + 1e-9
+
+
+@given(conjunctive_krelations(), st.sampled_from(VARS))
+@settings(max_examples=25, deadline=None)
+def test_lemma1_conjunctive_paper_mode(relation, victim):
+    """Lemma 1 holds in paper mode for conjunctive annotations."""
+    delta_full, _ = EfficientRecursiveMechanism(
+        relation, bounding="paper"
+    ).compute_delta(PARAMS)
+    delta_less, _ = EfficientRecursiveMechanism(
+        relation.withdraw(victim), bounding="paper"
+    ).compute_delta(PARAMS)
+    assert abs(math.log(delta_full) - math.log(delta_less)) <= PARAMS.beta + 1e-9
+
+
+@given(krelations(), st.sampled_from(VARS), st.floats(0.01, 5.0))
+@settings(max_examples=25, deadline=None)
+def test_lemma7_x_sensitivity_across_withdrawal(relation, victim, delta_hat):
+    """|X(P1) - X(P2)| <= Δ̂ on real neighbors (the heart of the ε2 guarantee)."""
+    x_full, _ = EfficientRecursiveMechanism(relation)._compute_x(delta_hat)
+    x_less, _ = EfficientRecursiveMechanism(
+        relation.withdraw(victim)
+    )._compute_x(delta_hat)
+    tolerance = 1e-5 * max(1.0, abs(x_full))
+    # Lemma 7 proof sketch: X(P1) <= X(P2) <= X(P1) + Δ̂ for P1 ⪯ P2.
+    assert x_less <= x_full + tolerance
+    assert x_full <= x_less + delta_hat + tolerance
+
+
+@given(krelations())
+@settings(max_examples=30, deadline=None)
+def test_lemma2_lemma3_delta_bounds(relation):
+    mech = EfficientRecursiveMechanism(relation)
+    delta, j = mech.compute_delta(PARAMS)
+    g_final = mech.g_entry(mech.num_participants)
+    assert delta <= max(PARAMS.theta, math.exp(PARAMS.beta) * g_final) + 1e-9
+    shift = round(math.log(delta / PARAMS.theta) / PARAMS.beta)
+    assert shift == j
+    index = mech.num_participants - shift
+    if index >= 0:
+        assert mech.g_entry(index) <= delta + 1e-9

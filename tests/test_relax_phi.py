@@ -1,0 +1,119 @@
+"""Tests for numeric φ evaluation and φ-equivalence (Def. 19)."""
+
+import math
+
+import pytest
+
+from repro.boolexpr import FALSE, TRUE, And, Or, Var, parse
+from repro.errors import ExpressionError
+from repro.relax import phi, phi_equivalent, phi_on_vector, phi_star
+
+
+class TestPhiEvaluation:
+    def test_constants(self):
+        assert phi(TRUE, {}) == 1.0
+        assert phi(FALSE, {}) == 0.0
+
+    def test_variable(self):
+        assert phi(Var("a"), {"a": 0.3}) == 0.3
+
+    def test_missing_variable_is_zero(self):
+        assert phi(Var("a"), {}) == 0.0
+
+    def test_and_is_lukasiewicz(self):
+        expr = parse("a & b")
+        assert phi(expr, {"a": 0.7, "b": 0.6}) == pytest.approx(0.3)
+        assert phi(expr, {"a": 0.4, "b": 0.5}) == 0.0
+
+    def test_or_is_max(self):
+        expr = parse("a | b")
+        assert phi(expr, {"a": 0.7, "b": 0.6}) == pytest.approx(0.7)
+
+    def test_nary_and_matches_binary_nesting(self):
+        """Associativity: max(0, Σ - (m-1)) equals nested binary form."""
+        flat = And((Var("a"), Var("b"), Var("c")))
+        nested_value = lambda f: max(
+            0.0, max(0.0, f["a"] + f["b"] - 1) + f["c"] - 1
+        )
+        for f in ({"a": 0.9, "b": 0.8, "c": 0.7}, {"a": 0.5, "b": 0.5, "c": 0.5}):
+            assert phi(flat, f) == pytest.approx(nested_value(f))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ExpressionError):
+            phi(Var("a"), {"a": 1.5})
+        with pytest.raises(ExpressionError):
+            phi(Var("a"), {"a": -0.1})
+
+    def test_phi_on_vector(self):
+        expr = parse("a & b")
+        assert phi_on_vector(expr, ["a", "b"], [0.9, 0.9]) == pytest.approx(0.8)
+
+    def test_sec24_rewriting_counterexample(self):
+        """(b1∨b2)∧(b1∨b3) cannot be rewritten to b1∨(b2∧b3): φ differs."""
+        left = parse("(b1 | b2) & (b1 | b3)")
+        right = parse("b1 | (b2 & b3)")
+        f = {"b1": 0.5, "b2": 0.5, "b3": 0.5}
+        assert phi(left, f) == 0.0
+        assert phi(right, f) == 0.5
+
+
+class TestPhiStar:
+    def test_at_zero(self):
+        expr = parse("a & b")
+        assert phi_star(expr, {"a": 0.0, "b": 0.0}) == pytest.approx(0.0)
+
+    def test_at_one(self):
+        expr = parse("a & b")
+        assert phi_star(expr, {"a": 1.0, "b": 1.0}) == pytest.approx(1.0)
+
+    def test_values_above_one_truncated_by_psi(self):
+        """ψ clips inputs at 1, and φ* respects truncated linearity."""
+        expr = parse("a & b")
+        base = {"a": 0.25, "b": 0.0}
+        assert phi_star(expr, base) == pytest.approx(0.25)
+        scaled = {"a": 2.5, "b": 0.0}  # 10 × base
+        assert phi_star(expr, scaled) == pytest.approx(
+            min(1.0, 10 * phi_star(expr, base))
+        )
+
+
+class TestPhiEquivalence:
+    def test_identical(self):
+        expr = parse("(a & b) | c")
+        assert phi_equivalent(expr, expr)
+
+    def test_invariant_transformations_hold(self):
+        """The four Sec. 5.2 invariants produce φ-equivalent expressions."""
+        a, b, c = Var("a"), Var("b"), Var("c")
+        pairs = [
+            (And((a, TRUE)), a),  # identity
+            (Or((a, FALSE)), a),
+            (And((a, FALSE)), FALSE),  # annihilator
+            (Or((a, TRUE)), TRUE),
+            (And((And((a, b)), c)), And((a, And((b, c))))),  # associativity
+            (Or((Or((a, b)), c)), Or((a, Or((b, c))))),
+            # distributivity of ∧ over ∨
+            (parse("a & (b | c)"), parse("(a & b) | (a & c)")),
+        ]
+        for left, right in pairs:
+            assert phi_equivalent(left, right)
+
+    def test_truth_equal_but_phi_different(self):
+        assert not phi_equivalent(
+            parse("(b1 | b2) & (b1 | b3)"), parse("b1 | (b2 & b3)")
+        )
+
+    def test_idempotence_not_phi_equivalent(self):
+        assert not phi_equivalent(parse("a & a"), Var("a"))
+
+    def test_or_idempotence_is_phi_equivalent(self):
+        """max(x, x) = x, so a∨a ~ a (unlike ∧)."""
+        assert phi_equivalent(parse("a | a"), Var("a"))
+
+    def test_constants(self):
+        assert phi_equivalent(TRUE, TRUE)
+        assert not phi_equivalent(TRUE, FALSE)
+
+    def test_commutativity_is_phi_equivalent(self):
+        assert phi_equivalent(parse("a & b"), parse("b & a"))
+        assert phi_equivalent(parse("a | b"), parse("b | a"))

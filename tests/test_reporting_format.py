@@ -1,0 +1,50 @@
+"""Tests for the reporting formatter's numeric rendering rules."""
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_integers_render_plainly(self):
+        assert format_value(13571) == "13571"
+        assert format_value(48260.0) == "48260"
+        assert format_value(-7.0) == "-7"
+
+    def test_small_floats_scientific(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_large_floats_scientific(self):
+        assert "e" in format_value(6.76e7 + 0.5)
+
+    def test_moderate_floats_compact(self):
+        assert format_value(0.4151) == "0.4151"
+
+    def test_specials(self):
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "inf"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(None) == "-"
+        assert format_value("text") == "text"
+
+    def test_zero(self):
+        assert format_value(0) == "0"
+        assert format_value(0.0) == "0"
+
+
+class TestTables:
+    def test_column_alignment(self):
+        text = format_table(
+            [{"a": 1, "bb": 22}, {"a": 333, "bb": 4}], ["a", "bb"]
+        )
+        lines = text.splitlines()
+        assert len({line.index("  ") for line in lines if "  " in line}) >= 1
+        assert lines[1].startswith("-")
+
+    def test_missing_cells_dash(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_series_pads_short_columns(self):
+        text = format_series("x", [1, 2, 3], {"m": [0.5, 0.6]})
+        assert text.splitlines()[-1].split()[0] == "3"

@@ -1,0 +1,120 @@
+"""Tests for the rng utilities and the query objects."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.queries import (
+    CountQuery,
+    SumQuery,
+    WeightedQuery,
+    decompose_signed,
+)
+from repro.algebra import Tup
+from repro.errors import MechanismError, PrivacyParameterError
+from repro.rng import ensure_rng, laplace, laplace_array, split_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSplitRng:
+    def test_children_independent_and_reproducible(self):
+        kids1 = split_rng(3, 4)
+        kids2 = split_rng(3, 4)
+        assert len(kids1) == 4
+        values1 = [k.random() for k in kids1]
+        values2 = [k.random() for k in kids2]
+        assert values1 == values2
+        assert len(set(values1)) == 4
+
+
+class TestLaplace:
+    def test_zero_scale_is_degenerate(self):
+        assert laplace(0.0) == 0.0
+        assert list(laplace_array(0.0, 5)) == [0.0] * 5
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            laplace(-1.0)
+        with pytest.raises(PrivacyParameterError):
+            laplace_array(-1.0, 3)
+
+    def test_distribution_moments(self):
+        samples = laplace_array(2.0, 40_000, rng=0)
+        assert abs(float(np.mean(samples))) < 0.1
+        # Var(Lap(b)) = 2 b^2 = 8
+        assert float(np.var(samples)) == pytest.approx(8.0, rel=0.1)
+
+    def test_reproducible(self):
+        assert laplace(1.0, rng=9) == laplace(1.0, rng=9)
+
+
+class TestQueries:
+    def test_count_query(self):
+        q = CountQuery()
+        assert q("anything") == 1.0
+        assert q.total(["a", "b", "c"]) == 3.0
+
+    def test_sum_query(self):
+        q = SumQuery("value")
+        assert q(Tup(value=2.5)) == 2.5
+        assert q.total([Tup(value=1), Tup(value=4)]) == 5.0
+
+    def test_weighted_query(self):
+        q = WeightedQuery(lambda t: len(t), name="len")
+        assert q("abc") == 3.0
+        assert "len" in repr(q)
+
+    def test_negative_weight_rejected_at_call(self):
+        q = WeightedQuery(lambda t: -1.0)
+        with pytest.raises(MechanismError):
+            q("t")
+
+    def test_decompose_signed(self):
+        positive, negative = decompose_signed(lambda t: t)
+        assert positive(3.0) == 3.0 and negative(3.0) == 0.0
+        assert positive(-2.0) == 0.0 and negative(-2.0) == 2.0
+        # recomposition
+        for value in (-5.0, 0.0, 7.5):
+            assert positive(value) - negative(value) == value
+
+    def test_decomposed_parts_run_through_mechanism(self):
+        """Answer a signed query as the difference of two releases."""
+        from repro.boolexpr import parse
+        from repro.core import (
+            EfficientRecursiveMechanism,
+            RecursiveMechanismParams,
+            SensitiveKRelation,
+        )
+
+        values = {"t0": 2.0, "t1": -3.0, "t2": 5.0}
+        relation = SensitiveKRelation(
+            ["a", "b"],
+            [("t0", parse("a & b")), ("t1", parse("a | b")), ("t2", parse("b"))],
+        )
+        positive, negative = decompose_signed(lambda t: values[t])
+        params = RecursiveMechanismParams.paper(2.0)
+        pos_mech = EfficientRecursiveMechanism(relation, query=positive)
+        neg_mech = EfficientRecursiveMechanism(relation, query=negative)
+        assert pos_mech.true_answer() == 7.0
+        assert neg_mech.true_answer() == 3.0
+        answer = (
+            pos_mech.run(params, rng=0).answer
+            - neg_mech.run(params, rng=1).answer
+        )
+        assert math.isfinite(answer)

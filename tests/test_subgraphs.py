@@ -1,0 +1,229 @@
+"""Tests for subgraph patterns, enumeration, counting and annotation."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.boolexpr import And, Var
+from repro.errors import PatternError
+from repro.graphs import Graph, erdos_renyi
+from repro.subgraphs import (
+    Occurrence,
+    Pattern,
+    count_k_stars,
+    count_triangles,
+    enumerate_k_cliques,
+    enumerate_k_stars,
+    enumerate_k_triangles,
+    enumerate_paths,
+    enumerate_subgraphs,
+    enumerate_triangles,
+    k_clique,
+    k_star,
+    k_triangle,
+    path_pattern,
+    subgraph_krelation,
+    triangle,
+)
+from repro.subgraphs.counting import count_k_triangles
+
+
+@pytest.fixture
+def diamond():
+    """Two triangles sharing edge (1,2)."""
+    return Graph(edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+
+
+class TestPatterns:
+    def test_triangle_shape(self):
+        p = triangle()
+        assert p.num_nodes == 3
+        assert p.num_edges == 3
+
+    def test_k_star_shape(self):
+        p = k_star(4)
+        assert p.num_nodes == 5
+        assert p.num_edges == 4
+
+    def test_k_triangle_shape(self):
+        p = k_triangle(2)
+        assert p.num_nodes == 4
+        assert p.num_edges == 5
+
+    def test_k_clique_shape(self):
+        p = k_clique(4)
+        assert p.num_edges == 6
+
+    def test_path_shape(self):
+        p = path_pattern(3)
+        assert p.num_nodes == 4
+
+    @pytest.mark.parametrize("factory,arg", [(k_star, 0), (k_triangle, 0), (k_clique, 1), (path_pattern, 0)])
+    def test_invalid_parameters(self, factory, arg):
+        with pytest.raises(PatternError):
+            factory(arg)
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([(0, 1), (2, 3)], name="disconnected")
+
+    def test_constraint_on_unknown_node_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([(0, 1)], node_constraints={5: lambda d: True})
+
+
+class TestEnumerators:
+    def test_triangles_on_diamond(self, diamond):
+        triangles = list(enumerate_triangles(diamond))
+        assert len(triangles) == 2
+        node_sets = {occ.nodes for occ in triangles}
+        assert frozenset({0, 1, 2}) in node_sets
+        assert frozenset({1, 2, 3}) in node_sets
+
+    def test_triangle_occurrence_edges(self, diamond):
+        occ = next(
+            o for o in enumerate_triangles(diamond) if o.nodes == frozenset({0, 1, 2})
+        )
+        assert occ.edges == frozenset({(0, 1), (0, 2), (1, 2)})
+
+    def test_k_stars_closed_form(self, diamond):
+        for k in (1, 2, 3):
+            assert len(list(enumerate_k_stars(diamond, k))) == count_k_stars(
+                diamond, k
+            )
+
+    def test_k_star_counts_match_binomials(self):
+        g = Graph(edges=[(0, i) for i in range(1, 6)])  # star with 5 leaves
+        assert count_k_stars(g, 2) == math.comb(5, 2) + 5 * math.comb(1, 2)
+        assert count_k_stars(g, 5) == 1
+
+    def test_one_stars_are_edges(self, diamond):
+        assert count_k_stars(diamond, 1) == diamond.num_edges
+
+    def test_k_triangles_on_diamond(self, diamond):
+        # each of the 2 triangles is a 1-triangle based at any of its edges:
+        # Σ_e C(a_e, 1) = a(0,1)=1, a(0,2)=1, a(1,2)=2, a(1,3)=1, a(2,3)=1 = 6
+        assert len(list(enumerate_k_triangles(diamond, 1))) == 6
+        # exactly one 2-triangle (base edge (1,2) with apexes 0 and 3)
+        two = list(enumerate_k_triangles(diamond, 2))
+        assert len(two) == 1
+        assert two[0].nodes == frozenset({0, 1, 2, 3})
+        assert count_k_triangles(diamond, 2) == 1
+
+    def test_k_cliques(self):
+        g = Graph(edges=[(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert len(list(enumerate_k_cliques(g, 3))) == math.comb(5, 3)
+        assert len(list(enumerate_k_cliques(g, 4))) == math.comb(5, 4)
+
+    def test_paths(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert len(list(enumerate_paths(g, 1))) == 3
+        assert len(list(enumerate_paths(g, 3))) == 1
+
+    def test_count_triangles_matches_enumeration(self):
+        g = erdos_renyi(25, 0.3, rng=1)
+        assert count_triangles(g) == len(list(enumerate_triangles(g)))
+
+
+class TestGenericMatcher:
+    def test_matches_triangle_enumerator(self):
+        g = erdos_renyi(18, 0.35, rng=2)
+        generic = {occ.edges for occ in enumerate_subgraphs(g, triangle())}
+        fast = {occ.edges for occ in enumerate_triangles(g)}
+        assert generic == fast
+
+    def test_matches_k_star_enumerator(self):
+        g = erdos_renyi(14, 0.3, rng=3)
+        generic = {occ.edges for occ in enumerate_subgraphs(g, k_star(2))}
+        fast = {occ.edges for occ in enumerate_k_stars(g, 2)}
+        assert generic == fast
+
+    def test_matches_k_triangle_enumerator(self):
+        g = erdos_renyi(12, 0.45, rng=4)
+        generic = {occ.edges for occ in enumerate_subgraphs(g, k_triangle(2))}
+        fast = {occ.edges for occ in enumerate_k_triangles(g, 2)}
+        assert generic == fast
+
+    def test_each_occurrence_once(self, diamond):
+        occurrences = list(enumerate_subgraphs(diamond, triangle()))
+        assert len(occurrences) == len({occ.edges for occ in occurrences})
+
+    def test_node_constraints(self, diamond):
+        """Only triangles whose every node has degree >= 3."""
+        degrees = diamond.degrees()
+        pattern = Pattern(
+            [(0, 1), (1, 2), (0, 2)],
+            name="hub-triangle",
+            node_constraints={i: (lambda d: d >= 3) for i in range(3)},
+        )
+        occurrences = list(
+            enumerate_subgraphs(diamond, pattern, node_data=degrees)
+        )
+        # nodes 1 and 2 have degree 3; nodes 0 and 3 degree 2 -> no triangle
+        assert occurrences == []
+
+    def test_edge_constraints(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        weights = {(0, 1): 5, (1, 2): 1, (0, 2): 5}
+        pattern = Pattern(
+            [(0, 1)],
+            name="heavy-edge",
+            edge_constraints={(0, 1): lambda w: (w or 0) >= 5},
+        )
+        occurrences = list(
+            enumerate_subgraphs(g, pattern, edge_data=weights)
+        )
+        assert len(occurrences) == 2
+
+
+class TestAnnotation:
+    def test_node_privacy_fig2a(self, diamond):
+        rel = subgraph_krelation(diamond, triangle(), privacy="node")
+        assert rel.num_participants == diamond.num_nodes
+        annotations = {
+            tuple(sorted(occ.nodes)): ann for occ, ann in rel.items()
+        }
+        assert annotations[(0, 1, 2)] == And(
+            (Var("v:0"), Var("v:1"), Var("v:2"))
+        )
+
+    def test_edge_privacy_fig2a(self, diamond):
+        rel = subgraph_krelation(diamond, triangle(), privacy="edge")
+        assert rel.num_participants == diamond.num_edges
+        for occ, annotation in rel.items():
+            assert len(annotation.variables()) == 3
+            assert all(name.startswith("e:") for name in annotation.variables())
+
+    def test_invalid_privacy(self, diamond):
+        with pytest.raises(PatternError):
+            subgraph_krelation(diamond, triangle(), privacy="both")
+
+    def test_isolated_nodes_still_participants(self):
+        g = Graph(nodes=[9], edges=[(0, 1), (1, 2), (0, 2)])
+        rel = subgraph_krelation(g, triangle(), privacy="node")
+        assert "v:9" in rel.participants
+
+    def test_world_semantics_match_graph_deletion(self, diamond):
+        """Withdrawing node 3's variable leaves exactly the triangles of G-3."""
+        rel = subgraph_krelation(diamond, triangle(), privacy="node")
+        reduced_world = rel.world(rel.participants - {"v:3"})
+        smaller = diamond.copy()
+        smaller.remove_node(3)
+        assert len(reduced_world) == count_triangles(smaller)
+
+    def test_precomputed_occurrences_used(self, diamond):
+        occurrences = list(enumerate_triangles(diamond))[:1]
+        rel = subgraph_krelation(
+            diamond, triangle(), privacy="node", occurrences=occurrences
+        )
+        assert len(rel) == 1
+
+    def test_constrained_pattern_dispatches_to_generic(self, diamond):
+        pattern = Pattern(
+            [(0, 1), (1, 2), (0, 2)],
+            name="triangle",  # same name, but constrained
+            node_constraints={0: lambda d: True},
+        )
+        rel = subgraph_krelation(diamond, pattern, privacy="node")
+        assert len(rel) == 2
