@@ -19,12 +19,56 @@ from typing import Optional, Tuple
 from ..errors import MechanismError
 from ..relax.encode import EncodedRelation
 from ..rng import RngLike
-from .framework import MechanismResult, RecursiveMechanismBase
+from .framework import MechanismResult, RecursiveMechanismBase, _index_key
 from .params import RecursiveMechanismParams
 from .queries import CountQuery, LinearQuery
 from .sensitive import SensitiveKRelation
 
 __all__ = ["EfficientRecursiveMechanism", "private_linear_query"]
+
+
+def _convex_upper(known, i):
+    """Chord upper bound on a convex sequence at ``i`` from exact points.
+
+    ``known`` is a sorted list of ``(index, value)`` pairs.  Returns None
+    when ``i`` is not bracketed (cannot happen once 0 and |P| are seeded).
+    """
+    left = right = None
+    for index, value in known:
+        if index <= i:
+            left = (index, value)
+        if index >= i and right is None:
+            right = (index, value)
+    if left is None or right is None:
+        return None
+    (il, gl), (ir, gr) = left, right
+    if il == ir:
+        return gl
+    return gl + (i - il) * (gr - gl) / (ir - il)
+
+
+def _convex_lower(known, i):
+    """Secant lower bound on a convex nondecreasing sequence at ``i``.
+
+    Combines monotonicity (the largest exact value left of ``i``) with
+    outward secant extrapolation: slopes of a convex function increase,
+    so the slope of the segment right of ``i`` is at least the chord
+    slope of any segment further right, and symmetrically on the left.
+    """
+    best = 0.0
+    below = [(index, value) for index, value in known if index <= i]
+    above = [(index, value) for index, value in known if index >= i]
+    if below:
+        best = max(best, below[-1][1])  # monotone in i
+        if len(below) >= 2:
+            (i0, g0), (i1, g1) = below[-2], below[-1]
+            if i1 > i0:
+                best = max(best, g1 + (i - i1) * (g1 - g0) / (i1 - i0))
+    if len(above) >= 2:
+        (i1, g1), (i2, g2) = above[0], above[1]
+        if i2 > i1:
+            best = max(best, g1 - (i1 - i) * (g2 - g1) / (i2 - i1))
+    return best
 
 
 class EfficientRecursiveMechanism(RecursiveMechanismBase):
@@ -43,6 +87,11 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
         encoding (guarantees ``S ≤ 1`` and safe annotations for hand-built
         relations; algebra-produced annotations are already safe, and for
         subgraph-counting relations they are already DNF).
+    compiled:
+        Route solves through the one-time-assembled
+        :class:`~repro.lp.compiled.CompiledProgram` when the backend
+        supports it (default).  ``False`` forces the legacy
+        clone-and-rebuild LP path (ablations / equivalence tests).
     bounding:
         Which bounding sequence to use for the Δ computation:
 
@@ -65,6 +114,7 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
         normalize: bool = False,
         bounding: str = "auto",
         s_bar=None,
+        compiled: bool = True,
     ):
         super().__init__()
         if bounding not in ("paper", "uniform", "auto"):
@@ -83,7 +133,7 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
 
             backend = DEFAULT_BACKEND
         self._encoded = EncodedRelation(
-            sorted(relation.participants), annotated, backend
+            sorted(relation.participants), annotated, backend, compiled=compiled
         )
         if bounding == "auto":
             from ..boolexpr.transform import is_conjunction_of_vars
@@ -111,10 +161,50 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
     def _h_entry(self, i: int) -> float:
         return self._encoded.solve_h(i)
 
+    def _h_entries(self, indices) -> list:
+        # route the framework's batched cache misses through the encoded
+        # relation's entry point (sequential solves over the compiled
+        # structure; a backend with a true batch solve would override it)
+        return self._encoded.solve_h_many(indices)
+
     def _g_entry(self, i: int) -> float:
         if self.bounding == "uniform":
             return self._encoded.solve_g_uniform(i, s_bar=self.s_bar)
         return self._encoded.solve_g(i)
+
+    def _g_predicate(self, i: int, threshold: float) -> bool:
+        """``G_i ≤ threshold`` via a cost cascade, exact at every step.
+
+        1. ``G`` is convex and nondecreasing in ``i`` (the LP value as a
+           function of the mass RHS), so chords between known exact
+           entries upper-bound it and outward secants lower-bound it —
+           both decide the predicate with no LP at all.
+        2. Otherwise a feasibility probe (z pinned at ``threshold/2``)
+           races the exact min-max solve under doubling iteration budgets
+           (``CompiledProgram.solve_g_decide``) — whichever formulation
+           is cheap on this structure wins.
+        3. Every exact entry that does get computed (endpoints are closed
+           forms, race wins are returned) permanently tightens the bounds
+           for later probes.
+        """
+        if self.bounding == "uniform":
+            # Ĝ = 2·S̄·H — one (cheap) H solve; keep the exact entry cached
+            return self.g_entry(i) <= threshold
+        # endpoints are closed forms — seed the bound cache for free
+        self.g_entry(0)
+        self.g_entry(self.num_participants)
+        known = sorted(self._g_cache.items())
+        upper = _convex_upper(known, i)
+        if upper is not None and upper <= threshold:
+            return True
+        if _convex_lower(known, i) > threshold:
+            return False
+        decided, value = self._encoded.g_decide(i, threshold)
+        if value is not None:
+            # the exact strand won the race — keep the entry so it
+            # tightens the convexity bounds for later probes
+            self._g_cache[_index_key(i)] = float(value)
+        return decided
 
     def true_answer(self) -> float:
         """``q(supp(R)) = H_{|P|}`` (Theorem 3) without solving an LP."""
@@ -133,8 +223,8 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
         )
         best_value = math.inf
         best_index = float(candidates[0])
-        for i in candidates:
-            value = self.h_entry(i) + (n - i) * delta_hat
+        for i, h_value in zip(candidates, self.h_entries(candidates)):
+            value = h_value + (n - i) * delta_hat
             if value < best_value:
                 best_value = value
                 best_index = float(i)
@@ -151,6 +241,11 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
     def lp_size(self) -> int:
         """Number of LP variables in the encoding (``O(L)``, Sec. 5.3)."""
         return self._encoded.num_lp_variables
+
+    @property
+    def is_compiled(self) -> bool:
+        """Whether solves go through the compiled array fast path."""
+        return self._encoded.is_compiled
 
 
 def private_linear_query(

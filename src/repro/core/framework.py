@@ -32,6 +32,16 @@ from .params import RecursiveMechanismParams
 __all__ = ["MechanismResult", "RecursiveMechanismBase"]
 
 
+def _index_key(i):
+    """Cache key for a sequence index: int when integral, else float.
+
+    Integral floats must share the slot with int callers, and genuine
+    fractional indices (``solve_h``/``solve_g`` support them) must not be
+    truncated onto their floor's entry.
+    """
+    return int(i) if float(i) == int(i) else float(i)
+
+
 @dataclass
 class MechanismResult:
     """Everything the mechanism run produced.
@@ -80,6 +90,9 @@ class RecursiveMechanismBase:
     def __init__(self):
         self._h_cache: Dict[int, float] = {}
         self._g_cache: Dict[int, float] = {}
+        # (i, threshold) -> bool, for Δ searches that probe the predicate
+        # G_i <= threshold without materializing the exact entry
+        self._g_pred_cache: Dict[Tuple[int, float], bool] = {}
 
     # -- to be provided by implementations --------------------------------------
     @property
@@ -88,6 +101,13 @@ class RecursiveMechanismBase:
 
     def _h_entry(self, i: int) -> float:
         raise NotImplementedError
+
+    def _h_entries(self, indices) -> list:
+        """Batch hook for ``H``; the default evaluates pointwise.
+
+        An implementation whose solver offers a genuinely batched solve
+        can override this; today every backend solves sequentially."""
+        return [self._h_entry(i) for i in indices]
 
     def _g_entry(self, i: int) -> float:
         raise NotImplementedError
@@ -103,11 +123,48 @@ class RecursiveMechanismBase:
             self._h_cache[i] = float(self._h_entry(i))
         return self._h_cache[i]
 
+    def h_entries(self, indices) -> list:
+        """Cached batched ``H`` — the misses go through :meth:`_h_entries`
+        in one round trip (the batched entry point used by the X step and
+        the runtime harness)."""
+        wanted = [_index_key(i) for i in indices]
+        missing: list = []
+        for i in wanted:
+            if i not in self._h_cache and i not in missing:
+                missing.append(i)
+        if missing:
+            values = self._h_entries(missing)
+            if len(values) != len(missing):
+                raise MechanismError(
+                    f"batched H solve returned {len(values)} values "
+                    f"for {len(missing)} indices"
+                )
+            for i, value in zip(missing, values):
+                self._h_cache[i] = float(value)
+        return [self._h_cache[i] for i in wanted]
+
     def g_entry(self, i: int) -> float:
         """Cached ``G_i``."""
         if i not in self._g_cache:
             self._g_cache[i] = float(self._g_entry(i))
         return self._g_cache[i]
+
+    def g_entry_leq(self, i: int, threshold: float) -> bool:
+        """The monotone predicate ``G_i ≤ threshold`` — all the Δ search
+        consumes.  The default compares the (cached) exact entry;
+        implementations with a cheaper exact threshold test override
+        :meth:`_g_predicate`."""
+        index = _index_key(i)
+        if index in self._g_cache:
+            return self._g_cache[index] <= threshold
+        key = (index, float(threshold))
+        if key not in self._g_pred_cache:
+            self._g_pred_cache[key] = bool(self._g_predicate(i, threshold))
+        return self._g_pred_cache[key]
+
+    def _g_predicate(self, i: int, threshold: float) -> bool:
+        """Predicate hook; the default evaluates the exact entry."""
+        return self.g_entry(i) <= threshold
 
     # -- step 1: Δ -----------------------------------------------------------------
     def compute_delta(self, params: RecursiveMechanismParams) -> Tuple[float, int]:
@@ -123,7 +180,7 @@ class RecursiveMechanismBase:
             return params.theta, 0
 
         def feasible(j: int) -> bool:
-            return self.g_entry(n - j) <= math.exp(j * params.beta) * params.theta
+            return self.g_entry_leq(n - j, math.exp(j * params.beta) * params.theta)
 
         g_full = self.g_entry(n)
         if g_full <= params.theta:
@@ -163,8 +220,9 @@ class RecursiveMechanismBase:
         """
         n = self.num_participants
         best = (math.inf, 0.0)
-        for i in range(n + 1):
-            value = self.h_entry(i) + (n - i) * delta_hat
+        values = self.h_entries(range(n + 1))
+        for i, h_value in enumerate(values):
+            value = h_value + (n - i) * delta_hat
             if value < best[0]:
                 best = (value, float(i))
         return best
@@ -194,6 +252,7 @@ class RecursiveMechanismBase:
                 "num_participants": float(self.num_participants),
                 "h_entries_evaluated": float(len(self._h_cache)),
                 "g_entries_evaluated": float(len(self._g_cache)),
+                "g_predicates_evaluated": float(len(self._g_pred_cache)),
             },
         )
 

@@ -57,13 +57,28 @@ def runtime_point(
     result = mechanism.run(params, generator)
     release_seconds = time.perf_counter() - start
 
+    # A small H-profile sweep through the batched entry point — the same
+    # compiled structure answers every index, so this prices "several H
+    # entries over one encoding" separately from a single release.
+    # Interior indices only: the endpoints are closed forms that never
+    # touch a solver (some quartiles may still be warm from the X step).
+    n = mechanism.num_participants
+    profile_indices = sorted(
+        {min(max(1, k * n // 4), n) for k in (1, 2, 3)} if n > 0 else set()
+    )
+    start = time.perf_counter()
+    mechanism.h_entries(profile_indices)
+    h_profile_seconds = time.perf_counter() - start
+
     return {
         "nodes": float(num_nodes),
         "tuples": float(len(relation)),
+        "lp_size": float(mechanism.lp_size),
         "build_seconds": build_seconds,
         "encode_seconds": encode_seconds,
         "delta_seconds": delta_seconds,
         "release_seconds": release_seconds,
+        "h_profile_seconds": h_profile_seconds,
         "mechanism_seconds": delta_seconds + release_seconds,
         "true_answer": float(result.true_answer),
     }

@@ -84,11 +84,18 @@ class Graph:
         return sorted(self._adj, key=repr)
 
     def edges(self) -> List[Edge]:
-        """All edges, each as a repr-sorted pair, in deterministic order."""
+        """All edges, each emitted exactly once, in deterministic order.
+
+        Dedup is by node *rank* in the :meth:`nodes` ordering (as in the
+        triangle enumerator) — a repr comparison would emit both
+        orientations when two distinct nodes share a ``repr``.
+        """
+        ordered = self.nodes()
+        rank = {node: index for index, node in enumerate(ordered)}
         seen = []
-        for u in self.nodes():
+        for u in ordered:
             for v in self._adj[u]:
-                if repr(u) < repr(v) or (repr(u) == repr(v) and u != v):
+                if rank[u] < rank[v]:
                     seen.append((u, v))
         return sorted(seen, key=repr)
 

@@ -11,8 +11,14 @@ This package provides:
 * :class:`~repro.lp.simplex.SimplexBackend` — a self-contained dense
   two-phase primal simplex (Bland's rule), dependency-free and auditable;
   suitable for small programs and used to cross-check HiGHS in tests.
+* :class:`~repro.lp.compiled.CompiledProgram` — the hot path: the base
+  epigraph program assembled **once** into CSR/NumPy arrays, with cheap
+  per-call overlays for the ``H_i`` / ``G_i`` / ``X`` solves (used by
+  :class:`~repro.relax.encode.EncodedRelation` whenever the backend
+  exposes ``solve_arrays``).
 """
 
+from .compiled import CompiledProgram
 from .model import Constraint, LinearProgram, LPSolution
 from .scipy_backend import ScipyBackend
 from .simplex import SimplexBackend
@@ -25,5 +31,6 @@ __all__ = [
     "LPSolution",
     "ScipyBackend",
     "SimplexBackend",
+    "CompiledProgram",
     "DEFAULT_BACKEND",
 ]

@@ -1,0 +1,522 @@
+"""The φ-epigraph LP compiled once into reusable solver structures.
+
+The efficient recursive mechanism solves the *same* base program —
+the epigraph rows of every annotation node, box bounds, and the
+``Σ_t q(t)·v_root(t)`` objective — dozens of times per release, varying
+only a tiny per-call overlay:
+
+* ``H_i``: one equality row ``Σ_p f_p = i`` whose RHS is the only thing
+  that changes between calls;
+* ``G_i``: one extra column ``z`` and one ``z ≥ Σ_t q·S_{t,p}·v_root(t)``
+  row per participant (identical across calls) plus the same mass row;
+* the Δ-search predicate ``G_i ≤ τ``: the same rows with ``z`` replaced
+  by the constant ``τ/2`` — a pure feasibility program, usually far
+  cheaper than minimizing the degenerate min-max objective;
+* the ``X`` step (Eq. 20): a rank-one perturbation of the objective by
+  ``-Δ̂`` on the participant columns.
+
+The legacy path (:class:`~repro.lp.model.LinearProgram` +
+:meth:`~repro.lp.scipy_backend.ScipyBackend.solve`) re-walks the Python
+constraint list and re-assembles CSR matrices on every solve.  A
+:class:`CompiledProgram` performs the assembly exactly once and, when
+SciPy exposes its HiGHS bindings, additionally loads each overlay into a
+:class:`~repro.lp.highs_engine.PersistentLP` so per-call work shrinks to
+mutating one row's bounds (or a few objective entries) and re-running the
+solver.  Without the bindings it falls back to handing the prebuilt arrays
+to ``backend.solve_arrays``.
+
+The compiled path is an optimization, not a semantic fork: every solve
+returns the same :class:`~repro.lp.model.LPSolution` the slow path would,
+and ``tests/test_compiled_equivalence.py`` pins the two together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import LPError
+from .highs_engine import PersistentLP, engine_available
+from .model import LPSolution
+from .scipy_backend import ScipyBackend
+
+__all__ = ["CompiledProgram"]
+
+_INF = float("inf")
+
+#: First iteration budget of the Δ-probe race (doubles each round).
+RACE_INITIAL_BUDGET = 256
+
+#: Feasibility-strand iterations after which the exact strand joins the
+#: race.  Cheap probes (the common case) finish well under this and never
+#: pay for the second strand; pathological phase-1 probes get rescued by
+#: the exact solve at a bounded extra cost.
+RACE_EXACT_LAG = 1024
+
+
+def _csr(rows, cols, vals, shape) -> Optional[sparse.csr_matrix]:
+    """A CSR matrix from COO triplets, or ``None`` for zero rows."""
+    if shape[0] == 0:
+        return None
+    return sparse.csr_matrix((vals, (rows, cols)), shape=shape)
+
+
+_SOLVER_BY_METHOD = {"highs": "choose", "highs-ds": "simplex", "highs-ipm": "ipm"}
+
+
+def _engine_options(backend, num_variables: int) -> Dict:
+    """Translate backend knobs into HiGHS option names.
+
+    Honors the backend's method selection (including the ``"adaptive"``
+    simplex/IPM switch on large degenerate programs); scipy-style option
+    names are translated, anything else passes through as a native HiGHS
+    option.
+    """
+    options: Dict = {}
+    resolver = getattr(backend, "_resolve_method", None)
+    if resolver is not None:
+        method = resolver(num_variables)
+        options["solver"] = _SOLVER_BY_METHOD.get(method, "choose")
+    raw = dict(getattr(backend, "options", None) or {})
+    max_iterations = getattr(backend, "max_iterations", None)
+    if max_iterations is None and "maxiter" in raw:
+        max_iterations = raw["maxiter"]
+    raw.pop("maxiter", None)
+    if max_iterations is not None:
+        options["simplex_iteration_limit"] = int(max_iterations)
+        options["ipm_iteration_limit"] = int(max_iterations)
+    if "presolve" in raw:
+        options["presolve"] = "on" if raw.pop("presolve") else "off"
+    options.update(raw)  # native HiGHS options pass through unchanged
+    return options
+
+
+class CompiledProgram:
+    """One-time assembly of the epigraph LP plus cheap overlay solves.
+
+    Parameters
+    ----------
+    num_variables:
+        Structural variable count (participants first, then node variables).
+    num_participants:
+        Number of participant columns; these occupy indices
+        ``0..num_participants-1`` and carry the mass row.
+    ub_rows / ub_cols / ub_vals / ub_rhs:
+        COO triplets of the base epigraph constraints, already normalized
+        to ``A_ub x <= b_ub`` form.
+    objective:
+        Dense ``Σ_t q(t)·v_root(t)`` coefficient vector (length
+        ``num_variables``).
+    objective_constant:
+        Weight of constant-``True`` annotations, added to every H/X value.
+    g_rows:
+        Per-participant ``{root column: q·S}`` coefficient maps for the
+        Eq. 19 min-max rows (only participants with positive sensitivity).
+    backend:
+        A solver exposing ``solve_arrays(c, a_ub, b_ub, a_eq, b_eq,
+        bounds, objective_constant) -> LPSolution``
+        (:class:`~repro.lp.scipy_backend.ScipyBackend` does); its
+        ``max_iterations`` / ``options`` knobs are honored on the
+        persistent-engine path as well.
+    """
+
+    def __init__(
+        self,
+        num_variables: int,
+        num_participants: int,
+        ub_rows: np.ndarray,
+        ub_cols: np.ndarray,
+        ub_vals: np.ndarray,
+        ub_rhs: np.ndarray,
+        objective: np.ndarray,
+        objective_constant: float,
+        g_rows: Sequence[Dict[int, float]],
+        backend,
+    ):
+        if not hasattr(backend, "solve_arrays"):
+            raise LPError(
+                f"backend {backend!r} has no solve_arrays entry point; "
+                "use the LinearProgram fallback instead"
+            )
+        self.backend = backend
+        self.num_variables = int(num_variables)
+        self.num_participants = int(num_participants)
+        if len(objective) != self.num_variables:
+            raise LPError("objective length does not match variable count")
+
+        # All structural variables live in the unit cube.
+        self._bounds = np.empty((self.num_variables, 2))
+        self._bounds[:, 0] = 0.0
+        self._bounds[:, 1] = 1.0
+
+        self._a_ub = _csr(
+            ub_rows, ub_cols, ub_vals, (len(ub_rhs), self.num_variables)
+        )
+        # linprog wants b_ub=None (not an empty array) when A_ub is None
+        self._b_ub = (
+            np.asarray(ub_rhs, dtype=float) if self._a_ub is not None else None
+        )
+
+        # Mass row Σ_p f_p: only its RHS varies between H/G calls.
+        self._a_mass = sparse.csr_matrix(
+            (
+                np.ones(self.num_participants),
+                (
+                    np.zeros(self.num_participants, dtype=np.int64),
+                    np.arange(self.num_participants, dtype=np.int64),
+                ),
+            ),
+            shape=(1, self.num_variables),
+        )
+
+        self._c = np.asarray(objective, dtype=float)
+        self._constant = float(objective_constant)
+        self._g_row_maps: List[Dict[int, float]] = [dict(row) for row in g_rows]
+        # The persistent engine replaces backend.solve_arrays, so it is
+        # only safe for the stock backend — a custom/instrumented backend
+        # (subclass or duck-typed) must keep receiving every solve.
+        self._use_engine = engine_available() and type(backend) is ScipyBackend
+        # primal optimum of the most recent exact G solve — warm-start
+        # seed for the exact strand of later Δ-probe races
+        self._last_g_optimum: Optional[np.ndarray] = None
+        # lazily assembled overlays (arrays and/or persistent models)
+        self._g_overlay = None
+        self._h_model: Optional[PersistentLP] = None
+        self._g_model: Optional[PersistentLP] = None
+        self._x_model: Optional[PersistentLP] = None
+        self._feas_model: Optional[PersistentLP] = None
+        self._feas_arrays = None
+
+    # -- shared helpers ------------------------------------------------------
+    def _num_ub_rows(self) -> int:
+        return 0 if self._a_ub is None else self._a_ub.shape[0]
+
+    def _ub_row_lower(self) -> np.ndarray:
+        return np.full(self._num_ub_rows(), -_INF)
+
+    def _with_constant(self, solution: LPSolution, constant: float) -> LPSolution:
+        if solution.is_optimal and constant:
+            solution.objective += constant
+        return solution
+
+    def _g_matrix(self, num_cols: int) -> sparse.csr_matrix:
+        """The per-participant ``Σ q·S·v_root`` rows as a sparse block."""
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for row_index, row_map in enumerate(self._g_row_maps):
+            for var, coeff in row_map.items():
+                rows.append(row_index)
+                cols.append(var)
+                vals.append(float(coeff))
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(len(self._g_row_maps), num_cols)
+        )
+
+    # -- H -------------------------------------------------------------------
+    def _build_h_model(self) -> PersistentLP:
+        blocks = [self._a_ub, self._a_mass] if self._a_ub is not None else [self._a_mass]
+        matrix = sparse.vstack(blocks, format="csr")
+        row_lower = np.concatenate([self._ub_row_lower(), [0.0]])
+        upper = self._b_ub if self._b_ub is not None else np.zeros(0)
+        row_upper = np.concatenate([upper, [0.0]])
+        return PersistentLP(
+            matrix,
+            col_costs=self._c,
+            col_lower=self._bounds[:, 0],
+            col_upper=self._bounds[:, 1],
+            row_lower=row_lower,
+            row_upper=row_upper,
+            options=_engine_options(self.backend, self.num_variables),
+        )
+
+    def solve_h(self, i: float) -> LPSolution:
+        """``H_i`` with only the mass-row RHS rebuilt per call."""
+        if self._use_engine:
+            if self._h_model is None:
+                self._h_model = self._build_h_model()
+            self._h_model.set_row_bounds(
+                self._h_model.num_rows - 1, float(i), float(i)
+            )
+            return self._with_constant(self._h_model.solve(), self._constant)
+        return self.backend.solve_arrays(
+            c=self._c,
+            a_ub=self._a_ub,
+            b_ub=self._b_ub,
+            a_eq=self._a_mass,
+            b_eq=np.array([float(i)]),
+            bounds=self._bounds,
+            objective_constant=self._constant,
+        )
+
+    # -- G -------------------------------------------------------------------
+    def _build_g_overlay(self):
+        """Append the ``z`` column and per-participant min-max rows once."""
+        n = self.num_variables
+        z = n  # the extra column index
+        g_block = sparse.hstack(
+            [
+                self._g_matrix(n),
+                sparse.csr_matrix(
+                    (
+                        np.full(len(self._g_row_maps), -1.0),
+                        (
+                            np.arange(len(self._g_row_maps), dtype=np.int64),
+                            np.zeros(len(self._g_row_maps), dtype=np.int64),
+                        ),
+                    ),
+                    shape=(len(self._g_row_maps), 1),
+                ),
+            ],
+            format="csr",
+        )
+        if self._a_ub is not None:
+            padded = sparse.hstack(
+                [self._a_ub, sparse.csr_matrix((self._a_ub.shape[0], 1))],
+                format="csr",
+            )
+            a_ub = sparse.vstack([padded, g_block], format="csr")
+            b_ub = np.concatenate([self._b_ub, np.zeros(len(self._g_row_maps))])
+        else:
+            a_ub = g_block
+            b_ub = np.zeros(len(self._g_row_maps))
+        a_eq = sparse.hstack(
+            [self._a_mass, sparse.csr_matrix((1, 1))], format="csr"
+        )
+        bounds = np.vstack([self._bounds, [[0.0, _INF]]])
+        c = np.zeros(n + 1)
+        c[z] = 1.0
+        self._g_overlay = (c, a_ub, b_ub, a_eq, bounds)
+
+    def _ensure_g_model(self) -> PersistentLP:
+        if self._g_model is None:
+            c, a_ub, b_ub, a_eq, bounds = self._g_overlay
+            matrix = sparse.vstack([a_ub, a_eq], format="csr")
+            self._g_model = PersistentLP(
+                matrix,
+                col_costs=c,
+                col_lower=bounds[:, 0],
+                col_upper=bounds[:, 1],
+                row_lower=np.concatenate([np.full(len(b_ub), -_INF), [0.0]]),
+                row_upper=np.concatenate([b_ub, [0.0]]),
+                options=_engine_options(self.backend, self.num_variables),
+            )
+        return self._g_model
+
+    def solve_g(self, i: float) -> LPSolution:
+        """The Eq. 19 min-max LP; the z overlay is assembled on first use."""
+        if not self._g_row_maps:
+            raise LPError("relation has no G rows — G_i is identically 0")
+        if self._g_overlay is None:
+            self._build_g_overlay()
+        c, a_ub, b_ub, a_eq, bounds = self._g_overlay
+        if self._use_engine:
+            model = self._ensure_g_model()
+            model.set_row_bounds(model.num_rows - 1, float(i), float(i))
+            return model.solve()
+        return self.backend.solve_arrays(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=np.array([float(i)]),
+            bounds=bounds,
+            objective_constant=0.0,
+        )
+
+    # -- the Δ-search predicate ----------------------------------------------
+    def _prepare_feas_model(self, i: float, half: float) -> PersistentLP:
+        """Build (once) and re-bound the feasibility model for one probe."""
+        num_g = len(self._g_row_maps)
+        if self._feas_model is None:
+            blocks = [self._g_matrix(self.num_variables), self._a_mass]
+            if self._a_ub is not None:
+                blocks.insert(0, self._a_ub)
+            matrix = sparse.vstack(blocks, format="csr")
+            row_lower = np.concatenate(
+                [self._ub_row_lower(), np.full(num_g, -_INF), [0.0]]
+            )
+            upper = self._b_ub if self._b_ub is not None else np.zeros(0)
+            row_upper = np.concatenate([upper, np.zeros(num_g), [0.0]])
+            self._feas_model = PersistentLP(
+                matrix,
+                col_costs=np.zeros(self.num_variables),
+                col_lower=self._bounds[:, 0],
+                col_upper=self._bounds[:, 1],
+                row_lower=row_lower,
+                row_upper=row_upper,
+                options=_engine_options(self.backend, self.num_variables),
+            )
+        model = self._feas_model
+        first_g = model.num_rows - 1 - num_g
+        for offset in range(num_g):
+            model.set_row_bounds(first_g + offset, -_INF, half)
+        model.set_row_bounds(model.num_rows - 1, float(i), float(i))
+        return model
+
+    def solve_g_decide(self, i: float, threshold: float):
+        """Decide ``G_i ≤ threshold``; returns ``(bool, exact G or None)``.
+
+        Neither formulation of the test dominates: the feasibility probe
+        (``z`` pinned at ``threshold/2``) is fast when the answer is
+        clear-cut but its phase-1 can grind near the boundary, while the
+        exact min-max solve is sometimes cheap where the probe crawls and
+        vice versa — which regime a relation falls in is not predictable
+        from its size.  So the two run as an iteration-budget race: each
+        strand gets a doubling simplex budget and resumes warm from where
+        it stopped, costing at most ~2× the cheaper strand.  When the
+        exact strand wins, its value is returned so callers can cache it
+        (tightening the Δ-search's convexity bounds for later probes).
+        """
+        if not self._g_row_maps:
+            return 0.0 <= threshold, 0.0
+        if not self._use_engine:
+            return self.solve_g_feasible(i, threshold), None
+        if self._g_overlay is None:
+            self._build_g_overlay()
+        feas = self._prepare_feas_model(i, float(threshold) / 2.0)
+        exact = self._ensure_g_model()
+        exact.set_row_bounds(exact.num_rows - 1, float(i), float(i))
+        feas_budget = exact_budget = RACE_INITIAL_BUDGET
+        feas_spent = 0
+        feas_fresh = exact_fresh = True
+        feas_alive = exact_alive = True
+        try:
+            while feas_alive or exact_alive:
+                if feas_alive:
+                    cap = min(feas_budget, feas.base_iteration_limit)
+                    feas.set_option("simplex_iteration_limit", cap)
+                    feas.set_option("ipm_iteration_limit", cap)
+                    solution = feas.solve(resume=not feas_fresh)
+                    feas_fresh = False
+                    feas_spent += feas.last_iteration_count
+                    if solution.is_optimal:
+                        return True, None
+                    if solution.status == "infeasible":
+                        return False, None
+                    if solution.status != "iteration_limit":
+                        raise LPError(
+                            f"G_{i} <= {threshold} probe failed: "
+                            f"{solution.status} {solution.message}"
+                        )
+                    if cap >= feas.base_iteration_limit:
+                        feas_alive = False  # backend iteration cap exhausted
+                    feas_budget *= 2
+                if exact_alive and (feas_spent >= RACE_EXACT_LAG or not feas_alive):
+                    # join at parity with the feasibility strand's spend so
+                    # a pathological phase-1 cannot starve the exact solve
+                    exact_budget = max(exact_budget, feas_spent)
+                    cap = min(exact_budget, exact.base_iteration_limit)
+                    exact.set_option("simplex_iteration_limit", cap)
+                    exact.set_option("ipm_iteration_limit", cap)
+                    solution = exact.solve(
+                        resume=not exact_fresh, warm_values=self._last_g_optimum
+                    )
+                    exact_fresh = False
+                    if solution.is_optimal:
+                        self._last_g_optimum = solution.x
+                        value = max(0.0, 2.0 * float(solution.objective))
+                        return value <= threshold, value
+                    if solution.status != "iteration_limit":
+                        raise LPError(
+                            f"G_{i} exact solve failed: "
+                            f"{solution.status} {solution.message}"
+                        )
+                    if cap >= exact.base_iteration_limit:
+                        exact_alive = False
+                    exact_budget *= 2
+            raise LPError(
+                f"G_{i} <= {threshold} probe hit the configured iteration "
+                "limit on both strands (iteration_limit)"
+            )
+        finally:
+            for model in (feas, exact):
+                model.set_option("simplex_iteration_limit", model.base_simplex_limit)
+                model.set_option("ipm_iteration_limit", model.base_ipm_limit)
+
+    def solve_g_feasible(self, i: float, bound: float) -> bool:
+        """Exact predicate ``G_i ≤ bound`` as a feasibility program.
+
+        ``G_i = 2·min z`` with ``z ≥ Σ_t q·S_{t,p}·v_root(t)`` per
+        participant, so ``G_i ≤ bound`` iff the polytope with ``z`` fixed
+        to ``bound/2`` is nonempty.  Feasibility is usually much cheaper
+        than optimizing the degenerate min-max objective, and the Δ binary
+        search only consumes the boolean.
+        """
+        if not self._g_row_maps:
+            return 0.0 <= bound
+        half = float(bound) / 2.0
+        num_g = len(self._g_row_maps)
+        if self._use_engine:
+            model = self._prepare_feas_model(i, half)
+            solution = model.solve()
+        else:
+            if self._feas_arrays is None:
+                g_mat = self._g_matrix(self.num_variables)
+                a_feas = (
+                    sparse.vstack([self._a_ub, g_mat], format="csr")
+                    if self._a_ub is not None
+                    else g_mat
+                )
+                self._feas_arrays = a_feas
+            base = self._b_ub if self._b_ub is not None else np.zeros(0)
+            solution = self.backend.solve_arrays(
+                c=np.zeros(self.num_variables),
+                a_ub=self._feas_arrays,
+                b_ub=np.concatenate([base, np.full(num_g, half)]),
+                a_eq=self._a_mass,
+                b_eq=np.array([float(i)]),
+                bounds=self._bounds,
+                objective_constant=0.0,
+            )
+        if solution.is_optimal:
+            return True
+        if solution.status == "infeasible":
+            return False
+        raise LPError(
+            f"G_{i} <= {bound} feasibility probe failed: "
+            f"{solution.status} {solution.message}"
+        )
+
+    # -- X -------------------------------------------------------------------
+    def solve_x(self, delta_hat: float) -> LPSolution:
+        """Eq. 20: the base program with a ``-Δ̂`` objective perturbation."""
+        constant = self._constant + self.num_participants * float(delta_hat)
+        participant_cols = np.arange(self.num_participants)
+        if self._use_engine and self._a_ub is not None:
+            if self._x_model is None:
+                self._x_model = PersistentLP(
+                    self._a_ub,
+                    col_costs=self._c,
+                    col_lower=self._bounds[:, 0],
+                    col_upper=self._bounds[:, 1],
+                    row_lower=self._ub_row_lower(),
+                    row_upper=self._b_ub,
+                    options=_engine_options(self.backend, self.num_variables),
+                )
+            self._x_model.set_col_costs(
+                participant_cols,
+                self._c[: self.num_participants] - float(delta_hat),
+            )
+            return self._with_constant(self._x_model.solve(), constant)
+        c = self._c.copy()
+        c[: self.num_participants] -= float(delta_hat)
+        return self.backend.solve_arrays(
+            c=c,
+            a_ub=self._a_ub,
+            b_ub=self._b_ub,
+            a_eq=None,
+            b_eq=None,
+            bounds=self._bounds,
+            objective_constant=constant,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgram(num_variables={self.num_variables}, "
+            f"num_ub_rows={self._num_ub_rows()}, "
+            f"num_g_rows={len(self._g_row_maps)}, "
+            f"engine={self._use_engine})"
+        )

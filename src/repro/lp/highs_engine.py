@@ -1,0 +1,194 @@
+"""Persistent HiGHS models through SciPy's bundled HiGHS bindings.
+
+:func:`scipy.optimize.linprog` rebuilds the HiGHS model object — CSC
+conversion, option validation, ``passModel`` — on **every** call, which for
+the small-to-medium φ-epigraph programs costs as much as the solve itself.
+SciPy ships the underlying highspy-style bindings as
+``scipy.optimize._highspy._core``; a :class:`PersistentLP` loads the model
+into a HiGHS instance **once** and then only mutates the handful of numbers
+that change between solves (a row's bounds, a few objective entries).
+
+Each solve still starts from a cleared solver state (``clearSolver``), i.e.
+cold with presolve: on the heavily degenerate epigraph LPs a warm simplex
+basis skips presolve and is measurably *slower* than a fresh presolved
+solve, so we keep the model reuse and drop the basis reuse.
+
+This is a private SciPy API, so everything is gated behind
+:func:`engine_available`; callers must fall back to
+:meth:`~repro.lp.scipy_backend.ScipyBackend.solve_arrays` when it returns
+False (older/newer SciPy layouts, other interpreters).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.optimize import OptimizeWarning
+
+from ..errors import LPError
+from .model import LPSolution
+
+__all__ = ["engine_available", "PersistentLP"]
+
+try:  # pragma: no cover - exercised implicitly by the compiled-LP tests
+    import scipy.optimize._highspy._core as _core
+
+    _AVAILABLE = all(
+        hasattr(_core, name) for name in ("_Highs", "HighsLp", "MatrixFormat")
+    )
+except Exception:  # pragma: no cover
+    _core = None
+    _AVAILABLE = False
+
+
+def engine_available() -> bool:
+    """Whether SciPy exposes the bindings :class:`PersistentLP` needs."""
+    return _AVAILABLE
+
+
+def _status_name(model_status) -> str:
+    if model_status == _core.HighsModelStatus.kOptimal:
+        return "optimal"
+    if model_status == _core.HighsModelStatus.kInfeasible:
+        return "infeasible"
+    if model_status == _core.HighsModelStatus.kUnbounded:
+        return "unbounded"
+    if model_status == _core.HighsModelStatus.kIterationLimit:
+        return "iteration_limit"
+    return "error"
+
+
+class PersistentLP:
+    """One HiGHS model kept alive across solves.
+
+    Parameters
+    ----------
+    matrix:
+        The full constraint matrix (any scipy-sparse format; converted to
+        CSC once).  Row activities are constrained to
+        ``row_lower <= A x <= row_upper`` — encode a ``<=`` row with
+        ``-inf`` lower and an ``==`` row with equal bounds.
+    col_costs / col_lower / col_upper:
+        Objective and box bounds per column (``np.inf`` allowed).
+    row_lower / row_upper:
+        Initial row bounds; mutable per solve via :meth:`set_row_bounds`.
+    options:
+        HiGHS option name → value pairs set once at construction (e.g.
+        ``{"simplex_iteration_limit": 100, "presolve": "off"}``).
+    """
+
+    def __init__(
+        self,
+        matrix,
+        col_costs: np.ndarray,
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+        row_lower: np.ndarray,
+        row_upper: np.ndarray,
+        options: Optional[Dict] = None,
+    ):
+        if not _AVAILABLE:
+            raise LPError("scipy's HiGHS bindings are unavailable")
+        a = matrix.tocsc()
+        num_rows, num_cols = a.shape
+        lp = _core.HighsLp()
+        lp.num_col_ = num_cols
+        lp.num_row_ = num_rows
+        lp.a_matrix_.num_col_ = num_cols
+        lp.a_matrix_.num_row_ = num_rows
+        lp.a_matrix_.format_ = _core.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = a.indptr.astype(np.int32)
+        lp.a_matrix_.index_ = a.indices.astype(np.int32)
+        lp.a_matrix_.value_ = a.data.astype(float)
+        lp.col_cost_ = np.asarray(col_costs, dtype=float)
+        lp.col_lower_ = np.asarray(col_lower, dtype=float)
+        lp.col_upper_ = np.asarray(col_upper, dtype=float)
+        lp.row_lower_ = np.asarray(row_lower, dtype=float)
+        lp.row_upper_ = np.asarray(row_upper, dtype=float)
+
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        #: simplex + IPM iterations of the most recent :meth:`solve`
+        self.last_iteration_count = 0
+        self._solver = _core._Highs()
+        self._solver.setOptionValue("output_flag", False)
+        for key, value in (options or {}).items():
+            if self._solver.setOptionValue(key, value) != _core.HighsStatus.kOk:
+                # mirror linprog, which warns on unrecognized options
+                # rather than silently diverging from the configuration
+                warnings.warn(
+                    f"HiGHS rejected option {key}={value!r}; "
+                    "solving with its default instead",
+                    OptimizeWarning,
+                    stacklevel=3,
+                )
+        #: the configured iteration caps, restored after temporary overrides
+        self.base_simplex_limit = int(
+            (options or {}).get("simplex_iteration_limit", 2147483647)
+        )
+        self.base_ipm_limit = int(
+            (options or {}).get("ipm_iteration_limit", 2147483647)
+        )
+        #: the tighter of the two — the effective per-solve budget ceiling
+        self.base_iteration_limit = min(
+            self.base_simplex_limit, self.base_ipm_limit
+        )
+        if self._solver.passModel(lp) == _core.HighsStatus.kError:
+            raise LPError("HiGHS rejected the compiled model")
+
+    # -- per-solve mutations -------------------------------------------------
+    def set_row_bounds(self, row: int, lower: float, upper: float) -> None:
+        """Rebound one row (e.g. the ``Σf = i`` mass row) in place."""
+        self._solver.changeRowBounds(int(row), float(lower), float(upper))
+
+    def set_col_costs(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Overwrite the objective coefficients of the given columns."""
+        idx = np.asarray(indices, dtype=np.int32)
+        self._solver.changeColsCost(
+            len(idx), idx, np.asarray(values, dtype=float)
+        )
+
+    def set_option(self, key: str, value) -> None:
+        """Set a HiGHS option (e.g. a temporary iteration budget)."""
+        self._solver.setOptionValue(key, value)
+
+    # -- solving -------------------------------------------------------------
+    def solve(
+        self, resume: bool = False, warm_values: Optional[np.ndarray] = None
+    ) -> LPSolution:
+        """Solve; statuses match the LPSolution set.
+
+        ``resume=True`` keeps the solver state from the previous ``run``
+        so an iteration-limited solve continues warm instead of starting
+        over — the building block of the Δ-probe race.  ``warm_values``
+        (ignored when resuming) seeds a fresh solve with a primal point,
+        e.g. the optimum of a neighboring Δ-search probe.
+        """
+        if not resume:
+            self._solver.clearSolver()
+            if warm_values is not None and len(warm_values) == self.num_cols:
+                warm = _core.HighsSolution()
+                warm.col_value = np.asarray(warm_values, dtype=float)
+                warm.value_valid = True
+                self._solver.setSolution(warm)
+        run_status = self._solver.run()
+        model_status = self._solver.getModelStatus()
+        name = _status_name(model_status)
+        message = self._solver.modelStatusToString(model_status)
+        if run_status == _core.HighsStatus.kError and name == "optimal":
+            name = "error"
+        info = self._solver.getInfo()
+        self.last_iteration_count = int(info.simplex_iteration_count) + int(
+            info.ipm_iteration_count
+        )
+        if name != "optimal":
+            return LPSolution(name, float("nan"), np.zeros(0), message=message)
+        x = np.asarray(self._solver.getSolution().col_value, dtype=float)
+        return LPSolution(
+            "optimal", float(info.objective_function_value), x, message=message
+        )
+
+    def __repr__(self) -> str:
+        return f"PersistentLP(num_cols={self.num_cols}, num_rows={self.num_rows})"

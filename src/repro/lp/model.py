@@ -44,7 +44,9 @@ class LPSolution:
     Attributes
     ----------
     status:
-        ``"optimal"``, ``"infeasible"``, ``"unbounded"``, or ``"error"``.
+        ``"optimal"``, ``"infeasible"``, ``"unbounded"``,
+        ``"iteration_limit"`` (solver stopped on its iteration budget —
+        see ``ScipyBackend(max_iterations=...)``), or ``"error"``.
     objective:
         Optimal objective value (including the objective constant), or
         ``nan`` when not optimal.

@@ -1,25 +1,27 @@
 """HiGHS backend via :func:`scipy.optimize.linprog`.
 
 Constraint rows are assembled into sparse CSR matrices, so programs with the
-``O(L)`` variables produced by large K-relations stay cheap to build.
+``O(L)`` variables produced by large K-relations stay cheap to build.  For
+the hot path, :meth:`ScipyBackend.solve_arrays` accepts prebuilt CSR/NumPy
+arrays directly (see :class:`~repro.lp.compiled.CompiledProgram`) and skips
+the per-solve assembly entirely.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from ..errors import LPError
 from .model import LinearProgram, LPSolution
 
 __all__ = ["ScipyBackend"]
 
 _STATUS_MAP = {
     0: "optimal",
-    1: "error",  # iteration limit
+    1: "iteration_limit",
     2: "infeasible",
     3: "unbounded",
     4: "error",
@@ -40,18 +42,83 @@ class ScipyBackend:
         stable.
     ipm_threshold:
         Variable count above which ``"adaptive"`` switches to IPM.
+    max_iterations:
+        Optional HiGHS iteration limit (``maxiter``).  When the solver
+        stops on it, the returned status is ``"iteration_limit"`` (not a
+        bare ``"error"``) and the HiGHS message is carried through, so
+        callers can distinguish a truncated solve from solver failure.
+    options:
+        Extra :func:`scipy.optimize.linprog` options merged into every
+        call (e.g. ``{"presolve": False}``); ``max_iterations`` wins over
+        an explicit ``maxiter`` key here.
     """
 
-    def __init__(self, method: str = "adaptive", ipm_threshold: int = 3000):
+    def __init__(
+        self,
+        method: str = "adaptive",
+        ipm_threshold: int = 3000,
+        max_iterations: Optional[int] = None,
+        options: Optional[Dict] = None,
+    ):
         self.method = method
         self.ipm_threshold = int(ipm_threshold)
+        self.max_iterations = None if max_iterations is None else int(max_iterations)
+        self.options = dict(options) if options else {}
 
-    def _resolve_method(self, lp: LinearProgram) -> str:
+    def _resolve_method(self, program_size) -> str:
+        """Pick the HiGHS code for a program (a variable count or an LP)."""
+        num_variables = getattr(program_size, "num_variables", program_size)
         if self.method != "adaptive":
             return self.method
-        if lp.num_variables > self.ipm_threshold:
+        if num_variables > self.ipm_threshold:
             return "highs-ipm"
         return "highs"
+
+    def _solver_options(self) -> Optional[Dict]:
+        options = dict(self.options)
+        if self.max_iterations is not None:
+            options["maxiter"] = self.max_iterations
+        return options or None
+
+    def solve_arrays(
+        self,
+        c: np.ndarray,
+        a_ub,
+        b_ub: Optional[np.ndarray],
+        a_eq,
+        b_eq: Optional[np.ndarray],
+        bounds,
+        objective_constant: float = 0.0,
+    ) -> LPSolution:
+        """Solve a program already assembled as arrays/CSR matrices.
+
+        This is the zero-copy entry point used by
+        :class:`~repro.lp.compiled.CompiledProgram`: nothing here touches
+        Python-object constraint lists, so per-call overhead is just the
+        :func:`scipy.optimize.linprog` invocation itself.
+        """
+        n = len(c)
+        if n == 0:
+            return LPSolution("optimal", float(objective_constant), np.zeros(0))
+        result = linprog(
+            c=c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method=self._resolve_method(n),
+            options=self._solver_options(),
+        )
+        status = _STATUS_MAP.get(result.status, "error")
+        if status != "optimal":
+            return LPSolution(status, float("nan"), np.zeros(0), message=result.message)
+        return LPSolution(
+            "optimal",
+            float(result.fun) + float(objective_constant),
+            np.asarray(result.x, dtype=float),
+            message=result.message,
+        )
 
     def solve(self, lp: LinearProgram) -> LPSolution:
         """Solve the program; never raises on infeasible/unbounded (see status)."""
@@ -101,24 +168,14 @@ class ScipyBackend:
             else None
         )
 
-        result = linprog(
+        return self.solve_arrays(
             c=lp.objective_vector(),
-            A_ub=a_ub,
+            a_ub=a_ub,
             b_ub=np.asarray(rhs_ub) if rhs_ub else None,
-            A_eq=a_eq,
+            a_eq=a_eq,
             b_eq=np.asarray(rhs_eq) if rhs_eq else None,
             bounds=lp.bounds(),
-            method=self._resolve_method(lp),
-        )
-
-        status = _STATUS_MAP.get(result.status, "error")
-        if status != "optimal":
-            return LPSolution(status, float("nan"), np.zeros(0), message=result.message)
-        return LPSolution(
-            "optimal",
-            float(result.fun) + lp.objective_constant,
-            np.asarray(result.x, dtype=float),
-            message=result.message,
+            objective_constant=lp.objective_constant,
         )
 
     def __repr__(self) -> str:

@@ -21,15 +21,26 @@ drives every node variable down to its exact φ value (simple induction), so
 
 are each a single linear program with ``O(L)`` variables, where ``L`` is the
 total annotation length (Sec. 5.3).
+
+Encoding emits COO triplets straight into growable arrays — no per-node
+``Constraint`` objects — and compiles them once into a
+:class:`~repro.lp.compiled.CompiledProgram` when the backend supports array
+solves (``solve_arrays``).  Backends without that entry point (the dense
+simplex, failure-injection doubles) and callers passing ``compiled=False``
+use the legacy :class:`~repro.lp.model.LinearProgram` clone path, which is
+materialized lazily from the same triplets.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..boolexpr.expr import And, Expr, Or, Var, _Const
 from ..boolexpr.sensitivity import phi_sensitivities
 from ..errors import ExpressionError, LPError
+from ..lp.compiled import CompiledProgram
 from ..lp.model import LinearProgram, LPSolution
 
 __all__ = ["EncodedRelation", "encode_relation"]
@@ -50,6 +61,11 @@ class EncodedRelation:
         zero-weight tuples may be passed and are skipped.
     backend:
         An LP backend (``ScipyBackend`` by default at the call sites).
+    compiled:
+        Use the :class:`CompiledProgram` fast path when the backend
+        supports it (default).  ``False`` forces the legacy
+        clone-and-rebuild path — kept for ablations and the equivalence
+        tests.
     """
 
     def __init__(
@@ -57,16 +73,24 @@ class EncodedRelation:
         participants: Sequence[str],
         annotated: Sequence[Tuple[Expr, float]],
         backend,
+        compiled: bool = True,
     ):
         self.participants: List[str] = list(participants)
         self.backend = backend
         if len(set(self.participants)) != len(self.participants):
             raise LPError("duplicate participant names")
-        self._pindex: Dict[str, int] = {}
+        self._pindex: Dict[str, int] = {
+            name: index for index, name in enumerate(self.participants)
+        }
+        self._next_var = len(self.participants)
 
-        self._lp = LinearProgram()
-        for name in self.participants:
-            self._pindex[name] = self._lp.add_variable(lb=0.0, ub=1.0, name=f"f[{name}]")
+        # Growable COO triplets of the base constraints, already normalized
+        # to "A_ub x <= b_ub" form; frozen into compact NumPy arrays (and
+        # the lists dropped) once encoding finishes.
+        self._ub_rows: List[int] = []
+        self._ub_cols: List[int] = []
+        self._ub_vals: List[float] = []
+        self._ub_rhs: List[float] = []
 
         self._root_terms: List[Tuple[int, float]] = []  # (var index, weight)
         self._constant_weight = 0.0  # weight of TRUE-annotated tuples
@@ -85,11 +109,14 @@ class EncodedRelation:
             unknown = expr.variables() - set(self._pindex)
             if unknown:
                 raise LPError(f"annotation references unknown participants {sorted(unknown)}")
-            self.total_weight += weight
             if isinstance(expr, _Const):
+                # FALSE-annotated tuples contribute nothing at any
+                # assignment — they must not count toward q(supp(R))
                 if expr.value:
                     self._constant_weight += weight
+                    self.total_weight += weight
                 continue
+            self.total_weight += weight
             root = self._encode_node(expr)
             self._root_terms.append((root, weight))
             for pname, s_value in phi_sensitivities(expr).items():
@@ -100,11 +127,36 @@ class EncodedRelation:
                 row = self._g_rows.setdefault(pname, {})
                 row[root] = row.get(root, 0.0) + weight * s_value
 
-        self._num_structural = self._lp.num_variables
+        self._num_structural = self._next_var
+        # freeze the triplets: one compact array each instead of
+        # per-element Python objects (shared by both solve paths)
+        self._ub_rows = np.asarray(self._ub_rows, dtype=np.int64)
+        self._ub_cols = np.asarray(self._ub_cols, dtype=np.int64)
+        self._ub_vals = np.asarray(self._ub_vals, dtype=float)
+        self._ub_rhs = np.asarray(self._ub_rhs, dtype=float)
+        self._lp: Optional[LinearProgram] = None  # legacy path, built lazily
+        self._compiled: Optional[CompiledProgram] = None
+        if compiled and hasattr(backend, "solve_arrays"):
+            self._compiled = CompiledProgram(
+                num_variables=self._num_structural,
+                num_participants=len(self.participants),
+                ub_rows=self._ub_rows,
+                ub_cols=self._ub_cols,
+                ub_vals=self._ub_vals,
+                ub_rhs=self._ub_rhs,
+                objective=self._objective_vector(),
+                objective_constant=self._constant_weight,
+                g_rows=list(self._g_rows.values()),
+                backend=backend,
+            )
 
     # -- construction helpers -------------------------------------------------
     def _encode_node(self, expr: Expr) -> int:
-        """Return the LP variable index holding ``φ_expr`` (epigraph)."""
+        """Return the LP variable index holding ``φ_expr`` (epigraph).
+
+        Constraints are appended as COO triplets in batch per node — one
+        ``extend`` per coefficient block, no per-row dict or dataclass.
+        """
         if isinstance(expr, Var):
             return self._pindex[expr.name]
         if isinstance(expr, _Const):
@@ -112,18 +164,30 @@ class EncodedRelation:
                 "constants inside connectives should have been folded away"
             )
         child_vars = [self._encode_node(child) for child in expr.children]
-        v = self._lp.add_variable(lb=0.0, ub=1.0)
+        v = self._next_var
+        self._next_var += 1
+        m = len(child_vars)
         if isinstance(expr, And):
-            # v >= sum(children) - (m-1)
-            coeffs: Dict[int, float] = {v: 1.0}
-            for child in child_vars:
-                coeffs[child] = coeffs.get(child, 0.0) - 1.0
-            self._lp.add_constraint(coeffs, ">=", -(len(child_vars) - 1))
+            # v >= sum(children) - (m-1)  ⇒  -v + Σ children <= m-1
+            # (repeated children sum up via duplicate COO entries)
+            row = len(self._ub_rhs)
+            self._ub_rows.extend([row] * (m + 1))
+            self._ub_cols.append(v)
+            self._ub_cols.extend(child_vars)
+            self._ub_vals.append(-1.0)
+            self._ub_vals.extend([1.0] * m)
+            self._ub_rhs.append(float(m - 1))
         elif isinstance(expr, Or):
-            for child in child_vars:
-                if child == v:  # impossible, defensive
-                    continue
-                self._lp.add_constraint({v: 1.0, child: -1.0}, ">=", 0.0)
+            # v >= child  ⇒  -v + child <= 0, one row per child
+            base = len(self._ub_rhs)
+            rows = range(base, base + m)
+            self._ub_rows.extend(rows)
+            self._ub_cols.extend([v] * m)
+            self._ub_vals.extend([-1.0] * m)
+            self._ub_rows.extend(rows)
+            self._ub_cols.extend(child_vars)
+            self._ub_vals.extend([1.0] * m)
+            self._ub_rhs.extend([0.0] * m)
         else:
             raise ExpressionError(f"unknown expression node {expr!r}")
         return v
@@ -141,13 +205,44 @@ class EncodedRelation:
     def num_lp_variables(self) -> int:
         return self._num_structural
 
+    @property
+    def is_compiled(self) -> bool:
+        """Whether solves go through the array fast path."""
+        return self._compiled is not None
+
     def true_answer(self) -> float:
         """``q(supp(R)) = H_{|P|}`` — the exact (non-private) query answer."""
         return self.total_weight
 
     # -- LP assembly ------------------------------------------------------------
+    @property
+    def base_lp(self) -> LinearProgram:
+        """The legacy :class:`LinearProgram`, materialized from the triplets.
+
+        Only built when a solve actually takes the fallback path (non-array
+        backend or ``compiled=False``) — the fast path never allocates it.
+        """
+        if self._lp is None:
+            lp = LinearProgram()
+            for name in self.participants:
+                lp.add_variable(lb=0.0, ub=1.0, name=f"f[{name}]")
+            for _ in range(self._num_structural - len(self.participants)):
+                lp.add_variable(lb=0.0, ub=1.0)
+            row_coeffs: List[Dict[int, float]] = [
+                {} for _ in range(len(self._ub_rhs))
+            ]
+            for row, col, val in zip(
+                self._ub_rows.tolist(), self._ub_cols.tolist(), self._ub_vals.tolist()
+            ):
+                coeffs = row_coeffs[row]
+                coeffs[col] = coeffs.get(col, 0.0) + val
+            for coeffs, rhs in zip(row_coeffs, self._ub_rhs.tolist()):
+                lp.add_constraint(coeffs, "<=", rhs)
+            self._lp = lp
+        return self._lp
+
     def _clone_lp(self) -> LinearProgram:
-        return self._lp.clone()
+        return self.base_lp.clone()
 
     def _mass_row(self) -> Dict[int, float]:
         return {self._pindex[name]: 1.0 for name in self.participants}
@@ -158,41 +253,126 @@ class EncodedRelation:
             coeffs[var] = coeffs.get(var, 0.0) + weight
         return coeffs
 
+    def _objective_vector(self) -> np.ndarray:
+        c = np.zeros(self._num_structural)
+        for var, weight in self._root_terms:
+            c[var] += weight
+        return c
+
     def _check(self, solution: LPSolution, what: str) -> LPSolution:
         if not solution.is_optimal:
             raise LPError(f"{what} LP not optimal: {solution.status} {solution.message}")
         return solution
 
+    def _check_values(self, solution: LPSolution, what: str) -> LPSolution:
+        """Guard positional reads: an "optimal" solution must carry ``x``."""
+        if len(solution.x) < self._num_structural:
+            raise LPError(
+                f"{what} solver returned {len(solution.x)} variable values "
+                f"for a {self._num_structural}-variable program"
+            )
+        return solution
+
     # -- the three solves ---------------------------------------------------------
     def solve_h(self, i: float) -> float:
-        """``H_i`` (Eq. 16) for integer or fractional ``i ∈ [0, |P|]``."""
+        """``H_i`` (Eq. 16) for integer or fractional ``i ∈ [0, |P|]``.
+
+        The endpoints are exact closed forms, no LP: at ``i = 0`` every
+        ``f_p = 0`` so only constant-``True`` tuples contribute, and at
+        ``i = |P|`` every ``f_p = 1`` forces ``φ = 1`` on every root
+        (Theorem 3), giving the total weight.
+        """
         if not 0.0 <= i <= self.num_participants + 1e-9:
             raise LPError(f"H index {i} outside [0, {self.num_participants}]")
         if not self._root_terms:
             return self._constant_weight
-        lp = self._clone_lp()
-        lp.add_constraint(self._mass_row(), "==", float(i))
-        lp.set_objective(self._objective_terms(), constant=self._constant_weight)
-        solution = self._check(self.backend.solve(lp), f"H_{i}")
+        if i <= 1e-12:
+            return self._constant_weight
+        if i >= self.num_participants - 1e-12:
+            return self.total_weight
+        if self._compiled is not None:
+            solution = self._compiled.solve_h(float(i))
+        else:
+            lp = self._clone_lp()
+            lp.add_constraint(self._mass_row(), "==", float(i))
+            lp.set_objective(self._objective_terms(), constant=self._constant_weight)
+            solution = self.backend.solve(lp)
+        self._check(solution, f"H_{i}")
         return max(0.0, float(solution.objective))
 
+    def solve_h_many(self, indices: Sequence[float]) -> List[float]:
+        """``H_i`` for several indices — a convenience loop over
+        :meth:`solve_h` (each call reuses the one-time-compiled structure;
+        the solves themselves are still sequential)."""
+        return [self.solve_h(i) for i in indices]
+
+    def _g_full(self) -> float:
+        """Closed-form ``G_{|P|} = 2·max_p Σ_t q·S_{t,p}``.
+
+        At ``i = |P|`` the mass row forces ``f ≡ 1``, which forces every
+        node variable to 1 (epigraph lower bounds meet the unit upper
+        bounds), so the min-max collapses to the largest G-row sum.
+        """
+        return 2.0 * max(sum(row.values()) for row in self._g_rows.values())
+
     def solve_g(self, i: float) -> float:
-        """``G_i`` (Eq. 19) — twice the min-max LP value."""
+        """``G_i`` (Eq. 19) — twice the min-max LP value.
+
+        Endpoints are closed forms (no LP): ``G_0 = 0`` (``f ≡ 0`` lets
+        every node variable sit at 0) and ``G_{|P|}`` via :meth:`_g_full`.
+        """
         if not 0.0 <= i <= self.num_participants + 1e-9:
             raise LPError(f"G index {i} outside [0, {self.num_participants}]")
         if not self._g_rows:
             return 0.0
-        lp = self._clone_lp()
-        z = lp.add_variable(lb=0.0, name="z")
-        for row in self._g_rows.values():
-            coeffs = {z: 1.0}
-            for var, coeff in row.items():
-                coeffs[var] = coeffs.get(var, 0.0) - coeff
-            lp.add_constraint(coeffs, ">=", 0.0)
-        lp.add_constraint(self._mass_row(), "==", float(i))
-        lp.set_objective({z: 1.0})
-        solution = self._check(self.backend.solve(lp), f"G_{i}")
+        if i <= 1e-12:
+            return 0.0
+        if i >= self.num_participants - 1e-12:
+            return self._g_full()
+        if self._compiled is not None:
+            solution = self._compiled.solve_g(float(i))
+        else:
+            lp = self._clone_lp()
+            z = lp.add_variable(lb=0.0, name="z")
+            for row in self._g_rows.values():
+                coeffs = {z: 1.0}
+                for var, coeff in row.items():
+                    coeffs[var] = coeffs.get(var, 0.0) - coeff
+                lp.add_constraint(coeffs, ">=", 0.0)
+            lp.add_constraint(self._mass_row(), "==", float(i))
+            lp.set_objective({z: 1.0})
+            solution = self.backend.solve(lp)
+        self._check(solution, f"G_{i}")
         return max(0.0, 2.0 * float(solution.objective))
+
+    def g_decide(self, i: float, threshold: float):
+        """The exact predicate ``G_i ≤ threshold`` as ``(bool, G or None)``.
+
+        The Δ binary search (Sec. 5.3) only consumes threshold tests, so
+        the compiled path races a pure feasibility probe — the Eq. 19
+        polytope with ``z`` pinned at ``threshold/2`` — against the exact
+        min-max solve (see ``CompiledProgram.solve_g_decide``); when the
+        exact strand wins, its value is returned for the caller to cache.
+        Falls back to an exact ``solve_g`` comparison on the legacy path.
+        """
+        if not 0.0 <= i <= self.num_participants + 1e-9:
+            raise LPError(f"G index {i} outside [0, {self.num_participants}]")
+        if threshold < 0:
+            return False, None  # G_i >= 0 always
+        if not self._g_rows or i <= 1e-12:
+            return True, 0.0  # G_i = 0 <= threshold
+        if i >= self.num_participants - 1e-12:
+            full = self._g_full()
+            return full <= threshold, full
+        if self._compiled is not None:
+            return self._compiled.solve_g_decide(float(i), float(threshold))
+        value = self.solve_g(i)
+        return value <= threshold, value
+
+    def g_leq(self, i: float, threshold: float) -> bool:
+        """Boolean form of :meth:`g_decide`."""
+        decided, _ = self.g_decide(i, threshold)
+        return decided
 
     def solve_g_uniform(self, i: float, s_bar: Optional[float] = None) -> float:
         """The sound alternative bounding sequence ``Ĝ_i = 2·S̄·H_i``.
@@ -235,16 +415,19 @@ class EncodedRelation:
         if not self._root_terms:
             # H is constant; X = H + (n - n)·Δ̂ at i' = n.
             return self._constant_weight, float(n)
-        lp = self._clone_lp()
-        coeffs = self._objective_terms()
-        for name in self.participants:
-            idx = self._pindex[name]
-            coeffs[idx] = coeffs.get(idx, 0.0) - delta_hat
-        lp.set_objective(coeffs, constant=self._constant_weight + n * delta_hat)
-        solution = self._check(self.backend.solve(lp), "X relaxation")
-        mass = float(
-            sum(solution.x[self._pindex[name]] for name in self.participants)
-        )
+        if self._compiled is not None:
+            solution = self._compiled.solve_x(float(delta_hat))
+        else:
+            lp = self._clone_lp()
+            coeffs = self._objective_terms()
+            for name in self.participants:
+                idx = self._pindex[name]
+                coeffs[idx] = coeffs.get(idx, 0.0) - delta_hat
+            lp.set_objective(coeffs, constant=self._constant_weight + n * delta_hat)
+            solution = self.backend.solve(lp)
+        self._check(solution, "X relaxation")
+        self._check_values(solution, "X relaxation")
+        mass = float(np.sum(solution.x[:n]))
         return float(solution.objective), min(max(mass, 0.0), float(n))
 
 
@@ -252,10 +435,11 @@ def encode_relation(
     participants: Sequence[str],
     annotated: Sequence[Tuple[Expr, float]],
     backend=None,
+    compiled: bool = True,
 ) -> EncodedRelation:
     """Build an :class:`EncodedRelation` (default backend: SciPy/HiGHS)."""
     if backend is None:
         from ..lp import DEFAULT_BACKEND
 
         backend = DEFAULT_BACKEND
-    return EncodedRelation(participants, annotated, backend)
+    return EncodedRelation(participants, annotated, backend, compiled=compiled)

@@ -1,0 +1,118 @@
+"""Property test: the compiled-LP fast path equals the legacy clone path.
+
+For random small annotated relations, ``solve_h`` / ``solve_g`` /
+``solve_g_uniform`` / ``solve_x_relaxation`` through the one-time-compiled
+CSR arrays must match the ``LinearProgram.clone()`` re-assembly path within
+1e-6, and the full mechanism (Δ and X, in both ``"paper"`` and
+``"uniform"`` bounding modes) must agree on its deterministic
+intermediates.
+"""
+
+import random
+
+import pytest
+
+from repro.boolexpr.expr import And, Or, Var
+from repro.core import (
+    EfficientRecursiveMechanism,
+    RecursiveMechanismParams,
+    SensitiveKRelation,
+)
+from repro.lp import ScipyBackend
+from repro.relax.encode import EncodedRelation
+
+
+def random_expression(rng: random.Random, names, depth: int):
+    """A random positive expression (Var/And/Or) over ``names``."""
+    if depth == 0 or rng.random() < 0.3:
+        return Var(rng.choice(names))
+    arity = rng.randint(2, 3)
+    children = [random_expression(rng, names, depth - 1) for _ in range(arity)]
+    node = And(children) if rng.random() < 0.5 else Or(children)
+    if not isinstance(node, (And, Or)):  # folded to a leaf — retry shallower
+        return random_expression(rng, names, 0)
+    return node
+
+
+def random_relation(seed: int):
+    rng = random.Random(seed)
+    names = [f"p{i}" for i in range(rng.randint(3, 6))]
+    annotated = [
+        (random_expression(rng, names, rng.randint(1, 3)), rng.uniform(0.5, 3.0))
+        for _ in range(rng.randint(1, 5))
+    ]
+    return names, annotated
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_compiled_matches_legacy_solves(seed):
+    names, annotated = random_relation(seed)
+    backend = ScipyBackend()
+    compiled = EncodedRelation(names, annotated, backend)
+    legacy = EncodedRelation(names, annotated, backend, compiled=False)
+    assert compiled.is_compiled
+    assert not legacy.is_compiled
+
+    indices = list(range(len(names) + 1)) + [0.5, len(names) - 0.5]
+    for i in indices:
+        assert compiled.solve_h(i) == pytest.approx(legacy.solve_h(i), abs=1e-6)
+        assert compiled.solve_g(i) == pytest.approx(legacy.solve_g(i), abs=1e-6)
+        assert compiled.solve_g_uniform(i) == pytest.approx(
+            legacy.solve_g_uniform(i), abs=1e-6
+        )
+    assert compiled.solve_h_many(indices) == pytest.approx(
+        [legacy.solve_h(i) for i in indices], abs=1e-6
+    )
+    for i in range(len(names) + 1):
+        g_exact = legacy.solve_g(i)
+        for threshold in (0.0, g_exact - 0.1, g_exact + 0.1, g_exact * 2 + 1.0):
+            if threshold < 0:
+                continue
+            assert compiled.g_leq(i, threshold) == (g_exact <= threshold + 1e-9)
+    for delta in (0.0, 0.05, 0.5, 2.0):
+        value_c, index_c = compiled.solve_x_relaxation(delta)
+        value_l, index_l = legacy.solve_x_relaxation(delta)
+        assert value_c == pytest.approx(value_l, abs=1e-6)
+        # the optimal mass i' need not be unique (flat stretches of H),
+        # but both must be feasible masses
+        assert 0.0 <= index_c <= len(names)
+        assert 0.0 <= index_l <= len(names)
+
+
+def test_h_entries_preserves_fractional_indices():
+    """Batched cached access must not truncate fractional H indices."""
+    names, annotated = random_relation(3)
+    relation = SensitiveKRelation(
+        names, [(f"t{k}", expr) for k, (expr, _) in enumerate(annotated)]
+    )
+    mechanism = EfficientRecursiveMechanism(relation)
+    i = len(names) - 0.5
+    assert mechanism.h_entries([i])[0] == pytest.approx(
+        mechanism._encoded.solve_h(i), abs=1e-9
+    )
+    # integral floats share the cache slot with int callers
+    mechanism.h_entries([2.0])
+    assert 2 in mechanism._h_cache
+
+
+@pytest.mark.parametrize("bounding", ["paper", "uniform"])
+@pytest.mark.parametrize("seed", range(6))
+def test_mechanism_intermediates_agree_across_paths(seed, bounding):
+    names, annotated = random_relation(100 + seed)
+    relation = SensitiveKRelation(
+        names, [(f"t{k}", expr) for k, (expr, _) in enumerate(annotated)]
+    )
+    fast = EfficientRecursiveMechanism(relation, bounding=bounding)
+    slow = EfficientRecursiveMechanism(relation, bounding=bounding, compiled=False)
+    assert fast.is_compiled and not slow.is_compiled
+
+    params = RecursiveMechanismParams.paper(1.0)
+    delta_fast, j_fast = fast.compute_delta(params)
+    delta_slow, j_slow = slow.compute_delta(params)
+    assert delta_fast == pytest.approx(delta_slow, abs=1e-6)
+    assert j_fast == j_slow
+    for delta_hat in (0.1, 1.0):
+        x_fast = fast._compute_x(delta_hat)
+        x_slow = slow._compute_x(delta_hat)
+        # X itself is unique (a minimum); its argmin may not be
+        assert x_fast[0] == pytest.approx(x_slow[0], abs=1e-6)

@@ -30,6 +30,13 @@ class FailingBackend:
         return LPSolution("infeasible", float("nan"), np.zeros(0), "injected")
 
 
+class TruncatedSolutionBackend:
+    """A backend that claims optimality but returns no variable values."""
+
+    def solve(self, lp):
+        return LPSolution("optimal", 1.0, np.zeros(0), "truncated")
+
+
 class CorruptingBackend:
     """A backend that returns wrong (optimal-looking) objective values."""
 
@@ -58,6 +65,26 @@ class TestSolverFailures:
         params = RecursiveMechanismParams.paper(1.0)
         with pytest.raises(LPError):
             mechanism.run(params, rng=0)
+
+    def test_truncated_solution_raises_lperror_not_indexerror(self, relation):
+        """solve_x_relaxation reads x positionally per participant; an
+        "optimal" solution without values must fail loudly, not with an
+        opaque IndexError."""
+        mechanism = EfficientRecursiveMechanism(
+            relation, backend=TruncatedSolutionBackend()
+        )
+        with pytest.raises(LPError, match="variable values"):
+            mechanism._compute_x(0.5)
+
+    def test_iteration_limited_solver_cause_surfaced(self, relation):
+        """An LP stopped on the iteration budget must name the real cause
+        in the raised error rather than a bare \"error\"."""
+        backend = ScipyBackend(
+            max_iterations=0, options={"presolve": False}
+        )
+        mechanism = EfficientRecursiveMechanism(relation, backend=backend)
+        with pytest.raises(LPError, match="iteration_limit"):
+            mechanism.h_entry(2)
 
     def test_corrupted_objective_detected_by_convexity_guard(self, relation):
         """A solver returning too-low X values trips the Eq. 20 consistency

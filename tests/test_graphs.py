@@ -92,6 +92,24 @@ class TestGraph:
         assert Graph(edges=[(1, 2)]) == Graph(edges=[(2, 1)])
         assert Graph(edges=[(1, 2)]) != Graph(edges=[(1, 3)])
 
+    def test_edges_dedup_survives_equal_reprs(self):
+        """Distinct nodes sharing a repr must not double-emit their edge.
+
+        Regression: the old repr-tie branch emitted both orientations,
+        double-counting edges in every edges()-dependent statistic."""
+
+        class Twin:
+            def __repr__(self):
+                return "twin"
+
+        u, v = Twin(), Twin()
+        g = Graph(edges=[(u, v), (u, "x"), (v, "x")])
+        edges = g.edges()
+        assert len(edges) == g.num_edges == 3
+        assert len({frozenset({a, b}) for a, b in edges}) == 3
+        # each statistic derived from edges() sees every edge once
+        assert g.max_common_neighbors() == 1
+
 
 class TestGenerators:
     def test_erdos_renyi_determinism(self):

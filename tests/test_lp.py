@@ -165,3 +165,47 @@ class TestBackends:
         big = LinearProgram()
         big.add_variables(5, 0, 1)
         assert backend._resolve_method(big) == "highs-ipm"
+        # the array entry point resolves from a plain variable count
+        assert backend._resolve_method(1) == "highs"
+        assert backend._resolve_method(5) == "highs-ipm"
+
+
+def _dense_random_lp(seed=0, num_variables=40, num_rows=30):
+    """A feasible, bounded LP that HiGHS cannot finish in one iteration."""
+    rng = np.random.default_rng(seed)
+    lp = LinearProgram()
+    variables = lp.add_variables(num_variables, lb=0.0, ub=1.0)
+    for _ in range(num_rows):
+        coeffs = {
+            v: float(c)
+            for v, c in zip(variables, rng.uniform(-1, 1, size=num_variables))
+        }
+        lp.add_constraint(coeffs, "<=", float(rng.uniform(0.5, 1.5)))
+    lp.set_objective(
+        {v: float(c) for v, c in zip(variables, rng.uniform(-1, 1, num_variables))}
+    )
+    return lp
+
+
+class TestScipyIterationLimit:
+    def test_limit_reported_as_iteration_limit(self):
+        """Hitting HiGHS's maxiter must surface as a distinct status with
+        the solver message attached — not a bare "error" with nan only."""
+        backend = ScipyBackend(
+            method="highs", max_iterations=1, options={"presolve": False}
+        )
+        solution = backend.solve(_dense_random_lp())
+        assert solution.status == "iteration_limit"
+        assert not solution.is_optimal
+        assert np.isnan(solution.objective)
+        assert "iteration" in solution.message.lower()
+
+    def test_same_program_solves_without_limit(self):
+        solution = ScipyBackend(method="highs").solve(_dense_random_lp())
+        assert solution.is_optimal
+
+    def test_unlimited_backend_keeps_default_options(self):
+        backend = ScipyBackend()
+        assert backend._solver_options() is None
+        limited = ScipyBackend(max_iterations=7, options={"presolve": False})
+        assert limited._solver_options() == {"maxiter": 7, "presolve": False}

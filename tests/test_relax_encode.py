@@ -129,6 +129,19 @@ class TestSolveH:
         assert enc_big.solve_h(2) == pytest.approx(0.0)
         assert enc_big.solve_h(4) == pytest.approx(1.0)
 
+    def test_false_constant_weight_excluded(self):
+        """FALSE-annotated tuples contribute nothing — not to the H
+        endpoint closed form, not to q(supp(R))."""
+        from repro.boolexpr import FALSE, TRUE
+
+        enc = encode_relation(
+            ["a", "b"], [(Var("a"), 1.0), (FALSE, 5.0), (TRUE, 2.0)]
+        )
+        assert enc.true_answer() == pytest.approx(3.0)
+        assert enc.solve_h(2) == pytest.approx(3.0)
+        # the endpoint closed form must agree with the LP limit
+        assert enc.solve_h(2 - 1e-7) == pytest.approx(3.0, abs=1e-5)
+
     def test_zero_weight_tuples_skipped(self):
         enc = encode_relation(
             ["a", "b"], [(parse("a & b"), 0.0), (Var("a"), 1.0)]
@@ -183,6 +196,24 @@ class TestSolveG:
         assert enc.solve_g(2) == 0.0
         assert enc.solve_h(2) == 0.0
         assert enc.true_answer() == 0.0
+
+    def test_endpoint_closed_forms_match_lp_limit(self):
+        """G is continuous on [0, |P|], so the i=0 / i=|P| closed forms
+        must agree with near-endpoint LP solves (both paths shortcut the
+        endpoints, so the compiled/legacy equivalence test cannot see a
+        wrong closed form — this pins it against the LP itself)."""
+        participants = ["a", "b", "c", "d"]
+        annotated = [
+            (parse("a & b"), 1.0),
+            (parse("(a | c) & d"), 2.0),
+            (parse("b & c & d"), 0.5),
+        ]
+        enc = encode_relation(participants, annotated)
+        n = len(participants)
+        assert enc.solve_g(n) == pytest.approx(enc.solve_g(n - 1e-7), abs=1e-4)
+        assert enc.solve_g(0) == pytest.approx(enc.solve_g(1e-7), abs=1e-4)
+        assert enc.solve_h(n) == pytest.approx(enc.solve_h(n - 1e-7), abs=1e-4)
+        assert enc.solve_h(0) == pytest.approx(enc.solve_h(1e-7), abs=1e-4)
 
 
 class TestSolveXRelaxation:
