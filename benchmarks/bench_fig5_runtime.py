@@ -3,15 +3,29 @@
 Paper shape: 2-star counting grows with |V| (the number of 2-stars is
 ~|V|·C(avgdeg,2)); triangle/2-triangle runtimes track the (roughly
 constant-in-|V|) match counts for fixed average degree.
+
+Set ``$REPRO_WORKERS`` to shard the sweep grid across a process pool
+(``REPRO_WORKERS=1`` runs the same deterministic scheme in-process;
+unset keeps the historical serial path).
 """
+
+import os
 
 from repro.experiments import format_table
 from repro.experiments.runtime import fig5_runtime_sweep
 
 
+def _workers_from_env():
+    env = os.environ.get("REPRO_WORKERS")
+    return int(env) if env else None
+
+
 def test_fig5(benchmark, scale, record_figure):
+    workers = _workers_from_env()
     result = benchmark.pedantic(
-        lambda: fig5_runtime_sweep(scale=scale, rng=2024), rounds=1, iterations=1
+        lambda: fig5_runtime_sweep(scale=scale, rng=2024, workers=workers),
+        rounds=1,
+        iterations=1,
     )
     sections = []
     for combo, rows in result.items():

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro import (
     Pattern,
-    private_subgraph_count,
     random_graph_with_avg_degree,
 )
 from repro.subgraphs import enumerate_subgraphs, subgraph_krelation

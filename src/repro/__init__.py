@@ -82,6 +82,7 @@ def private_subgraph_count(
     rng=None,
     params=None,
     backend=None,
+    workers=1,
 ) -> MechanismResult:
     """Differentially private subgraph count — the headline application.
 
@@ -103,6 +104,11 @@ def private_subgraph_count(
         Seed or :class:`numpy.random.Generator` for reproducibility.
     params / backend:
         Override the mechanism parameters or the LP backend.
+    workers:
+        Worker processes for the parallel solve paths (Δ-probe races,
+        batched H entries); ``1`` (default) stays in-process, ``None``
+        resolves ``$REPRO_WORKERS`` / CPU count.  The released answer is
+        byte-identical for any worker count at a fixed seed.
 
     Returns
     -------
@@ -118,6 +124,7 @@ def private_subgraph_count(
         rng=rng,
         params=params,
         backend=backend,
+        workers=workers,
     )
 
 

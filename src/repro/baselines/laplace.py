@@ -13,7 +13,7 @@ import math
 import time
 
 from ..errors import MechanismError, PrivacyParameterError
-from ..rng import RngLike, ensure_rng, laplace
+from ..rng import RngLike, laplace
 from .common import BaselineResult
 
 __all__ = ["GlobalSensitivityLaplace", "laplace_mechanism"]

@@ -53,9 +53,9 @@ class RHMSMechanism:
     def noise_scale(self, epsilon: float) -> float:
         """``(k·l²·ln|V|)^{l-1} / ε``."""
         k = self.pattern.num_nodes
-        l = self.pattern.num_edges
+        num_edges = self.pattern.num_edges
         log_v = math.log(max(self.graph.num_nodes, 2))
-        return (k * l * l * log_v) ** (l - 1) / epsilon
+        return (k * num_edges * num_edges * log_v) ** (num_edges - 1) / epsilon
 
     def run(self, epsilon: float, rng: RngLike = None) -> BaselineResult:
         """Release the count with the Fig. 1 RHMS noise scale."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import math
 import time
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from ..graphs.graph import Graph
 from ..rng import RngLike

@@ -34,7 +34,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = (
+        "worker processes for the parallel execution layer "
+        "(default: $REPRO_WORKERS, else all CPU cores; 1 = serial "
+        "in-process — results are byte-identical either way at a fixed seed)"
+    )
+
     count = sub.add_parser("count", help="private subgraph count")
+    count.add_argument("--workers", type=int, default=None, help=workers_help)
     count.add_argument("--query", default="triangle",
                        help="triangle | K-star | K-triangle (e.g. 2-star)")
     count.add_argument("--privacy", choices=["node", "edge"], default="node")
@@ -57,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     ])
     fig.add_argument("--scale", default=None, help="smoke | default | full")
     fig.add_argument("--seed", type=int, default=2024)
+    fig.add_argument("--workers", type=int, default=None, help=workers_help)
 
     audit = sub.add_parser("audit", help="empirical privacy audit")
     audit.add_argument("--epsilon", type=float, default=1.0)
@@ -72,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_count(args) -> int:
     from .experiments.mechanisms import parse_query
     from .graphs import load_dataset, random_graph_with_avg_degree, read_edge_list
+    from .parallel import resolve_workers
     from . import private_subgraph_count
 
     if args.edge_list:
@@ -87,6 +96,7 @@ def _cmd_count(args) -> int:
         privacy=args.privacy,
         epsilon=args.epsilon,
         rng=args.seed,
+        workers=resolve_workers(args.workers),
     )
     print(f"{args.privacy}-DP {args.query} count (eps={args.epsilon}): "
           f"{result.answer:.2f}")
@@ -98,9 +108,11 @@ def _cmd_count(args) -> int:
 
 def _cmd_fig(args) -> int:
     from .experiments import format_series, format_table, resolve_scale
+    from .parallel import resolve_workers
 
     scale = resolve_scale(args.scale)
     name, seed = args.name, args.seed
+    workers = resolve_workers(args.workers)
     if name == "all":
         from .experiments.full_report import generate_report
 
@@ -123,7 +135,8 @@ def _cmd_fig(args) -> int:
     elif name == "fig5":
         from .experiments.runtime import fig5_runtime_sweep
 
-        for combo, rows in fig5_runtime_sweep(scale=scale, rng=seed).items():
+        sweep_rows = fig5_runtime_sweep(scale=scale, rng=seed, workers=workers)
+        for combo, rows in sweep_rows.items():
             print(format_table(rows, ["nodes", "tuples", "mechanism_seconds"],
                                title=f"fig5 — {combo}"))
             print()
@@ -160,7 +173,7 @@ def _cmd_fig(args) -> int:
         from .experiments.comparison import fig1_comparison_table
 
         print(format_table(
-            fig1_comparison_table(scale=scale, rng=seed),
+            fig1_comparison_table(scale=scale, rng=seed, workers=workers),
             ["query", "mechanism", "privacy", "median_relative_error", "seconds"],
             title="fig1",
         ))

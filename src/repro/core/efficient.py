@@ -92,6 +92,14 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
         :class:`~repro.lp.compiled.CompiledProgram` when the backend
         supports it (default).  ``False`` forces the legacy
         clone-and-rebuild LP path (ablations / equivalence tests).
+    workers:
+        Worker processes for the parallel solve paths: batched H entries
+        fan across a pool forked after compilation, and undecided Δ
+        probes race their two formulations in separate processes
+        (first decided wins).  The default ``1`` stays fully in-process;
+        ``None`` resolves ``$REPRO_WORKERS`` / CPU count
+        (:func:`repro.parallel.pool.resolve_workers`).  Released answers
+        are byte-identical for any worker count at a fixed seed.
     bounding:
         Which bounding sequence to use for the Δ computation:
 
@@ -115,8 +123,12 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
         bounding: str = "auto",
         s_bar=None,
         compiled: bool = True,
+        workers: Optional[int] = 1,
     ):
         super().__init__()
+        from ..parallel.pool import resolve_workers
+
+        self.workers = resolve_workers(workers)
         if bounding not in ("paper", "uniform", "auto"):
             raise MechanismError(
                 f"bounding must be 'paper', 'uniform' or 'auto', got {bounding!r}"
@@ -163,9 +175,9 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
 
     def _h_entries(self, indices) -> list:
         # route the framework's batched cache misses through the encoded
-        # relation's entry point (sequential solves over the compiled
-        # structure; a backend with a true batch solve would override it)
-        return self._encoded.solve_h_many(indices)
+        # relation's entry point; with workers > 1 the misses fan across
+        # a pool forked after compilation
+        return self._encoded.solve_h_many(indices, workers=self.workers)
 
     def _g_entry(self, i: int) -> float:
         if self.bounding == "uniform":
@@ -199,7 +211,7 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
             return True
         if _convex_lower(known, i) > threshold:
             return False
-        decided, value = self._encoded.g_decide(i, threshold)
+        decided, value = self._encoded.g_decide(i, threshold, workers=self.workers)
         if value is not None:
             # the exact strand won the race — keep the entry so it
             # tightens the convexity bounds for later probes
@@ -256,13 +268,17 @@ def private_linear_query(
     rng: RngLike = None,
     backend=None,
     params: Optional[RecursiveMechanismParams] = None,
+    workers: Optional[int] = 1,
 ) -> MechanismResult:
     """One-call convenience wrapper: build the mechanism and run it once.
 
     Uses the paper's experimental parameter settings
     (:meth:`RecursiveMechanismParams.paper`) unless ``params`` is given.
+    ``workers`` is forwarded to :class:`EfficientRecursiveMechanism`.
     """
     if params is None:
         params = RecursiveMechanismParams.paper(epsilon, node_privacy=node_privacy)
-    mechanism = EfficientRecursiveMechanism(relation, query=query, backend=backend)
+    mechanism = EfficientRecursiveMechanism(
+        relation, query=query, backend=backend, workers=workers
+    )
     return mechanism.run(params, rng)

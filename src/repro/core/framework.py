@@ -25,8 +25,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from ..errors import MechanismError
-from ..rng import RngLike, ensure_rng, laplace
+from ..parallel.pool import map_tasks
+from ..rng import RngLike, ensure_rng, laplace, spawn_seed_sequences
 from .params import RecursiveMechanismParams
 
 __all__ = ["MechanismResult", "RecursiveMechanismBase"]
@@ -257,12 +260,40 @@ class RecursiveMechanismBase:
         )
 
     def sample_answers(
-        self, params: RecursiveMechanismParams, trials: int, rng: RngLike = None
+        self,
+        params: RecursiveMechanismParams,
+        trials: int,
+        rng: RngLike = None,
+        workers: Optional[int] = None,
     ) -> list:
         """Run the mechanism ``trials`` times (sequence entries are cached).
 
         Δ is deterministic given the database, so repeated trials only pay
         for fresh noise and the (cached after first use) X entries.
+
+        ``workers=None`` (default) keeps the historical behavior: one
+        generator threaded sequentially through the trials.  An explicit
+        ``workers`` switches to the deterministic parallel scheme — every
+        trial gets its own spawned seed sequence up front, and the trials
+        are sharded across processes forked *after* this mechanism (and
+        its compiled program) was built.  ``workers=1`` runs the same
+        scheme in-process, so serial and parallel runs release
+        byte-identical answers at a fixed seed.  Worker-side cache warmth
+        stays in the workers; the parent's entry caches are unchanged.
         """
-        generator = ensure_rng(rng)
-        return [self.run(params, generator) for _ in range(trials)]
+        if workers is None:
+            generator = ensure_rng(rng)
+            return [self.run(params, generator) for _ in range(trials)]
+        seeds = spawn_seed_sequences(rng, trials)
+        return map_tasks(
+            _sample_trial,
+            [(params, seed) for seed in seeds],
+            payload=self,
+            workers=workers,
+        )
+
+
+def _sample_trial(mechanism: "RecursiveMechanismBase", task) -> MechanismResult:
+    """Worker-side single trial for :meth:`sample_answers`."""
+    params, seed_sequence = task
+    return mechanism.run(params, np.random.default_rng(seed_sequence))

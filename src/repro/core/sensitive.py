@@ -16,7 +16,7 @@ K-relations (Def. 14) compares annotations up to φ-equivalence after the
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..algebra.krelation import KRelation
 from ..algebra.semiring import PROVENANCE

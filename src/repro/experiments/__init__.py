@@ -21,6 +21,7 @@ paper's exact sizes.
 """
 
 from .harness import (
+    ParallelHarness,
     Scale,
     aggregate_median,
     median_relative_error,
@@ -34,6 +35,7 @@ __all__ = [
     "median_relative_error",
     "aggregate_median",
     "run_mechanism_trials",
+    "ParallelHarness",
     "Scale",
     "resolve_scale",
     "MECHANISM_NAMES",

@@ -9,7 +9,7 @@ partial report is cheap.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..rng import RngLike
 from .harness import Scale, resolve_scale

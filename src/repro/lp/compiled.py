@@ -38,6 +38,8 @@ import numpy as np
 from scipy import sparse
 
 from ..errors import LPError
+from ..parallel.pool import map_tasks, register_fork_reset, resolve_workers
+from ..parallel.race import StrandError, first_decided
 from .highs_engine import PersistentLP, engine_available
 from .model import LPSolution
 from .scipy_backend import ScipyBackend
@@ -188,6 +190,25 @@ class CompiledProgram:
         self._x_model: Optional[PersistentLP] = None
         self._feas_model: Optional[PersistentLP] = None
         self._feas_arrays = None
+        # Forked workers inherit the CSR blocks copy-on-write but must
+        # re-instantiate the per-process HiGHS models lazily.
+        register_fork_reset(self)
+
+    def fork_reset(self) -> None:
+        """Drop per-process solver state (called in each forked worker).
+
+        The compiled arrays (CSR blocks, bounds, objective, the lazily
+        assembled G overlay) are process-agnostic and stay shared through
+        copy-on-write; only the persistent HiGHS models — live C++ solver
+        state owned by the parent — and the warm-start seed are dropped,
+        to be rebuilt lazily from the shared arrays on first use in the
+        worker.
+        """
+        self._h_model = None
+        self._g_model = None
+        self._x_model = None
+        self._feas_model = None
+        self._last_g_optimum = None
 
     # -- shared helpers ------------------------------------------------------
     def _num_ub_rows(self) -> int:
@@ -326,6 +347,27 @@ class CompiledProgram:
             objective_constant=0.0,
         )
 
+    # -- batched overlay solves ----------------------------------------------
+    def solve_many(
+        self, tasks: Sequence, workers: Optional[int] = None
+    ) -> List[LPSolution]:
+        """Fan overlay solves across workers forked after compilation.
+
+        ``tasks`` is a sequence of ``("h", i)``, ``("g", i)`` or
+        ``("x", delta_hat)`` pairs; the result list matches task order and
+        carries the same :class:`LPSolution` objects the pointwise calls
+        return.  Workers inherit the compiled CSR blocks copy-on-write
+        and lazily build their own persistent HiGHS models (the parent's
+        do not survive the fork); ``workers`` resolves through
+        :func:`repro.parallel.pool.resolve_workers` and ``workers=1`` (or
+        a platform without fork) runs the same solves sequentially
+        in-process.
+        """
+        task_list = [(str(kind), float(value)) for kind, value in tasks]
+        return map_tasks(
+            _solve_overlay_task, task_list, payload=self, workers=workers
+        )
+
     # -- the Δ-search predicate ----------------------------------------------
     def _prepare_feas_model(self, i: float, half: float) -> PersistentLP:
         """Build (once) and re-bound the feasibility model for one probe."""
@@ -356,7 +398,7 @@ class CompiledProgram:
         model.set_row_bounds(model.num_rows - 1, float(i), float(i))
         return model
 
-    def solve_g_decide(self, i: float, threshold: float):
+    def solve_g_decide(self, i: float, threshold: float, workers: int = 1):
         """Decide ``G_i ≤ threshold``; returns ``(bool, exact G or None)``.
 
         Neither formulation of the test dominates: the feasibility probe
@@ -364,14 +406,21 @@ class CompiledProgram:
         clear-cut but its phase-1 can grind near the boundary, while the
         exact min-max solve is sometimes cheap where the probe crawls and
         vice versa — which regime a relation falls in is not predictable
-        from its size.  So the two run as an iteration-budget race: each
-        strand gets a doubling simplex budget and resumes warm from where
-        it stopped, costing at most ~2× the cheaper strand.  When the
-        exact strand wins, its value is returned so callers can cache it
-        (tightening the Δ-search's convexity bounds for later probes).
+        from its size.  With ``workers >= 2`` the two formulations run to
+        completion in *separate forked processes* and the first decided
+        answer wins while the loser is terminated — latency is the
+        minimum of the strands.  Serially (``workers=1``, the default,
+        or no fork support) they instead interleave in-process as an
+        iteration-budget race: each strand gets a doubling simplex budget
+        and resumes warm from where it stopped, costing at most ~2× the
+        cheaper strand.  When the exact strand wins, its value is
+        returned so callers can cache it (tightening the Δ-search's
+        convexity bounds for later probes).
         """
         if not self._g_row_maps:
             return 0.0 <= threshold, 0.0
+        if resolve_workers(workers) >= 2:
+            return self._race_decide_processes(float(i), float(threshold))
         if not self._use_engine:
             return self.solve_g_feasible(i, threshold), None
         if self._g_overlay is None:
@@ -435,6 +484,47 @@ class CompiledProgram:
             for model in (feas, exact):
                 model.set_option("simplex_iteration_limit", model.base_simplex_limit)
                 model.set_option("ipm_iteration_limit", model.base_ipm_limit)
+
+    def _race_decide_processes(self, i: float, threshold: float):
+        """The Δ-probe race across two forked processes.
+
+        Each strand runs its formulation to completion (no interleaved
+        budgets) in its own process; both inherit the compiled arrays
+        copy-on-write and rebuild only the one model their strand needs.
+        Works on the arrays-fallback path too — neither strand requires
+        the persistent engine.  When the exact strand wins, its optimum
+        additionally seeds the parent's warm-start cache.
+        """
+        # Assemble the G overlay (pure arrays) in the parent first, so
+        # every forked exact strand inherits it copy-on-write instead of
+        # rebuilding — and then discarding — it once per probe.
+        if self._g_overlay is None:
+            self._build_g_overlay()
+
+        def feasibility_strand():
+            return self.solve_g_feasible(i, threshold), None, None
+
+        def exact_strand():
+            solution = self.solve_g(i)
+            if not solution.is_optimal:
+                raise LPError(
+                    f"G_{i} exact solve failed: "
+                    f"{solution.status} {solution.message}"
+                )
+            value = max(0.0, 2.0 * float(solution.objective))
+            return value <= threshold, value, np.asarray(solution.x, dtype=float)
+
+        try:
+            _, (decided, value, optimum) = first_decided(
+                [("feasibility", feasibility_strand), ("exact", exact_strand)]
+            )
+        except StrandError as exc:
+            raise LPError(
+                f"G_{i} <= {threshold} process race failed: {exc}"
+            ) from exc
+        if optimum is not None and len(optimum) == self.num_variables + 1:
+            self._last_g_optimum = optimum
+        return decided, value
 
     def solve_g_feasible(self, i: float, bound: float) -> bool:
         """Exact predicate ``G_i ≤ bound`` as a feasibility program.
@@ -520,3 +610,15 @@ class CompiledProgram:
             f"num_g_rows={len(self._g_row_maps)}, "
             f"engine={self._use_engine})"
         )
+
+
+def _solve_overlay_task(program: CompiledProgram, task) -> LPSolution:
+    """Worker-side dispatch for :meth:`CompiledProgram.solve_many`."""
+    kind, value = task
+    if kind == "h":
+        return program.solve_h(value)
+    if kind == "g":
+        return program.solve_g(value)
+    if kind == "x":
+        return program.solve_x(value)
+    raise LPError(f"unknown overlay task kind {kind!r}")

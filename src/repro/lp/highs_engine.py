@@ -21,6 +21,7 @@ False (older/newer SciPy layouts, other interpreters).
 
 from __future__ import annotations
 
+import os
 import warnings
 from typing import Dict, Optional
 
@@ -112,6 +113,12 @@ class PersistentLP:
         self.num_cols = num_cols
         #: simplex + IPM iterations of the most recent :meth:`solve`
         self.last_iteration_count = 0
+        # A persistent model must not cross a fork: the C++ solver state
+        # would be mutated through copy-on-write pages in several
+        # processes at once.  Workers re-instantiate their own models
+        # (CompiledProgram.fork_reset); this guard turns silent misuse
+        # into a loud error.
+        self._owner_pid = os.getpid()
         self._solver = _core._Highs()
         self._solver.setOptionValue("output_flag", False)
         for key, value in (options or {}).items():
@@ -139,12 +146,22 @@ class PersistentLP:
             raise LPError("HiGHS rejected the compiled model")
 
     # -- per-solve mutations -------------------------------------------------
+    def _assert_owner(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise LPError(
+                "PersistentLP was built in another process and cannot be "
+                "used across fork(); drop it and re-instantiate in this "
+                "worker (see CompiledProgram.fork_reset)"
+            )
+
     def set_row_bounds(self, row: int, lower: float, upper: float) -> None:
         """Rebound one row (e.g. the ``Σf = i`` mass row) in place."""
+        self._assert_owner()
         self._solver.changeRowBounds(int(row), float(lower), float(upper))
 
     def set_col_costs(self, indices: np.ndarray, values: np.ndarray) -> None:
         """Overwrite the objective coefficients of the given columns."""
+        self._assert_owner()
         idx = np.asarray(indices, dtype=np.int32)
         self._solver.changeColsCost(
             len(idx), idx, np.asarray(values, dtype=float)
@@ -166,6 +183,7 @@ class PersistentLP:
         (ignored when resuming) seeds a fresh solve with a primal point,
         e.g. the optimum of a neighboring Δ-search probe.
         """
+        self._assert_owner()
         if not resume:
             self._solver.clearSolver()
             if warm_values is not None and len(warm_values) == self.num_cols:

@@ -65,6 +65,15 @@ class ScipyBackend:
         self.max_iterations = None if max_iterations is None else int(max_iterations)
         self.options = dict(options) if options else {}
 
+    def fork_reset(self) -> None:
+        """Fork-reset protocol hook (see :mod:`repro.parallel.pool`).
+
+        Every solve here is a self-contained :func:`linprog` call with no
+        per-process solver state, so a forked worker can keep using the
+        inherited backend as-is — unlike :class:`PersistentLP` models,
+        which must be re-instantiated per process.
+        """
+
     def _resolve_method(self, program_size) -> str:
         """Pick the HiGHS code for a program (a variable count or an LP)."""
         num_variables = getattr(program_size, "num_variables", program_size)

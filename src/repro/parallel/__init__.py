@@ -1,0 +1,39 @@
+"""Process-pool execution layer: fork-after-compile parallelism.
+
+Three tiers of parallelism build on the same primitive — fork workers
+*after* the expensive one-time compilation so they inherit the compiled
+arrays copy-on-write, and re-instantiate per-process solver state
+(persistent HiGHS models) lazily in each worker:
+
+1. batch overlay solves
+   (:meth:`~repro.lp.compiled.CompiledProgram.solve_many`);
+2. the concurrent Δ-probe race (:func:`~repro.parallel.race.first_decided`
+   underneath :meth:`~repro.lp.compiled.CompiledProgram.solve_g_decide`);
+3. experiment sharding
+   (:class:`~repro.experiments.harness.ParallelHarness`).
+
+``workers=1`` (or a platform without ``fork``) takes an in-process
+fallback with byte-identical results; the worker count resolves as
+argument > ``$REPRO_WORKERS`` > ``os.cpu_count()``.
+"""
+
+from .pool import (
+    WorkerPool,
+    fork_available,
+    map_tasks,
+    register_fork_reset,
+    resolve_workers,
+    run_fork_resets,
+)
+from .race import StrandError, first_decided
+
+__all__ = [
+    "WorkerPool",
+    "fork_available",
+    "map_tasks",
+    "register_fork_reset",
+    "resolve_workers",
+    "run_fork_resets",
+    "StrandError",
+    "first_decided",
+]

@@ -1,0 +1,210 @@
+"""Fork-after-compile worker pools.
+
+The expensive part of every mechanism evaluation is the one-time
+compilation of an :class:`~repro.relax.encode.EncodedRelation` into a
+:class:`~repro.lp.compiled.CompiledProgram` (CSR blocks, bounds, G rows).
+Forking worker processes *after* that compilation lets every worker
+inherit the base arrays through copy-on-write for free, so the marginal
+cost of answering one more overlay solve on an idle core is just the
+solve itself.  That is the same amortize-preprocessing-across-many-
+evaluations principle that drives compiled query answering under updates.
+
+Two things do **not** survive the fork:
+
+* persistent HiGHS models (:class:`~repro.lp.highs_engine.PersistentLP`)
+  hold C++ solver state that must not be mutated concurrently from
+  several processes sharing copy-on-write pages of bookkeeping — each
+  worker lazily re-instantiates its own models from the (shared) arrays;
+* in-flight NumPy generators — parallel trial running therefore derives
+  one :class:`numpy.random.SeedSequence` child per task up front
+  (:func:`repro.rng.spawn_seed_sequences`), which keeps released answers
+  byte-identical between serial and parallel execution at a fixed seed.
+
+The first point is enforced through a process-wide registry: objects with
+per-process solver state call :func:`register_fork_reset` at construction
+time, and every worker runs :func:`run_fork_resets` immediately after the
+fork, before touching any task.
+
+Platforms without the ``fork`` start method (Windows, some embedded
+interpreters) and ``workers=1`` runs take a clean in-process fallback:
+the same task functions run sequentially in the parent, with identical
+results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "fork_available",
+    "resolve_workers",
+    "register_fork_reset",
+    "run_fork_resets",
+    "map_tasks",
+    "WorkerPool",
+]
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Objects whose per-process solver state must be dropped in forked
+#: children (weak references — registration must not leak programs).
+_FORK_RESETTABLE: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Payloads of live pools, inherited by forked workers through fork
+#: (never pickled); keyed so concurrent pools do not clash.
+_PAYLOADS: Dict[int, Tuple[Callable, object]] = {}
+_PAYLOAD_KEYS = itertools.count(1)
+
+#: Set in each worker by the pool initializer: the key of the payload
+#: this worker serves.
+_ACTIVE_KEY: Optional[int] = None
+
+
+def fork_available() -> bool:
+    """Whether copy-on-write worker pools can be used on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _available_cpus() -> int:
+    """CPUs actually schedulable for this process (cgroup/affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``$REPRO_WORKERS`` > CPU count.
+
+    Always returns at least 1; returns 1 when the platform cannot fork
+    (the in-process fallback), so callers can branch on ``workers > 1``.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None and env.strip():
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = _available_cpus()
+    workers = max(1, int(workers))
+    if workers > 1 and not fork_available():
+        return 1
+    if workers > 1 and multiprocessing.current_process().daemon:
+        # Pool workers are daemonic and may not fork children of their
+        # own (e.g. a mechanism built with workers>=2 running inside a
+        # ParallelHarness shard) — demote to the in-process fallback
+        # instead of crashing on "daemonic processes are not allowed to
+        # have children".
+        return 1
+    return workers
+
+
+def register_fork_reset(obj) -> None:
+    """Register ``obj.fork_reset()`` to run in every forked worker.
+
+    ``obj`` is held weakly; objects with per-process solver state (for
+    example :class:`~repro.lp.compiled.CompiledProgram`) register
+    themselves at construction time.
+    """
+    _FORK_RESETTABLE.add(obj)
+
+
+def run_fork_resets() -> None:
+    """Drop per-process solver state after a fork (child side)."""
+    for obj in list(_FORK_RESETTABLE):
+        obj.fork_reset()
+
+
+def _worker_init(key: int) -> None:
+    """Pool initializer: runs in each worker right after the fork."""
+    global _ACTIVE_KEY
+    _ACTIVE_KEY = key
+    run_fork_resets()
+
+
+def _invoke(task):
+    """Run one task against the worker's inherited payload."""
+    fn, payload = _PAYLOADS[_ACTIVE_KEY]
+    return fn(payload, task)
+
+
+class WorkerPool:
+    """A pool of processes forked after the payload was built.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (must be ≥ 2; use :func:`map_tasks`
+        for the transparent serial fallback).
+    fn:
+        ``fn(payload, task) -> result``.  Inherited by the workers via
+        fork, so closures over unpicklable state (compiled programs,
+        persistent solver handles, mechanism objects) are fine; only
+        tasks and results cross process boundaries and must pickle.
+    payload:
+        Arbitrary object handed to every ``fn`` call, inherited
+        copy-on-write — fork happens at construction time, so build (and
+        warm) the payload *before* creating the pool.
+    """
+
+    def __init__(self, workers: int, fn: Callable, payload=None):
+        if workers < 2:
+            raise ValueError(f"WorkerPool needs >= 2 workers, got {workers}")
+        if not fork_available():
+            raise RuntimeError("WorkerPool requires the 'fork' start method")
+        self._key = next(_PAYLOAD_KEYS)
+        _PAYLOADS[self._key] = (fn, payload)
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            processes=workers, initializer=_worker_init, initargs=(self._key,)
+        )
+
+    def map(self, tasks: Sequence) -> List:
+        """Run every task; results come back in task order."""
+        return self._pool.map(_invoke, tasks)
+
+    def close(self) -> None:
+        """Terminate the workers and release the payload slot."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        _PAYLOADS.pop(self._key, None)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def map_tasks(
+    fn: Callable,
+    tasks: Sequence,
+    payload=None,
+    workers: Optional[int] = None,
+) -> List:
+    """``[fn(payload, task) for task in tasks]``, fanned across workers.
+
+    The single entry point used by the batch APIs: resolves ``workers``
+    (argument > env > CPU count), falls back to a sequential in-process
+    loop when only one worker is available (or useful), and otherwise
+    forks a :class:`WorkerPool` *after* ``payload`` exists so workers
+    inherit it copy-on-write.  Results are always in task order and
+    identical between the two execution modes.
+    """
+    tasks = list(tasks)
+    workers = min(resolve_workers(workers), len(tasks))
+    if workers <= 1:
+        return [fn(payload, task) for task in tasks]
+    with WorkerPool(workers, fn, payload) as pool:
+        return pool.map(tasks)

@@ -1,0 +1,122 @@
+"""First-decided-wins races between forked strands.
+
+The Δ-search predicate ``G_i ≤ τ`` has two exact formulations — a pure
+feasibility probe and the exact min-max solve — and which one is cheap on
+a given relation is not predictable from its size.  The serial fallback
+interleaves them under doubling iteration budgets inside one process
+(:meth:`~repro.lp.compiled.CompiledProgram.solve_g_decide`); with a
+second core available it is strictly better to run each strand to
+completion in its *own* forked process and keep whichever answers first,
+killing the loser outright.  Total latency is then the **minimum** of the
+two strands instead of (up to) twice the cheaper one, and neither strand
+pays resume/budget bookkeeping.
+
+Strand callables are inherited through the fork — they may close over
+compiled programs and other unpicklable state.  Each child runs
+:func:`~repro.parallel.pool.run_fork_resets` first, so persistent HiGHS
+models are re-instantiated per process instead of mutating copy-on-write
+pages of the parent's solver.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, List, Sequence, Tuple
+
+from .pool import run_fork_resets
+
+__all__ = ["StrandError", "first_decided"]
+
+
+class StrandError(RuntimeError):
+    """Every strand of a race failed; carries the per-strand messages."""
+
+
+def _strand_main(connection, fn: Callable) -> None:
+    """Child side: run the strand to completion and ship the result."""
+    run_fork_resets()
+    try:
+        connection.send(("ok", fn()))
+    except BaseException as exc:  # report, never hang the parent
+        connection.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        connection.close()
+
+
+def first_decided(strands: Sequence[Tuple[str, Callable]], timeout=None):
+    """Race named strands in forked processes; first success wins.
+
+    Parameters
+    ----------
+    strands:
+        ``(name, fn)`` pairs; each ``fn()`` runs to completion in its own
+        forked process.  Results must be picklable (strand state itself
+        is inherited, not pickled).
+    timeout:
+        Optional overall timeout in seconds; ``None`` waits forever.
+
+    Returns
+    -------
+    (name, result)
+        Of the first strand whose ``fn()`` returned.  Losing strands are
+        terminated immediately.
+
+    Raises
+    ------
+    StrandError
+        When every strand raised or died (including on timeout).
+    """
+    context = multiprocessing.get_context("fork")
+    processes = []
+    readers = {}
+    try:
+        for name, fn in strands:
+            reader, writer = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_strand_main, args=(writer, fn), daemon=True
+            )
+            process.start()
+            writer.close()  # child holds the only write end now
+            processes.append(process)
+            readers[reader] = (name, process)
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        failures: List[str] = []
+        while readers:
+            handles = list(readers) + [p.sentinel for _, p in readers.values()]
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            ready = _connection_wait(handles, remaining)
+            if not ready:
+                failures.append(f"timed out after {timeout}s")
+                break
+            for reader in [r for r in readers if r in ready]:
+                name, process = readers[reader]
+                try:
+                    status, value = reader.recv()
+                except EOFError:
+                    status, value = "error", "strand died without reporting"
+                if status == "ok":
+                    return name, value
+                failures.append(f"{name}: {value}")
+                del readers[reader]
+            # a sentinel fired without its pipe becoming readable: the
+            # strand crashed hard (e.g. was killed) — drop it
+            for reader in [r for r in readers if not readers[r][1].is_alive()]:
+                if reader.poll():
+                    continue  # result raced in; picked up next iteration
+                name, _ = readers[reader]
+                failures.append(f"{name}: strand process died")
+                del readers[reader]
+        raise StrandError(
+            "every strand of the race failed: " + "; ".join(failures)
+        )
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join()

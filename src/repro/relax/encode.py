@@ -274,13 +274,12 @@ class EncodedRelation:
         return solution
 
     # -- the three solves ---------------------------------------------------------
-    def solve_h(self, i: float) -> float:
-        """``H_i`` (Eq. 16) for integer or fractional ``i ∈ [0, |P|]``.
+    def _h_closed_form(self, i: float) -> Optional[float]:
+        """The exact no-LP values of ``H_i``, or None when an LP is needed.
 
-        The endpoints are exact closed forms, no LP: at ``i = 0`` every
-        ``f_p = 0`` so only constant-``True`` tuples contribute, and at
-        ``i = |P|`` every ``f_p = 1`` forces ``φ = 1`` on every root
-        (Theorem 3), giving the total weight.
+        At ``i = 0`` every ``f_p = 0`` so only constant-``True`` tuples
+        contribute, and at ``i = |P|`` every ``f_p = 1`` forces ``φ = 1``
+        on every root (Theorem 3), giving the total weight.
         """
         if not 0.0 <= i <= self.num_participants + 1e-9:
             raise LPError(f"H index {i} outside [0, {self.num_participants}]")
@@ -290,6 +289,16 @@ class EncodedRelation:
             return self._constant_weight
         if i >= self.num_participants - 1e-12:
             return self.total_weight
+        return None
+
+    def solve_h(self, i: float) -> float:
+        """``H_i`` (Eq. 16) for integer or fractional ``i ∈ [0, |P|]``.
+
+        The endpoints are exact closed forms, no LP (:meth:`_h_closed_form`).
+        """
+        closed = self._h_closed_form(i)
+        if closed is not None:
+            return closed
         if self._compiled is not None:
             solution = self._compiled.solve_h(float(i))
         else:
@@ -300,11 +309,28 @@ class EncodedRelation:
         self._check(solution, f"H_{i}")
         return max(0.0, float(solution.objective))
 
-    def solve_h_many(self, indices: Sequence[float]) -> List[float]:
-        """``H_i`` for several indices — a convenience loop over
-        :meth:`solve_h` (each call reuses the one-time-compiled structure;
-        the solves themselves are still sequential)."""
-        return [self.solve_h(i) for i in indices]
+    def solve_h_many(
+        self, indices: Sequence[float], workers: Optional[int] = 1
+    ) -> List[float]:
+        """``H_i`` for several indices, optionally fanned across workers.
+
+        Closed-form endpoints are answered in-process; the remaining
+        indices go through :meth:`CompiledProgram.solve_many`, which forks
+        workers after compilation when ``workers > 1`` (and falls back to
+        a sequential loop otherwise — results are identical either way).
+        """
+        indices = list(indices)
+        if self._compiled is None:
+            return [self.solve_h(i) for i in indices]
+        values: List[Optional[float]] = [self._h_closed_form(i) for i in indices]
+        lp_positions = [pos for pos, value in enumerate(values) if value is None]
+        if lp_positions:
+            tasks = [("h", float(indices[pos])) for pos in lp_positions]
+            solutions = self._compiled.solve_many(tasks, workers=workers)
+            for pos, solution in zip(lp_positions, solutions):
+                self._check(solution, f"H_{indices[pos]}")
+                values[pos] = max(0.0, float(solution.objective))
+        return values
 
     def _g_full(self) -> float:
         """Closed-form ``G_{|P|} = 2·max_p Σ_t q·S_{t,p}``.
@@ -345,15 +371,17 @@ class EncodedRelation:
         self._check(solution, f"G_{i}")
         return max(0.0, 2.0 * float(solution.objective))
 
-    def g_decide(self, i: float, threshold: float):
+    def g_decide(self, i: float, threshold: float, workers: int = 1):
         """The exact predicate ``G_i ≤ threshold`` as ``(bool, G or None)``.
 
         The Δ binary search (Sec. 5.3) only consumes threshold tests, so
         the compiled path races a pure feasibility probe — the Eq. 19
         polytope with ``z`` pinned at ``threshold/2`` — against the exact
-        min-max solve (see ``CompiledProgram.solve_g_decide``); when the
-        exact strand wins, its value is returned for the caller to cache.
-        Falls back to an exact ``solve_g`` comparison on the legacy path.
+        min-max solve (see ``CompiledProgram.solve_g_decide``); with
+        ``workers >= 2`` the two strands run concurrently in forked
+        processes, first decided wins.  When the exact strand wins, its
+        value is returned for the caller to cache.  Falls back to an
+        exact ``solve_g`` comparison on the legacy path.
         """
         if not 0.0 <= i <= self.num_participants + 1e-9:
             raise LPError(f"G index {i} outside [0, {self.num_participants}]")
@@ -365,7 +393,9 @@ class EncodedRelation:
             full = self._g_full()
             return full <= threshold, full
         if self._compiled is not None:
-            return self._compiled.solve_g_decide(float(i), float(threshold))
+            return self._compiled.solve_g_decide(
+                float(i), float(threshold), workers=workers
+            )
         value = self.solve_g(i)
         return value <= threshold, value
 

@@ -7,7 +7,7 @@ definitions: an ``And`` with children values ``v_1..v_m`` relaxes to
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Mapping
 
 from ..boolexpr.expr import And, Expr, Or, Var, _Const
 from ..errors import ExpressionError

@@ -8,13 +8,20 @@ noise distribution used by every mechanism is implemented exactly once.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
 from .errors import PrivacyParameterError
 
-__all__ = ["RngLike", "ensure_rng", "laplace", "laplace_array", "split_rng"]
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "laplace",
+    "laplace_array",
+    "split_rng",
+    "spawn_seed_sequences",
+]
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -46,6 +53,34 @@ def split_rng(rng: RngLike, n: int) -> list:
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=n)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def spawn_seed_sequences(rng: RngLike, n: int) -> list:
+    """``n`` independent :class:`numpy.random.SeedSequence` children.
+
+    The deterministic per-task seeding scheme of the parallel execution
+    layer: every task (trial repetition, sweep grid point) receives its
+    own child sequence derived up front in task order, so the generator a
+    task uses is a function of the base seed and the task index only —
+    *not* of which worker ran it or in what order.  Serial (``workers=1``)
+    and parallel runs therefore release byte-identical answers at a fixed
+    seed.  Seed sequences pickle cheaply, so they are what crosses the
+    process boundary (generators are built worker-side).
+
+    An integer seed maps straight onto ``SeedSequence(seed)``; a
+    ``Generator`` contributes entropy by drawing once from its stream
+    (deterministic given the generator state); ``None`` uses OS entropy.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    if rng is None:
+        base = np.random.SeedSequence()
+    elif isinstance(rng, (int, np.integer)):
+        base = np.random.SeedSequence(int(rng))
+    else:
+        generator = ensure_rng(rng)
+        base = np.random.SeedSequence(int(generator.integers(0, 2**63 - 1)))
+    return base.spawn(n)
 
 
 def laplace(scale: float, rng: RngLike = None) -> float:

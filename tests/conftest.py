@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.boolexpr import And, Or, Var
+from repro.boolexpr import Var
 from repro.graphs import Graph
 from repro.lp import ScipyBackend, SimplexBackend
 

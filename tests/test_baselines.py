@@ -20,7 +20,7 @@ from repro.baselines import (
 )
 from repro.errors import MechanismError, PrivacyParameterError
 from repro.graphs import Graph, erdos_renyi, random_graph_with_avg_degree
-from repro.subgraphs import count_k_stars, count_triangles, k_star, triangle
+from repro.subgraphs import count_triangles, k_star, triangle
 from repro.subgraphs.counting import count_k_triangles
 
 
@@ -183,8 +183,8 @@ class TestRHMS:
     def test_noise_scale_formula(self):
         g = Graph(edges=[(0, 1)], nodes=range(100))
         mech = RHMSMechanism(g, triangle(), true_answer=10.0)
-        k, l = 3, 3
-        expected = (k * l * l * math.log(100)) ** (l - 1) / 0.5
+        k, num_edges = 3, 3
+        expected = (k * num_edges**2 * math.log(100)) ** (num_edges - 1) / 0.5
         assert mech.noise_scale(0.5) == pytest.approx(expected)
 
     def test_error_explodes_with_subgraph_edges(self, medium_graph):

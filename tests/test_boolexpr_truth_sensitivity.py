@@ -3,7 +3,6 @@
 import pytest
 
 from repro.boolexpr import (
-    And,
     Or,
     Var,
     evaluate,

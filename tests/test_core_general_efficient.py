@@ -13,7 +13,6 @@ import pytest
 
 from repro.boolexpr import Var, parse
 from repro.core import (
-    CountQuery,
     EfficientRecursiveMechanism,
     GeneralRecursiveMechanism,
     RecursiveMechanismParams,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.boolexpr import FALSE, TRUE, And, Or, Var, parse
+from repro.boolexpr import FALSE, TRUE, Var, parse
 from repro.core import (
     SensitiveDatabase,
     SensitiveKRelation,

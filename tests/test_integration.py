@@ -29,7 +29,7 @@ from repro.core import (
     RecursiveMechanismParams,
     universal_empirical_sensitivity,
 )
-from repro.subgraphs import k_star, subgraph_krelation
+from repro.subgraphs import subgraph_krelation
 
 
 class TestAlgebraToMechanismPipeline:

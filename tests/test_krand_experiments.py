@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.boolexpr import And, Or
-from repro.core import CountQuery, universal_empirical_sensitivity
+from repro.core import universal_empirical_sensitivity
 from repro.errors import SensitiveModelError
 from repro.experiments import (
     MECHANISM_NAMES,

@@ -1,0 +1,327 @@
+"""The process-pool execution layer: fork-after-compile workers.
+
+Pins the three guarantees of ``repro.parallel``:
+
+* **determinism** — released answers are byte-identical between serial
+  (``workers=1``) and parallel (``workers=k``) execution at a fixed seed,
+  for trial sharding, sweep-grid sharding, and the Δ-probe process race;
+* **fork-safety** — persistent HiGHS models never cross the fork: each
+  worker re-instantiates its own lazily, and using a parent's model from
+  a child raises instead of corrupting shared solver state;
+* **fallback** — ``workers=1`` (or no fork support) runs the identical
+  scheme in-process.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.efficient import EfficientRecursiveMechanism
+from repro.core.params import RecursiveMechanismParams
+from repro.experiments.harness import (
+    ParallelHarness,
+    Scale,
+    run_mechanism_trials,
+)
+from repro.experiments.mechanisms import make_runner
+from repro.experiments.runtime import fig5_runtime_sweep
+from repro.graphs import random_graph_with_avg_degree
+from repro.lp.highs_engine import engine_available
+from repro.parallel import (
+    StrandError,
+    first_decided,
+    fork_available,
+    map_tasks,
+    resolve_workers,
+)
+from repro.rng import spawn_seed_sequences
+from repro.subgraphs import subgraph_krelation, triangle
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+needs_engine = pytest.mark.skipif(
+    not engine_available(), reason="scipy HiGHS bindings unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return random_graph_with_avg_degree(26, 5.0, rng=3)
+
+
+@pytest.fixture()
+def mechanism(small_graph):
+    relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
+    return EfficientRecursiveMechanism(relation)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_beats_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_is_available_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        if hasattr(os, "sched_getaffinity"):
+            expected = len(os.sched_getaffinity(0))
+        else:
+            expected = os.cpu_count() or 1
+        assert resolve_workers(None) == max(1, expected)
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+
+class TestScaleSubsetEmpty:
+    def test_empty_sweep_raises_with_scale_names(self):
+        scale = Scale("t", 1.0, 1, 1, 1.0, 1.0, sweep_points=3)
+        with pytest.raises(ValueError, match="empty sweep") as excinfo:
+            scale.subset([])
+        assert "smoke" in str(excinfo.value)
+
+
+def _double(payload, task):
+    return (payload or 0) + 2 * task
+
+
+def _boom(payload, task):
+    raise ValueError(f"boom on {task}")
+
+
+@needs_fork
+class TestMapTasks:
+    def test_order_and_payload(self):
+        assert map_tasks(_double, [1, 2, 3, 4], payload=10, workers=2) == [
+            12,
+            14,
+            16,
+            18,
+        ]
+
+    def test_serial_fallback_identical(self):
+        serial = map_tasks(_double, range(6), payload=1, workers=1)
+        parallel = map_tasks(_double, range(6), payload=1, workers=3)
+        assert serial == parallel
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            map_tasks(_boom, [1, 2], workers=2)
+
+
+def _fast_strand():
+    return 42
+
+
+def _slow_strand():
+    import time
+
+    time.sleep(30)
+    return 0
+
+
+def _failing_strand():
+    raise RuntimeError("strand broke")
+
+
+@needs_fork
+class TestFirstDecided:
+    def test_fast_strand_wins_and_loser_dies(self):
+        name, value = first_decided(
+            [("slow", _slow_strand), ("fast", _fast_strand)]
+        )
+        assert (name, value) == ("fast", 42)
+
+    def test_all_failures_raise(self):
+        with pytest.raises(StrandError, match="strand broke"):
+            first_decided(
+                [("a", _failing_strand), ("b", _failing_strand)]
+            )
+
+
+class TestSpawnSeedSequences:
+    def test_deterministic_from_int(self):
+        a = [s.generate_state(2).tolist() for s in spawn_seed_sequences(11, 4)]
+        b = [s.generate_state(2).tolist() for s in spawn_seed_sequences(11, 4)]
+        assert a == b
+
+    def test_generator_input_is_deterministic(self):
+        a = spawn_seed_sequences(np.random.default_rng(5), 3)
+        b = spawn_seed_sequences(np.random.default_rng(5), 3)
+        assert [s.generate_state(1)[0] for s in a] == [
+            s.generate_state(1)[0] for s in b
+        ]
+
+
+@needs_fork
+class TestDeterminism:
+    """Serial vs parallel released answers are byte-identical."""
+
+    def test_trials_byte_identical(self, small_graph):
+        run_once, truth = make_runner(
+            "recursive-edge", small_graph, "triangle", 1.0
+        )
+        serial = run_mechanism_trials(run_once, truth, 5, rng=123, workers=1)
+        parallel = run_mechanism_trials(run_once, truth, 5, rng=123, workers=4)
+        assert serial == parallel
+
+    def test_harness_run_trials_identical(self, small_graph):
+        run_once, _ = make_runner(
+            "recursive-edge", small_graph, "triangle", 1.0
+        )
+        serial = ParallelHarness(1).run_trials(run_once, 4, rng=9)
+        parallel = ParallelHarness(3).run_trials(run_once, 4, rng=9)
+        assert serial == parallel
+
+    def test_sample_answers_identical(self, mechanism):
+        params = RecursiveMechanismParams.paper(0.5)
+        serial = mechanism.sample_answers(params, 4, rng=7, workers=1)
+        parallel = mechanism.sample_answers(params, 4, rng=7, workers=4)
+        assert [r.answer for r in serial] == [r.answer for r in parallel]
+        assert [r.delta_hat for r in serial] == [r.delta_hat for r in parallel]
+
+    def test_fig5_grid_sharding_identical(self):
+        tiny = Scale("tiny", 0.08, 1, 1, 0.05, 0.02, sweep_points=2)
+        serial = fig5_runtime_sweep(scale=tiny, rng=5, workers=1)
+        parallel = fig5_runtime_sweep(scale=tiny, rng=5, workers=2)
+        assert list(serial) == list(parallel)
+        stable = ("nodes", "tuples", "lp_size", "true_answer", "answer")
+        for combo, rows in serial.items():
+            for row, other in zip(rows, parallel[combo]):
+                assert {k: row[k] for k in stable} == {
+                    k: other[k] for k in stable
+                }, combo
+
+
+def _probe_worker_models(program, index):
+    """Worker-side: report whether the parent's H model survived the fork."""
+    inherited_model = program._h_model is not None
+    solution = program.solve_h(index)
+    return os.getpid(), inherited_model, float(solution.objective)
+
+
+@needs_fork
+class TestForkSafety:
+    def test_workers_reinstantiate_models(self, mechanism):
+        program = mechanism._encoded._compiled
+        assert program is not None
+        index = mechanism.num_participants / 2.0
+        expected = float(program.solve_h(index).objective)
+        results = map_tasks(
+            _probe_worker_models, [index, index, index], payload=program, workers=2
+        )
+        assert all(pid != os.getpid() for pid, _, _ in results)
+        # every worker's first task found the persistent models dropped
+        first_by_pid = {}
+        for pid, inherited_model, _ in results:
+            first_by_pid.setdefault(pid, inherited_model)
+        assert set(first_by_pid.values()) == {False} or not engine_available()
+        assert all(value == expected for _, _, value in results)
+        # the parent's model is untouched and still usable
+        assert float(program.solve_h(index).objective) == expected
+
+    @needs_engine
+    def test_persistent_lp_cross_fork_guard(self, mechanism):
+        from repro.errors import LPError
+
+        program = mechanism._encoded._compiled
+        program.solve_h(mechanism.num_participants / 2.0)
+        model = program._h_model
+        assert model is not None
+        model._owner_pid = os.getpid() + 1  # simulate a forked child
+        try:
+            with pytest.raises(LPError, match="fork"):
+                model.solve()
+        finally:
+            model._owner_pid = os.getpid()
+
+    def test_fork_reset_drops_models(self, mechanism):
+        program = mechanism._encoded._compiled
+        program.solve_h(mechanism.num_participants / 2.0)
+        program.fork_reset()
+        assert program._h_model is None
+        assert program._g_model is None
+        assert program._x_model is None
+        assert program._feas_model is None
+
+
+@needs_fork
+class TestSolveManyAndRace:
+    def test_solve_many_matches_pointwise(self, mechanism):
+        program = mechanism._encoded._compiled
+        n = mechanism.num_participants
+        tasks = [
+            ("h", n / 2.0),
+            ("h", n / 3.0),
+            ("g", n / 2.0),
+            ("x", 0.5),
+        ]
+        batched = program.solve_many(tasks, workers=2)
+        pointwise = [
+            program.solve_h(n / 2.0),
+            program.solve_h(n / 3.0),
+            program.solve_g(n / 2.0),
+            program.solve_x(0.5),
+        ]
+        assert [s.objective for s in batched] == [
+            s.objective for s in pointwise
+        ]
+
+    def test_race_matches_serial_decision(self, small_graph):
+        relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
+        serial = EfficientRecursiveMechanism(relation)._encoded
+        parallel = EfficientRecursiveMechanism(relation)._encoded
+        n = serial.num_participants
+        full = serial.solve_g(n)
+        for i in (n // 3, n // 2, 2 * n // 3):
+            for threshold in (0.25 * full, 0.5 * full, 0.9 * full):
+                expected, _ = serial.g_decide(float(i), threshold, workers=1)
+                decided, value = parallel.g_decide(float(i), threshold, workers=2)
+                assert decided == expected, (i, threshold)
+                if value is not None:
+                    assert (value <= threshold) == decided
+
+    def test_nested_parallelism_demotes_in_daemonic_workers(self, small_graph):
+        """A workers>=2 mechanism must run inside a pool shard (where
+        daemonic workers may not fork children) by demoting to the
+        in-process fallback instead of crashing."""
+        relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
+        mechanism = EfficientRecursiveMechanism(relation, workers=2)
+        params = RecursiveMechanismParams.paper(0.5)
+        nested = mechanism.sample_answers(params, 3, rng=0, workers=2)
+        flat = mechanism.sample_answers(params, 3, rng=0, workers=1)
+        assert [r.answer for r in nested] == [r.answer for r in flat]
+
+    def test_mechanism_with_workers_matches_serial(self, small_graph):
+        relation = subgraph_krelation(small_graph, triangle(), privacy="node")
+        params = RecursiveMechanismParams.paper(0.5, node_privacy=True)
+        serial = EfficientRecursiveMechanism(relation, workers=1)
+        parallel = EfficientRecursiveMechanism(relation, workers=2)
+        assert serial.run(params, 17).answer == parallel.run(params, 17).answer
+
+
+class TestCliWorkers:
+    def test_count_accepts_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["count", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_fig_accepts_workers(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fig", "fig5", "--workers", "3"])
+        assert args.workers == 3

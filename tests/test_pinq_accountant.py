@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.pinq import PINQStyleLaplace
-from repro.boolexpr import Var, parse
+from repro.boolexpr import parse
 from repro.core import EfficientRecursiveMechanism, RecursiveMechanismParams, SensitiveKRelation
 from repro.core.accountant import BudgetExceededError, PrivacyAccountant
 from repro.errors import MechanismError, PrivacyParameterError

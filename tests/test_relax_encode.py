@@ -10,7 +10,7 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.boolexpr import And, Or, Var, parse
+from repro.boolexpr import And, Var, parse
 from repro.errors import LPError
 from repro.lp import ScipyBackend, SimplexBackend
 from repro.relax import encode_relation, phi

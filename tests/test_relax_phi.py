@@ -32,9 +32,8 @@ class TestPhiEvaluation:
     def test_nary_and_matches_binary_nesting(self):
         """Associativity: max(0, Σ - (m-1)) equals nested binary form."""
         flat = And((Var("a"), Var("b"), Var("c")))
-        nested_value = lambda f: max(
-            0.0, max(0.0, f["a"] + f["b"] - 1) + f["c"] - 1
-        )
+        def nested_value(f):
+            return max(0.0, max(0.0, f["a"] + f["b"] - 1) + f["c"] - 1)
         for f in ({"a": 0.9, "b": 0.8, "c": 0.7}, {"a": 0.5, "b": 0.5, "c": 0.5}):
             assert phi(flat, f) == pytest.approx(nested_value(f))
 

@@ -9,7 +9,6 @@ from repro.boolexpr import And, Var
 from repro.errors import PatternError
 from repro.graphs import Graph, erdos_renyi
 from repro.subgraphs import (
-    Occurrence,
     Pattern,
     count_k_stars,
     count_triangles,

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import EfficientRecursiveMechanism, RecursiveMechanismParams
-from repro.core.queries import CountQuery, WeightedQuery
+from repro.core.queries import WeightedQuery
 from repro.krand import random_dnf_krelation
 
 
