@@ -8,15 +8,31 @@ node (or edge) differential privacy as the flagship application.
 
 Quickstart
 ----------
+One-shot (exactly the paper's mechanism, paper parameter settings):
+
 >>> from repro import (
-...     random_graph_with_avg_degree, triangle, subgraph_krelation,
-...     private_subgraph_count,
+...     random_graph_with_avg_degree, triangle, private_subgraph_count,
 ... )
 >>> g = random_graph_with_avg_degree(60, 6, rng=7)
 >>> result = private_subgraph_count(g, triangle(), privacy="edge",
 ...                                 epsilon=1.0, rng=7)
 >>> result.answer  # doctest: +SKIP
 41.3
+
+Serving many queries: a :class:`PrivateSession` owns a hard privacy-budget
+cap (sequential composition, replayable audit ledger) and a
+compiled-relation cache, so repeated queries skip the re-encode/re-compile
+and mechanisms are picked by registry name (``repro.mechanisms.get``):
+
+>>> from repro import PrivateSession
+>>> session = PrivateSession(g, budget=2.0, rng=7)
+>>> r1 = session.query(triangle(), privacy="edge", epsilon=1.0)
+>>> r2 = session.query("2-star", privacy="edge", epsilon=0.5,
+...                    mechanism="smooth")
+>>> session.cache_info().misses, round(session.spent, 3)
+(2, 1.5)
+>>> session.verify_ledger()
+True
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
@@ -60,7 +76,14 @@ from .graphs import (
     random_graph_with_avg_degree,
     watts_strogatz,
 )
+from .results import ResultBase
 from .rng import ensure_rng
+from .session import (
+    BudgetAccountant,
+    BudgetExhausted,
+    PrivateSession,
+    QueryFuture,
+)
 from .subgraphs import (
     Pattern,
     k_clique,
@@ -88,7 +111,10 @@ def private_subgraph_count(
 
     Builds the Fig. 2(a) sensitive K-relation for ``pattern`` in ``graph``
     under node or edge privacy and runs the efficient recursive mechanism
-    with the paper's parameter settings.
+    with the paper's parameter settings.  A thin wrapper over a one-query
+    :class:`PrivateSession` — answers are byte-identical to the direct
+    mechanism path at a fixed seed; for repeated queries over the same
+    graph, hold a session yourself and reuse its compiled-relation cache.
 
     Parameters
     ----------
@@ -116,15 +142,9 @@ def private_subgraph_count(
         ``result.answer`` is the ε-differentially private count;
         ``result.true_answer`` the exact count (diagnostic only).
     """
-    relation = subgraph_krelation(graph, pattern, privacy=privacy)
-    return private_linear_query(
-        relation,
-        epsilon=epsilon,
-        node_privacy=(privacy == "node"),
-        rng=rng,
-        params=params,
-        backend=backend,
-        workers=workers,
+    session = PrivateSession(graph, backend=backend, workers=workers)
+    return session.query(
+        pattern, epsilon=epsilon, privacy=privacy, rng=rng, params=params
     )
 
 
@@ -147,6 +167,9 @@ __all__ = [
     # subgraphs
     "Pattern", "triangle", "k_star", "k_triangle", "k_clique", "path_pattern",
     "subgraph_krelation", "private_subgraph_count",
+    # serving sessions + registry
+    "PrivateSession", "QueryFuture", "BudgetAccountant", "BudgetExhausted",
+    "ResultBase",
     # misc
     "ensure_rng",
 ]

@@ -3,17 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
+
+from ..results import ResultBase
 
 __all__ = ["BaselineResult"]
 
 
 @dataclass
-class BaselineResult:
+class BaselineResult(ResultBase):
     """A single baseline release.
 
     ``answer`` is the private output; ``true_answer`` and ``noise_scale``
-    are diagnostics for the experiment harness.
+    are diagnostics for the experiment harness.  Error accounting
+    (``absolute_error`` / ``relative_error``) comes from
+    :class:`~repro.results.ResultBase`.
     """
 
     answer: float
@@ -25,13 +29,3 @@ class BaselineResult:
     delta: float = 0.0
     seconds: float = 0.0
     diagnostics: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def absolute_error(self) -> float:
-        return abs(self.answer - self.true_answer)
-
-    @property
-    def relative_error(self) -> float:
-        if self.true_answer == 0:
-            return float("inf") if self.answer != 0 else 0.0
-        return self.absolute_error / abs(self.true_answer)

@@ -5,6 +5,10 @@ Commands
 ``count``
     Differentially private subgraph count on a random graph, a dataset
     stand-in, or an edge-list file.
+``batch``
+    Execute a JSON workload spec against one budget-accounted
+    :class:`~repro.session.PrivateSession` (shared compiled-relation
+    cache, mechanism registry dispatch, optional worker fan-out).
 ``fig``
     Regenerate one of the paper's figures at a chosen scale preset and
     print the rendered table.
@@ -12,6 +16,24 @@ Commands
     Empirical privacy audit of the mechanism on a small random graph.
 ``datasets``
     List the Fig. 6 dataset stand-ins and their paper statistics.
+
+Batch spec format (JSON)::
+
+    {
+      "graph":   {"nodes": 120, "avgdeg": 8, "seed": 1},
+                 // or {"edge_list": "path"} or {"dataset": "ca-GrQc",
+                 //     "scale": 0.05}
+      "budget":  2.0,          // optional hard eps cap
+      "seed":    7,            // session seed (reproducible workload)
+      "queries": [
+        {"query": "triangle", "privacy": "node", "epsilon": 0.5},
+        {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
+         "mechanism": "smooth", "label": "stars"}
+      ]
+    }
+
+Queries that would exceed the budget are refused (reported in the output
+table) without stopping the rest of the workload.
 """
 
 from __future__ import annotations
@@ -23,6 +45,26 @@ from typing import List, Optional
 from . import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for ε-like arguments (uniform validation message)."""
+    from .validation import validate_epsilon
+
+    try:
+        return validate_epsilon(float(text))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _workers_arg(text: str) -> int:
+    """Argparse type for ``--workers`` (uniform validation message)."""
+    from .validation import validate_workers
+
+    try:
+        return validate_workers(int(text))
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,11 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     count = sub.add_parser("count", help="private subgraph count")
-    count.add_argument("--workers", type=int, default=None, help=workers_help)
+    count.add_argument("--workers", type=_workers_arg, default=None,
+                       help=workers_help)
     count.add_argument("--query", default="triangle",
                        help="triangle | K-star | K-triangle (e.g. 2-star)")
     count.add_argument("--privacy", choices=["node", "edge"], default="node")
-    count.add_argument("--epsilon", type=float, default=0.5)
+    count.add_argument("--epsilon", type=_positive_float, default=0.5)
     count.add_argument("--seed", type=int, default=0)
     source = count.add_mutually_exclusive_group()
     source.add_argument("--edge-list", help="read the graph from this file")
@@ -57,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--show-true", action="store_true",
                        help="also print the exact count (diagnostic!)")
 
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON workload spec against one PrivateSession",
+    )
+    batch.add_argument("spec", help="path to the JSON spec ('-' for stdin)")
+    batch.add_argument("--workers", type=_workers_arg, default=None,
+                       help=workers_help)
+    batch.add_argument("--seed", type=int, default=None,
+                       help="override the spec's session seed")
+    batch.add_argument("--budget", type=_positive_float, default=None,
+                       help="override the spec's total epsilon budget")
+    batch.add_argument("--audit-log", action="store_true",
+                       help="also print the session's JSON audit log")
+
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
     fig.add_argument("name", choices=[
         "fig1", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8",
@@ -64,10 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     ])
     fig.add_argument("--scale", default=None, help="smoke | default | full")
     fig.add_argument("--seed", type=int, default=2024)
-    fig.add_argument("--workers", type=int, default=None, help=workers_help)
+    fig.add_argument("--workers", type=_workers_arg, default=None,
+                     help=workers_help)
 
     audit = sub.add_parser("audit", help="empirical privacy audit")
-    audit.add_argument("--epsilon", type=float, default=1.0)
+    audit.add_argument("--epsilon", type=_positive_float, default=1.0)
     audit.add_argument("--nodes", type=int, default=24)
     audit.add_argument("--avgdeg", type=float, default=6.0)
     audit.add_argument("--trials", type=int, default=1500)
@@ -104,6 +162,110 @@ def _cmd_count(args) -> int:
         print(f"true count: {result.true_answer:.0f} "
               f"(relative error {result.relative_error:.2%})")
     return 0
+
+
+def _graph_from_spec(spec: dict):
+    """Build the workload's graph from the spec's ``graph`` object."""
+    from .graphs import load_dataset, random_graph_with_avg_degree, read_edge_list
+
+    graph_spec = spec.get("graph") or {}
+    if "edge_list" in graph_spec:
+        return read_edge_list(graph_spec["edge_list"])
+    if "dataset" in graph_spec:
+        return load_dataset(
+            graph_spec["dataset"], scale=graph_spec.get("scale", 0.05)
+        )
+    return random_graph_with_avg_degree(
+        int(graph_spec.get("nodes", 100)),
+        float(graph_spec.get("avgdeg", 8.0)),
+        rng=graph_spec.get("seed", 0),
+    )
+
+
+def _cmd_batch(args) -> int:
+    import json
+
+    from .experiments import format_table
+    from .session import BudgetExhausted, PrivateSession
+
+    if args.spec == "-":
+        spec = json.load(sys.stdin)
+    else:
+        with open(args.spec) as handle:
+            spec = json.load(handle)
+    queries = spec.get("queries")
+    if not queries:
+        print("spec has no queries", file=sys.stderr)
+        return 2
+
+    graph = _graph_from_spec(spec)
+    budget = args.budget if args.budget is not None else spec.get("budget")
+    seed = args.seed if args.seed is not None else spec.get("seed")
+    workers = args.workers if args.workers is not None else spec.get("workers", 1)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"budget: {'unlimited' if budget is None else budget}; "
+          f"workers: {workers}")
+
+    def row(label, item, status, answer=None, epsilon=None, entry=None):
+        return {
+            "label": label,
+            "mechanism": entry.mechanism if entry else item.get(
+                "mechanism", "recursive"),
+            "query": entry.query if entry else str(item.get("query")),
+            "status": status,
+            "answer": answer,
+            "epsilon": entry.epsilon if entry else epsilon,
+        }
+
+    rows = []
+    failed = 0
+    with PrivateSession(graph, budget=budget, workers=workers, rng=seed,
+                        name="batch") as session:
+        pending = []
+        for index, item in enumerate(queries):
+            label = item.get("label", f"q{index}")
+            try:
+                future = session.submit(
+                    item["query"],
+                    epsilon=item.get("epsilon"),
+                    privacy=item.get("privacy"),
+                    mechanism=item.get("mechanism", "recursive"),
+                    label=label,
+                    **item.get("options", {}),
+                )
+            except BudgetExhausted as error:
+                rows.append(row(label, item, "refused"))
+                print(f"refused {label!r}: {error}", file=sys.stderr)
+                continue
+            except Exception as error:  # malformed item: report, keep going
+                failed += 1
+                rows.append(row(label, item, "invalid"))
+                print(f"invalid {label!r}: {error}", file=sys.stderr)
+                continue
+            pending.append((label, item, future))
+        for label, item, future in pending:
+            try:
+                result = future.result()
+            except Exception as error:  # surface per-query failures
+                failed += 1
+                rows.append(row(label, item, "failed", entry=future.entry))
+                print(f"failed {label!r}: {error}", file=sys.stderr)
+                continue
+            rows.append(row(label, item, future.entry.status,
+                            answer=result.answer, entry=future.entry))
+        print(format_table(
+            rows, ["label", "mechanism", "query", "epsilon", "status", "answer"],
+            title="batch workload",
+        ))
+        info = session.cache_info()
+        remaining = session.remaining
+        print(f"budget spent: eps={session.spent:g}"
+              + ("" if remaining is None else f" (remaining {remaining:g})"))
+        print(f"compiled-relation cache: {info.hits} hits, "
+              f"{info.misses} misses, {info.size} entries")
+        if args.audit_log:
+            print(json.dumps(session.audit_log(), indent=2))
+    return 1 if failed else 0
 
 
 def _cmd_fig(args) -> int:
@@ -225,6 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "count": _cmd_count,
+        "batch": _cmd_batch,
         "fig": _cmd_fig,
         "audit": _cmd_audit,
         "datasets": _cmd_datasets,

@@ -275,10 +275,19 @@ def private_linear_query(
     Uses the paper's experimental parameter settings
     (:meth:`RecursiveMechanismParams.paper`) unless ``params`` is given.
     ``workers`` is forwarded to :class:`EfficientRecursiveMechanism`.
+
+    A thin wrapper over a one-query
+    :class:`~repro.session.PrivateSession`; answers are byte-identical to
+    the direct mechanism path at a fixed seed.  For several queries of one
+    relation, hold a session yourself — repeats reuse the compiled LP.
     """
-    if params is None:
-        params = RecursiveMechanismParams.paper(epsilon, node_privacy=node_privacy)
-    mechanism = EfficientRecursiveMechanism(
-        relation, query=query, backend=backend, workers=workers
+    from ..session import PrivateSession
+
+    session = PrivateSession(relation, backend=backend, workers=workers)
+    return session.query(
+        query,
+        epsilon=epsilon,
+        privacy="node" if node_privacy else "edge",
+        rng=rng,
+        params=params,
     )
-    return mechanism.run(params, rng)

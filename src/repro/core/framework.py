@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import MechanismError
 from ..parallel.pool import map_tasks
+from ..results import ResultBase
 from ..rng import RngLike, ensure_rng, laplace, spawn_seed_sequences
 from .params import RecursiveMechanismParams
 
@@ -46,13 +47,15 @@ def _index_key(i):
 
 
 @dataclass
-class MechanismResult:
+class MechanismResult(ResultBase):
     """Everything the mechanism run produced.
 
     Only :attr:`answer` is differentially private output; the remaining
     fields are diagnostics for experiments (they must not be released to an
     untrusted party — in particular :attr:`delta` and :attr:`x_value` are
-    the *pre-noise* intermediates).
+    the *pre-noise* intermediates).  Error accounting
+    (``absolute_error`` / ``relative_error``) comes from
+    :class:`~repro.results.ResultBase`.
     """
 
     answer: float
@@ -65,20 +68,6 @@ class MechanismResult:
     true_answer: Optional[float] = None
     seconds: float = 0.0
     diagnostics: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def absolute_error(self) -> Optional[float]:
-        if self.true_answer is None:
-            return None
-        return abs(self.answer - self.true_answer)
-
-    @property
-    def relative_error(self) -> Optional[float]:
-        if self.true_answer is None:
-            return None
-        if self.true_answer == 0:
-            return float("inf") if self.answer != 0 else 0.0
-        return abs(self.answer - self.true_answer) / abs(self.true_answer)
 
 
 class RecursiveMechanismBase:

@@ -17,6 +17,7 @@ __all__ = [
     "SensitiveModelError",
     "MechanismError",
     "PrivacyParameterError",
+    "SessionError",
     "LPError",
     "LPInfeasibleError",
     "LPUnboundedError",
@@ -58,8 +59,17 @@ class MechanismError(ReproError):
     """A differential privacy mechanism could not produce an answer."""
 
 
-class PrivacyParameterError(MechanismError):
-    """Privacy parameters (epsilon, delta, beta, theta, mu) are invalid."""
+class PrivacyParameterError(MechanismError, ValueError):
+    """Privacy parameters (epsilon, delta, beta, theta, mu) are invalid.
+
+    Also a :class:`ValueError`: entry-point validation
+    (:mod:`repro.validation`) promises plain-``ValueError`` semantics for
+    bad arguments while staying catchable as a library error.
+    """
+
+
+class SessionError(ReproError):
+    """Invalid use of a :class:`~repro.session.PrivateSession` (e.g. closed)."""
 
 
 class LPError(ReproError):

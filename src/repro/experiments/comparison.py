@@ -14,17 +14,40 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..core.efficient import EfficientRecursiveMechanism
-from ..core.params import RecursiveMechanismParams
 from ..core.queries import CountQuery
 from ..core.sensitivity import universal_empirical_sensitivity
+from ..errors import MechanismError
 from ..graphs.generators import random_graph_with_avg_degree
+from ..mechanisms import QuerySpec
+from ..mechanisms import get as get_mechanism
 from ..rng import RngLike, ensure_rng
 from ..subgraphs.annotate import subgraph_krelation
 from .harness import Scale, resolve_scale, run_mechanism_trials
-from .mechanisms import make_runner, parse_query
+from .mechanisms import EXPERIMENT_MECHANISMS, make_runner, parse_query
 
 __all__ = ["fig1_comparison_table"]
+
+#: Fig. 1 rows in paper order; all dispatch through the registry.
+FIG1_MECHANISMS = (
+    "pinq-restricted",
+    "recursive-node",
+    "recursive-edge",
+    "local-sensitivity",
+    "rhms",
+)
+
+
+def _privacy_label(mechanism: str, query: str) -> str:
+    """The guarantee column of Fig. 1 for one (mechanism, query) cell."""
+    if mechanism == "pinq-restricted":
+        return "edge-DP (clipped)"
+    if mechanism == "recursive-node":
+        return "node-DP"
+    if mechanism == "rhms":
+        return "adversarial"
+    if mechanism == "local-sensitivity" and query.endswith("-triangle") and query != "triangle":
+        return "(eps,delta)-edge-DP"
+    return "edge-DP"
 
 
 def fig1_comparison_table(
@@ -35,8 +58,13 @@ def fig1_comparison_table(
     scale: Optional[Scale] = None,
     rng: RngLike = 0,
     workers: Optional[int] = None,
+    mechanisms: Sequence[str] = FIG1_MECHANISMS,
 ) -> List[Dict[str, object]]:
     """One row per (query, mechanism): measured error, time and structure.
+
+    ``mechanisms`` selects the rows by experiment name (each resolving to
+    a registry entry, see
+    :data:`repro.experiments.mechanisms.EXPERIMENT_MECHANISMS`).
 
     ``workers=None`` keeps the historical serial trial loops.  An
     explicit ``workers`` shards each mechanism's trial repetitions across
@@ -45,6 +73,12 @@ def fig1_comparison_table(
     deterministic per-trial seed spawning — ``workers=1`` and
     ``workers=k`` report identical errors at a fixed seed.
     """
+    unknown = [name for name in mechanisms if name not in EXPERIMENT_MECHANISMS]
+    if unknown:
+        raise MechanismError(
+            f"unknown mechanisms {unknown}; choose from "
+            f"{sorted(EXPERIMENT_MECHANISMS)}"
+        )
     scale = scale or resolve_scale()
     n = max(16, int(round(num_nodes * scale.graph_nodes_factor)))
     generator = ensure_rng(rng)
@@ -57,61 +91,47 @@ def fig1_comparison_table(
         us_node = universal_empirical_sensitivity(CountQuery(), relation_node)
         us_edge = universal_empirical_sensitivity(CountQuery(), relation_edge)
 
-        # the Fig. 1 "[9,11]" row: PINQ-style restricted joins clip heavily
-        from ..baselines.pinq import PINQStyleLaplace
-
-        pinq = PINQStyleLaplace(relation_edge, max_tuples_per_participant=1)
-        start = time.perf_counter()
-        if workers is None:
-            pinq_errors = [
-                pinq.run(epsilon, generator).relative_error
-                for _ in range(scale.trials)
-            ]
-            pinq_errors.sort()
-            pinq_median = pinq_errors[len(pinq_errors) // 2]
-        else:
-            pinq_median = run_mechanism_trials(
-                lambda trial_rng: pinq.run(epsilon, trial_rng).answer,
-                pinq.true_answer,
-                scale.trials,
-                rng=generator,
-                workers=workers,
-            )
-        rows.append(
-            {
-                "query": query,
-                "mechanism": "pinq-restricted",
-                "median_relative_error": pinq_median,
-                "seconds": time.perf_counter() - start,
-                "true_answer": pinq.true_answer,
-                "US_node": us_node,
-                "US_edge": us_edge,
-                "privacy": "edge-DP (clipped)",
-            }
-        )
-
-        for mechanism in ("recursive-node", "recursive-edge", "local-sensitivity", "rhms"):
+        for mechanism in mechanisms:
             start = time.perf_counter()
-            run_once, truth = make_runner(mechanism, graph, query, epsilon)
-            error = run_mechanism_trials(
-                run_once, truth, scale.trials, generator, workers=workers
-            )
-            seconds = time.perf_counter() - start
+            if mechanism == "pinq-restricted":
+                # the Fig. 1 "[9,11]" row: restricted joins clip heavily.
+                # The edge K-relation is already built above — hand it to
+                # the registry entry directly instead of re-enumerating.
+                registry_name, privacy = EXPERIMENT_MECHANISMS[mechanism]
+                prepared = get_mechanism(registry_name)(
+                    relation_edge, bound=1
+                ).prepare(QuerySpec.of(None, privacy=privacy))
+                truth = prepared.true_answer
+                start = time.perf_counter()  # time trials, not prepare
+                if workers is None:
+                    errors = sorted(
+                        prepared.release(epsilon, generator).relative_error
+                        for _ in range(scale.trials)
+                    )
+                    error = errors[len(errors) // 2]
+                else:
+                    error = run_mechanism_trials(
+                        lambda trial_rng: prepared.release(epsilon, trial_rng).answer,
+                        truth,
+                        scale.trials,
+                        rng=generator,
+                        workers=workers,
+                    )
+            else:
+                run_once, truth = make_runner(mechanism, graph, query, epsilon)
+                error = run_mechanism_trials(
+                    run_once, truth, scale.trials, generator, workers=workers
+                )
             rows.append(
                 {
                     "query": query,
                     "mechanism": mechanism,
                     "median_relative_error": error,
-                    "seconds": seconds,
+                    "seconds": time.perf_counter() - start,
                     "true_answer": truth,
                     "US_node": us_node,
                     "US_edge": us_edge,
-                    "privacy": (
-                        "node-DP" if mechanism == "recursive-node"
-                        else "(eps,delta)-edge-DP" if mechanism == "local-sensitivity" and query.endswith("-triangle") and query != "triangle"
-                        else "adversarial" if mechanism == "rhms"
-                        else "edge-DP"
-                    ),
+                    "privacy": _privacy_label(mechanism, query),
                 }
             )
     return rows

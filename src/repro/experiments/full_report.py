@@ -136,12 +136,29 @@ FIGURES: Dict[str, Callable[[Scale, RngLike], str]] = {
 }
 
 
+def _registry_section() -> str:
+    """The live mechanism-registry table (what the figures dispatch through)."""
+    from ..mechanisms import describe
+
+    return format_table(
+        describe(),
+        ["mechanism", "aliases", "privacy", "summary"],
+        title="Mechanism registry (repro.mechanisms)",
+    )
+
+
 def generate_report(
     figures: Optional[Sequence[str]] = None,
     scale: Optional[Scale] = None,
     rng: RngLike = 2024,
 ) -> str:
-    """Render the selected figures (default: all) into one report string."""
+    """Render the selected figures (default: all) into one report string.
+
+    Every mechanism column in the figures is dispatched through the
+    unified registry (:mod:`repro.mechanisms`); the report header includes
+    the live registry table so a rendered report records exactly which
+    mechanisms (and privacy models) it measured.
+    """
     scale = scale or resolve_scale()
     names = list(figures) if figures else list(FIGURES)
     unknown = [n for n in names if n not in FIGURES]
@@ -151,7 +168,7 @@ def generate_report(
         f"Recursive mechanism — reproduction report (scale={scale.name})\n"
         + "=" * 64
     )
-    sections = [header]
+    sections = [header, _registry_section()]
     for name in names:
         sections.append(FIGURES[name](scale, rng))
     return "\n\n".join(sections)

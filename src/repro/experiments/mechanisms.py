@@ -4,49 +4,50 @@ A *runner* is a closure ``rng -> private answer`` with all per-graph
 precomputation (match enumeration, K-relation encoding, smooth-sensitivity
 statistics) hoisted out, so trial loops measure only what the paper's
 accuracy figures measure.  :func:`make_runner` builds one for any
-``(mechanism, query, graph)`` combination used in Fig. 4/7:
+``(mechanism, query, graph)`` combination used in Fig. 4/7 by dispatching
+through the unified mechanism registry (:mod:`repro.mechanisms`) — the
+experiment names map onto registry entries:
 
-* ``recursive-node`` / ``recursive-edge`` — the paper's mechanism;
-* ``local-sensitivity`` — NRS07 for triangles, Karwa et al. for k-stars
-  (ε-DP) and k-triangles ((ε,δ)-DP), matching the "local sensitivity
-  mechanisms" curve;
-* ``rhms`` — the RHMS output perturbation.
+* ``recursive-node`` / ``recursive-edge`` — ``"recursive"`` under node /
+  edge privacy (the paper's mechanism);
+* ``local-sensitivity`` — ``"smooth"``: NRS07 for triangles, Karwa et al.
+  for k-stars (ε-DP) and k-triangles ((ε,δ)-DP), matching the "local
+  sensitivity mechanisms" curve;
+* ``rhms`` — ``"rhms"``, the RHMS output perturbation;
+* ``pinq-restricted`` — ``"pinq"``, the restricted-join Laplace row.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Callable, Tuple
+from typing import Callable, Dict, Tuple
 
-from ..baselines.kstar_karwa import KarwaKStarMechanism
-from ..baselines.ktriangle_karwa import KarwaKTriangleMechanism
-from ..baselines.rhms import RHMSMechanism
-from ..baselines.triangles_nrs import NRSTriangleMechanism
-from ..core.efficient import EfficientRecursiveMechanism
-from ..core.params import RecursiveMechanismParams
 from ..errors import MechanismError
 from ..graphs.graph import Graph
-from ..subgraphs.annotate import subgraph_krelation
+from ..mechanisms import QuerySpec
+from ..mechanisms import get as get_mechanism
+from ..mechanisms import resolve_pattern
 from ..subgraphs.counting import count_k_stars, count_k_triangles, count_triangles
-from ..subgraphs.patterns import Pattern, k_star, k_triangle, triangle
+from ..subgraphs.patterns import Pattern
 
 __all__ = ["MECHANISM_NAMES", "QUERY_NAMES", "parse_query", "true_count", "make_runner"]
 
 MECHANISM_NAMES = ("recursive-node", "recursive-edge", "local-sensitivity", "rhms")
 QUERY_NAMES = ("triangle", "2-star", "2-triangle")
 
+#: experiment name -> (registry name, privacy model)
+EXPERIMENT_MECHANISMS: Dict[str, Tuple[str, str]] = {
+    "recursive-node": ("recursive", "node"),
+    "recursive-edge": ("recursive", "edge"),
+    "local-sensitivity": ("smooth", "edge"),
+    "rhms": ("rhms", "edge"),
+    "pinq-restricted": ("pinq", "edge"),
+}
+
 
 def parse_query(query: str) -> Pattern:
     """``"triangle"``, ``"k-star"`` or ``"k-triangle"`` to a Pattern."""
-    if query == "triangle":
-        return triangle()
-    match = re.fullmatch(r"(\d+)-star", query)
-    if match:
-        return k_star(int(match.group(1)))
-    match = re.fullmatch(r"(\d+)-triangle", query)
-    if match:
-        return k_triangle(int(match.group(1)))
-    raise MechanismError(f"unknown query {query!r}")
+    return resolve_pattern(query)
 
 
 def true_count(graph: Graph, query: str) -> float:
@@ -72,41 +73,22 @@ def make_runner(
     """Build ``(run_once(rng) -> answer, true_answer)`` for one config.
 
     Parameters follow the paper's Sec. 6 defaults: ``delta`` is used only
-    by the (ε,δ)-DP k-triangle baseline (δ = 0.1 in the paper).
+    by the (ε,δ)-DP k-triangle baseline (δ = 0.1 in the paper).  The
+    mechanism is resolved through :func:`repro.mechanisms.get` and
+    prepared once; the returned closure only releases.
     """
-    truth = true_count(graph, query)
+    try:
+        registry_name, privacy = EXPERIMENT_MECHANISMS[mechanism]
+    except KeyError:
+        raise MechanismError(
+            f"unknown mechanism {mechanism!r}; choose from "
+            f"{tuple(EXPERIMENT_MECHANISMS)}"
+        ) from None
+    options = {"delta": delta} if registry_name == "smooth" else {}
+    mech = get_mechanism(registry_name)(graph, **options)
+    prepared = mech.prepare(QuerySpec.of(parse_query(query), privacy=privacy))
 
-    if mechanism in ("recursive-node", "recursive-edge"):
-        privacy = "node" if mechanism.endswith("node") else "edge"
-        relation = subgraph_krelation(graph, parse_query(query), privacy=privacy)
-        params = RecursiveMechanismParams.paper(
-            epsilon, node_privacy=(privacy == "node")
-        )
-        mech = EfficientRecursiveMechanism(relation)
+    def run_once(rng) -> float:
+        return prepared.release(epsilon, rng).answer
 
-        def run_recursive(rng) -> float:
-            return mech.run(params, rng).answer
-
-        return run_recursive, truth
-
-    if mechanism == "local-sensitivity":
-        if query == "triangle":
-            nrs = NRSTriangleMechanism(graph)
-            return (lambda rng: nrs.run(epsilon, rng).answer), truth
-        star = re.fullmatch(r"(\d+)-star", query)
-        if star:
-            karwa_star = KarwaKStarMechanism(graph, int(star.group(1)))
-            return (lambda rng: karwa_star.run(epsilon, rng).answer), truth
-        ktri = re.fullmatch(r"(\d+)-triangle", query)
-        if ktri:
-            karwa_tri = KarwaKTriangleMechanism(graph, int(ktri.group(1)))
-            return (lambda rng: karwa_tri.run(epsilon, delta, rng).answer), truth
-        raise MechanismError(f"no local-sensitivity baseline for {query!r}")
-
-    if mechanism == "rhms":
-        rhms = RHMSMechanism(graph, parse_query(query), truth)
-        return (lambda rng: rhms.run(epsilon, rng).answer), truth
-
-    raise MechanismError(
-        f"unknown mechanism {mechanism!r}; choose from {MECHANISM_NAMES}"
-    )
+    return run_once, prepared.true_answer

@@ -1,0 +1,51 @@
+"""Unified mechanism registry: one name, one contract, every mechanism.
+
+The paper's recursive mechanism and the baseline zoo share one protocol
+(:class:`~repro.mechanisms.base.Mechanism`): construct over the sensitive
+data, ``prepare`` a query into a cacheable
+:class:`~repro.mechanisms.base.PreparedQuery`, and ``release`` noisy
+answers from it — or use the uniform one-shot
+``run(query, epsilon, rng)``.  Lookup is by name::
+
+    from repro import mechanisms
+    cls = mechanisms.get("recursive")        # or "laplace", "smooth",
+    mech = cls(graph)                        # "rhms", "pinq", ...
+    result = mech.run("triangle", epsilon=1.0, rng=7, privacy="node")
+
+Every release returns a :class:`~repro.results.ResultBase`, so the
+session layer (:mod:`repro.session`), the experiment harness
+(:func:`repro.experiments.mechanisms.make_runner`), and the CLI
+(``repro batch``) treat all mechanisms identically.  Registered names:
+``recursive`` (node/edge DP), ``laplace``, ``smooth`` (alias
+``local-sensitivity``), ``rhms``, ``pinq`` (edge DP only) — see
+:func:`describe` for the live table.
+"""
+
+from .base import (
+    Mechanism,
+    PreparedQuery,
+    QuerySpec,
+    available,
+    describe,
+    get,
+    register,
+    resolve_pattern,
+)
+from .noise import LaplaceBaseline, PinqBaseline, RHMSBaseline, SmoothBaseline
+from .recursive import RecursiveMechanism
+
+__all__ = [
+    "Mechanism",
+    "PreparedQuery",
+    "QuerySpec",
+    "register",
+    "get",
+    "available",
+    "describe",
+    "resolve_pattern",
+    "RecursiveMechanism",
+    "LaplaceBaseline",
+    "SmoothBaseline",
+    "RHMSBaseline",
+    "PinqBaseline",
+]

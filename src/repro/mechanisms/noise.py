@@ -1,0 +1,220 @@
+"""Baseline mechanisms as registry entries (edge privacy only).
+
+Adapters giving the baseline zoo (:mod:`repro.baselines`) the uniform
+``Mechanism`` contract, so the session layer and the experiment harness
+dispatch every mechanism the same way:
+
+* ``"laplace"`` — global-sensitivity Laplace; the sensitivity must be
+  supplied (``global_sensitivity=...``) because subgraph counts have no
+  useful data-independent bound — omitted it is treated as unbounded and
+  the release raises, reproducing Fig. 1's "not solvable" row;
+* ``"smooth"`` (alias ``"local-sensitivity"``) — NRS07 for triangles,
+  Karwa et al. for k-stars (ε-DP) and k-triangles ((ε,δ)-DP);
+* ``"rhms"`` — RHMS output perturbation ((ε,γ)-adversarial privacy);
+* ``"pinq"`` — PINQ-style restricted-join Laplace with clipping
+  semantics (``bound=...`` declares the per-participant tuple cap).
+
+All reject ``privacy="node"`` with a clear error — none of them achieves
+node differential privacy with nontrivial utility, which is the paper's
+point of comparison.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..baselines.kstar_karwa import KarwaKStarMechanism
+from ..baselines.ktriangle_karwa import KarwaKTriangleMechanism
+from ..baselines.laplace import GlobalSensitivityLaplace
+from ..baselines.pinq import PINQStyleLaplace
+from ..baselines.rhms import RHMSMechanism
+from ..baselines.triangles_nrs import NRSTriangleMechanism
+from ..errors import MechanismError
+from ..graphs.graph import Graph
+from ..results import ResultBase
+from ..rng import RngLike
+from ..subgraphs.patterns import Pattern
+from .base import Mechanism, PreparedQuery, QuerySpec, register
+
+__all__ = [
+    "LaplaceBaseline",
+    "SmoothBaseline",
+    "RHMSBaseline",
+    "PinqBaseline",
+    "exact_pattern_count",
+]
+
+
+def exact_pattern_count(graph: Graph, pattern: Pattern) -> float:
+    """Exact occurrence count, via closed forms when the name matches.
+
+    ``triangle`` / ``<k>-star`` / ``<k>-triangle`` use the specialized
+    counters; anything else enumerates occurrences with the generic
+    matcher (prepare-time only, never in a trial loop).
+    """
+    from ..subgraphs.counting import (
+        count_k_stars,
+        count_k_triangles,
+        count_triangles,
+    )
+
+    if pattern.name == "triangle":
+        return float(count_triangles(graph))
+    match = re.fullmatch(r"(\d+)-star", pattern.name)
+    if match:
+        return float(count_k_stars(graph, int(match.group(1))))
+    match = re.fullmatch(r"(\d+)-triangle", pattern.name)
+    if match:
+        return float(count_k_triangles(graph, int(match.group(1))))
+    from ..subgraphs.annotate import occurrences_for_pattern
+
+    return float(len(occurrences_for_pattern(graph, pattern)))
+
+
+class _PreparedBaseline(PreparedQuery):
+    """Prepared baseline: a bound ``run(epsilon, rng)``-style closure."""
+
+    def __init__(self, spec: QuerySpec, runner, truth: float):
+        super().__init__(spec)
+        self._runner = runner
+        self._truth = float(truth)
+
+    @property
+    def true_answer(self) -> float:
+        """The exact count (diagnostics only)."""
+        return self._truth
+
+    def _release(self, epsilon, rng: RngLike, params) -> ResultBase:
+        if params is not None:
+            raise MechanismError(
+                "mechanism params apply to the recursive mechanism only"
+            )
+        return self._runner(epsilon, rng)
+
+
+@register
+class LaplaceBaseline(Mechanism):
+    """Global-sensitivity Laplace (Dwork et al.); edge privacy, bounded GS only.
+
+    Option ``global_sensitivity``: the caller-certified ``GS_q``.  When
+    omitted the query is treated as unbounded (unrestricted joins) and
+    every release raises, mirroring Fig. 1.
+    """
+
+    name = "laplace"
+    privacy_models = ("edge",)
+
+    def __init__(self, data, global_sensitivity: float = math.inf):
+        super().__init__(data, global_sensitivity=global_sensitivity)
+
+    def _prepare(self, spec: QuerySpec) -> _PreparedBaseline:
+        if spec.pattern is None:
+            raise MechanismError(
+                f"mechanism {self.name!r} answers subgraph pattern queries"
+            )
+        truth = exact_pattern_count(self._graph(), spec.pattern)
+        laplace = GlobalSensitivityLaplace(self.options["global_sensitivity"])
+        return _PreparedBaseline(
+            spec, lambda epsilon, rng: laplace.run(truth, epsilon, rng), truth
+        )
+
+
+@register
+class SmoothBaseline(Mechanism):
+    """Local/smooth-sensitivity baselines: NRS07 triangles, Karwa k-stars/k-triangles.
+
+    Dispatches on the pattern: ``triangle`` → NRS07 (ε-DP, Cauchy noise),
+    ``<k>-star`` → Karwa et al. (ε-DP), ``<k>-triangle`` → Karwa et al.
+    ((ε,δ)-DP; option ``delta``, default 0.1 as in the paper's Sec. 6).
+    Option ``exact_pairs`` forces the exact NRS pair scan.
+    """
+
+    name = "smooth"
+    aliases = ("local-sensitivity",)
+    privacy_models = ("edge",)
+
+    def __init__(self, data, delta: float = 0.1, exact_pairs: bool = False):
+        super().__init__(data, delta=delta, exact_pairs=exact_pairs)
+
+    def _prepare(self, spec: QuerySpec) -> _PreparedBaseline:
+        if spec.pattern is None:
+            raise MechanismError(
+                f"mechanism {self.name!r} answers subgraph pattern queries"
+            )
+        graph = self._graph()
+        pattern_name = spec.pattern.name
+        truth = exact_pattern_count(graph, spec.pattern)
+        if pattern_name == "triangle":
+            nrs = NRSTriangleMechanism(
+                graph, exact_pairs=self.options["exact_pairs"]
+            )
+            return _PreparedBaseline(
+                spec, lambda epsilon, rng: nrs.run(epsilon, rng), truth
+            )
+        star = re.fullmatch(r"(\d+)-star", pattern_name)
+        if star:
+            karwa_star = KarwaKStarMechanism(graph, int(star.group(1)))
+            return _PreparedBaseline(
+                spec, lambda epsilon, rng: karwa_star.run(epsilon, rng), truth
+            )
+        ktri = re.fullmatch(r"(\d+)-triangle", pattern_name)
+        if ktri:
+            karwa_tri = KarwaKTriangleMechanism(graph, int(ktri.group(1)))
+            delta = self.options["delta"]
+            return _PreparedBaseline(
+                spec,
+                lambda epsilon, rng: karwa_tri.run(epsilon, delta, rng),
+                truth,
+            )
+        raise MechanismError(
+            f"no local-sensitivity baseline for pattern {pattern_name!r}"
+        )
+
+
+@register
+class RHMSBaseline(Mechanism):
+    """RHMS output perturbation (Rastogi et al.); (ε,γ)-adversarial privacy."""
+
+    name = "rhms"
+    privacy_models = ("edge",)
+
+    def _prepare(self, spec: QuerySpec) -> _PreparedBaseline:
+        if spec.pattern is None:
+            raise MechanismError(
+                f"mechanism {self.name!r} answers subgraph pattern queries"
+            )
+        truth = exact_pattern_count(self._graph(), spec.pattern)
+        rhms = RHMSMechanism(self._graph(), spec.pattern, truth)
+        return _PreparedBaseline(
+            spec, lambda epsilon, rng: rhms.run(epsilon, rng), truth
+        )
+
+
+@register
+class PinqBaseline(Mechanism):
+    """PINQ-style restricted-join Laplace: clips to a declared per-participant bound.
+
+    Options: ``bound`` (the declared tuple cap ``c``, default 1) and
+    ``strict`` (refuse instead of clipping when the bound is violated —
+    the literal "not solvable with unrestricted joins" reading).
+    """
+
+    name = "pinq"
+    aliases = ("pinq-restricted",)
+    privacy_models = ("edge",)
+
+    def __init__(self, data, bound: int = 1, strict: bool = False):
+        super().__init__(data, bound=bound, strict=strict)
+
+    def _prepare(self, spec: QuerySpec) -> _PreparedBaseline:
+        relation = self._relation_for(spec)
+        pinq = PINQStyleLaplace(
+            relation,
+            max_tuples_per_participant=self.options["bound"],
+            query=spec.weight,
+            strict=self.options["strict"],
+        )
+        return _PreparedBaseline(
+            spec, lambda epsilon, rng: pinq.run(epsilon, rng), pinq.true_answer
+        )

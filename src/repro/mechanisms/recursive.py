@@ -1,0 +1,85 @@
+"""The paper's recursive mechanism as a registry entry.
+
+The only mechanism in the registry that honors **node** differential
+privacy (and the only one supporting arbitrary positive relational-algebra
+queries).  ``prepare`` does the expensive work — building the Fig. 2
+sensitive K-relation and compiling the φ-epigraph LP
+(:class:`~repro.relax.encode.EncodedRelation` →
+:class:`~repro.lp.compiled.CompiledProgram`) — and the resulting
+:class:`PreparedRecursive` is exactly what the session cache reuses:
+repeated releases skip re-encode/re-compile *and* inherit the warm
+``H``/``G`` entry caches, so a warm query pays only the X-step overlay
+solve plus noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.efficient import EfficientRecursiveMechanism
+from ..core.params import RecursiveMechanismParams
+from ..results import ResultBase
+from ..rng import RngLike
+from .base import Mechanism, PreparedQuery, QuerySpec, register
+
+__all__ = ["RecursiveMechanism", "PreparedRecursive"]
+
+
+class PreparedRecursive(PreparedQuery):
+    """A compiled recursive-mechanism query, ready for repeated release."""
+
+    def __init__(self, spec: QuerySpec, mechanism: EfficientRecursiveMechanism):
+        super().__init__(spec)
+        #: The underlying :class:`EfficientRecursiveMechanism` (exposes
+        #: ``lp_size`` / ``is_compiled`` diagnostics and the entry caches).
+        self.mechanism = mechanism
+
+    @property
+    def true_answer(self) -> float:
+        """``q(supp(R))`` — the exact count, no LP solve needed."""
+        return self.mechanism.true_answer()
+
+    def _release(self, epsilon, rng: RngLike, params) -> ResultBase:
+        if params is None:
+            params = RecursiveMechanismParams.paper(
+                epsilon, node_privacy=self.spec.node_privacy
+            )
+        return self.mechanism.run(params, rng)
+
+
+@register
+class RecursiveMechanism(Mechanism):
+    """Recursive mechanism (Chen & Zhou): node- or edge-DP, any linear query.
+
+    Options (all optional): ``backend`` (LP backend), ``workers`` (worker
+    processes for the parallel solve paths), ``bounding``
+    (``"paper"``/``"uniform"``/``"auto"``), ``normalize``, ``s_bar``,
+    ``compiled`` — forwarded to
+    :class:`~repro.core.efficient.EfficientRecursiveMechanism`.
+    """
+
+    name = "recursive"
+    aliases = ("recursive-mechanism",)
+    privacy_models = ("node", "edge")
+
+    def __init__(self, data, backend=None, workers: Optional[int] = 1,
+                 bounding: str = "auto", normalize: bool = False,
+                 s_bar=None, compiled: bool = True):
+        super().__init__(
+            data, backend=backend, workers=workers, bounding=bounding,
+            normalize=normalize, s_bar=s_bar, compiled=compiled,
+        )
+
+    def _prepare(self, spec: QuerySpec) -> PreparedRecursive:
+        relation = self._relation_for(spec)
+        mechanism = EfficientRecursiveMechanism(
+            relation,
+            query=spec.weight,
+            backend=self.options["backend"],
+            normalize=self.options["normalize"],
+            bounding=self.options["bounding"],
+            s_bar=self.options["s_bar"],
+            compiled=self.options["compiled"],
+            workers=self.options["workers"],
+        )
+        return PreparedRecursive(spec, mechanism)

@@ -81,9 +81,15 @@ def _available_cpus() -> int:
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Resolve a worker count: argument > ``$REPRO_WORKERS`` > CPU count.
 
-    Always returns at least 1; returns 1 when the platform cannot fork
-    (the in-process fallback), so callers can branch on ``workers > 1``.
+    An explicit argument (or ``$REPRO_WORKERS`` value) must be an integer
+    ``>= 1`` — anything else raises :class:`ValueError` with the uniform
+    :func:`repro.validation.validate_workers` message.  Returns 1 when the
+    platform cannot fork (the in-process fallback), so callers can branch
+    on ``workers > 1``.
     """
+    from ..validation import validate_workers
+
+    workers = validate_workers(workers)
     if workers is None:
         env = os.environ.get(WORKERS_ENV)
         if env is not None and env.strip():
@@ -93,9 +99,9 @@ def resolve_workers(workers: Optional[int] = None) -> int:
                 raise ValueError(
                     f"${WORKERS_ENV} must be an integer, got {env!r}"
                 ) from None
+            workers = validate_workers(workers, name=f"${WORKERS_ENV}")
         else:
             workers = _available_cpus()
-    workers = max(1, int(workers))
     if workers > 1 and not fork_available():
         return 1
     if workers > 1 and multiprocessing.current_process().daemon:
@@ -171,6 +177,19 @@ class WorkerPool:
     def map(self, tasks: Sequence) -> List:
         """Run every task; results come back in task order."""
         return self._pool.map(_invoke, tasks)
+
+    def submit(self, task, callback: Optional[Callable] = None,
+               error_callback: Optional[Callable] = None):
+        """Schedule one task asynchronously; returns an ``AsyncResult``.
+
+        The session layer's future-based fan-out: ``result.get()`` blocks
+        for (and re-raises errors from) the worker-side run.  ``callback``
+        / ``error_callback`` fire on the pool's result-handler thread when
+        the task completes.
+        """
+        return self._pool.apply_async(
+            _invoke, (task,), callback=callback, error_callback=error_callback
+        )
 
     def close(self) -> None:
         """Terminate the workers and release the payload slot."""

@@ -1,0 +1,57 @@
+"""Shared release-result base for all mechanisms.
+
+Every mechanism in this package — the recursive mechanism
+(:class:`~repro.core.framework.MechanismResult`) and the baseline zoo
+(:class:`~repro.baselines.common.BaselineResult`) — releases one noisy
+answer and, for experiments, carries the exact answer as a diagnostic.
+:class:`ResultBase` holds the error accounting both share, so the
+experiment harness and the :mod:`repro.session` layer can treat any
+mechanism's output uniformly (the registry contract:
+``repro.mechanisms.get(name)(...).run(...)`` returns a :class:`ResultBase`).
+
+The concrete result types stay dataclasses with their own field layouts
+(the recursive mechanism exposes Δ/X intermediates that baselines do not
+have), so this base deliberately defines *no* fields — only the derived
+error properties over the ``answer`` / ``true_answer`` attributes every
+subclass provides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ResultBase"]
+
+
+class ResultBase:
+    """Error accounting shared by every mechanism's release result.
+
+    Subclasses provide ``answer`` (the differentially private output) and
+    ``true_answer`` (the exact answer, diagnostic only — ``None`` when
+    unknown); this base derives the error metrics from them.
+    """
+
+    #: The released (privacy-protected) answer; set by subclasses.
+    answer: float
+    #: The exact answer, for experiment diagnostics only (may be ``None``).
+    true_answer: Optional[float]
+
+    @property
+    def absolute_error(self) -> Optional[float]:
+        """``|answer - truth|``, or ``None`` when the truth is unknown."""
+        if self.true_answer is None:
+            return None
+        return abs(self.answer - self.true_answer)
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """``|answer - truth| / |truth|`` (the paper's accuracy metric).
+
+        A zero truth yields ``inf`` for any nonzero answer and ``0`` for an
+        exact zero answer; an unknown truth yields ``None``.
+        """
+        if self.true_answer is None:
+            return None
+        if self.true_answer == 0:
+            return float("inf") if self.answer != 0 else 0.0
+        return abs(self.answer - self.true_answer) / abs(self.true_answer)

@@ -1,0 +1,155 @@
+"""Session budget accounting: hard-capped sequential composition + ledger.
+
+Differential privacy composes additively over sequential releases on the
+same database, so a serving session's global guarantee is the sum of the
+per-query budgets.  :class:`BudgetAccountant` enforces that sum against a
+hard cap (``None`` = unlimited but still fully ledgered) and keeps one
+:class:`LedgerEntry` per release — enough to *replay* the whole session:
+each entry records the mechanism, the query, the exact ε charged, and the
+seed material the noise was drawn from, so
+:meth:`repro.session.PrivateSession.replay` can re-execute the audit log
+and verify it reproduces the released answers bit-for-bit.
+
+The spent total is computed with :func:`math.fsum` over the ledger, so
+sequential composition sums exactly (no drift from incremental ``+=``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.accountant import BudgetExceededError
+from ..validation import validate_epsilon
+
+__all__ = ["BudgetExhausted", "LedgerEntry", "BudgetAccountant"]
+
+#: Absolute slack when comparing the spent sum against the cap — charges
+#: that exactly exhaust the budget must not be rejected for float dust.
+_CAP_TOLERANCE = 1e-12
+
+
+class BudgetExhausted(BudgetExceededError):
+    """The session's hard privacy-budget cap would be exceeded.
+
+    Subclasses :class:`~repro.core.accountant.BudgetExceededError` (and so
+    :class:`~repro.errors.PrivacyParameterError` / :class:`ValueError`),
+    so existing ``except`` clauses keep working.
+    """
+
+
+@dataclass
+class LedgerEntry:
+    """One charged release in a session's audit log.
+
+    ``seed`` is the replayable noise source (an ``int`` or a
+    ``numpy.random.SeedSequence``) when the session controlled the
+    randomness, or ``None`` when the caller passed an in-flight generator
+    (such an entry is audited for budget but cannot be replayed).
+    ``answer`` is filled when the release completes (asynchronous
+    submissions start as ``"pending"``).
+    """
+
+    index: int
+    label: str
+    mechanism: str
+    query: str
+    epsilon: float
+    seed: Any = None
+    answer: Optional[float] = None
+    status: str = "released"
+    cache_hit: bool = False
+    seconds: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def replayable(self) -> bool:
+        """Whether this release can be re-executed from recorded state."""
+        return self.seed is not None and self.status == "released"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form for exported audit logs."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "mechanism": self.mechanism,
+            "query": self.query,
+            "epsilon": self.epsilon,
+            "seed": repr(self.seed) if self.seed is not None else None,
+            "answer": self.answer,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "seconds": self.seconds,
+        }
+
+
+class BudgetAccountant:
+    """Hard-capped sequential-composition (pure ε) accountant with a ledger.
+
+    Parameters
+    ----------
+    budget:
+        The total ε cap.  ``None`` disables the cap (every release is
+        still ledgered) — the mode the one-shot API wrappers use.
+
+    >>> accountant = BudgetAccountant(1.0)
+    >>> accountant.charge(LedgerEntry(0, "triangles", "recursive",
+    ...                               "triangle/node", 0.75))
+    >>> accountant.spent, accountant.remaining
+    (0.75, 0.25)
+    """
+
+    def __init__(self, budget: Optional[float] = None):
+        self.budget = None if budget is None else validate_epsilon(budget, "budget")
+        self._ledger: List[LedgerEntry] = []
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def spent(self) -> float:
+        """Exact (``math.fsum``) total ε charged so far."""
+        return math.fsum(entry.epsilon for entry in self._ledger)
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Budget left under the cap, or ``None`` for unlimited sessions."""
+        if self.budget is None:
+            return None
+        return self.budget - self.spent
+
+    @property
+    def ledger(self) -> Tuple[LedgerEntry, ...]:
+        """The audit log, in release order (a defensive copy)."""
+        return tuple(self._ledger)
+
+    def __len__(self) -> int:
+        return len(self._ledger)
+
+    def can_afford(self, epsilon: float) -> bool:
+        """Whether one more ε-release fits under the cap."""
+        if self.budget is None:
+            return True
+        return self.spent + epsilon <= self.budget + _CAP_TOLERANCE
+
+    def check(self, epsilon: float, label: str = "release") -> float:
+        """Validate ε and raise :class:`BudgetExhausted` if it won't fit."""
+        epsilon = validate_epsilon(epsilon)
+        if not self.can_afford(epsilon):
+            remaining = self.remaining
+            raise BudgetExhausted(
+                f"release {label!r} needs eps={epsilon:g} but only "
+                f"{remaining:.6g} of the session budget "
+                f"(eps={self.budget:g}) remains"
+            )
+        return epsilon
+
+    def charge(self, entry: LedgerEntry) -> LedgerEntry:
+        """Append a checked release to the ledger (spends its ε)."""
+        entry.epsilon = self.check(entry.epsilon, label=entry.label)
+        entry.index = len(self._ledger)
+        self._ledger.append(entry)
+        return entry
+
+    def audit_log(self) -> List[Dict[str, Any]]:
+        """The ledger as JSON-friendly dicts (for export / inspection)."""
+        return [entry.to_dict() for entry in self._ledger]

@@ -1,0 +1,80 @@
+"""Compiled-relation cache: pay encode/compile once per distinct query.
+
+Preparing a query is the expensive part of every release — enumerating
+pattern occurrences, building the sensitive K-relation, and compiling the
+φ-epigraph LP into CSR blocks.  A release from an already-prepared query
+is just an overlay solve plus noise.  :class:`CompiledRelationCache` maps
+:meth:`repro.mechanisms.QuerySpec.cache_key`-style keys to the prepared
+objects so repeated (or concurrent) queries reuse them, and counts
+hits/misses so callers can *assert* the reuse (the instrumentation the
+acceptance tests and ``benchmarks/bench_session.py`` read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = ["CacheInfo", "CompiledRelationCache", "options_token"]
+
+
+def _value_token(value):
+    """Hashable token for one option value (identity for rich objects)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    token = getattr(value, "cache_token", None)
+    if token is not None:
+        return token
+    return (type(value).__name__, id(value))
+
+
+def options_token(options: Dict) -> Tuple:
+    """Canonical hashable token for a mechanism-options dict."""
+    return tuple(sorted((key, _value_token(value)) for key, value in options.items()))
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of cache instrumentation counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class CompiledRelationCache:
+    """Keyed store of prepared (compiled) queries with hit/miss counters.
+
+    Not thread-safe by itself; the session serializes access (queries are
+    prepared from the submitting thread only).
+    """
+
+    def __init__(self):
+        self._entries: Dict[tuple, object] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(self, key: tuple, build: Callable[[], object]):
+        """Return ``(value, hit)`` — building and storing on first use."""
+        if key in self._entries:
+            self._hits += 1
+            return self._entries[key], True
+        self._misses += 1
+        value = build()
+        self._entries[key] = value
+        return value, False
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss/size counters."""
+        return CacheInfo(hits=self._hits, misses=self._misses,
+                         size=len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries

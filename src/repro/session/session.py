@@ -1,0 +1,457 @@
+"""The session-oriented query API: ``PrivateSession``.
+
+A :class:`PrivateSession` wraps one sensitive dataset (a
+:class:`~repro.graphs.Graph` or a prebuilt
+:class:`~repro.core.sensitive.SensitiveKRelation`) and serves many private
+queries from it:
+
+* a **budget accountant** (:mod:`repro.session.accountant`) enforces a
+  hard ε cap by sequential composition and keeps a replayable audit log;
+* a **compiled-relation cache** (:mod:`repro.session.cache`) reuses the
+  expensive prepared state (K-relation encoding, compiled φ-epigraph LP,
+  warm H/G entry caches) across repeated or concurrent queries — a warm
+  query pays one overlay solve plus noise instead of a re-encode and
+  re-compile;
+* a **mechanism registry** dispatch (:mod:`repro.mechanisms`): every
+  query names its mechanism (``"recursive"`` by default) and all results
+  share :class:`~repro.results.ResultBase`;
+* :meth:`PrivateSession.submit` fans queries out over one shared
+  fork-after-compile :class:`~repro.parallel.pool.WorkerPool` and returns
+  :class:`QueryFuture`\\ s — many concurrent private queries over shared
+  compiled relations.
+
+Determinism: with a seeded session (``rng=...``), every release the
+session itself seeds draws from a pre-spawned ``SeedSequence`` child
+assigned in submission order, so answers depend only on the session seed
+and call order — never on worker count or scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.sensitive import SensitiveKRelation
+from ..errors import SessionError
+from ..graphs.graph import Graph
+from ..mechanisms import QuerySpec
+from ..mechanisms import get as get_mechanism
+from ..parallel.pool import WorkerPool, fork_available, resolve_workers
+from ..results import ResultBase
+from ..validation import validate_epsilon, validate_workers
+from .accountant import BudgetAccountant, LedgerEntry
+from .cache import CacheInfo, CompiledRelationCache, options_token
+
+__all__ = ["PrivateSession", "QueryFuture", "ReplayRecord"]
+
+
+def _run_session_task(session: "PrivateSession", task) -> ResultBase:
+    """Worker-side execution of one submitted query.
+
+    The session object is inherited through the fork (copy-on-write), so
+    any query prepared before the pool was created is answered from the
+    shared compiled state; new specs compile lazily in the worker.
+    """
+    query, privacy, mechanism, options, epsilon, params, seed = task
+    prepared, _, _, _ = session._prepare_query(
+        query, privacy, mechanism, None, options
+    )
+    return prepared.release(epsilon, np.random.default_rng(seed), params=params)
+
+
+@dataclass
+class ReplayRecord:
+    """Outcome of re-executing one ledger entry during an audit replay.
+
+    ``matches`` is ``None`` for entries that cannot be replayed (caller
+    supplied an in-flight generator, or the release never completed).
+    """
+
+    entry: LedgerEntry
+    replayed_answer: Optional[float]
+    matches: Optional[bool]
+
+
+class QueryFuture:
+    """Handle to one submitted query's eventual result.
+
+    Created by :meth:`PrivateSession.submit`.  The privacy budget is
+    charged at submission time (the noisy answer *will* exist; refusing
+    to pay on a crash would itself be a side channel); the ledger entry
+    flips from ``"pending"`` to ``"released"`` (or ``"failed"``) when the
+    worker finishes.
+    """
+
+    def __init__(self, entry: LedgerEntry, value: Optional[ResultBase] = None,
+                 async_result=None, error: Optional[BaseException] = None):
+        self.entry = entry
+        self._value = value
+        self._async = async_result
+        self._error = error
+
+    def done(self) -> bool:
+        """Whether the result (or failure) is already available."""
+        if self._async is not None:
+            return self._async.ready()
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> ResultBase:
+        """Block for and return the release (re-raising worker errors)."""
+        if self._error is not None:
+            raise self._error
+        if self._value is None and self._async is not None:
+            self._value = self._async.get(timeout)
+        if self._value is None:
+            raise SessionError("query produced no result")
+        return self._value
+
+
+class PrivateSession:
+    """A budget-accounted serving session over one sensitive dataset.
+
+    Parameters
+    ----------
+    data:
+        The sensitive data: a :class:`~repro.graphs.Graph` (subgraph
+        queries) or a :class:`~repro.core.sensitive.SensitiveKRelation`
+        (linear queries).
+    budget:
+        Total ε cap across all releases (sequential composition);
+        ``None`` = unlimited (still fully ledgered).
+    workers:
+        Worker processes for :meth:`submit` fan-out and the mechanism's
+        internal parallel solve paths; ``1`` (default) stays in-process,
+        ``None`` resolves ``$REPRO_WORKERS`` / CPU count.
+    backend:
+        LP backend override forwarded to the recursive mechanism.
+    rng:
+        Session seed: releases whose ``rng`` the caller leaves ``None``
+        draw from ``SeedSequence`` children spawned in call order, so a
+        seeded session is reproducible end-to-end (and replayable).
+    name:
+        Label used in error messages and the audit log.
+
+    >>> from repro import PrivateSession, random_graph_with_avg_degree
+    >>> g = random_graph_with_avg_degree(40, 6, rng=7)
+    >>> with PrivateSession(g, budget=2.0, rng=7) as session:
+    ...     result = session.query("triangle", privacy="edge", epsilon=0.5)
+    ...     spent = session.spent
+    >>> spent
+    0.5
+    """
+
+    def __init__(self, data, budget: Optional[float] = None, *,
+                 workers: Optional[int] = 1, backend=None, rng=None,
+                 name: str = "session"):
+        if not isinstance(data, (Graph, SensitiveKRelation)):
+            raise SessionError(
+                "PrivateSession wraps a Graph or a SensitiveKRelation, "
+                f"got {type(data).__name__}"
+            )
+        self._data = data
+        self._backend = backend
+        self._workers = validate_workers(workers)
+        self.name = name
+        self.accountant = BudgetAccountant(budget)
+        self._cache = CompiledRelationCache()
+        self._seed_root = self._seed_sequence_from(rng)
+        self._pool: Optional[WorkerPool] = None
+        self._closed = False
+
+    # -- construction helpers ---------------------------------------------------
+    @staticmethod
+    def _seed_sequence_from(rng) -> np.random.SeedSequence:
+        """Build the session's root seed sequence from an ``rng``-like."""
+        if rng is None:
+            return np.random.SeedSequence()
+        if isinstance(rng, np.random.SeedSequence):
+            return rng
+        if isinstance(rng, (int, np.integer)):
+            return np.random.SeedSequence(int(rng))
+        if isinstance(rng, np.random.Generator):
+            return np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+        raise SessionError(f"cannot derive a session seed from {rng!r}")
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def data(self):
+        """The wrapped sensitive dataset."""
+        return self._data
+
+    @property
+    def budget(self) -> Optional[float]:
+        """The session's total ε cap (``None`` = unlimited)."""
+        return self.accountant.budget
+
+    @property
+    def spent(self) -> float:
+        """Total ε charged so far (exact sum over the ledger)."""
+        return self.accountant.spent
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """ε left under the cap (``None`` for unlimited sessions)."""
+        return self.accountant.remaining
+
+    @property
+    def ledger(self) -> Tuple[LedgerEntry, ...]:
+        """The audit log (release order)."""
+        return self.accountant.ledger
+
+    def audit_log(self) -> List[Dict]:
+        """JSON-friendly audit log export."""
+        return self.accountant.audit_log()
+
+    def cache_info(self) -> CacheInfo:
+        """Compiled-relation cache counters (hits / misses / size)."""
+        return self._cache.info()
+
+    # -- internals --------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionError(f"session {self.name!r} is closed")
+
+    def _default_privacy(self) -> str:
+        return "node" if isinstance(self._data, Graph) else "edge"
+
+    def _resolve_spec(self, query, privacy, mechanism, weight, options):
+        """Resolve a query to ``(cls, spec, opts, cache key)`` — no compile."""
+        cls = get_mechanism(mechanism)
+        if privacy is None:
+            privacy = self._default_privacy()
+        spec = QuerySpec.of(query, privacy=privacy, weight=weight)
+        opts = dict(options)
+        if cls.name == "recursive":
+            opts.setdefault("backend", self._backend)
+            opts.setdefault("workers", self._workers)
+        key = (cls.name, options_token(opts)) + spec.cache_key()
+        return cls, spec, opts, key
+
+    def _prepare_query(self, query, privacy, mechanism, weight, options):
+        """Resolve, cache-key, and (re)use the prepared query state."""
+        cls, spec, opts, key = self._resolve_spec(
+            query, privacy, mechanism, weight, options
+        )
+        prepared, hit = self._cache.get_or_build(
+            key, lambda: cls(self._data, **opts).prepare(spec)
+        )
+        return prepared, hit, cls.name, spec
+
+    def _charged_epsilon(self, epsilon, params) -> float:
+        """The ε this release spends (params override wins, as in the
+        one-shot wrappers)."""
+        if params is not None:
+            return float(params.epsilon)
+        if epsilon is None:
+            raise SessionError("pass epsilon= (or params=) to every query")
+        return validate_epsilon(epsilon)
+
+    def _generator_for(self, rng):
+        """``(generator, replayable seed token)`` for one release."""
+        if rng is None:
+            seed = self._seed_root.spawn(1)[0]
+            return np.random.default_rng(seed), seed
+        if isinstance(rng, (int, np.integer)):
+            return np.random.default_rng(int(rng)), int(rng)
+        if isinstance(rng, np.random.SeedSequence):
+            return np.random.default_rng(rng), rng
+        if isinstance(rng, np.random.Generator):
+            return rng, None  # in-flight stream: budgeted but not replayable
+        raise SessionError(f"cannot build a generator from {rng!r}")
+
+    # -- the serving API --------------------------------------------------------
+    def query(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
+              mechanism: str = "recursive", rng=None, params=None,
+              label: Optional[str] = None, weight=None, **options) -> ResultBase:
+        """Answer one private query synchronously.
+
+        ``query`` is a subgraph :class:`~repro.subgraphs.Pattern` or query
+        name for graph sessions, or a
+        :class:`~repro.core.queries.LinearQuery`/``None`` (counting) for
+        relation sessions.  ``privacy`` defaults to ``"node"`` over graphs
+        and ``"edge"`` over relations.  ``mechanism`` is a registry name
+        (:func:`repro.mechanisms.available`); extra keyword ``options`` go
+        to the mechanism constructor (e.g. ``bounding=``, ``delta=``).
+
+        The release is charged to the session budget *after* it succeeds
+        (:class:`~repro.session.accountant.BudgetExhausted` is raised
+        before any work if it cannot fit), appended to the replayable
+        ledger, and returned as a :class:`~repro.results.ResultBase`.
+        """
+        self._ensure_open()
+        charged = self._charged_epsilon(epsilon, params)
+        label = label if label is not None else f"q{len(self.accountant)}"
+        self.accountant.check(charged, label=label)
+        prepared, hit, mech_name, spec = self._prepare_query(
+            query, privacy, mechanism, weight, options
+        )
+        generator, seed_token = self._generator_for(rng)
+        start = time.perf_counter()
+        result = prepared.release(epsilon, generator, params=params)
+        entry = LedgerEntry(
+            index=0, label=label, mechanism=mech_name, query=spec.describe(),
+            epsilon=charged, seed=seed_token, answer=float(result.answer),
+            status="released", cache_hit=hit,
+            seconds=time.perf_counter() - start,
+        )
+        entry.extra["task"] = (query, weight, spec.privacy, mech_name,
+                               dict(options), epsilon, params)
+        self.accountant.charge(entry)
+        return result
+
+    def submit(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
+               mechanism: str = "recursive", rng=None, params=None,
+               label: Optional[str] = None, **options) -> QueryFuture:
+        """Submit one private query for asynchronous execution.
+
+        Fans out over the session's shared fork-after-compile
+        :class:`~repro.parallel.pool.WorkerPool` (created lazily on first
+        use, *after* this query is prepared, so workers inherit the
+        compiled state copy-on-write).  With ``workers=1`` — or on
+        platforms without ``fork`` — the query runs eagerly in-process
+        with identical results: every submission draws its seed from the
+        session stream in call order, so released answers are
+        byte-identical for any worker count at a fixed session seed.
+
+        The budget is charged *at submission* (hard cap enforced before
+        dispatch); ``rng`` must be ``None`` (session stream), an ``int``
+        seed, or a ``SeedSequence`` — in-flight generators cannot cross
+        the process boundary deterministically.  Tasks must pickle:
+        constrained patterns and lambda weights need :meth:`query`
+        instead.
+        """
+        self._ensure_open()
+        charged = self._charged_epsilon(epsilon, params)
+        label = label if label is not None else f"q{len(self.accountant)}"
+        self.accountant.check(charged, label=label)
+        if rng is not None and not isinstance(
+            rng, (int, np.integer, np.random.SeedSequence)
+        ):
+            raise SessionError(
+                "submit() needs a replayable rng (None, int seed, or "
+                f"SeedSequence), got {type(rng).__name__}; use query() for "
+                "in-flight generators"
+            )
+        workers = resolve_workers(self._workers)
+        pooled = workers > 1 and fork_available()
+        cls, spec, opts, key = self._resolve_spec(
+            query, privacy, mechanism, None, options
+        )
+        # Prepare parent-side only where the compiled state will actually
+        # be shared: eagerly for in-process execution, and before the
+        # first fork so workers inherit it copy-on-write.  Once the pool
+        # exists, a *new* spec compiles lazily in the workers instead of
+        # blocking the submitter on a compile the pool would repeat.
+        if not pooled or self._pool is None or key in self._cache:
+            prepared, hit = self._cache.get_or_build(
+                key, lambda: cls(self._data, **opts).prepare(spec)
+            )
+        else:
+            prepared, hit = None, False
+        _, seed = self._generator_for(rng)
+        entry = LedgerEntry(
+            index=0, label=label, mechanism=cls.name, query=spec.describe(),
+            epsilon=charged, seed=seed, answer=None, status="pending",
+            cache_hit=hit,
+        )
+        entry.extra["task"] = (query, None, spec.privacy, cls.name,
+                               dict(options), epsilon, params)
+        self.accountant.charge(entry)
+        start = time.perf_counter()
+
+        if not pooled:
+            try:
+                result = prepared.release(
+                    epsilon, np.random.default_rng(seed), params=params
+                )
+            except Exception as error:
+                entry.status = "failed"
+                entry.seconds = time.perf_counter() - start
+                return QueryFuture(entry, error=error)
+            entry.answer = float(result.answer)
+            entry.status = "released"
+            entry.seconds = time.perf_counter() - start
+            return QueryFuture(entry, value=result)
+
+        def _on_done(result: ResultBase) -> None:
+            entry.answer = float(result.answer)
+            entry.status = "released"
+            entry.seconds = time.perf_counter() - start
+
+        def _on_error(_error: BaseException) -> None:
+            entry.status = "failed"
+            entry.seconds = time.perf_counter() - start
+
+        task = (query, spec.privacy, cls.name, dict(options), epsilon,
+                params, seed)
+        async_result = self._ensure_pool(workers).submit(
+            task, callback=_on_done, error_callback=_on_error
+        )
+        return QueryFuture(entry, async_result=async_result)
+
+    def _ensure_pool(self, workers: int) -> WorkerPool:
+        """The shared worker pool, forked on first use."""
+        if self._pool is None:
+            self._pool = WorkerPool(workers, _run_session_task, payload=self)
+        return self._pool
+
+    # -- audit ------------------------------------------------------------------
+    def replay(self) -> List[ReplayRecord]:
+        """Re-execute the audit log and compare against released answers.
+
+        Every replayable ledger entry (session-seeded or int-seeded, and
+        completed) is re-run through the compiled-relation cache with its
+        recorded seed; determinism of the mechanism stack makes the
+        replayed answer bit-for-bit equal to the released one.  Replay
+        spends **no** budget — it re-derives already-released values.
+        """
+        records = []
+        for entry in self.accountant.ledger:
+            if not entry.replayable or entry.answer is None:
+                records.append(ReplayRecord(entry, None, None))
+                continue
+            (query, weight, privacy, mech_name, options, epsilon,
+             params) = entry.extra["task"]
+            prepared, _, _, _ = self._prepare_query(
+                query, privacy, mech_name, weight, options
+            )
+            result = prepared.release(
+                epsilon, np.random.default_rng(entry.seed), params=params
+            )
+            records.append(
+                ReplayRecord(entry, float(result.answer),
+                             float(result.answer) == entry.answer)
+            )
+        return records
+
+    def verify_ledger(self) -> bool:
+        """Whether every replayable ledger entry reproduces its answer."""
+        return all(record.matches is not False for record in self.replay())
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the shared worker pool down and refuse further queries.
+
+        Collect pending futures (``future.result()``) *before* closing —
+        close terminates the pool.  The ledger and cache stay readable.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "PrivateSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        cap = "unlimited" if self.budget is None else f"{self.budget:g}"
+        return (
+            f"PrivateSession({self.name!r}, budget={cap}, "
+            f"spent={self.spent:g}, queries={len(self.accountant)})"
+        )

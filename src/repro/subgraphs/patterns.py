@@ -88,6 +88,22 @@ class Pattern:
     def num_edges(self) -> int:
         return self.graph.num_edges
 
+    @property
+    def cache_token(self):
+        """Hashable identity for compiled-relation caching.
+
+        Two unconstrained patterns with the same name and edge set share
+        one cache slot (so ``triangle()`` built twice still warm-hits the
+        session cache).  Constraints are arbitrary callables with no
+        semantic equality, so a constrained pattern caches by object
+        identity only — the same *object* re-queried hits, two equal-
+        looking constructions do not (conservative, never wrong).
+        """
+        edges = tuple(sorted(self._norm_edge(e) for e in self.graph.edges()))
+        if self.node_constraints or self.edge_constraints:
+            return ("pattern", self.name, edges, "constrained", id(self))
+        return ("pattern", self.name, edges)
+
     def __repr__(self) -> str:
         return (
             f"Pattern({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,67 @@
+"""Uniform entry-point validation of user-supplied parameters.
+
+Every public entry point (the one-shot API wrappers, ``PrivateSession``,
+the mechanism registry, the CLI, and the experiment harness) funnels its
+``epsilon`` and ``workers`` arguments through these two helpers, so an
+invalid value fails immediately with one clear :class:`ValueError` message
+instead of surfacing later as a NaN answer or a cryptic LP failure.
+(:class:`~repro.errors.PrivacyParameterError` subclasses both
+:class:`ValueError` and the library's :class:`~repro.errors.MechanismError`,
+so either ``except`` style catches it.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .errors import PrivacyParameterError
+
+__all__ = ["validate_epsilon", "validate_workers"]
+
+
+def validate_epsilon(epsilon, name: str = "epsilon") -> float:
+    """Validate a privacy budget value; returns it as a ``float``.
+
+    Accepts any real number strictly greater than zero.  ``None``, NaN,
+    infinities, non-numbers, and non-positive values all raise
+    :class:`~repro.errors.PrivacyParameterError` (a :class:`ValueError`)
+    with the same message shape, so every entry point reports budget
+    mistakes identically.
+    """
+    if isinstance(epsilon, bool) or not isinstance(
+        epsilon, (int, float, np.integer, np.floating)
+    ):
+        raise PrivacyParameterError(
+            f"{name} must be a positive finite number, got {epsilon!r}"
+        )
+    value = float(epsilon)
+    if not math.isfinite(value) or value <= 0:
+        raise PrivacyParameterError(
+            f"{name} must be a positive finite number, got {epsilon!r}"
+        )
+    return value
+
+
+def validate_workers(workers, name: str = "workers") -> Optional[int]:
+    """Validate a worker count; returns ``None`` or an ``int >= 1``.
+
+    ``None`` means "resolve from ``$REPRO_WORKERS`` / the CPU count"
+    (:func:`repro.parallel.pool.resolve_workers`); anything else must be an
+    integer ``>= 1``.  Zero, negative, fractional and non-integer values
+    raise :class:`ValueError` with one clear message.
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, bool) or not isinstance(workers, (int, np.integer)):
+        raise ValueError(
+            f"{name} must be a positive integer (>= 1) or None, got {workers!r}"
+        )
+    value = int(workers)
+    if value < 1:
+        raise ValueError(
+            f"{name} must be a positive integer (>= 1) or None, got {workers!r}"
+        )
+    return value

@@ -69,3 +69,88 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "3-DNF" in out and "3-CNF" in out
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--epsilon", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--epsilon", "nan"])
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--workers", "0"])
+
+
+class TestBatchCommand:
+    SPEC = {
+        "graph": {"nodes": 30, "avgdeg": 6, "seed": 1},
+        "budget": 1.5,
+        "seed": 7,
+        "queries": [
+            {"query": "triangle", "privacy": "node", "epsilon": 0.5},
+            {"query": "triangle", "privacy": "node", "epsilon": 0.5,
+             "label": "tri-again"},
+            {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
+             "mechanism": "smooth"},
+            {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
+             "mechanism": "rhms", "label": "over-budget"},
+        ],
+    }
+
+    def test_batch_workload(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        code = main(["batch", str(path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        out = captured.out
+        assert "batch workload" in out
+        assert "tri-again" in out
+        assert "refused" in out  # the over-budget query was refused
+        assert "budget spent: eps=1.5" in out
+        # the repeated triangle query hit the compiled-relation cache
+        assert "1 hits" in out
+
+    def test_batch_audit_log(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "graph": {"nodes": 20, "avgdeg": 4, "seed": 2},
+            "seed": 3,
+            "queries": [
+                {"query": "triangle", "privacy": "edge", "epsilon": 1.0}
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main(["batch", str(path), "--audit-log"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"status": "released"' in out
+
+    def test_batch_empty_spec_fails(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        assert main(["batch", str(path)]) == 2
+
+    def test_batch_malformed_item_does_not_abort_workload(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "graph": {"nodes": 20, "avgdeg": 4, "seed": 2},
+            "seed": 3,
+            "queries": [
+                {"query": "triangel", "epsilon": 0.5},      # typo'd query
+                {"privacy": "edge", "epsilon": 0.5},        # missing query
+                {"query": "triangle", "privacy": "edge", "epsilon": 0.5},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        code = main(["batch", str(path)])
+        assert code == 1  # malformed items reported, workload not aborted
+        out = capsys.readouterr().out
+        assert out.count("invalid") >= 2
+        assert "released" in out  # the valid query still ran

@@ -6,14 +6,13 @@ are exercised by the benchmark suite at scale instead.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
-FAST_EXAMPLES = ["quickstart.py", "sql_common_friends.py"]
+FAST_EXAMPLES = ["quickstart.py", "serving_session.py", "sql_common_friends.py"]
 
 
 def _load(name: str):

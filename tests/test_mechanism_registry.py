@@ -1,0 +1,152 @@
+"""Tests for the unified mechanism registry and the shared result base."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import mechanisms, random_graph_with_avg_degree, triangle
+from repro.baselines.common import BaselineResult
+from repro.core import EfficientRecursiveMechanism, RecursiveMechanismParams
+from repro.core.framework import MechanismResult
+from repro.errors import MechanismError, PrivacyParameterError
+from repro.experiments.mechanisms import make_runner
+from repro.mechanisms import QuerySpec
+from repro.results import ResultBase
+from repro.subgraphs import subgraph_krelation
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_with_avg_degree(30, 6, rng=1)
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = mechanisms.available()
+        for expected in ("recursive", "laplace", "smooth", "rhms", "pinq"):
+            assert expected in names
+
+    def test_aliases_resolve(self):
+        assert mechanisms.get("local-sensitivity") is mechanisms.get("smooth")
+        assert mechanisms.get("pinq-restricted") is mechanisms.get("pinq")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(MechanismError, match="available"):
+            mechanisms.get("magic")
+
+    def test_describe_rows(self):
+        rows = mechanisms.describe()
+        assert {row["mechanism"] for row in rows} == set(mechanisms.available())
+        recursive = next(r for r in rows if r["mechanism"] == "recursive")
+        assert recursive["privacy"] == "node/edge"
+
+
+class TestUniformRunSignature:
+    def test_every_mechanism_runs_uniformly(self, graph):
+        for name in ("recursive", "smooth", "rhms", "pinq"):
+            mech = mechanisms.get(name)(graph)
+            result = mech.run("triangle", 1.0, rng=7)
+            assert isinstance(result, ResultBase)
+            assert math.isfinite(result.answer)
+            assert result.true_answer == 44.0
+            assert result.relative_error >= 0.0
+
+    def test_laplace_needs_certified_sensitivity(self, graph):
+        unbounded = mechanisms.get("laplace")(graph)
+        with pytest.raises(MechanismError, match="unrestricted joins"):
+            unbounded.run("triangle", 1.0, rng=0)
+        bounded = mechanisms.get("laplace")(graph, global_sensitivity=28.0)
+        result = bounded.run("triangle", 1.0, rng=0)
+        assert result.noise_scale == 28.0
+
+    def test_recursive_supports_both_privacy_models(self, graph):
+        mech = mechanisms.get("recursive")(graph)
+        node = mech.run(triangle(), 1.0, rng=5, privacy="node")
+        edge = mech.run(triangle(), 1.0, rng=5, privacy="edge")
+        assert node.params.mu == 1.0
+        assert edge.params.mu == 0.5
+
+    def test_baselines_reject_node_privacy(self, graph):
+        for name in ("laplace", "smooth", "rhms", "pinq"):
+            with pytest.raises(PrivacyParameterError, match="edge"):
+                mechanisms.get(name)(graph).run("triangle", 1.0, privacy="node")
+
+    def test_epsilon_validated_uniformly(self, graph):
+        for name in ("recursive", "smooth", "rhms", "pinq"):
+            with pytest.raises(ValueError):
+                mechanisms.get(name)(graph).run("triangle", 0.0, rng=0)
+            with pytest.raises(ValueError):
+                mechanisms.get(name)(graph).run("triangle", float("nan"), rng=0)
+
+
+class TestQuerySpec:
+    def test_of_accepts_names_and_patterns(self):
+        by_name = QuerySpec.of("2-star", privacy="edge")
+        by_pattern = QuerySpec.of(triangle(), privacy="node")
+        assert by_name.pattern.name == "2-star"
+        assert by_pattern.node_privacy
+
+    def test_cache_key_semantic_for_unconstrained_patterns(self):
+        a = QuerySpec.of(triangle(), privacy="edge")
+        b = QuerySpec.of("triangle", privacy="edge")
+        assert a.cache_key() == b.cache_key()
+        c = QuerySpec.of(triangle(), privacy="node")
+        assert a.cache_key() != c.cache_key()
+
+    def test_invalid_privacy_rejected(self):
+        with pytest.raises(PrivacyParameterError):
+            QuerySpec.of(triangle(), privacy="both")
+
+    def test_unknown_query_name_rejected(self):
+        with pytest.raises(MechanismError):
+            QuerySpec.of("dodecahedron")
+
+
+class TestExperimentDispatch:
+    def test_make_runner_matches_direct_mechanism(self, graph):
+        """The registry-dispatched runner pins the pre-redesign path."""
+        relation = subgraph_krelation(graph, triangle(), privacy="node")
+        params = RecursiveMechanismParams.paper(1.0, node_privacy=True)
+        direct = EfficientRecursiveMechanism(relation).run(
+            params, np.random.default_rng(3)
+        )
+        run_once, truth = make_runner("recursive-node", graph, "triangle", 1.0)
+        assert run_once(np.random.default_rng(3)) == direct.answer
+        assert truth == 44.0
+
+    def test_make_runner_all_mechanisms(self, graph):
+        for name in ("recursive-edge", "local-sensitivity", "rhms"):
+            run_once, truth = make_runner(name, graph, "2-star", 1.0)
+            assert math.isfinite(run_once(np.random.default_rng(0)))
+            assert truth > 0
+
+    def test_make_runner_unknown_mechanism(self, graph):
+        with pytest.raises(MechanismError):
+            make_runner("magic", graph, "triangle", 1.0)
+
+
+class TestSharedResultBase:
+    def test_both_result_types_inherit(self):
+        assert issubclass(MechanismResult, ResultBase)
+        assert issubclass(BaselineResult, ResultBase)
+
+    def test_error_properties_shared(self):
+        baseline = BaselineResult(
+            answer=12.0, true_answer=10.0, noise_scale=1.0, mechanism="x"
+        )
+        assert baseline.absolute_error == 2.0
+        assert baseline.relative_error == pytest.approx(0.2)
+        zero_truth = BaselineResult(
+            answer=1.0, true_answer=0.0, noise_scale=1.0, mechanism="x"
+        )
+        assert zero_truth.relative_error == float("inf")
+
+    def test_mechanism_result_unknown_truth(self):
+        params = RecursiveMechanismParams.paper(1.0)
+        result = MechanismResult(
+            answer=5.0, delta=1.0, delta_hat=1.0, x_value=5.0, x_index=0.0,
+            j_star=0, params=params, true_answer=None,
+        )
+        assert result.absolute_error is None
+        assert result.relative_error is None

@@ -76,9 +76,17 @@ class TestResolveWorkers:
             expected = os.cpu_count() or 1
         assert resolve_workers(None) == max(1, expected)
 
-    def test_floor_is_one(self):
-        assert resolve_workers(0) == 1
-        assert resolve_workers(-4) == 1
+    def test_non_positive_rejected(self):
+        # uniform entry-point validation: workers must be >= 1 or None
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(-4)
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(None)
 
     def test_bad_env_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "lots")

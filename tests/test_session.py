@@ -1,0 +1,301 @@
+"""Tests for the session serving layer: accountant, cache, futures, replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrivateSession,
+    RecursiveMechanismParams,
+    private_subgraph_count,
+    random_graph_with_avg_degree,
+    triangle,
+)
+from repro.core import EfficientRecursiveMechanism
+from repro.core.queries import WeightedQuery
+from repro.errors import PrivacyParameterError, SessionError
+from repro.session import BudgetAccountant, BudgetExhausted, LedgerEntry
+from repro.subgraphs import k_star, subgraph_krelation
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_with_avg_degree(30, 6, rng=1)
+
+
+def _double_weight(_tup) -> float:
+    return 2.0
+
+
+def _entry(label, epsilon):
+    return LedgerEntry(0, label, "recursive", "triangle/node", epsilon)
+
+
+class TestBudgetAccountant:
+    def test_sequential_composition_sums_exactly(self):
+        accountant = BudgetAccountant(1.0)
+        for i in range(4):
+            accountant.charge(_entry(f"q{i}", 0.25))
+        assert accountant.spent == 1.0
+        assert accountant.remaining == 0.0
+        assert len(accountant) == 4
+
+    def test_exhausted_at_cap(self):
+        accountant = BudgetAccountant(1.0)
+        accountant.charge(_entry("a", 0.75))
+        with pytest.raises(BudgetExhausted):
+            accountant.charge(_entry("b", 0.5))
+        # the refused charge spent nothing
+        assert accountant.spent == 0.75
+        accountant.charge(_entry("c", 0.25))  # exact fit still allowed
+        assert accountant.remaining == 0.0
+
+    def test_unlimited_still_ledgered(self):
+        accountant = BudgetAccountant(None)
+        for _ in range(3):
+            accountant.charge(_entry("q", 100.0))
+        assert accountant.remaining is None
+        assert accountant.spent == 300.0
+        assert len(accountant.ledger) == 3
+
+    def test_invalid_budget_and_epsilon(self):
+        with pytest.raises(ValueError):
+            BudgetAccountant(0.0)
+        with pytest.raises(ValueError):
+            BudgetAccountant(1.0).charge(_entry("q", -1.0))
+        with pytest.raises(ValueError):
+            BudgetAccountant(1.0).charge(_entry("q", float("nan")))
+
+    def test_budget_exhausted_is_value_error(self):
+        assert issubclass(BudgetExhausted, ValueError)
+
+    def test_audit_log_is_json_serializable(self):
+        accountant = BudgetAccountant(1.0)
+        accountant.charge(_entry("q", 0.5))
+        text = json.dumps(accountant.audit_log())
+        assert '"epsilon": 0.5' in text
+
+
+class TestSessionQueries:
+    def test_wrapper_byte_identical_to_direct_mechanism_path(self, graph):
+        """Pin: the session-routed wrapper equals the pre-redesign path."""
+        for privacy in ("node", "edge"):
+            relation = subgraph_krelation(graph, triangle(), privacy=privacy)
+            params = RecursiveMechanismParams.paper(
+                1.0, node_privacy=(privacy == "node")
+            )
+            direct = EfficientRecursiveMechanism(relation).run(params, 5)
+            wrapped = private_subgraph_count(
+                graph, triangle(), privacy=privacy, epsilon=1.0, rng=5
+            )
+            assert wrapped.answer == direct.answer
+            assert wrapped.delta == direct.delta
+            assert wrapped.x_value == direct.x_value
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_cache_hit_byte_identical_to_cold(self, graph, workers):
+        session = PrivateSession(graph, workers=workers)
+        cold = session.query(triangle(), privacy="edge", epsilon=1.0, rng=5)
+        assert session.cache_info().misses == 1
+        warm = session.query(triangle(), privacy="edge", epsilon=1.0, rng=5)
+        info = session.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.size == 1
+        assert warm.answer == cold.answer
+        # and both equal a completely fresh session's cold answer
+        fresh = PrivateSession(graph, workers=workers).query(
+            triangle(), privacy="edge", epsilon=1.0, rng=5
+        )
+        assert fresh.answer == cold.answer
+        session.close()
+
+    def test_equivalent_pattern_objects_share_cache_slot(self, graph):
+        session = PrivateSession(graph)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1)
+        session.query("triangle", privacy="edge", epsilon=0.5, rng=1)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1)
+        info = session.cache_info()
+        assert info.misses == 1 and info.hits == 2
+
+    def test_distinct_specs_get_distinct_slots(self, graph):
+        session = PrivateSession(graph)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1)
+        session.query(triangle(), privacy="node", epsilon=0.5, rng=1)
+        session.query(k_star(2), privacy="edge", epsilon=0.5, rng=1)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
+                      mechanism="smooth")
+        assert session.cache_info().misses == 4
+
+    def test_budget_cap_enforced(self, graph):
+        session = PrivateSession(graph, budget=1.0)
+        session.query(triangle(), privacy="edge", epsilon=0.6, rng=1)
+        with pytest.raises(BudgetExhausted):
+            session.query(triangle(), privacy="edge", epsilon=0.6, rng=1)
+        # refused query spends nothing; a smaller one still fits
+        session.query(triangle(), privacy="edge", epsilon=0.4, rng=1)
+        assert session.spent == pytest.approx(1.0)
+
+    def test_relation_session_linear_queries(self, graph):
+        relation = subgraph_krelation(graph, triangle(), privacy="edge")
+        session = PrivateSession(relation, budget=2.0)
+        count = session.query(None, epsilon=0.5, rng=3)
+        assert count.true_answer == 44.0
+        doubled = session.query(
+            WeightedQuery(_double_weight, name="double"), epsilon=0.5, rng=3
+        )
+        assert doubled.true_answer == 88.0
+        # distinct weights are distinct cache slots; repeats hit
+        session.query(None, epsilon=0.5, rng=4)
+        info = session.cache_info()
+        assert info.misses == 2 and info.hits == 1
+        session.close()
+
+    def test_session_rejects_bad_data_and_closed_use(self, graph):
+        with pytest.raises(SessionError):
+            PrivateSession([1, 2, 3])
+        session = PrivateSession(graph)
+        session.close()
+        with pytest.raises(SessionError):
+            session.query(triangle(), epsilon=0.5)
+
+    def test_missing_epsilon_rejected(self, graph):
+        session = PrivateSession(graph)
+        with pytest.raises(SessionError):
+            session.query(triangle())
+
+
+class TestValidation:
+    def test_epsilon_validated_at_every_entry_point(self, graph):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                private_subgraph_count(graph, triangle(), epsilon=bad, rng=0)
+            with pytest.raises(ValueError):
+                PrivateSession(graph).query(triangle(), epsilon=bad)
+        with pytest.raises(ValueError):
+            PrivateSession(graph, budget=-2.0)
+
+    def test_epsilon_error_is_privacy_parameter_error(self, graph):
+        with pytest.raises(PrivacyParameterError):
+            private_subgraph_count(graph, triangle(), epsilon=-1, rng=0)
+
+    def test_workers_validated(self, graph):
+        with pytest.raises(ValueError):
+            PrivateSession(graph, workers=0)
+        with pytest.raises(ValueError):
+            private_subgraph_count(graph, triangle(), epsilon=1.0, workers=-2)
+
+
+class TestLedgerAndReplay:
+    def test_ledger_replay_matches_released_answers(self, graph):
+        session = PrivateSession(graph, budget=3.0, rng=11)
+        session.query(triangle(), privacy="edge", epsilon=0.5)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=42)
+        session.query(k_star(2), privacy="edge", epsilon=0.5,
+                      mechanism="smooth")
+        records = session.replay()
+        assert len(records) == 3
+        assert all(record.matches for record in records)
+        assert session.verify_ledger()
+        # replay spends no budget
+        assert session.spent == pytest.approx(1.5)
+
+    def test_generator_rng_not_replayable_but_ledgered(self, graph):
+        session = PrivateSession(graph)
+        session.query(triangle(), privacy="edge", epsilon=0.5,
+                      rng=np.random.default_rng(0))
+        (record,) = session.replay()
+        assert record.matches is None
+        assert session.ledger[0].epsilon == 0.5
+
+    def test_ledger_records_metadata(self, graph):
+        session = PrivateSession(graph, budget=1.0, rng=3)
+        session.query(triangle(), privacy="node", epsilon=0.5, label="tri")
+        entry = session.ledger[0]
+        assert entry.label == "tri"
+        assert entry.mechanism == "recursive"
+        assert entry.query == "triangle/node"
+        assert entry.status == "released"
+        assert entry.cache_hit is False
+        assert json.dumps(session.audit_log())
+
+
+class TestSubmitFutures:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_submit_released_answers_identical_any_worker_count(
+        self, graph, workers
+    ):
+        session = PrivateSession(graph, workers=workers, rng=42)
+        futures = [
+            session.submit(triangle(), privacy="edge", epsilon=0.25)
+            for _ in range(4)
+        ]
+        answers = [future.result().answer for future in futures]
+        reference = PrivateSession(graph, workers=1, rng=42)
+        expected = [
+            reference.submit(triangle(), privacy="edge", epsilon=0.25)
+            .result().answer
+            for _ in range(4)
+        ]
+        assert answers == expected
+        # ledger entries completed with answers recorded
+        assert [e.status for e in session.ledger] == ["released"] * 4
+        assert [e.answer for e in session.ledger] == answers
+        session.close()
+        reference.close()
+
+    def test_submit_charges_budget_upfront(self, graph):
+        session = PrivateSession(graph, budget=0.5, workers=1, rng=0)
+        session.submit(triangle(), privacy="edge", epsilon=0.5)
+        with pytest.raises(BudgetExhausted):
+            session.submit(triangle(), privacy="edge", epsilon=0.1)
+        session.close()
+
+    def test_submit_with_int_seed_matches_query(self, graph):
+        session = PrivateSession(graph, workers=1)
+        submitted = session.submit(
+            triangle(), privacy="edge", epsilon=0.5, rng=9
+        ).result()
+        queried = session.query(triangle(), privacy="edge", epsilon=0.5, rng=9)
+        assert submitted.answer == queried.answer
+        session.close()
+
+    def test_submit_rejects_generator_rng(self, graph):
+        session = PrivateSession(graph, workers=1)
+        with pytest.raises(SessionError):
+            session.submit(triangle(), privacy="edge", epsilon=0.5,
+                           rng=np.random.default_rng(0))
+
+    def test_new_spec_after_fork_compiles_in_workers(self, graph):
+        """A spec first submitted after the pool forked must not block the
+        submitter on a parent-side compile the workers would repeat."""
+        session = PrivateSession(graph, workers=2, rng=9)
+        first = session.submit(triangle(), privacy="edge", epsilon=0.5)
+        second = session.submit(k_star(2), privacy="edge", epsilon=0.5)
+        assert first.result().answer != second.result().answer
+        # only the pre-fork spec was compiled in the parent...
+        assert session.cache_info().size == 1
+        # ...and replay still reproduces both (compiling lazily on demand)
+        assert session.verify_ledger()
+        session.close()
+
+    def test_pool_fanout_replay(self, graph):
+        """Replay also covers answers computed in forked workers."""
+        session = PrivateSession(graph, workers=2, rng=5)
+        futures = [
+            session.submit(triangle(), privacy="edge", epsilon=0.25)
+            for _ in range(3)
+        ]
+        for future in futures:
+            future.result()
+        assert session.verify_ledger()
+        session.close()
+
+
+class TestSessionContextManager:
+    def test_context_manager_closes(self, graph):
+        with PrivateSession(graph, budget=1.0) as session:
+            session.query(triangle(), privacy="edge", epsilon=0.5, rng=1)
+        with pytest.raises(SessionError):
+            session.query(triangle(), privacy="edge", epsilon=0.1)
+        # ledger still readable after close
+        assert len(session.ledger) == 1
