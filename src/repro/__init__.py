@@ -81,6 +81,7 @@ from .rng import ensure_rng
 from .session import (
     BudgetAccountant,
     BudgetExhausted,
+    HierarchicalAccountant,
     PrivateSession,
     QueryFuture,
 )
@@ -168,7 +169,8 @@ __all__ = [
     "Pattern", "triangle", "k_star", "k_triangle", "k_clique", "path_pattern",
     "subgraph_krelation", "private_subgraph_count",
     # serving sessions + registry
-    "PrivateSession", "QueryFuture", "BudgetAccountant", "BudgetExhausted",
+    "PrivateSession", "QueryFuture", "BudgetAccountant",
+    "HierarchicalAccountant", "BudgetExhausted",
     "ResultBase",
     # misc
     "ensure_rng",

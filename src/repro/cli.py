@@ -8,7 +8,14 @@ Commands
 ``batch``
     Execute a JSON workload spec against one budget-accounted
     :class:`~repro.session.PrivateSession` (shared compiled-relation
-    cache, mechanism registry dispatch, optional worker fan-out).
+    cache, mechanism registry dispatch, optional worker fan-out) — or,
+    with ``--remote host:port``, round-trip the same workload through a
+    running ``repro serve`` instance over the wire protocol.
+``serve``
+    Start the async multi-tenant network service
+    (:mod:`repro.service`): per-user ε sub-budgets over a global cap,
+    process-wide compiled-relation cache, newline-delimited JSON over
+    TCP.
 ``fig``
     Regenerate one of the paper's figures at a chosen scale preset and
     print the rendered table.
@@ -28,10 +35,13 @@ Batch spec format (JSON)::
       "queries": [
         {"query": "triangle", "privacy": "node", "epsilon": 0.5},
         {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
-         "mechanism": "smooth", "label": "stars"}
+         "mechanism": "smooth", "label": "stars", "user": "alice"}
       ]
     }
 
+Specs are validated field by field before any work
+(:func:`repro.validation.validate_batch_spec`): unknown keys and wrong
+types are rejected with the offending field's path, never a traceback.
 Queries that would exceed the budget are refused (reported in the output
 table) without stopping the rest of the workload.
 """
@@ -112,7 +122,53 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--budget", type=_positive_float, default=None,
                        help="override the spec's total epsilon budget")
     batch.add_argument("--audit-log", action="store_true",
-                       help="also print the session's JSON audit log")
+                       help="also print the session's JSON audit log "
+                            "(remote mode: a server-side replay-verified log)")
+    batch.add_argument("--remote", metavar="HOST:PORT", default=None,
+                       help="send the workload to a running `repro serve` "
+                            "instance over the wire protocol instead of "
+                            "executing in-process (the spec's graph/budget/"
+                            "workers are the server's business then)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve private queries over TCP (async multi-tenant service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick an ephemeral port)")
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument("--graph", help="serve this edge-list file")
+    source.add_argument("--dataset", help="serve a Fig. 6 dataset stand-in")
+    serve.add_argument("--dataset-scale", type=float, default=0.05)
+    serve.add_argument("--nodes", type=int, default=100,
+                       help="random graph size (when no source is given)")
+    serve.add_argument("--avgdeg", type=float, default=8.0)
+    serve.add_argument("--graph-seed", type=int, default=0,
+                       help="random-graph generator seed")
+    serve.add_argument("--epsilon", type=_positive_float, default=None,
+                       help="global epsilon cap across all tenants "
+                            "(default: unlimited, fully ledgered)")
+    serve.add_argument("--user-epsilon", type=_positive_float, default=None,
+                       help="default per-user epsilon sub-budget")
+    serve.add_argument("--user-budget", action="append", default=[],
+                       metavar="USER=EPS",
+                       help="explicit sub-budget for one tenant (repeatable)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="session + request-seed entropy (a seeded "
+                            "server is end-to-end reproducible)")
+    serve.add_argument("--workers", type=_workers_arg, default=1,
+                       help=workers_help)
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="backpressure bound: in-flight queries beyond "
+                            "this are refused ('overloaded')")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       help="bound of the process-wide compiled-relation "
+                            "cache (entries)")
+    serve.add_argument("--announce", metavar="FILE", default=None,
+                       help="write the bound host:port to FILE once "
+                            "listening (for scripts wanting the ephemeral "
+                            "port)")
 
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
     fig.add_argument("name", choices=[
@@ -182,21 +238,140 @@ def _graph_from_spec(spec: dict):
     )
 
 
+def _batch_row(label, item, status, answer=None, epsilon=None, entry=None):
+    return {
+        "label": label,
+        "mechanism": entry.get("mechanism") if entry else item.get(
+            "mechanism", "recursive"),
+        "query": entry.get("query") if entry else str(item.get("query")),
+        "status": status,
+        "answer": answer,
+        "epsilon": entry.get("epsilon") if entry else epsilon,
+        "user": (entry.get("user") if entry else item.get("user")) or "-",
+    }
+
+
+_BATCH_COLUMNS = ["label", "user", "mechanism", "query", "epsilon",
+                  "status", "answer"]
+
+
+def _cmd_batch_remote(args, spec) -> int:
+    """Round-trip the workload through a running ``repro serve``."""
+    import json
+
+    from .errors import ServiceError, ServiceOverloaded
+    from .experiments import format_table
+    from .service import ServiceClient
+    from .session import BudgetExhausted
+
+    seed = args.seed if args.seed is not None else spec.get("seed")
+    for key in ("graph", "budget", "workers"):
+        if key in spec:
+            print(f"note: spec {key!r} is ignored with --remote "
+                  "(the server owns it)", file=sys.stderr)
+    rows = []
+    failed = 0
+    granted = 0
+    with ServiceClient(args.remote) as client:
+        hello = client.hello()
+        print(f"remote: {args.remote} ({hello['name']}, protocol "
+              f"v{hello['protocol']}, multi_tenant={hello['multi_tenant']})")
+        for index, item in enumerate(spec["queries"]):
+            label = item.get("label", f"q{index}")
+            if "seed" in item:
+                wire_seed = item["seed"]
+            elif seed is not None:
+                # The i-th granted query draws the same SeedSequence child
+                # the in-process session stream would spawn for it, so a
+                # remote run is byte-identical to `repro batch` locally at
+                # the same seed (given the same server-side budget).
+                wire_seed = {"entropy": seed, "spawn_key": [granted]}
+            else:
+                wire_seed = None
+            try:
+                result = client.query(
+                    item.get("query"),
+                    epsilon=item.get("epsilon"),
+                    privacy=item.get("privacy"),
+                    mechanism=item.get("mechanism"),
+                    user=item.get("user"),
+                    label=label,
+                    seed=wire_seed,
+                    options=item.get("options"),
+                )
+            except BudgetExhausted as error:
+                rows.append(_batch_row(label, item, "refused"))
+                print(f"refused {label!r}: {error}", file=sys.stderr)
+                continue
+            except ServiceOverloaded as error:
+                failed += 1
+                rows.append(_batch_row(label, item, "overloaded"))
+                print(f"overloaded {label!r}: {error}", file=sys.stderr)
+                continue
+            except ValueError as error:
+                failed += 1
+                rows.append(_batch_row(label, item, "invalid"))
+                print(f"invalid {label!r}: {error}", file=sys.stderr)
+                continue
+            except ServiceError as error:
+                failed += 1
+                if "seed" not in item:  # admitted: a stream seed was used
+                    granted += 1
+                rows.append(_batch_row(label, item, "failed"))
+                print(f"failed {label!r}: {error}", file=sys.stderr)
+                continue
+            if "seed" not in item:
+                # Explicit-seed items never consume the derived stream —
+                # mirroring the local session, which only spawns a child
+                # for submissions whose rng it assigns itself.
+                granted += 1
+            rows.append(_batch_row(label, item, result["status"],
+                                   answer=result["answer"], entry=result))
+        print(format_table(rows, _BATCH_COLUMNS, title="batch workload (remote)"))
+        budget = client.budget()
+        cap = budget.get("budget")
+        remaining = budget.get("remaining")
+        print(f"server budget spent: eps={budget['spent']:g}"
+              + ("" if remaining is None else f" (remaining {remaining:g})"))
+        if cap is not None and budget.get("users"):
+            for user, row in sorted(budget["users"].items()):
+                print(f"  user {user}: spent={row['spent']:g}"
+                      + ("" if row["remaining"] is None
+                         else f" remaining={row['remaining']:g}"))
+        if args.audit_log:
+            audit = client.audit(replay=True)
+            print(json.dumps(audit, indent=2))
+            if audit["matched"] != sum(
+                1 for e in audit["entries"]
+                if e["entry"]["status"] == "released"
+                and e["entry"]["seed"] is not None
+            ):
+                print("audit replay mismatch!", file=sys.stderr)
+                return 1
+    return 1 if failed else 0
+
+
 def _cmd_batch(args) -> int:
     import json
 
     from .experiments import format_table
     from .session import BudgetExhausted, PrivateSession
+    from .validation import validate_batch_spec
 
     if args.spec == "-":
         spec = json.load(sys.stdin)
     else:
         with open(args.spec) as handle:
             spec = json.load(handle)
-    queries = spec.get("queries")
-    if not queries:
-        print("spec has no queries", file=sys.stderr)
+    try:
+        validate_batch_spec(spec)
+    except ValueError as error:
+        print(error, file=sys.stderr)
         return 2
+    queries = spec["queries"]
+
+    if args.remote is not None:
+        return _cmd_batch_remote(args, spec)
 
     graph = _graph_from_spec(spec)
     budget = args.budget if args.budget is not None else spec.get("budget")
@@ -205,17 +380,6 @@ def _cmd_batch(args) -> int:
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
           f"budget: {'unlimited' if budget is None else budget}; "
           f"workers: {workers}")
-
-    def row(label, item, status, answer=None, epsilon=None, entry=None):
-        return {
-            "label": label,
-            "mechanism": entry.mechanism if entry else item.get(
-                "mechanism", "recursive"),
-            "query": entry.query if entry else str(item.get("query")),
-            "status": status,
-            "answer": answer,
-            "epsilon": entry.epsilon if entry else epsilon,
-        }
 
     rows = []
     failed = 0
@@ -231,15 +395,17 @@ def _cmd_batch(args) -> int:
                     privacy=item.get("privacy"),
                     mechanism=item.get("mechanism", "recursive"),
                     label=label,
+                    user=item.get("user"),
+                    rng=item.get("seed"),
                     **item.get("options", {}),
                 )
             except BudgetExhausted as error:
-                rows.append(row(label, item, "refused"))
+                rows.append(_batch_row(label, item, "refused"))
                 print(f"refused {label!r}: {error}", file=sys.stderr)
                 continue
             except Exception as error:  # malformed item: report, keep going
                 failed += 1
-                rows.append(row(label, item, "invalid"))
+                rows.append(_batch_row(label, item, "invalid"))
                 print(f"invalid {label!r}: {error}", file=sys.stderr)
                 continue
             pending.append((label, item, future))
@@ -248,15 +414,14 @@ def _cmd_batch(args) -> int:
                 result = future.result()
             except Exception as error:  # surface per-query failures
                 failed += 1
-                rows.append(row(label, item, "failed", entry=future.entry))
+                rows.append(_batch_row(label, item, "failed",
+                                       entry=future.entry.to_dict()))
                 print(f"failed {label!r}: {error}", file=sys.stderr)
                 continue
-            rows.append(row(label, item, future.entry.status,
-                            answer=result.answer, entry=future.entry))
-        print(format_table(
-            rows, ["label", "mechanism", "query", "epsilon", "status", "answer"],
-            title="batch workload",
-        ))
+            rows.append(_batch_row(label, item, future.entry.status,
+                                   answer=result.answer,
+                                   entry=future.entry.to_dict()))
+        print(format_table(rows, _BATCH_COLUMNS, title="batch workload"))
         info = session.cache_info()
         remaining = session.remaining
         print(f"budget spent: eps={session.spent:g}"
@@ -266,6 +431,78 @@ def _cmd_batch(args) -> int:
         if args.audit_log:
             print(json.dumps(session.audit_log(), indent=2))
     return 1 if failed else 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .graphs import load_dataset, random_graph_with_avg_degree, read_edge_list
+    from .service import PROTOCOL_VERSION, PrivateQueryService
+    from .session import HierarchicalAccountant, PrivateSession, shared_cache
+
+    if args.graph:
+        graph = read_edge_list(args.graph)
+    elif args.dataset:
+        graph = load_dataset(args.dataset, scale=args.dataset_scale)
+    else:
+        graph = random_graph_with_avg_degree(
+            args.nodes, args.avgdeg, rng=args.graph_seed
+        )
+    user_budgets = {}
+    for pair in args.user_budget:
+        user, sep, eps = pair.partition("=")
+        if not sep or not user:
+            print(f"--user-budget wants USER=EPS, got {pair!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            from .validation import validate_epsilon
+
+            user_budgets[user] = validate_epsilon(
+                float(eps), f"--user-budget {user}"
+            )
+        except ValueError:
+            print(f"--user-budget {pair!r}: {eps!r} is not a positive "
+                  "finite number", file=sys.stderr)
+            return 2
+    accountant = HierarchicalAccountant(
+        args.epsilon,
+        default_user_budget=args.user_epsilon,
+        user_budgets=user_budgets,
+    )
+    cache = shared_cache()
+    if args.cache_size is not None:
+        cache.resize(args.cache_size)
+    session = PrivateSession(
+        graph, workers=args.workers, rng=args.seed,
+        accountant=accountant, cache=cache, name="serve",
+    )
+    service = PrivateQueryService(
+        session, host=args.host, port=args.port,
+        max_pending=args.max_pending, seed=args.seed,
+    )
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+        print(f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
+              f"budget "
+              f"{'unlimited' if args.epsilon is None else args.epsilon}, "
+              f"per-user "
+              f"{'uncapped' if args.user_epsilon is None else args.user_epsilon})",
+              flush=True)
+        if args.announce:
+            with open(args.announce, "w") as handle:
+                handle.write(f"{host}:{port}\n")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        session.close()
+    return 0
 
 
 def _cmd_fig(args) -> int:
@@ -388,6 +625,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "count": _cmd_count,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "fig": _cmd_fig,
         "audit": _cmd_audit,
         "datasets": _cmd_datasets,

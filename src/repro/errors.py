@@ -18,6 +18,11 @@ __all__ = [
     "MechanismError",
     "PrivacyParameterError",
     "SessionError",
+    "WorkerPoolError",
+    "ServiceError",
+    "ProtocolError",
+    "ServiceOverloaded",
+    "RemoteServiceError",
     "LPError",
     "LPInfeasibleError",
     "LPUnboundedError",
@@ -70,6 +75,27 @@ class PrivacyParameterError(MechanismError, ValueError):
 
 class SessionError(ReproError):
     """Invalid use of a :class:`~repro.session.PrivateSession` (e.g. closed)."""
+
+
+class WorkerPoolError(ReproError):
+    """A :class:`~repro.parallel.pool.WorkerPool` task could not complete
+    (e.g. the pool was shut down while the task was still in flight)."""
+
+
+class ServiceError(ReproError):
+    """Network serving layer (:mod:`repro.service`) failure."""
+
+
+class ProtocolError(ServiceError):
+    """A wire-protocol frame was malformed or unsupported."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service refused a request under backpressure (retry later)."""
+
+
+class RemoteServiceError(ServiceError):
+    """The server reported an internal failure executing a request."""
 
 
 class LPError(ReproError):

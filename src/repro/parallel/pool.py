@@ -169,6 +169,10 @@ class WorkerPool:
             raise RuntimeError("WorkerPool requires the 'fork' start method")
         self._key = next(_PAYLOAD_KEYS)
         _PAYLOADS[self._key] = (fn, payload)
+        #: Weak refs to every AsyncResult handed out by :meth:`submit`
+        #: that may still be in flight — close() fails them instead of
+        #: letting an abandoned ``.get()`` block forever.
+        self._pending: List["weakref.ref"] = []
         context = multiprocessing.get_context("fork")
         self._pool = context.Pool(
             processes=workers, initializer=_worker_init, initargs=(self._key,)
@@ -187,17 +191,58 @@ class WorkerPool:
         / ``error_callback`` fire on the pool's result-handler thread when
         the task completes.
         """
-        return self._pool.apply_async(
+        if self._pool is None:
+            raise RuntimeError("WorkerPool is closed")
+        result = self._pool.apply_async(
             _invoke, (task,), callback=callback, error_callback=error_callback
         )
+        still_pending = []
+        for ref in self._pending:
+            existing = ref()  # bind once: the target may be GC'd anytime
+            if existing is not None and not existing.ready():
+                still_pending.append(ref)
+        still_pending.append(weakref.ref(result))
+        self._pending = still_pending
+        return result
 
     def close(self) -> None:
-        """Terminate the workers and release the payload slot."""
+        """Terminate the workers and release the payload slot.
+
+        Safe to call with submissions still in flight: the pool is
+        terminated without waiting for them, and every unconsumed
+        ``AsyncResult`` is failed with a
+        :class:`~repro.errors.WorkerPoolError` — an abandoned
+        ``result.get()`` raises promptly instead of deadlocking on a
+        result that can no longer arrive.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+            pool, self._pool = self._pool, None
+            pool.terminate()
+            pool.join()
+            self._fail_pending()
         _PAYLOADS.pop(self._key, None)
+
+    def _fail_pending(self) -> None:
+        """Resolve abandoned in-flight submissions with a clear error."""
+        from ..errors import WorkerPoolError
+
+        error = WorkerPoolError(
+            "worker pool was shut down before this task completed; "
+            "its result was abandoned"
+        )
+        for ref in self._pending:
+            result = ref()
+            if result is None or result.ready():
+                continue
+            try:
+                # AsyncResult._set is the only way to resolve a result the
+                # terminated pool will never deliver; it marks the result
+                # ready and fires the error callback (stable across
+                # CPython 3.8-3.13).
+                result._set(0, (False, error))
+            except Exception:  # pragma: no cover - belt and braces
+                pass
+        self._pending = []
 
     def __enter__(self) -> "WorkerPool":
         return self

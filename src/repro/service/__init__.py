@@ -1,0 +1,35 @@
+"""Network serving layer: the async multi-tenant private-query service.
+
+The deployable shape of the serving stack: one
+:class:`~repro.service.service.PrivateQueryService` fronts a
+:class:`~repro.session.PrivateSession` behind a versioned
+newline-delimited JSON wire protocol (stdlib ``asyncio`` only), with
+per-user sub-budgets (:class:`~repro.session.HierarchicalAccountant`),
+process-wide compiled-relation sharing
+(:func:`~repro.session.shared_cache`), bounded-queue backpressure, and a
+streaming audit-log endpoint.  ``python -m repro serve`` starts one from
+the command line; :class:`ServiceClient` is the blocking client
+(``python -m repro batch --remote`` rides on it).
+"""
+
+from .client import ServiceClient, parse_address
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    request_seed,
+    seed_from_wire,
+    seed_to_wire,
+)
+from .service import BackgroundService, PrivateQueryService
+
+__all__ = [
+    "PrivateQueryService",
+    "BackgroundService",
+    "ServiceClient",
+    "parse_address",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "request_seed",
+    "seed_to_wire",
+    "seed_from_wire",
+]

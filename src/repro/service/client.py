@@ -1,0 +1,224 @@
+"""Blocking client for the wire protocol: :class:`ServiceClient`.
+
+A deliberately small, dependency-free client: one TCP connection, one
+request per call, wire errors mapped back onto the library's exception
+types — a ``budget_exhausted`` refusal raises the same
+:class:`~repro.session.BudgetExhausted` (tenant attached) a local
+:class:`~repro.session.PrivateSession` would, so code can move between
+in-process and remote serving without changing its ``except`` clauses.
+
+>>> # client = ServiceClient(("127.0.0.1", 8732), user="alice")  # doctest: +SKIP
+... # client.query("triangle", epsilon=0.5, privacy="node")["answer"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import (
+    ProtocolError,
+    RemoteServiceError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from ..session import BudgetExhausted
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUDGET_EXHAUSTED,
+    ERR_OVERLOADED,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+)
+
+__all__ = ["ServiceClient", "parse_address"]
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``"host:port"`` / ``"tcp://host:port"`` / ``(host, port)`` → tuple."""
+    if isinstance(address, tuple) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str):
+        text = address
+        if text.startswith("tcp://"):
+            text = text[len("tcp://"):]
+        host, sep, port = text.rpartition(":")
+        if sep and host and port.isdigit():
+            return host, int(port)
+    raise ServiceError(
+        f"cannot parse service address {address!r}; expected "
+        "'host:port', 'tcp://host:port', or a (host, port) tuple"
+    )
+
+
+class ServiceClient:
+    """A blocking wire-protocol client for one :mod:`repro.service` server.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)``, ``"host:port"``, or ``"tcp://host:port"``.
+    user:
+        Default tenant name attached to every request that does not name
+        its own.
+    timeout:
+        Per-response socket timeout in seconds.
+    """
+
+    def __init__(self, address: Union[str, Tuple[str, int]], *,
+                 user: Optional[str] = None, timeout: float = 60.0):
+        self._address = parse_address(address)
+        self._user = user
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+
+    # -- plumbing ---------------------------------------------------------------
+    def _connection(self):
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._timeout
+            )
+            self._file = self._sock.makefile("rb")
+        return self._sock, self._file
+
+    def close(self) -> None:
+        """Close the connection (reopened lazily on the next call)."""
+        if self._sock is not None:
+            try:
+                self._file.close()
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+            self._file = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _read_frame(self) -> Dict[str, Any]:
+        _, file = self._connection()
+        line = file.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            self.close()
+            raise ServiceError("server closed the connection")
+        try:
+            frame = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"malformed response frame: {error}") from None
+        if not isinstance(frame, dict):
+            raise ProtocolError("response frame is not a JSON object")
+        return frame
+
+    def _send(self, request: Dict[str, Any]) -> Any:
+        sock, _ = self._connection()
+        sock.sendall(encode_frame(request))
+        return request["id"]
+
+    @staticmethod
+    def _raise_error(frame: Dict[str, Any]) -> None:
+        error = frame.get("error") or {}
+        code = error.get("code")
+        message = error.get("message", "unknown server error")
+        if code == ERR_BUDGET_EXHAUSTED:
+            raise BudgetExhausted(message, user=error.get("user"))
+        if code == ERR_OVERLOADED:
+            raise ServiceOverloaded(message)
+        if code == ERR_BAD_REQUEST:
+            raise ValueError(message)
+        raise RemoteServiceError(f"[{code}] {message}")
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = self._send(request)
+        frame = self._read_frame()
+        if frame.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match request "
+                f"id {request_id!r}"
+            )
+        if not frame.get("ok"):
+            self._raise_error(frame)
+        return frame
+
+    def _request(self, op: str, **fields) -> Dict[str, Any]:
+        request = {"v": PROTOCOL_VERSION, "id": next(self._ids), "op": op}
+        request.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        return request
+
+    # -- the API ----------------------------------------------------------------
+    def hello(self) -> Dict[str, Any]:
+        """Server info: protocol version, mechanisms, budget summary."""
+        return self._roundtrip(self._request("hello"))["result"]
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe (also reports the server's in-flight count)."""
+        return self._roundtrip(self._request("ping"))["result"]
+
+    def budget(self, user: Optional[str] = None) -> Dict[str, Any]:
+        """Budget accounting snapshot: global + all tenants by default,
+        one tenant's detail when ``user`` is named."""
+        return self._roundtrip(self._request("budget", user=user))["result"]
+
+    def query(self, query: str, *, epsilon: float,
+              privacy: Optional[str] = None, mechanism: Optional[str] = None,
+              user: Optional[str] = None, label: Optional[str] = None,
+              seed=None, options: Optional[Dict[str, Any]] = None
+              ) -> Dict[str, Any]:
+        """Answer one private query; returns the result payload.
+
+        Raises :class:`~repro.session.BudgetExhausted` (tenant attached)
+        on refusal, :class:`~repro.errors.ServiceOverloaded` under
+        backpressure, and :class:`ValueError` for invalid requests —
+        mirroring the in-process session API.
+        """
+        return self._roundtrip(self._request(
+            "query", query=query, epsilon=epsilon, privacy=privacy,
+            mechanism=mechanism, label=label, seed=seed, options=options,
+            user=user if user is not None else self._user,
+        ))["result"]
+
+    def audit(self, *, replay: bool = False,
+              user: Optional[str] = None) -> Dict[str, Any]:
+        """Stream the server's audit log; returns ``{entries, ...totals}``.
+
+        With ``replay=True`` the server re-executes every replayable
+        ledger entry and each streamed entry carries ``replayed_answer``
+        and ``matches``.
+        """
+        request = self._request("audit", user=user)
+        if replay:
+            request["replay"] = True
+        request_id = self._send(request)
+        entries: List[Dict[str, Any]] = []
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") != request_id:
+                raise ProtocolError("interleaved response during audit stream")
+            if not frame.get("ok"):
+                self._raise_error(frame)
+            event = frame.get("event")
+            if event == "entry":
+                entries.append({
+                    key: value for key, value in frame.items()
+                    if key not in ("v", "id", "ok", "event")
+                })
+            elif event == "end":
+                summary = {
+                    key: value for key, value in frame.items()
+                    if key not in ("v", "id", "ok", "event")
+                }
+                summary["entries"] = entries
+                return summary
+            else:
+                raise ProtocolError(
+                    f"unexpected audit stream frame: {frame!r}"
+                )

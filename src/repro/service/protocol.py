@@ -1,0 +1,177 @@
+"""The versioned wire protocol: newline-delimited JSON frames over TCP.
+
+Stdlib-only by design (the serving layer adds **no** dependencies): one
+request or response per line, each line one JSON object, UTF-8 encoded,
+``\\n``-terminated.  Requests carry the protocol version ``v``, an
+optional correlation ``id`` (echoed verbatim in every response frame),
+and an ``op``; responses carry ``ok`` plus either a ``result`` payload or
+an ``error`` object ``{code, message, user?}``.  Streaming operations
+(the audit log) emit a sequence of ``event: "entry"`` frames closed by an
+``event: "end"`` frame, all sharing the request's ``id``.
+
+Request shapes (see :func:`repro.validation.validate_service_request` for
+the field-by-field contract)::
+
+    {"v": 1, "id": "q1", "op": "query", "user": "alice",
+     "query": "triangle", "privacy": "node", "epsilon": 0.5,
+     "mechanism": "recursive", "options": {...}, "seed": 7}
+    {"v": 1, "id": "a1", "op": "audit", "replay": true}
+    {"v": 1, "op": "budget", "user": "alice"}
+    {"v": 1, "op": "hello"}   {"v": 1, "op": "ping"}
+
+Determinism over the wire: a request may pin its noise seed explicitly —
+an ``int``, or ``{"entropy": E, "spawn_key": [k...]}`` naming a
+``numpy.random.SeedSequence`` — and otherwise the service derives one
+from its own seed root via :func:`request_seed`, a pure function of
+``(service entropy, tenant, that tenant's granted-request index)``.
+Either way the released answer is byte-identical to an in-process
+:class:`~repro.session.PrivateSession` release at the same seed, and the
+ledger records the seed for audit replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ERR_BAD_REQUEST",
+    "ERR_UNSUPPORTED_VERSION",
+    "ERR_BUDGET_EXHAUSTED",
+    "ERR_OVERLOADED",
+    "ERR_FAILED",
+    "encode_frame",
+    "decode_frame",
+    "result_frame",
+    "error_frame",
+    "event_frame",
+    "seed_to_wire",
+    "seed_from_wire",
+    "request_seed",
+]
+
+#: Current wire-protocol version.  Requests carrying a different ``v``
+#: are refused with ``unsupported_version`` (never silently reinterpreted).
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one frame's size — a peer streaming an unterminated
+#: line must not balloon server memory.
+MAX_FRAME_BYTES = 1 << 20
+
+# Error codes (the wire's stable vocabulary; clients map these back to
+# the library's exception types).
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNSUPPORTED_VERSION = "unsupported_version"
+ERR_BUDGET_EXHAUSTED = "budget_exhausted"
+ERR_OVERLOADED = "overloaded"  # backpressure: bounded queue is full (429)
+ERR_FAILED = "failed"  # mechanism failed after admission (budget spent)
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """One JSON object → one UTF-8 ``\\n``-terminated wire line."""
+    return (json.dumps(obj, separators=(",", ":"), allow_nan=False)
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """One wire line → the JSON object, or :class:`ProtocolError`."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame: {error}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def result_frame(request_id, result: Dict[str, Any]) -> Dict[str, Any]:
+    """A successful response frame."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+            "result": result}
+
+
+def error_frame(request_id, code: str, message: str,
+                user: Optional[str] = None) -> Dict[str, Any]:
+    """A refusal/failure response frame (``user`` = the binding tenant)."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if user is not None:
+        error["user"] = user
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+            "error": error}
+
+
+def event_frame(request_id, event: str, **payload) -> Dict[str, Any]:
+    """One frame of a streamed response (``entry`` ... then ``end``)."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+            "event": event, **payload}
+
+
+# ---------------------------------------------------------------------------
+# Deterministic seeds over the wire
+# ---------------------------------------------------------------------------
+
+WireSeed = Union[int, Dict[str, Any]]
+
+
+def seed_to_wire(seed) -> Optional[WireSeed]:
+    """A ledger seed token (int / ``SeedSequence``) → its JSON form."""
+    if seed is None:
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return {"entropy": seed.entropy,
+                "spawn_key": [int(k) for k in seed.spawn_key]}
+    raise ProtocolError(f"cannot encode seed {seed!r} for the wire")
+
+
+def seed_from_wire(wire: Optional[WireSeed]):
+    """The JSON form → an ``int`` seed or ``numpy.random.SeedSequence``."""
+    if wire is None:
+        return None
+    if isinstance(wire, (int, np.integer)):
+        return int(wire)
+    if isinstance(wire, dict):
+        try:
+            return np.random.SeedSequence(
+                entropy=wire["entropy"],
+                spawn_key=tuple(int(k) for k in wire.get("spawn_key", ())),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed wire seed: {error}") from None
+    raise ProtocolError(f"cannot decode wire seed {wire!r}")
+
+
+def _user_key(user: Optional[str]) -> int:
+    """A stable 64-bit spawn-key component for one tenant name."""
+    digest = hashlib.sha256(
+        (user if user is not None else "").encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def request_seed(entropy: int, user: Optional[str],
+                 index: int) -> np.random.SeedSequence:
+    """The service-side seed for a tenant's ``index``-th granted request.
+
+    A pure function of the service's seed entropy, the tenant name, and
+    that tenant's own granted-request counter — so per-tenant answer
+    streams are byte-identical across runs and independent of how other
+    tenants' requests interleave.
+    """
+    return np.random.SeedSequence(
+        entropy=entropy, spawn_key=(_user_key(user), int(index))
+    )

@@ -1,0 +1,495 @@
+"""The asyncio serving front-end: :class:`PrivateQueryService`.
+
+One service fronts one :class:`~repro.session.PrivateSession` (and
+therefore one sensitive dataset) behind the newline-delimited JSON wire
+protocol of :mod:`repro.service.protocol`, turning the in-process session
+API into a deployable multi-tenant private-query server:
+
+* **admission in arrival order** — requests are validated
+  (:func:`repro.validation.validate_service_request`) and admitted on the
+  event-loop thread, so privacy-budget reservations happen in a single
+  deterministic order no matter how many connections race;
+* **multi-tenant budgets** — each query names a ``user``; with a
+  :class:`~repro.session.HierarchicalAccountant` mounted on the session,
+  the global ε cap is partitioned into per-user sub-budgets and a refusal
+  names the binding tenant;
+* **backpressure** — at most ``max_pending`` queries may be in flight;
+  excess requests are refused immediately with an ``overloaded`` error
+  (the 429 of this protocol) instead of queueing unboundedly;
+* **deterministic seeds** — a request may pin its seed explicitly;
+  otherwise the service derives one from its seed root as a pure function
+  of (tenant, that tenant's granted-request index), so per-tenant answer
+  streams never depend on cross-tenant interleaving;
+* **shared compiled state** — the session's compiled-relation cache
+  (process-wide :func:`~repro.session.shared_cache` under ``repro
+  serve``) means tenants querying the same pattern reuse one compiled
+  program and its warm H/G caches, and execution fans out over the
+  session's fork-after-compile worker pool via ``session.submit``;
+* **streaming audit** — the ``audit`` op replays the session ledger over
+  the wire, one :class:`~repro.session.LedgerEntry` per frame, optionally
+  re-executing every replayable entry server-side to verify answers
+  bit-for-bit.
+
+``python -m repro serve`` wires this to a graph and prints the bound
+address; :class:`repro.service.client.ServiceClient` is the matching
+blocking client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError, ReproError
+from ..mechanisms import available as available_mechanisms
+from ..session import BudgetExhausted, HierarchicalAccountant, PrivateSession
+from ..validation import validate_service_request
+from . import protocol
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUDGET_EXHAUSTED,
+    ERR_FAILED,
+    ERR_OVERLOADED,
+    ERR_UNSUPPORTED_VERSION,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_frame,
+    event_frame,
+    request_seed,
+    result_frame,
+    seed_from_wire,
+    seed_to_wire,
+)
+
+__all__ = ["PrivateQueryService", "BackgroundService"]
+
+
+class PrivateQueryService:
+    """Serve private queries from one session over the wire protocol.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.session.PrivateSession` to serve.  Mount a
+        :class:`~repro.session.HierarchicalAccountant` on it for per-user
+        sub-budgets, and the process-wide
+        :func:`~repro.session.shared_cache` for cross-session
+        compiled-relation reuse (``repro serve`` does both).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    max_pending:
+        Backpressure bound: queries in flight beyond this are refused
+        with ``overloaded`` before any budget is reserved.  ``0`` refuses
+        every query (drain mode).
+    seed:
+        Entropy for server-assigned request seeds (requests that do not
+        pin their own).  A seeded service + seeded session is end-to-end
+        reproducible; ``None`` draws fresh entropy.
+    name:
+        Label reported by the ``hello`` op.
+    """
+
+    def __init__(self, session: PrivateSession, *, host: str = "127.0.0.1",
+                 port: int = 0, max_pending: int = 64,
+                 seed: Optional[int] = None, name: str = "repro-service"):
+        if not isinstance(session, PrivateSession):
+            raise TypeError(
+                f"PrivateQueryService fronts a PrivateSession, got "
+                f"{type(session).__name__}"
+            )
+        if not isinstance(max_pending, int) or isinstance(max_pending, bool) \
+                or max_pending < 0:
+            raise ValueError(
+                f"max_pending must be an integer >= 0, got {max_pending!r}"
+            )
+        self._session = session
+        self._host = host
+        self._port = port
+        self._max_pending = max_pending
+        self._entropy = (np.random.SeedSequence().entropy if seed is None
+                         else int(seed))
+        self.name = name
+        self._granted: Dict[Optional[str], int] = defaultdict(int)
+        self._inflight = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle --------------------------------------------------------------
+    @property
+    def session(self) -> PrivateSession:
+        """The session being served."""
+        return self._session
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        if self._server is not None:
+            raise RuntimeError("service is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port,
+            # StreamReader's default limit (64 KiB) would kill valid
+            # frames under the protocol bound before decode_frame ever
+            # saw them.
+            limit=MAX_FRAME_BYTES + 2,
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (:meth:`start` first if not yet bound)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listening socket."""
+        if self._server is not None:
+            server, self._server = self._server, None
+            server.close()
+            await server.wait_closed()
+
+    # -- connection handling ----------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Serve one client: one request per line, responses in order."""
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionError:
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Over-limit line: the stream is desynchronized —
+                    # refuse loudly, then drop the connection.
+                    writer.write(encode_frame(error_frame(
+                        None, ERR_BAD_REQUEST,
+                        f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF: client hung up
+                await self._serve_frame(line, writer)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                # Cancellation mid-shutdown (or a peer that vanished):
+                # the transport is closed either way.
+                pass
+
+    async def _serve_frame(self, line: bytes,
+                           writer: asyncio.StreamWriter) -> None:
+        """Decode, validate, dispatch one request; write the response(s)."""
+        request_id = None
+        try:
+            request = protocol.decode_frame(line)
+            request_id = request.get("id")
+            validate_service_request(request)
+            if request.get("v") != PROTOCOL_VERSION:
+                writer.write(encode_frame(error_frame(
+                    request_id, ERR_UNSUPPORTED_VERSION,
+                    f"this server speaks protocol v{PROTOCOL_VERSION}, "
+                    f"got v={request.get('v')!r}",
+                )))
+                return
+            op = request["op"]
+            if op == "query":
+                frame = await self._op_query(request)
+                writer.write(encode_frame(frame))
+            elif op == "audit":
+                await self._op_audit(request, writer)
+            else:
+                handler = {"hello": self._op_hello, "ping": self._op_ping,
+                           "budget": self._op_budget}[op]
+                writer.write(encode_frame(result_frame(
+                    request_id, handler(request)
+                )))
+        except (ProtocolError, ValueError) as error:
+            writer.write(encode_frame(error_frame(
+                request_id, ERR_BAD_REQUEST, str(error)
+            )))
+
+    # -- simple ops -------------------------------------------------------------
+    def _op_hello(self, request) -> Dict:
+        accountant = self._session.accountant
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "name": self.name,
+            "mechanisms": list(available_mechanisms()),
+            "multi_tenant": isinstance(accountant, HierarchicalAccountant),
+            "max_pending": self._max_pending,
+            "budget": self._budget_summary(),
+        }
+
+    def _op_ping(self, request) -> Dict:
+        return {"pong": True, "inflight": self._inflight}
+
+    def _budget_summary(self) -> Dict:
+        accountant = self._session.accountant
+        return {
+            "budget": accountant.budget,
+            "spent": accountant.spent,
+            "reserved": accountant.reserved,
+            "remaining": accountant.remaining,
+        }
+
+    def _op_budget(self, request) -> Dict:
+        accountant = self._session.accountant
+        summary = self._budget_summary()
+        user = request.get("user")
+        if user is not None:
+            summary["user"] = {
+                "name": user,
+                "budget": accountant.user_budget(user),
+                "spent": accountant.user_spent(user),
+                "remaining": accountant.user_remaining(user),
+            }
+        else:
+            summary["users"] = {
+                name: {
+                    "budget": accountant.user_budget(name),
+                    "spent": accountant.user_spent(name),
+                    "remaining": accountant.user_remaining(name),
+                }
+                for name in accountant.users()
+            }
+        return summary
+
+    # -- the query pipeline -----------------------------------------------------
+    async def _op_query(self, request) -> Dict:
+        """Admit, budget, dispatch, and answer one private query."""
+        request_id = request.get("id")
+        user = request.get("user")
+        if self._inflight >= self._max_pending:
+            return error_frame(
+                request_id, ERR_OVERLOADED,
+                f"{self._inflight} queries already in flight "
+                f"(max_pending={self._max_pending}); retry later",
+            )
+        explicit_seed = seed_from_wire(request.get("seed"))
+        seed = (explicit_seed if explicit_seed is not None
+                else request_seed(self._entropy, user, self._granted[user]))
+        try:
+            future = self._session.submit(
+                request["query"],
+                epsilon=request["epsilon"],
+                privacy=request.get("privacy"),
+                mechanism=request.get("mechanism", "recursive"),
+                rng=seed,
+                user=user,
+                label=request.get("label"),
+                **request.get("options", {}),
+            )
+        except BudgetExhausted as error:
+            # error.user is None when the shared global cap (not this
+            # tenant's sub-budget) was the binding constraint — preserve
+            # that distinction over the wire.
+            return error_frame(request_id, ERR_BUDGET_EXHAUSTED, str(error),
+                               user=error.user)
+        except (ReproError, ValueError, TypeError) as error:
+            return error_frame(request_id, ERR_BAD_REQUEST, str(error))
+        if explicit_seed is None:
+            # Only *granted* requests advance the tenant's seed stream, so
+            # refusals never shift later answers.
+            self._granted[user] += 1
+        entry = future.entry
+        self._inflight += 1
+        try:
+            if future.done():
+                result = future.result()
+            else:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    None, future.result
+                )
+        except Exception as error:
+            # Admission already spent the budget (side-channel safety);
+            # report the failure with the ledger index it occupies.
+            return error_frame(
+                request_id, ERR_FAILED,
+                f"query {entry.label!r} failed after admission "
+                f"(eps={entry.epsilon:g} spent): {error}",
+                user=user,
+            )
+        finally:
+            self._inflight -= 1
+        return result_frame(request_id, {
+            "answer": float(result.answer),
+            "label": entry.label,
+            "epsilon": entry.epsilon,
+            "user": entry.user,
+            "mechanism": entry.mechanism,
+            "query": entry.query,
+            "status": entry.status,
+            "index": entry.index,
+            "cache_hit": entry.cache_hit,
+            "seed": seed_to_wire(entry.seed),
+        })
+
+    # -- streaming audit --------------------------------------------------------
+    async def _op_audit(self, request,
+                        writer: asyncio.StreamWriter) -> None:
+        """Stream the ledger (optionally re-executing it) entry by entry.
+
+        Replay runs on the event-loop thread on purpose: it re-executes
+        releases through the compiled-relation cache and the persistent
+        LP overlays, and serializing it with admissions keeps that state
+        single-writer.  Because that makes a replay as expensive as
+        re-answering the ledger, it is admitted against the same
+        ``max_pending`` bound as queries — a tenant cannot stall the
+        service by replaying in a loop.  Frames are drained periodically
+        so a long log streams instead of buffering whole.
+        """
+        request_id = request.get("id")
+        user = request.get("user")
+        replay = bool(request.get("replay", False))
+        accountant = self._session.accountant
+        if replay:
+            if self._inflight >= self._max_pending:
+                writer.write(encode_frame(error_frame(
+                    request_id, ERR_OVERLOADED,
+                    f"{self._inflight} requests already in flight "
+                    f"(max_pending={self._max_pending}); retry later",
+                )))
+                return
+            self._inflight += 1
+            try:
+                records = self._session.replay()
+            finally:
+                self._inflight -= 1
+            matched = 0
+            streamed = 0
+            for record in records:
+                if user is not None and record.entry.user != user:
+                    continue
+                frame = event_frame(
+                    request_id, "entry", entry=record.entry.to_dict(),
+                    replayed_answer=record.replayed_answer,
+                    matches=record.matches,
+                )
+                writer.write(encode_frame(frame))
+                streamed += 1
+                if streamed % 64 == 0:
+                    await writer.drain()
+                if record.matches:
+                    matched += 1
+            writer.write(encode_frame(event_frame(
+                request_id, "end", count=streamed, matched=matched,
+                **self._budget_summary(),
+            )))
+            return
+        streamed = 0
+        for entry in accountant.ledger:
+            if user is not None and entry.user != user:
+                continue
+            writer.write(encode_frame(event_frame(
+                request_id, "entry", entry=entry.to_dict()
+            )))
+            streamed += 1
+            if streamed % 64 == 0:
+                await writer.drain()
+        writer.write(encode_frame(event_frame(
+            request_id, "end", count=streamed, **self._budget_summary()
+        )))
+
+
+class BackgroundService:
+    """Run a :class:`PrivateQueryService` on a daemon thread.
+
+    The in-process deployment used by tests, examples, and the service
+    benchmark: the asyncio event loop runs on its own thread, the caller
+    talks to it through a blocking
+    :class:`~repro.service.client.ServiceClient`.
+
+    >>> # with BackgroundService(session) as bg:         # doctest: +SKIP
+    ... #     client = ServiceClient(bg.address)
+    """
+
+    def __init__(self, session: PrivateSession, **kwargs):
+        self._service = PrivateQueryService(session, **kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def service(self) -> PrivateQueryService:
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._service.address
+
+    def start(self) -> Tuple[str, int]:
+        """Start the loop thread; returns the bound address."""
+        if self._thread is not None:
+            raise RuntimeError("BackgroundService is already running")
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self._service.start())
+            except BaseException as error:  # bind failure et al.
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._ready.set()
+            try:
+                self._loop.run_forever()
+            finally:
+                self._loop.run_until_complete(self._service.stop())
+                # Open connections outlive serve socket closure: cancel
+                # their handler tasks and let them close their writers
+                # before the loop goes away.
+                pending = asyncio.all_tasks(self._loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self._loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                self._loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self.address
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -17,8 +17,19 @@ queries skip the re-encode/re-compile entirely.
 (1, 0.0)
 """
 
-from .accountant import BudgetAccountant, BudgetExhausted, LedgerEntry
-from .cache import CacheInfo, CompiledRelationCache
+from .accountant import (
+    BudgetAccountant,
+    BudgetExhausted,
+    HierarchicalAccountant,
+    LedgerEntry,
+    Reservation,
+)
+from .cache import (
+    CacheInfo,
+    CompiledRelationCache,
+    SharedCompiledCache,
+    shared_cache,
+)
 from .session import PrivateSession, QueryFuture, ReplayRecord
 
 __all__ = [
@@ -26,8 +37,12 @@ __all__ = [
     "QueryFuture",
     "ReplayRecord",
     "BudgetAccountant",
+    "HierarchicalAccountant",
+    "Reservation",
     "BudgetExhausted",
     "LedgerEntry",
     "CacheInfo",
     "CompiledRelationCache",
+    "SharedCompiledCache",
+    "shared_cache",
 ]

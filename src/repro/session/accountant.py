@@ -10,7 +10,21 @@ seed material the noise was drawn from, so
 :meth:`repro.session.PrivateSession.replay` can re-execute the audit log
 and verify it reproduces the released answers bit-for-bit.
 
-The spent total is computed with :func:`math.fsum` over the ledger, so
+Concurrent serving (many requests in flight before any completes) uses
+the two-phase :meth:`BudgetAccountant.reserve` →
+:meth:`Reservation.commit` / :meth:`Reservation.rollback` protocol: a
+reservation holds its ε against the cap immediately (so racing admissions
+can never oversubscribe the budget), a commit converts the hold into a
+ledger charge without re-checking, and a rollback releases it (for
+requests that never touched the data).
+
+Multi-tenant serving partitions one global cap into per-user sub-budgets
+with :class:`HierarchicalAccountant`: every reserve/charge names a user,
+each user's releases compose sequentially against that user's own cap
+*and* the shared global cap, and a refusal says which of the two was hit
+(:attr:`BudgetExhausted.user` carries the tenant).
+
+The spent totals are computed with :func:`math.fsum` over the ledger, so
 sequential composition sums exactly (no drift from incremental ``+=``).
 """
 
@@ -23,7 +37,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.accountant import BudgetExceededError
 from ..validation import validate_epsilon
 
-__all__ = ["BudgetExhausted", "LedgerEntry", "BudgetAccountant"]
+__all__ = [
+    "BudgetExhausted",
+    "LedgerEntry",
+    "Reservation",
+    "BudgetAccountant",
+    "HierarchicalAccountant",
+]
 
 #: Absolute slack when comparing the spent sum against the cap — charges
 #: that exactly exhaust the budget must not be rejected for float dust.
@@ -35,8 +55,14 @@ class BudgetExhausted(BudgetExceededError):
 
     Subclasses :class:`~repro.core.accountant.BudgetExceededError` (and so
     :class:`~repro.errors.PrivacyParameterError` / :class:`ValueError`),
-    so existing ``except`` clauses keep working.
+    so existing ``except`` clauses keep working.  ``user`` names the
+    tenant whose sub-budget refused the release (``None`` when the shared
+    global cap was the binding constraint).
     """
+
+    def __init__(self, message: str, *, user: Optional[str] = None):
+        super().__init__(message)
+        self.user = user
 
 
 @dataclass
@@ -48,7 +74,8 @@ class LedgerEntry:
     randomness, or ``None`` when the caller passed an in-flight generator
     (such an entry is audited for budget but cannot be replayed).
     ``answer`` is filled when the release completes (asynchronous
-    submissions start as ``"pending"``).
+    submissions start as ``"pending"``).  ``user`` is the tenant the
+    release was charged to (``None`` for single-tenant sessions).
     """
 
     index: int
@@ -61,6 +88,7 @@ class LedgerEntry:
     status: str = "released"
     cache_hit: bool = False
     seconds: float = 0.0
+    user: Optional[str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -81,7 +109,60 @@ class LedgerEntry:
             "status": self.status,
             "cache_hit": self.cache_hit,
             "seconds": self.seconds,
+            "user": self.user,
         }
+
+
+class Reservation:
+    """An ε hold against the budget, pending :meth:`commit` or :meth:`rollback`.
+
+    Created by :meth:`BudgetAccountant.reserve`.  While held, the ε counts
+    against the cap (and the user's sub-budget) exactly as if it were
+    spent, so concurrent admissions cannot collectively oversubscribe.
+    """
+
+    def __init__(self, accountant: "BudgetAccountant", epsilon: float,
+                 label: str, user: Optional[str]):
+        self.epsilon = epsilon
+        self.label = label
+        self.user = user
+        self._accountant: Optional[BudgetAccountant] = accountant
+
+    @property
+    def active(self) -> bool:
+        """Whether the hold is still outstanding."""
+        return self._accountant is not None
+
+    def _release_hold(self) -> "BudgetAccountant":
+        accountant = self._accountant
+        if accountant is None:
+            raise ValueError(
+                f"reservation {self.label!r} was already committed or "
+                "rolled back"
+            )
+        self._accountant = None
+        accountant._reservations.remove(self)
+        return accountant
+
+    def commit(self, entry: LedgerEntry) -> LedgerEntry:
+        """Convert the hold into a ledger charge (no re-check needed).
+
+        ``entry.epsilon`` must equal the reserved ε; ``entry.user`` is
+        filled from the reservation when unset.
+        """
+        if entry.epsilon != self.epsilon:
+            raise ValueError(
+                f"reservation {self.label!r} holds eps={self.epsilon:g} but "
+                f"the entry charges eps={entry.epsilon:g}"
+            )
+        if entry.user is None:
+            entry.user = self.user
+        accountant = self._release_hold()
+        return accountant._append(entry)
+
+    def rollback(self) -> None:
+        """Release the hold without charging anything."""
+        self._release_hold()
 
 
 class BudgetAccountant:
@@ -94,8 +175,8 @@ class BudgetAccountant:
         still ledgered) — the mode the one-shot API wrappers use.
 
     >>> accountant = BudgetAccountant(1.0)
-    >>> accountant.charge(LedgerEntry(0, "triangles", "recursive",
-    ...                               "triangle/node", 0.75))
+    >>> _ = accountant.charge(LedgerEntry(0, "triangles", "recursive",
+    ...                                   "triangle/node", 0.75))
     >>> accountant.spent, accountant.remaining
     (0.75, 0.25)
     """
@@ -103,6 +184,7 @@ class BudgetAccountant:
     def __init__(self, budget: Optional[float] = None):
         self.budget = None if budget is None else validate_epsilon(budget, "budget")
         self._ledger: List[LedgerEntry] = []
+        self._reservations: List[Reservation] = []
 
     # -- bookkeeping -----------------------------------------------------------
     @property
@@ -111,11 +193,19 @@ class BudgetAccountant:
         return math.fsum(entry.epsilon for entry in self._ledger)
 
     @property
+    def reserved(self) -> float:
+        """Total ε held by outstanding (uncommitted) reservations."""
+        return math.fsum(r.epsilon for r in self._reservations)
+
+    @property
     def remaining(self) -> Optional[float]:
-        """Budget left under the cap, or ``None`` for unlimited sessions."""
+        """Budget left under the cap (net of outstanding reservations),
+        or ``None`` for unlimited sessions."""
         if self.budget is None:
             return None
-        return self.budget - self.spent
+        return self.budget - math.fsum(
+            [self.spent, self.reserved]
+        )
 
     @property
     def ledger(self) -> Tuple[LedgerEntry, ...]:
@@ -125,31 +215,185 @@ class BudgetAccountant:
     def __len__(self) -> int:
         return len(self._ledger)
 
-    def can_afford(self, epsilon: float) -> bool:
-        """Whether one more ε-release fits under the cap."""
-        if self.budget is None:
-            return True
-        return self.spent + epsilon <= self.budget + _CAP_TOLERANCE
+    def can_afford(self, epsilon: float, user: Optional[str] = None) -> bool:
+        """Whether one more ε-release fits under the cap(s)."""
+        return self._refusal(epsilon, user) is None
 
-    def check(self, epsilon: float, label: str = "release") -> float:
+    def _refusal(self, epsilon: float,
+                 user: Optional[str]) -> Optional[Tuple[str, Optional[str]]]:
+        """``None`` if the charge fits, else ``(reason, binding user)``."""
+        if self.budget is None:
+            return None
+        total = math.fsum([self.spent, self.reserved, epsilon])
+        if total > self.budget + _CAP_TOLERANCE:
+            return ("global", None)
+        return None
+
+    def check(self, epsilon: float, label: str = "release",
+              user: Optional[str] = None) -> float:
         """Validate ε and raise :class:`BudgetExhausted` if it won't fit."""
         epsilon = validate_epsilon(epsilon)
-        if not self.can_afford(epsilon):
-            remaining = self.remaining
-            raise BudgetExhausted(
-                f"release {label!r} needs eps={epsilon:g} but only "
-                f"{remaining:.6g} of the session budget "
-                f"(eps={self.budget:g}) remains"
-            )
+        refusal = self._refusal(epsilon, user)
+        if refusal is not None:
+            raise self._exhausted(epsilon, label, refusal)
         return epsilon
 
+    def _exhausted(self, epsilon: float, label: str,
+                   refusal: Tuple[str, Optional[str]]) -> BudgetExhausted:
+        reason, binding_user = refusal
+        if reason == "user":
+            remaining = self.user_remaining(binding_user)
+            cap = self.user_budget(binding_user)
+            return BudgetExhausted(
+                f"release {label!r} needs eps={epsilon:g} but only "
+                f"{remaining:.6g} of user {binding_user!r}'s sub-budget "
+                f"(eps={cap:g}) remains",
+                user=binding_user,
+            )
+        return BudgetExhausted(
+            f"release {label!r} needs eps={epsilon:g} but only "
+            f"{self.remaining:.6g} of the session budget "
+            f"(eps={self.budget:g}) remains"
+        )
+
+    def reserve(self, epsilon: float, label: str = "release",
+                user: Optional[str] = None) -> Reservation:
+        """Hold ε against the cap until committed or rolled back.
+
+        Raises :class:`BudgetExhausted` immediately when the hold cannot
+        fit (counting every outstanding reservation), so admission order
+        alone decides which requests are refused.
+        """
+        epsilon = self.check(epsilon, label=label, user=user)
+        reservation = Reservation(self, epsilon, label, user)
+        self._reservations.append(reservation)
+        return reservation
+
     def charge(self, entry: LedgerEntry) -> LedgerEntry:
-        """Append a checked release to the ledger (spends its ε)."""
-        entry.epsilon = self.check(entry.epsilon, label=entry.label)
+        """Append a checked release to the ledger (spends its ε).
+
+        One-phase convenience over :meth:`reserve` + :meth:`commit` for
+        callers that check and charge at the same point.
+        """
+        entry.epsilon = self.check(entry.epsilon, label=entry.label,
+                                   user=entry.user)
+        return self._append(entry)
+
+    def _append(self, entry: LedgerEntry) -> LedgerEntry:
         entry.index = len(self._ledger)
         self._ledger.append(entry)
         return entry
 
+    # -- per-user introspection (trivial in the single-tenant base) ------------
+    def user_budget(self, user: Optional[str]) -> Optional[float]:
+        """The sub-budget cap for ``user`` (``None`` = uncapped)."""
+        return None
+
+    def user_spent(self, user: Optional[str]) -> float:
+        """Exact total ε charged to ``user`` so far."""
+        return math.fsum(
+            entry.epsilon for entry in self._ledger if entry.user == user
+        )
+
+    def user_remaining(self, user: Optional[str]) -> Optional[float]:
+        """ε left in ``user``'s sub-budget (``None`` = uncapped)."""
+        return None
+
+    def users(self) -> Tuple[str, ...]:
+        """Every tenant that appears in the ledger or holds a reservation."""
+        seen = {e.user for e in self._ledger} | {
+            r.user for r in self._reservations
+        }
+        return tuple(sorted(user for user in seen if user is not None))
+
     def audit_log(self) -> List[Dict[str, Any]]:
         """The ledger as JSON-friendly dicts (for export / inspection)."""
         return [entry.to_dict() for entry in self._ledger]
+
+
+class HierarchicalAccountant(BudgetAccountant):
+    """A global ε cap partitioned into per-user sub-budgets.
+
+    The multi-tenant serving accountant: every release names a tenant, and
+    it must fit under **both** the shared global cap (sequential
+    composition over *all* releases — the privacy guarantee towards the
+    sensitive dataset) and that tenant's own sub-budget (the service's
+    fairness/quota guarantee).  Releases with ``user=None`` are only
+    checked against the global cap.
+
+    Parameters
+    ----------
+    budget:
+        The shared global ε cap (``None`` = unlimited).
+    default_user_budget:
+        Sub-budget granted to any tenant not explicitly configured;
+        ``None`` leaves unknown tenants uncapped (global cap only).
+    user_budgets:
+        Explicit ``{user: cap}`` overrides.
+
+    >>> accountant = HierarchicalAccountant(1.0, default_user_budget=0.6)
+    >>> r = accountant.reserve(0.5, label="q0", user="alice")
+    >>> _ = r.commit(LedgerEntry(0, "q0", "recursive", "triangle/node",
+    ...                          0.5, user="alice"))
+    >>> round(accountant.user_remaining("alice"), 6)
+    0.1
+    >>> accountant.can_afford(0.2, user="alice")  # alice's sub-budget binds
+    False
+    >>> accountant.can_afford(0.2, user="bob")    # global cap still has room
+    True
+    """
+
+    def __init__(self, budget: Optional[float] = None, *,
+                 default_user_budget: Optional[float] = None,
+                 user_budgets: Optional[Dict[str, float]] = None):
+        super().__init__(budget)
+        self.default_user_budget = (
+            None if default_user_budget is None
+            else validate_epsilon(default_user_budget, "default_user_budget")
+        )
+        self._user_budgets: Dict[str, float] = {}
+        for user, cap in (user_budgets or {}).items():
+            self.set_user_budget(user, cap)
+
+    def set_user_budget(self, user: str, budget: float) -> None:
+        """Set (or tighten/loosen) one tenant's sub-budget cap."""
+        self._user_budgets[user] = validate_epsilon(
+            budget, f"user budget for {user!r}"
+        )
+
+    def user_budget(self, user: Optional[str]) -> Optional[float]:
+        if user is None:
+            return None
+        cap = self._user_budgets.get(user)
+        return self.default_user_budget if cap is None else cap
+
+    def user_reserved(self, user: Optional[str]) -> float:
+        """Total ε held for ``user`` by outstanding reservations."""
+        return math.fsum(
+            r.epsilon for r in self._reservations if r.user == user
+        )
+
+    def user_remaining(self, user: Optional[str]) -> Optional[float]:
+        cap = self.user_budget(user)
+        if cap is None:
+            return None
+        return cap - math.fsum([self.user_spent(user),
+                                self.user_reserved(user)])
+
+    def users(self) -> Tuple[str, ...]:
+        seen = set(self._user_budgets) | {e.user for e in self._ledger} | {
+            r.user for r in self._reservations
+        }
+        return tuple(sorted(user for user in seen if user is not None))
+
+    def _refusal(self, epsilon, user):
+        refusal = super()._refusal(epsilon, user)
+        if refusal is not None:
+            return refusal
+        cap = self.user_budget(user)
+        if cap is not None:
+            total = math.fsum([self.user_spent(user),
+                               self.user_reserved(user), epsilon])
+            if total > cap + _CAP_TOLERANCE:
+                return ("user", user)
+        return None

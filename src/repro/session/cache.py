@@ -8,14 +8,31 @@ is just an overlay solve plus noise.  :class:`CompiledRelationCache` maps
 objects so repeated (or concurrent) queries reuse them, and counts
 hits/misses so callers can *assert* the reuse (the instrumentation the
 acceptance tests and ``benchmarks/bench_session.py`` read).
+
+:class:`SharedCompiledCache` lifts the same store to *cross-session*
+scope: thread-safe, LRU-ordered, and size-bounded, so a long-lived
+serving process (many sessions, many tenants) reuses one compiled
+``CompiledProgram`` — with its warm H/G entry caches — for every tenant
+querying the same pattern, while old entries age out instead of growing
+without bound.  :func:`shared_cache` hands out the process-wide instance
+(the one ``repro serve`` mounts by default).
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-__all__ = ["CacheInfo", "CompiledRelationCache", "options_token"]
+__all__ = [
+    "CacheInfo",
+    "CompiledRelationCache",
+    "SharedCompiledCache",
+    "shared_cache",
+    "options_token",
+    "data_token",
+]
 
 
 def _value_token(value):
@@ -33,6 +50,31 @@ def options_token(options: Dict) -> Tuple:
     return tuple(sorted((key, _value_token(value)) for key, value in options.items()))
 
 
+#: Attribute carrying a dataset's identity token (set lazily, once).
+_DATA_TOKEN_ATTR = "_repro_data_token"
+_DATA_TOKEN_COUNTER = iter(range(1, 2**63))
+
+
+def data_token(data) -> object:
+    """A process-unique identity token for one sensitive dataset.
+
+    Cache keys must distinguish *which* data a query was compiled over —
+    two sessions over different graphs mounted on one shared cache must
+    never exchange compiled programs.  The token is stamped onto the
+    object on first use (so it is never reused after garbage collection,
+    unlike a raw ``id()``); objects refusing attributes fall back to
+    identity, which is safe for anything the caller keeps alive.
+    """
+    token = getattr(data, _DATA_TOKEN_ATTR, None)
+    if token is None:
+        token = next(_DATA_TOKEN_COUNTER)
+        try:
+            setattr(data, _DATA_TOKEN_ATTR, token)
+        except AttributeError:  # __slots__/frozen objects
+            return (type(data).__name__, id(data))
+    return token
+
+
 @dataclass(frozen=True)
 class CacheInfo:
     """A snapshot of cache instrumentation counters."""
@@ -40,6 +82,8 @@ class CacheInfo:
     hits: int
     misses: int
     size: int
+    evictions: int = 0
+    maxsize: Optional[int] = None
 
 
 class CompiledRelationCache:
@@ -78,3 +122,102 @@ class CompiledRelationCache:
 
     def __contains__(self, key) -> bool:
         return key in self._entries
+
+
+class SharedCompiledCache(CompiledRelationCache):
+    """A process-wide compiled-relation cache: thread-safe, LRU, bounded.
+
+    Many sessions (one per tenant, or one per connection) can mount the
+    same instance, so the expensive enumerate/encode/compile work for a
+    given ``(mechanism, options, pattern, privacy, weight)`` key is paid
+    once per *process* instead of once per session — and the cached
+    :class:`~repro.lp.compiled.CompiledProgram` keeps its warm H/G entry
+    caches across tenants.
+
+    ``maxsize`` bounds the entry count; the least-recently-*used* entry is
+    evicted when a build pushes the store over the bound (``None`` =
+    unbounded).  Builds run under the lock: two tenants racing on the same
+    cold key compile once, with the loser blocking until the winner's
+    entry is ready.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None):
+        super().__init__()
+        if maxsize is not None and (not isinstance(maxsize, int)
+                                    or isinstance(maxsize, bool) or maxsize < 1):
+            raise ValueError(
+                f"maxsize must be a positive integer or None, got {maxsize!r}"
+            )
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._maxsize = maxsize
+        self._evictions = 0
+        self._lock = threading.RLock()
+
+    @property
+    def maxsize(self) -> Optional[int]:
+        """The entry-count bound (``None`` = unbounded)."""
+        return self._maxsize
+
+    def get_or_build(self, key: tuple, build: Callable[[], object]):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return entry, True
+            self._misses += 1
+            value = build()
+            self._entries[key] = value
+            while self._maxsize is not None and len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value, False
+
+    def resize(self, maxsize: Optional[int]) -> None:
+        """Change the bound, evicting LRU entries if now over it."""
+        with self._lock:
+            if maxsize is not None and (not isinstance(maxsize, int)
+                                        or isinstance(maxsize, bool)
+                                        or maxsize < 1):
+                raise ValueError(
+                    f"maxsize must be a positive integer or None, "
+                    f"got {maxsize!r}"
+                )
+            self._maxsize = maxsize
+            while maxsize is not None and len(self._entries) > maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(hits=self._hits, misses=self._misses,
+                             size=len(self._entries),
+                             evictions=self._evictions,
+                             maxsize=self._maxsize)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Default bound of the process-wide shared cache (compiled programs can
+#: be large; a serving process wants reuse, not unbounded growth).
+DEFAULT_SHARED_MAXSIZE = 128
+
+_SHARED: Optional[SharedCompiledCache] = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_cache() -> SharedCompiledCache:
+    """The process-wide :class:`SharedCompiledCache` (created on first use).
+
+    Every caller in the process gets the same instance, so sessions
+    created with ``cache=shared_cache()`` — and the network service, which
+    does this by default — share compiled relations.  Use
+    :meth:`SharedCompiledCache.resize` to change its bound.
+    """
+    global _SHARED
+    with _SHARED_LOCK:
+        if _SHARED is None:
+            _SHARED = SharedCompiledCache(maxsize=DEFAULT_SHARED_MAXSIZE)
+        return _SHARED

@@ -43,7 +43,7 @@ from ..parallel.pool import WorkerPool, fork_available, resolve_workers
 from ..results import ResultBase
 from ..validation import validate_epsilon, validate_workers
 from .accountant import BudgetAccountant, LedgerEntry
-from .cache import CacheInfo, CompiledRelationCache, options_token
+from .cache import CacheInfo, CompiledRelationCache, data_token, options_token
 
 __all__ = ["PrivateSession", "QueryFuture", "ReplayRecord"]
 
@@ -133,6 +133,18 @@ class PrivateSession:
         seeded session is reproducible end-to-end (and replayable).
     name:
         Label used in error messages and the audit log.
+    accountant:
+        A prebuilt :class:`~repro.session.accountant.BudgetAccountant` to
+        charge releases to — e.g. a
+        :class:`~repro.session.accountant.HierarchicalAccountant`
+        partitioning the cap into per-user sub-budgets (the network
+        service's mode).  Mutually exclusive with ``budget``.
+    cache:
+        A prebuilt compiled-relation cache to serve prepared queries from
+        — e.g. the process-wide
+        :func:`~repro.session.cache.shared_cache`, so several sessions
+        reuse one compiled program per distinct query.  Default: a
+        private per-session cache.
 
     >>> from repro import PrivateSession, random_graph_with_avg_degree
     >>> g = random_graph_with_avg_degree(40, 6, rng=7)
@@ -145,18 +157,36 @@ class PrivateSession:
 
     def __init__(self, data, budget: Optional[float] = None, *,
                  workers: Optional[int] = 1, backend=None, rng=None,
-                 name: str = "session"):
+                 name: str = "session",
+                 accountant: Optional[BudgetAccountant] = None,
+                 cache: Optional[CompiledRelationCache] = None):
         if not isinstance(data, (Graph, SensitiveKRelation)):
             raise SessionError(
                 "PrivateSession wraps a Graph or a SensitiveKRelation, "
                 f"got {type(data).__name__}"
             )
+        if accountant is not None:
+            if budget is not None:
+                raise SessionError(
+                    "pass either budget= or a prebuilt accountant=, not both"
+                )
+            if not isinstance(accountant, BudgetAccountant):
+                raise SessionError(
+                    "accountant must be a BudgetAccountant, got "
+                    f"{type(accountant).__name__}"
+                )
+        if cache is not None and not isinstance(cache, CompiledRelationCache):
+            raise SessionError(
+                "cache must be a CompiledRelationCache, got "
+                f"{type(cache).__name__}"
+            )
         self._data = data
         self._backend = backend
         self._workers = validate_workers(workers)
         self.name = name
-        self.accountant = BudgetAccountant(budget)
-        self._cache = CompiledRelationCache()
+        self.accountant = (accountant if accountant is not None
+                           else BudgetAccountant(budget))
+        self._cache = cache if cache is not None else CompiledRelationCache()
         self._seed_root = self._seed_sequence_from(rng)
         self._pool: Optional[WorkerPool] = None
         self._closed = False
@@ -227,7 +257,10 @@ class PrivateSession:
         if cls.name == "recursive":
             opts.setdefault("backend", self._backend)
             opts.setdefault("workers", self._workers)
-        key = (cls.name, options_token(opts)) + spec.cache_key()
+        # The data token keeps sessions over *different* datasets apart
+        # on a shared (process-wide) cache.
+        key = (data_token(self._data), cls.name,
+               options_token(opts)) + spec.cache_key()
         return cls, spec, opts, key
 
     def _prepare_query(self, query, privacy, mechanism, weight, options):
@@ -263,9 +296,25 @@ class PrivateSession:
         raise SessionError(f"cannot build a generator from {rng!r}")
 
     # -- the serving API --------------------------------------------------------
+    def prepared(self, query=None, *, privacy: Optional[str] = None,
+                 mechanism: str = "recursive", weight=None, **options):
+        """The cached :class:`~repro.mechanisms.PreparedQuery` for a spec.
+
+        Spends **no** privacy budget — preparation touches only the
+        sensitive data's structure, never releases anything.  Compiles
+        (and caches) on first use; the network service uses this to warm
+        the shared cache before accepting traffic.
+        """
+        self._ensure_open()
+        prepared, _, _, _ = self._prepare_query(
+            query, privacy, mechanism, weight, options
+        )
+        return prepared
+
     def query(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
               mechanism: str = "recursive", rng=None, params=None,
-              label: Optional[str] = None, weight=None, **options) -> ResultBase:
+              label: Optional[str] = None, weight=None,
+              user: Optional[str] = None, **options) -> ResultBase:
         """Answer one private query synchronously.
 
         ``query`` is a subgraph :class:`~repro.subgraphs.Pattern` or query
@@ -275,36 +324,45 @@ class PrivateSession:
         and ``"edge"`` over relations.  ``mechanism`` is a registry name
         (:func:`repro.mechanisms.available`); extra keyword ``options`` go
         to the mechanism constructor (e.g. ``bounding=``, ``delta=``).
+        ``user`` names the tenant the release is charged to — enforced
+        against that tenant's sub-budget when the session's accountant is
+        a :class:`~repro.session.accountant.HierarchicalAccountant`.
 
-        The release is charged to the session budget *after* it succeeds
-        (:class:`~repro.session.accountant.BudgetExhausted` is raised
-        before any work if it cannot fit), appended to the replayable
-        ledger, and returned as a :class:`~repro.results.ResultBase`.
+        The budget is *reserved* before any work
+        (:class:`~repro.session.accountant.BudgetExhausted` if it cannot
+        fit) and committed to the replayable ledger only when the release
+        succeeds — a failed release rolls the reservation back and spends
+        nothing.
         """
         self._ensure_open()
         charged = self._charged_epsilon(epsilon, params)
         label = label if label is not None else f"q{len(self.accountant)}"
-        self.accountant.check(charged, label=label)
-        prepared, hit, mech_name, spec = self._prepare_query(
-            query, privacy, mechanism, weight, options
-        )
-        generator, seed_token = self._generator_for(rng)
-        start = time.perf_counter()
-        result = prepared.release(epsilon, generator, params=params)
+        reservation = self.accountant.reserve(charged, label=label, user=user)
+        try:
+            prepared, hit, mech_name, spec = self._prepare_query(
+                query, privacy, mechanism, weight, options
+            )
+            generator, seed_token = self._generator_for(rng)
+            start = time.perf_counter()
+            result = prepared.release(epsilon, generator, params=params)
+        except BaseException:
+            reservation.rollback()
+            raise
         entry = LedgerEntry(
             index=0, label=label, mechanism=mech_name, query=spec.describe(),
             epsilon=charged, seed=seed_token, answer=float(result.answer),
             status="released", cache_hit=hit,
-            seconds=time.perf_counter() - start,
+            seconds=time.perf_counter() - start, user=user,
         )
         entry.extra["task"] = (query, weight, spec.privacy, mech_name,
                                dict(options), epsilon, params)
-        self.accountant.charge(entry)
+        reservation.commit(entry)
         return result
 
     def submit(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
                mechanism: str = "recursive", rng=None, params=None,
-               label: Optional[str] = None, **options) -> QueryFuture:
+               label: Optional[str] = None, user: Optional[str] = None,
+               **options) -> QueryFuture:
         """Submit one private query for asynchronous execution.
 
         Fans out over the session's shared fork-after-compile
@@ -317,16 +375,16 @@ class PrivateSession:
         byte-identical for any worker count at a fixed session seed.
 
         The budget is charged *at submission* (hard cap enforced before
-        dispatch); ``rng`` must be ``None`` (session stream), an ``int``
-        seed, or a ``SeedSequence`` — in-flight generators cannot cross
-        the process boundary deterministically.  Tasks must pickle:
+        dispatch), to ``user``'s sub-budget when the accountant is
+        hierarchical; ``rng`` must be ``None`` (session stream), an
+        ``int`` seed, or a ``SeedSequence`` — in-flight generators cannot
+        cross the process boundary deterministically.  Tasks must pickle:
         constrained patterns and lambda weights need :meth:`query`
         instead.
         """
         self._ensure_open()
         charged = self._charged_epsilon(epsilon, params)
         label = label if label is not None else f"q{len(self.accountant)}"
-        self.accountant.check(charged, label=label)
         if rng is not None and not isinstance(
             rng, (int, np.integer, np.random.SeedSequence)
         ):
@@ -335,31 +393,39 @@ class PrivateSession:
                 f"SeedSequence), got {type(rng).__name__}; use query() for "
                 "in-flight generators"
             )
-        workers = resolve_workers(self._workers)
-        pooled = workers > 1 and fork_available()
-        cls, spec, opts, key = self._resolve_spec(
-            query, privacy, mechanism, None, options
-        )
-        # Prepare parent-side only where the compiled state will actually
-        # be shared: eagerly for in-process execution, and before the
-        # first fork so workers inherit it copy-on-write.  Once the pool
-        # exists, a *new* spec compiles lazily in the workers instead of
-        # blocking the submitter on a compile the pool would repeat.
-        if not pooled or self._pool is None or key in self._cache:
-            prepared, hit = self._cache.get_or_build(
-                key, lambda: cls(self._data, **opts).prepare(spec)
+        reservation = self.accountant.reserve(charged, label=label, user=user)
+        try:
+            workers = resolve_workers(self._workers)
+            pooled = workers > 1 and fork_available()
+            cls, spec, opts, key = self._resolve_spec(
+                query, privacy, mechanism, None, options
             )
-        else:
-            prepared, hit = None, False
-        _, seed = self._generator_for(rng)
+            # Prepare parent-side only where the compiled state will
+            # actually be shared: eagerly for in-process execution, and
+            # before the first fork so workers inherit it copy-on-write.
+            # Once the pool exists, a *new* spec compiles lazily in the
+            # workers instead of blocking the submitter on a compile the
+            # pool would repeat.
+            if not pooled or self._pool is None or key in self._cache:
+                prepared, hit = self._cache.get_or_build(
+                    key, lambda: cls(self._data, **opts).prepare(spec)
+                )
+            else:
+                prepared, hit = None, False
+            _, seed = self._generator_for(rng)
+        except BaseException:
+            reservation.rollback()
+            raise
         entry = LedgerEntry(
             index=0, label=label, mechanism=cls.name, query=spec.describe(),
             epsilon=charged, seed=seed, answer=None, status="pending",
-            cache_hit=hit,
+            cache_hit=hit, user=user,
         )
         entry.extra["task"] = (query, None, spec.privacy, cls.name,
                                dict(options), epsilon, params)
-        self.accountant.charge(entry)
+        # Charged at submission: the noisy answer *will* exist (refusing
+        # to pay on a crash would itself be a side channel).
+        reservation.commit(entry)
         start = time.perf_counter()
 
         if not pooled:

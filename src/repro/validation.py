@@ -8,18 +8,30 @@ instead of surfacing later as a NaN answer or a cryptic LP failure.
 (:class:`~repro.errors.PrivacyParameterError` subclasses both
 :class:`ValueError` and the library's :class:`~repro.errors.MechanismError`,
 so either ``except`` style catches it.)
+
+The structured-input validators live here too: the ``repro batch`` JSON
+workload spec (:func:`validate_batch_spec`) and the network service's wire
+requests (:func:`validate_service_request`) are checked field by field —
+unknown keys and wrong types are rejected with the offending field's path
+in the message, never a deep traceback from the middle of the mechanism
+stack.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from .errors import PrivacyParameterError
 
-__all__ = ["validate_epsilon", "validate_workers"]
+__all__ = [
+    "validate_epsilon",
+    "validate_workers",
+    "validate_batch_spec",
+    "validate_service_request",
+]
 
 
 def validate_epsilon(epsilon, name: str = "epsilon") -> float:
@@ -65,3 +77,202 @@ def validate_workers(workers, name: str = "workers") -> Optional[int]:
             f"{name} must be a positive integer (>= 1) or None, got {workers!r}"
         )
     return value
+
+
+# ---------------------------------------------------------------------------
+# Structured-input validation (batch specs, wire requests)
+# ---------------------------------------------------------------------------
+
+def _is_int(value) -> bool:
+    return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+def _is_number(value) -> bool:
+    return (isinstance(value, (int, float, np.integer, np.floating))
+            and not isinstance(value, bool))
+
+
+def _is_positive_number(value) -> bool:
+    return _is_number(value) and math.isfinite(float(value)) and float(value) > 0
+
+
+def _check_fields(obj: Dict, path: str, fields: Dict[str, tuple],
+                  errors: List[str]) -> None:
+    """Validate one mapping against ``{key: (predicate, expectation)}``.
+
+    Unknown keys and failed predicates each append one
+    ``"path.key: ..."`` line to ``errors``.
+    """
+    for key in obj:
+        if key not in fields:
+            known = ", ".join(sorted(fields))
+            errors.append(f"{path}{key}: unknown key (known keys: {known})")
+    for key, (predicate, expectation) in fields.items():
+        if key in obj and not predicate(obj[key]):
+            errors.append(
+                f"{path}{key}: must be {expectation}, got {obj[key]!r}"
+            )
+
+
+_GRAPH_FIELDS = {
+    "nodes": (lambda v: _is_int(v) and v >= 1, "a positive integer"),
+    "avgdeg": (_is_positive_number, "a positive number"),
+    "seed": (_is_int, "an integer"),
+    "edge_list": (lambda v: isinstance(v, str), "a file-path string"),
+    "dataset": (lambda v: isinstance(v, str), "a dataset-name string"),
+    "scale": (_is_positive_number, "a positive number"),
+}
+
+#: Option names that collide with the query call's own keyword arguments
+#: — they must be given as top-level fields, never inside ``options``.
+RESERVED_OPTION_KEYS = frozenset({
+    "query", "epsilon", "privacy", "mechanism", "label", "user", "seed",
+    "rng", "params", "weight", "options",
+})
+
+
+def _is_options_dict(value) -> bool:
+    return (isinstance(value, dict)
+            and all(isinstance(k, str) and k not in RESERVED_OPTION_KEYS
+                    for k in value))
+
+
+_QUERY_ITEM_FIELDS = {
+    "query": (lambda v: isinstance(v, str),
+              'a query-name string (e.g. "triangle", "2-star")'),
+    "epsilon": (_is_positive_number, "a positive finite number"),
+    "privacy": (lambda v: v in ("node", "edge"), '"node" or "edge"'),
+    "mechanism": (lambda v: isinstance(v, str), "a mechanism-name string"),
+    "label": (lambda v: isinstance(v, str), "a string"),
+    "user": (lambda v: isinstance(v, str), "a tenant-name string"),
+    "seed": (_is_int, "an integer"),
+    "options": (_is_options_dict,
+                "an object with string keys (mechanism options only — "
+                "query/epsilon/privacy/... are top-level fields)"),
+}
+
+
+def _check_query_item(item, path: str, errors: List[str]) -> None:
+    # Presence of query/epsilon is deliberately NOT enforced here: the
+    # batch runner reports a missing field as that one item's failure and
+    # keeps the rest of the workload going.
+    if not isinstance(item, dict):
+        errors.append(f"{path}: must be an object, got {type(item).__name__}")
+        return
+    _check_fields(item, path + ".", _QUERY_ITEM_FIELDS, errors)
+
+
+_BATCH_TOP_FIELDS = {
+    "graph": (lambda v: isinstance(v, dict), "an object"),
+    "budget": (_is_positive_number, "a positive number"),
+    "seed": (_is_int, "an integer"),
+    "workers": (lambda v: _is_int(v) and v >= 1, "a positive integer"),
+    "queries": (lambda v: isinstance(v, list) and len(v) > 0,
+                "a non-empty array of query objects"),
+}
+
+
+def validate_batch_spec(spec: Any) -> Dict:
+    """Validate a ``repro batch`` JSON workload spec, field by field.
+
+    Returns the spec unchanged when valid.  Raises :class:`ValueError`
+    whose message lists **every** offending field with its path — unknown
+    keys, wrong types, and missing required fields — so a workload author
+    fixes the whole spec in one round trip instead of chasing tracebacks.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"batch spec must be a JSON object, got {type(spec).__name__}"
+        )
+    errors: List[str] = []
+    _check_fields(spec, "", _BATCH_TOP_FIELDS, errors)
+    graph = spec.get("graph")
+    if isinstance(graph, dict):
+        _check_fields(graph, "graph.", _GRAPH_FIELDS, errors)
+        if "edge_list" in graph and "dataset" in graph:
+            errors.append(
+                "graph: pass either edge_list or dataset, not both"
+            )
+    if "queries" not in spec:
+        errors.append("queries: required")
+    elif isinstance(spec["queries"], list):
+        for index, item in enumerate(spec["queries"]):
+            _check_query_item(item, f"queries[{index}]", errors)
+    if errors:
+        raise ValueError(
+            "invalid batch spec:\n  " + "\n  ".join(errors)
+        )
+    return spec
+
+
+#: Wire-protocol operations the service understands.
+SERVICE_OPS = ("hello", "ping", "budget", "query", "audit")
+
+
+def _is_wire_seed(value) -> bool:
+    if _is_int(value):
+        return True
+    if isinstance(value, dict):
+        extra = set(value) - {"entropy", "spawn_key"}
+        if extra or "entropy" not in value:
+            return False
+        if not (_is_int(value["entropy"]) and value["entropy"] >= 0):
+            return False
+        spawn_key = value.get("spawn_key", [])
+        return (isinstance(spawn_key, list)
+                and all(_is_int(k) and k >= 0 for k in spawn_key))
+    return False
+
+
+_SERVICE_COMMON_FIELDS = {
+    "v": (_is_int, "an integer protocol version"),
+    "id": (lambda v: isinstance(v, (str, int)) and not isinstance(v, bool),
+           "a string or integer correlation id"),
+    "op": (lambda v: v in SERVICE_OPS, f"one of {', '.join(SERVICE_OPS)}"),
+}
+
+_SERVICE_OP_FIELDS = {
+    "hello": {},
+    "ping": {},
+    "budget": {"user": (lambda v: isinstance(v, str), "a tenant-name string")},
+    "query": {
+        **{k: v for k, v in _QUERY_ITEM_FIELDS.items() if k != "seed"},
+        "seed": (_is_wire_seed,
+                 "an integer or {entropy, spawn_key} object"),
+    },
+    "audit": {
+        "replay": (lambda v: isinstance(v, bool), "a boolean"),
+        "user": (lambda v: isinstance(v, str), "a tenant-name string"),
+    },
+}
+
+
+def validate_service_request(request: Any) -> Dict:
+    """Validate one decoded wire-protocol request frame.
+
+    Returns the frame unchanged when valid; raises :class:`ValueError`
+    naming every offending field.  Version *negotiation* (rejecting
+    ``v != PROTOCOL_VERSION``) is the service's job — this only checks
+    shape.
+    """
+    if not isinstance(request, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    errors: List[str] = []
+    if "op" not in request:
+        errors.append(f"op: required (one of {', '.join(SERVICE_OPS)})")
+    _check_fields(
+        request, "",
+        {**_SERVICE_COMMON_FIELDS,
+         **_SERVICE_OP_FIELDS.get(request.get("op"), {})},
+        errors,
+    )
+    if request.get("op") == "query" and not errors:
+        if "query" not in request:
+            errors.append("query: required")
+        if "epsilon" not in request:
+            errors.append("epsilon: required")
+    if errors:
+        raise ValueError("invalid request: " + "; ".join(errors))
+    return request

@@ -135,6 +135,53 @@ class TestBatchCommand:
         path.write_text("{}")
         assert main(["batch", str(path)]) == 2
 
+    def test_batch_rejects_unknown_and_mistyped_fields(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "graph": {"nodes": "twenty", "avgdeg": 4},
+            "budgit": 1.0,  # typo'd top-level key
+            "queries": [
+                {"query": "triangle", "epsilon": "a lot", "privacy": "both"},
+                {"query": "triangle", "epsilon": 0.5, "mechansim": "smooth"},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        assert main(["batch", str(path)]) == 2
+        err = capsys.readouterr().err
+        # one clear line per offending field, each naming its path
+        assert "budgit: unknown key" in err
+        assert "graph.nodes: must be a positive integer" in err
+        assert "queries[0].epsilon: must be a positive finite number" in err
+        assert 'queries[0].privacy: must be "node" or "edge"' in err
+        assert "queries[1].mechansim: unknown key" in err
+        assert "Traceback" not in err
+
+    def test_batch_rejects_non_object_spec(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("[1, 2, 3]")
+        assert main(["batch", str(path)]) == 2
+        assert "must be a JSON object" in capsys.readouterr().err
+
+    def test_batch_per_user_rows(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "graph": {"nodes": 20, "avgdeg": 4, "seed": 2},
+            "seed": 3,
+            "queries": [
+                {"query": "triangle", "privacy": "edge", "epsilon": 0.5,
+                 "user": "alice"},
+            ],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        assert main(["batch", str(path), "--audit-log"]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out
+        assert '"user": "alice"' in out
+
     def test_batch_malformed_item_does_not_abort_workload(self, tmp_path, capsys):
         import json
 

@@ -130,6 +130,60 @@ class TestMapTasks:
             map_tasks(_boom, [1, 2], workers=2)
 
 
+def _sleep_task(payload, task):
+    import time
+
+    time.sleep(task)
+    return task
+
+
+@needs_fork
+class TestWorkerPoolShutdown:
+    def test_close_does_not_deadlock_on_abandoned_submit(self):
+        """Regression: closing a pool with an unconsumed in-flight
+        apply_async result must return promptly, and the abandoned future
+        must raise instead of blocking forever."""
+        import threading
+
+        from repro.errors import WorkerPoolError
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(2, _sleep_task)
+        abandoned = pool.submit(60.0)  # never consumed before close
+        closer = threading.Thread(target=pool.close)
+        closer.start()
+        closer.join(timeout=30)
+        assert not closer.is_alive(), "WorkerPool.close deadlocked"
+        with pytest.raises(WorkerPoolError, match="shut down"):
+            abandoned.get(timeout=5)
+
+    def test_close_fires_error_callback_for_abandoned_submit(self):
+        from repro.parallel.pool import WorkerPool
+
+        failures = []
+        pool = WorkerPool(2, _sleep_task)
+        pool.submit(60.0, error_callback=failures.append)
+        pool.close()
+        assert len(failures) == 1
+
+    def test_completed_results_survive_close(self):
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(2, _sleep_task)
+        done = pool.submit(0.0)
+        assert done.get(timeout=30) == 0.0
+        pool.close()
+        assert done.get(timeout=1) == 0.0  # still readable after close
+
+    def test_submit_after_close_raises(self):
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(2, _sleep_task)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(0.0)
+
+
 def _fast_strand():
     return 42
 

@@ -15,7 +15,13 @@ from repro import (
 from repro.core import EfficientRecursiveMechanism
 from repro.core.queries import WeightedQuery
 from repro.errors import PrivacyParameterError, SessionError
-from repro.session import BudgetAccountant, BudgetExhausted, LedgerEntry
+from repro.session import (
+    BudgetAccountant,
+    BudgetExhausted,
+    HierarchicalAccountant,
+    LedgerEntry,
+    SharedCompiledCache,
+)
 from repro.subgraphs import k_star, subgraph_krelation
 
 
@@ -75,6 +81,157 @@ class TestBudgetAccountant:
         accountant.charge(_entry("q", 0.5))
         text = json.dumps(accountant.audit_log())
         assert '"epsilon": 0.5' in text
+
+
+class TestReservations:
+    def test_reserve_holds_budget_until_commit(self):
+        accountant = BudgetAccountant(1.0)
+        reservation = accountant.reserve(0.6, label="a")
+        assert accountant.reserved == 0.6
+        assert accountant.remaining == pytest.approx(0.4)
+        assert accountant.spent == 0.0  # held, not yet spent
+        with pytest.raises(BudgetExhausted):
+            accountant.reserve(0.5, label="b")  # hold counts against cap
+        reservation.commit(_entry("a", 0.6))
+        assert accountant.spent == 0.6
+        assert accountant.reserved == 0.0
+
+    def test_rollback_releases_the_hold(self):
+        accountant = BudgetAccountant(1.0)
+        reservation = accountant.reserve(0.9)
+        reservation.rollback()
+        assert accountant.reserved == 0.0
+        accountant.reserve(0.9)  # fits again
+
+    def test_commit_requires_matching_epsilon_and_is_single_shot(self):
+        accountant = BudgetAccountant(1.0)
+        reservation = accountant.reserve(0.5)
+        with pytest.raises(ValueError, match="holds eps"):
+            reservation.commit(_entry("q", 0.25))
+        reservation.commit(_entry("q", 0.5))
+        with pytest.raises(ValueError, match="already"):
+            reservation.commit(_entry("q", 0.5))
+        with pytest.raises(ValueError, match="already"):
+            reservation.rollback()
+
+
+class TestHierarchicalAccountant:
+    def test_user_sub_budgets_partition_the_global_cap(self):
+        accountant = HierarchicalAccountant(1.0, default_user_budget=0.6)
+        accountant.charge(LedgerEntry(0, "a0", "recursive", "t/n", 0.5,
+                                      user="alice"))
+        with pytest.raises(BudgetExhausted) as excinfo:
+            accountant.check(0.2, label="a1", user="alice")
+        assert excinfo.value.user == "alice"
+        assert "alice" in str(excinfo.value)
+        # bob's own sub-budget is fresh; the global cap has 0.5 left
+        accountant.charge(LedgerEntry(0, "b0", "recursive", "t/n", 0.5,
+                                      user="bob"))
+        # now the *global* cap binds for everyone, carrying no tenant
+        with pytest.raises(BudgetExhausted) as excinfo:
+            accountant.check(0.1, label="c0", user="carol")
+        assert excinfo.value.user is None
+
+    def test_explicit_user_budgets_override_default(self):
+        accountant = HierarchicalAccountant(
+            10.0, default_user_budget=1.0, user_budgets={"vip": 5.0}
+        )
+        assert accountant.user_budget("vip") == 5.0
+        assert accountant.user_budget("anyone") == 1.0
+        accountant.set_user_budget("anyone", 2.0)
+        assert accountant.user_budget("anyone") == 2.0
+
+    def test_anonymous_releases_only_hit_the_global_cap(self):
+        accountant = HierarchicalAccountant(1.0, default_user_budget=0.1)
+        accountant.charge(_entry("q", 0.9))  # user=None
+        assert accountant.user_remaining(None) is None
+        assert accountant.spent == 0.9
+
+    def test_per_user_accounting_is_exact(self):
+        accountant = HierarchicalAccountant(None, default_user_budget=1.0)
+        for _ in range(10):
+            accountant.charge(LedgerEntry(0, "q", "m", "t", 0.1, user="u"))
+        assert accountant.user_spent("u") == pytest.approx(1.0)
+        assert not accountant.can_afford(0.1, user="u")
+        assert accountant.users() == ("u",)
+
+    def test_session_mounts_hierarchical_accountant(self, graph):
+        accountant = HierarchicalAccountant(2.0, default_user_budget=0.5)
+        session = PrivateSession(graph, accountant=accountant)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
+                      user="alice")
+        with pytest.raises(BudgetExhausted) as excinfo:
+            session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
+                          user="alice")
+        assert excinfo.value.user == "alice"
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
+                      user="bob")
+        assert session.ledger[0].user == "alice"
+        assert session.ledger[1].user == "bob"
+        assert accountant.user_spent("alice") == 0.5
+        # failed queries roll their reservation back
+        with pytest.raises(Exception):
+            session.query(triangle(), privacy="edge", epsilon=0.4, rng=1,
+                          user="bob", mechanism="nope")
+        assert accountant.reserved == 0.0
+        assert accountant.user_spent("bob") == 0.5
+        session.close()
+
+    def test_session_rejects_budget_and_accountant_together(self, graph):
+        with pytest.raises(SessionError):
+            PrivateSession(graph, budget=1.0,
+                           accountant=BudgetAccountant(1.0))
+        with pytest.raises(SessionError):
+            PrivateSession(graph, accountant="not an accountant")
+        with pytest.raises(SessionError):
+            PrivateSession(graph, cache="not a cache")
+
+
+class TestSharedCompiledCacheUnit:
+    def test_lru_order_and_eviction_counters(self):
+        cache = SharedCompiledCache(maxsize=2)
+        cache.get_or_build(("a",), lambda: "A")
+        cache.get_or_build(("b",), lambda: "B")
+        cache.get_or_build(("a",), lambda: "A2")  # hit refreshes a
+        cache.get_or_build(("c",), lambda: "C")   # evicts b (LRU)
+        assert ("b",) not in cache and ("a",) in cache
+        info = cache.info()
+        assert (info.hits, info.misses, info.size, info.evictions,
+                info.maxsize) == (1, 3, 2, 1, 2)
+
+    def test_resize_evicts_down(self):
+        cache = SharedCompiledCache(maxsize=None)
+        for key in range(4):
+            cache.get_or_build((key,), lambda: key)
+        cache.resize(1)
+        assert len(cache) == 1 and (3,) in cache
+        with pytest.raises(ValueError):
+            cache.resize(0)
+        with pytest.raises(ValueError):
+            SharedCompiledCache(maxsize=-3)
+
+    def test_thread_safe_builds_build_once(self):
+        import threading
+
+        cache = SharedCompiledCache(maxsize=8)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return "value"
+
+        threads = [
+            threading.Thread(
+                target=lambda: cache.get_or_build(("k",), build)
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1
+        assert cache.info().hits == 7
 
 
 class TestSessionQueries:
