@@ -68,6 +68,7 @@ from .core import (
     theorem1_error_bound,
     universal_empirical_sensitivity,
 )
+from .dynamic import GraphDelta, IncrementalOccurrences, VersionedGraph
 from .graphs import (
     Graph,
     erdos_renyi,

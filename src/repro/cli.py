@@ -34,10 +34,19 @@ Batch spec format (JSON)::
       "seed":    7,            // session seed (reproducible workload)
       "queries": [
         {"query": "triangle", "privacy": "node", "epsilon": 0.5},
+        {"update": [{"action": "add_edge", "u": 0, "v": 1},
+                    {"action": "remove_node", "node": 7}]},
         {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
          "mechanism": "smooth", "label": "stars", "user": "alice"}
       ]
     }
+
+    An ``update`` step is an interleaved live graph mutation: the batch
+    runner wraps the graph in a :class:`~repro.dynamic.VersionedGraph`,
+    drains the queries before it, applies the deltas, and every later
+    query sees (exactly) the new version.  With ``--remote`` the step is
+    sent as the wire op ``update`` (``--update-token`` for token-gated
+    servers).
 
 Specs are validated field by field before any work
 (:func:`repro.validation.validate_batch_spec`): unknown keys and wrong
@@ -103,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     source = count.add_mutually_exclusive_group()
     source.add_argument("--edge-list", help="read the graph from this file")
     source.add_argument("--dataset", help="use a Fig. 6 dataset stand-in")
+    count.add_argument("--lenient-edge-list", action="store_true",
+                       help="skip self-loop/duplicate edge lines instead of "
+                            "refusing (SNAP exports often list both "
+                            "orientations of every undirected edge)")
     count.add_argument("--dataset-scale", type=float, default=0.05)
     count.add_argument("--nodes", type=int, default=100,
                        help="random graph size (when no source is given)")
@@ -129,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "instance over the wire protocol instead of "
                             "executing in-process (the spec's graph/budget/"
                             "workers are the server's business then)")
+    batch.add_argument("--update-token", default=None,
+                       help="admin token sent with interleaved update steps "
+                            "(remote mode, servers started with "
+                            "--update-token)")
 
     serve = sub.add_parser(
         "serve",
@@ -140,6 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     source = serve.add_mutually_exclusive_group()
     source.add_argument("--graph", help="serve this edge-list file")
     source.add_argument("--dataset", help="serve a Fig. 6 dataset stand-in")
+    serve.add_argument("--lenient-edge-list", action="store_true",
+                       help="skip self-loop/duplicate edge lines in --graph "
+                            "instead of refusing to start")
     serve.add_argument("--dataset-scale", type=float, default=0.05)
     serve.add_argument("--nodes", type=int, default=100,
                        help="random graph size (when no source is given)")
@@ -165,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=None,
                        help="bound of the process-wide compiled-relation "
                             "cache (entries)")
+    serve.add_argument("--updates", action="store_true",
+                       help="serve the graph as a dynamic VersionedGraph "
+                            "and enable the admin-gated 'update' wire op "
+                            "(live edge/node inserts and deletes)")
+    serve.add_argument("--update-token", default=None, metavar="TOKEN",
+                       help="shared secret the 'update' op must present "
+                            "(with --updates; default: gated only by "
+                            "--updates)")
     serve.add_argument("--announce", metavar="FILE", default=None,
                        help="write the bound host:port to FILE once "
                             "listening (for scripts wanting the ephemeral "
@@ -198,7 +226,8 @@ def _cmd_count(args) -> int:
     from . import private_subgraph_count
 
     if args.edge_list:
-        graph = read_edge_list(args.edge_list)
+        graph = read_edge_list(args.edge_list,
+                               strict=not args.lenient_edge_list)
     elif args.dataset:
         graph = load_dataset(args.dataset, scale=args.dataset_scale)
     else:
@@ -226,7 +255,8 @@ def _graph_from_spec(spec: dict):
 
     graph_spec = spec.get("graph") or {}
     if "edge_list" in graph_spec:
-        return read_edge_list(graph_spec["edge_list"])
+        return read_edge_list(graph_spec["edge_list"],
+                              strict=not graph_spec.get("lenient", False))
     if "dataset" in graph_spec:
         return load_dataset(
             graph_spec["dataset"], scale=graph_spec.get("scale", 0.05)
@@ -251,6 +281,23 @@ def _batch_row(label, item, status, answer=None, epsilon=None, entry=None):
     }
 
 
+def _update_row(label, status, version=None, applied=None):
+    """A table row for one interleaved graph-update step."""
+    query = "update"
+    if version is not None:
+        query = f"update->v{version} ({applied} delta"
+        query += "s)" if applied != 1 else ")"
+    return {
+        "label": label,
+        "mechanism": "-",
+        "query": query,
+        "status": status,
+        "answer": None,
+        "epsilon": None,
+        "user": "-",
+    }
+
+
 _BATCH_COLUMNS = ["label", "user", "mechanism", "query", "epsilon",
                   "status", "answer"]
 
@@ -259,7 +306,7 @@ def _cmd_batch_remote(args, spec) -> int:
     """Round-trip the workload through a running ``repro serve``."""
     import json
 
-    from .errors import ServiceError, ServiceOverloaded
+    from .errors import ServiceError, ServiceForbidden, ServiceOverloaded
     from .experiments import format_table
     from .service import ServiceClient
     from .session import BudgetExhausted
@@ -278,6 +325,31 @@ def _cmd_batch_remote(args, spec) -> int:
               f"v{hello['protocol']}, multi_tenant={hello['multi_tenant']})")
         for index, item in enumerate(spec["queries"]):
             label = item.get("label", f"q{index}")
+            if "update" in item:
+                # An interleaved live update: the server serializes it
+                # with admissions, so earlier remote queries completed
+                # against the old version and later ones see the new.
+                try:
+                    outcome = client.update(
+                        item["update"], token=args.update_token, label=label,
+                    )
+                except ServiceForbidden as error:
+                    failed += 1
+                    rows.append(_update_row(label, "forbidden"))
+                    print(f"update forbidden {label!r}: {error}",
+                          file=sys.stderr)
+                    continue
+                except (ValueError, ServiceError) as error:
+                    failed += 1
+                    rows.append(_update_row(label, "update-failed"))
+                    print(f"update failed {label!r}: {error}",
+                          file=sys.stderr)
+                    continue
+                rows.append(_update_row(
+                    label, "applied", version=outcome["version"],
+                    applied=outcome["applied"],
+                ))
+                continue
             if "seed" in item:
                 wire_seed = item["seed"]
             elif seed is not None:
@@ -374,20 +446,64 @@ def _cmd_batch(args) -> int:
         return _cmd_batch_remote(args, spec)
 
     graph = _graph_from_spec(spec)
+    has_updates = any(isinstance(item, dict) and "update" in item
+                      for item in queries)
+    if has_updates:
+        from .dynamic import VersionedGraph
+
+        graph = VersionedGraph(graph)
     budget = args.budget if args.budget is not None else spec.get("budget")
     seed = args.seed if args.seed is not None else spec.get("seed")
     workers = args.workers if args.workers is not None else spec.get("workers", 1)
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
           f"budget: {'unlimited' if budget is None else budget}; "
-          f"workers: {workers}")
+          f"workers: {workers}"
+          + ("; dynamic (interleaved updates)" if has_updates else ""))
 
     rows = []
     failed = 0
     with PrivateSession(graph, budget=budget, workers=workers, rng=seed,
                         name="batch") as session:
         pending = []
+
+        def drain() -> int:
+            """Collect every pending future into rows; count failures."""
+            drained_failures = 0
+            for label, item, future in pending:
+                try:
+                    result = future.result()
+                except Exception as error:  # surface per-query failures
+                    drained_failures += 1
+                    rows.append(_batch_row(label, item, "failed",
+                                           entry=future.entry.to_dict()))
+                    print(f"failed {label!r}: {error}", file=sys.stderr)
+                    continue
+                rows.append(_batch_row(label, item, future.entry.status,
+                                       answer=result.answer,
+                                       entry=future.entry.to_dict()))
+            pending.clear()
+            return drained_failures
+
         for index, item in enumerate(queries):
             label = item.get("label", f"q{index}")
+            if "update" in item:
+                # Updates are barriers: earlier queries complete against
+                # the old version, later ones see the new one.
+                failed += drain()
+                try:
+                    outcome = session.apply_update(item["update"],
+                                                   label=label)
+                except Exception as error:
+                    failed += 1
+                    rows.append(_update_row(label, "update-failed"))
+                    print(f"update failed {label!r}: {error}",
+                          file=sys.stderr)
+                    continue
+                rows.append(_update_row(
+                    label, "applied", version=outcome.version,
+                    applied=outcome.applied,
+                ))
+                continue
             try:
                 future = session.submit(
                     item["query"],
@@ -409,18 +525,7 @@ def _cmd_batch(args) -> int:
                 print(f"invalid {label!r}: {error}", file=sys.stderr)
                 continue
             pending.append((label, item, future))
-        for label, item, future in pending:
-            try:
-                result = future.result()
-            except Exception as error:  # surface per-query failures
-                failed += 1
-                rows.append(_batch_row(label, item, "failed",
-                                       entry=future.entry.to_dict()))
-                print(f"failed {label!r}: {error}", file=sys.stderr)
-                continue
-            rows.append(_batch_row(label, item, future.entry.status,
-                                   answer=result.answer,
-                                   entry=future.entry.to_dict()))
+        failed += drain()
         print(format_table(rows, _BATCH_COLUMNS, title="batch workload"))
         info = session.cache_info()
         remaining = session.remaining
@@ -441,7 +546,8 @@ def _cmd_serve(args) -> int:
     from .session import HierarchicalAccountant, PrivateSession, shared_cache
 
     if args.graph:
-        graph = read_edge_list(args.graph)
+        graph = read_edge_list(args.graph,
+                               strict=not args.lenient_edge_list)
     elif args.dataset:
         graph = load_dataset(args.dataset, scale=args.dataset_scale)
     else:
@@ -465,6 +571,15 @@ def _cmd_serve(args) -> int:
             print(f"--user-budget {pair!r}: {eps!r} is not a positive "
                   "finite number", file=sys.stderr)
             return 2
+    if args.update_token is not None and not args.updates:
+        print("--update-token only makes sense with --updates (as given, "
+              "updates would stay disabled and the token ignored)",
+              file=sys.stderr)
+        return 2
+    if args.updates:
+        from .dynamic import VersionedGraph
+
+        graph = VersionedGraph(graph)
     accountant = HierarchicalAccountant(
         args.epsilon,
         default_user_budget=args.user_epsilon,
@@ -480,16 +595,22 @@ def _cmd_serve(args) -> int:
     service = PrivateQueryService(
         session, host=args.host, port=args.port,
         max_pending=args.max_pending, seed=args.seed,
+        updates=args.updates, update_token=args.update_token,
     )
 
     async def run() -> None:
         host, port = await service.start()
         print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+        updates_mode = "disabled"
+        if args.updates:
+            updates_mode = ("token-gated" if args.update_token is not None
+                            else "enabled")
         print(f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
               f"budget "
               f"{'unlimited' if args.epsilon is None else args.epsilon}, "
               f"per-user "
-              f"{'uncapped' if args.user_epsilon is None else args.user_epsilon})",
+              f"{'uncapped' if args.user_epsilon is None else args.user_epsilon}, "
+              f"updates {updates_mode})",
               flush=True)
         if args.announce:
             with open(args.announce, "w") as handle:

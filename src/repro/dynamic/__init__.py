@@ -1,0 +1,33 @@
+"""Dynamic-graph subsystem: versioned storage + incremental maintenance.
+
+The serving stack above :mod:`repro.graphs` was built over a frozen
+graph; this package makes the data *evolve under the service*:
+
+* :class:`VersionedGraph` — a :class:`~repro.graphs.Graph` with an
+  append-only update log, a monotone version counter, and O(1)
+  snapshots (:class:`GraphSnapshot`);
+* :class:`~repro.dynamic.delta.GraphDelta` — one effective mutation, in
+  replayable / JSON-wire form;
+* :class:`IncrementalOccurrences` — per-pattern occurrence relations
+  maintained by delta-joins against the touched neighborhood instead of
+  from-scratch re-enumeration, with a full-rebuild fallback and an
+  equivalence oracle.
+
+The session layer threads the version through compiled-relation cache
+keys (:meth:`repro.session.PrivateSession.apply_update`), and the
+network service exposes live updates as the admin-gated v1 wire op
+``update`` (``python -m repro serve --updates``).
+"""
+
+from .delta import DELTA_KINDS, GraphDelta
+from .incremental import IncrementalOccurrences
+from .versioned import GraphSnapshot, VersionedGraph, version_token
+
+__all__ = [
+    "DELTA_KINDS",
+    "GraphDelta",
+    "GraphSnapshot",
+    "IncrementalOccurrences",
+    "VersionedGraph",
+    "version_token",
+]

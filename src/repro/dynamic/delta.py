@@ -1,0 +1,163 @@
+"""Graph update deltas: the unit of the dynamic-graph update log.
+
+A :class:`GraphDelta` records one *effective* mutation of a
+:class:`~repro.graphs.Graph` — an edge or node insert/delete — in a form
+that can be (1) replayed onto a plain graph to reconstruct any historical
+version (:meth:`GraphDelta.apply_to`), (2) consumed by the incremental
+occurrence maintainer (:mod:`repro.dynamic.incremental`), and (3) shipped
+over the wire / stored in a session's audit ledger as plain JSON
+(:meth:`GraphDelta.to_dict` / :meth:`GraphDelta.from_action`).
+
+The wire/spec form is an *action* object::
+
+    {"action": "add_edge", "u": 1, "v": 2}
+    {"action": "remove_edge", "u": 1, "v": 2}
+    {"action": "add_node", "node": 7}
+    {"action": "remove_node", "node": 7}
+
+``remove_node`` deltas additionally carry the incident edges that were
+removed with the node (captured by the versioned store at removal time):
+the maintainer needs them to drop every occurrence the node participated
+in, and a replay of the delta does not (``Graph.remove_node`` removes
+incident edges itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from ..errors import GraphError
+
+__all__ = ["GraphDelta", "DELTA_KINDS"]
+
+#: The update vocabulary, matching the mutators of :class:`~repro.graphs.Graph`.
+DELTA_KINDS = ("add_node", "remove_node", "add_edge", "remove_edge")
+
+_EDGE_KINDS = ("add_edge", "remove_edge")
+_NODE_KINDS = ("add_node", "remove_node")
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One effective graph mutation.
+
+    ``u`` is the node for node deltas, and one endpoint for edge deltas
+    (``v`` is the other endpoint, ``None`` for node deltas).
+    ``removed_edges`` is populated only on ``remove_node`` deltas: the
+    ``(node, neighbor)`` pairs that vanished with the node.
+    """
+
+    kind: str
+    u: Any
+    v: Any = None
+    removed_edges: Tuple[Tuple[Any, Any], ...] = field(default=())
+
+    def __post_init__(self):
+        if self.kind not in DELTA_KINDS:
+            raise GraphError(
+                f"unknown delta kind {self.kind!r}; "
+                f"expected one of {', '.join(DELTA_KINDS)}"
+            )
+        if self.kind in _EDGE_KINDS and self.v is None:
+            raise GraphError(f"{self.kind} delta needs both endpoints")
+        if self.kind in _NODE_KINDS and self.v is not None:
+            raise GraphError(f"{self.kind} delta takes a single node")
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def add_edge(cls, u, v) -> "GraphDelta":
+        return cls("add_edge", u, v)
+
+    @classmethod
+    def remove_edge(cls, u, v) -> "GraphDelta":
+        return cls("remove_edge", u, v)
+
+    @classmethod
+    def add_node(cls, node) -> "GraphDelta":
+        return cls("add_node", node)
+
+    @classmethod
+    def remove_node(cls, node, removed_edges=()) -> "GraphDelta":
+        return cls("remove_node", node,
+                   removed_edges=tuple((a, b) for a, b in removed_edges))
+
+    @classmethod
+    def from_action(cls, action) -> "GraphDelta":
+        """Build a delta from its wire/spec *action* object.
+
+        Accepts a :class:`GraphDelta` unchanged.  Raises
+        :class:`~repro.errors.GraphError` with the offending field for
+        malformed actions — the validation backstop behind
+        :func:`repro.validation.validate_service_request`.
+        """
+        if isinstance(action, GraphDelta):
+            return action
+        if not isinstance(action, dict):
+            raise GraphError(
+                f"update action must be an object, got {type(action).__name__}"
+            )
+        kind = action.get("action")
+        if kind not in DELTA_KINDS:
+            raise GraphError(
+                f"action must be one of {', '.join(DELTA_KINDS)}, "
+                f"got {kind!r}"
+            )
+        if kind in _EDGE_KINDS:
+            extra = set(action) - {"action", "u", "v"}
+            if extra or "u" not in action or "v" not in action:
+                raise GraphError(
+                    f"{kind} action needs exactly {{action, u, v}}, "
+                    f"got {sorted(action)}"
+                )
+            return cls(kind, action["u"], action["v"])
+        # remove_node round-trips its captured incident edges (to_dict
+        # emits them), so an audit-exported update log re-applies cleanly.
+        allowed = {"action", "node"}
+        if kind == "remove_node":
+            allowed.add("removed_edges")
+        extra = set(action) - allowed
+        if extra or "node" not in action:
+            raise GraphError(
+                f"{kind} action needs exactly {{action, node}}, "
+                f"got {sorted(action)}"
+            )
+        removed = action.get("removed_edges") or ()
+        try:
+            removed = tuple((a, b) for a, b in removed)
+        except (TypeError, ValueError):
+            raise GraphError(
+                f"removed_edges must be a list of [u, v] pairs, "
+                f"got {action.get('removed_edges')!r}"
+            ) from None
+        return cls(kind, action["node"], removed_edges=removed)
+
+    # -- use --------------------------------------------------------------------
+    @property
+    def is_edge_delta(self) -> bool:
+        return self.kind in _EDGE_KINDS
+
+    def apply_to(self, graph) -> None:
+        """Replay this delta onto a plain :class:`~repro.graphs.Graph`."""
+        if self.kind == "add_edge":
+            graph.add_edge(self.u, self.v)
+        elif self.kind == "remove_edge":
+            graph.remove_edge(self.u, self.v)
+        elif self.kind == "add_node":
+            graph.add_node(self.u)
+        else:  # remove_node (removes incident edges itself)
+            graph.remove_node(self.u)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-friendly action form (ledger / wire export)."""
+        if self.is_edge_delta:
+            return {"action": self.kind, "u": self.u, "v": self.v}
+        out: Dict[str, Any] = {"action": self.kind, "node": self.u}
+        if self.kind == "remove_node" and self.removed_edges:
+            out["removed_edges"] = [[a, b] for a, b in self.removed_edges]
+        return out
+
+    def __repr__(self) -> str:
+        if self.is_edge_delta:
+            return f"GraphDelta({self.kind}, {self.u!r}-{self.v!r})"
+        return f"GraphDelta({self.kind}, {self.u!r})"

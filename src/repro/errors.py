@@ -22,6 +22,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "ServiceOverloaded",
+    "ServiceForbidden",
     "RemoteServiceError",
     "LPError",
     "LPInfeasibleError",
@@ -92,6 +93,12 @@ class ProtocolError(ServiceError):
 
 class ServiceOverloaded(ServiceError):
     """The service refused a request under backpressure (retry later)."""
+
+
+class ServiceForbidden(ServiceError, PermissionError):
+    """An admin-gated operation was refused (e.g. live updates disabled,
+    or the update token did not match).  Also a :class:`PermissionError`
+    so generic permission handling catches it."""
 
 
 class RemoteServiceError(ServiceError):

@@ -49,13 +49,20 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
 
-    def remove_node(self, node: Node) -> None:
-        """Remove ``node`` and all incident edges (the node-privacy change)."""
+    def remove_node(self, node: Node) -> List[Edge]:
+        """Remove ``node`` and all incident edges (the node-privacy change).
+
+        Returns the removed incident edges as ``(node, neighbor)`` pairs
+        in deterministic (sorted-repr) order, so callers tracking updates
+        (the dynamic-graph store) see exactly what vanished.
+        """
         if node not in self._adj:
             raise GraphError(f"unknown node {node!r}")
-        for neighbor in self._adj[node]:
+        neighbors = sorted(self._adj[node], key=repr)
+        for neighbor in neighbors:
             self._adj[neighbor].discard(node)
         del self._adj[node]
+        return [(node, neighbor) for neighbor in neighbors]
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}`` (the edge-privacy change)."""

@@ -1,19 +1,29 @@
 """Edge-list IO.
 
 The format is the plain whitespace-separated edge list used by SNAP and the
-UF sparse matrix collection exports: one ``u v`` pair per line, ``#``
+UF sparse matrix collection exports: one ``u v`` pair per line, ``#``/``%``
 comments allowed.  Node labels are read as ints when possible, else strings.
+
+:func:`read_edge_list` is strict by default — malformed lines, self-loops,
+and duplicate edges are collected and reported together, each with its line
+number, instead of being silently skipped (a serving process pointed at a
+corrupt file with ``repro serve --graph`` should refuse to start, not serve
+a quietly different graph).  Pass ``strict=False`` for the lenient legacy
+behavior (skip self-loops and duplicates).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import List, Union
 
 from ..errors import GraphError
 from .graph import Graph
 
 __all__ = ["read_edge_list", "write_edge_list"]
+
+#: Cap on how many per-line problems one error message lists.
+_MAX_REPORTED_LINES = 20
 
 
 def _parse_label(token: str):
@@ -23,12 +33,22 @@ def _parse_label(token: str):
         return token
 
 
-def read_edge_list(path: Union[str, Path]) -> Graph:
-    """Read a graph from an edge-list file (self-loops are skipped)."""
+def read_edge_list(path: Union[str, Path], strict: bool = True) -> Graph:
+    """Read a graph from an edge-list file.
+
+    With ``strict=True`` (the default) every offending line is an error:
+    lines with fewer than two fields, self-loops, and duplicate edges
+    (in either orientation) all raise one :class:`~repro.errors.GraphError`
+    listing each problem as ``path:line: message``.  ``strict=False``
+    skips self-loops and duplicates silently (malformed lines still
+    raise) — the historical behavior.
+    """
     graph = Graph()
     path = Path(path)
     if not path.exists():
         raise GraphError(f"edge list not found: {path}")
+    problems: List[str] = []
+    first_seen = {}
     with path.open() as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -36,11 +56,36 @@ def read_edge_list(path: Union[str, Path]) -> Graph:
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise GraphError(f"{path}:{line_number}: expected 'u v', got {line!r}")
+                problems.append(
+                    f"{path}:{line_number}: expected 'u v', got {line!r}"
+                )
+                continue
             u, v = _parse_label(parts[0]), _parse_label(parts[1])
             if u == v:
+                if strict:
+                    problems.append(
+                        f"{path}:{line_number}: self-loop {u!r} {v!r} "
+                        "(not allowed in a simple graph)"
+                    )
                 continue
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            if key in first_seen:
+                if strict:
+                    problems.append(
+                        f"{path}:{line_number}: duplicate edge {u!r} {v!r} "
+                        f"(first seen on line {first_seen[key]})"
+                    )
+                continue
+            first_seen[key] = line_number
             graph.add_edge(u, v)
+    if problems:
+        shown = problems[:_MAX_REPORTED_LINES]
+        if len(problems) > len(shown):
+            shown.append(f"... and {len(problems) - len(shown)} more")
+        raise GraphError(
+            f"invalid edge list ({len(problems)} problem"
+            f"{'s' if len(problems) != 1 else ''}):\n  " + "\n  ".join(shown)
+        )
     return graph
 
 

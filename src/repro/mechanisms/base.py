@@ -222,7 +222,15 @@ class Mechanism:
             )
         from ..subgraphs.annotate import subgraph_krelation
 
-        return subgraph_krelation(self._graph(), spec.pattern, privacy=spec.privacy)
+        graph = self._graph()
+        # Dynamic graphs (repro.dynamic.VersionedGraph) maintain their
+        # occurrence relations incrementally under updates — preparing a
+        # query over one reads the maintained relation instead of
+        # re-enumerating from scratch.
+        provider = getattr(graph, "occurrences_for", None)
+        occurrences = provider(spec.pattern) if provider is not None else None
+        return subgraph_krelation(graph, spec.pattern, privacy=spec.privacy,
+                                  occurrences=occurrences)
 
     def prepare(self, spec: QuerySpec) -> PreparedQuery:
         """Do all per-query precomputation; checks the privacy model."""

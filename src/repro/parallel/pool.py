@@ -205,6 +205,21 @@ class WorkerPool:
         self._pending = still_pending
         return result
 
+    def inflight(self) -> int:
+        """Number of submitted tasks whose results are not yet ready.
+
+        Only counts results something still holds a reference to — an
+        abandoned (garbage-collected) result cannot be waited on, so it
+        does not block callers that need a drained pool (e.g.
+        ``PrivateSession.apply_update``).
+        """
+        count = 0
+        for ref in self._pending:
+            result = ref()
+            if result is not None and not result.ready():
+                count += 1
+        return count
+
     def close(self) -> None:
         """Terminate the workers and release the payload slot.
 

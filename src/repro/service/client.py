@@ -22,12 +22,14 @@ from ..errors import (
     ProtocolError,
     RemoteServiceError,
     ServiceError,
+    ServiceForbidden,
     ServiceOverloaded,
 )
 from ..session import BudgetExhausted
 from .protocol import (
     ERR_BAD_REQUEST,
     ERR_BUDGET_EXHAUSTED,
+    ERR_FORBIDDEN,
     ERR_OVERLOADED,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -131,6 +133,8 @@ class ServiceClient:
             raise BudgetExhausted(message, user=error.get("user"))
         if code == ERR_OVERLOADED:
             raise ServiceOverloaded(message)
+        if code == ERR_FORBIDDEN:
+            raise ServiceForbidden(message)
         if code == ERR_BAD_REQUEST:
             raise ValueError(message)
         raise RemoteServiceError(f"[{code}] {message}")
@@ -184,6 +188,24 @@ class ServiceClient:
             "query", query=query, epsilon=epsilon, privacy=privacy,
             mechanism=mechanism, label=label, seed=seed, options=options,
             user=user if user is not None else self._user,
+        ))["result"]
+
+    def update(self, actions: List[Dict[str, Any]], *,
+               token: Optional[str] = None,
+               label: Optional[str] = None) -> Dict[str, Any]:
+        """Apply a live graph update (dynamic servers only).
+
+        ``actions`` is a list of update-action objects
+        (``{"action": "add_edge", "u": 1, "v": 2}``, ``{"action":
+        "remove_node", "node": 7}`` ...), applied in order as one
+        admission-serialized step.  Returns ``{version, applied, deltas,
+        num_nodes, num_edges}``.  Raises
+        :class:`~repro.errors.ServiceForbidden` when the server has
+        updates disabled or the admin ``token`` does not match, and
+        :class:`ValueError` for invalid actions.
+        """
+        return self._roundtrip(self._request(
+            "update", actions=list(actions), token=token, label=label,
         ))["result"]
 
     def audit(self, *, replay: bool = False,

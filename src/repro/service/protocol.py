@@ -18,6 +18,17 @@ the field-by-field contract)::
     {"v": 1, "id": "a1", "op": "audit", "replay": true}
     {"v": 1, "op": "budget", "user": "alice"}
     {"v": 1, "op": "hello"}   {"v": 1, "op": "ping"}
+    {"v": 1, "id": "u1", "op": "update", "token": "...",
+     "actions": [{"action": "add_edge", "u": 1, "v": 2},
+                 {"action": "remove_node", "node": 7}]}
+
+The ``update`` op mutates the served graph (dynamic deployments only,
+``repro serve --updates``): it is admin-gated (``forbidden`` unless
+enabled, and unless ``token`` matches ``--update-token`` when one is
+set) and serialized with admissions on the event loop — an update admits
+only after in-flight queries drain, and queries arriving behind it wait
+until it applied, so every query deterministically sees exactly one
+graph version (reported back in its result frame).
 
 Determinism over the wire: a request may pin its noise seed explicitly —
 an ``int``, or ``{"entropy": E, "spawn_key": [k...]}`` naming a
@@ -47,6 +58,7 @@ __all__ = [
     "ERR_BUDGET_EXHAUSTED",
     "ERR_OVERLOADED",
     "ERR_FAILED",
+    "ERR_FORBIDDEN",
     "encode_frame",
     "decode_frame",
     "result_frame",
@@ -72,6 +84,7 @@ ERR_UNSUPPORTED_VERSION = "unsupported_version"
 ERR_BUDGET_EXHAUSTED = "budget_exhausted"
 ERR_OVERLOADED = "overloaded"  # backpressure: bounded queue is full (429)
 ERR_FAILED = "failed"  # mechanism failed after admission (budget spent)
+ERR_FORBIDDEN = "forbidden"  # admin-gated op refused (updates disabled/bad token)
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:

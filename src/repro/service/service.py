@@ -28,7 +28,16 @@ API into a deployable multi-tenant private-query server:
 * **streaming audit** — the ``audit`` op replays the session ledger over
   the wire, one :class:`~repro.session.LedgerEntry` per frame, optionally
   re-executing every replayable entry server-side to verify answers
-  bit-for-bit.
+  bit-for-bit;
+* **live updates** — over a dynamic session (a
+  :class:`~repro.dynamic.VersionedGraph`), the admin-gated ``update`` op
+  mutates the served graph through
+  :meth:`~repro.session.PrivateSession.apply_update`.  Updates are
+  serialized with admissions on the event loop behind a drain barrier:
+  an update waits for in-flight queries to finish, queries arriving
+  behind a pending update wait for it to apply, so every query
+  deterministically sees exactly one graph version (echoed in its
+  result frame) and the budget/answer streams stay reproducible.
 
 ``python -m repro serve`` wires this to a graph and prints the bound
 address; :class:`repro.service.client.ServiceClient` is the matching
@@ -38,6 +47,7 @@ blocking client.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import threading
 from collections import defaultdict
 from typing import Dict, Optional, Tuple
@@ -53,6 +63,7 @@ from .protocol import (
     ERR_BAD_REQUEST,
     ERR_BUDGET_EXHAUSTED,
     ERR_FAILED,
+    ERR_FORBIDDEN,
     ERR_OVERLOADED,
     ERR_UNSUPPORTED_VERSION,
     MAX_FRAME_BYTES,
@@ -93,11 +104,20 @@ class PrivateQueryService:
         reproducible; ``None`` draws fresh entropy.
     name:
         Label reported by the ``hello`` op.
+    updates:
+        Enable the admin-gated ``update`` op (requires a dynamic session
+        — one over a :class:`~repro.dynamic.VersionedGraph`).  Disabled
+        by default: a static deployment refuses updates with
+        ``forbidden``.
+    update_token:
+        Shared secret the ``update`` op must present (``token`` field)
+        when set.  ``None`` leaves the op gated only by ``updates=``.
     """
 
     def __init__(self, session: PrivateSession, *, host: str = "127.0.0.1",
                  port: int = 0, max_pending: int = 64,
-                 seed: Optional[int] = None, name: str = "repro-service"):
+                 seed: Optional[int] = None, name: str = "repro-service",
+                 updates: bool = False, update_token: Optional[str] = None):
         if not isinstance(session, PrivateSession):
             raise TypeError(
                 f"PrivateQueryService fronts a PrivateSession, got "
@@ -108,6 +128,15 @@ class PrivateQueryService:
             raise ValueError(
                 f"max_pending must be an integer >= 0, got {max_pending!r}"
             )
+        if updates and not session.dynamic:
+            raise ValueError(
+                "updates=True needs a dynamic session (wrap the graph in "
+                "repro.dynamic.VersionedGraph)"
+            )
+        if update_token is not None and not isinstance(update_token, str):
+            raise ValueError(
+                f"update_token must be a string, got {update_token!r}"
+            )
         self._session = session
         self._host = host
         self._port = port
@@ -115,9 +144,16 @@ class PrivateQueryService:
         self._entropy = (np.random.SeedSequence().entropy if seed is None
                          else int(seed))
         self.name = name
+        self._updates_enabled = bool(updates)
+        self._update_token = update_token
         self._granted: Dict[Optional[str], int] = defaultdict(int)
         self._inflight = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Pending-update barrier: while an update waits to apply, new
+        #: queries/audits queue on this future instead of admitting.
+        self._update_barrier: Optional[asyncio.Future] = None
+        #: Drain signal: set when the in-flight count returns to zero.
+        self._drained: Optional[asyncio.Future] = None
 
     # -- lifecycle --------------------------------------------------------------
     @property
@@ -214,6 +250,9 @@ class PrivateQueryService:
             if op == "query":
                 frame = await self._op_query(request)
                 writer.write(encode_frame(frame))
+            elif op == "update":
+                frame = await self._op_update(request)
+                writer.write(encode_frame(frame))
             elif op == "audit":
                 await self._op_audit(request, writer)
             else:
@@ -237,10 +276,33 @@ class PrivateQueryService:
             "multi_tenant": isinstance(accountant, HierarchicalAccountant),
             "max_pending": self._max_pending,
             "budget": self._budget_summary(),
+            "updates": self._updates_enabled,
+            "graph_version": self._session.graph_version,
         }
 
     def _op_ping(self, request) -> Dict:
         return {"pong": True, "inflight": self._inflight}
+
+    # -- update serialization (the drain barrier) -------------------------------
+    async def _admission_turn(self) -> None:
+        """Wait for any pending update before admitting new work.
+
+        Queries/audits arriving while an update is waiting to apply queue
+        here, so the update is a clean barrier in admission order: work
+        admitted before it finishes first, work admitted after it sees
+        the new graph version.
+        """
+        while self._update_barrier is not None:
+            await self._update_barrier
+
+    def _enter_flight(self) -> None:
+        self._inflight += 1
+
+    def _exit_flight(self) -> None:
+        self._inflight -= 1
+        if (self._inflight == 0 and self._drained is not None
+                and not self._drained.done()):
+            self._drained.set_result(None)
 
     def _budget_summary(self) -> Dict:
         accountant = self._session.accountant
@@ -278,6 +340,7 @@ class PrivateQueryService:
         """Admit, budget, dispatch, and answer one private query."""
         request_id = request.get("id")
         user = request.get("user")
+        await self._admission_turn()
         if self._inflight >= self._max_pending:
             return error_frame(
                 request_id, ERR_OVERLOADED,
@@ -311,7 +374,7 @@ class PrivateQueryService:
             # refusals never shift later answers.
             self._granted[user] += 1
         entry = future.entry
-        self._inflight += 1
+        self._enter_flight()
         try:
             if future.done():
                 result = future.result()
@@ -329,7 +392,7 @@ class PrivateQueryService:
                 user=user,
             )
         finally:
-            self._inflight -= 1
+            self._exit_flight()
         return result_frame(request_id, {
             "answer": float(result.answer),
             "label": entry.label,
@@ -341,7 +404,75 @@ class PrivateQueryService:
             "index": entry.index,
             "cache_hit": entry.cache_hit,
             "seed": seed_to_wire(entry.seed),
+            # The one graph version this query saw (None: static data).
+            "version": entry.extra.get("version"),
         })
+
+    # -- live updates -----------------------------------------------------------
+    async def _op_update(self, request) -> Dict:
+        """Apply a graph update: admin-gated, a barrier in admission order.
+
+        The update waits for every in-flight request to drain (new
+        arrivals queue behind it on the barrier), then applies on the
+        event-loop thread — so it is atomic with respect to admissions
+        and each query sees exactly one version.  Updates spend no
+        privacy budget; they are ledgered with their deltas for audit.
+        """
+        request_id = request.get("id")
+        if not self._updates_enabled:
+            return error_frame(
+                request_id, ERR_FORBIDDEN,
+                "live updates are disabled on this server "
+                "(start it with updates enabled, e.g. `repro serve "
+                "--updates`)",
+            )
+        if self._update_token is not None:
+            token = request.get("token")
+            if not isinstance(token, str) or not hmac.compare_digest(
+                token, self._update_token
+            ):
+                return error_frame(
+                    request_id, ERR_FORBIDDEN,
+                    "update refused: missing or invalid admin token",
+                )
+        # Serialize with other updates, then raise the barrier.
+        await self._admission_turn()
+        loop = asyncio.get_running_loop()
+        barrier = loop.create_future()
+        self._update_barrier = barrier
+        try:
+            while self._inflight > 0:
+                self._drained = loop.create_future()
+                await self._drained
+            self._drained = None
+            version_before = self._session.graph_version
+            try:
+                outcome = self._session.apply_update(
+                    request["actions"], label=request.get("label"),
+                )
+            except (ReproError, ValueError, TypeError) as error:
+                # Application is sequential, not transactional: tell the
+                # remote caller exactly how far it got — "bad_request"
+                # alone would read as "rejected, no effect".
+                version_after = self._session.graph_version
+                message = str(error)
+                if version_after != version_before:
+                    message += (
+                        f" (earlier actions in this update WERE applied: "
+                        f"the graph moved v{version_before}->"
+                        f"v{version_after}; see the audit log)"
+                    )
+                return error_frame(request_id, ERR_BAD_REQUEST, message)
+            return result_frame(request_id, {
+                "version": outcome.version,
+                "applied": outcome.applied,
+                "deltas": [delta.to_dict() for delta in outcome.deltas],
+                "num_nodes": self._session.data.num_nodes,
+                "num_edges": self._session.data.num_edges,
+            })
+        finally:
+            self._update_barrier = None
+            barrier.set_result(None)
 
     # -- streaming audit --------------------------------------------------------
     async def _op_audit(self, request,
@@ -361,6 +492,7 @@ class PrivateQueryService:
         user = request.get("user")
         replay = bool(request.get("replay", False))
         accountant = self._session.accountant
+        await self._admission_turn()
         if replay:
             if self._inflight >= self._max_pending:
                 writer.write(encode_frame(error_frame(
@@ -369,11 +501,11 @@ class PrivateQueryService:
                     f"(max_pending={self._max_pending}); retry later",
                 )))
                 return
-            self._inflight += 1
+            self._enter_flight()
             try:
                 records = self._session.replay()
             finally:
-                self._inflight -= 1
+                self._exit_flight()
             matched = 0
             streamed = 0
             for record in records:

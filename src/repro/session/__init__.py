@@ -30,12 +30,13 @@ from .cache import (
     SharedCompiledCache,
     shared_cache,
 )
-from .session import PrivateSession, QueryFuture, ReplayRecord
+from .session import PrivateSession, QueryFuture, ReplayRecord, UpdateResult
 
 __all__ = [
     "PrivateSession",
     "QueryFuture",
     "ReplayRecord",
+    "UpdateResult",
     "BudgetAccountant",
     "HierarchicalAccountant",
     "Reservation",

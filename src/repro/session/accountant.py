@@ -110,6 +110,11 @@ class LedgerEntry:
             "cache_hit": self.cache_hit,
             "seconds": self.seconds,
             "user": self.user,
+            # Dynamic sessions: which graph version the entry saw
+            # (queries) or produced (updates); None over static data.
+            "version": self.extra.get("version"),
+            # Update entries: the effective deltas, in action form.
+            "update": self.extra.get("update"),
         }
 
 
@@ -277,6 +282,21 @@ class BudgetAccountant:
         """
         entry.epsilon = self.check(entry.epsilon, label=entry.label,
                                    user=entry.user)
+        return self._append(entry)
+
+    def record(self, entry: LedgerEntry) -> LedgerEntry:
+        """Append a zero-cost administrative entry without a budget check.
+
+        Graph updates (``status="update"``, ``epsilon=0.0``) are audited
+        in the same ledger as releases — they change what later answers
+        mean — but spend no privacy budget, so they bypass the ε
+        validation of :meth:`charge`.
+        """
+        if entry.epsilon != 0.0:
+            raise ValueError(
+                f"record() is for zero-epsilon entries; {entry.label!r} "
+                f"charges eps={entry.epsilon:g} — use charge()/reserve()"
+            )
         return self._append(entry)
 
     def _append(self, entry: LedgerEntry) -> LedgerEntry:

@@ -84,6 +84,7 @@ class CacheInfo:
     size: int
     evictions: int = 0
     maxsize: Optional[int] = None
+    invalidations: int = 0
 
 
 class CompiledRelationCache:
@@ -97,6 +98,7 @@ class CompiledRelationCache:
         self._entries: Dict[tuple, object] = {}
         self._hits = 0
         self._misses = 0
+        self._invalidations = 0
 
     def get_or_build(self, key: tuple, build: Callable[[], object]):
         """Return ``(value, hit)`` — building and storing on first use."""
@@ -108,10 +110,27 @@ class CompiledRelationCache:
         self._entries[key] = value
         return value, False
 
+    def invalidate(self, predicate: Callable[[tuple], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        The dynamic-graph hook: after an update has superseded a graph
+        version, the session can invalidate that version's compiled
+        relations explicitly (they are never *served* to new queries
+        either way — the version lives in the key — but invalidation
+        frees the memory and forecloses replay reuse).  Returns the
+        number of entries removed.
+        """
+        removed = [key for key in self._entries if predicate(key)]
+        for key in removed:
+            del self._entries[key]
+        self._invalidations += len(removed)
+        return len(removed)
+
     def info(self) -> CacheInfo:
         """Current hit/miss/size counters."""
         return CacheInfo(hits=self._hits, misses=self._misses,
-                         size=len(self._entries))
+                         size=len(self._entries),
+                         invalidations=self._invalidations)
 
     def clear(self) -> None:
         """Drop every cached entry (counters are kept)."""
@@ -173,6 +192,10 @@ class SharedCompiledCache(CompiledRelationCache):
                 self._evictions += 1
             return value, False
 
+    def invalidate(self, predicate: Callable[[tuple], bool]) -> int:
+        with self._lock:
+            return super().invalidate(predicate)
+
     def resize(self, maxsize: Optional[int]) -> None:
         """Change the bound, evicting LRU entries if now over it."""
         with self._lock:
@@ -193,7 +216,8 @@ class SharedCompiledCache(CompiledRelationCache):
             return CacheInfo(hits=self._hits, misses=self._misses,
                              size=len(self._entries),
                              evictions=self._evictions,
-                             maxsize=self._maxsize)
+                             maxsize=self._maxsize,
+                             invalidations=self._invalidations)
 
     def clear(self) -> None:
         with self._lock:

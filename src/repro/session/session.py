@@ -35,7 +35,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.sensitive import SensitiveKRelation
-from ..errors import SessionError
+from ..dynamic import GraphDelta, VersionedGraph, version_token
+from ..errors import GraphError, SessionError
 from ..graphs.graph import Graph
 from ..mechanisms import QuerySpec
 from ..mechanisms import get as get_mechanism
@@ -45,7 +46,7 @@ from ..validation import validate_epsilon, validate_workers
 from .accountant import BudgetAccountant, LedgerEntry
 from .cache import CacheInfo, CompiledRelationCache, data_token, options_token
 
-__all__ = ["PrivateSession", "QueryFuture", "ReplayRecord"]
+__all__ = ["PrivateSession", "QueryFuture", "ReplayRecord", "UpdateResult"]
 
 
 def _run_session_task(session: "PrivateSession", task) -> ResultBase:
@@ -60,6 +61,22 @@ def _run_session_task(session: "PrivateSession", task) -> ResultBase:
         query, privacy, mechanism, None, options
     )
     return prepared.release(epsilon, np.random.default_rng(seed), params=params)
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one :meth:`PrivateSession.apply_update` call.
+
+    ``deltas`` are the *effective* mutations (no-op actions excluded);
+    ``version`` is the graph version after the update.
+    """
+
+    version: int
+    deltas: Tuple[GraphDelta, ...]
+
+    @property
+    def applied(self) -> int:
+        return len(self.deltas)
 
 
 @dataclass
@@ -117,7 +134,10 @@ class PrivateSession:
     data:
         The sensitive data: a :class:`~repro.graphs.Graph` (subgraph
         queries) or a :class:`~repro.core.sensitive.SensitiveKRelation`
-        (linear queries).
+        (linear queries).  A :class:`~repro.dynamic.VersionedGraph`
+        makes the session *dynamic*: :meth:`apply_update` mutates the
+        graph, cache keys carry the graph version, and the ledger
+        replays every answer against the version it was released at.
     budget:
         Total ε cap across all releases (sequential composition);
         ``None`` = unlimited (still fully ledgered).
@@ -181,6 +201,7 @@ class PrivateSession:
                 f"{type(cache).__name__}"
             )
         self._data = data
+        self._dynamic = isinstance(data, VersionedGraph)
         self._backend = backend
         self._workers = validate_workers(workers)
         self.name = name
@@ -189,6 +210,7 @@ class PrivateSession:
         self._cache = cache if cache is not None else CompiledRelationCache()
         self._seed_root = self._seed_sequence_from(rng)
         self._pool: Optional[WorkerPool] = None
+        self._pool_version: Optional[int] = None
         self._closed = False
 
     # -- construction helpers ---------------------------------------------------
@@ -210,6 +232,17 @@ class PrivateSession:
     def data(self):
         """The wrapped sensitive dataset."""
         return self._data
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether the session's data accepts live updates
+        (a :class:`~repro.dynamic.VersionedGraph`)."""
+        return self._dynamic
+
+    @property
+    def graph_version(self) -> Optional[int]:
+        """The current graph version (``None`` over static data)."""
+        return self._data.version if self._dynamic else None
 
     @property
     def budget(self) -> Optional[float]:
@@ -247,7 +280,23 @@ class PrivateSession:
     def _default_privacy(self) -> str:
         return "node" if isinstance(self._data, Graph) else "edge"
 
-    def _resolve_spec(self, query, privacy, mechanism, weight, options):
+    def _version_token(self, version: Optional[int] = None):
+        """The graph-version component of cache keys (``None`` if static).
+
+        Over a :class:`~repro.dynamic.VersionedGraph`, every cache key
+        carries the version the query was admitted at — a compiled LP
+        from a superseded version can therefore never be served to a new
+        query, while still-warm entries keep their identity (and stay
+        reusable for replay) until explicitly invalidated or evicted.
+        """
+        if not self._dynamic:
+            return None
+        return version_token(
+            self._data.version if version is None else version
+        )
+
+    def _resolve_spec(self, query, privacy, mechanism, weight, options,
+                      version: Optional[int] = None):
         """Resolve a query to ``(cls, spec, opts, cache key)`` — no compile."""
         cls = get_mechanism(mechanism)
         if privacy is None:
@@ -258,19 +307,35 @@ class PrivateSession:
             opts.setdefault("backend", self._backend)
             opts.setdefault("workers", self._workers)
         # The data token keeps sessions over *different* datasets apart
-        # on a shared (process-wide) cache.
-        key = (data_token(self._data), cls.name,
-               options_token(opts)) + spec.cache_key()
+        # on a shared (process-wide) cache; the version token keeps
+        # different states of *one* dynamic dataset apart.
+        key = (data_token(self._data), self._version_token(version),
+               cls.name, options_token(opts)) + spec.cache_key()
         return cls, spec, opts, key
 
-    def _prepare_query(self, query, privacy, mechanism, weight, options):
-        """Resolve, cache-key, and (re)use the prepared query state."""
+    def _prepare_query(self, query, privacy, mechanism, weight, options,
+                       version: Optional[int] = None):
+        """Resolve, cache-key, and (re)use the prepared query state.
+
+        ``version`` (dynamic sessions only) prepares against a historical
+        graph version — the replay path.  The checkout is lazy: a warm
+        cache hit never materializes the old graph.
+        """
         cls, spec, opts, key = self._resolve_spec(
-            query, privacy, mechanism, weight, options
+            query, privacy, mechanism, weight, options, version=version
         )
-        prepared, hit = self._cache.get_or_build(
-            key, lambda: cls(self._data, **opts).prepare(spec)
-        )
+
+        def build():
+            data = self._data
+            if (version is not None and self._dynamic
+                    and version != self._data.version):
+                # Rebuild through the same occurrence-provider path the
+                # live store uses, so tuple order — and the compiled LP —
+                # is bit-identical to the original preparation.
+                data = self._data.checkout(version)
+            return cls(data, **opts).prepare(spec)
+
+        prepared, hit = self._cache.get_or_build(key, build)
         return prepared, hit, cls.name, spec
 
     def _charged_epsilon(self, epsilon, params) -> float:
@@ -356,6 +421,8 @@ class PrivateSession:
         )
         entry.extra["task"] = (query, weight, spec.privacy, mech_name,
                                dict(options), epsilon, params)
+        if self._dynamic:
+            entry.extra["version"] = self._data.version
         reservation.commit(entry)
         return result
 
@@ -397,6 +464,13 @@ class PrivateSession:
         try:
             workers = resolve_workers(self._workers)
             pooled = workers > 1 and fork_available()
+            if pooled:
+                # A pool forked before a graph mutation must never serve
+                # a newer version: apply_update() retires it, but direct
+                # VersionedGraph mutation bypasses that — retire (or
+                # refuse, if futures are still in flight) here instead
+                # of silently answering from the stale forked state.
+                self._retire_stale_pool()
             cls, spec, opts, key = self._resolve_spec(
                 query, privacy, mechanism, None, options
             )
@@ -423,6 +497,8 @@ class PrivateSession:
         )
         entry.extra["task"] = (query, None, spec.privacy, cls.name,
                                dict(options), epsilon, params)
+        if self._dynamic:
+            entry.extra["version"] = self._data.version
         # Charged at submission: the noisy answer *will* exist (refusing
         # to pay on a crash would itself be a side channel).
         reservation.commit(entry)
@@ -462,7 +538,102 @@ class PrivateSession:
         """The shared worker pool, forked on first use."""
         if self._pool is None:
             self._pool = WorkerPool(workers, _run_session_task, payload=self)
+            self._pool_version = self.graph_version
         return self._pool
+
+    def _retire_stale_pool(self) -> None:
+        """Close a pool whose forked graph state is behind the live one."""
+        if (self._pool is None or not self._dynamic
+                or self._pool_version == self._data.version):
+            return
+        if self._pool.inflight():
+            raise SessionError(
+                "the graph was mutated while submitted queries were in "
+                "flight on the worker pool; collect their futures before "
+                "submitting more (or mutate via apply_update(), which "
+                "enforces this)"
+            )
+        self._pool.close()
+        self._pool = None
+
+    # -- live updates -----------------------------------------------------------
+    def apply_update(self, updates, *, label: Optional[str] = None,
+                     user: Optional[str] = None,
+                     drop_stale: bool = False) -> UpdateResult:
+        """Mutate the session's graph and bump its version.
+
+        ``updates`` is a sequence of update actions (``{"action":
+        "add_edge", "u": ..., "v": ...}`` / ``{"action": "remove_node",
+        "node": ...}`` objects, or prebuilt
+        :class:`~repro.dynamic.GraphDelta`\\ s) applied in order.  The
+        update is recorded in the audit ledger (``status="update"``,
+        ``epsilon=0.0`` — updates touch the data, not the privacy
+        budget), so :meth:`replay` can reproduce every answer against
+        the exact version it was released at.
+
+        Queries prepared before the update keep their compiled state
+        (version-tagged cache keys); queries admitted after it recompile
+        against the new version, reusing the incrementally maintained
+        occurrence relation instead of re-enumerating.  With
+        ``drop_stale=True``, compiled relations of superseded versions
+        are also evicted from the cache (reclaims memory; replay of
+        pre-update entries then rebuilds from a snapshot).
+
+        The shared worker pool (if any) is retired so later submissions
+        fork workers that see the new state — collect every pending
+        :class:`QueryFuture` first; updating with submissions in flight
+        raises :class:`~repro.errors.SessionError`.
+
+        Application is sequential, not transactional: an invalid action
+        raises after earlier actions took effect — the ledger entry then
+        records the applied prefix.
+        """
+        self._ensure_open()
+        if not self._dynamic:
+            raise SessionError(
+                "apply_update() needs a session over a dynamic graph; "
+                "wrap it in repro.dynamic.VersionedGraph first"
+            )
+        if self._pool is not None:
+            if self._pool.inflight():
+                raise SessionError(
+                    "apply_update() with submitted queries still in "
+                    "flight; collect their futures first"
+                )
+            self._pool.close()
+            self._pool = None
+        label = label if label is not None else f"u{len(self.accountant)}"
+        old_version = self._data.version
+        start = time.perf_counter()
+        applied = []
+        failure = None
+        try:
+            for action in updates:
+                delta = self._data.apply(action)
+                if delta is not None:
+                    applied.append(delta)
+        except (GraphError, TypeError, ValueError) as error:
+            failure = error
+        new_version = self._data.version
+        entry = LedgerEntry(
+            index=0, label=label, mechanism="-",
+            query=f"update v{old_version}->v{new_version}", epsilon=0.0,
+            status="update" if failure is None else "update-failed",
+            seconds=time.perf_counter() - start, user=user,
+        )
+        entry.extra["update"] = [delta.to_dict() for delta in applied]
+        entry.extra["version"] = new_version
+        self.accountant.record(entry)
+        if drop_stale:
+            token = data_token(self._data)
+            current = version_token(new_version)
+            self._cache.invalidate(
+                lambda key: (len(key) >= 2 and key[0] == token
+                             and key[1] is not None and key[1] != current)
+            )
+        if failure is not None:
+            raise failure
+        return UpdateResult(version=new_version, deltas=tuple(applied))
 
     # -- audit ------------------------------------------------------------------
     def replay(self) -> List[ReplayRecord]:
@@ -473,6 +644,12 @@ class PrivateSession:
         recorded seed; determinism of the mechanism stack makes the
         replayed answer bit-for-bit equal to the released one.  Replay
         spends **no** budget — it re-derives already-released values.
+
+        Dynamic sessions replay each entry against the graph **version
+        it was released at**: the ledger records the version alongside
+        the seed, so answers straddling :meth:`apply_update` calls still
+        verify bit-for-bit (warm from the version-tagged cache when the
+        compiled state survived, rebuilt from a log snapshot otherwise).
         """
         records = []
         for entry in self.accountant.ledger:
@@ -482,7 +659,8 @@ class PrivateSession:
             (query, weight, privacy, mech_name, options, epsilon,
              params) = entry.extra["task"]
             prepared, _, _, _ = self._prepare_query(
-                query, privacy, mech_name, weight, options
+                query, privacy, mech_name, weight, options,
+                version=entry.extra.get("version"),
             )
             result = prepared.release(
                 epsilon, np.random.default_rng(entry.seed), params=params

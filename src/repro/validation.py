@@ -119,6 +119,8 @@ _GRAPH_FIELDS = {
     "avgdeg": (_is_positive_number, "a positive number"),
     "seed": (_is_int, "an integer"),
     "edge_list": (lambda v: isinstance(v, str), "a file-path string"),
+    "lenient": (lambda v: isinstance(v, bool),
+                "a boolean (skip self-loop/duplicate edge-list lines)"),
     "dataset": (lambda v: isinstance(v, str), "a dataset-name string"),
     "scale": (_is_positive_number, "a positive number"),
 }
@@ -135,6 +137,80 @@ def _is_options_dict(value) -> bool:
     return (isinstance(value, dict)
             and all(isinstance(k, str) and k not in RESERVED_OPTION_KEYS
                     for k in value))
+
+
+#: The dynamic-graph update vocabulary (kept in sync with
+#: :data:`repro.dynamic.delta.DELTA_KINDS`; duplicated to keep this
+#: module import-light).
+UPDATE_ACTION_KINDS = ("add_node", "remove_node", "add_edge", "remove_edge")
+
+_EDGE_ACTION_KINDS = ("add_edge", "remove_edge")
+
+
+def _is_node_label(value) -> bool:
+    """A node label as it appears in JSON: an int or a string."""
+    return isinstance(value, (str, int, np.integer)) and not isinstance(
+        value, bool
+    )
+
+
+def _check_update_action(action, path: str, errors: List[str]) -> None:
+    """Validate one graph-update action object, field by field."""
+    if not isinstance(action, dict):
+        errors.append(
+            f"{path}: must be an object, got {type(action).__name__}"
+        )
+        return
+    kind = action.get("action")
+    if kind not in UPDATE_ACTION_KINDS:
+        errors.append(
+            f"{path}.action: must be one of "
+            f"{', '.join(UPDATE_ACTION_KINDS)}, got {kind!r}"
+        )
+        return
+    if kind in _EDGE_ACTION_KINDS:
+        fields = {
+            "action": (lambda v: True, ""),
+            "u": (_is_node_label, "a node label (int or string)"),
+            "v": (_is_node_label, "a node label (int or string)"),
+        }
+        _check_fields(action, path + ".", fields, errors)
+        for endpoint in ("u", "v"):
+            if endpoint not in action:
+                errors.append(f"{path}.{endpoint}: required for {kind}")
+    else:
+        fields = {
+            "action": (lambda v: True, ""),
+            "node": (_is_node_label, "a node label (int or string)"),
+        }
+        if kind == "remove_node":
+            # Emitted by GraphDelta.to_dict (audit export); accepted so
+            # exported update logs can be replayed verbatim.  The server
+            # re-captures the actual incident edges at application time.
+            fields["removed_edges"] = (
+                lambda v: isinstance(v, list),
+                "a list of [u, v] pairs",
+            )
+        _check_fields(action, path + ".", fields, errors)
+        if "node" not in action:
+            errors.append(f"{path}.node: required for {kind}")
+
+
+def _check_update_actions(actions, path: str, errors: List[str]) -> None:
+    if not isinstance(actions, list) or not actions:
+        errors.append(
+            f"{path}: must be a non-empty array of update actions"
+        )
+        return
+    for index, action in enumerate(actions):
+        _check_update_action(action, f"{path}[{index}]", errors)
+
+
+_UPDATE_ITEM_FIELDS = {
+    "update": (lambda v: isinstance(v, list) and len(v) > 0,
+               "a non-empty array of update actions"),
+    "label": (lambda v: isinstance(v, str), "a string"),
+}
 
 
 _QUERY_ITEM_FIELDS = {
@@ -158,6 +234,12 @@ def _check_query_item(item, path: str, errors: List[str]) -> None:
     # keeps the rest of the workload going.
     if not isinstance(item, dict):
         errors.append(f"{path}: must be an object, got {type(item).__name__}")
+        return
+    if "update" in item:
+        # An interleaved graph-update step, not a query.
+        _check_fields(item, path + ".", _UPDATE_ITEM_FIELDS, errors)
+        if isinstance(item["update"], list) and item["update"]:
+            _check_update_actions(item["update"], f"{path}.update", errors)
         return
     _check_fields(item, path + ".", _QUERY_ITEM_FIELDS, errors)
 
@@ -206,7 +288,7 @@ def validate_batch_spec(spec: Any) -> Dict:
 
 
 #: Wire-protocol operations the service understands.
-SERVICE_OPS = ("hello", "ping", "budget", "query", "audit")
+SERVICE_OPS = ("hello", "ping", "budget", "query", "audit", "update")
 
 
 def _is_wire_seed(value) -> bool:
@@ -244,6 +326,12 @@ _SERVICE_OP_FIELDS = {
         "replay": (lambda v: isinstance(v, bool), "a boolean"),
         "user": (lambda v: isinstance(v, str), "a tenant-name string"),
     },
+    "update": {
+        "actions": (lambda v: isinstance(v, list) and len(v) > 0,
+                    "a non-empty array of update actions"),
+        "token": (lambda v: isinstance(v, str), "the admin token string"),
+        "label": (lambda v: isinstance(v, str), "a string"),
+    },
 }
 
 
@@ -273,6 +361,11 @@ def validate_service_request(request: Any) -> Dict:
             errors.append("query: required")
         if "epsilon" not in request:
             errors.append("epsilon: required")
+    if request.get("op") == "update" and not errors:
+        if "actions" not in request:
+            errors.append("actions: required")
+        else:
+            _check_update_actions(request["actions"], "actions", errors)
     if errors:
         raise ValueError("invalid request: " + "; ".join(errors))
     return request

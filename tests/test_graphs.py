@@ -111,6 +111,96 @@ class TestGraph:
         assert g.max_common_neighbors() == 1
 
 
+class TestMutationConsistency:
+    """Property tests: mutate, then re-query every derived structure.
+
+    The mutation paths (``remove_node``/``remove_edge``) feed the
+    dynamic-graph subsystem, so adjacency, the rank-based edge dedup in
+    ``edges()``, and every statistic derived from them must stay mutually
+    consistent through arbitrary insert/delete interleavings.
+    """
+
+    @staticmethod
+    def _assert_consistent(g, ref_nodes, ref_edges):
+        assert set(g.nodes()) == ref_nodes
+        edges = g.edges()
+        assert len(edges) == len(ref_edges) == g.num_edges
+        assert {frozenset(e) for e in edges} == {
+            frozenset(e) for e in ref_edges
+        }
+        degrees = g.degrees()
+        assert set(degrees) == ref_nodes
+        for node in ref_nodes:
+            expected = sum(1 for e in ref_edges if node in e)
+            assert degrees[node] == g.degree(node) == expected
+            assert g.neighbors(node) == {
+                (b if a == node else a) for a, b in ref_edges if node in (a, b)
+            }
+        for u, v in ref_edges:
+            assert g.has_edge(u, v) and g.has_edge(v, u)
+
+    def test_randomized_mutation_streams(self):
+        import random
+
+        rng = random.Random(2024)
+        for _trial in range(25):
+            g = Graph()
+            ref_nodes, ref_edges = set(), set()
+            for _step in range(80):
+                op = rng.random()
+                if op < 0.45:
+                    u, v = rng.sample(range(14), 2)
+                    g.add_edge(u, v)
+                    ref_nodes |= {u, v}
+                    ref_edges.add((min(u, v), max(u, v)))
+                elif op < 0.6:
+                    n = rng.randrange(14)
+                    g.add_node(n)
+                    ref_nodes.add(n)
+                elif op < 0.8 and ref_edges:
+                    e = rng.choice(sorted(ref_edges))
+                    g.remove_edge(*e)
+                    ref_edges.discard(e)
+                elif op >= 0.8 and ref_nodes:
+                    n = rng.choice(sorted(ref_nodes))
+                    removed = g.remove_node(n)
+                    assert {frozenset(e) for e in removed} == {
+                        frozenset(e) for e in ref_edges if n in e
+                    }
+                    ref_nodes.discard(n)
+                    ref_edges = {e for e in ref_edges if n not in e}
+                self._assert_consistent(g, ref_nodes, ref_edges)
+
+    def test_remove_node_returns_incident_edges_deterministically(self):
+        g = Graph(edges=[(1, 5), (1, 3), (1, 9), (3, 5)])
+        assert g.remove_node(1) == [(1, 3), (1, 5), (1, 9)]
+        assert g.remove_node(9) == []
+
+    def test_mutations_with_equal_repr_nodes_stay_deduped(self):
+        class Twin:
+            def __repr__(self):
+                return "twin"
+
+        u, v = Twin(), Twin()
+        g = Graph(edges=[(u, v), (u, "x"), (v, "x"), ("x", "y")])
+        g.remove_edge(u, v)
+        assert g.num_edges == len(g.edges()) == 3
+        removed = g.remove_node(u)
+        assert removed == [(u, "x")]
+        assert g.num_edges == len(g.edges()) == 2
+        assert g.degrees()["x"] == 2
+
+    def test_remove_then_requery_statistics(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert g.max_common_neighbors() == 1
+        g.remove_edge(0, 2)
+        assert g.max_common_neighbors() == 0
+        assert g.average_degree() == pytest.approx(2 * 3 / 4)
+        g.remove_node(1)
+        assert g.max_degree() == 1
+        assert g.common_neighbors(2, 3) == set()
+
+
 class TestGenerators:
     def test_erdos_renyi_determinism(self):
         g1 = erdos_renyi(30, 0.2, rng=5)
@@ -190,21 +280,46 @@ class TestIO:
         write_edge_list(g, path)
         assert read_edge_list(path) == g
 
-    def test_comments_and_self_loops_skipped(self, tmp_path):
+    def test_comments_skipped_lenient_mode_tolerates_junk(self, tmp_path):
         path = tmp_path / "graph.txt"
-        path.write_text("# comment\n% other\n1 2\n3 3\n2 4\n")
-        g = read_edge_list(path)
+        path.write_text("# comment\n% other\n1 2\n3 3\n2 4\n1 2\n")
+        g = read_edge_list(path, strict=False)
         assert g.num_edges == 2
+
+    def test_strict_rejects_self_loop_with_line_number(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n1 2\n3 3\n")
+        with pytest.raises(GraphError, match=r"graph\.txt:3: self-loop"):
+            read_edge_list(path)
+
+    def test_strict_rejects_duplicates_either_orientation(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 4\n2 1\n")
+        with pytest.raises(
+            GraphError, match=r":3: duplicate edge.*first seen on line 1"
+        ):
+            read_edge_list(path)
+
+    def test_strict_reports_every_problem_at_once(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n5\n3 3\n1 2\n")
+        with pytest.raises(GraphError) as excinfo:
+            read_edge_list(path)
+        message = str(excinfo.value)
+        assert "3 problems" in message
+        assert ":2: expected 'u v'" in message
+        assert ":3: self-loop" in message
+        assert ":4: duplicate edge" in message
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(GraphError):
             read_edge_list(tmp_path / "absent.txt")
 
-    def test_malformed_line(self, tmp_path):
+    def test_malformed_line_raises_even_lenient(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("1\n")
-        with pytest.raises(GraphError):
-            read_edge_list(path)
+        with pytest.raises(GraphError, match=r"bad\.txt:1"):
+            read_edge_list(path, strict=False)
 
     def test_string_labels(self, tmp_path):
         path = tmp_path / "labels.txt"
