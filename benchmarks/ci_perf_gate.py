@@ -36,9 +36,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.efficient import EfficientRecursiveMechanism  # noqa: E402
+from repro.core.params import RecursiveMechanismParams  # noqa: E402
 from repro.experiments.harness import resolve_scale  # noqa: E402
 from repro.experiments.runtime import fig5_runtime_sweep, runtime_point  # noqa: E402
+from repro.graphs import random_graph_with_avg_degree  # noqa: E402
+from repro.lp import backends as lp_backends  # noqa: E402
 from repro.parallel import fork_available, resolve_workers  # noqa: E402
+from repro.subgraphs import subgraph_krelation, triangle  # noqa: E402
 
 BASELINE_DEFAULT = Path(__file__).resolve().parent / "BENCH_baseline.json"
 
@@ -56,6 +61,33 @@ def calibrate(repeats: int = 3) -> float:
         runtime_point(40, 8.0, "triangle", "edge", epsilon=0.5, rng=0)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def backend_timings(repeats: int = 2):
+    """Best-of-``repeats`` solve seconds per available solver backend.
+
+    Times one fixed edge-DP triangle release (compilation excluded — the
+    one-time encode/compile cost is backend-independent) for every
+    registered-and-available backend, plus the released answer so the
+    artifact doubles as a cross-backend determinism record.  Recorded
+    into ``BENCH_ci.json`` for trend tracking; not gated, because the
+    set of available backends varies across runners.
+    """
+    graph = random_graph_with_avg_degree(40, 8.0, rng=0)
+    relation = subgraph_krelation(graph, triangle(), privacy="edge")
+    params = RecursiveMechanismParams.paper(0.5)
+    timings = {}
+    for name in lp_backends.available():
+        best = float("inf")
+        answer = None
+        for _ in range(repeats):
+            mechanism = EfficientRecursiveMechanism(relation, backend=name)
+            start = time.perf_counter()
+            result = mechanism.run(params, 0)
+            best = min(best, time.perf_counter() - start)
+            answer = result.answer
+        timings[name] = {"solve_seconds": best, "answer": answer}
+    return timings
 
 
 def run_sweep(scale, workers: int):
@@ -102,6 +134,8 @@ def main(argv=None) -> int:
         "workers": workers,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
+        "lp_backend": lp_backends.default_backend().name,
+        "backend_seconds": backend_timings(),
         "calibration_seconds": calibration,
         "serial_wall_seconds": serial_wall,
         "parallel_wall_seconds": parallel_wall,

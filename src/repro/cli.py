@@ -86,6 +86,33 @@ def _workers_arg(text: str) -> int:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _lp_backend_arg(text: str) -> str:
+    """Argparse type for ``--lp-backend``: a registered backend name."""
+    from .errors import LPError
+    from .lp import backends
+
+    try:
+        return backends.get(text).name
+    except LPError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _apply_lp_backend(args) -> None:
+    """Make ``--lp-backend`` the process default (wins over the env var).
+
+    Exported through ``REPRO_LP_BACKEND`` so every resolution point —
+    sessions, one-shot wrappers, figure sweeps, forked workers — picks
+    the same backend; an unavailable choice fails loudly at first
+    resolution with the registry's actionable error.
+    """
+    if getattr(args, "lp_backend", None) is not None:
+        import os
+
+        from .lp.backends import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = args.lp_backend
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -100,10 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_WORKERS, else all CPU cores; 1 = serial "
         "in-process — results are byte-identical either way at a fixed seed)"
     )
+    lp_backend_help = (
+        "LP solver backend (scipy | highs | gurobi; default: "
+        "$REPRO_LP_BACKEND, else the best available — released answers "
+        "are byte-identical across backends at a fixed seed)"
+    )
 
     count = sub.add_parser("count", help="private subgraph count")
     count.add_argument("--workers", type=_workers_arg, default=None,
                        help=workers_help)
+    count.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
+                       help=lp_backend_help)
     count.add_argument("--query", default="triangle",
                        help="triangle | K-star | K-triangle (e.g. 2-star)")
     count.add_argument("--privacy", choices=["node", "edge"], default="node")
@@ -130,6 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("spec", help="path to the JSON spec ('-' for stdin)")
     batch.add_argument("--workers", type=_workers_arg, default=None,
                        help=workers_help)
+    batch.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
+                       help=lp_backend_help)
     batch.add_argument("--seed", type=int, default=None,
                        help="override the spec's session seed")
     batch.add_argument("--budget", type=_positive_float, default=None,
@@ -179,6 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "server is end-to-end reproducible)")
     serve.add_argument("--workers", type=_workers_arg, default=1,
                        help=workers_help)
+    serve.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
+                       help=lp_backend_help)
     serve.add_argument("--max-pending", type=int, default=64,
                        help="backpressure bound: in-flight queries beyond "
                             "this are refused ('overloaded')")
@@ -207,6 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=2024)
     fig.add_argument("--workers", type=_workers_arg, default=None,
                      help=workers_help)
+    fig.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
+                     help=lp_backend_help)
 
     audit = sub.add_parser("audit", help="empirical privacy audit")
     audit.add_argument("--epsilon", type=_positive_float, default=1.0)
@@ -232,6 +272,7 @@ def _cmd_count(args) -> int:
         graph = load_dataset(args.dataset, scale=args.dataset_scale)
     else:
         graph = random_graph_with_avg_degree(args.nodes, args.avgdeg, rng=args.seed)
+    _apply_lp_backend(args)
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
     result = private_subgraph_count(
         graph,
@@ -240,6 +281,7 @@ def _cmd_count(args) -> int:
         epsilon=args.epsilon,
         rng=args.seed,
         workers=resolve_workers(args.workers),
+        backend=args.lp_backend,
     )
     print(f"{args.privacy}-DP {args.query} count (eps={args.epsilon}): "
           f"{result.answer:.2f}")
@@ -462,8 +504,9 @@ def _cmd_batch(args) -> int:
 
     rows = []
     failed = 0
+    _apply_lp_backend(args)
     with PrivateSession(graph, budget=budget, workers=workers, rng=seed,
-                        name="batch") as session:
+                        backend=args.lp_backend, name="batch") as session:
         pending = []
 
         def drain() -> int:
@@ -588,9 +631,11 @@ def _cmd_serve(args) -> int:
     cache = shared_cache()
     if args.cache_size is not None:
         cache.resize(args.cache_size)
+    _apply_lp_backend(args)
     session = PrivateSession(
         graph, workers=args.workers, rng=args.seed,
-        accountant=accountant, cache=cache, name="serve",
+        backend=args.lp_backend, accountant=accountant, cache=cache,
+        name="serve",
     )
     service = PrivateQueryService(
         session, host=args.host, port=args.port,
@@ -633,6 +678,7 @@ def _cmd_fig(args) -> int:
     scale = resolve_scale(args.scale)
     name, seed = args.name, args.seed
     workers = resolve_workers(args.workers)
+    _apply_lp_backend(args)
     if name == "all":
         from .experiments.full_report import generate_report
 

@@ -140,10 +140,9 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
         annotated = [
             (annotation, self.query(tup)) for tup, annotation in relation.items()
         ]
-        if backend is None:
-            from ..lp import DEFAULT_BACKEND
+        from ..lp.backends import resolve as resolve_backend
 
-            backend = DEFAULT_BACKEND
+        backend = resolve_backend(backend)
         self._encoded = EncodedRelation(
             sorted(relation.participants), annotated, backend, compiled=compiled
         )

@@ -6,8 +6,20 @@ This package provides:
 
 * :class:`~repro.lp.model.LinearProgram` — a small declarative LP builder
   (minimization, ``<=`` / ``>=`` / ``==`` rows, box bounds).
-* :class:`~repro.lp.scipy_backend.ScipyBackend` — the default solver, using
-  :func:`scipy.optimize.linprog` with the HiGHS method on sparse matrices.
+* :mod:`repro.lp.backends` — the solver-backend registry.
+  ``backends.get("highs"|"scipy"|"gurobi")`` looks up a backend class,
+  ``backends.resolve(None | name | instance)`` normalises any backend
+  argument, and ``backends.default_backend()`` picks the best available
+  solver (``REPRO_LP_BACKEND`` overrides the measured-preference order).
+* :class:`~repro.lp.scipy_backend.ScipyBackend` — the ``"scipy"``
+  backend: portable :func:`scipy.optimize.linprog` (HiGHS) on sparse
+  matrices; always available, no persistent state.
+* :class:`~repro.lp.highs_engine.HighsBackend` — the ``"highs"``
+  backend: persistent HiGHS models through SciPy's private bindings;
+  the measured winner here and the auto-detect default when available.
+* ``repro.lp.gurobi_backend.GurobiBackend`` — the ``"gurobi"`` backend
+  (optional ``gurobipy`` dependency; registered but reported
+  unavailable without the package and a license).
 * :class:`~repro.lp.simplex.SimplexBackend` — a self-contained dense
   two-phase primal simplex (Bland's rule), dependency-free and auditable;
   suitable for small programs and used to cross-check HiGHS in tests.
@@ -18,19 +30,30 @@ This package provides:
   exposes ``solve_arrays``).
 """
 
+from . import backends, status
+from .backends import SolverBackend
 from .compiled import CompiledProgram
+from .highs_engine import HighsBackend
 from .model import Constraint, LinearProgram, LPSolution
 from .scipy_backend import ScipyBackend
 from .simplex import SimplexBackend
 
+#: The portable baseline backend instance (kept for backward
+#: compatibility — entry points resolve :func:`repro.lp.backends.
+#: default_backend` instead, which prefers the persistent ``"highs"``
+#: backend when SciPy's bindings are importable).
 DEFAULT_BACKEND = ScipyBackend()
 
 __all__ = [
     "LinearProgram",
     "Constraint",
     "LPSolution",
+    "SolverBackend",
     "ScipyBackend",
+    "HighsBackend",
     "SimplexBackend",
     "CompiledProgram",
     "DEFAULT_BACKEND",
+    "backends",
+    "status",
 ]

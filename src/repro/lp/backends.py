@@ -1,0 +1,416 @@
+"""The solver-backend contract and registry.
+
+Every released answer bottoms out in the φ-epigraph LP solves, and which
+solver executes them used to be an ad-hoc two-way gate (persistent HiGHS
+bindings when SciPy exposes them, :func:`scipy.optimize.linprog`
+otherwise) threaded implicitly through :class:`~repro.lp.compiled.
+CompiledProgram`.  This module promotes that gate into a registry
+mirroring :mod:`repro.mechanisms`:
+
+* :class:`SolverBackend` — the contract: ``solve_arrays`` for one-shot
+  array solves, :meth:`~SolverBackend.build_persistent` for a live model
+  built once from the compiled CSR blocks and mutated in place between
+  solves, capability flags (``supports_persistent``,
+  ``supports_multi_rhs``, ``supports_warm_start``) that
+  :class:`~repro.lp.compiled.CompiledProgram` consults instead of
+  type-checking, and a :meth:`~SolverBackend.fork_reset` hook for the
+  :mod:`repro.parallel` fork-after-compile scheme.
+* :class:`PersistentModel` — the base of every persistent model,
+  carrying the owner-pid guard (a live solver must never be used across
+  ``fork()``) and the generic RHS-sweep and iteration-budget APIs the
+  Δ-probe race and batched solves are written against.
+* :func:`register` / :func:`get` / :func:`create` / :func:`resolve` /
+  :func:`available` / :func:`describe` — the registry.  Backends are
+  addressed by name (``"scipy"``, ``"highs"``, ``"gurobi"``); an
+  unavailable backend (missing bindings, missing license) stays
+  *registered* and reports why it cannot run instead of disappearing.
+* :func:`default_backend` — resolution order: the ``REPRO_LP_BACKEND``
+  environment variable if set, else the available backend with the
+  highest ``preference``.  Preferences encode measured performance on
+  the epigraph workload (the persistent-HiGHS path beats per-call
+  ``linprog`` ~2.6× here), not alphabetical accident.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..errors import LPError
+from .model import LPSolution
+
+__all__ = [
+    "BACKEND_ENV",
+    "SolverBackend",
+    "PersistentModel",
+    "register",
+    "get",
+    "create",
+    "resolve",
+    "registered",
+    "available",
+    "describe",
+    "default_backend",
+]
+
+#: Environment variable naming the backend every entry point defaults to.
+BACKEND_ENV = "REPRO_LP_BACKEND"
+
+_INT_MAX = 2147483647
+
+
+class PersistentModel:
+    """Base of every backend's persistent model.
+
+    A persistent model is live solver state built **once** from the
+    compiled CSR blocks and then only mutated between solves (a row's
+    bounds, a few objective entries).  Two invariants are enforced here
+    rather than per backend:
+
+    * **fork safety** — live solver state must never be driven from a
+      process other than the one that built it (copy-on-write pages
+      would be mutated in several processes at once).  Every mutating
+      entry point calls :meth:`_assert_owner`, turning silent cross-fork
+      misuse into a loud :class:`~repro.errors.LPError`; forked workers
+      drop inherited models via ``CompiledProgram.fork_reset`` and
+      rebuild their own lazily.
+    * **iteration budgets** — the Δ-probe race throttles both strands
+      through :meth:`set_iteration_limit` / :meth:`restore_iteration_limits`
+      without knowing the backend's native option names.
+
+    Subclasses implement :meth:`set_row_bounds`, :meth:`set_col_costs`,
+    :meth:`solve` and :meth:`set_iteration_limit`.
+    """
+
+    #: backend name carried into error messages (set by the builder)
+    backend_name = "persistent"
+
+    def __init__(self):
+        self._owner_pid = os.getpid()
+        #: iterations of the most recent :meth:`solve`
+        self.last_iteration_count = 0
+        #: the configured per-solve budget ceiling (restored after
+        #: temporary overrides by :meth:`restore_iteration_limits`)
+        self.base_iteration_limit = _INT_MAX
+
+    def _assert_owner(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise LPError(
+                f"[lp-backend {self.backend_name}] persistent model was "
+                "built in another process and cannot be used across "
+                "fork(); drop it and re-instantiate in this worker "
+                "(see CompiledProgram.fork_reset)"
+            )
+
+    # -- per-solve mutations (implemented by each backend) -------------------
+    def set_row_bounds(self, row: int, lower: float, upper: float) -> None:
+        """Rebind one row's ``lower <= a·x <= upper`` in place."""
+        raise NotImplementedError
+
+    def set_col_costs(self, indices, values) -> None:
+        """Overwrite the objective coefficients of the given columns."""
+        raise NotImplementedError
+
+    def solve(self, resume: bool = False, warm_values=None) -> LPSolution:
+        """Solve the current model state.
+
+        ``resume`` continues from the previous basis where the backend
+        supports it; ``warm_values`` primes a primal starting point.
+        Backends without those capabilities may ignore both — results
+        must not depend on them, only wall-clock.
+        """
+        raise NotImplementedError
+
+    def set_iteration_limit(self, limit: int) -> None:
+        """Cap the next solve's iterations (Δ-probe race budgets)."""
+        raise NotImplementedError
+
+    def restore_iteration_limits(self) -> None:
+        """Undo :meth:`set_iteration_limit` back to the configured caps."""
+        self.set_iteration_limit(self.base_iteration_limit)
+
+    # -- batched solves ------------------------------------------------------
+    def solve_rhs_sweep(self, row: int, values) -> List[LPSolution]:
+        """Solve the model once per RHS value of one row — one backend call.
+
+        This is the multi-RHS entry point behind
+        ``CompiledProgram.solve_many``: the H-entry sweep rebinds the
+        single mass row ``Σf = i`` and re-solves, so the whole sweep is
+        one call into the backend instead of N overlay dispatches.  The
+        default implementation performs exactly the pointwise
+        ``set_row_bounds`` + ``solve`` sequence, which keeps sweep
+        results byte-identical to pointwise solves by construction;
+        backends with a native multi-RHS API may override it under the
+        same identity obligation.
+        """
+        self._assert_owner()
+        solutions = []
+        for value in values:
+            self.set_row_bounds(row, float(value), float(value))
+            solutions.append(self.solve())
+        return solutions
+
+
+class SolverBackend:
+    """Contract every LP backend implements.
+
+    Class attributes (the registry reads them without instantiating):
+
+    ``name`` / ``aliases``
+        Registry spellings.  ``name`` is the canonical identity carried
+        into cache keys, ledger entries, and the service hello frame.
+    ``supports_persistent``
+        Whether :meth:`build_persistent` returns a live
+        :class:`PersistentModel`.  When false, ``CompiledProgram`` hands
+        the prebuilt arrays to :meth:`solve_arrays` per call.  The flag —
+        not the backend's type — gates the persistent path, so an
+        instrumented subclass that wants to observe every solve simply
+        leaves it false.
+    ``supports_multi_rhs``
+        Whether H-entry RHS sweeps should be vectorised through
+        :meth:`PersistentModel.solve_rhs_sweep` (one backend call) when
+        running in-process.
+    ``supports_warm_start``
+        Whether :meth:`PersistentModel.solve` honors ``resume=True`` /
+        ``warm_values`` — required by the in-process Δ-probe budget race.
+    ``preference``
+        Auto-detect rank (higher wins among available backends); encodes
+        measured performance on the epigraph workload.
+    """
+
+    name = "abstract"
+    aliases: Tuple[str, ...] = ()
+    supports_persistent = False
+    supports_multi_rhs = False
+    supports_warm_start = False
+    preference = 0
+
+    # -- availability --------------------------------------------------------
+    @classmethod
+    def availability(cls) -> Tuple[bool, str]:
+        """``(available, reason)`` — ``reason`` explains unavailability."""
+        return True, ""
+
+    @classmethod
+    def available(cls) -> bool:
+        return cls.availability()[0]
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def cache_token(self):
+        """Hashable identity for session cache keys and replay.
+
+        Two instances configured identically must produce equal tokens
+        (so compiled relations are shared), and any knob that could
+        change a solve must be in the token (so they are not shared
+        across genuinely different solvers).
+        """
+        return ("lp-backend", self.name)
+
+    # -- solving -------------------------------------------------------------
+    def solve_arrays(
+        self,
+        c: np.ndarray,
+        a_ub,
+        b_ub: Optional[np.ndarray],
+        a_eq,
+        b_eq: Optional[np.ndarray],
+        bounds,
+        objective_constant: float = 0.0,
+    ) -> LPSolution:
+        """One-shot solve of a program already assembled as arrays."""
+        raise NotImplementedError
+
+    def build_persistent(
+        self,
+        matrix,
+        col_costs: np.ndarray,
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+        row_lower: np.ndarray,
+        row_upper: np.ndarray,
+    ) -> PersistentModel:
+        """A live model over ``row_lower <= A x <= row_upper`` (once)."""
+        raise LPError(
+            f"[lp-backend {self.name}] backend does not support "
+            "persistent models (supports_persistent is false)"
+        )
+
+    # -- parallel plumbing ---------------------------------------------------
+    def fork_reset(self) -> None:
+        """Drop per-process solver state after ``fork()`` (default: none).
+
+        Called in every forked worker through the weak-ref reset registry
+        (:func:`repro.parallel.pool.register_fork_reset`).  Backends whose
+        ``solve_arrays`` is self-contained need nothing here; backends
+        holding process-wide native state (environments, license tokens)
+        must drop it so workers re-initialise their own.
+        """
+
+
+# -- registry ----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[SolverBackend]] = {}
+_INSTANCES: Dict[str, SolverBackend] = {}
+_BUILTIN_LOADED = False
+
+
+def register(cls: Type[SolverBackend]) -> Type[SolverBackend]:
+    """Register a backend class under its ``name`` and ``aliases``.
+
+    Usable as a decorator.  Re-registering a name overwrites it (latest
+    wins), so a deployment can shadow a builtin with a tuned subclass.
+    """
+    for spelling in (cls.name, *cls.aliases):
+        _REGISTRY[str(spelling).lower()] = cls
+    return cls
+
+
+def _ensure_builtin() -> None:
+    """Import the builtin backend modules so they self-register."""
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    _BUILTIN_LOADED = True
+    from . import gurobi_backend, highs_engine, scipy_backend  # noqa: F401
+
+
+def registered() -> List[str]:
+    """Canonical names of every registered backend (aliases folded)."""
+    _ensure_builtin()
+    names = []
+    for cls in _REGISTRY.values():
+        if cls.name not in names:
+            names.append(cls.name)
+    return sorted(names)
+
+
+def available() -> List[str]:
+    """Names of the registered backends that can actually run here."""
+    _ensure_builtin()
+    return [name for name in registered() if _REGISTRY[name].available()]
+
+
+def get(name: str) -> Type[SolverBackend]:
+    """The backend class registered under ``name`` (or an alias).
+
+    Lookup succeeds for unavailable backends too — callers inspect
+    ``cls.availability()`` — but an unknown name raises an
+    :class:`~repro.errors.LPError` listing the registry.
+    """
+    _ensure_builtin()
+    cls = _REGISTRY.get(str(name).lower())
+    if cls is None:
+        raise LPError(
+            f"unknown LP backend {name!r}; registered backends: "
+            f"{', '.join(registered())}"
+        )
+    return cls
+
+
+def create(name: str, **kwargs) -> SolverBackend:
+    """Instantiate the named backend, or raise one actionable error.
+
+    The error names the backend, the missing module or license, and the
+    fallback to take — instead of silently degrading to another solver.
+    """
+    cls = get(name)
+    ok, reason = cls.availability()
+    if not ok:
+        fallbacks = [other for other in available() if other != cls.name]
+        hint = (
+            f"; available backends: {', '.join(fallbacks)} "
+            f"(select one with {BACKEND_ENV} or --lp-backend)"
+            if fallbacks
+            else ""
+        )
+        raise LPError(
+            f"[lp-backend {cls.name}] backend unavailable: {reason}{hint}"
+        )
+    return cls(**kwargs)
+
+
+def default_backend() -> SolverBackend:
+    """The backend every entry point uses when none is named.
+
+    ``REPRO_LP_BACKEND`` wins when set (raising the actionable
+    unavailability error rather than silently substituting); otherwise
+    the available backend with the highest measured ``preference``.
+    Instances are cached per name, so repeated resolution shares one
+    backend object (and its compiled-relation cache entries).
+    """
+    _ensure_builtin()
+    requested = os.environ.get(BACKEND_ENV)
+    if requested:
+        name = get(requested).name
+    else:
+        candidates = available()
+        if not candidates:
+            raise LPError(
+                "no LP backend is available in this environment "
+                f"(registered: {', '.join(registered())})"
+            )
+        name = max(candidates, key=lambda n: _REGISTRY[n].preference)
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = create(name)
+        _INSTANCES[name] = instance
+    return instance
+
+
+def resolve(backend=None) -> SolverBackend:
+    """Normalise a backend argument to an instance.
+
+    ``None`` → :func:`default_backend`; a string → :func:`create` by
+    name; anything exposing ``solve_arrays`` or ``solve`` passes through
+    unchanged (custom and instrumented backends keep working untouched).
+    """
+    if backend is None:
+        return default_backend()
+    if isinstance(backend, str):
+        name = get(backend).name
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            instance = create(name)
+            _INSTANCES[name] = instance
+        return instance
+    if not (hasattr(backend, "solve_arrays") or hasattr(backend, "solve")):
+        raise LPError(
+            f"{backend!r} is not an LP backend: expected a name, None, or "
+            "an object with solve_arrays/solve"
+        )
+    return backend
+
+
+def describe() -> List[Dict]:
+    """One row per registered backend — the registry table.
+
+    Each row carries the canonical name, aliases, availability (with
+    reason when unavailable), capability flags, and auto-detect
+    preference; the CLI and README render this directly.
+    """
+    _ensure_builtin()
+    rows = []
+    for name in registered():
+        cls = _REGISTRY[name]
+        ok, reason = cls.availability()
+        rows.append(
+            {
+                "name": name,
+                "aliases": sorted(
+                    spelling
+                    for spelling, registered_cls in _REGISTRY.items()
+                    if registered_cls is cls and spelling != name
+                ),
+                "available": ok,
+                "reason": reason,
+                "supports_persistent": cls.supports_persistent,
+                "supports_multi_rhs": cls.supports_multi_rhs,
+                "supports_warm_start": cls.supports_warm_start,
+                "preference": cls.preference,
+            }
+        )
+    rows.sort(key=lambda row: -row["preference"])
+    return rows

@@ -18,16 +18,20 @@ only a tiny per-call overlay:
 The legacy path (:class:`~repro.lp.model.LinearProgram` +
 :meth:`~repro.lp.scipy_backend.ScipyBackend.solve`) re-walks the Python
 constraint list and re-assembles CSR matrices on every solve.  A
-:class:`CompiledProgram` performs the assembly exactly once and, when
-SciPy exposes its HiGHS bindings, additionally loads each overlay into a
-:class:`~repro.lp.highs_engine.PersistentLP` so per-call work shrinks to
-mutating one row's bounds (or a few objective entries) and re-running the
-solver.  Without the bindings it falls back to handing the prebuilt arrays
-to ``backend.solve_arrays``.
+:class:`CompiledProgram` performs the assembly exactly once and, when the
+backend advertises ``supports_persistent``, additionally loads each
+overlay into a persistent model
+(:meth:`~repro.lp.backends.SolverBackend.build_persistent`) so per-call
+work shrinks to mutating one row's bounds (or a few objective entries)
+and re-running the solver.  Otherwise it hands the prebuilt arrays to
+``backend.solve_arrays`` — the capability *flag*, not the backend's
+type, selects the path, so an instrumented backend that wants to observe
+every solve simply leaves the flag false.
 
 The compiled path is an optimization, not a semantic fork: every solve
 returns the same :class:`~repro.lp.model.LPSolution` the slow path would,
-and ``tests/test_compiled_equivalence.py`` pins the two together.
+and ``tests/test_compiled_equivalence.py`` pins the paths — and every
+available backend — together.
 """
 
 from __future__ import annotations
@@ -40,9 +44,8 @@ from scipy import sparse
 from ..errors import LPError
 from ..parallel.pool import map_tasks, register_fork_reset, resolve_workers
 from ..parallel.race import StrandError, first_decided
-from .highs_engine import PersistentLP, engine_available
+from .backends import PersistentModel
 from .model import LPSolution
-from .scipy_backend import ScipyBackend
 
 __all__ = ["CompiledProgram"]
 
@@ -63,36 +66,6 @@ def _csr(rows, cols, vals, shape) -> Optional[sparse.csr_matrix]:
     if shape[0] == 0:
         return None
     return sparse.csr_matrix((vals, (rows, cols)), shape=shape)
-
-
-_SOLVER_BY_METHOD = {"highs": "choose", "highs-ds": "simplex", "highs-ipm": "ipm"}
-
-
-def _engine_options(backend, num_variables: int) -> Dict:
-    """Translate backend knobs into HiGHS option names.
-
-    Honors the backend's method selection (including the ``"adaptive"``
-    simplex/IPM switch on large degenerate programs); scipy-style option
-    names are translated, anything else passes through as a native HiGHS
-    option.
-    """
-    options: Dict = {}
-    resolver = getattr(backend, "_resolve_method", None)
-    if resolver is not None:
-        method = resolver(num_variables)
-        options["solver"] = _SOLVER_BY_METHOD.get(method, "choose")
-    raw = dict(getattr(backend, "options", None) or {})
-    max_iterations = getattr(backend, "max_iterations", None)
-    if max_iterations is None and "maxiter" in raw:
-        max_iterations = raw["maxiter"]
-    raw.pop("maxiter", None)
-    if max_iterations is not None:
-        options["simplex_iteration_limit"] = int(max_iterations)
-        options["ipm_iteration_limit"] = int(max_iterations)
-    if "presolve" in raw:
-        options["presolve"] = "on" if raw.pop("presolve") else "off"
-    options.update(raw)  # native HiGHS options pass through unchanged
-    return options
 
 
 class CompiledProgram:
@@ -118,10 +91,11 @@ class CompiledProgram:
         Eq. 19 min-max rows (only participants with positive sensitivity).
     backend:
         A solver exposing ``solve_arrays(c, a_ub, b_ub, a_eq, b_eq,
-        bounds, objective_constant) -> LPSolution``
-        (:class:`~repro.lp.scipy_backend.ScipyBackend` does); its
-        ``max_iterations`` / ``options`` knobs are honored on the
-        persistent-engine path as well.
+        bounds, objective_constant) -> LPSolution`` — any
+        :class:`~repro.lp.backends.SolverBackend`.  Backends advertising
+        ``supports_persistent`` get their models built once from the
+        compiled blocks via ``build_persistent`` and mutated in place
+        per call.
     """
 
     def __init__(
@@ -146,7 +120,10 @@ class CompiledProgram:
         self.num_variables = int(num_variables)
         self.num_participants = int(num_participants)
         if len(objective) != self.num_variables:
-            raise LPError("objective length does not match variable count")
+            raise LPError(
+                f"{self._err_prefix()} objective length does not match "
+                "variable count"
+            )
 
         # All structural variables live in the unit cube.
         self._bounds = np.empty((self.num_variables, 2))
@@ -176,39 +153,50 @@ class CompiledProgram:
         self._c = np.asarray(objective, dtype=float)
         self._constant = float(objective_constant)
         self._g_row_maps: List[Dict[int, float]] = [dict(row) for row in g_rows]
-        # The persistent engine replaces backend.solve_arrays, so it is
-        # only safe for the stock backend — a custom/instrumented backend
-        # (subclass or duck-typed) must keep receiving every solve.
-        self._use_engine = engine_available() and type(backend) is ScipyBackend
+        # The persistent path replaces backend.solve_arrays, so it is
+        # gated on the capability flag, never the backend's type — a
+        # custom/instrumented backend (subclass or duck-typed) that must
+        # keep receiving every solve simply leaves the flag unset.
+        self._use_engine = bool(getattr(backend, "supports_persistent", False))
         # primal optimum of the most recent exact G solve — warm-start
         # seed for the exact strand of later Δ-probe races
         self._last_g_optimum: Optional[np.ndarray] = None
         # lazily assembled overlays (arrays and/or persistent models)
         self._g_overlay = None
-        self._h_model: Optional[PersistentLP] = None
-        self._g_model: Optional[PersistentLP] = None
-        self._x_model: Optional[PersistentLP] = None
-        self._feas_model: Optional[PersistentLP] = None
+        self._h_model: Optional[PersistentModel] = None
+        self._g_model: Optional[PersistentModel] = None
+        self._x_model: Optional[PersistentModel] = None
+        self._feas_model: Optional[PersistentModel] = None
         self._feas_arrays = None
         # Forked workers inherit the CSR blocks copy-on-write but must
-        # re-instantiate the per-process HiGHS models lazily.
+        # re-instantiate the per-process persistent models lazily.
         register_fork_reset(self)
+
+    def _err_prefix(self) -> str:
+        """The ``[lp-backend <name>]`` prefix of every LPError raised here."""
+        name = getattr(self.backend, "name", None) or type(self.backend).__name__
+        return f"[lp-backend {name}]"
 
     def fork_reset(self) -> None:
         """Drop per-process solver state (called in each forked worker).
 
         The compiled arrays (CSR blocks, bounds, objective, the lazily
         assembled G overlay) are process-agnostic and stay shared through
-        copy-on-write; only the persistent HiGHS models — live C++ solver
-        state owned by the parent — and the warm-start seed are dropped,
-        to be rebuilt lazily from the shared arrays on first use in the
-        worker.
+        copy-on-write; only the persistent models — live solver state
+        owned by the parent — and the warm-start seed are dropped, to be
+        rebuilt lazily from the shared arrays on first use in the worker.
+        The backend's own :meth:`~repro.lp.backends.SolverBackend.
+        fork_reset` hook runs too, so backends holding process-wide
+        native state (e.g. a Gurobi environment) re-initialise it.
         """
         self._h_model = None
         self._g_model = None
         self._x_model = None
         self._feas_model = None
         self._last_g_optimum = None
+        reset = getattr(self.backend, "fork_reset", None)
+        if reset is not None:
+            reset()
 
     # -- shared helpers ------------------------------------------------------
     def _num_ub_rows(self) -> int:
@@ -237,31 +225,32 @@ class CompiledProgram:
         )
 
     # -- H -------------------------------------------------------------------
-    def _build_h_model(self) -> PersistentLP:
+    def _build_h_model(self) -> PersistentModel:
         blocks = [self._a_ub, self._a_mass] if self._a_ub is not None else [self._a_mass]
         matrix = sparse.vstack(blocks, format="csr")
         row_lower = np.concatenate([self._ub_row_lower(), [0.0]])
         upper = self._b_ub if self._b_ub is not None else np.zeros(0)
         row_upper = np.concatenate([upper, [0.0]])
-        return PersistentLP(
+        return self.backend.build_persistent(
             matrix,
             col_costs=self._c,
             col_lower=self._bounds[:, 0],
             col_upper=self._bounds[:, 1],
             row_lower=row_lower,
             row_upper=row_upper,
-            options=_engine_options(self.backend, self.num_variables),
         )
+
+    def _ensure_h_model(self) -> PersistentModel:
+        if self._h_model is None:
+            self._h_model = self._build_h_model()
+        return self._h_model
 
     def solve_h(self, i: float) -> LPSolution:
         """``H_i`` with only the mass-row RHS rebuilt per call."""
         if self._use_engine:
-            if self._h_model is None:
-                self._h_model = self._build_h_model()
-            self._h_model.set_row_bounds(
-                self._h_model.num_rows - 1, float(i), float(i)
-            )
-            return self._with_constant(self._h_model.solve(), self._constant)
+            model = self._ensure_h_model()
+            model.set_row_bounds(model.num_rows - 1, float(i), float(i))
+            return self._with_constant(model.solve(), self._constant)
         return self.backend.solve_arrays(
             c=self._c,
             a_ub=self._a_ub,
@@ -311,25 +300,27 @@ class CompiledProgram:
         c[z] = 1.0
         self._g_overlay = (c, a_ub, b_ub, a_eq, bounds)
 
-    def _ensure_g_model(self) -> PersistentLP:
+    def _ensure_g_model(self) -> PersistentModel:
         if self._g_model is None:
             c, a_ub, b_ub, a_eq, bounds = self._g_overlay
             matrix = sparse.vstack([a_ub, a_eq], format="csr")
-            self._g_model = PersistentLP(
+            self._g_model = self.backend.build_persistent(
                 matrix,
                 col_costs=c,
                 col_lower=bounds[:, 0],
                 col_upper=bounds[:, 1],
                 row_lower=np.concatenate([np.full(len(b_ub), -_INF), [0.0]]),
                 row_upper=np.concatenate([b_ub, [0.0]]),
-                options=_engine_options(self.backend, self.num_variables),
             )
         return self._g_model
 
     def solve_g(self, i: float) -> LPSolution:
         """The Eq. 19 min-max LP; the z overlay is assembled on first use."""
         if not self._g_row_maps:
-            raise LPError("relation has no G rows — G_i is identically 0")
+            raise LPError(
+                f"{self._err_prefix()} relation has no G rows — "
+                "G_i is identically 0"
+            )
         if self._g_overlay is None:
             self._build_g_overlay()
         c, a_ub, b_ub, a_eq, bounds = self._g_overlay
@@ -351,25 +342,62 @@ class CompiledProgram:
     def solve_many(
         self, tasks: Sequence, workers: Optional[int] = None
     ) -> List[LPSolution]:
-        """Fan overlay solves across workers forked after compilation.
+        """Batched overlay solves: multi-RHS sweeps or worker fan-out.
 
         ``tasks`` is a sequence of ``("h", i)``, ``("g", i)`` or
         ``("x", delta_hat)`` pairs; the result list matches task order and
         carries the same :class:`LPSolution` objects the pointwise calls
-        return.  Workers inherit the compiled CSR blocks copy-on-write
-        and lazily build their own persistent HiGHS models (the parent's
-        do not survive the fork); ``workers`` resolves through
-        :func:`repro.parallel.pool.resolve_workers` and ``workers=1`` (or
-        a platform without fork) runs the same solves sequentially
-        in-process.
+        return.
+
+        Two execution strategies, picked per call:
+
+        * **multi-RHS sweep** — when the solves run in-process
+          (``workers`` resolves to 1) on a backend advertising
+          ``supports_multi_rhs``, a homogeneous H (or G) sweep varies
+          only the mass-row RHS, so the whole batch becomes *one*
+          backend call (:meth:`~repro.lp.backends.PersistentModel.
+          solve_rhs_sweep`) against the already-built persistent model
+          instead of N overlay dispatches.  The sweep performs the
+          identical rebind+solve sequence, so results are byte-identical
+          to the pointwise path.
+        * **worker fan-out** — otherwise the tasks shard across workers
+          forked after compilation: workers inherit the compiled CSR
+          blocks copy-on-write and lazily build their own persistent
+          models (the parent's do not survive the fork).  ``workers``
+          resolves through :func:`repro.parallel.pool.resolve_workers`;
+          ``workers=1`` without multi-RHS support runs the same solves
+          sequentially in-process.
         """
         task_list = [(str(kind), float(value)) for kind, value in tasks]
+        if (
+            task_list
+            and self._use_engine
+            and getattr(self.backend, "supports_multi_rhs", False)
+            and resolve_workers(workers) == 1
+        ):
+            kinds = {kind for kind, _ in task_list}
+            if kinds == {"h"}:
+                model = self._ensure_h_model()
+                solutions = model.solve_rhs_sweep(
+                    model.num_rows - 1, [value for _, value in task_list]
+                )
+                return [
+                    self._with_constant(solution, self._constant)
+                    for solution in solutions
+                ]
+            if kinds == {"g"} and self._g_row_maps:
+                if self._g_overlay is None:
+                    self._build_g_overlay()
+                model = self._ensure_g_model()
+                return model.solve_rhs_sweep(
+                    model.num_rows - 1, [value for _, value in task_list]
+                )
         return map_tasks(
             _solve_overlay_task, task_list, payload=self, workers=workers
         )
 
     # -- the Δ-search predicate ----------------------------------------------
-    def _prepare_feas_model(self, i: float, half: float) -> PersistentLP:
+    def _prepare_feas_model(self, i: float, half: float) -> PersistentModel:
         """Build (once) and re-bound the feasibility model for one probe."""
         num_g = len(self._g_row_maps)
         if self._feas_model is None:
@@ -382,14 +410,13 @@ class CompiledProgram:
             )
             upper = self._b_ub if self._b_ub is not None else np.zeros(0)
             row_upper = np.concatenate([upper, np.zeros(num_g), [0.0]])
-            self._feas_model = PersistentLP(
+            self._feas_model = self.backend.build_persistent(
                 matrix,
                 col_costs=np.zeros(self.num_variables),
                 col_lower=self._bounds[:, 0],
                 col_upper=self._bounds[:, 1],
                 row_lower=row_lower,
                 row_upper=row_upper,
-                options=_engine_options(self.backend, self.num_variables),
             )
         model = self._feas_model
         first_g = model.num_rows - 1 - num_g
@@ -411,9 +438,12 @@ class CompiledProgram:
         answer wins while the loser is terminated — latency is the
         minimum of the strands.  Serially (``workers=1``, the default,
         or no fork support) they instead interleave in-process as an
-        iteration-budget race: each strand gets a doubling simplex budget
+        iteration-budget race: each strand gets a doubling budget
+        (:meth:`~repro.lp.backends.PersistentModel.set_iteration_limit`)
         and resumes warm from where it stopped, costing at most ~2× the
-        cheaper strand.  When the exact strand wins, its value is
+        cheaper strand — which requires a persistent backend advertising
+        ``supports_warm_start``; other backends take the plain
+        feasibility probe.  When the exact strand wins, its value is
         returned so callers can cache it (tightening the Δ-search's
         convexity bounds for later probes).
         """
@@ -421,7 +451,10 @@ class CompiledProgram:
             return 0.0 <= threshold, 0.0
         if resolve_workers(workers) >= 2:
             return self._race_decide_processes(float(i), float(threshold))
-        if not self._use_engine:
+        if not (
+            self._use_engine
+            and getattr(self.backend, "supports_warm_start", False)
+        ):
             return self.solve_g_feasible(i, threshold), None
         if self._g_overlay is None:
             self._build_g_overlay()
@@ -436,8 +469,7 @@ class CompiledProgram:
             while feas_alive or exact_alive:
                 if feas_alive:
                     cap = min(feas_budget, feas.base_iteration_limit)
-                    feas.set_option("simplex_iteration_limit", cap)
-                    feas.set_option("ipm_iteration_limit", cap)
+                    feas.set_iteration_limit(cap)
                     solution = feas.solve(resume=not feas_fresh)
                     feas_fresh = False
                     feas_spent += feas.last_iteration_count
@@ -447,8 +479,9 @@ class CompiledProgram:
                         return False, None
                     if solution.status != "iteration_limit":
                         raise LPError(
-                            f"G_{i} <= {threshold} probe failed: "
-                            f"{solution.status} {solution.message}"
+                            f"{self._err_prefix()} G_{i} <= {threshold} "
+                            f"probe failed: {solution.status} "
+                            f"{solution.message}"
                         )
                     if cap >= feas.base_iteration_limit:
                         feas_alive = False  # backend iteration cap exhausted
@@ -458,8 +491,7 @@ class CompiledProgram:
                     # a pathological phase-1 cannot starve the exact solve
                     exact_budget = max(exact_budget, feas_spent)
                     cap = min(exact_budget, exact.base_iteration_limit)
-                    exact.set_option("simplex_iteration_limit", cap)
-                    exact.set_option("ipm_iteration_limit", cap)
+                    exact.set_iteration_limit(cap)
                     solution = exact.solve(
                         resume=not exact_fresh, warm_values=self._last_g_optimum
                     )
@@ -470,20 +502,20 @@ class CompiledProgram:
                         return value <= threshold, value
                     if solution.status != "iteration_limit":
                         raise LPError(
-                            f"G_{i} exact solve failed: "
-                            f"{solution.status} {solution.message}"
+                            f"{self._err_prefix()} G_{i} exact solve "
+                            f"failed: {solution.status} {solution.message}"
                         )
                     if cap >= exact.base_iteration_limit:
                         exact_alive = False
                     exact_budget *= 2
             raise LPError(
-                f"G_{i} <= {threshold} probe hit the configured iteration "
-                "limit on both strands (iteration_limit)"
+                f"{self._err_prefix()} G_{i} <= {threshold} probe hit the "
+                "configured iteration limit on both strands "
+                "(iteration_limit)"
             )
         finally:
             for model in (feas, exact):
-                model.set_option("simplex_iteration_limit", model.base_simplex_limit)
-                model.set_option("ipm_iteration_limit", model.base_ipm_limit)
+                model.restore_iteration_limits()
 
     def _race_decide_processes(self, i: float, threshold: float):
         """The Δ-probe race across two forked processes.
@@ -492,7 +524,7 @@ class CompiledProgram:
         budgets) in its own process; both inherit the compiled arrays
         copy-on-write and rebuild only the one model their strand needs.
         Works on the arrays-fallback path too — neither strand requires
-        the persistent engine.  When the exact strand wins, its optimum
+        a persistent backend.  When the exact strand wins, its optimum
         additionally seeds the parent's warm-start cache.
         """
         # Assemble the G overlay (pure arrays) in the parent first, so
@@ -508,7 +540,7 @@ class CompiledProgram:
             solution = self.solve_g(i)
             if not solution.is_optimal:
                 raise LPError(
-                    f"G_{i} exact solve failed: "
+                    f"{self._err_prefix()} G_{i} exact solve failed: "
                     f"{solution.status} {solution.message}"
                 )
             value = max(0.0, 2.0 * float(solution.objective))
@@ -520,7 +552,8 @@ class CompiledProgram:
             )
         except StrandError as exc:
             raise LPError(
-                f"G_{i} <= {threshold} process race failed: {exc}"
+                f"{self._err_prefix()} G_{i} <= {threshold} process race "
+                f"failed: {exc}"
             ) from exc
         if optimum is not None and len(optimum) == self.num_variables + 1:
             self._last_g_optimum = optimum
@@ -566,8 +599,8 @@ class CompiledProgram:
         if solution.status == "infeasible":
             return False
         raise LPError(
-            f"G_{i} <= {bound} feasibility probe failed: "
-            f"{solution.status} {solution.message}"
+            f"{self._err_prefix()} G_{i} <= {bound} feasibility probe "
+            f"failed: {solution.status} {solution.message}"
         )
 
     # -- X -------------------------------------------------------------------
@@ -577,14 +610,13 @@ class CompiledProgram:
         participant_cols = np.arange(self.num_participants)
         if self._use_engine and self._a_ub is not None:
             if self._x_model is None:
-                self._x_model = PersistentLP(
+                self._x_model = self.backend.build_persistent(
                     self._a_ub,
                     col_costs=self._c,
                     col_lower=self._bounds[:, 0],
                     col_upper=self._bounds[:, 1],
                     row_lower=self._ub_row_lower(),
                     row_upper=self._b_ub,
-                    options=_engine_options(self.backend, self.num_variables),
                 )
             self._x_model.set_col_costs(
                 participant_cols,

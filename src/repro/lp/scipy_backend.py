@@ -1,10 +1,17 @@
-"""HiGHS backend via :func:`scipy.optimize.linprog`.
+"""The ``"scipy"`` backend: HiGHS via :func:`scipy.optimize.linprog`.
 
 Constraint rows are assembled into sparse CSR matrices, so programs with the
 ``O(L)`` variables produced by large K-relations stay cheap to build.  For
 the hot path, :meth:`ScipyBackend.solve_arrays` accepts prebuilt CSR/NumPy
 arrays directly (see :class:`~repro.lp.compiled.CompiledProgram`) and skips
 the per-solve assembly entirely.
+
+This is the portable baseline of the backend registry: always available
+wherever SciPy is, every solve a self-contained ``linprog`` call with no
+persistent solver state (all capability flags false).  The ``"highs"``
+backend (:class:`~repro.lp.highs_engine.HighsBackend`) layers persistent
+models on top of the same knobs and is preferred automatically when
+SciPy's private HiGHS bindings are importable.
 """
 
 from __future__ import annotations
@@ -15,21 +22,16 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from . import status
+from .backends import SolverBackend, register
 from .model import LinearProgram, LPSolution
 
 __all__ = ["ScipyBackend"]
 
-_STATUS_MAP = {
-    0: "optimal",
-    1: "iteration_limit",
-    2: "infeasible",
-    3: "unbounded",
-    4: "error",
-}
 
-
-class ScipyBackend:
-    """Solve :class:`LinearProgram` instances with HiGHS.
+@register
+class ScipyBackend(SolverBackend):
+    """Solve :class:`LinearProgram` instances with HiGHS via linprog.
 
     Parameters
     ----------
@@ -53,6 +55,14 @@ class ScipyBackend:
         an explicit ``maxiter`` key here.
     """
 
+    name = "scipy"
+    aliases = ("linprog",)
+    supports_persistent = False
+    supports_multi_rhs = False
+    supports_warm_start = False
+    #: portable baseline — always available, never the measured winner
+    preference = 10
+
     def __init__(
         self,
         method: str = "adaptive",
@@ -65,13 +75,24 @@ class ScipyBackend:
         self.max_iterations = None if max_iterations is None else int(max_iterations)
         self.options = dict(options) if options else {}
 
+    @property
+    def cache_token(self):
+        return (
+            "lp-backend",
+            self.name,
+            self.method,
+            self.ipm_threshold,
+            self.max_iterations,
+            tuple(sorted((key, repr(value)) for key, value in self.options.items())),
+        )
+
     def fork_reset(self) -> None:
         """Fork-reset protocol hook (see :mod:`repro.parallel.pool`).
 
         Every solve here is a self-contained :func:`linprog` call with no
         per-process solver state, so a forked worker can keep using the
-        inherited backend as-is — unlike :class:`PersistentLP` models,
-        which must be re-instantiated per process.
+        inherited backend as-is — unlike persistent models, which must be
+        re-instantiated per process.
         """
 
     def _resolve_method(self, program_size) -> str:
@@ -119,9 +140,9 @@ class ScipyBackend:
             method=self._resolve_method(n),
             options=self._solver_options(),
         )
-        status = _STATUS_MAP.get(result.status, "error")
-        if status != "optimal":
-            return LPSolution(status, float("nan"), np.zeros(0), message=result.message)
+        name = status.canonical(status.LINPROG_STATUS.get(result.status, status.ERROR))
+        if name != status.OPTIMAL:
+            return LPSolution(name, float("nan"), np.zeros(0), message=result.message)
         return LPSolution(
             "optimal",
             float(result.fun) + float(objective_constant),
@@ -188,4 +209,4 @@ class ScipyBackend:
         )
 
     def __repr__(self) -> str:
-        return f"ScipyBackend(method={self.method!r})"
+        return f"{type(self).__name__}(method={self.method!r})"

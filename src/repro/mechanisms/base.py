@@ -184,6 +184,13 @@ class Mechanism:
     shared entry points are :meth:`prepare` (cacheable precomputation) and
     the uniform one-shot :meth:`run` signature
     ``run(query, epsilon, rng)``.
+
+    Solver-backed mechanisms take a ``backend`` option naming an entry in
+    the solver-backend registry (:mod:`repro.lp.backends`): ``None`` for
+    the auto-detected default, a registered name (``"scipy"``,
+    ``"highs"``, ``"gurobi"``), or a backend instance.  The resolved
+    backend's ``cache_token`` participates in the session cache key, so
+    prepared queries are never shared across solver backends.
     """
 
     #: Registry key (e.g. ``"recursive"``).

@@ -51,7 +51,9 @@ class PreparedRecursive(PreparedQuery):
 class RecursiveMechanism(Mechanism):
     """Recursive mechanism (Chen & Zhou): node- or edge-DP, any linear query.
 
-    Options (all optional): ``backend`` (LP backend), ``workers`` (worker
+    Options (all optional): ``backend`` (a solver-backend registry name
+    such as ``"scipy"``/``"highs"``/``"gurobi"``, a backend instance, or
+    ``None`` for the auto-detected default), ``workers`` (worker
     processes for the parallel solve paths), ``bounding``
     (``"paper"``/``"uniform"``/``"auto"``), ``normalize``, ``s_bar``,
     ``compiled`` — forwarded to

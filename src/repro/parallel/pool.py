@@ -11,10 +11,12 @@ evaluations principle that drives compiled query answering under updates.
 
 Two things do **not** survive the fork:
 
-* persistent HiGHS models (:class:`~repro.lp.highs_engine.PersistentLP`)
-  hold C++ solver state that must not be mutated concurrently from
-  several processes sharing copy-on-write pages of bookkeeping — each
-  worker lazily re-instantiates its own models from the (shared) arrays;
+* persistent solver models (any :class:`~repro.lp.backends.PersistentModel`
+  — HiGHS, Gurobi, or a third-party backend's) hold native solver state
+  that must not be mutated concurrently from several processes sharing
+  copy-on-write pages of bookkeeping — each worker lazily re-instantiates
+  its own models from the (shared) arrays via the backend's
+  ``build_persistent`` hook;
 * in-flight NumPy generators — parallel trial running therefore derives
   one :class:`numpy.random.SeedSequence` child per task up front
   (:func:`repro.rng.spawn_seed_sequences`), which keeps released answers

@@ -467,9 +467,14 @@ def encode_relation(
     backend=None,
     compiled: bool = True,
 ) -> EncodedRelation:
-    """Build an :class:`EncodedRelation` (default backend: SciPy/HiGHS)."""
-    if backend is None:
-        from ..lp import DEFAULT_BACKEND
+    """Build an :class:`EncodedRelation`.
 
-        backend = DEFAULT_BACKEND
-    return EncodedRelation(participants, annotated, backend, compiled=compiled)
+    ``backend`` may be ``None`` (the registry's auto-detected default —
+    ``REPRO_LP_BACKEND`` overrides), a registered backend name like
+    ``"scipy"`` / ``"highs"`` / ``"gurobi"``, or a backend instance.
+    """
+    from ..lp.backends import resolve as resolve_backend
+
+    return EncodedRelation(
+        participants, annotated, resolve_backend(backend), compiled=compiled
+    )

@@ -278,6 +278,9 @@ class PrivateQueryService:
             "budget": self._budget_summary(),
             "updates": self._updates_enabled,
             "graph_version": self._session.graph_version,
+            # which LP solver backend produces this server's answers —
+            # clients replaying audits must pin the same one
+            "lp_backend": self._session.lp_backend,
         }
 
     def _op_ping(self, request) -> Dict:

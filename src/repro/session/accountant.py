@@ -115,6 +115,9 @@ class LedgerEntry:
             "version": self.extra.get("version"),
             # Update entries: the effective deltas, in action form.
             "update": self.extra.get("update"),
+            # LP-backed releases: which solver backend produced the
+            # answer, so replay verifies against the same one.
+            "lp_backend": self.extra.get("lp_backend"),
         }
 
 

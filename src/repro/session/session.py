@@ -146,7 +146,13 @@ class PrivateSession:
         internal parallel solve paths; ``1`` (default) stays in-process,
         ``None`` resolves ``$REPRO_WORKERS`` / CPU count.
     backend:
-        LP backend override forwarded to the recursive mechanism.
+        LP backend forwarded to the recursive mechanism: ``None`` (the
+        registry's auto-detected default, ``REPRO_LP_BACKEND``
+        overriding), a registered name (``"scipy"`` / ``"highs"`` /
+        ``"gurobi"``), or a backend instance.  Resolved once at
+        construction; the resolved identity is part of every compiled-
+        relation cache key and audit ledger entry, so replay verifies
+        against the backend that produced the answer.
     rng:
         Session seed: releases whose ``rng`` the caller leaves ``None``
         draw from ``SeedSequence`` children spawned in call order, so a
@@ -202,7 +208,12 @@ class PrivateSession:
             )
         self._data = data
         self._dynamic = isinstance(data, VersionedGraph)
-        self._backend = backend
+        # Resolve the LP backend eagerly: a misconfigured backend fails
+        # loudly here (one actionable error) instead of at first query,
+        # and the resolved identity lands in cache keys and the ledger.
+        from ..lp.backends import resolve as resolve_backend
+
+        self._backend = resolve_backend(backend)
         self._workers = validate_workers(workers)
         self.name = name
         self.accountant = (accountant if accountant is not None
@@ -243,6 +254,17 @@ class PrivateSession:
     def graph_version(self) -> Optional[int]:
         """The current graph version (``None`` over static data)."""
         return self._data.version if self._dynamic else None
+
+    @property
+    def lp_backend(self) -> str:
+        """Name of the resolved LP backend (``"highs"``, ``"scipy"``, …).
+
+        Custom backend instances without a registry ``name`` report
+        their type name — the identity the ledger and the service
+        ``hello`` frame carry.
+        """
+        name = getattr(self._backend, "name", None)
+        return str(name) if name else type(self._backend).__name__
 
     @property
     def budget(self) -> Optional[float]:
@@ -421,6 +443,8 @@ class PrivateSession:
         )
         entry.extra["task"] = (query, weight, spec.privacy, mech_name,
                                dict(options), epsilon, params)
+        if mech_name == "recursive":
+            entry.extra["lp_backend"] = self.lp_backend
         if self._dynamic:
             entry.extra["version"] = self._data.version
         reservation.commit(entry)
@@ -497,6 +521,8 @@ class PrivateSession:
         )
         entry.extra["task"] = (query, None, spec.privacy, cls.name,
                                dict(options), epsilon, params)
+        if cls.name == "recursive":
+            entry.extra["lp_backend"] = self.lp_backend
         if self._dynamic:
             entry.extra["version"] = self._data.version
         # Charged at submission: the noisy answer *will* exist (refusing

@@ -8,11 +8,23 @@ import pytest
 from repro.boolexpr import Var
 from repro.graphs import Graph
 from repro.lp import ScipyBackend, SimplexBackend
+from repro.lp import backends as lp_backends
+
+#: Every solver backend registered AND usable in this environment — scipy is
+#: always present; "highs" joins when the scipy HiGHS bindings expose the
+#: persistent engine; "gurobi" joins only with gurobipy plus a license.
+AVAILABLE_LP_BACKENDS = tuple(lp_backends.available())
 
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=AVAILABLE_LP_BACKENDS)
+def lp_backend(request):
+    """Parametrized over every registered-and-available solver backend."""
+    return lp_backends.create(request.param)
 
 
 @pytest.fixture

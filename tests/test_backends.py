@@ -1,0 +1,286 @@
+"""The solver-backend registry: discovery, selection, and identity plumbing.
+
+Pins the registry contract introduced with the pluggable-backend refactor:
+
+* **registry** — ``backends.get``/``create``/``resolve`` honour names and
+  aliases, reject unknown names with the list of registered backends, and
+  report unavailable backends (gurobi without gurobipy) with an actionable
+  message naming the missing module and the fallback;
+* **selection** — ``REPRO_LP_BACKEND`` overrides the measured-preference
+  auto-detect order, and the CLI ``--lp-backend`` knob validates eagerly;
+* **identity** — the chosen backend's ``cache_token`` flows into session
+  cache keys, ``lp_backend`` into audit-ledger entries and the service
+  ``hello`` frame;
+* **statuses** — one canonical status vocabulary shared by every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LPError
+from repro.graphs import random_graph_with_avg_degree
+from repro.lp import ScipyBackend, backends, status
+from repro.lp.backends import BACKEND_ENV, PersistentModel, SolverBackend
+from repro.session import PrivateSession
+from repro.subgraphs import triangle
+
+AVAILABLE = tuple(backends.available())
+
+try:  # pragma: no cover - exercised only where gurobipy is installed
+    import gurobipy  # noqa: F401
+
+    HAS_GUROBIPY = True
+except ImportError:
+    HAS_GUROBIPY = False
+
+
+@pytest.fixture
+def graph():
+    return random_graph_with_avg_degree(24, 4.0, rng=2)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = backends.registered()
+        assert {"scipy", "highs", "gurobi"} <= set(names)
+        assert names == sorted(names)
+
+    def test_scipy_always_available(self):
+        assert "scipy" in AVAILABLE
+
+    def test_get_resolves_aliases(self):
+        assert backends.get("linprog") is backends.get("scipy")
+        assert backends.get("persistent") is backends.get("highs")
+        assert backends.get("grb") is backends.get("gurobi")
+        assert backends.get("HIGHS") is backends.get("highs")  # case-blind
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(LPError, match="unknown LP backend 'nope'") as exc:
+            backends.get("nope")
+        message = str(exc.value)
+        for name in ("scipy", "highs", "gurobi"):
+            assert name in message
+
+    def test_resolve_caches_one_instance_per_name(self):
+        assert backends.resolve("scipy") is backends.resolve("scipy")
+        # create() stays uncached so callers can pass constructor kwargs
+        assert backends.create("scipy") is not backends.create("scipy")
+
+    def test_describe_rows_carry_capabilities(self):
+        rows = {row["name"]: row for row in backends.describe()}
+        assert rows["scipy"]["available"] is True
+        assert rows["scipy"]["supports_persistent"] is False
+        assert rows["scipy"]["supports_multi_rhs"] is False
+        assert rows["gurobi"]["preference"] == 20
+        # sorted by preference, best-first
+        preferences = [row["preference"] for row in backends.describe()]
+        assert preferences == sorted(preferences, reverse=True)
+
+    @pytest.mark.skipif(HAS_GUROBIPY, reason="gurobipy installed here")
+    def test_gurobi_degrades_cleanly_when_missing(self):
+        rows = {row["name"]: row for row in backends.describe()}
+        assert rows["gurobi"]["available"] is False
+        assert "gurobipy" in rows["gurobi"]["reason"]
+        with pytest.raises(LPError) as exc:
+            backends.create("gurobi")
+        message = str(exc.value)
+        assert "[lp-backend gurobi]" in message
+        assert "gurobipy" in message  # names the missing module
+        assert BACKEND_ENV in message  # names the fallback knob
+
+    def test_env_var_overrides_preference_order(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "scipy")
+        assert backends.default_backend().name == "scipy"
+        monkeypatch.setenv(BACKEND_ENV, "no-such-backend")
+        with pytest.raises(LPError, match="no-such-backend"):
+            backends.default_backend()
+
+    def test_default_backend_prefers_measured_order(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        default = backends.default_backend()
+        best = max(
+            (backends.get(name) for name in AVAILABLE),
+            key=lambda cls: cls.preference,
+        )
+        assert default.name == best.name
+
+    def test_resolve_accepts_none_name_and_instance(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert backends.resolve(None).name == backends.default_backend().name
+        assert backends.resolve("scipy").name == "scipy"
+        explicit = ScipyBackend(method="highs-ds")
+        assert backends.resolve(explicit) is explicit
+        with pytest.raises(LPError, match="not an LP backend"):
+            backends.resolve(object())
+
+    def test_cache_tokens_distinguish_backends_and_options(self):
+        tokens = {backends.create(name).cache_token for name in AVAILABLE}
+        assert len(tokens) == len(AVAILABLE)
+        assert (
+            ScipyBackend(method="highs-ds").cache_token
+            != ScipyBackend(method="highs-ipm").cache_token
+        )
+
+
+class TestBackendContract:
+    def test_capability_flags_exposed(self):
+        for name in AVAILABLE:
+            backend = backends.create(name)
+            for flag in (
+                "supports_persistent",
+                "supports_multi_rhs",
+                "supports_warm_start",
+            ):
+                assert isinstance(getattr(backend, flag), bool)
+
+    def test_abstract_backend_rejects_persistent_build(self):
+        backend = SolverBackend()
+        with pytest.raises(LPError, match=r"\[lp-backend abstract\]"):
+            backend.build_persistent(None, None, None, None, None, None)
+
+    def test_persistent_model_fork_guard(self):
+        import os
+
+        model = PersistentModel.__new__(PersistentModel)
+        model._owner_pid = os.getpid() + 1
+        with pytest.raises(LPError, match="fork"):
+            model._assert_owner()
+
+    def test_non_persistent_backend_builds_no_models(self, graph):
+        from repro.core.efficient import EfficientRecursiveMechanism
+        from repro.subgraphs import subgraph_krelation
+
+        relation = subgraph_krelation(graph, triangle(), privacy="edge")
+        program = EfficientRecursiveMechanism(
+            relation, backend="scipy"
+        )._encoded._compiled
+        assert program._h_model is None
+        program.solve_h(1.0)
+        # scipy path never builds persistent models
+        assert program._h_model is None
+
+
+class TestStatusVocabulary:
+    def test_canonical_accepts_all_constants(self):
+        for name in status.CANONICAL_STATUSES:
+            assert status.canonical(name) == name
+
+    def test_canonical_rejects_foreign_spellings(self):
+        for bad in ("Optimal", "kOptimal", "solved", ""):
+            with pytest.raises(ValueError, match="status"):
+                status.canonical(bad)
+
+    def test_linprog_map_covers_scipy_codes(self):
+        assert status.LINPROG_STATUS[0] == status.OPTIMAL
+        assert status.LINPROG_STATUS[2] == status.INFEASIBLE
+        assert status.LINPROG_STATUS[3] == status.UNBOUNDED
+        assert set(status.LINPROG_STATUS.values()) <= set(
+            status.CANONICAL_STATUSES
+        )
+
+
+class TestEngineProbeCaching:
+    def test_probe_is_cached(self):
+        from repro.lp import highs_engine
+
+        assert highs_engine._probe() is highs_engine._probe()
+
+    def test_require_engine_message_names_backend_and_fallback(self, monkeypatch):
+        from repro.lp import highs_engine
+
+        monkeypatch.setattr(
+            highs_engine, "_PROBE", (False, "No module named '_highspy'")
+        )
+        with pytest.raises(LPError) as exc:
+            highs_engine.require_engine("highs")
+        message = str(exc.value)
+        assert "[lp-backend highs]" in message
+        assert "_highspy" in message
+        assert "REPRO_LP_BACKEND=scipy" in message
+
+
+class TestSessionIdentity:
+    def test_session_resolves_backend_eagerly(self, graph):
+        session = PrivateSession(graph, backend="scipy")
+        assert session.lp_backend == "scipy"
+        default = PrivateSession(graph)
+        assert default.lp_backend in AVAILABLE
+
+    def test_ledger_entries_record_backend(self, graph):
+        session = PrivateSession(graph, backend="scipy", budget=2.0)
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1)
+        entry = session.ledger[-1]
+        assert entry.extra["lp_backend"] == "scipy"
+        assert entry.to_dict()["lp_backend"] == "scipy"
+
+    def test_backend_identity_partitions_cache_keys(self, graph):
+        if len(AVAILABLE) < 2:
+            pytest.skip("only one backend available")
+        first, second = AVAILABLE[:2]
+        session_a = PrivateSession(graph, backend=first)
+        session_b = PrivateSession(graph, backend=second)
+        *_, key_a = session_a._resolve_spec(
+            triangle(), "edge", "recursive", None, {}
+        )
+        *_, key_b = session_b._resolve_spec(
+            triangle(), "edge", "recursive", None, {}
+        )
+        assert key_a != key_b
+
+    def test_cross_backend_released_answers_identical(self, graph):
+        answers = set()
+        for name in AVAILABLE:
+            session = PrivateSession(graph, backend=name)
+            result = session.query(
+                triangle(), privacy="node", epsilon=0.5, rng=42
+            )
+            answers.add(result.answer)
+        assert len(answers) == 1
+
+
+class TestServiceIdentity:
+    def test_hello_frame_reports_backend(self, graph):
+        from repro.service.service import PrivateQueryService
+
+        service = PrivateQueryService(
+            PrivateSession(graph, backend="scipy", name="svc")
+        )
+        frame = service._op_hello({})
+        assert frame["lp_backend"] == "scipy"
+
+
+class TestCliKnob:
+    def test_count_accepts_lp_backend(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["count", "--lp-backend", "scipy"])
+        assert args.lp_backend == "scipy"
+
+    def test_unknown_backend_rejected_at_parse_time(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--lp-backend", "nope"])
+        assert "registered backends" in capsys.readouterr().err
+
+    def test_batch_serve_fig_accept_lp_backend(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert (
+            parser.parse_args(
+                ["batch", "queries.json", "--lp-backend", "scipy"]
+            ).lp_backend
+            == "scipy"
+        )
+        assert (
+            parser.parse_args(["serve", "--lp-backend", "scipy"]).lp_backend
+            == "scipy"
+        )
+        assert (
+            parser.parse_args(
+                ["fig", "fig5", "--lp-backend", "scipy"]
+            ).lp_backend
+            == "scipy"
+        )

@@ -5,7 +5,9 @@ For random small annotated relations, ``solve_h`` / ``solve_g`` /
 CSR arrays must match the ``LinearProgram.clone()`` re-assembly path within
 1e-6, and the full mechanism (Δ and X, in both ``"paper"`` and
 ``"uniform"`` bounding modes) must agree on its deterministic
-intermediates.
+intermediates.  The solve-path test runs once per registered-and-available
+solver backend (the ``lp_backend`` fixture), so every backend in the
+registry is held to the same equivalence contract.
 """
 
 import random
@@ -18,7 +20,6 @@ from repro.core import (
     RecursiveMechanismParams,
     SensitiveKRelation,
 )
-from repro.lp import ScipyBackend
 from repro.relax.encode import EncodedRelation
 
 
@@ -45,11 +46,10 @@ def random_relation(seed: int):
 
 
 @pytest.mark.parametrize("seed", range(12))
-def test_compiled_matches_legacy_solves(seed):
+def test_compiled_matches_legacy_solves(seed, lp_backend):
     names, annotated = random_relation(seed)
-    backend = ScipyBackend()
-    compiled = EncodedRelation(names, annotated, backend)
-    legacy = EncodedRelation(names, annotated, backend, compiled=False)
+    compiled = EncodedRelation(names, annotated, lp_backend)
+    legacy = EncodedRelation(names, annotated, lp_backend, compiled=False)
     assert compiled.is_compiled
     assert not legacy.is_compiled
 
@@ -97,13 +97,17 @@ def test_h_entries_preserves_fractional_indices():
 
 @pytest.mark.parametrize("bounding", ["paper", "uniform"])
 @pytest.mark.parametrize("seed", range(6))
-def test_mechanism_intermediates_agree_across_paths(seed, bounding):
+def test_mechanism_intermediates_agree_across_paths(seed, bounding, lp_backend):
     names, annotated = random_relation(100 + seed)
     relation = SensitiveKRelation(
         names, [(f"t{k}", expr) for k, (expr, _) in enumerate(annotated)]
     )
-    fast = EfficientRecursiveMechanism(relation, bounding=bounding)
-    slow = EfficientRecursiveMechanism(relation, bounding=bounding, compiled=False)
+    fast = EfficientRecursiveMechanism(
+        relation, bounding=bounding, backend=lp_backend
+    )
+    slow = EfficientRecursiveMechanism(
+        relation, bounding=bounding, backend=lp_backend, compiled=False
+    )
     assert fast.is_compiled and not slow.is_compiled
 
     params = RecursiveMechanismParams.paper(1.0)

@@ -54,9 +54,10 @@ def small_graph():
 
 
 @pytest.fixture()
-def mechanism(small_graph):
+def mechanism(small_graph, lp_backend):
+    """The edge-DP triangle mechanism, once per available solver backend."""
     relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
-    return EfficientRecursiveMechanism(relation)
+    return EfficientRecursiveMechanism(relation, backend=lp_backend)
 
 
 class TestResolveWorkers:
@@ -300,6 +301,8 @@ class TestForkSafety:
         from repro.errors import LPError
 
         program = mechanism._encoded._compiled
+        if not getattr(program.backend, "supports_persistent", False):
+            pytest.skip("backend builds no persistent model to guard")
         program.solve_h(mechanism.num_participants / 2.0)
         model = program._h_model
         assert model is not None
@@ -373,6 +376,60 @@ class TestSolveManyAndRace:
         serial = EfficientRecursiveMechanism(relation, workers=1)
         parallel = EfficientRecursiveMechanism(relation, workers=2)
         assert serial.run(params, 17).answer == parallel.run(params, 17).answer
+
+
+class TestCrossBackendIdentity:
+    """Released answers are byte-identical across every available backend.
+
+    The registry may route solves through pure ``linprog``, the persistent
+    HiGHS engine, or Gurobi — but at a fixed seed the mechanism's noise and
+    its deterministic intermediates (Δ-probe race decisions, batched
+    ``solve_many`` objectives) must not depend on which backend ran.
+    """
+
+    def _backends(self):
+        from repro.lp import backends as lp_backends
+
+        return tuple(lp_backends.available())
+
+    def test_released_answers_identical(self, small_graph):
+        results = {}
+        for name in self._backends():
+            relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
+            mech = EfficientRecursiveMechanism(relation, backend=name)
+            outcome = mech.run(RecursiveMechanismParams.paper(0.5), 17)
+            results[name] = (outcome.answer, outcome.delta_hat)
+        assert len(set(results.values())) == 1, results
+
+    def test_g_decide_race_identical(self, small_graph):
+        relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
+        decisions = {}
+        for name in self._backends():
+            encoded = EfficientRecursiveMechanism(relation, backend=name)._encoded
+            n = encoded.num_participants
+            full = encoded.solve_g(n)
+            decisions[name] = tuple(
+                encoded.g_decide(float(i), threshold, workers=1)[0]
+                for i in (n // 3, n // 2, 2 * n // 3)
+                for threshold in (0.25 * full, 0.5 * full, 0.9 * full)
+            )
+        assert len(set(decisions.values())) == 1, decisions
+
+    def test_solve_many_identical(self, small_graph):
+        relation = subgraph_krelation(small_graph, triangle(), privacy="edge")
+        sweeps = {}
+        for name in self._backends():
+            program = EfficientRecursiveMechanism(
+                relation, backend=name
+            )._encoded._compiled
+            n = program.num_participants
+            tasks = [("h", n / 4.0), ("h", n / 2.0), ("h", 3 * n / 4.0)]
+            # workers=1 + all-"h" triggers the one-call multi-RHS sweep on
+            # backends that support it; others run the pointwise loop
+            sweeps[name] = tuple(
+                s.objective for s in program.solve_many(tasks, workers=1)
+            )
+        assert len(set(sweeps.values())) == 1, sweeps
 
 
 class TestCliWorkers:
