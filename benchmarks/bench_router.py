@@ -1,0 +1,165 @@
+"""Horizontal-serving microbench: routing, replication lag, shared memory.
+
+Runs the PR-7 topology in-process — one primary
+:class:`~repro.service.ServiceRouter` with two datasets (one dynamic)
+plus one tailing :class:`~repro.service.ReplicaService` — and measures:
+
+* warm per-request latency through the v2 router, per dataset (the
+  multi-dataset routing layer must not tax the v1 hot path);
+* replica catch-up: the wall time from a primary write to the moment a
+  ``min_version``-floored read on the replica releases;
+* shared-memory compiled-block export/attach round-trip, with the
+  attached program's answer checked byte-identical to the exporter's.
+
+Emits ``BENCH_router.json`` (path from ``$REPRO_BENCH_ROUTER_OUT``,
+default ``benchmarks/results/``) so CI can archive the numbers next to
+``BENCH_service.json``.
+"""
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import PrivateSession, random_graph_with_avg_degree
+from repro.dynamic import VersionedGraph
+from repro.experiments import format_table
+from repro.parallel import shm
+from repro.service import (
+    BackgroundService,
+    ReplicaService,
+    ServiceClient,
+    ServiceRouter,
+)
+from repro.session import HierarchicalAccountant, SharedCompiledCache
+
+WARM_QUERIES = 15
+WRITE_ROUNDS = 3
+
+
+def _session(data, cache):
+    return PrivateSession(
+        data, workers=1, rng=7, accountant=HierarchicalAccountant(),
+        cache=cache,
+    )
+
+
+def test_router_replication_shm_bench(scale, record_figure, results_dir):
+    n = max(40, int(round(150 * scale.graph_nodes_factor)))
+    alpha_graph = VersionedGraph(random_graph_with_avg_degree(n, 6, rng=11))
+    beta_graph = random_graph_with_avg_degree(n, 6, rng=12)
+    shared = SharedCompiledCache(maxsize=16)
+
+    router = ServiceRouter(seed=7)
+    alpha_session = _session(alpha_graph, shared.namespaced("alpha"))
+    beta_session = _session(beta_graph, shared.namespaced("beta"))
+    router.add_dataset("alpha", alpha_session, updates=True,
+                       writer_token="bench-admin", default=True)
+    router.add_dataset("beta", beta_session)
+
+    replica_sessions = []
+
+    def factory(replicated):
+        session = _session(replicated, SharedCompiledCache(maxsize=16))
+        replica_sessions.append(session)
+        return session
+
+    warm = {"alpha": [], "beta": []}
+    catchup = []
+    with BackgroundService(router) as primary:
+        replica = BackgroundService(ReplicaService(
+            primary.address, "alpha", factory, poll_interval=0.05,
+        ))
+        replica.start()
+        try:
+            with ServiceClient(primary.address, user="bench") as client:
+                for dataset in ("alpha", "beta"):
+                    client.query("triangle", epsilon=1.0, privacy="node",
+                                 dataset=dataset)  # cold: compile
+                    for _ in range(WARM_QUERIES):
+                        start = time.perf_counter()
+                        client.query("triangle", epsilon=1.0,
+                                     privacy="node", dataset=dataset)
+                        warm[dataset].append(time.perf_counter() - start)
+                with ServiceClient(replica.address, user="bench") as reader:
+                    reader.query("triangle", epsilon=1.0, privacy="node")
+                    for round_index in range(WRITE_ROUNDS):
+                        start = time.perf_counter()
+                        out = client.update(
+                            [{"action": "add_edge",
+                              "u": 10_000 + round_index,
+                              "v": 20_000 + round_index}],
+                            token="bench-admin",
+                        )
+                        result = reader.query(
+                            "triangle", epsilon=1.0, privacy="node",
+                            min_version=out["version"],
+                        )
+                        catchup.append(time.perf_counter() - start)
+                        assert result["version"] >= out["version"]
+        finally:
+            replica.stop()
+    alpha_session.close()
+    beta_session.close()
+    for session in replica_sessions:
+        session.close()
+
+    # Shared-memory compiled blocks: export, attach, byte-identical solve.
+    from repro.boolexpr.expr import And, Or, Var
+    from repro.lp import backends as lp_backends
+    from repro.relax.encode import EncodedRelation
+
+    names = [f"p{i}" for i in range(6)]
+    annotated = [
+        (And([Var("p0"), Var("p1"), Var("p2")]), 2.0),
+        (Or([Var("p2"), And([Var("p3"), Var("p4")])]), 1.5),
+        (Or([Var("p1"), Var("p5")]), 1.0),
+    ]
+    relation = EncodedRelation(names, annotated,
+                               lp_backends.default_backend())
+    program = relation._compiled
+    start = time.perf_counter()
+    spec = program.export_shared()
+    export_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    attached = type(program).attach_shared(spec)
+    attach_seconds = time.perf_counter() - start
+    np.testing.assert_equal(attached.solve_h(1.0).objective,
+                            program.solve_h(1.0).objective)
+    shm.release_spec(spec)
+    program.release_shared()
+
+    row = {
+        "nodes": n,
+        "warm_median_alpha_seconds": statistics.median(warm["alpha"]),
+        "warm_median_beta_seconds": statistics.median(warm["beta"]),
+        "replica_catchup_median_seconds": statistics.median(catchup),
+        "replica_catchup_max_seconds": max(catchup),
+        "shm_export_seconds": export_seconds,
+        "shm_attach_seconds": attach_seconds,
+    }
+    record_figure(
+        "router_serving",
+        format_table(
+            [row],
+            list(row),
+            title=f"Router + replica + shared-memory serving "
+            f"(scale={scale.name})",
+        ),
+    )
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_ROUTER_OUT",
+                       results_dir / "BENCH_router.json")
+    )
+    out_path.write_text(json.dumps(
+        {"scale": scale.name, "warm_queries": WARM_QUERIES,
+         "write_rounds": WRITE_ROUNDS, **row}, indent=2
+    ) + "\n")
+    print(f"[router bench written to {out_path}]")
+
+    # Attaching shared blocks must stay cheap next to exporting them —
+    # the whole point is that attach avoids the copy/compile.
+    assert attach_seconds < 1.0, f"attach took {attach_seconds:.3f}s"

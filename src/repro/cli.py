@@ -15,7 +15,13 @@ Commands
     Start the async multi-tenant network service
     (:mod:`repro.service`): per-user ε sub-budgets over a global cap,
     process-wide compiled-relation cache, newline-delimited JSON over
-    TCP.
+    TCP.  With ``--datasets config.json`` one listener routes to many
+    per-dataset sessions (protocol v2), each with its own budgets,
+    writer token, and cache namespace.
+``replica``
+    Start a read replica of one dataset on a running primary: bootstrap
+    from its ``snapshot``, tail its delta ``log``, serve reads (updates
+    are refused — writes go to the primary).
 ``fig``
     Regenerate one of the paper's figures at a chosen scale preset and
     print the rendered table.
@@ -178,10 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "instance over the wire protocol instead of "
                             "executing in-process (the spec's graph/budget/"
                             "workers are the server's business then)")
+    batch.add_argument("--dataset", default=None, metavar="NAME",
+                       help="route the remote workload to this dataset on a "
+                            "multi-dataset router (default: the server's "
+                            "default dataset; requires --remote)")
     batch.add_argument("--update-token", default=None,
-                       help="admin token sent with interleaved update steps "
-                            "(remote mode, servers started with "
-                            "--update-token)")
+                       help="writer token sent with interleaved update steps "
+                            "(remote mode, servers with token-gated "
+                            "updates)")
 
     serve = sub.add_parser(
         "serve",
@@ -193,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
     source = serve.add_mutually_exclusive_group()
     source.add_argument("--graph", help="serve this edge-list file")
     source.add_argument("--dataset", help="serve a Fig. 6 dataset stand-in")
+    source.add_argument("--datasets", metavar="FILE", default=None,
+                        help="mount every dataset in this JSON config on one "
+                             "router (per-dataset graph, budgets, updates, "
+                             "writer_token, seed; see the README's "
+                             "'Scaling out' section)")
     serve.add_argument("--lenient-edge-list", action="store_true",
                        help="skip self-loop/duplicate edge lines in --graph "
                             "instead of refusing to start")
@@ -231,10 +246,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared secret the 'update' op must present "
                             "(with --updates; default: gated only by "
                             "--updates)")
+    serve.add_argument("--dataset-name", default=None, metavar="NAME",
+                       help="name the single-graph deployment mounts its "
+                            "dataset under (default: 'default'; ignored "
+                            "with --datasets)")
     serve.add_argument("--announce", metavar="FILE", default=None,
                        help="write the bound host:port to FILE once "
                             "listening (for scripts wanting the ephemeral "
                             "port)")
+
+    replica = sub.add_parser(
+        "replica",
+        help="serve a read replica of one dataset on a running primary",
+    )
+    replica.add_argument("--primary", required=True, metavar="HOST:PORT",
+                         help="the primary router to bootstrap from and tail")
+    replica.add_argument("--dataset", required=True, metavar="NAME",
+                         help="the (dynamic) dataset to replicate")
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = pick an ephemeral port)")
+    replica.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                         help="interval between log polls while tailing")
+    replica.add_argument("--epsilon", type=_positive_float, default=None,
+                         help="this replica's global epsilon cap (privacy "
+                              "budgets are per replica instance)")
+    replica.add_argument("--user-epsilon", type=_positive_float, default=None,
+                         help="default per-user epsilon sub-budget")
+    replica.add_argument("--user-budget", action="append", default=[],
+                         metavar="USER=EPS",
+                         help="explicit sub-budget for one tenant "
+                              "(repeatable)")
+    replica.add_argument("--seed", type=int, default=None,
+                         help="session + request-seed entropy (match the "
+                              "primary's to reproduce its answer stream)")
+    replica.add_argument("--workers", type=_workers_arg, default=1,
+                         help=workers_help)
+    replica.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
+                         help=lp_backend_help)
+    replica.add_argument("--max-pending", type=int, default=64,
+                         help="backpressure bound: in-flight queries beyond "
+                              "this are refused ('overloaded')")
+    replica.add_argument("--announce", metavar="FILE", default=None,
+                         help="write the bound host:port to FILE once "
+                              "listening")
 
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
     fig.add_argument("name", choices=[
@@ -361,10 +416,12 @@ def _cmd_batch_remote(args, spec) -> int:
     rows = []
     failed = 0
     granted = 0
-    with ServiceClient(args.remote) as client:
+    with ServiceClient(args.remote, dataset=args.dataset) as client:
         hello = client.hello()
+        dataset = args.dataset or hello.get("default_dataset")
         print(f"remote: {args.remote} ({hello['name']}, protocol "
-              f"v{hello['protocol']}, multi_tenant={hello['multi_tenant']})")
+              f"v{hello['protocol']}, multi_tenant={hello['multi_tenant']}"
+              + (f", dataset {dataset!r}" if dataset else "") + ")")
         for index, item in enumerate(spec["queries"]):
             label = item.get("label", f"q{index}")
             if "update" in item:
@@ -486,6 +543,10 @@ def _cmd_batch(args) -> int:
 
     if args.remote is not None:
         return _cmd_batch_remote(args, spec)
+    if args.dataset is not None:
+        print("--dataset routes a --remote workload; local batch runs "
+              "build their graph from the spec", file=sys.stderr)
+        return 2
 
     graph = _graph_from_spec(spec)
     has_updates = any(isinstance(item, dict) and "update" in item
@@ -581,12 +642,147 @@ def _cmd_batch(args) -> int:
     return 1 if failed else 0
 
 
-def _cmd_serve(args) -> int:
+def _parse_user_budgets(pairs, flag: str = "--user-budget"):
+    """``USER=EPS`` pairs → dict, or an error string (caller prints it)."""
+    from .validation import validate_epsilon
+
+    user_budgets = {}
+    for pair in pairs:
+        user, sep, eps = pair.partition("=")
+        if not sep or not user:
+            return None, f"{flag} wants USER=EPS, got {pair!r}"
+        try:
+            user_budgets[user] = validate_epsilon(float(eps), f"{flag} {user}")
+        except ValueError:
+            return None, (f"{flag} {pair!r}: {eps!r} is not a positive "
+                          "finite number")
+    return user_budgets, None
+
+
+def _announce(path, host, port) -> None:
+    """Write the bound address for scripts waiting on an ephemeral port."""
+    if path:
+        with open(path, "w") as handle:
+            handle.write(f"{host}:{port}\n")
+
+
+def _dataset_session(name, config, *, args, cache):
+    """One dataset's session from its ``--datasets`` config object."""
+    from .session import HierarchicalAccountant, PrivateSession
+
+    graph = _graph_from_spec(config)
+    updates = bool(config.get("updates", False))
+    if updates:
+        from .dynamic import VersionedGraph
+
+        graph = VersionedGraph(graph)
+    accountant = HierarchicalAccountant(
+        config.get("budget", args.epsilon),
+        default_user_budget=config.get("user_epsilon", args.user_epsilon),
+        user_budgets=config.get("user_budgets") or {},
+    )
+    seed = config.get("seed", args.seed)
+    session = PrivateSession(
+        graph, workers=args.workers, rng=seed, backend=args.lp_backend,
+        accountant=accountant, cache=cache.namespaced(name),
+        name=f"serve[{name}]",
+    )
+    return session, updates, config.get("writer_token"), seed
+
+
+def _build_router(args):
+    """The ``--datasets`` multi-dataset router (and its sessions)."""
+    import json
+
+    from .service import ServiceRouter
+
+    with open(args.datasets) as handle:
+        config = json.load(handle)
+    if not isinstance(config, dict) or not isinstance(
+        config.get("datasets"), dict
+    ) or not config["datasets"]:
+        raise ValueError(
+            f"{args.datasets}: expected {{'datasets': {{name: {{...}}}}}} "
+            "with at least one dataset"
+        )
+    default = config.get("default")
+    if default is not None and default not in config["datasets"]:
+        raise ValueError(
+            f"{args.datasets}: default dataset {default!r} is not in "
+            f"'datasets' ({sorted(config['datasets'])})"
+        )
+    from .session import shared_cache
+
+    cache = shared_cache()
+    if args.cache_size is not None:
+        cache.resize(args.cache_size)
+    router = ServiceRouter(
+        host=args.host, port=args.port, max_pending=args.max_pending,
+        seed=args.seed,
+    )
+    sessions = []
+    for name, dataset_config in config["datasets"].items():
+        session, updates, token, seed = _dataset_session(
+            name, dataset_config, args=args, cache=cache
+        )
+        sessions.append(session)
+        router.add_dataset(
+            name, session, updates=updates, writer_token=token, seed=seed,
+            default=(name == default),
+        )
+    return router, sessions
+
+
+def _run_service(service, sessions, args, banner) -> int:
+    """Start ``service``, print ``banner(host, port)``, serve forever."""
     import asyncio
 
+    async def run() -> None:
+        host, port = await service.start()
+        print(banner(host, port), flush=True)
+        _announce(args.announce, host, port)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        for session in sessions:
+            session.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
     from .graphs import load_dataset, random_graph_with_avg_degree, read_edge_list
-    from .service import PROTOCOL_VERSION, PrivateQueryService
+    from .service import DEFAULT_DATASET, PROTOCOL_VERSION, PrivateQueryService
     from .session import HierarchicalAccountant, PrivateSession, shared_cache
+
+    _apply_lp_backend(args)
+    if args.datasets:
+        if args.updates or args.update_token is not None:
+            print("--updates/--update-token are per-dataset keys of the "
+                  "--datasets config ('updates', 'writer_token')",
+                  file=sys.stderr)
+            return 2
+        try:
+            router, sessions = _build_router(args)
+        except (OSError, ValueError) as error:
+            print(error, file=sys.stderr)
+            return 2
+
+        def banner(host, port):
+            rows = ", ".join(
+                f"{lane.name}({lane.session.data.num_nodes}n/"
+                f"{lane.session.data.num_edges}e"
+                + (",dynamic" if lane.updates_enabled else "") + ")"
+                for lane in (router.lane(name) for name in router.datasets)
+            )
+            return (f"serving {len(router.datasets)} datasets on "
+                    f"{host}:{port} (protocol v{PROTOCOL_VERSION}, default "
+                    f"{router.default_dataset!r}): {rows}")
+
+        return _run_service(router, sessions, args, banner)
 
     if args.graph:
         graph = read_edge_list(args.graph,
@@ -597,23 +793,10 @@ def _cmd_serve(args) -> int:
         graph = random_graph_with_avg_degree(
             args.nodes, args.avgdeg, rng=args.graph_seed
         )
-    user_budgets = {}
-    for pair in args.user_budget:
-        user, sep, eps = pair.partition("=")
-        if not sep or not user:
-            print(f"--user-budget wants USER=EPS, got {pair!r}",
-                  file=sys.stderr)
-            return 2
-        try:
-            from .validation import validate_epsilon
-
-            user_budgets[user] = validate_epsilon(
-                float(eps), f"--user-budget {user}"
-            )
-        except ValueError:
-            print(f"--user-budget {pair!r}: {eps!r} is not a positive "
-                  "finite number", file=sys.stderr)
-            return 2
+    user_budgets, error = _parse_user_budgets(args.user_budget)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     if args.update_token is not None and not args.updates:
         print("--update-token only makes sense with --updates (as given, "
               "updates would stay disabled and the token ignored)",
@@ -631,7 +814,6 @@ def _cmd_serve(args) -> int:
     cache = shared_cache()
     if args.cache_size is not None:
         cache.resize(args.cache_size)
-    _apply_lp_backend(args)
     session = PrivateSession(
         graph, workers=args.workers, rng=args.seed,
         backend=args.lp_backend, accountant=accountant, cache=cache,
@@ -641,34 +823,73 @@ def _cmd_serve(args) -> int:
         session, host=args.host, port=args.port,
         max_pending=args.max_pending, seed=args.seed,
         updates=args.updates, update_token=args.update_token,
+        dataset=args.dataset_name or DEFAULT_DATASET,
     )
 
-    async def run() -> None:
-        host, port = await service.start()
-        print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    def banner(host, port):
         updates_mode = "disabled"
         if args.updates:
             updates_mode = ("token-gated" if args.update_token is not None
                             else "enabled")
-        print(f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
-              f"budget "
-              f"{'unlimited' if args.epsilon is None else args.epsilon}, "
-              f"per-user "
-              f"{'uncapped' if args.user_epsilon is None else args.user_epsilon}, "
-              f"updates {updates_mode})",
-              flush=True)
-        if args.announce:
-            with open(args.announce, "w") as handle:
-                handle.write(f"{host}:{port}\n")
-        await service.serve_forever()
+        return (
+            f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n"
+            f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
+            f"budget "
+            f"{'unlimited' if args.epsilon is None else args.epsilon}, "
+            f"per-user "
+            f"{'uncapped' if args.user_epsilon is None else args.user_epsilon}, "
+            f"updates {updates_mode})"
+        )
+
+    return _run_service(service, [session], args, banner)
+
+
+def _cmd_replica(args) -> int:
+    from .service import PROTOCOL_VERSION, ReplicaService, parse_address
+    from .session import HierarchicalAccountant, PrivateSession, shared_cache
 
     try:
-        asyncio.run(run())
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        session.close()
-    return 0
+        parse_address(args.primary)
+    except Exception as error:
+        print(error, file=sys.stderr)
+        return 2
+    user_budgets, error = _parse_user_budgets(args.user_budget)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    _apply_lp_backend(args)
+    cache = shared_cache()
+    sessions = []
+
+    def session_factory(graph):
+        accountant = HierarchicalAccountant(
+            args.epsilon,
+            default_user_budget=args.user_epsilon,
+            user_budgets=user_budgets,
+        )
+        session = PrivateSession(
+            graph, workers=args.workers, rng=args.seed,
+            backend=args.lp_backend, accountant=accountant,
+            cache=cache.namespaced(args.dataset),
+            name=f"replica[{args.dataset}]",
+        )
+        sessions.append(session)
+        return session
+
+    service = ReplicaService(
+        args.primary, args.dataset, session_factory,
+        poll_interval=args.poll, host=args.host, port=args.port,
+        max_pending=args.max_pending, seed=args.seed,
+    )
+
+    def banner(host, port):
+        lane = service.lane()
+        return (f"replica of {args.dataset!r} on {args.primary} "
+                f"(bootstrapped at graph version {lane.current_version()}) "
+                f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
+                f"poll {args.poll:g}s, updates refused)")
+
+    return _run_service(service, sessions, args, banner)
 
 
 def _cmd_fig(args) -> int:
@@ -793,6 +1014,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": _cmd_count,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "replica": _cmd_replica,
         "fig": _cmd_fig,
         "audit": _cmd_audit,
         "datasets": _cmd_datasets,

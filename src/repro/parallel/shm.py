@@ -1,0 +1,260 @@
+"""Named shared-memory segments: compiled blocks any process can attach.
+
+The fork-after-compile scheme (:mod:`repro.parallel.pool`) shares the
+compiled CSR blocks with workers through copy-on-write pages, which is
+free but imposes an *ordering constraint*: the fork must happen after
+compilation, in the same process, and can never be repeated for a
+process that already exists.  This module removes that constraint by
+promoting the arrays into named POSIX shared-memory segments
+(:class:`multiprocessing.shared_memory.SharedMemory`): the owner exports
+each block once, and **any** process — a spawn-started worker, a
+sibling service process, a process started before compilation — attaches
+read-only by segment name and maps the same physical pages.
+
+Lifecycle is the hard part, so it is centralised in one process-wide
+refcounted :class:`SegmentRegistry`:
+
+* the *owner* creates segments (``create``) and is responsible for the
+  final ``unlink`` — segments it still owns are unlinked at interpreter
+  exit via ``atexit``, so a crashed benchmark does not leak ``/dev/shm``
+  entries;
+* *attachers* map by name (``attach``); repeated attaches of the same
+  name share one mapping and bump a refcount, and :meth:`~SegmentRegistry
+  .release` unmaps at zero (owners additionally unlink at zero);
+* attached segments bypass the stdlib ``resource_tracker`` — the
+  tracker assumes every process that opens a segment owns it and would
+  unlink it when the *attacher* exits, destroying the owner's data
+  mid-flight (bpo-38119); ownership here is explicit instead.
+
+:func:`export_array` / :func:`attach_array` are the NumPy-facing pair:
+export copies an array into a fresh segment and returns a JSON-able spec
+``{"segment", "shape", "dtype"}``; attach maps the spec back into a
+**read-only** ndarray view (``writeable=False`` — many readers, no
+writer is the whole contract).  :meth:`repro.lp.compiled.CompiledProgram
+.export_shared` builds on these to ship whole compiled programs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SegmentRegistry",
+    "registry",
+    "export_array",
+    "attach_array",
+    "release_spec",
+    "shm_available",
+]
+
+
+def shm_available() -> bool:
+    """Whether named shared-memory segments work on this platform."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - all supported platforms have it
+        return False
+    return True
+
+
+def _attach_untracked(name: str):
+    """Open the named segment without resource-tracker registration.
+
+    The stdlib tracker unlinks every segment a process ever opened when
+    that process exits — correct for owners, catastrophic for read-only
+    attachers (the owner's segment disappears underneath it, bpo-38119;
+    and with many attachers the shared tracker cache makes even
+    ``unregister`` race noisily).  Ownership is explicit in
+    :class:`SegmentRegistry`, so attachers never register: Python ≥ 3.13
+    exposes ``track=False`` for exactly this; earlier versions get a
+    momentary register shim (callers hold the registry lock).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(resource_name, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - nothing else here
+            original(resource_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SegmentRegistry:
+    """Process-wide refcounted registry of named shared-memory segments.
+
+    One mapping per segment name per process, however many attachers
+    there are; ``release`` drops a reference and unmaps at zero.  The
+    creating process *owns* its segments: they are unlinked (removed
+    from ``/dev/shm``) when released to zero or at :meth:`shutdown`,
+    whichever comes first.  Attach-only processes never unlink.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        #: name -> [SharedMemory, refcount, owned]
+        self._segments: Dict[str, list] = {}
+
+    # -- creation / attachment -----------------------------------------------
+    def create(self, nbytes: int):
+        """Create (and own) a new segment of at least ``nbytes`` bytes."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
+        with self._lock:
+            self._segments[shm.name] = [shm, 1, True]
+        return shm
+
+    def attach(self, name: str):
+        """Map the named segment (refcounted; shared within the process)."""
+        with self._lock:
+            entry = self._segments.get(name)
+            if entry is not None:
+                entry[1] += 1
+                return entry[0]
+            shm = _attach_untracked(name)
+            self._segments[name] = [shm, 1, False]
+            return shm
+
+    # -- release -------------------------------------------------------------
+    def release(self, name: str) -> None:
+        """Drop one reference; unmap (and unlink, if owned) at zero."""
+        with self._lock:
+            entry = self._segments.get(name)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._segments[name]
+            self._dispose(entry)
+
+    def shutdown(self) -> None:
+        """Unmap every segment and unlink every owned one (atexit hook)."""
+        with self._lock:
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for entry in entries:
+            self._dispose(entry)
+
+    @staticmethod
+    def _dispose(entry) -> None:
+        shm, _, owned = entry
+        try:
+            shm.close()
+        except BufferError:
+            # An ndarray view still points into the mapping; the memory
+            # stays mapped until that view dies, but the name can (and
+            # must) still be removed below.
+            pass
+        if owned:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # -- introspection -------------------------------------------------------
+    def refcount(self, name: str) -> int:
+        """Current reference count of ``name`` in this process (0 if unknown)."""
+        with self._lock:
+            entry = self._segments.get(name)
+            return 0 if entry is None else entry[1]
+
+    def owned(self) -> List[str]:
+        """Names of the segments this process created and must unlink."""
+        with self._lock:
+            return sorted(
+                name for name, entry in self._segments.items() if entry[2]
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+
+#: The process-wide registry (one per process, attachers included).
+_REGISTRY: Optional[SegmentRegistry] = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def registry() -> SegmentRegistry:
+    """The process-wide :class:`SegmentRegistry` (created on first use,
+    drained by ``atexit`` so owned segments never outlive the process)."""
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        if _REGISTRY is None:
+            _REGISTRY = SegmentRegistry()
+            atexit.register(_REGISTRY.shutdown)
+        return _REGISTRY
+
+
+# -- NumPy-facing helpers ----------------------------------------------------
+def export_array(array: np.ndarray) -> Dict:
+    """Copy ``array`` into a fresh owned segment; returns its wire spec.
+
+    The spec — ``{"segment": name, "shape": [...], "dtype": "..."}`` —
+    is JSON-able, so it can ride protocol frames or pickle into spawn
+    workers.  The caller (or :func:`release_spec`) releases the segment.
+    """
+    array = np.ascontiguousarray(array)
+    shm = registry().create(array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    del view  # drop the writable view so close() is not pinned by it
+    return {
+        "segment": shm.name,
+        "shape": list(array.shape),
+        "dtype": str(array.dtype),
+    }
+
+
+def attach_array(spec: Dict) -> np.ndarray:
+    """Map a spec back into a **read-only** ndarray over the segment.
+
+    Many processes may hold views of the same segment concurrently; the
+    writeable flag is cleared so an accidental in-place mutation raises
+    instead of corrupting every reader at once.
+    """
+    shm = registry().attach(spec["segment"])
+    view = np.ndarray(
+        tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]), buffer=shm.buf
+    )
+    view.flags.writeable = False
+    return view
+
+
+def release_spec(spec) -> None:
+    """Release every ``{"segment": ...}`` reference reachable in ``spec``.
+
+    Walks nested dicts/lists (the shape :meth:`CompiledProgram.
+    export_shared` produces), so one call balances one export or one
+    attach of a whole compiled program.
+    """
+    for name in _segment_names(spec):
+        registry().release(name)
+
+
+def _segment_names(spec) -> Iterable[str]:
+    if isinstance(spec, dict):
+        name = spec.get("segment")
+        if isinstance(name, str):
+            yield name
+        for value in spec.values():
+            yield from _segment_names(value)
+    elif isinstance(spec, (list, tuple)):
+        for value in spec:
+            yield from _segment_names(value)

@@ -1,33 +1,49 @@
 """Network serving layer: the async multi-tenant private-query service.
 
-The deployable shape of the serving stack: one
-:class:`~repro.service.service.PrivateQueryService` fronts a
-:class:`~repro.session.PrivateSession` behind a versioned
+The deployable shape of the serving stack, horizontally since PR 7: a
+:class:`~repro.service.router.ServiceRouter` fronts *many* per-dataset
+:class:`~repro.session.PrivateSession` lanes behind one versioned
 newline-delimited JSON wire protocol (stdlib ``asyncio`` only), with
 per-user sub-budgets (:class:`~repro.session.HierarchicalAccountant`),
-process-wide compiled-relation sharing
-(:func:`~repro.session.shared_cache`), bounded-queue backpressure, and a
-streaming audit-log endpoint.  ``python -m repro serve`` starts one from
-the command line; :class:`ServiceClient` is the blocking client
-(``python -m repro batch --remote`` rides on it).
+per-dataset compiled-relation cache namespaces
+(:meth:`~repro.session.SharedCompiledCache.namespaced`), per-dataset
+writer authorization, bounded-queue backpressure, streaming audit, and a
+replication feed (``snapshot`` + ``log``) that
+:class:`~repro.service.replication.ReplicaService` read replicas tail.
+:class:`~repro.service.service.PrivateQueryService` is the classic
+single-dataset shape (a router with one lane).  ``python -m repro
+serve`` / ``repro replica`` start them from the command line;
+:class:`ServiceClient` is the blocking client (``python -m repro batch
+--remote`` rides on it).
 """
 
 from .client import ServiceClient, parse_address
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ResultFrame,
     request_seed,
     seed_from_wire,
     seed_to_wire,
 )
-from .service import BackgroundService, PrivateQueryService
+from .replication import PrimaryLink, ReplicaService
+from .router import DatasetLane, ServiceRouter
+from .service import DEFAULT_DATASET, BackgroundService, PrivateQueryService
 
 __all__ = [
+    "ServiceRouter",
+    "DatasetLane",
     "PrivateQueryService",
     "BackgroundService",
+    "ReplicaService",
+    "PrimaryLink",
     "ServiceClient",
     "parse_address",
+    "DEFAULT_DATASET",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ResultFrame",
     "MAX_FRAME_BYTES",
     "request_seed",
     "seed_to_wire",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 import json
 import socket
+import warnings
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import (
@@ -63,6 +64,12 @@ class ServiceClient:
     ----------
     address:
         ``(host, port)``, ``"host:port"``, or ``"tcp://host:port"``.
+        (The two-argument ``ServiceClient(host, port)`` form still works
+        but is deprecated — pass one ``"host:port"`` string.)
+    dataset:
+        Default dataset every request routes to (protocol v2).  ``None``
+        leaves routing to the server's default dataset — exactly what a
+        v1 client gets.
     user:
         Default tenant name attached to every request that does not name
         its own.
@@ -70,9 +77,19 @@ class ServiceClient:
         Per-response socket timeout in seconds.
     """
 
-    def __init__(self, address: Union[str, Tuple[str, int]], *,
+    def __init__(self, address: Union[str, Tuple[str, int]],
+                 port: Optional[int] = None, *,
+                 dataset: Optional[str] = None,
                  user: Optional[str] = None, timeout: float = 60.0):
+        if port is not None:
+            warnings.warn(
+                "ServiceClient(host, port) is deprecated; pass one "
+                "address argument, e.g. ServiceClient('host:port')",
+                DeprecationWarning, stacklevel=2,
+            )
+            address = (address, port)
         self._address = parse_address(address)
+        self._dataset = dataset
         self._user = user
         self._timeout = timeout
         self._sock: Optional[socket.socket] = None
@@ -87,6 +104,20 @@ class ServiceClient:
             )
             self._file = self._sock.makefile("rb")
         return self._sock, self._file
+
+    def connect(self) -> "ServiceClient":
+        """Open the connection eagerly; returns ``self``.
+
+        Usable as a context manager::
+
+            with ServiceClient("127.0.0.1:8732").connect() as client:
+                client.ping()
+
+        (Without it the socket opens lazily on the first call; this
+        surfaces connection errors at a predictable point instead.)
+        """
+        self._connection()
+        return self
 
     def close(self) -> None:
         """Close the connection (reopened lazily on the next call)."""
@@ -151,8 +182,12 @@ class ServiceClient:
             self._raise_error(frame)
         return frame
 
-    def _request(self, op: str, **fields) -> Dict[str, Any]:
+    def _request(self, op: str, *, dataset: Optional[str] = None,
+                 **fields) -> Dict[str, Any]:
         request = {"v": PROTOCOL_VERSION, "id": next(self._ids), "op": op}
+        dataset = dataset if dataset is not None else self._dataset
+        if dataset is not None:
+            request["dataset"] = dataset
         request.update(
             (key, value) for key, value in fields.items() if value is not None
         )
@@ -160,24 +195,39 @@ class ServiceClient:
 
     # -- the API ----------------------------------------------------------------
     def hello(self) -> Dict[str, Any]:
-        """Server info: protocol version, mechanisms, budget summary."""
+        """Server info: protocol/capabilities, datasets, budget summary."""
         return self._roundtrip(self._request("hello"))["result"]
 
     def ping(self) -> Dict[str, Any]:
         """Liveness probe (also reports the server's in-flight count)."""
         return self._roundtrip(self._request("ping"))["result"]
 
-    def budget(self, user: Optional[str] = None) -> Dict[str, Any]:
+    def stats(self) -> Dict[str, Any]:
+        """Per-dataset router stats: versions, in-flight, cache counters."""
+        return self._roundtrip(self._request("stats"))["result"]
+
+    def budget(self, user: Optional[str] = None, *,
+               dataset: Optional[str] = None) -> Dict[str, Any]:
         """Budget accounting snapshot: global + all tenants by default,
         one tenant's detail when ``user`` is named."""
-        return self._roundtrip(self._request("budget", user=user))["result"]
+        return self._roundtrip(self._request(
+            "budget", dataset=dataset, user=user
+        ))["result"]
 
     def query(self, query: str, *, epsilon: float,
               privacy: Optional[str] = None, mechanism: Optional[str] = None,
               user: Optional[str] = None, label: Optional[str] = None,
-              seed=None, options: Optional[Dict[str, Any]] = None
-              ) -> Dict[str, Any]:
+              seed=None, options: Optional[Dict[str, Any]] = None,
+              dataset: Optional[str] = None,
+              at_version: Optional[int] = None,
+              min_version: Optional[int] = None) -> Dict[str, Any]:
         """Answer one private query; returns the result payload.
+
+        ``dataset`` routes to one of a v2 router's datasets (default:
+        the client's ``dataset=``, else the server's default dataset).
+        ``at_version`` answers against a historical graph version;
+        ``min_version`` refuses (``version_behind``) unless the serving
+        lane has caught up to that version — the replica-lag contract.
 
         Raises :class:`~repro.session.BudgetExhausted` (tenant attached)
         on refusal, :class:`~repro.errors.ServiceOverloaded` under
@@ -185,14 +235,15 @@ class ServiceClient:
         mirroring the in-process session API.
         """
         return self._roundtrip(self._request(
-            "query", query=query, epsilon=epsilon, privacy=privacy,
-            mechanism=mechanism, label=label, seed=seed, options=options,
+            "query", dataset=dataset, query=query, epsilon=epsilon,
+            privacy=privacy, mechanism=mechanism, label=label, seed=seed,
+            options=options, at_version=at_version, min_version=min_version,
             user=user if user is not None else self._user,
         ))["result"]
 
     def update(self, actions: List[Dict[str, Any]], *,
-               token: Optional[str] = None,
-               label: Optional[str] = None) -> Dict[str, Any]:
+               token: Optional[str] = None, label: Optional[str] = None,
+               dataset: Optional[str] = None) -> Dict[str, Any]:
         """Apply a live graph update (dynamic servers only).
 
         ``actions`` is a list of update-action objects
@@ -201,22 +252,64 @@ class ServiceClient:
         admission-serialized step.  Returns ``{version, applied, deltas,
         num_nodes, num_edges}``.  Raises
         :class:`~repro.errors.ServiceForbidden` when the server has
-        updates disabled or the admin ``token`` does not match, and
-        :class:`ValueError` for invalid actions.
+        updates disabled or the dataset's writer ``token`` does not
+        match, and :class:`ValueError` for invalid actions.
         """
         return self._roundtrip(self._request(
-            "update", actions=list(actions), token=token, label=label,
+            "update", dataset=dataset, actions=list(actions), token=token,
+            label=label,
         ))["result"]
 
-    def audit(self, *, replay: bool = False,
-              user: Optional[str] = None) -> Dict[str, Any]:
+    def snapshot(self, *, dataset: Optional[str] = None) -> Dict[str, Any]:
+        """A dynamic dataset's base graph: ``{version, nodes, edges, ...}``.
+
+        The replica bootstrap: replaying the :meth:`log` onto this base
+        reconstructs every historical version.
+        """
+        return self._roundtrip(self._request(
+            "snapshot", dataset=dataset
+        ))["result"]
+
+    def log(self, *, since: int = 0,
+            dataset: Optional[str] = None) -> Dict[str, Any]:
+        """The dataset's delta log after version ``since``.
+
+        Returns ``{"deltas": [{"version": v, "delta": {...}}, ...],
+        "version": current}`` — delta ``v`` moved the graph to version
+        ``v``.
+        """
+        request = self._request("log", dataset=dataset)
+        if since:
+            request["since"] = since
+        request_id = self._send(request)
+        deltas: List[Dict[str, Any]] = []
+        while True:
+            frame = self._read_frame()
+            if frame.get("id") != request_id:
+                raise ProtocolError("interleaved response during log stream")
+            if not frame.get("ok"):
+                self._raise_error(frame)
+            event = frame.get("event")
+            if event == "delta":
+                deltas.append({"version": frame.get("version"),
+                               "delta": frame.get("delta")})
+            elif event == "end":
+                return {"deltas": deltas, "version": frame.get("version"),
+                        "base_version": frame.get("base_version", 0)}
+            else:
+                raise ProtocolError(
+                    f"unexpected log stream frame: {frame!r}"
+                )
+
+    def audit(self, *, replay: bool = False, user: Optional[str] = None,
+              dataset: Optional[str] = None) -> Dict[str, Any]:
         """Stream the server's audit log; returns ``{entries, ...totals}``.
 
         With ``replay=True`` the server re-executes every replayable
         ledger entry and each streamed entry carries ``replayed_answer``
         and ``matches``.
         """
-        request = self._request("audit", user=user)
+        request = self._request("audit", dataset=dataset, user=user)
         if replay:
             request["replay"] = True
         request_id = self._send(request)

@@ -12,23 +12,44 @@ an ``error`` object ``{code, message, user?}``.  Streaming operations
 Request shapes (see :func:`repro.validation.validate_service_request` for
 the field-by-field contract)::
 
-    {"v": 1, "id": "q1", "op": "query", "user": "alice",
-     "query": "triangle", "privacy": "node", "epsilon": 0.5,
-     "mechanism": "recursive", "options": {...}, "seed": 7}
-    {"v": 1, "id": "a1", "op": "audit", "replay": true}
-    {"v": 1, "op": "budget", "user": "alice"}
-    {"v": 1, "op": "hello"}   {"v": 1, "op": "ping"}
-    {"v": 1, "id": "u1", "op": "update", "token": "...",
+    {"v": 2, "id": "q1", "op": "query", "user": "alice",
+     "dataset": "prod", "query": "triangle", "privacy": "node",
+     "epsilon": 0.5, "mechanism": "recursive", "options": {...},
+     "seed": 7, "min_version": 3, "at_version": 2}
+    {"v": 2, "id": "a1", "op": "audit", "dataset": "prod", "replay": true}
+    {"v": 2, "op": "budget", "user": "alice", "dataset": "prod"}
+    {"v": 2, "op": "hello"}   {"v": 2, "op": "ping"}
+    {"v": 2, "op": "stats"}
+    {"v": 2, "id": "u1", "op": "update", "dataset": "prod",
+     "token": "...",
      "actions": [{"action": "add_edge", "u": 1, "v": 2},
                  {"action": "remove_node", "node": 7}]}
+    {"v": 2, "id": "s1", "op": "snapshot", "dataset": "prod"}
+    {"v": 2, "id": "l1", "op": "log", "dataset": "prod", "since": 3}
+
+Protocol **v2** adds horizontal serving on top of the v1 single-dataset
+contract: every request may carry a ``dataset`` (the router maps it to a
+per-dataset session; frames without one — every v1 client — route to the
+server's configurable default dataset), a ``min_version`` consistency
+floor (the request waits until the dataset's graph version reaches it,
+or is refused ``version_behind`` — the replica-lag contract), and
+queries may pin ``at_version`` to answer against a historical graph
+version.  ``snapshot`` and ``log`` ship the base graph and the
+:class:`~repro.dynamic.GraphDelta` log to read replicas
+(:mod:`repro.service.replication`); ``stats`` reports per-dataset router
+counters.  v1 frames remain fully supported — responses echo the
+request's ``v``.
 
 The ``update`` op mutates the served graph (dynamic deployments only,
-``repro serve --updates``): it is admin-gated (``forbidden`` unless
-enabled, and unless ``token`` matches ``--update-token`` when one is
-set) and serialized with admissions on the event loop — an update admits
-only after in-flight queries drain, and queries arriving behind it wait
-until it applied, so every query deterministically sees exactly one
-graph version (reported back in its result frame).
+``repro serve --updates``): it is admin-gated per dataset (``forbidden``
+unless enabled for that dataset, and unless ``token`` matches that
+dataset's writer token when one is set).
+
+Updates are serialized with admissions on the event loop — an update
+admits only after in-flight queries on its dataset drain, and queries
+arriving behind it wait until it applied, so every query
+deterministically sees exactly one graph version (reported back in its
+result frame).
 
 Determinism over the wire: a request may pin its noise seed explicitly —
 an ``int``, or ``{"entropy": E, "spawn_key": [k...]}`` naming a
@@ -44,6 +65,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import asdict, dataclass
 from typing import Any, Dict, Optional, Union
 
 import numpy as np
@@ -52,6 +74,7 @@ from ..errors import ProtocolError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "ERR_BAD_REQUEST",
     "ERR_UNSUPPORTED_VERSION",
@@ -59,19 +82,27 @@ __all__ = [
     "ERR_OVERLOADED",
     "ERR_FAILED",
     "ERR_FORBIDDEN",
+    "ERR_VERSION_BEHIND",
+    "ERR_UNKNOWN_DATASET",
     "encode_frame",
     "decode_frame",
     "result_frame",
     "error_frame",
     "event_frame",
+    "ResultFrame",
     "seed_to_wire",
     "seed_from_wire",
     "request_seed",
 ]
 
-#: Current wire-protocol version.  Requests carrying a different ``v``
-#: are refused with ``unsupported_version`` (never silently reinterpreted).
-PROTOCOL_VERSION = 1
+#: Current wire-protocol version (v2: multi-dataset routing, consistency
+#: floors, replication ops).
+PROTOCOL_VERSION = 2
+
+#: Versions the server accepts.  v1 frames (single implicit dataset) are
+#: routed to the configured default dataset; anything else is refused
+#: with ``unsupported_version`` (never silently reinterpreted).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Hard bound on one frame's size — a peer streaming an unterminated
 #: line must not balloon server memory.
@@ -85,6 +116,8 @@ ERR_BUDGET_EXHAUSTED = "budget_exhausted"
 ERR_OVERLOADED = "overloaded"  # backpressure: bounded queue is full (429)
 ERR_FAILED = "failed"  # mechanism failed after admission (budget spent)
 ERR_FORBIDDEN = "forbidden"  # admin-gated op refused (updates disabled/bad token)
+ERR_VERSION_BEHIND = "version_behind"  # min_version not reached within the wait
+ERR_UNKNOWN_DATASET = "unknown_dataset"  # dataset not mounted on this server
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:
@@ -110,26 +143,62 @@ def decode_frame(line: bytes) -> Dict[str, Any]:
     return obj
 
 
-def result_frame(request_id, result: Dict[str, Any]) -> Dict[str, Any]:
-    """A successful response frame."""
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
-            "result": result}
+def result_frame(request_id, result: Dict[str, Any],
+                 v: int = PROTOCOL_VERSION) -> Dict[str, Any]:
+    """A successful response frame (``v`` echoes the request's version)."""
+    return {"v": v, "id": request_id, "ok": True, "result": result}
 
 
 def error_frame(request_id, code: str, message: str,
-                user: Optional[str] = None) -> Dict[str, Any]:
+                user: Optional[str] = None,
+                v: int = PROTOCOL_VERSION) -> Dict[str, Any]:
     """A refusal/failure response frame (``user`` = the binding tenant)."""
     error: Dict[str, Any] = {"code": code, "message": message}
     if user is not None:
         error["user"] = user
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
-            "error": error}
+    return {"v": v, "id": request_id, "ok": False, "error": error}
 
 
-def event_frame(request_id, event: str, **payload) -> Dict[str, Any]:
+def event_frame(request_id, event: str, v: int = PROTOCOL_VERSION,
+                **payload) -> Dict[str, Any]:
     """One frame of a streamed response (``entry`` ... then ``end``)."""
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
-            "event": event, **payload}
+    return {"v": v, "id": request_id, "ok": True, "event": event, **payload}
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """The typed ``query`` result payload.
+
+    v1 grew these fields ad hoc (``version`` with PR 5, ``lp_backend``
+    with PR 6, ``user`` with PR 4); v2 fixes them as one declared shape
+    so the router, the replicas, and the client agree on every key.  All
+    keys are always present on the wire — absent values are ``null`` —
+    which keeps v1 clients (who index into the dict) working unchanged.
+    """
+
+    answer: float
+    label: Optional[str]
+    epsilon: float
+    user: Optional[str]
+    mechanism: str
+    query: Optional[str]
+    status: str
+    index: int
+    cache_hit: Optional[bool]
+    seed: Optional[WireSeed]
+    version: Optional[int]
+    lp_backend: Optional[str]
+    dataset: Optional[str]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The wire dict (every field present, JSON-able)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ResultFrame":
+        """Parse a wire dict (unknown keys ignored, missing → ``None``)."""
+        names = cls.__dataclass_fields__  # type: ignore[attr-defined]
+        return cls(**{name: payload.get(name) for name in names})
 
 
 # ---------------------------------------------------------------------------

@@ -1,9 +1,11 @@
-"""The asyncio serving front-end: :class:`PrivateQueryService`.
+"""The single-dataset serving front-end: :class:`PrivateQueryService`.
 
-One service fronts one :class:`~repro.session.PrivateSession` (and
-therefore one sensitive dataset) behind the newline-delimited JSON wire
-protocol of :mod:`repro.service.protocol`, turning the in-process session
-API into a deployable multi-tenant private-query server:
+Since PR 7 the connection handling, admission ordering, and every wire
+op live in :class:`~repro.service.router.ServiceRouter`, which serves
+*many* datasets behind one listener.  :class:`PrivateQueryService` is
+the original PR-4 surface kept intact: a router with exactly one mounted
+dataset (the default lane), so one service fronts one
+:class:`~repro.session.PrivateSession` exactly as before —
 
 * **admission in arrival order** — requests are validated
   (:func:`repro.validation.validate_service_request`) and admitted on the
@@ -20,24 +22,16 @@ API into a deployable multi-tenant private-query server:
   otherwise the service derives one from its seed root as a pure function
   of (tenant, that tenant's granted-request index), so per-tenant answer
   streams never depend on cross-tenant interleaving;
-* **shared compiled state** — the session's compiled-relation cache
-  (process-wide :func:`~repro.session.shared_cache` under ``repro
-  serve``) means tenants querying the same pattern reuse one compiled
-  program and its warm H/G caches, and execution fans out over the
-  session's fork-after-compile worker pool via ``session.submit``;
-* **streaming audit** — the ``audit`` op replays the session ledger over
-  the wire, one :class:`~repro.session.LedgerEntry` per frame, optionally
-  re-executing every replayable entry server-side to verify answers
-  bit-for-bit;
-* **live updates** — over a dynamic session (a
-  :class:`~repro.dynamic.VersionedGraph`), the admin-gated ``update`` op
-  mutates the served graph through
-  :meth:`~repro.session.PrivateSession.apply_update`.  Updates are
-  serialized with admissions on the event loop behind a drain barrier:
-  an update waits for in-flight queries to finish, queries arriving
-  behind a pending update wait for it to apply, so every query
+* **live updates** — over a dynamic session, the writer-gated ``update``
+  op mutates the served graph behind a drain barrier, so every query
   deterministically sees exactly one graph version (echoed in its
-  result frame) and the budget/answer streams stay reproducible.
+  result frame).
+
+Because the lane state (granted counters, in-flight count, barrier) is
+identical whether a dataset is mounted alone or beside others, a v2
+multi-dataset router answers the default dataset byte-for-byte like this
+single-dataset service at the same seeds — the compatibility contract
+the v1-compat tests pin.
 
 ``python -m repro serve`` wires this to a graph and prints the bound
 address; :class:`repro.service.client.ServiceClient` is the matching
@@ -47,40 +41,20 @@ blocking client.
 from __future__ import annotations
 
 import asyncio
-import hmac
 import threading
-from collections import defaultdict
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
+from ..session import PrivateSession
+from .router import ServiceRouter
 
-from ..errors import ProtocolError, ReproError
-from ..mechanisms import available as available_mechanisms
-from ..session import BudgetExhausted, HierarchicalAccountant, PrivateSession
-from ..validation import validate_service_request
-from . import protocol
-from .protocol import (
-    ERR_BAD_REQUEST,
-    ERR_BUDGET_EXHAUSTED,
-    ERR_FAILED,
-    ERR_FORBIDDEN,
-    ERR_OVERLOADED,
-    ERR_UNSUPPORTED_VERSION,
-    MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
-    encode_frame,
-    error_frame,
-    event_frame,
-    request_seed,
-    result_frame,
-    seed_from_wire,
-    seed_to_wire,
-)
+__all__ = ["PrivateQueryService", "BackgroundService", "DEFAULT_DATASET"]
 
-__all__ = ["PrivateQueryService", "BackgroundService"]
+#: The dataset name a bare ``PrivateQueryService(session)`` mounts its
+#: one session under (and therefore what v1 clients implicitly query).
+DEFAULT_DATASET = "default"
 
 
-class PrivateQueryService:
+class PrivateQueryService(ServiceRouter):
     """Serve private queries from one session over the wire protocol.
 
     Parameters
@@ -105,467 +79,76 @@ class PrivateQueryService:
     name:
         Label reported by the ``hello`` op.
     updates:
-        Enable the admin-gated ``update`` op (requires a dynamic session
+        Enable the writer-gated ``update`` op (requires a dynamic session
         — one over a :class:`~repro.dynamic.VersionedGraph`).  Disabled
         by default: a static deployment refuses updates with
         ``forbidden``.
     update_token:
-        Shared secret the ``update`` op must present (``token`` field)
+        Writer secret the ``update`` op must present (``token`` field)
         when set.  ``None`` leaves the op gated only by ``updates=``.
+        (On a multi-dataset :class:`~repro.service.router.ServiceRouter`
+        this generalizes to one writer token per dataset.)
+    dataset:
+        The name the session is mounted under (v2 clients may address it
+        explicitly; v1 clients route to it implicitly as the default).
     """
 
     def __init__(self, session: PrivateSession, *, host: str = "127.0.0.1",
                  port: int = 0, max_pending: int = 64,
                  seed: Optional[int] = None, name: str = "repro-service",
-                 updates: bool = False, update_token: Optional[str] = None):
+                 updates: bool = False, update_token: Optional[str] = None,
+                 dataset: str = DEFAULT_DATASET):
         if not isinstance(session, PrivateSession):
             raise TypeError(
                 f"PrivateQueryService fronts a PrivateSession, got "
                 f"{type(session).__name__}"
             )
-        if not isinstance(max_pending, int) or isinstance(max_pending, bool) \
-                or max_pending < 0:
-            raise ValueError(
-                f"max_pending must be an integer >= 0, got {max_pending!r}"
-            )
-        if updates and not session.dynamic:
-            raise ValueError(
-                "updates=True needs a dynamic session (wrap the graph in "
-                "repro.dynamic.VersionedGraph)"
-            )
-        if update_token is not None and not isinstance(update_token, str):
-            raise ValueError(
-                f"update_token must be a string, got {update_token!r}"
-            )
-        self._session = session
-        self._host = host
-        self._port = port
-        self._max_pending = max_pending
-        self._entropy = (np.random.SeedSequence().entropy if seed is None
-                         else int(seed))
-        self.name = name
-        self._updates_enabled = bool(updates)
-        self._update_token = update_token
-        self._granted: Dict[Optional[str], int] = defaultdict(int)
-        self._inflight = 0
-        self._server: Optional[asyncio.AbstractServer] = None
-        #: Pending-update barrier: while an update waits to apply, new
-        #: queries/audits queue on this future instead of admitting.
-        self._update_barrier: Optional[asyncio.Future] = None
-        #: Drain signal: set when the in-flight count returns to zero.
-        self._drained: Optional[asyncio.Future] = None
+        super().__init__(host=host, port=port, max_pending=max_pending,
+                         seed=seed, name=name)
+        self.add_dataset(dataset, session, updates=updates,
+                         writer_token=update_token, default=True)
 
-    # -- lifecycle --------------------------------------------------------------
     @property
     def session(self) -> PrivateSession:
         """The session being served."""
-        return self._session
-
-    @property
-    def address(self) -> Tuple[str, int]:
-        """The bound ``(host, port)`` (after :meth:`start`)."""
-        if self._server is None:
-            raise RuntimeError("service is not started")
-        sock = self._server.sockets[0]
-        host, port = sock.getsockname()[:2]
-        return host, port
-
-    async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting connections; returns the address."""
-        if self._server is not None:
-            raise RuntimeError("service is already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port,
-            # StreamReader's default limit (64 KiB) would kill valid
-            # frames under the protocol bound before decode_frame ever
-            # saw them.
-            limit=MAX_FRAME_BYTES + 2,
-        )
-        return self.address
-
-    async def serve_forever(self) -> None:
-        """Run until cancelled (:meth:`start` first if not yet bound)."""
-        if self._server is None:
-            await self.start()
-        async with self._server:
-            await self._server.serve_forever()
-
-    async def stop(self) -> None:
-        """Stop accepting connections and close the listening socket."""
-        if self._server is not None:
-            server, self._server = self._server, None
-            server.close()
-            await server.wait_closed()
-
-    # -- connection handling ----------------------------------------------------
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        """Serve one client: one request per line, responses in order."""
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except ConnectionError:
-                    break
-                except (ValueError, asyncio.LimitOverrunError):
-                    # Over-limit line: the stream is desynchronized —
-                    # refuse loudly, then drop the connection.
-                    writer.write(encode_frame(error_frame(
-                        None, ERR_BAD_REQUEST,
-                        f"frame exceeds {MAX_FRAME_BYTES} bytes",
-                    )))
-                    await writer.drain()
-                    break
-                if not line:
-                    break  # EOF: client hung up
-                await self._serve_frame(line, writer)
-                await writer.drain()
-        except (ConnectionError, asyncio.CancelledError):
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (asyncio.CancelledError, ConnectionError, OSError):
-                # Cancellation mid-shutdown (or a peer that vanished):
-                # the transport is closed either way.
-                pass
-
-    async def _serve_frame(self, line: bytes,
-                           writer: asyncio.StreamWriter) -> None:
-        """Decode, validate, dispatch one request; write the response(s)."""
-        request_id = None
-        try:
-            request = protocol.decode_frame(line)
-            request_id = request.get("id")
-            validate_service_request(request)
-            if request.get("v") != PROTOCOL_VERSION:
-                writer.write(encode_frame(error_frame(
-                    request_id, ERR_UNSUPPORTED_VERSION,
-                    f"this server speaks protocol v{PROTOCOL_VERSION}, "
-                    f"got v={request.get('v')!r}",
-                )))
-                return
-            op = request["op"]
-            if op == "query":
-                frame = await self._op_query(request)
-                writer.write(encode_frame(frame))
-            elif op == "update":
-                frame = await self._op_update(request)
-                writer.write(encode_frame(frame))
-            elif op == "audit":
-                await self._op_audit(request, writer)
-            else:
-                handler = {"hello": self._op_hello, "ping": self._op_ping,
-                           "budget": self._op_budget}[op]
-                writer.write(encode_frame(result_frame(
-                    request_id, handler(request)
-                )))
-        except (ProtocolError, ValueError) as error:
-            writer.write(encode_frame(error_frame(
-                request_id, ERR_BAD_REQUEST, str(error)
-            )))
-
-    # -- simple ops -------------------------------------------------------------
-    def _op_hello(self, request) -> Dict:
-        accountant = self._session.accountant
-        return {
-            "protocol": PROTOCOL_VERSION,
-            "name": self.name,
-            "mechanisms": list(available_mechanisms()),
-            "multi_tenant": isinstance(accountant, HierarchicalAccountant),
-            "max_pending": self._max_pending,
-            "budget": self._budget_summary(),
-            "updates": self._updates_enabled,
-            "graph_version": self._session.graph_version,
-            # which LP solver backend produces this server's answers —
-            # clients replaying audits must pin the same one
-            "lp_backend": self._session.lp_backend,
-        }
-
-    def _op_ping(self, request) -> Dict:
-        return {"pong": True, "inflight": self._inflight}
-
-    # -- update serialization (the drain barrier) -------------------------------
-    async def _admission_turn(self) -> None:
-        """Wait for any pending update before admitting new work.
-
-        Queries/audits arriving while an update is waiting to apply queue
-        here, so the update is a clean barrier in admission order: work
-        admitted before it finishes first, work admitted after it sees
-        the new graph version.
-        """
-        while self._update_barrier is not None:
-            await self._update_barrier
-
-    def _enter_flight(self) -> None:
-        self._inflight += 1
-
-    def _exit_flight(self) -> None:
-        self._inflight -= 1
-        if (self._inflight == 0 and self._drained is not None
-                and not self._drained.done()):
-            self._drained.set_result(None)
-
-    def _budget_summary(self) -> Dict:
-        accountant = self._session.accountant
-        return {
-            "budget": accountant.budget,
-            "spent": accountant.spent,
-            "reserved": accountant.reserved,
-            "remaining": accountant.remaining,
-        }
-
-    def _op_budget(self, request) -> Dict:
-        accountant = self._session.accountant
-        summary = self._budget_summary()
-        user = request.get("user")
-        if user is not None:
-            summary["user"] = {
-                "name": user,
-                "budget": accountant.user_budget(user),
-                "spent": accountant.user_spent(user),
-                "remaining": accountant.user_remaining(user),
-            }
-        else:
-            summary["users"] = {
-                name: {
-                    "budget": accountant.user_budget(name),
-                    "spent": accountant.user_spent(name),
-                    "remaining": accountant.user_remaining(name),
-                }
-                for name in accountant.users()
-            }
-        return summary
-
-    # -- the query pipeline -----------------------------------------------------
-    async def _op_query(self, request) -> Dict:
-        """Admit, budget, dispatch, and answer one private query."""
-        request_id = request.get("id")
-        user = request.get("user")
-        await self._admission_turn()
-        if self._inflight >= self._max_pending:
-            return error_frame(
-                request_id, ERR_OVERLOADED,
-                f"{self._inflight} queries already in flight "
-                f"(max_pending={self._max_pending}); retry later",
-            )
-        explicit_seed = seed_from_wire(request.get("seed"))
-        seed = (explicit_seed if explicit_seed is not None
-                else request_seed(self._entropy, user, self._granted[user]))
-        try:
-            future = self._session.submit(
-                request["query"],
-                epsilon=request["epsilon"],
-                privacy=request.get("privacy"),
-                mechanism=request.get("mechanism", "recursive"),
-                rng=seed,
-                user=user,
-                label=request.get("label"),
-                **request.get("options", {}),
-            )
-        except BudgetExhausted as error:
-            # error.user is None when the shared global cap (not this
-            # tenant's sub-budget) was the binding constraint — preserve
-            # that distinction over the wire.
-            return error_frame(request_id, ERR_BUDGET_EXHAUSTED, str(error),
-                               user=error.user)
-        except (ReproError, ValueError, TypeError) as error:
-            return error_frame(request_id, ERR_BAD_REQUEST, str(error))
-        if explicit_seed is None:
-            # Only *granted* requests advance the tenant's seed stream, so
-            # refusals never shift later answers.
-            self._granted[user] += 1
-        entry = future.entry
-        self._enter_flight()
-        try:
-            if future.done():
-                result = future.result()
-            else:
-                result = await asyncio.get_running_loop().run_in_executor(
-                    None, future.result
-                )
-        except Exception as error:
-            # Admission already spent the budget (side-channel safety);
-            # report the failure with the ledger index it occupies.
-            return error_frame(
-                request_id, ERR_FAILED,
-                f"query {entry.label!r} failed after admission "
-                f"(eps={entry.epsilon:g} spent): {error}",
-                user=user,
-            )
-        finally:
-            self._exit_flight()
-        return result_frame(request_id, {
-            "answer": float(result.answer),
-            "label": entry.label,
-            "epsilon": entry.epsilon,
-            "user": entry.user,
-            "mechanism": entry.mechanism,
-            "query": entry.query,
-            "status": entry.status,
-            "index": entry.index,
-            "cache_hit": entry.cache_hit,
-            "seed": seed_to_wire(entry.seed),
-            # The one graph version this query saw (None: static data).
-            "version": entry.extra.get("version"),
-        })
-
-    # -- live updates -----------------------------------------------------------
-    async def _op_update(self, request) -> Dict:
-        """Apply a graph update: admin-gated, a barrier in admission order.
-
-        The update waits for every in-flight request to drain (new
-        arrivals queue behind it on the barrier), then applies on the
-        event-loop thread — so it is atomic with respect to admissions
-        and each query sees exactly one version.  Updates spend no
-        privacy budget; they are ledgered with their deltas for audit.
-        """
-        request_id = request.get("id")
-        if not self._updates_enabled:
-            return error_frame(
-                request_id, ERR_FORBIDDEN,
-                "live updates are disabled on this server "
-                "(start it with updates enabled, e.g. `repro serve "
-                "--updates`)",
-            )
-        if self._update_token is not None:
-            token = request.get("token")
-            if not isinstance(token, str) or not hmac.compare_digest(
-                token, self._update_token
-            ):
-                return error_frame(
-                    request_id, ERR_FORBIDDEN,
-                    "update refused: missing or invalid admin token",
-                )
-        # Serialize with other updates, then raise the barrier.
-        await self._admission_turn()
-        loop = asyncio.get_running_loop()
-        barrier = loop.create_future()
-        self._update_barrier = barrier
-        try:
-            while self._inflight > 0:
-                self._drained = loop.create_future()
-                await self._drained
-            self._drained = None
-            version_before = self._session.graph_version
-            try:
-                outcome = self._session.apply_update(
-                    request["actions"], label=request.get("label"),
-                )
-            except (ReproError, ValueError, TypeError) as error:
-                # Application is sequential, not transactional: tell the
-                # remote caller exactly how far it got — "bad_request"
-                # alone would read as "rejected, no effect".
-                version_after = self._session.graph_version
-                message = str(error)
-                if version_after != version_before:
-                    message += (
-                        f" (earlier actions in this update WERE applied: "
-                        f"the graph moved v{version_before}->"
-                        f"v{version_after}; see the audit log)"
-                    )
-                return error_frame(request_id, ERR_BAD_REQUEST, message)
-            return result_frame(request_id, {
-                "version": outcome.version,
-                "applied": outcome.applied,
-                "deltas": [delta.to_dict() for delta in outcome.deltas],
-                "num_nodes": self._session.data.num_nodes,
-                "num_edges": self._session.data.num_edges,
-            })
-        finally:
-            self._update_barrier = None
-            barrier.set_result(None)
-
-    # -- streaming audit --------------------------------------------------------
-    async def _op_audit(self, request,
-                        writer: asyncio.StreamWriter) -> None:
-        """Stream the ledger (optionally re-executing it) entry by entry.
-
-        Replay runs on the event-loop thread on purpose: it re-executes
-        releases through the compiled-relation cache and the persistent
-        LP overlays, and serializing it with admissions keeps that state
-        single-writer.  Because that makes a replay as expensive as
-        re-answering the ledger, it is admitted against the same
-        ``max_pending`` bound as queries — a tenant cannot stall the
-        service by replaying in a loop.  Frames are drained periodically
-        so a long log streams instead of buffering whole.
-        """
-        request_id = request.get("id")
-        user = request.get("user")
-        replay = bool(request.get("replay", False))
-        accountant = self._session.accountant
-        await self._admission_turn()
-        if replay:
-            if self._inflight >= self._max_pending:
-                writer.write(encode_frame(error_frame(
-                    request_id, ERR_OVERLOADED,
-                    f"{self._inflight} requests already in flight "
-                    f"(max_pending={self._max_pending}); retry later",
-                )))
-                return
-            self._enter_flight()
-            try:
-                records = self._session.replay()
-            finally:
-                self._exit_flight()
-            matched = 0
-            streamed = 0
-            for record in records:
-                if user is not None and record.entry.user != user:
-                    continue
-                frame = event_frame(
-                    request_id, "entry", entry=record.entry.to_dict(),
-                    replayed_answer=record.replayed_answer,
-                    matches=record.matches,
-                )
-                writer.write(encode_frame(frame))
-                streamed += 1
-                if streamed % 64 == 0:
-                    await writer.drain()
-                if record.matches:
-                    matched += 1
-            writer.write(encode_frame(event_frame(
-                request_id, "end", count=streamed, matched=matched,
-                **self._budget_summary(),
-            )))
-            return
-        streamed = 0
-        for entry in accountant.ledger:
-            if user is not None and entry.user != user:
-                continue
-            writer.write(encode_frame(event_frame(
-                request_id, "entry", entry=entry.to_dict()
-            )))
-            streamed += 1
-            if streamed % 64 == 0:
-                await writer.drain()
-        writer.write(encode_frame(event_frame(
-            request_id, "end", count=streamed, **self._budget_summary()
-        )))
+        return self.lane().session
 
 
 class BackgroundService:
-    """Run a :class:`PrivateQueryService` on a daemon thread.
+    """Run a :class:`ServiceRouter` on a daemon thread.
 
     The in-process deployment used by tests, examples, and the service
     benchmark: the asyncio event loop runs on its own thread, the caller
     talks to it through a blocking
-    :class:`~repro.service.client.ServiceClient`.
+    :class:`~repro.service.client.ServiceClient`.  Pass a
+    :class:`~repro.session.PrivateSession` (plus
+    :class:`PrivateQueryService` keyword arguments) for the classic
+    single-dataset shape, or an already-assembled
+    :class:`~repro.service.router.ServiceRouter` /
+    :class:`~repro.service.replication.ReplicaService` to run any
+    topology in-process.
 
     >>> # with BackgroundService(session) as bg:         # doctest: +SKIP
     ... #     client = ServiceClient(bg.address)
     """
 
-    def __init__(self, session: PrivateSession, **kwargs):
-        self._service = PrivateQueryService(session, **kwargs)
+    def __init__(self, session, **kwargs):
+        if isinstance(session, ServiceRouter):
+            if kwargs:
+                raise TypeError(
+                    "BackgroundService(router) takes no extra keyword "
+                    f"arguments, got {sorted(kwargs)}"
+                )
+            self._service = session
+        else:
+            self._service = PrivateQueryService(session, **kwargs)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
     @property
-    def service(self) -> PrivateQueryService:
+    def service(self) -> ServiceRouter:
         return self._service
 
     @property

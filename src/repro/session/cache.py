@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Tuple
 __all__ = [
     "CacheInfo",
     "CompiledRelationCache",
+    "DatasetCacheView",
     "SharedCompiledCache",
     "shared_cache",
     "options_token",
@@ -171,6 +172,7 @@ class SharedCompiledCache(CompiledRelationCache):
         self._maxsize = maxsize
         self._evictions = 0
         self._lock = threading.RLock()
+        self._views: Dict[str, "DatasetCacheView"] = {}
 
     @property
     def maxsize(self) -> Optional[int]:
@@ -222,6 +224,89 @@ class SharedCompiledCache(CompiledRelationCache):
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def namespaced(self, dataset: str) -> "DatasetCacheView":
+        """A per-dataset view of this cache (storage shared, counters not).
+
+        The router mounts one view per served dataset: entries still live
+        in — and are LRU-bounded by — this one process-wide store, but
+        each view counts its own hits/misses/invalidations, so per-dataset
+        serving stats never conflate tenants' datasets.  Repeated calls
+        with one name return the same view (counters accumulate across a
+        dataset's sessions).
+        """
+        if not isinstance(dataset, str) or not dataset:
+            raise ValueError(
+                f"dataset must be a non-empty string, got {dataset!r}"
+            )
+        with self._lock:
+            view = self._views.get(dataset)
+            if view is None:
+                view = DatasetCacheView(self, dataset)
+                self._views[dataset] = view
+            return view
+
+
+class DatasetCacheView(CompiledRelationCache):
+    """One dataset's window onto a :class:`SharedCompiledCache`.
+
+    Keys are prefixed with ``("dataset", name)`` before touching the
+    parent store — so the parent's LRU bound, locking, and eviction apply
+    globally — while the hit/miss/invalidation counters here are this
+    dataset's alone.  (The parent's own counters keep counting every
+    access, preserving the process-global totals.)
+    """
+
+    def __init__(self, parent: SharedCompiledCache, dataset: str):
+        super().__init__()
+        self._parent = parent
+        self._dataset = dataset
+        self._prefix = ("dataset", dataset)
+
+    @property
+    def dataset(self) -> str:
+        """The namespace (dataset name) this view serves."""
+        return self._dataset
+
+    def get_or_build(self, key: tuple, build: Callable[[], object]):
+        value, hit = self._parent.get_or_build((self._prefix,) + key, build)
+        if hit:
+            self._hits += 1
+        else:
+            self._misses += 1
+        return value, hit
+
+    def invalidate(self, predicate: Callable[[tuple], bool]) -> int:
+        def namespaced_predicate(key: tuple) -> bool:
+            return (len(key) > 0 and key[0] == self._prefix
+                    and predicate(key[1:]))
+
+        removed = self._parent.invalidate(namespaced_predicate)
+        self._invalidations += removed
+        return removed
+
+    def _keys(self):
+        with self._parent._lock:
+            return [key for key in self._parent._entries
+                    if len(key) > 0 and key[0] == self._prefix]
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(hits=self._hits, misses=self._misses,
+                         size=len(self._keys()),
+                         maxsize=self._parent.maxsize,
+                         invalidations=self._invalidations)
+
+    def clear(self) -> None:
+        self._parent.invalidate(
+            lambda key: len(key) > 0 and key[0] == self._prefix
+        )
+
+    def __len__(self) -> int:
+        return len(self._keys())
+
+    def __contains__(self, key) -> bool:
+        with self._parent._lock:
+            return ((self._prefix,) + key) in self._parent._entries
 
 
 #: Default bound of the process-wide shared cache (compiled programs can

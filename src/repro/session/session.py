@@ -56,9 +56,9 @@ def _run_session_task(session: "PrivateSession", task) -> ResultBase:
     any query prepared before the pool was created is answered from the
     shared compiled state; new specs compile lazily in the worker.
     """
-    query, privacy, mechanism, options, epsilon, params, seed = task
+    query, privacy, mechanism, options, epsilon, params, seed, version = task
     prepared, _, _, _ = session._prepare_query(
-        query, privacy, mechanism, None, options
+        query, privacy, mechanism, None, options, version=version
     )
     return prepared.release(epsilon, np.random.default_rng(seed), params=params)
 
@@ -360,6 +360,29 @@ class PrivateSession:
         prepared, hit = self._cache.get_or_build(key, build)
         return prepared, hit, cls.name, spec
 
+    def _resolve_at_version(self, at_version) -> Optional[int]:
+        """Validate an ``at_version=`` argument (historical queries)."""
+        if at_version is None:
+            return None
+        if not self._dynamic:
+            raise SessionError(
+                "at_version= needs a dynamic session (wrap the graph in "
+                "repro.dynamic.VersionedGraph)"
+            )
+        if (not isinstance(at_version, (int, np.integer))
+                or isinstance(at_version, bool) or at_version < 0):
+            raise SessionError(
+                f"at_version must be a non-negative integer, got "
+                f"{at_version!r}"
+            )
+        at_version = int(at_version)
+        if at_version > self._data.version:
+            raise SessionError(
+                f"at_version={at_version} is ahead of the live graph "
+                f"(version {self._data.version})"
+            )
+        return at_version
+
     def _charged_epsilon(self, epsilon, params) -> float:
         """The ε this release spends (params override wins, as in the
         one-shot wrappers)."""
@@ -401,7 +424,8 @@ class PrivateSession:
     def query(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
               mechanism: str = "recursive", rng=None, params=None,
               label: Optional[str] = None, weight=None,
-              user: Optional[str] = None, **options) -> ResultBase:
+              user: Optional[str] = None, at_version: Optional[int] = None,
+              **options) -> ResultBase:
         """Answer one private query synchronously.
 
         ``query`` is a subgraph :class:`~repro.subgraphs.Pattern` or query
@@ -414,6 +438,9 @@ class PrivateSession:
         ``user`` names the tenant the release is charged to — enforced
         against that tenant's sub-budget when the session's accountant is
         a :class:`~repro.session.accountant.HierarchicalAccountant`.
+        ``at_version`` (dynamic sessions only) answers against a
+        historical graph version instead of the live one — the budget is
+        charged as usual and the ledger entry records that version.
 
         The budget is *reserved* before any work
         (:class:`~repro.session.accountant.BudgetExhausted` if it cannot
@@ -423,11 +450,12 @@ class PrivateSession:
         """
         self._ensure_open()
         charged = self._charged_epsilon(epsilon, params)
+        at_version = self._resolve_at_version(at_version)
         label = label if label is not None else f"q{len(self.accountant)}"
         reservation = self.accountant.reserve(charged, label=label, user=user)
         try:
             prepared, hit, mech_name, spec = self._prepare_query(
-                query, privacy, mechanism, weight, options
+                query, privacy, mechanism, weight, options, version=at_version
             )
             generator, seed_token = self._generator_for(rng)
             start = time.perf_counter()
@@ -446,14 +474,15 @@ class PrivateSession:
         if mech_name == "recursive":
             entry.extra["lp_backend"] = self.lp_backend
         if self._dynamic:
-            entry.extra["version"] = self._data.version
+            entry.extra["version"] = (self._data.version if at_version is None
+                                      else at_version)
         reservation.commit(entry)
         return result
 
     def submit(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
                mechanism: str = "recursive", rng=None, params=None,
                label: Optional[str] = None, user: Optional[str] = None,
-               **options) -> QueryFuture:
+               at_version: Optional[int] = None, **options) -> QueryFuture:
         """Submit one private query for asynchronous execution.
 
         Fans out over the session's shared fork-after-compile
@@ -471,10 +500,12 @@ class PrivateSession:
         ``int`` seed, or a ``SeedSequence`` — in-flight generators cannot
         cross the process boundary deterministically.  Tasks must pickle:
         constrained patterns and lambda weights need :meth:`query`
-        instead.
+        instead.  ``at_version`` answers against a historical graph
+        version (dynamic sessions), exactly as in :meth:`query`.
         """
         self._ensure_open()
         charged = self._charged_epsilon(epsilon, params)
+        at_version = self._resolve_at_version(at_version)
         label = label if label is not None else f"q{len(self.accountant)}"
         if rng is not None and not isinstance(
             rng, (int, np.integer, np.random.SeedSequence)
@@ -496,7 +527,7 @@ class PrivateSession:
                 # of silently answering from the stale forked state.
                 self._retire_stale_pool()
             cls, spec, opts, key = self._resolve_spec(
-                query, privacy, mechanism, None, options
+                query, privacy, mechanism, None, options, version=at_version
             )
             # Prepare parent-side only where the compiled state will
             # actually be shared: eagerly for in-process execution, and
@@ -505,8 +536,9 @@ class PrivateSession:
             # workers instead of blocking the submitter on a compile the
             # pool would repeat.
             if not pooled or self._pool is None or key in self._cache:
-                prepared, hit = self._cache.get_or_build(
-                    key, lambda: cls(self._data, **opts).prepare(spec)
+                prepared, hit, _, _ = self._prepare_query(
+                    query, privacy, mechanism, None, options,
+                    version=at_version,
                 )
             else:
                 prepared, hit = None, False
@@ -524,7 +556,8 @@ class PrivateSession:
         if cls.name == "recursive":
             entry.extra["lp_backend"] = self.lp_backend
         if self._dynamic:
-            entry.extra["version"] = self._data.version
+            entry.extra["version"] = (self._data.version if at_version is None
+                                      else at_version)
         # Charged at submission: the noisy answer *will* exist (refusing
         # to pay on a crash would itself be a side channel).
         reservation.commit(entry)
@@ -554,7 +587,7 @@ class PrivateSession:
             entry.seconds = time.perf_counter() - start
 
         task = (query, spec.privacy, cls.name, dict(options), epsilon,
-                params, seed)
+                params, seed, at_version)
         async_result = self._ensure_pool(workers).submit(
             task, callback=_on_done, error_callback=_on_error
         )

@@ -287,8 +287,11 @@ def validate_batch_spec(spec: Any) -> Dict:
     return spec
 
 
-#: Wire-protocol operations the service understands.
-SERVICE_OPS = ("hello", "ping", "budget", "query", "audit", "update")
+#: Wire-protocol operations the service understands.  ``stats``,
+#: ``snapshot``, and ``log`` arrived with protocol v2 (multi-dataset
+#: routing + replication); the rest are the v1 vocabulary.
+SERVICE_OPS = ("hello", "ping", "budget", "query", "audit", "update",
+               "stats", "snapshot", "log")
 
 
 def _is_wire_seed(value) -> bool:
@@ -311,16 +314,25 @@ _SERVICE_COMMON_FIELDS = {
     "id": (lambda v: isinstance(v, (str, int)) and not isinstance(v, bool),
            "a string or integer correlation id"),
     "op": (lambda v: v in SERVICE_OPS, f"one of {', '.join(SERVICE_OPS)}"),
+    # Protocol v2: every request frame may name its dataset (absent →
+    # the server's default) and a consistency floor on its graph version.
+    "dataset": (lambda v: isinstance(v, str) and len(v) > 0,
+                "a non-empty dataset-name string"),
+    "min_version": (lambda v: _is_int(v) and v >= 0,
+                    "a non-negative integer graph version"),
 }
 
 _SERVICE_OP_FIELDS = {
     "hello": {},
     "ping": {},
+    "stats": {},
     "budget": {"user": (lambda v: isinstance(v, str), "a tenant-name string")},
     "query": {
         **{k: v for k, v in _QUERY_ITEM_FIELDS.items() if k != "seed"},
         "seed": (_is_wire_seed,
                  "an integer or {entropy, spawn_key} object"),
+        "at_version": (lambda v: _is_int(v) and v >= 0,
+                       "a non-negative integer graph version"),
     },
     "audit": {
         "replay": (lambda v: isinstance(v, bool), "a boolean"),
@@ -332,6 +344,11 @@ _SERVICE_OP_FIELDS = {
         "token": (lambda v: isinstance(v, str), "the admin token string"),
         "label": (lambda v: isinstance(v, str), "a string"),
     },
+    "snapshot": {},
+    "log": {
+        "since": (lambda v: _is_int(v) and v >= 0,
+                  "a non-negative integer graph version"),
+    },
 }
 
 
@@ -339,9 +356,9 @@ def validate_service_request(request: Any) -> Dict:
     """Validate one decoded wire-protocol request frame.
 
     Returns the frame unchanged when valid; raises :class:`ValueError`
-    naming every offending field.  Version *negotiation* (rejecting
-    ``v != PROTOCOL_VERSION``) is the service's job — this only checks
-    shape.
+    naming every offending field.  Version *negotiation* (rejecting a
+    ``v`` outside ``SUPPORTED_VERSIONS``) is the service's job — this
+    only checks shape.
     """
     if not isinstance(request, dict):
         raise ValueError(
