@@ -28,12 +28,26 @@ import statistics
 import time
 from pathlib import Path
 
+import numpy as np
+import pytest
+
 from repro import PrivateSession, VersionedGraph, random_graph_with_avg_degree
 from repro.experiments import format_table
+from repro.store import ingest_edge_list
 from repro.subgraphs.patterns import cycle_pattern
 
 WARM_QUERIES = 10
 UPDATE_ROUNDS = 5
+
+#: Scale-tier sizing per ``$REPRO_BENCH_SCALE`` preset:
+#: (edges ingested, updates applied, node-label universe).
+SCALE_TIERS = {
+    "smoke": (100_000, 1_000, 60_000),
+    "default": (200_000, 2_000, 100_000),
+    "full": (1_000_000, 10_000, 300_000),
+}
+#: Live queries fired during the update stream (evenly spaced).
+SCALE_CHECKPOINTS = 4
 
 
 def test_dynamic_cold_incremental_warm(scale, record_figure, results_dir):
@@ -134,3 +148,150 @@ def test_dynamic_cold_incremental_warm(scale, record_figure, results_dir):
     )
     # End-to-end: a warm release must still beat the cold query.
     assert row["warm_query_median_seconds"] < cold_query
+
+
+def _write_random_edge_list(path, num_edges, num_nodes, seed):
+    """Write a deduplicated random simple-graph edge list (SNAP format)."""
+    rng = np.random.default_rng(seed)
+    codes = np.empty(0, dtype=np.int64)
+    while codes.size < num_edges:
+        want = (num_edges - codes.size) + (num_edges // 8) + 64
+        u = rng.integers(0, num_nodes, size=want)
+        v = rng.integers(0, num_nodes, size=want)
+        keep = u != v
+        lo = np.minimum(u[keep], v[keep]).astype(np.int64)
+        hi = np.maximum(u[keep], v[keep]).astype(np.int64)
+        codes = np.unique(np.concatenate((codes, (lo << 32) | hi)))
+    codes = codes[:num_edges]
+    lo, hi = (codes >> 32).tolist(), (codes & 0xFFFFFFFF).tolist()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# synthetic scale-tier edge list ({num_edges} edges)\n")
+        handle.writelines(f"{a} {b}\n" for a, b in zip(lo, hi))
+
+
+def test_dynamic_scale_tier(scale, record_figure, results_dir, tmp_path):
+    """Million-edge tier: streaming ingest, 10^4 live updates, store parity.
+
+    Opt-in via ``REPRO_BENCH_TIER=scale`` (the tier ingests up to 10^6
+    edges and is far too heavy for the default bench sweep).  Two lanes —
+    the columnar store and the dict oracle — ingest the same edge list,
+    absorb the same update stream, and answer the same fixed-seed queries
+    at evenly spaced checkpoints; any divergence in the released answers
+    fails the run.  ``$REPRO_SCALE_EDGE_LIST`` substitutes a real SNAP
+    file for the synthetic one.  Emits ``BENCH_dynamic_scale.json``
+    (path from ``$REPRO_BENCH_SCALE_OUT``).
+    """
+    if os.environ.get("REPRO_BENCH_TIER") != "scale":
+        pytest.skip("scale tier is opt-in: set REPRO_BENCH_TIER=scale")
+    num_edges, num_updates, num_nodes = SCALE_TIERS[scale.name]
+
+    edge_list = os.environ.get("REPRO_SCALE_EDGE_LIST")
+    if edge_list is None:
+        edge_list = tmp_path / "scale_edges.txt"
+        start = time.perf_counter()
+        _write_random_edge_list(edge_list, num_edges, num_nodes, seed=19)
+        print(f"[edge list generated in {time.perf_counter() - start:.1f}s]")
+
+    lanes = {}
+    for store in ("columnar", "dict"):
+        lanes[store] = ingest_edge_list(
+            edge_list, store=store, register=["triangle"]
+        )
+    reference = lanes["columnar"].graph
+    assert reference.num_edges == lanes["dict"].graph.num_edges
+    # "Loads a million-edge file in seconds": a hard floor well under the
+    # observed ~10^5 edges/s keeps the gate robust on slow CI runners.
+    assert lanes["columnar"].edges_per_second > 20_000, (
+        f"columnar ingest too slow: "
+        f"{lanes['columnar'].edges_per_second:.0f} edges/s"
+    )
+
+    sessions = {
+        name: PrivateSession(report.graph, rng=5)
+        for name, report in lanes.items()
+    }
+    update_rng = np.random.default_rng(23)
+    checkpoint_every = max(1, num_updates // SCALE_CHECKPOINTS)
+    query_seconds = {name: [] for name in lanes}
+    answers = []
+    update_seconds = 0.0
+    for step in range(1, num_updates + 1):
+        u = int(update_rng.integers(0, num_nodes))
+        v = int((u + 1 + update_rng.integers(0, num_nodes - 1)) % num_nodes)
+        action = ("remove_edge" if reference.has_edge(u, v) else "add_edge")
+        start = time.perf_counter()
+        for report in lanes.values():
+            getattr(report.graph, action)(u, v)
+        update_seconds += time.perf_counter() - start
+        if step % checkpoint_every == 0 or step == num_updates:
+            released = {}
+            for name, session in sessions.items():
+                start = time.perf_counter()
+                result = session.query(
+                    "triangle", privacy="edge", epsilon=1.0,
+                    rng=np.random.default_rng(1000 + step),
+                )
+                query_seconds[name].append(time.perf_counter() - start)
+                released[name] = result.answer
+            assert released["columnar"] == released["dict"], (
+                f"store divergence at update {step}: columnar released "
+                f"{released['columnar']!r}, dict {released['dict']!r}"
+            )
+            answers.append(released["columnar"])
+
+    updates_per_second = (
+        num_updates / update_seconds if update_seconds else float("inf")
+    )
+    assert updates_per_second > 100, (
+        f"update stream too slow: {updates_per_second:.0f} updates/s"
+    )
+    maintenance = {row["pattern"]: row
+                   for row in reference.maintainer.info()}
+    assert maintenance["triangle"]["rebuilds"] == 0
+    assert maintenance["triangle"]["deltas_applied"] == num_updates
+    assert reference.maintainer.verify(), \
+        "columnar occurrences must match a from-scratch enumeration"
+    for session in sessions.values():
+        session.close()
+
+    rows = []
+    for name, report in lanes.items():
+        rows.append({
+            "store": name,
+            "edges": report.num_edges,
+            "nodes": report.num_nodes,
+            "occurrences": report.registered[0]["occurrences"],
+            "read_seconds": report.read_seconds,
+            "wrap_seconds": report.wrap_seconds,
+            "register_seconds": report.register_seconds,
+            "edges_per_second": report.edges_per_second,
+            "query_median_seconds": statistics.median(query_seconds[name]),
+        })
+    record_figure(
+        "dynamic_scale",
+        format_table(
+            rows,
+            ["store", "edges", "nodes", "occurrences", "read_seconds",
+             "wrap_seconds", "register_seconds", "edges_per_second",
+             "query_median_seconds"],
+            title=f"Scale tier: {num_edges} edges, {num_updates} updates, "
+            f"{len(answers)} live checkpoints (triangle/edge, "
+            f"scale={scale.name})",
+        ),
+    )
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_SCALE_OUT",
+                       results_dir / "BENCH_dynamic_scale.json")
+    )
+    out_path.write_text(json.dumps({
+        "scale": scale.name,
+        "edge_list": str(edge_list),
+        "num_edges": num_edges,
+        "num_updates": num_updates,
+        "updates_per_second": updates_per_second,
+        "checkpoints": len(answers),
+        "released_answers": answers,
+        "lanes": rows,
+        "maintenance": maintenance["triangle"],
+    }, indent=2) + "\n")
+    print(f"[scale tier written to {out_path}]")

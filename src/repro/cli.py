@@ -5,6 +5,12 @@ Commands
 ``count``
     Differentially private subgraph count on a random graph, a dataset
     stand-in, or an edge-list file.
+``ingest``
+    Stream a (SNAP-style) edge-list file into a versioned dynamic graph
+    through the columnar occurrence store — chunked reads, bulk adjacency
+    loading, optional pattern registration — and report load timings
+    (edges/second) as text or JSON.  The scaling smoke test for
+    million-edge files.
 ``batch``
     Execute a JSON workload spec against one budget-accounted
     :class:`~repro.session.PrivateSession` (shared compiled-relation
@@ -117,6 +123,15 @@ def _apply_lp_backend(args) -> None:
         from .lp.backends import BACKEND_ENV
 
         os.environ[BACKEND_ENV] = args.lp_backend
+    if getattr(args, "lp_preferences", None) is not None:
+        import os
+
+        from .lp.backends import PREFERENCES_ENV, load_preferences
+
+        # load now (fail fast on a bad file) and export for any forked
+        # or spawned worker that re-resolves the default backend
+        load_preferences(args.lp_preferences)
+        os.environ[PREFERENCES_ENV] = args.lp_preferences
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,12 +153,22 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_LP_BACKEND, else the best available — released answers "
         "are byte-identical across backends at a fixed seed)"
     )
+    lp_preferences_help = (
+        "BENCH_backends.json whose measured fig5 timings rank the "
+        "auto-detected default backend (fastest available wins; default: "
+        "$REPRO_LP_PREFERENCES; an explicit --lp-backend still overrides)"
+    )
+
+    def add_lp_flags(command) -> None:
+        command.add_argument("--lp-backend", type=_lp_backend_arg,
+                             default=None, help=lp_backend_help)
+        command.add_argument("--lp-preferences", metavar="FILE", default=None,
+                             help=lp_preferences_help)
 
     count = sub.add_parser("count", help="private subgraph count")
     count.add_argument("--workers", type=_workers_arg, default=None,
                        help=workers_help)
-    count.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
-                       help=lp_backend_help)
+    add_lp_flags(count)
     count.add_argument("--query", default="triangle",
                        help="triangle | K-star | K-triangle (e.g. 2-star)")
     count.add_argument("--privacy", choices=["node", "edge"], default="node")
@@ -163,6 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--show-true", action="store_true",
                        help="also print the exact count (diagnostic!)")
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream an edge-list file into a versioned dynamic graph",
+    )
+    ingest.add_argument("edge_list", help="SNAP-style edge-list file "
+                                          "('u v' per line, #/%% comments)")
+    ingest.add_argument("--store", choices=["columnar", "dict"], default=None,
+                        help="occurrence-store backend for the maintainer "
+                             "(default: $REPRO_OCC_STORE, else columnar)")
+    ingest.add_argument("--register", action="append", default=[],
+                        metavar="QUERY",
+                        help="register this pattern on the maintainer after "
+                             "the load (triangle | K-star | K-triangle; "
+                             "repeatable)")
+    ingest.add_argument("--chunk-size", type=int, default=None,
+                        help="parsed edges buffered per bulk graph flush")
+    ingest.add_argument("--lenient", action="store_true",
+                        help="skip self-loop/duplicate edge lines instead of "
+                             "refusing (SNAP exports often list both "
+                             "orientations of every undirected edge)")
+    ingest.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the ingest report as JSON to FILE")
+
     batch = sub.add_parser(
         "batch",
         help="run a JSON workload spec against one PrivateSession",
@@ -170,8 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("spec", help="path to the JSON spec ('-' for stdin)")
     batch.add_argument("--workers", type=_workers_arg, default=None,
                        help=workers_help)
-    batch.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
-                       help=lp_backend_help)
+    add_lp_flags(batch)
     batch.add_argument("--seed", type=int, default=None,
                        help="override the spec's session seed")
     batch.add_argument("--budget", type=_positive_float, default=None,
@@ -230,8 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "server is end-to-end reproducible)")
     serve.add_argument("--workers", type=_workers_arg, default=1,
                        help=workers_help)
-    serve.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
-                       help=lp_backend_help)
+    add_lp_flags(serve)
     serve.add_argument("--max-pending", type=int, default=64,
                        help="backpressure bound: in-flight queries beyond "
                             "this are refused ('overloaded')")
@@ -282,8 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "primary's to reproduce its answer stream)")
     replica.add_argument("--workers", type=_workers_arg, default=1,
                          help=workers_help)
-    replica.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
-                         help=lp_backend_help)
+    add_lp_flags(replica)
     replica.add_argument("--max-pending", type=int, default=64,
                          help="backpressure bound: in-flight queries beyond "
                               "this are refused ('overloaded')")
@@ -300,8 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=2024)
     fig.add_argument("--workers", type=_workers_arg, default=None,
                      help=workers_help)
-    fig.add_argument("--lp-backend", type=_lp_backend_arg, default=None,
-                     help=lp_backend_help)
+    add_lp_flags(fig)
 
     audit = sub.add_parser("audit", help="empirical privacy audit")
     audit.add_argument("--epsilon", type=_positive_float, default=1.0)
@@ -343,6 +387,44 @@ def _cmd_count(args) -> int:
     if args.show_true:
         print(f"true count: {result.true_answer:.0f} "
               f"(relative error {result.relative_error:.2%})")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    import json
+
+    from .errors import GraphError, MechanismError
+    from .graphs.io import DEFAULT_CHUNK_SIZE
+    from .store import ingest_edge_list
+
+    chunk_size = (DEFAULT_CHUNK_SIZE if args.chunk_size is None
+                  else args.chunk_size)
+    try:
+        report = ingest_edge_list(
+            args.edge_list,
+            store=args.store,
+            strict=not args.lenient,
+            chunk_size=chunk_size,
+            register=args.register,
+        )
+    except (GraphError, MechanismError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    graph = report.graph
+    print(f"ingested {args.edge_list}: {report.num_nodes} nodes, "
+          f"{report.num_edges} edges at version {graph.version} "
+          f"(store: {graph.maintainer.store})")
+    print(f"  read+load: {report.read_seconds:.2f}s "
+          f"({report.edges_per_second:,.0f} edges/s), "
+          f"wrap: {report.wrap_seconds:.2f}s")
+    for row in report.registered:
+        print(f"  registered {row['pattern']}: {row['occurrences']} "
+              f"occurrences in {row['seconds']:.2f}s")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.summary(), handle, indent=2)
+            handle.write("\n")
+        print(f"  report written to {args.out}")
     return 0
 
 
@@ -1012,6 +1094,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "count": _cmd_count,
+        "ingest": _cmd_ingest,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "replica": _cmd_replica,

@@ -137,26 +137,43 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
             relation = relation.normalized()
         self.relation = relation
         self.query = query or CountQuery()
-        annotated = [
-            (annotation, self.query(tup)) for tup, annotation in relation.items()
-        ]
         from ..lp.backends import resolve as resolve_backend
+        from ..store.relation import ConjunctiveKRelation
 
         backend = resolve_backend(backend)
-        self._encoded = EncodedRelation(
-            sorted(relation.participants), annotated, backend, compiled=compiled
-        )
-        if bounding == "auto":
-            from ..boolexpr.transform import is_conjunction_of_vars
-
-            bounding = (
-                "paper"
-                if all(
-                    is_conjunction_of_vars(annotation)
-                    for _, annotation in relation.items()
-                )
-                else "uniform"
+        if (isinstance(relation, ConjunctiveKRelation)
+                and type(self.query) is CountQuery):
+            # Columnar-store relations arrive as a participant-index
+            # matrix; encode it without ever materializing per-occurrence
+            # annotation objects.  Every annotation is by construction a
+            # conjunction of distinct variables, so "auto" bounding is
+            # "paper" with no inspection pass.
+            self._encoded = EncodedRelation.from_conjunctions(
+                relation.sorted_participants, relation.matrix, backend,
+                compiled=compiled,
             )
+            if bounding == "auto":
+                bounding = "paper"
+        else:
+            annotated = [
+                (annotation, self.query(tup))
+                for tup, annotation in relation.items()
+            ]
+            self._encoded = EncodedRelation(
+                sorted(relation.participants), annotated, backend,
+                compiled=compiled,
+            )
+            if bounding == "auto":
+                from ..boolexpr.transform import is_conjunction_of_vars
+
+                bounding = (
+                    "paper"
+                    if all(
+                        is_conjunction_of_vars(annotation)
+                        for _, annotation in relation.items()
+                    )
+                    else "uniform"
+                )
         self.bounding = bounding
         #: query-level φ-sensitivity cap for the "uniform" bounding mode;
         #: falls back to the max over the current annotations (see
@@ -240,7 +257,11 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
                 best_value = value
                 best_index = float(i)
         # The integer optimum can never beat the continuous relaxation.
-        if best_value < relaxed_value - 1e-6 * max(1.0, abs(relaxed_value)):
+        # The slack term scales with |P|: solver feasibility tolerance
+        # (~1e-7 per coefficient) accumulates across the n-term mass row,
+        # so million-participant LPs legitimately over-shoot by ~1e-4.
+        slack = 1e-6 * max(1.0, abs(relaxed_value)) + 1e-9 * n
+        if best_value < relaxed_value - slack:
             raise MechanismError(
                 "convexity violation in X computation: integer value "
                 f"{best_value} below relaxed value {relaxed_value}"

@@ -14,13 +14,22 @@ answering queries under updates (Berkholz–Keppeler–Schweikardt):
   within distance ``k - 2`` of ``{u, v}``.  The maintainer therefore
   enumerates the pattern only in the induced subgraph on that
   neighborhood ball and inserts the matches containing the new edge.
-* ``remove_edge (u, v)`` — an inverted index (edge → occurrence keys)
+* ``remove_edge (u, v)`` — an inverted index (edge → occurrences)
   drops exactly the occurrences using the edge, no scan.
 * ``remove_node`` — the captured incident edges are removed in turn
   (every occurrence touching the node uses at least one of them, since
   patterns are connected).
 * ``add_node`` / removing an isolated node — occurrence sets are
   unchanged (patterns have at least one edge).
+
+The maintenance logic lives here; the *representation* of a maintained
+set is a pluggable :mod:`repro.store` backend — the columnar store
+(interned ids, NumPy tables, searchsorted inverted indexes) by default,
+the original dict-of-frozensets as the always-available oracle
+(``store="dict"`` / ``REPRO_OCC_STORE=dict``).  Both backends see the
+identical insert/drop call sequence, so the canonical occurrence order
+(ties broken by insertion order) and hence every downstream compiled LP
+is byte-identical across them.
 
 Constrained patterns carry opaque predicate callables with no update
 algebra, so they take the :meth:`full rebuild <IncrementalOccurrences.
@@ -31,46 +40,30 @@ the randomized-stream tests in ``tests/test_dynamic.py`` exercise it over
 insert/delete streams for every pattern family.
 
 Occurrence *order* is part of the compiled relation's float-level
-identity, so :meth:`occurrences` returns a canonically sorted list — the
-same list whether the state was reached by updates or by registering the
+identity, so :meth:`occurrences` returns a canonically sorted tuple — the
+same tuple whether the state was reached by updates or by registering the
 pattern on the final graph.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import GraphError
 from ..graphs.graph import Graph
+from ..store.backend import (
+    ColumnarOccurrenceBackend,
+    DictOccurrenceBackend,
+    OccurrenceBackend,
+    resolve_store,
+)
+from ..store.interning import InternTable
 from ..subgraphs.annotate import occurrences_for_pattern
 from ..subgraphs.matching import Occurrence
 from ..subgraphs.patterns import Pattern
 from .delta import GraphDelta
 
 __all__ = ["IncrementalOccurrences"]
-
-#: An occurrence's identity: its used-edge set with every edge reduced
-#: to an orientation-free endpoint pair.  ``Occurrence.normalize_edge``
-#: breaks repr ties by argument order, so two enumerations (or a delete
-#: arriving in the other orientation) can disagree on the tuple for an
-#: edge between distinct equal-``repr`` nodes — frozenset keys cannot.
-_EdgeKey = FrozenSet[object]
-_OccKey = FrozenSet[_EdgeKey]
-
-
-def _edge_key(u, v) -> _EdgeKey:
-    """Orientation-free identity of one undirected edge."""
-    return frozenset((u, v))
-
-
-def _occ_key(occurrence: Occurrence) -> _OccKey:
-    """Orientation-free identity of one occurrence (its edge set)."""
-    return frozenset(_edge_key(u, v) for u, v in occurrence.edges)
-
-
-def _occurrence_sort_key(occurrence: Occurrence) -> Tuple[str, ...]:
-    """Canonical total order over occurrences (stable across run paths)."""
-    return tuple(sorted(map(repr, occurrence.edges)))
 
 
 def _neighborhood_ball(graph: Graph, seeds: Iterable[object],
@@ -94,58 +87,26 @@ def _neighborhood_ball(graph: Graph, seeds: Iterable[object],
 class _PatternState:
     """Maintained occurrence set of one registered pattern."""
 
-    __slots__ = ("pattern", "incremental", "occurrences", "by_edge",
-                 "rebuilds", "deltas_applied", "_sorted")
+    __slots__ = ("pattern", "incremental", "backend", "rebuilds",
+                 "deltas_applied", "ball_last", "ball_max")
 
-    def __init__(self, pattern: Pattern, incremental: bool):
+    def __init__(self, pattern: Pattern, incremental: bool,
+                 backend: OccurrenceBackend):
         self.pattern = pattern
         self.incremental = incremental
-        self.occurrences: Dict[_OccKey, Occurrence] = {}
-        self.by_edge: Dict[_EdgeKey, Set[_OccKey]] = {}
+        self.backend = backend
         self.rebuilds = 0
         self.deltas_applied = 0
-        self._sorted: Optional[List[Occurrence]] = None
-
-    def insert(self, occurrence: Occurrence) -> None:
-        key = _occ_key(occurrence)
-        if key in self.occurrences:
-            return
-        self.occurrences[key] = occurrence
-        for edge in key:
-            self.by_edge.setdefault(edge, set()).add(key)
-        self._sorted = None
-
-    def drop_edge(self, edge: _EdgeKey) -> int:
-        """Remove every occurrence using ``edge``; returns how many."""
-        keys = self.by_edge.pop(edge, None)
-        if not keys:
-            return 0
-        for key in keys:
-            del self.occurrences[key]
-            for other in key:
-                if other == edge:
-                    continue
-                bucket = self.by_edge.get(other)
-                if bucket is not None:
-                    bucket.discard(key)
-                    if not bucket:
-                        del self.by_edge[other]
-        self._sorted = None
-        return len(keys)
+        # delta-join neighborhood-ball sizes (maintenance diagnostics)
+        self.ball_last = 0
+        self.ball_max = 0
 
     def rebuild(self, graph: Graph) -> None:
-        self.occurrences.clear()
-        self.by_edge.clear()
-        for occurrence in occurrences_for_pattern(graph, self.pattern):
-            self.insert(occurrence)
+        self.backend.bulk_load(occurrences_for_pattern(graph, self.pattern))
         self.rebuilds += 1
-        self._sorted = None
 
-    def sorted_occurrences(self) -> List[Occurrence]:
-        if self._sorted is None:
-            self._sorted = sorted(self.occurrences.values(),
-                                  key=_occurrence_sort_key)
-        return list(self._sorted)
+    def sorted_occurrences(self) -> Tuple[Occurrence, ...]:
+        return self.backend.sorted_occurrences()
 
 
 class IncrementalOccurrences:
@@ -162,11 +123,40 @@ class IncrementalOccurrences:
         graph.add_edge(1, 2)
         inc.apply(GraphDelta.add_edge(1, 2))
         inc.verify()          # oracle: maintained == from-scratch
+
+    ``store`` selects the occurrence representation: ``"columnar"`` (the
+    default; ``$REPRO_OCC_STORE`` overrides) or ``"dict"`` (the oracle).
     """
 
-    def __init__(self, graph: Graph):
+    def __init__(self, graph: Graph, store: Optional[str] = None):
         self._graph = graph
         self._states: Dict[tuple, _PatternState] = {}
+        self.store = resolve_store(store)
+        # One intern table shared by every columnar pattern table, so a
+        # node/edge has the same dense id in all of them.  Its graph-
+        # presence flags are synced lazily at first registration and
+        # maintained per delta afterwards.
+        self._interner = InternTable() if self.store == "columnar" else None
+        self._interner_synced = False
+
+    @property
+    def interner(self) -> Optional[InternTable]:
+        """The shared intern table (``None`` under the dict store)."""
+        return self._interner
+
+    def _make_backend(self, pattern: Pattern) -> OccurrenceBackend:
+        if self._interner is not None:
+            return ColumnarOccurrenceBackend(
+                self._interner,
+                num_nodes=pattern.num_nodes,
+                num_edges=pattern.graph.num_edges,
+            )
+        return DictOccurrenceBackend()
+
+    def _sync_interner(self) -> None:
+        if self._interner is not None and not self._interner_synced:
+            self._interner.sync(self._graph)
+            self._interner_synced = True
 
     # -- registration -----------------------------------------------------------
     def register(self, pattern: Pattern) -> None:
@@ -182,8 +172,9 @@ class IncrementalOccurrences:
         token = pattern.cache_token
         if token in self._states:
             return
+        self._sync_interner()
         incremental = not (pattern.node_constraints or pattern.edge_constraints)
-        state = _PatternState(pattern, incremental)
+        state = _PatternState(pattern, incremental, self._make_backend(pattern))
         state.rebuild(self._graph)
         state.rebuilds = 0  # the registration scan is not a fallback rebuild
         self._states[token] = state
@@ -199,31 +190,64 @@ class IncrementalOccurrences:
         return self._states[token]
 
     # -- reads ------------------------------------------------------------------
-    def occurrences(self, pattern: Pattern) -> List[Occurrence]:
-        """The pattern's occurrence list, canonically ordered.
+    def occurrences(self, pattern: Pattern) -> Tuple[Occurrence, ...]:
+        """The pattern's occurrence tuple, canonically ordered.
 
         Registers the pattern on first use; afterwards this is the
         maintained set — query preparation over a dynamic graph reads it
-        instead of re-enumerating.
+        instead of re-enumerating.  The tuple is cached and immutable:
+        repeated calls between updates return the same object, no copy.
         """
         return self._state(pattern).sorted_occurrences()
 
+    def relation_for(self, pattern: Pattern, privacy: str):
+        """A columnar-backed sensitive K-relation, or ``None`` to fall back.
+
+        The fast relation path: when the pattern's maintained state lives
+        in the columnar store (and no repr collision makes string-keyed
+        orders ambiguous), the participant/annotation structure is read
+        straight out of the intern table and occurrence table as index
+        arrays — no per-occurrence ``Occurrence``/``And`` objects.  The
+        result is float-identical to the legacy
+        :func:`~repro.subgraphs.annotate.subgraph_krelation` encoding.
+        """
+        if privacy not in ("node", "edge"):
+            return None
+        state = self._state(pattern)
+        backend = state.backend
+        if not isinstance(backend, ColumnarOccurrenceBackend):
+            return None
+        interner = self._interner
+        if interner is None or interner.has_repr_collision:
+            return None
+        if not interner.counts_match(self._graph):
+            # the graph was mutated behind the maintainer's back —
+            # re-anchor the presence flags before trusting them
+            interner.sync(self._graph)
+        from ..store.relation import conjunctive_relation
+
+        return conjunctive_relation(backend, privacy)
+
     def count(self, pattern: Pattern) -> int:
         """Number of maintained occurrences of ``pattern``."""
-        return len(self._state(pattern).occurrences)
+        return len(self._state(pattern).backend)
 
     def info(self) -> List[Dict[str, object]]:
         """Maintenance counters, one row per registered pattern."""
-        return [
-            {
+        rows = []
+        for state in self._states.values():
+            row: Dict[str, object] = {
                 "pattern": state.pattern.name,
                 "incremental": state.incremental,
-                "occurrences": len(state.occurrences),
+                "occurrences": len(state.backend),
                 "deltas_applied": state.deltas_applied,
                 "rebuilds": state.rebuilds,
+                "ball_last": state.ball_last,
+                "ball_max": state.ball_max,
             }
-            for state in self._states.values()
-        ]
+            row.update(state.backend.info())
+            rows.append(row)
+        return rows
 
     # -- maintenance ------------------------------------------------------------
     def apply(self, delta: GraphDelta) -> None:
@@ -232,6 +256,8 @@ class IncrementalOccurrences:
             raise GraphError(
                 f"apply() takes a GraphDelta, got {type(delta).__name__}"
             )
+        if self._interner is not None and self._interner_synced:
+            self._apply_presence(delta)
         for state in self._states.values():
             state.deltas_applied += 1
             if not state.incremental:
@@ -239,11 +265,25 @@ class IncrementalOccurrences:
             elif delta.kind == "add_edge":
                 self._apply_edge_insert(state, delta.u, delta.v)
             elif delta.kind == "remove_edge":
-                state.drop_edge(_edge_key(delta.u, delta.v))
+                state.backend.drop_edge(delta.u, delta.v)
             elif delta.kind == "remove_node":
                 for a, b in delta.removed_edges:
-                    state.drop_edge(_edge_key(a, b))
+                    state.backend.drop_edge(a, b)
             # add_node: no occurrence can involve an isolated node
+
+    def _apply_presence(self, delta: GraphDelta) -> None:
+        """Mirror one delta into the intern table's presence flags."""
+        interner = self._interner
+        if delta.kind == "add_edge":
+            interner.add_edge(delta.u, delta.v)
+        elif delta.kind == "remove_edge":
+            interner.drop_edge(delta.u, delta.v)
+        elif delta.kind == "add_node":
+            interner.add_node(delta.u)
+        elif delta.kind == "remove_node":
+            for a, b in delta.removed_edges:
+                interner.drop_edge(a, b)
+            interner.drop_node(delta.u)
 
     def _apply_edge_insert(self, state: _PatternState, u, v) -> None:
         """Delta-join for one edge insert: enumerate only around the edge.
@@ -256,13 +296,18 @@ class IncrementalOccurrences:
         the delta.
         """
         pattern = state.pattern
-        edge = _edge_key(u, v)
+        edge = frozenset((u, v))
         radius = max(pattern.num_nodes - 2, 0)
         ball = _neighborhood_ball(self._graph, (u, v), radius)
+        state.ball_last = len(ball)
+        if state.ball_last > state.ball_max:
+            state.ball_max = state.ball_last
         neighborhood = self._graph.subgraph(ball)
         for occurrence in occurrences_for_pattern(neighborhood, pattern):
-            if edge in _occ_key(occurrence):
-                state.insert(occurrence)
+            uses_edge = any(frozenset(pair) == edge
+                            for pair in occurrence.edges)
+            if uses_edge:
+                state.backend.insert(occurrence)
 
     def full_rebuild(self, pattern: Optional[Pattern] = None) -> None:
         """Re-enumerate from scratch (one pattern, or all of them).
@@ -278,12 +323,14 @@ class IncrementalOccurrences:
             state.rebuild(self._graph)
 
     # -- the equivalence oracle -------------------------------------------------
-    def diff(self, pattern: Pattern) -> Tuple[Set[_OccKey], Set[_OccKey]]:
+    def diff(self, pattern: Pattern) -> Tuple[Set, Set]:
         """``(missing, extra)`` of the maintained set vs a fresh scan."""
         state = self._state(pattern)
-        fresh = {_occ_key(occ) for occ in
-                 occurrences_for_pattern(self._graph, pattern)}
-        maintained = set(state.occurrences)
+        fresh = {
+            frozenset(frozenset(pair) for pair in occ.edges)
+            for occ in occurrences_for_pattern(self._graph, pattern)
+        }
+        maintained = state.backend.occ_keys()
         return fresh - maintained, maintained - fresh
 
     def verify(self, pattern: Optional[Pattern] = None) -> bool:

@@ -77,6 +77,10 @@ class VersionedGraph(Graph):
         ``nodes``/``edges``.
     nodes / edges:
         Base state built in place (also version 0).
+    store:
+        Occurrence-store backend for the maintainer: ``"columnar"``
+        (default) or ``"dict"`` (the oracle); ``None`` resolves
+        ``$REPRO_OCC_STORE``.
 
     >>> g = VersionedGraph(edges=[(0, 1), (1, 2)])
     >>> g.add_edge(0, 2); g.version
@@ -88,13 +92,14 @@ class VersionedGraph(Graph):
     """
 
     def __init__(self, graph: Optional[Graph] = None,
-                 nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
+                 nodes: Iterable[Node] = (), edges: Iterable[Edge] = (),
+                 store: Optional[str] = None):
         # Attribute order matters: the overridden mutators consult
         # ``_recording`` and it must exist before Graph.__init__ runs them.
         self._recording = False
         self._log: List[GraphDelta] = []
         self._version = 0
-        self._maintainer = IncrementalOccurrences(self)
+        self._maintainer = IncrementalOccurrences(self, store=store)
         if graph is not None:
             if not isinstance(graph, Graph):
                 raise GraphError(
@@ -144,6 +149,20 @@ class VersionedGraph(Graph):
             return super().add_node(node)
         super().add_node(node)
         self._commit(GraphDelta.add_node(node))
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Bulk insert, recorded: one delta per *effective* new edge.
+
+        Unlike the plain-graph fast path this routes every edge through
+        :meth:`add_edge`, so the update log, version counter, and
+        occurrence maintenance all see each insert.  For log-free bulk
+        loading, build a plain :class:`~repro.graphs.Graph` first and
+        wrap it (what :func:`repro.store.ingest_edge_list` does).
+        """
+        if not self._recording:
+            return super().add_edges_from(edges)
+        for u, v in edges:
+            self.add_edge(u, v)
 
     def add_edge(self, u: Node, v: Node) -> None:
         if not self._recording:
@@ -229,7 +248,8 @@ class VersionedGraph(Graph):
         the live store, so the tuple order (and hence the compiled LP)
         is bit-identical.
         """
-        return VersionedGraph(self.at_version(version))
+        return VersionedGraph(self.at_version(version),
+                              store=self._maintainer.store)
 
     # -- occurrence maintenance hooks -------------------------------------------
     def occurrences_for(self, pattern: Pattern):
@@ -241,6 +261,19 @@ class VersionedGraph(Graph):
         """
         return self._maintainer.occurrences(pattern)
 
+    def relation_for(self, pattern: Pattern, privacy: str):
+        """Columnar-backed sensitive K-relation, or ``None`` to fall back.
+
+        The stronger provider hook: where :meth:`occurrences_for` hands
+        back materialized occurrence objects for the legacy annotation
+        path, this returns the maintained relation directly in
+        participant-index form
+        (:class:`~repro.store.relation.ConjunctiveKRelation`) when the
+        columnar store can serve it — float-identical, no per-occurrence
+        objects.  ``None`` means "use the legacy path".
+        """
+        return self._maintainer.relation_for(pattern, privacy)
+
     # -- copies -----------------------------------------------------------------
     def as_graph(self) -> Graph:
         """The current state as an independent plain graph."""
@@ -250,7 +283,7 @@ class VersionedGraph(Graph):
 
     def copy(self) -> "VersionedGraph":
         """An independent store based at the current state (history drops)."""
-        return VersionedGraph(self.as_graph())
+        return VersionedGraph(self.as_graph(), store=self._maintainer.store)
 
     def __repr__(self) -> str:
         return (

@@ -49,6 +49,28 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
 
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Bulk edge insert — one pass, no per-edge method dispatch.
+
+        Semantically a loop of :meth:`add_edge` (self-loops raise,
+        duplicates are no-ops), but inlined against the adjacency dict
+        for streaming ingestion of large edge lists.
+        """
+        adj = self._adj
+        for u, v in edges:
+            if u == v:
+                raise GraphError(
+                    f"self-loop on {u!r} not allowed in a simple graph"
+                )
+            seen_u = adj.get(u)
+            if seen_u is None:
+                seen_u = adj[u] = set()
+            seen_v = adj.get(v)
+            if seen_v is None:
+                seen_v = adj[v] = set()
+            seen_u.add(v)
+            seen_v.add(u)
+
     def remove_node(self, node: Node) -> List[Edge]:
         """Remove ``node`` and all incident edges (the node-privacy change).
 
@@ -156,7 +178,7 @@ class Graph:
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
         """The induced subgraph on ``nodes``."""
         keep = set(nodes)
-        unknown = keep - set(self._adj)
+        unknown = {node for node in keep if node not in self._adj}
         if unknown:
             raise GraphError(f"unknown nodes {sorted(map(repr, unknown))}")
         out = Graph(nodes=keep)

@@ -233,7 +233,17 @@ class Mechanism:
         # Dynamic graphs (repro.dynamic.VersionedGraph) maintain their
         # occurrence relations incrementally under updates — preparing a
         # query over one reads the maintained relation instead of
-        # re-enumerating from scratch.
+        # re-enumerating from scratch.  The columnar store can go one step
+        # further and hand back the relation in participant-index form
+        # (no per-occurrence annotation objects); custom per-tuple weights
+        # need the materialized occurrences, so they stay on the legacy
+        # path.
+        if spec.weight is None:
+            relation_provider = getattr(graph, "relation_for", None)
+            if relation_provider is not None:
+                relation = relation_provider(spec.pattern, spec.privacy)
+                if relation is not None:
+                    return relation
         provider = getattr(graph, "occurrences_for", None)
         occurrences = provider(spec.pattern) if provider is not None else None
         return subgraph_krelation(graph, spec.pattern, privacy=spec.privacy,

@@ -92,7 +92,11 @@ class EncodedRelation:
         self._ub_vals: List[float] = []
         self._ub_rhs: List[float] = []
 
-        self._root_terms: List[Tuple[int, float]] = []  # (var index, weight)
+        # per-tuple root variables and weights; frozen to arrays so a
+        # million-row relation costs two int64/float buffers, not a list
+        # of Python tuples
+        root_vars: List[int] = []
+        root_weights: List[float] = []
         self._constant_weight = 0.0  # weight of TRUE-annotated tuples
         self.total_weight = 0.0
         # per-participant accumulated (root var, q*S) coefficients for G rows
@@ -118,7 +122,8 @@ class EncodedRelation:
                 continue
             self.total_weight += weight
             root = self._encode_node(expr)
-            self._root_terms.append((root, weight))
+            root_vars.append(root)
+            root_weights.append(weight)
             for pname, s_value in phi_sensitivities(expr).items():
                 if s_value <= 0:
                     continue
@@ -134,9 +139,15 @@ class EncodedRelation:
         self._ub_cols = np.asarray(self._ub_cols, dtype=np.int64)
         self._ub_vals = np.asarray(self._ub_vals, dtype=float)
         self._ub_rhs = np.asarray(self._ub_rhs, dtype=float)
+        self._root_vars = np.asarray(root_vars, dtype=np.int64)
+        self._root_weights = np.asarray(root_weights, dtype=float)
+        self._finalize(compiled)
+
+    def _finalize(self, compiled: bool) -> None:
+        """Build the compiled program from the frozen arrays (both paths)."""
         self._lp: Optional[LinearProgram] = None  # legacy path, built lazily
         self._compiled: Optional[CompiledProgram] = None
-        if compiled and hasattr(backend, "solve_arrays"):
+        if compiled and hasattr(self.backend, "solve_arrays"):
             self._compiled = CompiledProgram(
                 num_variables=self._num_structural,
                 num_participants=len(self.participants),
@@ -147,8 +158,117 @@ class EncodedRelation:
                 objective=self._objective_vector(),
                 objective_constant=self._constant_weight,
                 g_rows=list(self._g_rows.values()),
-                backend=backend,
+                backend=self.backend,
             )
+
+    @classmethod
+    def from_conjunctions(
+        cls,
+        participants: Sequence[str],
+        matrix: np.ndarray,
+        backend,
+        compiled: bool = True,
+        weights: Optional[np.ndarray] = None,
+    ) -> "EncodedRelation":
+        """Vectorized construction for conjunctions of distinct variables.
+
+        ``matrix`` is the ``(N, width)`` participant-index matrix of a
+        :class:`~repro.store.relation.ConjunctiveKRelation`: row ``r``
+        holds the (distinct) participant indices tuple ``r`` conjoins,
+        columns in annotation children order, rows in canonical tuple
+        order.  ``weights`` are the per-tuple query weights (default: 1.0
+        each — counting), all strictly positive.
+
+        The emitted structure is **identical, element for element**, to
+        ``cls(participants, annotated, ...)`` over the equivalent
+        ``And``-of-``Var`` trees — same COO triplets in the same order,
+        same root terms, same G-row dicts in the same first-encounter
+        key order — so every downstream solve sees bit-equal inputs.
+        The tree walk per conjunction of width ``m ≥ 2`` appends one
+        epigraph row ``[-v, 1·child…] ≤ m-1``; width 1 collapses to the
+        bare participant variable (``And`` of one child is the child).
+        """
+        self = cls.__new__(cls)
+        self.participants = list(participants)
+        self.backend = backend
+        if len(set(self.participants)) != len(self.participants):
+            raise LPError("duplicate participant names")
+        self._pindex = {
+            name: index for index, name in enumerate(self.participants)
+        }
+        num_participants = len(self.participants)
+        matrix = np.ascontiguousarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise LPError(f"conjunction matrix must be 2-D, got {matrix.ndim}-D")
+        n, width = matrix.shape
+        if n and (matrix.min() < 0 or matrix.max() >= num_participants):
+            raise LPError("conjunction matrix references unknown participants")
+        if weights is None:
+            weights = np.ones(n, dtype=float)
+            total_weight = float(n)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (n,):
+                raise LPError(f"expected {n} weights, got shape {weights.shape}")
+            if n and weights.min() <= 0.0:
+                raise LPError("from_conjunctions needs strictly positive weights")
+            # sequential accumulation, matching the tree walk float for float
+            total = 0.0
+            for value in weights.tolist():
+                total += value
+            total_weight = total
+        self._constant_weight = 0.0
+        self.total_weight = total_weight
+        self.max_phi_sensitivity = 1 if n else 0
+        self._next_var = num_participants
+
+        if n == 0 or width == 1:
+            self._ub_rows = np.empty(0, dtype=np.int64)
+            self._ub_cols = np.empty(0, dtype=np.int64)
+            self._ub_vals = np.empty(0, dtype=float)
+            self._ub_rhs = np.empty(0, dtype=float)
+            self._root_vars = (matrix[:, 0].copy() if n else
+                               np.empty(0, dtype=np.int64))
+            self._num_structural = num_participants
+        else:
+            # one And node per row: v = P + r, row [-v, +children] <= m-1
+            cols = np.empty((n, width + 1), dtype=np.int64)
+            cols[:, 0] = num_participants + np.arange(n)
+            cols[:, 1:] = matrix
+            self._ub_rows = np.repeat(np.arange(n, dtype=np.int64), width + 1)
+            self._ub_cols = cols.ravel()
+            self._ub_vals = np.tile(
+                np.concatenate(([-1.0], np.ones(width))), n
+            )
+            self._ub_rhs = np.full(n, float(width - 1))
+            self._root_vars = num_participants + np.arange(n, dtype=np.int64)
+            self._num_structural = num_participants + n
+            self._next_var = self._num_structural
+        self._root_weights = weights
+
+        # G rows: one dict per participant, keyed in the tree walk's
+        # first-encounter order (row-major over the canonical matrix),
+        # entries in ascending tuple order (stable grouping argsort)
+        self._g_rows = {}
+        if n:
+            flat = matrix.ravel()
+            order = np.argsort(flat, kind="stable")
+            sorted_flat = flat[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_flat[1:] != sorted_flat[:-1]]
+            )
+            ends = np.r_[starts[1:], flat.size]
+            uniq, first_pos = np.unique(flat, return_index=True)
+            row_of = order // width
+            weight_list = weights.tolist()
+            root_list = self._root_vars.tolist()
+            for group in np.argsort(first_pos, kind="stable").tolist():
+                rows = row_of[starts[group]:ends[group]].tolist()
+                self._g_rows[self.participants[int(uniq[group])]] = {
+                    root_list[row]: weight_list[row] for row in rows
+                }
+        self._finalize(compiled)
+        return self
 
     # -- construction helpers -------------------------------------------------
     def _encode_node(self, expr: Expr) -> int:
@@ -199,7 +319,7 @@ class EncodedRelation:
 
     @property
     def num_encoded_tuples(self) -> int:
-        return len(self._root_terms)
+        return int(self._root_vars.size)
 
     @property
     def num_lp_variables(self) -> int:
@@ -249,14 +369,16 @@ class EncodedRelation:
 
     def _objective_terms(self) -> Dict[int, float]:
         coeffs: Dict[int, float] = {}
-        for var, weight in self._root_terms:
+        for var, weight in zip(
+            self._root_vars.tolist(), self._root_weights.tolist()
+        ):
             coeffs[var] = coeffs.get(var, 0.0) + weight
         return coeffs
 
     def _objective_vector(self) -> np.ndarray:
         c = np.zeros(self._num_structural)
-        for var, weight in self._root_terms:
-            c[var] += weight
+        # np.add.at accumulates duplicate root vars like the legacy loop
+        np.add.at(c, self._root_vars, self._root_weights)
         return c
 
     def _check(self, solution: LPSolution, what: str) -> LPSolution:
@@ -283,7 +405,7 @@ class EncodedRelation:
         """
         if not 0.0 <= i <= self.num_participants + 1e-9:
             raise LPError(f"H index {i} outside [0, {self.num_participants}]")
-        if not self._root_terms:
+        if self._root_vars.size == 0:
             return self._constant_weight
         if i <= 1e-12:
             return self._constant_weight
@@ -442,7 +564,7 @@ class EncodedRelation:
         if delta_hat < 0:
             raise LPError(f"delta_hat must be nonnegative, got {delta_hat}")
         n = self.num_participants
-        if not self._root_terms:
+        if self._root_vars.size == 0:
             # H is constant; X = H + (n - n)·Δ̂ at i' = n.
             return self._constant_weight, float(n)
         if self._compiled is not None:

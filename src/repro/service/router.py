@@ -191,7 +191,7 @@ class DatasetLane:
     def describe(self) -> Dict:
         """The lane's row in ``hello``/``stats`` responses."""
         info = self.session.cache_info()
-        return {
+        row = {
             "updates": self.updates_enabled,
             "dynamic": self.session.dynamic,
             "graph_version": self.session.graph_version,
@@ -207,6 +207,12 @@ class DatasetLane:
                 "invalidations": info.invalidations,
             },
         }
+        maintenance = self.session.maintenance_info()
+        if maintenance is not None:
+            # per-pattern occurrence-maintenance counters (dynamic lanes):
+            # rebuilds, deltas applied, ball sizes, store stats
+            row["maintenance"] = maintenance
+        return row
 
 
 class ServiceRouter:

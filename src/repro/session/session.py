@@ -294,6 +294,19 @@ class PrivateSession:
         """Compiled-relation cache counters (hits / misses / size)."""
         return self._cache.info()
 
+    def maintenance_info(self) -> Optional[List[Dict[str, object]]]:
+        """Occurrence-maintenance counters, one row per registered pattern.
+
+        Dynamic sessions report their
+        :meth:`~repro.dynamic.IncrementalOccurrences.info` rows —
+        occurrence counts, rebuilds, deltas applied, delta-join ball
+        sizes, and the occurrence-store (columnar/dict) counters.
+        ``None`` over static data (nothing is being maintained).
+        """
+        if not self._dynamic:
+            return None
+        return self._data.maintainer.info()
+
     # -- internals --------------------------------------------------------------
     def _ensure_open(self) -> None:
         if self._closed:

@@ -1,0 +1,266 @@
+"""Occurrence-storage backends behind ``_PatternState``.
+
+Both backends implement the same small contract the incremental
+maintainer drives — insert one occurrence, drop every occurrence using
+an edge, clear/bulk-load on rebuild, and read the canonically ordered
+occurrence tuple back — so the maintenance *logic* (delta-joins,
+neighborhood balls, rebuild fallbacks) lives in one place and only the
+*representation* differs:
+
+* :class:`DictOccurrenceBackend` — the original dicts-of-frozensets
+  representation, kept verbatim as the correctness oracle;
+* :class:`ColumnarOccurrenceBackend` — interned ids in a
+  :class:`~repro.store.columnar.ColumnarOccurrenceTable`, scaling to
+  million-edge graphs.
+
+Because the maintainer feeds both backends the identical insert/drop
+call sequence, insertion order — the tie-breaker of the canonical
+occurrence order — coincides, and :meth:`sorted_occurrences` is
+elementwise equal across backends (pinned by ``tests/test_store.py``).
+
+:func:`resolve_store` picks the backend: an explicit argument wins,
+then ``$REPRO_OCC_STORE``, then the columnar default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..subgraphs.matching import Occurrence
+from .columnar import ColumnarOccurrenceTable
+from .interning import InternTable
+
+__all__ = [
+    "OccurrenceBackend",
+    "DictOccurrenceBackend",
+    "ColumnarOccurrenceBackend",
+    "resolve_store",
+    "STORE_ENV",
+]
+
+#: Environment variable selecting the default occurrence store.
+STORE_ENV = "REPRO_OCC_STORE"
+_STORES = ("columnar", "dict")
+
+#: An occurrence's identity: its used-edge set with every edge reduced
+#: to an orientation-free endpoint pair (see ``dynamic.incremental``).
+_EdgeKey = FrozenSet[object]
+_OccKey = FrozenSet[_EdgeKey]
+
+
+def resolve_store(store: Optional[str] = None) -> str:
+    """The occurrence-store name to use (argument > env > columnar)."""
+    if store is None:
+        store = os.environ.get(STORE_ENV) or "columnar"
+    if store not in _STORES:
+        raise GraphError(
+            f"unknown occurrence store {store!r}; expected one of {_STORES}"
+        )
+    return store
+
+
+def _occ_key(occurrence: Occurrence) -> _OccKey:
+    return frozenset(frozenset(edge) for edge in occurrence.edges)
+
+
+class OccurrenceBackend:
+    """Contract the maintainer's ``_PatternState`` drives."""
+
+    name: str = ""
+
+    def insert(self, occurrence: Occurrence) -> bool:
+        """Add one occurrence; False if already present."""
+        raise NotImplementedError
+
+    def bulk_load(self, occurrences: Iterable[Occurrence]) -> None:
+        """Replace the content with the given occurrences (a rebuild)."""
+        raise NotImplementedError
+
+    def drop_edge(self, u, v) -> int:
+        """Remove every occurrence using edge ``{u, v}``; returns count."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every stored occurrence."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def sorted_occurrences(self) -> Tuple[Occurrence, ...]:
+        """The canonically ordered occurrences, as a cached tuple."""
+        raise NotImplementedError
+
+    def occ_keys(self) -> Set[_OccKey]:
+        """Orientation-free identities (the verify/diff oracle view)."""
+        raise NotImplementedError
+
+    def info(self) -> Dict[str, object]:
+        """Store-level counters merged into the maintainer's info rows."""
+        return {"store": self.name}
+
+
+def _occurrence_sort_key(occurrence: Occurrence) -> Tuple[str, ...]:
+    return tuple(sorted(map(repr, occurrence.edges)))
+
+
+class DictOccurrenceBackend(OccurrenceBackend):
+    """The original dict-of-objects representation (the oracle)."""
+
+    name = "dict"
+    __slots__ = ("occurrences", "by_edge", "_sorted")
+
+    def __init__(self):
+        self.occurrences: Dict[_OccKey, Occurrence] = {}
+        self.by_edge: Dict[_EdgeKey, Set[_OccKey]] = {}
+        self._sorted: Optional[Tuple[Occurrence, ...]] = None
+
+    def insert(self, occurrence: Occurrence) -> bool:
+        key = _occ_key(occurrence)
+        if key in self.occurrences:
+            return False
+        self.occurrences[key] = occurrence
+        for edge in key:
+            self.by_edge.setdefault(edge, set()).add(key)
+        self._sorted = None
+        return True
+
+    def bulk_load(self, occurrences: Iterable[Occurrence]) -> None:
+        self.clear()
+        for occurrence in occurrences:
+            self.insert(occurrence)
+
+    def drop_edge(self, u, v) -> int:
+        edge = frozenset((u, v))
+        keys = self.by_edge.pop(edge, None)
+        if not keys:
+            return 0
+        for key in keys:
+            del self.occurrences[key]
+            for other in key:
+                if other == edge:
+                    continue
+                bucket = self.by_edge.get(other)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self.by_edge[other]
+        self._sorted = None
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop every stored occurrence."""
+        self.occurrences.clear()
+        self.by_edge.clear()
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self.occurrences)
+
+    def sorted_occurrences(self) -> Tuple[Occurrence, ...]:
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self.occurrences.values(),
+                                        key=_occurrence_sort_key))
+        return self._sorted
+
+    def occ_keys(self) -> Set[_OccKey]:
+        return set(self.occurrences)
+
+
+class ColumnarOccurrenceBackend(OccurrenceBackend):
+    """Interned ids in a columnar table (shared maintainer interner)."""
+
+    name = "columnar"
+    __slots__ = ("interner", "table", "_sorted", "_sorted_token")
+
+    def __init__(self, interner: InternTable, num_nodes: int, num_edges: int):
+        self.interner = interner
+        self.table = ColumnarOccurrenceTable(num_nodes, num_edges)
+        self._sorted: Optional[Tuple[Occurrence, ...]] = None
+        self._sorted_token = -1
+
+    # -- id translation -----------------------------------------------------------
+    def _row_ids(self, occurrence: Occurrence):
+        interner = self.interner
+        nodes = sorted(interner.intern_node(node) for node in occurrence.nodes)
+        edges = sorted(interner.intern_edge(u, v) for u, v in occurrence.edges)
+        return nodes, edges
+
+    # -- writes -------------------------------------------------------------------
+    def insert(self, occurrence: Occurrence) -> bool:
+        nodes, edges = self._row_ids(occurrence)
+        return self.table.insert(np.asarray(nodes, dtype=np.int64),
+                                 np.asarray(edges, dtype=np.int64))
+
+    def bulk_load(self, occurrences: Iterable[Occurrence]) -> None:
+        self.table.clear()
+        node_rows: List[List[int]] = []
+        edge_rows: List[List[int]] = []
+        for occurrence in occurrences:
+            nodes, edges = self._row_ids(occurrence)
+            node_rows.append(nodes)
+            edge_rows.append(edges)
+        if not node_rows:
+            return
+        self.table.extend(
+            np.asarray(node_rows, dtype=np.int64),
+            np.asarray(edge_rows, dtype=np.int64),
+        )
+
+    def drop_edge(self, u, v) -> int:
+        edge_id = self.interner.edge_id(u, v)
+        if edge_id is None:
+            return 0
+        return self.table.drop_edge(edge_id)
+
+    def clear(self) -> None:
+        """Drop every stored occurrence (interned ids are kept)."""
+        self.table.clear()
+
+    # -- reads --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def canonical_rows(self) -> np.ndarray:
+        """Alive rows in canonical order (the fast relation path's view)."""
+        return self.table.canonical_order(self.interner.edge_ranks())
+
+    def sorted_occurrences(self) -> Tuple[Occurrence, ...]:
+        if self._sorted is not None and self._sorted_token == self.table.mutations:
+            return self._sorted
+        rows = self.canonical_rows()
+        interner = self.interner
+        pair = interner.edge_label_pair
+        label = interner.node_label
+        occurrences = tuple(
+            Occurrence(
+                nodes=frozenset(label(n) for n in node_row),
+                edges=frozenset(pair(e) for e in edge_row),
+            )
+            for node_row, edge_row in zip(
+                self.table.node_columns(rows).tolist(),
+                self.table.edge_columns(rows).tolist(),
+            )
+        )
+        self._sorted = occurrences
+        self._sorted_token = self.table.mutations
+        return occurrences
+
+    def occ_keys(self) -> Set[_OccKey]:
+        rows = self.table.alive_rows()
+        pair = self.interner.edge_label_pair
+        return {
+            frozenset(frozenset(pair(e)) for e in edge_row)
+            for edge_row in self.table.edge_columns(rows).tolist()
+        }
+
+    def info(self) -> Dict[str, object]:
+        """Table counters, ``store_``-prefixed to keep maintainer rows clear."""
+        return {
+            "store": self.name,
+            **{f"store_{key}": value for key, value in self.table.info().items()},
+        }

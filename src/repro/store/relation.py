@@ -1,0 +1,182 @@
+"""Sensitive K-relations carried as participant-index matrices.
+
+The legacy path materializes, for every occurrence, an
+:class:`~repro.subgraphs.matching.Occurrence` plus an ``And``-of-``Var``
+annotation tree, then walks each tree during LP encoding.  For a pure
+conjunctive relation (all subgraph counting) that object soup carries no
+information beyond *which participants each occurrence conjoins, in
+which order* — exactly one ``(N, width)`` integer matrix.
+
+:class:`ConjunctiveKRelation` stores that matrix (plus the name-sorted
+participant list the LP encoding is defined over) and hands it to
+:meth:`repro.relax.encode.EncodedRelation.from_conjunctions`, which
+emits the COO triplets of the compiled program with array ops — no
+per-occurrence Python objects on the hot path.  It subclasses
+:class:`~repro.core.sensitive.SensitiveKRelation` with *lazy* pair
+materialization, so every legacy consumer (baselines, ``world``,
+``withdraw``, equivalence tests) still works, just without the fast
+path.
+
+:func:`conjunctive_relation` builds one from a columnar occurrence
+backend.  Parity contract (pinned by ``tests/test_store.py``): the
+participant order, matrix row order (canonical occurrence order), and
+matrix column order (annotation children order — repr order of the
+node/edge objects) reproduce the legacy
+:func:`~repro.subgraphs.annotate.subgraph_krelation` +
+tree-walk encoding float-for-float.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..boolexpr.expr import And, Var
+from ..core.sensitive import SensitiveKRelation
+from ..subgraphs.matching import Occurrence
+from .backend import ColumnarOccurrenceBackend
+from .interning import InternTable
+
+__all__ = ["ConjunctiveKRelation", "conjunctive_relation"]
+
+
+class ConjunctiveKRelation(SensitiveKRelation):
+    """A conjunctions-of-distinct-variables K-relation, in index form.
+
+    Parameters
+    ----------
+    sorted_participants:
+        All participant names, **already in sorted (name) order** — the
+        order the LP encoding assigns participant variables in.
+    matrix:
+        ``(N, width)`` int array; row ``r`` lists the participant
+        indices occurrence ``r`` conjoins, columns in annotation
+        children order.  Rows are in canonical occurrence order.
+    node_ids / edge_ids:
+        ``(N, k)`` / ``(N, m)`` interned-id matrices (canonical row
+        order) used only to materialize legacy ``(tuple, annotation)``
+        pairs on demand.
+    interner:
+        The intern table resolving ids back to labels (append-only, so
+        late materialization stays safe after further graph updates).
+    """
+
+    def __init__(
+        self,
+        sorted_participants: List[str],
+        matrix: np.ndarray,
+        privacy: str,
+        node_ids: np.ndarray,
+        edge_ids: np.ndarray,
+        interner: InternTable,
+    ):
+        # deliberately no super().__init__() — pairs materialize lazily
+        self.participants = frozenset(sorted_participants)
+        self.sorted_participants = list(sorted_participants)
+        self.matrix = np.ascontiguousarray(matrix, dtype=np.int64)
+        self.privacy = privacy
+        self._node_ids = node_ids
+        self._edge_ids = edge_ids
+        self._interner = interner
+        self._pairs_cache: Optional[Tuple] = None
+
+    # -- lazy legacy view ---------------------------------------------------------
+    @property
+    def _pairs(self):
+        if self._pairs_cache is None:
+            interner = self._interner
+            names = self.sorted_participants
+            pairs = []
+            for row in range(self.matrix.shape[0]):
+                occurrence = Occurrence(
+                    nodes=frozenset(
+                        interner.node_label(i)
+                        for i in self._node_ids[row].tolist()
+                    ),
+                    edges=frozenset(
+                        interner.edge_label_pair(i)
+                        for i in self._edge_ids[row].tolist()
+                    ),
+                )
+                annotation = And(
+                    Var(names[i]) for i in self.matrix[row].tolist()
+                )
+                pairs.append((occurrence, annotation))
+            self._pairs_cache = tuple(pairs)
+        return self._pairs_cache
+
+    # -- cheap overrides (no materialization) ---------------------------------------
+    def __len__(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def total_annotation_length(self) -> int:
+        return int(self.matrix.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConjunctiveKRelation(|P|={len(self.participants)}, "
+            f"|supp(R)|={len(self)}, width={self.matrix.shape[1]}, "
+            f"privacy={self.privacy!r})"
+        )
+
+
+def _sorted_unique_names(names: List[str]):
+    """``(order, ok)`` — argsort of the names, refusing duplicates."""
+    arr = np.asarray(names, dtype=object)
+    order = np.argsort(arr, kind="stable")
+    taken = arr[order]
+    for prev, cur in zip(taken, taken[1:]):
+        if prev == cur:
+            return order, False
+    return order, True
+
+
+def conjunctive_relation(
+    backend: ColumnarOccurrenceBackend, privacy: str
+) -> Optional[ConjunctiveKRelation]:
+    """Build the index-form relation for one maintained pattern state.
+
+    Returns ``None`` when participant names collide (two labels
+    stringify to the same variable name — e.g. ``1`` vs ``"1"``); the
+    caller then falls back to the legacy object path, which reports the
+    collision exactly as before.
+    """
+    interner = backend.interner
+    table = backend.table
+    rows = backend.canonical_rows()
+    if privacy == "edge":
+        ids = interner.present_edge_ids()
+        names = interner.edge_names(ids)
+        ranks = interner.edge_ranks()
+        id_count = interner.num_interned_edges
+        columns = table.edge_columns(rows)
+    else:
+        ids = interner.present_node_ids()
+        names = interner.node_names(ids)
+        ranks = interner.node_ranks()
+        id_count = interner.num_interned_nodes
+        columns = table.node_columns(rows)
+    order, unique = _sorted_unique_names(names)
+    if not unique:
+        return None
+    sorted_names = [names[i] for i in order.tolist()]
+    pindex = np.full(id_count, -1, dtype=np.int64)
+    pindex[ids[order]] = np.arange(ids.size, dtype=np.int64)
+    # annotation children order = repr order of the conjoined objects
+    # (NOT name order): stable argsort over repr ranks per row
+    within = np.argsort(ranks[columns], axis=1, kind="stable")
+    children = np.take_along_axis(columns, within, axis=1)
+    matrix = pindex[children]
+    if matrix.size and matrix.min() < 0:
+        # an occurrence references a node/edge the presence flags say is
+        # absent — maintained state and graph disagree; fall back
+        return None
+    return ConjunctiveKRelation(
+        sorted_names,
+        matrix,
+        privacy,
+        node_ids=table.node_columns(rows),
+        edge_ids=table.edge_columns(rows),
+        interner=interner,
+    )
