@@ -45,8 +45,11 @@ def test_ablation_lp_backend(benchmark, scale, record_figure):
     ]
     record_figure(
         "ablation_lp_backend",
-        format_table(rows, ["index", "scipy", "simplex"],
-                     title="Ablation — H entries: HiGHS vs from-scratch simplex"),
+        format_table(
+            rows,
+            ["index", "scipy", "simplex"],
+            title="Ablation — H entries: HiGHS vs from-scratch simplex",
+        ),
     )
     for a, b in zip(scipy_values, simplex_values):
         assert math.isclose(a, b, abs_tol=1e-6)
@@ -62,9 +65,7 @@ def test_ablation_annotation_form(benchmark, scale, record_figure):
             relation, normalize=normalize, bounding="paper"
         )
         rng = np.random.default_rng(0)
-        errors = [
-            mech.run(params, rng).relative_error for _ in range(scale.trials)
-        ]
+        errors = [mech.run(params, rng).relative_error for _ in range(scale.trials)]
         g_final = mech.g_entry(mech.num_participants)
         return statistics.median(errors), g_final
 
@@ -75,7 +76,11 @@ def test_ablation_annotation_form(benchmark, scale, record_figure):
         format_table(
             [
                 {"form": "raw CNF", "median_rel_error": raw[0], "G_final": raw[1]},
-                {"form": "minimal DNF", "median_rel_error": normalized[0], "G_final": normalized[1]},
+                {
+                    "form": "minimal DNF",
+                    "median_rel_error": normalized[0],
+                    "G_final": normalized[1],
+                },
             ],
             ["form", "median_rel_error", "G_final"],
             title="Ablation — annotation normal form (3-CNF K-relation)",
@@ -141,17 +146,26 @@ def test_ablation_bounding_mode(benchmark, scale, record_figure):
         for bounding in ("paper", "uniform"):
             delta, error = run(dnf, bounding)
             rows.append(
-                {"relation": "3-DNF (disjunctive)", "bounding": bounding,
-                 "delta": delta, "median_rel_error": error,
-                 "sound": bounding == "uniform"}
+                {
+                    "relation": "3-DNF (disjunctive)",
+                    "bounding": bounding,
+                    "delta": delta,
+                    "median_rel_error": error,
+                    "sound": bounding == "uniform",
+                }
             )
         g = random_graph_with_avg_degree(30, 8, rng=9)
         tri = subgraph_krelation(g, triangle(), privacy="node")
         for bounding in ("paper", "uniform"):
             delta, error = run(tri, bounding, node_privacy=True)
             rows.append(
-                {"relation": "triangles (conjunctive)", "bounding": bounding,
-                 "delta": delta, "median_rel_error": error, "sound": True}
+                {
+                    "relation": "triangles (conjunctive)",
+                    "bounding": bounding,
+                    "delta": delta,
+                    "median_rel_error": error,
+                    "sound": True,
+                }
             )
         return rows
 
@@ -191,8 +205,11 @@ def test_ablation_bounding_slack(benchmark, scale, record_figure):
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
     record_figure(
         "ablation_bounding_slack",
-        format_table(rows, ["i", "G_efficient", "G_exact"],
-                     title="Ablation — 2-bounding G (LP) vs exact bounding G"),
+        format_table(
+            rows,
+            ["i", "G_efficient", "G_exact"],
+            title="Ablation — 2-bounding G (LP) vs exact bounding G",
+        ),
     )
     # the efficient G is within factor 2 of something >= the exact G at the top
     top = rows[-1]

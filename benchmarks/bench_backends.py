@@ -54,8 +54,7 @@ def _fig5_under_backend(name, scale):
             for combo, rows in result.items()
         },
         "answers": {
-            combo: [row["answer"] for row in rows]
-            for combo, rows in result.items()
+            combo: [row["answer"] for row in rows] for combo, rows in result.items()
         },
     }
 
@@ -64,9 +63,7 @@ def _multi_rhs_point(name):
     """Batched vs pointwise H-sweep timings for one backend."""
     graph = random_graph_with_avg_degree(60, 8.0, rng=5)
     relation = subgraph_krelation(graph, triangle(), privacy="edge")
-    program = EfficientRecursiveMechanism(
-        relation, backend=name
-    )._encoded._compiled
+    program = EfficientRecursiveMechanism(relation, backend=name)._encoded._compiled
     n = program.num_participants
     values = [n * k / 16.0 for k in range(1, 16)]
     tasks = [("h", value) for value in values]
@@ -90,9 +87,7 @@ def _multi_rhs_point(name):
     backend = program.backend
     return {
         "rhs_count": len(values),
-        "supports_multi_rhs": bool(
-            getattr(backend, "supports_multi_rhs", False)
-        ),
+        "supports_multi_rhs": bool(getattr(backend, "supports_multi_rhs", False)),
         "batched_seconds": batched_best,
         "pointwise_seconds": pointwise_best,
         "speedup": pointwise_best / batched_best if batched_best else None,
@@ -115,36 +110,44 @@ def test_backend_matrix(scale, record_figure, results_dir):
 
     rows = []
     for name in names:
-        rows.append({
-            "backend": name,
-            "fig5_wall_seconds": sweeps[name]["wall_seconds"],
-            "multi_rhs": micro[name]["supports_multi_rhs"],
-            "batched_seconds": micro[name]["batched_seconds"],
-            "pointwise_seconds": micro[name]["pointwise_seconds"],
-            "batch_speedup": micro[name]["speedup"],
-        })
+        rows.append(
+            {
+                "backend": name,
+                "fig5_wall_seconds": sweeps[name]["wall_seconds"],
+                "multi_rhs": micro[name]["supports_multi_rhs"],
+                "batched_seconds": micro[name]["batched_seconds"],
+                "pointwise_seconds": micro[name]["pointwise_seconds"],
+                "batch_speedup": micro[name]["speedup"],
+            }
+        )
     record_figure(
         "backend_matrix",
         format_table(
             rows,
-            ["backend", "fig5_wall_seconds", "multi_rhs",
-             "batched_seconds", "pointwise_seconds", "batch_speedup"],
+            [
+                "backend",
+                "fig5_wall_seconds",
+                "multi_rhs",
+                "batched_seconds",
+                "pointwise_seconds",
+                "batch_speedup",
+            ],
             title=f"Solver backends: fig5 sweep + multi-RHS batching "
             f"(scale={scale.name})",
         ),
     )
 
     out_path = Path(
-        os.environ.get("REPRO_BENCH_BACKENDS_OUT",
-                       results_dir / "BENCH_backends.json")
+        os.environ.get("REPRO_BENCH_BACKENDS_OUT", results_dir / "BENCH_backends.json")
     )
     out_path.write_text(json.dumps({
         "scale": scale.name,
         "backends": names,
         "default_backend": lp_backends.default_backend().name,
-        "fig5": {name: {k: v for k, v in sweeps[name].items()
-                        if k != "answers"}
-                 for name in names},
+        "fig5": {
+            name: {k: v for k, v in sweeps[name].items() if k != "answers"}
+            for name in names
+        },
         "answers_identical_across_backends": True,
         "multi_rhs": micro,
         "tolerance": TOLERANCE,

@@ -106,12 +106,10 @@ def test_dynamic_cold_incremental_warm(scale, record_figure, results_dir):
         "incremental_prepare_median_seconds": incremental_prepare,
         "warm_prepare_median_seconds": statistics.median(warm_prepares),
         "cold_over_incremental_prepare": (
-            cold_prepare / incremental_prepare if incremental_prepare
-            else float("inf")
+            cold_prepare / incremental_prepare if incremental_prepare else float("inf")
         ),
         "cold_query_seconds": cold_query,
-        "incremental_query_median_seconds":
-            statistics.median(incremental_queries),
+        "incremental_query_median_seconds": statistics.median(incremental_queries),
         "warm_query_median_seconds": statistics.median(warm_queries),
         "updates_applied": graph.version,
     }
@@ -119,23 +117,34 @@ def test_dynamic_cold_incremental_warm(scale, record_figure, results_dir):
         "dynamic_serving",
         format_table(
             [row],
-            ["nodes", "edges", "pattern", "occurrences",
-             "cold_prepare_seconds", "incremental_prepare_median_seconds",
-             "warm_prepare_median_seconds", "cold_over_incremental_prepare",
-             "cold_query_seconds", "incremental_query_median_seconds",
-             "warm_query_median_seconds", "updates_applied"],
+            [
+                "nodes",
+                "edges",
+                "pattern",
+                "occurrences",
+                "cold_prepare_seconds",
+                "incremental_prepare_median_seconds",
+                "warm_prepare_median_seconds",
+                "cold_over_incremental_prepare",
+                "cold_query_seconds",
+                "incremental_query_median_seconds",
+                "warm_query_median_seconds",
+                "updates_applied",
+            ],
             title=f"Dynamic session: cold vs incremental recompile vs warm "
             f"({pattern.name}/edge, scale={scale.name})",
         ),
     )
     out_path = Path(
-        os.environ.get("REPRO_BENCH_DYNAMIC_OUT",
-                       results_dir / "BENCH_dynamic.json")
+        os.environ.get("REPRO_BENCH_DYNAMIC_OUT", results_dir / "BENCH_dynamic.json")
     )
-    out_path.write_text(json.dumps(
-        {"scale": scale.name, "warm_queries": WARM_QUERIES,
-         "update_rounds": UPDATE_ROUNDS, **row}, indent=2
-    ) + "\n")
+    payload = {
+        "scale": scale.name,
+        "warm_queries": WARM_QUERIES,
+        "update_rounds": UPDATE_ROUNDS,
+        **row,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[dynamic bench written to {out_path}]")
 
     # The acceptance ordering.  Prepare: a warm hit beats a recompile,
@@ -194,9 +203,7 @@ def test_dynamic_scale_tier(scale, record_figure, results_dir, tmp_path):
 
     lanes = {}
     for store in ("columnar", "dict"):
-        lanes[store] = ingest_edge_list(
-            edge_list, store=store, register=["triangle"]
-        )
+        lanes[store] = ingest_edge_list(edge_list, store=store, register=["triangle"])
     reference = lanes["columnar"].graph
     assert reference.num_edges == lanes["dict"].graph.num_edges
     # "Loads a million-edge file in seconds": a hard floor well under the
@@ -207,8 +214,7 @@ def test_dynamic_scale_tier(scale, record_figure, results_dir, tmp_path):
     )
 
     sessions = {
-        name: PrivateSession(report.graph, rng=5)
-        for name, report in lanes.items()
+        name: PrivateSession(report.graph, rng=5) for name, report in lanes.items()
     }
     update_rng = np.random.default_rng(23)
     checkpoint_every = max(1, num_updates // SCALE_CHECKPOINTS)
@@ -228,7 +234,9 @@ def test_dynamic_scale_tier(scale, record_figure, results_dir, tmp_path):
             for name, session in sessions.items():
                 start = time.perf_counter()
                 result = session.query(
-                    "triangle", privacy="edge", epsilon=1.0,
+                    "triangle",
+                    privacy="edge",
+                    epsilon=1.0,
                     rng=np.random.default_rng(1000 + step),
                 )
                 query_seconds[name].append(time.perf_counter() - start)
@@ -245,8 +253,7 @@ def test_dynamic_scale_tier(scale, record_figure, results_dir, tmp_path):
     assert updates_per_second > 100, (
         f"update stream too slow: {updates_per_second:.0f} updates/s"
     )
-    maintenance = {row["pattern"]: row
-                   for row in reference.maintainer.info()}
+    maintenance = {row["pattern"]: row for row in reference.maintainer.info()}
     assert maintenance["triangle"]["rebuilds"] == 0
     assert maintenance["triangle"]["deltas_applied"] == num_updates
     assert reference.maintainer.verify(), \
@@ -256,32 +263,43 @@ def test_dynamic_scale_tier(scale, record_figure, results_dir, tmp_path):
 
     rows = []
     for name, report in lanes.items():
-        rows.append({
-            "store": name,
-            "edges": report.num_edges,
-            "nodes": report.num_nodes,
-            "occurrences": report.registered[0]["occurrences"],
-            "read_seconds": report.read_seconds,
-            "wrap_seconds": report.wrap_seconds,
-            "register_seconds": report.register_seconds,
-            "edges_per_second": report.edges_per_second,
-            "query_median_seconds": statistics.median(query_seconds[name]),
-        })
+        rows.append(
+            {
+                "store": name,
+                "edges": report.num_edges,
+                "nodes": report.num_nodes,
+                "occurrences": report.registered[0]["occurrences"],
+                "read_seconds": report.read_seconds,
+                "wrap_seconds": report.wrap_seconds,
+                "register_seconds": report.register_seconds,
+                "edges_per_second": report.edges_per_second,
+                "query_median_seconds": statistics.median(query_seconds[name]),
+            }
+        )
     record_figure(
         "dynamic_scale",
         format_table(
             rows,
-            ["store", "edges", "nodes", "occurrences", "read_seconds",
-             "wrap_seconds", "register_seconds", "edges_per_second",
-             "query_median_seconds"],
+            [
+                "store",
+                "edges",
+                "nodes",
+                "occurrences",
+                "read_seconds",
+                "wrap_seconds",
+                "register_seconds",
+                "edges_per_second",
+                "query_median_seconds",
+            ],
             title=f"Scale tier: {num_edges} edges, {num_updates} updates, "
             f"{len(answers)} live checkpoints (triangle/edge, "
             f"scale={scale.name})",
         ),
     )
     out_path = Path(
-        os.environ.get("REPRO_BENCH_SCALE_OUT",
-                       results_dir / "BENCH_dynamic_scale.json")
+        os.environ.get(
+            "REPRO_BENCH_SCALE_OUT", results_dir / "BENCH_dynamic_scale.json"
+        )
     )
     out_path.write_text(json.dumps({
         "scale": scale.name,

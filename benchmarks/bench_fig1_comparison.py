@@ -16,8 +16,16 @@ def test_fig1(benchmark, scale, record_figure):
     )
     text = format_table(
         rows,
-        ["query", "mechanism", "privacy", "median_relative_error",
-         "seconds", "true_answer", "US_node", "US_edge"],
+        [
+            "query",
+            "mechanism",
+            "privacy",
+            "median_relative_error",
+            "seconds",
+            "true_answer",
+            "US_node",
+            "US_edge",
+        ],
         title=f"Fig 1 — measured comparison table (eps=0.5, scale={scale.name})",
     )
     record_figure("fig1_comparison", text)

@@ -32,9 +32,17 @@ def test_fig5(benchmark, scale, record_figure):
         sections.append(
             format_table(
                 rows,
-                ["nodes", "tuples", "lp_size", "build_seconds",
-                 "encode_seconds", "delta_seconds", "release_seconds",
-                 "h_profile_seconds", "mechanism_seconds"],
+                [
+                    "nodes",
+                    "tuples",
+                    "lp_size",
+                    "build_seconds",
+                    "encode_seconds",
+                    "delta_seconds",
+                    "release_seconds",
+                    "h_profile_seconds",
+                    "mechanism_seconds",
+                ],
                 title=f"Fig 5 — {combo}: recursive mechanism timing "
                 f"(avgdeg=10, scale={scale.name})",
             )

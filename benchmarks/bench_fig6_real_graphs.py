@@ -15,8 +15,17 @@ def test_fig6(benchmark, scale, record_figure):
     )
     text = format_table(
         rows,
-        ["dataset", "V", "E", "triangles", "node_seconds", "edge_seconds",
-         "paper_V", "paper_E", "paper_triangles"],
+        [
+            "dataset",
+            "V",
+            "E",
+            "triangles",
+            "node_seconds",
+            "edge_seconds",
+            "paper_V",
+            "paper_E",
+            "paper_triangles",
+        ],
         title=f"Fig 6 — dataset stand-ins and mechanism runtimes (scale={scale.name})",
     )
     record_figure("fig6_real_graphs", text)

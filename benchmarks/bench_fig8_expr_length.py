@@ -17,8 +17,14 @@ def test_fig8(benchmark, scale, record_figure):
         sections.append(
             format_table(
                 rows,
-                ["clauses", "true_answer", "median_relative_error",
-                 "us_reference", "universal_sensitivity", "seconds"],
+                [
+                    "clauses",
+                    "true_answer",
+                    "median_relative_error",
+                    "us_reference",
+                    "universal_sensitivity",
+                    "seconds",
+                ],
                 title=f"Fig 8 — 3-{kind.upper()} K-relations "
                 f"(|supp(R)| fixed, scale={scale.name})",
             )

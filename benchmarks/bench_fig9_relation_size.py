@@ -18,8 +18,14 @@ def test_fig9(benchmark, scale, record_figure):
         sections.append(
             format_table(
                 rows,
-                ["size", "true_answer", "median_relative_error",
-                 "us_reference", "universal_sensitivity", "seconds"],
+                [
+                    "size",
+                    "true_answer",
+                    "median_relative_error",
+                    "us_reference",
+                    "universal_sensitivity",
+                    "seconds",
+                ],
                 title=f"Fig 9 — 3-{kind.upper()} K-relations, varying size "
                 f"(3 clauses, scale={scale.name})",
             )

@@ -45,8 +45,7 @@ def test_general_mechanism_scaling(benchmark, scale, record_figure):
 
             rng = np.random.default_rng(0)
             gen_errors = [
-                general.run(params, rng).relative_error
-                for _ in range(scale.trials)
+                general.run(params, rng).relative_error for _ in range(scale.trials)
             ]
             eff_errors = [
                 efficient.run(params_eff, rng).relative_error
@@ -68,8 +67,13 @@ def test_general_mechanism_scaling(benchmark, scale, record_figure):
         "fig1_general_mechanism",
         format_table(
             rows,
-            ["P", "general_seconds", "efficient_seconds",
-             "general_med_err", "efficient_med_err"],
+            [
+                "P",
+                "general_seconds",
+                "efficient_seconds",
+                "general_med_err",
+                "efficient_med_err",
+            ],
             title="Fig 1 row 1 — general (Exp(|P|)) vs efficient (Poly) mechanism",
         ),
     )

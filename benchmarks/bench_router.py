@@ -42,7 +42,10 @@ WRITE_ROUNDS = 3
 
 def _session(data, cache):
     return PrivateSession(
-        data, workers=1, rng=7, accountant=HierarchicalAccountant(),
+        data,
+        workers=1,
+        rng=7,
+        accountant=HierarchicalAccountant(),
         cache=cache,
     )
 
@@ -56,8 +59,9 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
     router = ServiceRouter(seed=7)
     alpha_session = _session(alpha_graph, shared.namespaced("alpha"))
     beta_session = _session(beta_graph, shared.namespaced("beta"))
-    router.add_dataset("alpha", alpha_session, updates=True,
-                       writer_token="bench-admin", default=True)
+    router.add_dataset(
+        "alpha", alpha_session, updates=True, writer_token="bench-admin", default=True
+    )
     router.add_dataset("beta", beta_session)
 
     replica_sessions = []
@@ -70,9 +74,14 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
     warm = {"alpha": [], "beta": []}
     catchup = []
     with BackgroundService(router) as primary:
-        replica = BackgroundService(ReplicaService(
-            primary.address, "alpha", factory, poll_interval=0.05,
-        ))
+        replica = BackgroundService(
+            ReplicaService(
+                primary.address,
+                "alpha",
+                factory,
+                poll_interval=0.05,
+            )
+        )
         replica.start()
         try:
             with ServiceClient(primary.address, user="bench") as client:
@@ -81,21 +90,28 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
                                  dataset=dataset)  # cold: compile
                     for _ in range(WARM_QUERIES):
                         start = time.perf_counter()
-                        client.query("triangle", epsilon=1.0,
-                                     privacy="node", dataset=dataset)
+                        client.query(
+                            "triangle", epsilon=1.0, privacy="node", dataset=dataset
+                        )
                         warm[dataset].append(time.perf_counter() - start)
                 with ServiceClient(replica.address, user="bench") as reader:
                     reader.query("triangle", epsilon=1.0, privacy="node")
                     for round_index in range(WRITE_ROUNDS):
                         start = time.perf_counter()
                         out = client.update(
-                            [{"action": "add_edge",
-                              "u": 10_000 + round_index,
-                              "v": 20_000 + round_index}],
+                            [
+                                {
+                                    "action": "add_edge",
+                                    "u": 10_000 + round_index,
+                                    "v": 20_000 + round_index,
+                                }
+                            ],
                             token="bench-admin",
                         )
                         result = reader.query(
-                            "triangle", epsilon=1.0, privacy="node",
+                            "triangle",
+                            epsilon=1.0,
+                            privacy="node",
                             min_version=out["version"],
                         )
                         catchup.append(time.perf_counter() - start)
@@ -118,8 +134,7 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
         (Or([Var("p2"), And([Var("p3"), Var("p4")])]), 1.5),
         (Or([Var("p1"), Var("p5")]), 1.0),
     ]
-    relation = EncodedRelation(names, annotated,
-                               lp_backends.default_backend())
+    relation = EncodedRelation(names, annotated, lp_backends.default_backend())
     program = relation._compiled
     start = time.perf_counter()
     spec = program.export_shared()
@@ -127,8 +142,9 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
     start = time.perf_counter()
     attached = type(program).attach_shared(spec)
     attach_seconds = time.perf_counter() - start
-    np.testing.assert_equal(attached.solve_h(1.0).objective,
-                            program.solve_h(1.0).objective)
+    np.testing.assert_equal(
+        attached.solve_h(1.0).objective, program.solve_h(1.0).objective
+    )
     shm.release_spec(spec)
     program.release_shared()
 
@@ -146,18 +162,19 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
         format_table(
             [row],
             list(row),
-            title=f"Router + replica + shared-memory serving "
-            f"(scale={scale.name})",
+            title=f"Router + replica + shared-memory serving " f"(scale={scale.name})",
         ),
     )
     out_path = Path(
-        os.environ.get("REPRO_BENCH_ROUTER_OUT",
-                       results_dir / "BENCH_router.json")
+        os.environ.get("REPRO_BENCH_ROUTER_OUT", results_dir / "BENCH_router.json")
     )
-    out_path.write_text(json.dumps(
-        {"scale": scale.name, "warm_queries": WARM_QUERIES,
-         "write_rounds": WRITE_ROUNDS, **row}, indent=2
-    ) + "\n")
+    payload = {
+        "scale": scale.name,
+        "warm_queries": WARM_QUERIES,
+        "write_rounds": WRITE_ROUNDS,
+        **row,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[router bench written to {out_path}]")
 
     # Attaching shared blocks must stay cheap next to exporting them —

@@ -27,7 +27,8 @@ def test_service_latency_throughput(scale, record_figure, results_dir):
     n = max(60, int(round(300 * scale.graph_nodes_factor)))
     graph = random_graph_with_avg_degree(n, 8, rng=11)
     session = PrivateSession(
-        graph, rng=7,
+        graph,
+        rng=7,
         accountant=HierarchicalAccountant(None, default_user_budget=None),
         cache=SharedCompiledCache(maxsize=16),
     )
@@ -66,16 +67,21 @@ def test_service_latency_throughput(scale, record_figure, results_dir):
         "service_serving",
         format_table(
             [row],
-            ["nodes", "edges", "cold_seconds", "warm_median_seconds",
-             "warm_p90_seconds", "requests_per_second",
-             "audit_replay_seconds"],
+            [
+                "nodes",
+                "edges",
+                "cold_seconds",
+                "warm_median_seconds",
+                "warm_p90_seconds",
+                "requests_per_second",
+                "audit_replay_seconds",
+            ],
             title=f"PrivateQueryService wire latency/throughput "
             f"(triangle/node, scale={scale.name})",
         ),
     )
     out_path = Path(
-        os.environ.get("REPRO_BENCH_SERVICE_OUT",
-                       results_dir / "BENCH_service.json")
+        os.environ.get("REPRO_BENCH_SERVICE_OUT", results_dir / "BENCH_service.json")
     )
     out_path.write_text(json.dumps(
         {"scale": scale.name, "warm_queries": WARM_QUERIES, **row}, indent=2
@@ -85,6 +91,5 @@ def test_service_latency_throughput(scale, record_figure, results_dir):
     # The wire must not lose the cache win: a warm remote release still
     # beats the cold compile-and-release by a wide margin.
     assert warm_median < cold_seconds, (
-        f"warm remote median {warm_median:.4f}s not under cold "
-        f"{cold_seconds:.4f}s"
+        f"warm remote median {warm_median:.4f}s not under cold " f"{cold_seconds:.4f}s"
     )

@@ -51,8 +51,15 @@ def test_session_warm_vs_cold(scale, record_figure):
         "session_serving",
         format_table(
             rows,
-            ["nodes", "edges", "cold_seconds", "warm_median_seconds",
-             "speedup", "cache_hits", "cache_misses"],
+            [
+                "nodes",
+                "edges",
+                "cold_seconds",
+                "warm_median_seconds",
+                "speedup",
+                "cache_hits",
+                "cache_misses",
+            ],
             title=f"PrivateSession cold vs warm query latency "
             f"(triangle/node, scale={scale.name})",
         ),
@@ -60,6 +67,5 @@ def test_session_warm_vs_cold(scale, record_figure):
     # "well under": a warm (cache-hit) release must beat the cold
     # compile-and-release by a wide margin, not just edge it out.
     assert warm_median < cold_seconds / 3, (
-        f"warm median {warm_median:.4f}s not well under cold "
-        f"{cold_seconds:.4f}s"
+        f"warm median {warm_median:.4f}s not well under cold " f"{cold_seconds:.4f}s"
     )

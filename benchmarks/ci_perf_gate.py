@@ -104,15 +104,26 @@ def run_sweep(scale, workers: int):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workers", type=int, default=None,
-                        help="parallel worker count (default: resolved)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel worker count (default: resolved)",
+    )
     parser.add_argument("--scale", default="smoke")
     parser.add_argument("--output", default="BENCH_ci.json")
     parser.add_argument("--baseline", default=str(BASELINE_DEFAULT))
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
-    parser.add_argument("--update-baseline", action="store_true",
-                        help="rewrite the baseline from this run and pass")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run and pass",
+    )
     args = parser.parse_args(argv)
 
     mode = os.environ.get("REPRO_PERF_GATE", "fail").lower()
@@ -150,8 +161,7 @@ def main(argv=None) -> int:
 
     if serial_answers != parallel_answers:
         bad = [
-            c for c in serial_answers
-            if serial_answers[c] != parallel_answers.get(c)
+            c for c in serial_answers if serial_answers[c] != parallel_answers.get(c)
         ]
         failures.append(
             f"determinism: serial vs parallel released answers differ for {bad}"
@@ -201,8 +211,10 @@ def main(argv=None) -> int:
     if failures:
         print("PERF GATE FAILED:", *failures, sep="\n  ")
         return 1
-    print(f"perf gate passed (speedup x{report['speedup']:.2f} "
-          f"on {os.cpu_count()} cores, workers={workers})")
+    print(
+        f"perf gate passed (speedup x{report['speedup']:.2f} "
+        f"on {os.cpu_count()} cores, workers={workers})"
+    )
     return 0
 
 

@@ -13,7 +13,7 @@ the implementation honors its guarantee.  This example:
 Run:  python examples/budgeted_workload.py
 """
 
-from repro import random_graph_with_avg_degree, k_star, triangle
+from repro import k_star, random_graph_with_avg_degree, triangle
 from repro.core import EfficientRecursiveMechanism, RecursiveMechanismParams
 from repro.core.accountant import BudgetExceededError, PrivacyAccountant
 from repro.core.params import group_privacy_epsilon
@@ -24,8 +24,10 @@ from repro.subgraphs import k_triangle, subgraph_krelation
 def main():
     graph = random_graph_with_avg_degree(50, 7, rng=31)
     accountant = PrivacyAccountant(total_epsilon=1.5)
-    print(f"graph: {graph.num_nodes} nodes; total budget eps = "
-          f"{accountant.total_epsilon}\n")
+    print(
+        f"graph: {graph.num_nodes} nodes; total budget eps = "
+        f"{accountant.total_epsilon}\n"
+    )
 
     workload = [
         ("triangles", triangle(), 0.6),
@@ -41,27 +43,35 @@ def main():
         except BudgetExceededError as error:
             print(f"{label:12s} REFUSED: {error}")
             continue
-        print(f"{label:12s} released {result.answer:9.1f}  "
-              f"(true {result.true_answer:6.0f}, spent eps={epsilon})")
+        print(
+            f"{label:12s} released {result.answer:9.1f}  "
+            f"(true {result.true_answer:6.0f}, spent eps={epsilon})"
+        )
 
     print(f"\nledger: {accountant.ledger}")
     print(f"remaining budget: eps = {accountant.remaining:.2f}")
 
     # group privacy: a user controlling 3 sockpuppet accounts
     params = RecursiveMechanismParams.paper(0.6, node_privacy=True)
-    print(f"\nguarantee for 3-node colluding groups: "
-          f"eps = {group_privacy_epsilon(params, 3):.2f}")
+    print(
+        f"\nguarantee for 3-node colluding groups: "
+        f"eps = {group_privacy_epsilon(params, 3):.2f}"
+    )
 
     # empirical audit of the released guarantee
     small = random_graph_with_avg_degree(18, 5, rng=2)
     relation = subgraph_krelation(small, triangle(), privacy="node")
     report = audit_krelation_withdrawal(
-        relation, RecursiveMechanismParams.paper(1.0, node_privacy=True),
-        trials=800, rng=0,
+        relation,
+        RecursiveMechanismParams.paper(1.0, node_privacy=True),
+        trials=800,
+        rng=0,
     )
-    print(f"\nempirical audit: claimed eps={report.claimed_epsilon:.2f}, "
-          f"measured {report.empirical_epsilon:.2f} -> "
-          f"{'PASS' if report.passed else 'FAIL'}")
+    print(
+        f"\nempirical audit: claimed eps={report.claimed_epsilon:.2f}, "
+        f"measured {report.empirical_epsilon:.2f} -> "
+        f"{'PASS' if report.passed else 'FAIL'}"
+    )
 
 
 if __name__ == "__main__":

@@ -15,8 +15,8 @@ from repro import (
     Pattern,
     random_graph_with_avg_degree,
 )
-from repro.subgraphs import enumerate_subgraphs, subgraph_krelation
 from repro.core import private_linear_query
+from repro.subgraphs import enumerate_subgraphs, subgraph_krelation
 
 
 def main():
@@ -39,16 +39,16 @@ def main():
             i: (lambda data: bool(data and data["verified"])) for i in range(3)
         },
     )
-    matches = list(
-        enumerate_subgraphs(graph, verified_triangle, node_data=node_data)
-    )
+    matches = list(enumerate_subgraphs(graph, verified_triangle, node_data=node_data))
     print(f"verified triangles (true): {len(matches)}")
     relation = subgraph_krelation(
         graph, verified_triangle, privacy="node", occurrences=matches
     )
     result = private_linear_query(relation, epsilon=1.0, node_privacy=True, rng=1)
-    print(f"node-DP released count:    {result.answer:.1f} "
-          f"(error {result.relative_error:.2%})\n")
+    print(
+        f"node-DP released count:    {result.answer:.1f} "
+        f"(error {result.relative_error:.2%})\n"
+    )
 
     # Pattern 2: 2-stars centered at an admin (pattern node 0 is the center)
     admin_star = Pattern(
@@ -62,8 +62,10 @@ def main():
         graph, admin_star, privacy="edge", occurrences=matches
     )
     result = private_linear_query(relation, epsilon=1.0, rng=2)
-    print(f"edge-DP released count:        {result.answer:.1f} "
-          f"(error {result.relative_error:.2%})")
+    print(
+        f"edge-DP released count:        {result.answer:.1f} "
+        f"(error {result.relative_error:.2%})"
+    )
     print(
         "\nNo prior work supports such constraints: the local-sensitivity\n"
         "baselines are hard-wired to unconstrained k-stars/k-triangles."

@@ -31,36 +31,46 @@ def main():
         before = s.query("triangle", privacy="node", epsilon=0.5)
         print(f"v{s.graph_version}: triangle/node answer {before.answer:.2f}")
 
-        outcome = s.apply_update([
-            {"action": "add_edge", "u": 0, "v": 1},
-            {"action": "add_edge", "u": 1, "v": 2},
-            {"action": "remove_node", "node": 9},
-        ])
+        outcome = s.apply_update(
+            [
+                {"action": "add_edge", "u": 0, "v": 1},
+                {"action": "add_edge", "u": 1, "v": 2},
+                {"action": "remove_node", "node": 9},
+            ]
+        )
         print(f"applied {outcome.applied} deltas -> version {outcome.version}")
 
         after = s.query("triangle", privacy="node", epsilon=0.5)
         print(f"v{s.graph_version}: triangle/node answer {after.answer:.2f}")
         warm = s.query("triangle", privacy="node", epsilon=0.5)
         info = s.cache_info()
-        print(f"cache: {info.hits} hits / {info.misses} misses "
-              f"(same-version repeat stayed warm: {warm.answer:.2f})")
+        print(
+            f"cache: {info.hits} hits / {info.misses} misses "
+            f"(same-version repeat stayed warm: {warm.answer:.2f})"
+        )
 
         assert s.verify_ledger(), "replay must verify across mutations"
         print("audit replay verified every answer at its own version")
         maintenance = graph.maintainer.info()
         for row in maintenance:
-            print(f"  maintained {row['pattern']}: {row['occurrences']} "
-                  f"occurrences, {row['deltas_applied']} deltas, "
-                  f"{row['rebuilds']} rebuilds")
+            print(
+                f"  maintained {row['pattern']}: {row['occurrences']} "
+                f"occurrences, {row['deltas_applied']} deltas, "
+                f"{row['rebuilds']} rebuilds"
+            )
 
     # 4: the same updates over the wire, admin-gated by a token.
     graph2 = VersionedGraph(random_graph_with_avg_degree(50, 6, rng=13))
     session = PrivateSession(
-        graph2, rng=7, accountant=HierarchicalAccountant(3.0),
-        cache=SharedCompiledCache(maxsize=16), name="dynamic-wire",
+        graph2,
+        rng=7,
+        accountant=HierarchicalAccountant(3.0),
+        cache=SharedCompiledCache(maxsize=16),
+        name="dynamic-wire",
     )
-    with BackgroundService(session, seed=2026, updates=True,
-                           update_token="demo-token") as bg:
+    with BackgroundService(
+        session, seed=2026, updates=True, update_token="demo-token"
+    ) as bg:
         with ServiceClient(bg.address, user="alice") as client:
             first = client.query("triangle", epsilon=0.5, privacy="node")
             print(f"wire v{first['version']}: answer {first['answer']:.2f}")
@@ -68,14 +78,19 @@ def main():
                 [{"action": "add_edge", "u": 0, "v": 1}], token="demo-token"
             )
             second = client.query("triangle", epsilon=0.5, privacy="node")
-            print(f"wire v{second['version']}: answer {second['answer']:.2f} "
-                  f"(update took the graph to version {outcome['version']})")
+            print(
+                f"wire v{second['version']}: answer {second['answer']:.2f} "
+                f"(update took the graph to version {outcome['version']})"
+            )
             audit = client.audit(replay=True)
-            released = [e for e in audit["entries"]
-                        if e["entry"]["status"] == "released"]
+            released = [
+                e for e in audit["entries"] if e["entry"]["status"] == "released"
+            ]
             assert all(e["matches"] for e in released)
-            print(f"wire audit: {audit['count']} entries, "
-                  f"{audit['matched']} replay-verified")
+            print(
+                f"wire audit: {audit['count']} entries, "
+                f"{audit['matched']} replay-verified"
+            )
     session.close()
 
 

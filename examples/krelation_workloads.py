@@ -28,7 +28,10 @@ def main():
     epsilon, trials = 0.5, 15
     params = RecursiveMechanismParams.paper(epsilon)
     rows = []
-    for kind, generate in (("3-DNF", random_dnf_krelation), ("3-CNF", random_cnf_krelation)):
+    for kind, generate in (
+        ("3-DNF", random_dnf_krelation),
+        ("3-CNF", random_cnf_krelation),
+    ):
         for clauses in (1, 3, 6):
             relation = generate(150, clauses, rng=17)
             # bounding="paper" matches the paper's Fig. 8 mechanism; the
@@ -49,11 +52,13 @@ def main():
                     "US/(eps*q)": us / (epsilon * mechanism.true_answer()),
                 }
             )
-    print(format_table(
-        rows,
-        ["kind", "clauses", "true", "median_rel_error", "US/(eps*q)"],
-        title="counting query on random K-relations (error tracks ~US/eps)",
-    ))
+    print(
+        format_table(
+            rows,
+            ["kind", "clauses", "true", "median_rel_error", "US/(eps*q)"],
+            title="counting query on random K-relations (error tracks ~US/eps)",
+        )
+    )
 
     # A weighted query: each tuple carries a monetary value to aggregate.
     relation = random_dnf_krelation(120, 3, rng=23)
@@ -62,8 +67,10 @@ def main():
     mechanism = EfficientRecursiveMechanism(relation, query=query, bounding="paper")
     result = mechanism.run(params, rng=4)
     print(f"\nweighted sum (true):    {result.true_answer:.1f}")
-    print(f"weighted sum (eps-DP):  {result.answer:.1f} "
-          f"(error {result.relative_error:.2%})")
+    print(
+        f"weighted sum (eps-DP):  {result.answer:.1f} "
+        f"(error {result.relative_error:.2%})"
+    )
 
 
 if __name__ == "__main__":

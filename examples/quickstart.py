@@ -29,7 +29,10 @@ def main():
     print(f"true triangle count:      {result.true_answer:.0f}")
     print(f"node-DP released count:   {result.answer:.1f}")
     print(f"relative error:           {result.relative_error:.2%}")
-    print(f"privacy guarantee:        {result.params.epsilon:.2f}-differential privacy (node)")
+    print(
+        f"privacy guarantee:        "
+        f"{result.params.epsilon:.2f}-differential privacy (node)"
+    )
 
     # Edge privacy is weaker but more accurate — the trade-off is the
     # user's choice (Sec. 1.1 of the paper).
@@ -46,8 +49,10 @@ def main():
     result_tight = private_subgraph_count(
         graph, triangle(), privacy="node", params=params, rng=7
     )
-    print(f"\nwith eps=0.5 (custom):    {result_tight.answer:.1f} "
-          f"(error {result_tight.relative_error:.2%})")
+    print(
+        f"\nwith eps=0.5 (custom):    {result_tight.answer:.1f} "
+        f"(error {result_tight.relative_error:.2%})"
+    )
 
 
 if __name__ == "__main__":

@@ -34,13 +34,16 @@ def main():
     # 1-2: a multi-tenant session: global cap 3.0, each tenant gets 1.0
     accountant = HierarchicalAccountant(3.0, default_user_budget=1.0)
     cache = SharedCompiledCache(maxsize=32)
-    session = PrivateSession(graph, rng=7, accountant=accountant,
-                             cache=cache, name="network-demo")
+    session = PrivateSession(
+        graph, rng=7, accountant=accountant, cache=cache, name="network-demo"
+    )
 
     with BackgroundService(session, seed=2026) as bg:
         host, port = bg.address
-        print(f"serving {graph.num_nodes}-node graph on {host}:{port} "
-              f"(global eps=3.0, per-user eps=1.0)\n")
+        print(
+            f"serving {graph.num_nodes}-node graph on {host}:{port} "
+            f"(global eps=3.0, per-user eps=1.0)\n"
+        )
 
         # two tenants, two independent connections
         alice = ServiceClient(bg.address, user="alice")
@@ -58,29 +61,38 @@ def main():
             try:
                 result = client.query(query, epsilon=epsilon, privacy=privacy)
             except BudgetExhausted as error:
-                print(f"{user:6s} {query:9s} REFUSED "
-                      f"(tenant={error.user}): budget exhausted")
+                print(
+                    f"{user:6s} {query:9s} REFUSED "
+                    f"(tenant={error.user}): budget exhausted"
+                )
                 continue
-            print(f"{user:6s} {query:9s} released {result['answer']:10.1f} "
-                  f"(eps={epsilon}, cache_hit={result['cache_hit']})")
+            print(
+                f"{user:6s} {query:9s} released {result['answer']:10.1f} "
+                f"(eps={epsilon}, cache_hit={result['cache_hit']})"
+            )
 
         # 3: cross-tenant compiled-relation reuse
         info = cache.info()
-        print(f"\nshared compiled-relation cache: {info.hits} hits, "
-              f"{info.misses} misses, {info.size} entries")
+        print(
+            f"\nshared compiled-relation cache: {info.hits} hits, "
+            f"{info.misses} misses, {info.size} entries"
+        )
 
         # per-tenant accounting over the wire
         budget = alice.budget()
         print(f"global: spent eps={budget['spent']:g} of {budget['budget']:g}")
         for user, row in sorted(budget.get("users", {}).items()):
-            print(f"  {user}: spent={row['spent']:g}, "
-                  f"remaining={row['remaining']:g}")
+            print(
+                f"  {user}: spent={row['spent']:g}, " f"remaining={row['remaining']:g}"
+            )
 
         # 4: the streamed audit log replays every release bit-for-bit
         audit = alice.audit(replay=True)
-        print(f"\naudit replay over the wire: {audit['matched']}/"
-              f"{audit['count']} entries reproduced bit-for-bit -> "
-              f"{'PASS' if audit['matched'] == audit['count'] else 'FAIL'}")
+        print(
+            f"\naudit replay over the wire: {audit['matched']}/"
+            f"{audit['count']} entries reproduced bit-for-bit -> "
+            f"{'PASS' if audit['matched'] == audit['count'] else 'FAIL'}"
+        )
 
         alice.close()
         bob.close()

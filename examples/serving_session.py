@@ -24,8 +24,10 @@ from repro.session import BudgetExhausted
 def main():
     graph = random_graph_with_avg_degree(60, 7, rng=31)
     session = PrivateSession(graph, budget=2.5, rng=7, name="serving-demo")
-    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
-          f"budget eps = {session.budget}\n")
+    print(
+        f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+        f"budget eps = {session.budget}\n"
+    )
 
     # 1-2: a query stream — repeats are answered from the compiled cache
     workload = [
@@ -38,39 +40,52 @@ def main():
     ]
     for label, query, privacy, mechanism, epsilon in workload:
         try:
-            result = session.query(query, privacy=privacy, epsilon=epsilon,
-                                   mechanism=mechanism, label=label)
+            result = session.query(
+                query,
+                privacy=privacy,
+                epsilon=epsilon,
+                mechanism=mechanism,
+                label=label,
+            )
         except BudgetExhausted as error:
             print(f"{label:22s} REFUSED: {error}")
             continue
-        print(f"{label:22s} released {result.answer:10.1f}  "
-              f"(true {result.true_answer:7.0f}, eps={epsilon})")
+        print(
+            f"{label:22s} released {result.answer:10.1f}  "
+            f"(true {result.true_answer:7.0f}, eps={epsilon})"
+        )
 
     info = session.cache_info()
-    print(f"\ncompiled-relation cache: {info.hits} hits, "
-          f"{info.misses} misses, {info.size} entries")
-    print(f"budget: spent eps={session.spent:g}, "
-          f"remaining {session.remaining:g}")
+    print(
+        f"\ncompiled-relation cache: {info.hits} hits, "
+        f"{info.misses} misses, {info.size} entries"
+    )
+    print(f"budget: spent eps={session.spent:g}, " f"remaining {session.remaining:g}")
 
     # 5: replay the audit log and verify the released answers
     replayed = session.replay()
     matches = sum(1 for record in replayed if record.matches)
-    print(f"audit replay: {matches}/{len(replayed)} ledger entries "
-          f"reproduced bit-for-bit -> "
-          f"{'PASS' if session.verify_ledger() else 'FAIL'}")
+    print(
+        f"audit replay: {matches}/{len(replayed)} ledger entries "
+        f"reproduced bit-for-bit -> "
+        f"{'PASS' if session.verify_ledger() else 'FAIL'}"
+    )
     session.close()
 
     # 4: the same stream as futures over a shared worker pool
     with PrivateSession(graph, budget=2.0, workers=2, rng=7) as fanout:
         futures = [
-            fanout.submit(triangle(), privacy="edge", epsilon=0.25,
-                          label=f"concurrent-{i}")
+            fanout.submit(
+                triangle(), privacy="edge", epsilon=0.25, label=f"concurrent-{i}"
+            )
             for i in range(8)
         ]
         answers = [f.result().answer for f in futures]
     spread = max(answers) - min(answers)
-    print(f"\nconcurrent fan-out: {len(answers)} releases, "
-          f"answers in [{min(answers):.1f}, {min(answers) + spread:.1f}]")
+    print(
+        f"\nconcurrent fan-out: {len(answers)} releases, "
+        f"answers in [{min(answers):.1f}, {min(answers) + spread:.1f}]"
+    )
 
 
 if __name__ == "__main__":

@@ -17,9 +17,9 @@ Run:  python examples/sql_common_friends.py
 """
 
 from repro import (
+    PROVENANCE,
     Join,
     KRelation,
-    PROVENANCE,
     Project,
     Rename,
     Select,
@@ -72,9 +72,7 @@ def main():
     participants = [f"v:{node}" for node in graph.nodes()]
     relation = SensitiveKRelation(participants, output).normalized()
 
-    result = private_linear_query(
-        relation, epsilon=1.0, node_privacy=True, rng=3
-    )
+    result = private_linear_query(relation, epsilon=1.0, node_privacy=True, rng=3)
     print(f"\ntrue answer:            {result.true_answer:.0f}")
     print(f"node-DP released count: {result.answer:.1f}")
     print(f"relative error:         {result.relative_error:.2%}")

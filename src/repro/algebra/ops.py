@@ -122,9 +122,7 @@ def rename(r: KRelation, mapping: Mapping[str, str]) -> KRelation:
     unknown = set(mapping) - set(r.attributes)
     if unknown:
         raise SchemaError(f"rename of unknown attributes {sorted(unknown)}")
-    out = KRelation(
-        frozenset(mapping.get(a, a) for a in r.attributes), r.semiring
-    )
+    out = KRelation(frozenset(mapping.get(a, a) for a in r.attributes), r.semiring)
     for tup, annotation in r.items():
         out.add(tup.rename(mapping), annotation)
     return out

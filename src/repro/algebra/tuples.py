@@ -71,7 +71,9 @@ class Tup(Mapping):
         attrs = frozenset(attrs)
         missing = attrs - self.attributes
         if missing:
-            raise SchemaError(f"cannot project onto missing attributes {sorted(missing)}")
+            raise SchemaError(
+                f"cannot project onto missing attributes {sorted(missing)}"
+            )
         return Tup({key: value for key, value in self._items if key in attrs})
 
     def compatible_with(self, other: "Tup") -> bool:
@@ -82,7 +84,9 @@ class Tup(Mapping):
     def merge(self, other: "Tup") -> "Tup":
         """Natural-join merge; requires :meth:`compatible_with`."""
         if not self.compatible_with(other):
-            raise SchemaError(f"tuples disagree on shared attributes: {self} vs {other}")
+            raise SchemaError(
+                f"tuples disagree on shared attributes: {self} vs {other}"
+            )
         data = dict(self._items)
         data.update(other._items)
         return Tup(data)

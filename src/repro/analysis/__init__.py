@@ -1,0 +1,49 @@
+"""AST-based static analysis for the repo's own invariants.
+
+The test suite pins the system's guarantees *by example* — audit-replay
+determinism, cross-backend byte-identity, fork-clean solver state,
+balanced budget holds.  This package pins the *patterns* behind those
+guarantees at lint time: a small rule framework (registry, per-file
+visitor dispatch, suppression pragmas, baseline) plus one rule per
+recurring hazard class, exposed as ``python -m repro lint``.
+
+>>> from repro.analysis import available
+>>> "rng-determinism" in available()
+True
+"""
+
+from . import rules as _rules  # noqa: F401  (populates the registry)
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .core import (
+    Finding,
+    LintReport,
+    Rule,
+    SourceModule,
+    all_rules,
+    available,
+    describe,
+    get,
+    iter_source_files,
+    lint_paths,
+    register,
+)
+from .reporting import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "available",
+    "describe",
+    "get",
+    "iter_source_files",
+    "lint_paths",
+    "register",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,105 @@
+"""The committed-findings baseline: grandfather, don't forget.
+
+A baseline file records findings that existed when a rule landed, so
+the lint gate can demand "no *new* findings" without requiring the
+whole backlog to be fixed in the same change.  Entries are keyed by
+:attr:`Finding.fingerprint` — ``(path, rule, stripped source line)`` —
+so they survive line-number drift but die with the offending line,
+and a *stale* entry (the finding no longer occurs) fails the run just
+like a new finding: the baseline must always describe the tree
+exactly.
+
+The file is JSON, sorted, and diff-friendly; regenerate it with
+``python -m repro lint src --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from ..errors import AnalysisError
+from .core import LintReport
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+#: Repo-root-relative default location.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> "Counter[Tuple[str, str, str]]":
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise AnalysisError(f"unreadable baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise AnalysisError(
+            f"baseline {path}: expected {{'version': {_VERSION}, " "'findings': [...]}}"
+        )
+    counts: "Counter[Tuple[str, str, str]]" = Counter()
+    for entry in payload.get("findings", []):
+        try:
+            key = (entry["path"], entry["rule"], entry["snippet"])
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as error:
+            raise AnalysisError(
+                f"baseline {path}: malformed entry {entry!r}"
+            ) from error
+        counts[key] += count
+    return counts
+
+
+def apply_baseline(report: LintReport, path: Path) -> None:
+    """Suppress baselined findings in place; record stale entries.
+
+    Each baseline entry absorbs at most its ``count`` matching active
+    findings; leftovers in either direction surface — extra findings
+    stay active, unconsumed entries land in ``report.stale_baseline``.
+    """
+    remaining = load_baseline(path)
+    for finding in report.findings:
+        if finding.suppressed:
+            continue
+        key = finding.fingerprint
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding.suppressed = True
+            finding.reason = f"baselined in {path.name}"
+            report.baselined += 1
+    report.stale_baseline = [
+        {"path": key[0], "rule": key[1], "snippet": key[2], "count": count}
+        for key, count in sorted(remaining.items())
+        if count > 0
+    ]
+
+
+def write_baseline(report: LintReport, path: Path) -> int:
+    """Write every active finding as the new baseline; returns entry count.
+
+    Pragma-suppressed findings are *not* baselined — they are already
+    explained at the source line.
+    """
+    counts: "Counter[Tuple[str, str, str]]" = Counter(
+        finding.fingerprint for finding in report.active
+    )
+    findings: List[dict] = [
+        {"path": key[0], "rule": key[1], "snippet": key[2], "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "findings": findings}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(findings)

@@ -1,0 +1,146 @@
+"""The ``repro lint`` subcommand.
+
+Thin argparse glue over :func:`repro.analysis.core.lint_paths`: collect
+paths, select rules, apply the committed baseline, render text or JSON,
+and turn the outcome into a process exit code — ``0`` clean, ``1`` any
+active finding or stale baseline entry, ``2`` bad usage.  The parser
+itself is declared here (not in :mod:`repro.cli`) so the analysis
+package stays self-contained; :mod:`repro.cli` just mounts it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional
+
+from ..errors import AnalysisError
+from . import rules as _rules  # noqa: F401  (imported to populate the registry)
+from .baseline import DEFAULT_BASELINE, apply_baseline, write_baseline
+from .core import describe, get, lint_paths
+from .corpus import explain_text
+from .reporting import render_json, render_text
+
+__all__ = ["configure_parser", "run"]
+
+
+def configure_parser(sub) -> None:
+    """Mount the ``lint`` subcommand on the CLI's subparsers object."""
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST-based invariant linter",
+        description=(
+            "Static checks for the invariants the test suite can only "
+            "probe by example: seeded randomness, sorted set iteration, "
+            "fork-reset enrollment, two-phase budget accounting, and a "
+            "non-blocking service event loop."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        dest="rules",
+        help="run only this rule (repeatable; default: all)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is the CI artifact)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE} when present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record every active finding as the new " "baseline and exit 0",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include pragma-suppressed findings in the " "text report",
+    )
+    lint.add_argument(
+        "--output", metavar="FILE", default=None, help="also write the report to FILE"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        default=None,
+        help="print a rule's rationale and its corpus " "examples, then exit",
+    )
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    print(text, end="" if text.endswith("\n") else "\n")
+    if output:
+        Path(output).write_text(
+            text if text.endswith("\n") else text + "\n", encoding="utf-8")
+
+
+def run(args) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns exit code."""
+    try:
+        return _run(args)
+    except AnalysisError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
+    if args.list_rules:
+        width = max(len(row["rule"]) for row in describe())
+        for row in describe():
+            print(f"{row['rule']:<{width}}  {row['title']}")
+        return 0
+    if args.explain:
+        rule_cls = get(args.explain)
+        print(explain_text(rule_cls.id, rule_cls.title, rule_cls.rationale), end="")
+        return 0
+    if args.rules:
+        for rule_id in args.rules:
+            get(rule_id)  # fail fast with the available list
+    report = lint_paths(
+        [Path(p) for p in args.paths], rules=args.rules, root=Path.cwd()
+    )
+
+    if args.write_baseline:
+        path = Path(args.baseline or DEFAULT_BASELINE)
+        entries = write_baseline(report, path)
+        print(
+            f"wrote {entries} baseline entr"
+            f"{'ies' if entries != 1 else 'y'} to {path}"
+        )
+        return 0
+
+    if not args.no_baseline:
+        path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+        if args.baseline or path.exists():
+            apply_baseline(report, path)
+
+    if args.format == "json":
+        _emit(render_json(report), args.output)
+    else:
+        _emit(render_text(report, show_suppressed=args.show_suppressed), args.output)
+    failed = bool(report.active) or bool(report.stale_baseline)
+    return 1 if failed else 0

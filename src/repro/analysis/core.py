@@ -1,0 +1,430 @@
+"""AST-based invariant linting: findings, pragmas, the rule registry.
+
+The privacy guarantees of this codebase rest on conventions no type
+checker sees: released answers must be byte-identical at a fixed seed,
+native solver handles must never cross a fork unreset, and every budget
+``reserve()`` must reach ``commit()`` or ``rollback()`` on every path.
+This module is the chassis those rules plug into:
+
+* :class:`Finding` — one diagnostic, with a source-line fingerprint that
+  survives line-number drift (the baseline layer keys on it);
+* :class:`SourceModule` — a parsed file plus the import-alias map (so
+  rules match ``np.random.default_rng`` however numpy was imported) and
+  the ``# repro: allow(rule-id) — reason`` suppression pragmas;
+* :class:`Rule` and :func:`register` / :func:`get` / :func:`available` —
+  the registry, mirroring :mod:`repro.mechanisms.base`;
+* :func:`lint_paths` — the driver: collect files, run rules, apply
+  pragmas, and return a :class:`LintReport`.
+
+Pragmas suppress a finding on the same physical line, or on the line
+directly below a standalone pragma comment.  Every pragma must carry a
+reason (it doubles as documentation of the deliberate exception); the
+``pragma`` meta-rule flags unknown rule ids, missing reasons, and
+pragmas that no longer suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "Finding",
+    "Pragma",
+    "SourceModule",
+    "Rule",
+    "LintReport",
+    "register",
+    "get",
+    "available",
+    "describe",
+    "all_rules",
+    "iter_source_files",
+    "lint_paths",
+    "PARSE_RULE_ID",
+]
+
+#: Pseudo-rule id for files the parser rejects (not in the registry).
+PARSE_RULE_ID = "parse-error"
+
+#: Matches ``repro: allow(rule-id[, rule-id]) — reason`` in a comment
+#: (em/en dash, ``:`` or ``--`` all accepted as the reason separator);
+#: the reason runs to the end of the comment or the next ``#``.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[^)]*?)\s*\)"
+    r"(?:\s*(?:—|–|--|:|-)\s*(?P<reason>[^#]*?))?\s*(?:#.*)?$"
+)
+
+
+@dataclass
+class Finding:
+    """One diagnostic from one rule at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable under line-number drift.
+
+        Keyed on the *stripped source line*, not the line number, so
+        edits elsewhere in the file don't invalidate baseline entries.
+        """
+        return (self.path, self.rule, self.snippet)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping with every reported field."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+    def location(self) -> str:
+        """``path:line:col`` anchor used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow(...)`` suppression comment."""
+
+    line: int            #: physical line the comment sits on (1-based)
+    target: int          #: line whose findings it suppresses
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def _parse_pragmas(text: str, lines: Sequence[str]) -> List[Pragma]:
+    """All pragmas in a file, each bound to the line it suppresses.
+
+    Only real ``COMMENT`` tokens count (pragma syntax quoted inside a
+    docstring is documentation, not a suppression).  A pragma trailing
+    code suppresses its own line; a pragma that *is* the whole line
+    suppresses the next code line (continuation comments — the rest of
+    a multi-line reason — and blank lines are skipped over).
+    """
+    pragmas = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # ast already vetted it
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        row, col = token.start
+        rules = tuple(
+            name.strip() for name in match.group("rules").split(",") if name.strip()
+        )
+        standalone = not lines[row - 1][:col].strip()
+        target = row
+        if standalone:
+            target = row + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+        pragmas.append(
+            Pragma(
+                line=row,
+                target=target,
+                rules=rules,
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+    return pragmas
+
+
+class SourceModule:
+    """One parsed source file, ready for rules to inspect.
+
+    ``path`` is the display path (repo-root-relative, forward slashes);
+    rules use it to scope checks (e.g. fork calls outside
+    ``repro/parallel/``).  Raises :class:`SyntaxError` if the file does
+    not parse — the driver turns that into a ``parse-error`` finding.
+    """
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.AST = ast.parse(text, filename=path)
+        self.pragmas: List[Pragma] = _parse_pragmas(text, self.lines)
+        self._pragma_index: Dict[int, List[Pragma]] = {}
+        for pragma in self.pragmas:
+            self._pragma_index.setdefault(pragma.target, []).append(pragma)
+        self.aliases = self._collect_aliases()
+
+    # -- import-alias resolution ------------------------------------
+
+    def _collect_aliases(self) -> Dict[str, str]:
+        """Map local names to the dotted names they were imported as.
+
+        ``import numpy as np`` → ``{"np": "numpy"}``;
+        ``from numpy import random as npr`` → ``{"npr": "numpy.random"}``;
+        relative imports are normalized by stripping the leading dots
+        (``from ..parallel.pool import register_fork_reset`` resolves the
+        local name to ``parallel.pool.register_fork_reset``).
+        """
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".", 1)[0]
+                    target = item.name if item.asname else local
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = (node.module or "").lstrip(".")
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    local = item.asname or item.name
+                    aliases[local] = (f"{base}.{item.name}" if base else item.name)
+        return aliases
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted name of an expression, with the root alias expanded.
+
+        Returns ``""`` for anything that is not a plain dotted chain
+        (subscripts, calls, literals).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return ""
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def call_name(self, call: ast.Call) -> str:
+        """Resolved dotted name of a call's target (``""`` if opaque)."""
+        return self.qualname(call.func)
+
+    # -- findings and suppression ------------------------------------
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s source line."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.lines):
+            snippet = self.lines[line - 1].strip()
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+        )
+
+    def suppress(self, finding: Finding) -> bool:
+        """Apply any matching pragma; returns True when suppressed."""
+        for pragma in self._pragma_index.get(finding.line, ()):
+            if finding.rule in pragma.rules:
+                pragma.used = True
+                finding.suppressed = True
+                finding.reason = pragma.reason
+                return True
+        return False
+
+
+class Rule:
+    """Base class of every registered lint rule.
+
+    Subclasses set :attr:`id`, :attr:`title`, and :attr:`rationale`, and
+    implement :meth:`check`.  :meth:`post_check` runs after every
+    selected rule's findings have been collected and pragma-matched —
+    the hook the ``pragma`` meta-rule uses to spot unused suppressions.
+    """
+
+    #: Registry key (e.g. ``"rng-determinism"``).
+    id: str = ""
+    #: One-line summary for tables and ``--list-rules``.
+    title: str = ""
+    #: Why the invariant matters — printed by ``--explain``.
+    rationale: str = ""
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def post_check(self, module: SourceModule, full_run: bool) -> Iterable[Finding]:
+        """Second pass after suppression; ``full_run`` is True when every
+        registered rule ran (so pragma usage is fully known)."""
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a :class:`Rule` to the registry."""
+    if not cls.id:
+        raise AnalysisError(f"rule class {cls.__name__} has no id")
+    existing = _REGISTRY.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise AnalysisError(
+            f"rule id {cls.id!r} already registered to {existing.__name__}"
+        )
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def get(rule_id: str) -> Type[Rule]:
+    """Look up a rule class by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {rule_id!r}; available: {', '.join(available())}"
+        ) from None
+
+
+def available() -> Tuple[str, ...]:
+    """Sorted registered rule ids."""
+    return tuple(sorted(_REGISTRY))
+
+
+def describe() -> List[Dict[str, str]]:
+    """One row per registered rule (for ``--list-rules``, docs)."""
+    return [
+        {"rule": rule_id, "title": _REGISTRY[rule_id].title} for rule_id in available()
+    ]
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [_REGISTRY[rule_id]() for rule_id in available()]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: Tuple[str, ...] = ()
+    #: Baseline bookkeeping, filled in by :mod:`repro.analysis.baseline`.
+    baselined: int = 0
+    stale_baseline: List[dict] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that are neither suppressed nor baselined."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def sort(self) -> None:
+        """Order findings by location for stable reports."""
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def iter_source_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories to a sorted list of ``*.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" or path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    seen = set()
+    unique = []
+    for item in files:
+        if item not in seen:
+            seen.add(item)
+            unique.append(item)
+    return unique
+
+
+def display_path(path: Path, root: Optional[Path] = None) -> str:
+    """Repo-root-relative forward-slash path for reports and baselines."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Run the selected rules over every Python file under ``paths``.
+
+    ``rules=None`` runs the full registry (and therefore enables the
+    unused-pragma check); an explicit subset skips it, since pragma
+    usage is only meaningful when every rule had a chance to match.
+    """
+    if rules is None:
+        selected = all_rules()
+        full_run = True
+    else:
+        selected = [get(rule_id)() for rule_id in rules]
+        full_run = len({r.id for r in selected}) == len(available())
+    report = LintReport(rules=tuple(rule.id for rule in selected))
+    for file_path in iter_source_files([Path(p) for p in paths]):
+        report.files += 1
+        shown = display_path(file_path, root)
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise AnalysisError(f"cannot read {file_path}: {error}") from error
+        try:
+            module = SourceModule(shown, text)
+        except SyntaxError as error:
+            report.findings.append(
+                Finding(
+                    rule=PARSE_RULE_ID,
+                    path=shown,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        module_findings: List[Finding] = []
+        for rule in selected:
+            for finding in rule.check(module):
+                module.suppress(finding)
+                module_findings.append(finding)
+        for rule in selected:
+            for finding in rule.post_check(module, full_run):
+                module_findings.append(finding)
+        report.findings.extend(module_findings)
+    report.sort()
+    return report

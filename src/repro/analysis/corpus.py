@@ -1,0 +1,96 @@
+"""The example corpus shared by the self-tests and ``--explain``.
+
+``tests/corpus/<rule-id>/bad.py`` holds minimal true positives — every
+line a rule must flag carries an ``# expect: <rule-id>`` marker — and
+``good.py`` holds the near-miss negatives the rule must stay silent
+on.  :mod:`tests.test_analysis` asserts flagged lines == marked lines,
+and ``repro lint --explain RULE-ID`` prints the same two files, so the
+documentation can never drift from what the tests enforce.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "corpus_root",
+    "corpus_files",
+    "expected_lines",
+    "explain_text",
+    "EXPECT_RE",
+]
+
+#: ``# expect: rule-id[, rule-id]`` marker on a line a rule must flag.
+EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>[\w,\s-]+?)\s*$")
+
+
+def corpus_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Locate ``tests/corpus`` from the source checkout, if present.
+
+    Walks up from this file (or ``start``) looking for a directory that
+    contains ``tests/corpus`` — robust to running from ``src/`` or an
+    installed location inside the repo; returns ``None`` outside one.
+    """
+    here = (start or Path(__file__)).resolve()
+    for parent in [here] + list(here.parents):
+        candidate = parent / "tests" / "corpus"
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
+def corpus_files(rule_id: str, root: Optional[Path] = None) -> Dict[str, Path]:
+    """``{"bad": ..., "good": ...}`` for one rule (existing files only)."""
+    base = root if root is not None else corpus_root()
+    files: Dict[str, Path] = {}
+    if base is None:
+        return files
+    for kind in ("bad", "good"):
+        path = base / rule_id / f"{kind}.py"
+        if path.is_file():
+            files[kind] = path
+    return files
+
+
+def expected_lines(path: Path) -> Dict[int, List[str]]:
+    """``{line: [rule ids]}`` from the ``# expect:`` markers in a file."""
+    expectations: Dict[int, List[str]] = {}
+    for index, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = EXPECT_RE.search(line)
+        if match:
+            expectations[index] = [
+                name.strip() for name in match.group("rules").split(",")
+                if name.strip()
+            ]
+    return expectations
+
+
+def explain_text(
+    rule_id: str, title: str, rationale: str, root: Optional[Path] = None
+) -> str:
+    """The ``--explain`` page: rationale plus the corpus examples."""
+    lines = [f"{rule_id}: {title}", "", rationale.strip(), ""]
+    files = corpus_files(rule_id, root)
+    if not files:
+        lines.append(
+            "(corpus examples unavailable: tests/corpus/ not found "
+            "relative to this installation)"
+        )
+        return "\n".join(lines) + "\n"
+    headers = {
+        "bad": "Offending (each `# expect:` line is flagged):",
+        "good": "Fixed / near-miss (no findings):",
+    }
+    for kind in ("bad", "good"):
+        if kind not in files:
+            continue
+        lines.append(headers[kind])
+        lines.append("")
+        for text_line in files[kind].read_text(encoding="utf-8").splitlines():
+            lines.append(f"    {text_line}" if text_line else "")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,67 @@
+"""Text and JSON renderings of a :class:`~repro.analysis.core.LintReport`.
+
+The text form is for humans at a terminal (one ``path:line:col`` line
+per finding, grouped counts at the end); the JSON form is the CI
+artifact — stable keys, findings sorted, suppressed findings included
+but flagged, so a dashboard can diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """Human-readable report; active findings only unless asked."""
+    lines = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " [suppressed]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule}: " f"{finding.message}{marker}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+        if finding.suppressed and finding.reason:
+            lines.append(f"    reason: {finding.reason}")
+    active = report.active
+    summary = (
+        f"{report.files} file{'s' if report.files != 1 else ''} checked, "
+        f"{len(active)} finding{'s' if len(active) != 1 else ''}"
+    )
+    if report.suppressed:
+        summary += f" ({len(report.suppressed)} suppressed by pragma)"
+    if report.baselined:
+        summary += f" ({report.baselined} baselined)"
+    if report.stale_baseline:
+        plural = "ies" if len(report.stale_baseline) != 1 else "y"
+        summary += f", {len(report.stale_baseline)} stale baseline entr{plural}"
+        for entry in report.stale_baseline:
+            lines.append(
+                f"stale baseline entry: {entry['path']}: {entry['rule']}: "
+                f"{entry['snippet']!r} no longer occurs — remove it"
+            )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "files": report.files,
+        "rules": list(report.rules),
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": {
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+            "baselined": report.baselined,
+            "stale_baseline": len(report.stale_baseline),
+        },
+        "stale_baseline": report.stale_baseline,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,285 @@
+"""Rule: every ``accountant.reserve()`` must commit or roll back.
+
+The budget accountant is two-phase (:mod:`repro.session.accountant`): a
+``reserve()`` places a hold, and only ``commit(entry)`` or
+``rollback()`` releases it.  A code path that returns, raises, or falls
+off the end of the function while a :class:`Reservation` is still held
+leaks budget — the hold is never released, and every later query sees a
+smaller budget than the ledger can explain.
+
+The check is a conservative control-flow walk over each function that
+binds a local name to a ``*.reserve(...)`` call on an accountant-like
+receiver.  It tracks the name through ``if``/``try``/``finally``/loop
+structure and flags every explicit ``return`` / ``raise`` — and the
+function's fall-through exit — reachable while the reservation is held.
+Exception handlers are entered pessimistically (the exception may have
+fired before the resolving call), which is exactly why the canonical
+pattern rolls back in ``except BaseException`` before re-raising.
+Passing the reservation to another function, storing it on an object,
+or returning it transfers ownership and ends tracking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import Finding, Rule, SourceModule, register
+
+__all__ = ["TwoPhaseAccountingRule"]
+
+_HELD = "held"
+_RESOLVED = "resolved"
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _reserve_target(stmt: ast.stmt, module: SourceModule) -> Optional[str]:
+    """Local name bound to an accountant ``reserve()`` call, if any."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    for call in ast.walk(stmt.value):
+        if _is_reserve_call(call, module):
+            return target.id
+    return None
+
+
+def _is_reserve_call(node: ast.AST, module: SourceModule) -> bool:
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "reserve"):
+        return False
+    receiver = module.qualname(node.func.value).lower()
+    return "accountant" in receiver or receiver.endswith("acct")
+
+
+def _resolutions(node: ast.AST, tracked: Set[str]) -> Set[str]:
+    """Tracked names resolved by a ``commit``/``rollback`` call in ``node``."""
+    resolved = set()
+    for call in ast.walk(node):
+        if (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("commit", "rollback")
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in tracked):
+            resolved.add(call.func.value.id)
+    return resolved
+
+
+def _escapes(node: ast.AST, tracked: Set[str]) -> Set[str]:
+    """Tracked names whose value leaves this function's custody here.
+
+    Any load of the name that is not a plain ``name.attr`` receiver —
+    an argument position, a return value, a container element, a
+    closure capture — hands the reservation to code we cannot see, so
+    tracking stops (conservatively assuming the recipient resolves it).
+    """
+    receiver_loads = set()
+    for attr in ast.walk(node):
+        if isinstance(attr, ast.Attribute) and isinstance(attr.value, ast.Name):
+            receiver_loads.add(id(attr.value))
+    escaped = set()
+    for name in ast.walk(node):
+        if (isinstance(name, ast.Name) and name.id in tracked
+                and isinstance(name.ctx, ast.Load)
+                and id(name) not in receiver_loads):
+            escaped.add(name.id)
+    return escaped
+
+
+class _FunctionWalk:
+    """One function's reservation-liveness walk."""
+
+    def __init__(self, rule_id: str, module: SourceModule, func: ast.AST):
+        self.rule_id = rule_id
+        self.module = module
+        self.func = func
+        self.anchors: Dict[str, ast.AST] = {}
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[int, str]] = set()
+
+    def run(self) -> List[Finding]:
+        body = list(self.func.body)
+        end_states = self._walk(body, [{}])
+        for state in end_states:
+            for var, status in state.items():
+                if status == _HELD:
+                    self._flag(
+                        self.anchors[var],
+                        f"reservation {var!r} may reach the end of "
+                        f"{self.func.name}() without commit() or "
+                        "rollback()",
+                    )
+        return self.findings
+
+    # -- state plumbing ----------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        key = (getattr(node, "lineno", 0), message)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.findings.append(self.module.finding(self.rule_id, node, message))
+
+    def _held_vars(self, state: Dict[str, str]) -> List[str]:
+        return [var for var, status in state.items() if status == _HELD]
+
+    def _apply_simple(self, stmt: ast.stmt, state: Dict[str, str]) -> None:
+        """Effects of a non-branching statement on one state."""
+        tracked = set(state)
+        for var in _resolutions(stmt, tracked):
+            state[var] = _RESOLVED
+        for var in _escapes(stmt, tracked):
+            if state[var] == _HELD:
+                state[var] = _RESOLVED
+        var = _reserve_target(stmt, self.module)
+        if var is not None:
+            if state.get(var) == _HELD:
+                self._flag(
+                    stmt,
+                    f"reservation {var!r} re-bound while still held",
+                )
+            state[var] = _HELD
+            self.anchors[var] = stmt
+
+    def _walk(
+        self, stmts: List[ast.stmt], states: List[Dict[str, str]]
+    ) -> List[Dict[str, str]]:
+        for stmt in stmts:
+            states = self._step(stmt, states)
+            if not states:
+                break
+        return self._dedupe(states)
+
+    def _dedupe(self, states: List[Dict[str, str]]) -> List[Dict[str, str]]:
+        unique: List[Dict[str, str]] = []
+        seen = set()
+        for state in states:
+            key = tuple(sorted(state.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(state)
+        return unique
+
+    def _step(
+        self, stmt: ast.stmt, states: List[Dict[str, str]]
+    ) -> List[Dict[str, str]]:
+        if isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+            # A nested scope: closure capture counts as an escape.
+            for state in states:
+                for var in _escapes(stmt, set(state)):
+                    state[var] = _RESOLVED
+            return states
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            for state in states:
+                self._apply_simple(stmt, state)
+                for var in self._held_vars(state):
+                    kind = ("return" if isinstance(stmt, ast.Return) else "raise")
+                    self._flag(
+                        stmt,
+                        f"{kind} leaks reservation {var!r}: neither "
+                        "commit() nor rollback() ran on this path",
+                    )
+            return []
+        if isinstance(stmt, ast.If):
+            out: List[Dict[str, str]] = []
+            for state in states:
+                out.extend(self._walk(list(stmt.body), [dict(state)]))
+                out.extend(self._walk(list(stmt.orelse), [dict(state)]))
+            return out
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            out = [dict(state) for state in states]  # zero iterations
+            for state in states:
+                out.extend(self._walk(list(stmt.body), [dict(state)]))
+            if stmt.orelse:
+                out = self._walk(list(stmt.orelse), out)
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for state in states:
+                for item in stmt.items:
+                    self._apply_item(item, state)
+            return self._walk(list(stmt.body), states)
+        if isinstance(stmt, ast.Try):
+            return self._step_try(stmt, states)
+        for state in states:
+            self._apply_simple(stmt, state)
+        return states
+
+    def _apply_item(self, item: ast.withitem, state: Dict[str, str]) -> None:
+        tracked = set(state)
+        for var in _resolutions(item.context_expr, tracked):
+            state[var] = _RESOLVED
+        for var in _escapes(item.context_expr, tracked):
+            if state[var] == _HELD:
+                state[var] = _RESOLVED
+
+    def _step_try(
+        self, stmt: ast.Try, states: List[Dict[str, str]]
+    ) -> List[Dict[str, str]]:
+        entry = [dict(state) for state in states]
+        body_out = self._walk(list(stmt.body), [dict(s) for s in states])
+        # The exception may fire at any point in the body: a handler is
+        # entered with every reservation acquired-or-held so far still
+        # pessimistically held.
+        handler_entry: Dict[str, str] = {}
+        for state in entry:
+            for var, status in state.items():
+                if status == _HELD or handler_entry.get(var) == _HELD:
+                    handler_entry[var] = _HELD
+                else:
+                    handler_entry.setdefault(var, status)
+        for body_stmt in stmt.body:
+            for node in ast.walk(body_stmt):
+                if isinstance(node, ast.stmt):
+                    var = _reserve_target(node, self.module)
+                    if var is not None:
+                        handler_entry[var] = _HELD
+                        self.anchors.setdefault(var, node)
+        handler_out: List[Dict[str, str]] = []
+        for handler in stmt.handlers:
+            handler_out.extend(self._walk(list(handler.body), [dict(handler_entry)]))
+        if stmt.orelse:
+            body_out = self._walk(list(stmt.orelse), body_out)
+        out = body_out + handler_out
+        if stmt.finalbody:
+            fin_out: List[Dict[str, str]] = []
+            for state in self._dedupe(out) or [{}]:
+                fin_out.extend(self._walk(list(stmt.finalbody), [dict(state)]))
+            out = fin_out
+        return out
+
+
+@register
+class TwoPhaseAccountingRule(Rule):
+    """CFG walk: every ``reserve()`` must commit or roll back."""
+
+    id = "budget-two-phase"
+    title = "reserve() must reach commit() or rollback() on every path"
+    rationale = (
+        "BudgetAccountant.reserve() places a hold that only "
+        "commit(entry) or rollback() releases; a path that returns or "
+        "raises with the Reservation still held leaks budget — later "
+        "queries are refused against spend no ledger entry explains.  "
+        "The canonical shape is: reserve, try the work, rollback-and-"
+        "reraise in `except BaseException`, then commit with the ledger "
+        "entry.  Exception handlers are analyzed pessimistically (the "
+        "exception may predate your resolving call), so resolve before "
+        "re-raising."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            reserves = any(
+                _reserve_target(stmt, module) is not None
+                for stmt in ast.walk(node)
+                if isinstance(stmt, ast.stmt)
+            )
+            if not reserves:
+                continue
+            walk = _FunctionWalk(self.id, module, node)
+            for finding in walk.run():
+                yield finding

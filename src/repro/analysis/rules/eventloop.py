@@ -1,0 +1,150 @@
+"""Rule: no blocking calls inside ``async def`` bodies.
+
+The serving layer (:mod:`repro.service`) is a single asyncio event loop
+multiplexing every connected tenant; one synchronous stall — a
+``time.sleep``, a blocking ``queue.get()`` / ``future.result()``, raw
+socket or file I/O, a subprocess wait, or a direct ``solve_arrays``
+LP solve — freezes all of them at once, and the backpressure tests
+read that as the service being down.  Blocking work belongs in
+``session.submit(...)`` (the worker pool) or
+``loop.run_in_executor(...)``; pauses are ``await asyncio.sleep(...)``.
+
+The check flags calls lexically inside an ``async def`` (nested
+synchronous ``def`` bodies are exempt — those run in executors).  The
+zero-argument restriction on ``.get()`` / ``.wait()`` keeps
+``dict.get(key)`` and ``asyncio.wait(tasks)`` silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..core import Finding, Rule, SourceModule, register
+
+__all__ = ["EventLoopRule"]
+
+#: Dotted call targets that always block the loop.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() stalls the event loop; "
+    "await asyncio.sleep(...) instead",
+    "socket.socket": "raw sockets block the loop; use asyncio streams",
+    "socket.create_connection": "raw sockets block the loop; use "
+    "asyncio.open_connection(...)",
+    "subprocess.run": "subprocess waits block the loop; use "
+    "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_output": "subprocess waits block the loop; use "
+    "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_call": "subprocess waits block the loop; use "
+    "asyncio.create_subprocess_exec(...)",
+    "subprocess.call": "subprocess waits block the loop; use "
+    "asyncio.create_subprocess_exec(...)",
+    "os.system": "os.system() blocks the loop; use "
+    "asyncio.create_subprocess_exec(...)",
+    "urllib.request.urlopen": "synchronous HTTP blocks the loop",
+    "open": "synchronous file I/O blocks the loop; run it in an " "executor",
+    "input": "input() blocks the loop",
+}
+
+#: Zero-argument method calls that are blocking waits on every plausible
+#: receiver (dict.get/str.join-style uses always pass arguments).
+_BLOCKING_METHODS = {
+    "get": "a zero-argument .get() is a blocking queue read; "
+    "await the async queue, or run it in an executor",
+    "result": "future.result() blocks until completion; await an "
+    "asyncio future, or run it in an executor",
+    "wait": "a zero-argument .wait() blocks on an event; await the "
+    "asyncio equivalent",
+    "acquire": "a zero-argument .acquire() blocks on a lock; use "
+    "asyncio.Lock and await it",
+}
+
+#: Socket-style method calls that block regardless of arity.
+_BLOCKING_IO_METHODS = {"recv", "recv_into", "sendall"}
+
+
+@register
+class EventLoopRule(Rule):
+    """Flag blocking calls made directly inside ``async def`` bodies."""
+
+    id = "async-blocking"
+    title = "async def bodies must not make blocking calls"
+    rationale = (
+        "repro/service/ runs every tenant on one asyncio loop, so a "
+        "single blocking call — time.sleep, a bare queue .get() or "
+        "future .result(), sync socket/file I/O, or an inline "
+        "solve_arrays LP solve — stalls all connections and trips the "
+        "backpressure bound.  Route CPU/blocking work through "
+        "session.submit() or loop.run_in_executor(), and sleep with "
+        "await asyncio.sleep().  Nested sync helpers defined inside the "
+        "coroutine are exempt: they execute in the executor, not the "
+        "loop."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, node)
+
+    def _check_coroutine(
+        self, module: SourceModule, func: ast.AsyncFunctionDef
+    ) -> Iterable[Finding]:
+        for call in self._loop_calls(func):
+            name = module.call_name(call)
+            if name in _BLOCKING_CALLS:
+                yield module.finding(
+                    self.id,
+                    call,
+                    f"`{name}(...)` in async def {func.name}: "
+                    f"{_BLOCKING_CALLS[name]}",
+                )
+                continue
+            if name.endswith("solve_arrays") or (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "solve_arrays"):
+                yield module.finding(
+                    self.id,
+                    call,
+                    f"direct solve_arrays(...) in async def {func.name}: "
+                    "LP solves are CPU-bound — go through "
+                    "session.submit() or an executor",
+                )
+                continue
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            attr = call.func.attr
+            if attr in _BLOCKING_IO_METHODS:
+                yield module.finding(
+                    self.id,
+                    call,
+                    f"socket-style .{attr}(...) in async def "
+                    f"{func.name} blocks the loop; use asyncio streams",
+                )
+            elif attr in _BLOCKING_METHODS and not call.args and not call.keywords:
+                yield module.finding(
+                    self.id,
+                    call,
+                    f".{attr}() in async def {func.name}: "
+                    f"{_BLOCKING_METHODS[attr]}",
+                )
+
+    def _loop_calls(self, func: ast.AsyncFunctionDef) -> List[ast.Call]:
+        """Calls whose nearest enclosing function is this coroutine.
+
+        Calls that are the direct operand of ``await`` are exempt —
+        ``await queue.get()`` is the async-native pattern, not a block.
+        """
+        calls: List[ast.Call] = []
+        awaited: set = set()
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # a different execution context
+            if isinstance(node, ast.Await):
+                awaited.add(id(node.value))
+            if isinstance(node, ast.Call) and id(node) not in awaited:
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        calls.sort(key=lambda c: (c.lineno, c.col_offset))
+        return calls

@@ -1,0 +1,98 @@
+"""Rule: never iterate a set in an order-sensitive position unsorted.
+
+Occurrence lists, cache keys, wire frames, and LP row order all feed
+released (or pinned) bytes, so anything assembled by *iterating* a set
+must fix the order first — PR 5's equal-repr orientation bug was exactly
+this hazard.  The rule is syntactic: an expression that is visibly
+set-valued (a set literal/comprehension, a ``set()``/``frozenset()``
+call, a ``|  &  -  ^`` combination of one, or a ``.union(...)``-family
+method call) iterated by a ``for`` loop, a comprehension, or an
+order-preserving constructor (``list``/``tuple``/``enumerate``/``sum``)
+without an intervening ``sorted(...)``.
+
+Dict iteration is deliberately not flagged: Python dicts are
+insertion-ordered, and the codebase leans on that (ledgers, wire
+frames).  Membership tests, ``len``, ``min``/``max`` over sets are
+order-insensitive and stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, Rule, SourceModule, register
+
+__all__ = ["IterationOrderRule"]
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "sum"}
+
+
+def _is_set_expr(node: ast.AST, module: SourceModule) -> bool:
+    """Syntactically set-valued?  (No dataflow: names stay opaque.)"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = module.call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return (_is_set_expr(node.left, module) or _is_set_expr(node.right, module))
+    return False
+
+
+@register
+class IterationOrderRule(Rule):
+    """Flag set/dict iteration feeding ordered or released output."""
+
+    id = "iter-order"
+    title = "sets feeding ordered output must pass through sorted(...)"
+    rationale = (
+        "Set iteration order depends on hash seeding and insertion "
+        "history, so a set iterated into an occurrence list, cache key, "
+        "wire frame, or LP row order yields run-to-run different bytes — "
+        "the determinism tests only catch it when hashes happen to "
+        "collide differently.  Wrap the set in sorted(...) (or another "
+        "canonical-order step) before iterating.  Dicts are exempt: "
+        "they are insertion-ordered by construction."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, module):
+                    yield module.finding(
+                        self.id,
+                        node.iter,
+                        "for-loop over a set: iteration order is "
+                        "unspecified — wrap in sorted(...)",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter, module):
+                        yield module.finding(
+                            self.id,
+                            comp.iter,
+                            "comprehension over a set: iteration order is "
+                            "unspecified — wrap in sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                name = module.call_name(node)
+                if (
+                    name in _ORDERED_CONSUMERS and node.args and _is_set_expr(
+                        node.args[0], module
+                    )
+                ):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"`{name}(...)` materializes a set in hash order "
+                        "— wrap the set in sorted(...)",
+                    )

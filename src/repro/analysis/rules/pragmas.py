@@ -1,0 +1,84 @@
+"""Meta-rule: suppression pragmas must stay honest.
+
+A ``# repro: allow(rule-id) — reason`` pragma is a documented waiver of
+a real invariant, so the waiver itself is linted: the rule id must
+exist (else a typo silently suppresses nothing), the reason must be
+present (it is the documentation — and by repo convention it names the
+test that pins the invariant dynamically), and a pragma that no longer
+matches any finding must be deleted (else waivers outlive the hazard
+they excused).  The unused check only runs when every registered rule
+ran, since a ``--rule`` subset cannot know what the others would have
+matched.  Pragma findings are themselves unsuppressable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core import Finding, Rule, SourceModule, available, register
+
+__all__ = ["PragmaHygieneRule"]
+
+
+@register
+class PragmaHygieneRule(Rule):
+    """Meta-rule: suppression pragmas must be well-formed and earn their keep."""
+
+    id = "pragma"
+    title = "suppression pragmas must name a real rule, a reason, a finding"
+    rationale = (
+        "`# repro: allow(rule-id) — reason` waives a privacy-relevant "
+        "invariant, so the waiver is held to its own contract: the rule "
+        "id must be registered (a typo would suppress nothing, "
+        "silently), the reason is mandatory documentation (name the "
+        "test that pins the excepted behavior dynamically), and a "
+        "pragma matching no finding is stale and must go — otherwise "
+        "waivers outlive the hazards they excused."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for pragma in module.pragmas:
+            anchor = _Line(pragma.line)
+            if not pragma.rules:
+                yield module.finding(
+                    self.id,
+                    anchor,
+                    "pragma names no rule: use " "`# repro: allow(rule-id) — reason`",
+                )
+            for rule_id in pragma.rules:
+                if rule_id not in available():
+                    yield module.finding(
+                        self.id,
+                        anchor,
+                        f"pragma names unknown rule {rule_id!r}; "
+                        f"registered: {', '.join(available())}",
+                    )
+            if not pragma.reason:
+                yield module.finding(
+                    self.id,
+                    anchor,
+                    "pragma has no reason: every suppression must say "
+                    "why (and which test pins the invariant)",
+                )
+
+    def post_check(self, module: SourceModule, full_run: bool) -> Iterable[Finding]:
+        if not full_run:
+            return
+        for pragma in module.pragmas:
+            if pragma.rules and not pragma.used and all(
+                rule_id in available() for rule_id in pragma.rules
+            ):
+                yield module.finding(
+                    self.id,
+                    _Line(pragma.line),
+                    f"unused pragma: no {'/'.join(pragma.rules)} finding "
+                    f"on line {pragma.target} — delete it",
+                )
+
+
+class _Line:
+    """A bare line anchor for findings not tied to an AST node."""
+
+    def __init__(self, lineno: int):
+        self.lineno = lineno
+        self.col_offset = 0

@@ -56,9 +56,7 @@ class KarwaKTriangleMechanism:
             math.comb(a, self.k) + 2 * a * math.comb(max(a - 1, 0), self.k - 1)
         )
 
-    def run(
-        self, epsilon: float, delta: float, rng: RngLike = None
-    ) -> BaselineResult:
+    def run(self, epsilon: float, delta: float, rng: RngLike = None) -> BaselineResult:
         """One (ε,δ)-DP release of the k-triangle count."""
         if epsilon <= 0 or not 0 < delta < 1:
             raise PrivacyParameterError(

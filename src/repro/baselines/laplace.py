@@ -35,7 +35,9 @@ class GlobalSensitivityLaplace:
             )
         self.global_sensitivity = float(global_sensitivity)
 
-    def run(self, true_answer: float, epsilon: float, rng: RngLike = None) -> BaselineResult:
+    def run(
+        self, true_answer: float, epsilon: float, rng: RngLike = None
+    ) -> BaselineResult:
         """Release ``true_answer + Lap(GS/ε)`` (ε-DP for bounded GS)."""
         if epsilon <= 0:
             raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")

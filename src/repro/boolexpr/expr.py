@@ -159,7 +159,9 @@ class Var(Expr):
 
     def __init__(self, name: str):
         if not isinstance(name, str) or not name:
-            raise ExpressionError(f"variable name must be a non-empty str, got {name!r}")
+            raise ExpressionError(
+                f"variable name must be a non-empty str, got {name!r}"
+            )
         self.name = name
         self._hash = hash(("var", name))
 

@@ -86,9 +86,7 @@ def _expand_node(expr: Expr) -> List[Tuple[Expr, ...]]:
             child_clauses = _expand_node(child)
             if not child_clauses:
                 return []  # conjunct is FALSE
-            product = [
-                left + right for left in product for right in child_clauses
-            ]
+            product = [left + right for left in product for right in child_clauses]
             if len(product) > MAX_DNF_CLAUSES:
                 raise ExpressionError("DNF expansion exceeds MAX_DNF_CLAUSES")
         return product

@@ -160,191 +160,338 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     def add_lp_flags(command) -> None:
-        command.add_argument("--lp-backend", type=_lp_backend_arg,
-                             default=None, help=lp_backend_help)
-        command.add_argument("--lp-preferences", metavar="FILE", default=None,
-                             help=lp_preferences_help)
+        command.add_argument(
+            "--lp-backend", type=_lp_backend_arg, default=None, help=lp_backend_help
+        )
+        command.add_argument(
+            "--lp-preferences", metavar="FILE", default=None, help=lp_preferences_help
+        )
 
     count = sub.add_parser("count", help="private subgraph count")
-    count.add_argument("--workers", type=_workers_arg, default=None,
-                       help=workers_help)
+    count.add_argument("--workers", type=_workers_arg, default=None, help=workers_help)
     add_lp_flags(count)
-    count.add_argument("--query", default="triangle",
-                       help="triangle | K-star | K-triangle (e.g. 2-star)")
+    count.add_argument(
+        "--query",
+        default="triangle",
+        help="triangle | K-star | K-triangle (e.g. 2-star)",
+    )
     count.add_argument("--privacy", choices=["node", "edge"], default="node")
     count.add_argument("--epsilon", type=_positive_float, default=0.5)
     count.add_argument("--seed", type=int, default=0)
     source = count.add_mutually_exclusive_group()
     source.add_argument("--edge-list", help="read the graph from this file")
     source.add_argument("--dataset", help="use a Fig. 6 dataset stand-in")
-    count.add_argument("--lenient-edge-list", action="store_true",
-                       help="skip self-loop/duplicate edge lines instead of "
-                            "refusing (SNAP exports often list both "
-                            "orientations of every undirected edge)")
+    count.add_argument(
+        "--lenient-edge-list",
+        action="store_true",
+        help="skip self-loop/duplicate edge lines instead of "
+        "refusing (SNAP exports often list both "
+        "orientations of every undirected edge)",
+    )
     count.add_argument("--dataset-scale", type=float, default=0.05)
-    count.add_argument("--nodes", type=int, default=100,
-                       help="random graph size (when no source is given)")
+    count.add_argument(
+        "--nodes",
+        type=int,
+        default=100,
+        help="random graph size (when no source is given)",
+    )
     count.add_argument("--avgdeg", type=float, default=8.0)
-    count.add_argument("--show-true", action="store_true",
-                       help="also print the exact count (diagnostic!)")
+    count.add_argument(
+        "--show-true",
+        action="store_true",
+        help="also print the exact count (diagnostic!)",
+    )
 
     ingest = sub.add_parser(
         "ingest",
         help="stream an edge-list file into a versioned dynamic graph",
     )
-    ingest.add_argument("edge_list", help="SNAP-style edge-list file "
-                                          "('u v' per line, #/%% comments)")
-    ingest.add_argument("--store", choices=["columnar", "dict"], default=None,
-                        help="occurrence-store backend for the maintainer "
-                             "(default: $REPRO_OCC_STORE, else columnar)")
-    ingest.add_argument("--register", action="append", default=[],
-                        metavar="QUERY",
-                        help="register this pattern on the maintainer after "
-                             "the load (triangle | K-star | K-triangle; "
-                             "repeatable)")
-    ingest.add_argument("--chunk-size", type=int, default=None,
-                        help="parsed edges buffered per bulk graph flush")
-    ingest.add_argument("--lenient", action="store_true",
-                        help="skip self-loop/duplicate edge lines instead of "
-                             "refusing (SNAP exports often list both "
-                             "orientations of every undirected edge)")
-    ingest.add_argument("--out", metavar="FILE", default=None,
-                        help="also write the ingest report as JSON to FILE")
+    ingest.add_argument(
+        "edge_list", help="SNAP-style edge-list file " "('u v' per line, #/%% comments)"
+    )
+    ingest.add_argument(
+        "--store",
+        choices=["columnar", "dict"],
+        default=None,
+        help="occurrence-store backend for the maintainer "
+        "(default: $REPRO_OCC_STORE, else columnar)",
+    )
+    ingest.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="register this pattern on the maintainer after "
+        "the load (triangle | K-star | K-triangle; "
+        "repeatable)",
+    )
+    ingest.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="parsed edges buffered per bulk graph flush",
+    )
+    ingest.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip self-loop/duplicate edge lines instead of "
+        "refusing (SNAP exports often list both "
+        "orientations of every undirected edge)",
+    )
+    ingest.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the ingest report as JSON to FILE",
+    )
 
     batch = sub.add_parser(
         "batch",
         help="run a JSON workload spec against one PrivateSession",
     )
     batch.add_argument("spec", help="path to the JSON spec ('-' for stdin)")
-    batch.add_argument("--workers", type=_workers_arg, default=None,
-                       help=workers_help)
+    batch.add_argument("--workers", type=_workers_arg, default=None, help=workers_help)
     add_lp_flags(batch)
-    batch.add_argument("--seed", type=int, default=None,
-                       help="override the spec's session seed")
-    batch.add_argument("--budget", type=_positive_float, default=None,
-                       help="override the spec's total epsilon budget")
-    batch.add_argument("--audit-log", action="store_true",
-                       help="also print the session's JSON audit log "
-                            "(remote mode: a server-side replay-verified log)")
-    batch.add_argument("--remote", metavar="HOST:PORT", default=None,
-                       help="send the workload to a running `repro serve` "
-                            "instance over the wire protocol instead of "
-                            "executing in-process (the spec's graph/budget/"
-                            "workers are the server's business then)")
-    batch.add_argument("--dataset", default=None, metavar="NAME",
-                       help="route the remote workload to this dataset on a "
-                            "multi-dataset router (default: the server's "
-                            "default dataset; requires --remote)")
-    batch.add_argument("--update-token", default=None,
-                       help="writer token sent with interleaved update steps "
-                            "(remote mode, servers with token-gated "
-                            "updates)")
+    batch.add_argument(
+        "--seed", type=int, default=None, help="override the spec's session seed"
+    )
+    batch.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=None,
+        help="override the spec's total epsilon budget",
+    )
+    batch.add_argument(
+        "--audit-log",
+        action="store_true",
+        help="also print the session's JSON audit log "
+        "(remote mode: a server-side replay-verified log)",
+    )
+    batch.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help="send the workload to a running `repro serve` "
+        "instance over the wire protocol instead of "
+        "executing in-process (the spec's graph/budget/"
+        "workers are the server's business then)",
+    )
+    batch.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="route the remote workload to this dataset on a "
+        "multi-dataset router (default: the server's "
+        "default dataset; requires --remote)",
+    )
+    batch.add_argument(
+        "--update-token",
+        default=None,
+        help="writer token sent with interleaved update steps "
+        "(remote mode, servers with token-gated "
+        "updates)",
+    )
 
     serve = sub.add_parser(
         "serve",
         help="serve private queries over TCP (async multi-tenant service)",
     )
     serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=0,
-                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick an ephemeral port)"
+    )
     source = serve.add_mutually_exclusive_group()
     source.add_argument("--graph", help="serve this edge-list file")
     source.add_argument("--dataset", help="serve a Fig. 6 dataset stand-in")
-    source.add_argument("--datasets", metavar="FILE", default=None,
-                        help="mount every dataset in this JSON config on one "
-                             "router (per-dataset graph, budgets, updates, "
-                             "writer_token, seed; see the README's "
-                             "'Scaling out' section)")
-    serve.add_argument("--lenient-edge-list", action="store_true",
-                       help="skip self-loop/duplicate edge lines in --graph "
-                            "instead of refusing to start")
+    source.add_argument(
+        "--datasets",
+        metavar="FILE",
+        default=None,
+        help="mount every dataset in this JSON config on one "
+        "router (per-dataset graph, budgets, updates, "
+        "writer_token, seed; see the README's "
+        "'Scaling out' section)",
+    )
+    serve.add_argument(
+        "--lenient-edge-list",
+        action="store_true",
+        help="skip self-loop/duplicate edge lines in --graph "
+        "instead of refusing to start",
+    )
     serve.add_argument("--dataset-scale", type=float, default=0.05)
-    serve.add_argument("--nodes", type=int, default=100,
-                       help="random graph size (when no source is given)")
+    serve.add_argument(
+        "--nodes",
+        type=int,
+        default=100,
+        help="random graph size (when no source is given)",
+    )
     serve.add_argument("--avgdeg", type=float, default=8.0)
-    serve.add_argument("--graph-seed", type=int, default=0,
-                       help="random-graph generator seed")
-    serve.add_argument("--epsilon", type=_positive_float, default=None,
-                       help="global epsilon cap across all tenants "
-                            "(default: unlimited, fully ledgered)")
-    serve.add_argument("--user-epsilon", type=_positive_float, default=None,
-                       help="default per-user epsilon sub-budget")
-    serve.add_argument("--user-budget", action="append", default=[],
-                       metavar="USER=EPS",
-                       help="explicit sub-budget for one tenant (repeatable)")
-    serve.add_argument("--seed", type=int, default=None,
-                       help="session + request-seed entropy (a seeded "
-                            "server is end-to-end reproducible)")
-    serve.add_argument("--workers", type=_workers_arg, default=1,
-                       help=workers_help)
+    serve.add_argument(
+        "--graph-seed", type=int, default=0, help="random-graph generator seed"
+    )
+    serve.add_argument(
+        "--epsilon",
+        type=_positive_float,
+        default=None,
+        help="global epsilon cap across all tenants "
+        "(default: unlimited, fully ledgered)",
+    )
+    serve.add_argument(
+        "--user-epsilon",
+        type=_positive_float,
+        default=None,
+        help="default per-user epsilon sub-budget",
+    )
+    serve.add_argument(
+        "--user-budget",
+        action="append",
+        default=[],
+        metavar="USER=EPS",
+        help="explicit sub-budget for one tenant (repeatable)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="session + request-seed entropy (a seeded "
+        "server is end-to-end reproducible)",
+    )
+    serve.add_argument("--workers", type=_workers_arg, default=1, help=workers_help)
     add_lp_flags(serve)
-    serve.add_argument("--max-pending", type=int, default=64,
-                       help="backpressure bound: in-flight queries beyond "
-                            "this are refused ('overloaded')")
-    serve.add_argument("--cache-size", type=int, default=None,
-                       help="bound of the process-wide compiled-relation "
-                            "cache (entries)")
-    serve.add_argument("--updates", action="store_true",
-                       help="serve the graph as a dynamic VersionedGraph "
-                            "and enable the admin-gated 'update' wire op "
-                            "(live edge/node inserts and deletes)")
-    serve.add_argument("--update-token", default=None, metavar="TOKEN",
-                       help="shared secret the 'update' op must present "
-                            "(with --updates; default: gated only by "
-                            "--updates)")
-    serve.add_argument("--dataset-name", default=None, metavar="NAME",
-                       help="name the single-graph deployment mounts its "
-                            "dataset under (default: 'default'; ignored "
-                            "with --datasets)")
-    serve.add_argument("--announce", metavar="FILE", default=None,
-                       help="write the bound host:port to FILE once "
-                            "listening (for scripts wanting the ephemeral "
-                            "port)")
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="backpressure bound: in-flight queries beyond "
+        "this are refused ('overloaded')",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="bound of the process-wide compiled-relation " "cache (entries)",
+    )
+    serve.add_argument(
+        "--updates",
+        action="store_true",
+        help="serve the graph as a dynamic VersionedGraph "
+        "and enable the admin-gated 'update' wire op "
+        "(live edge/node inserts and deletes)",
+    )
+    serve.add_argument(
+        "--update-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared secret the 'update' op must present "
+        "(with --updates; default: gated only by "
+        "--updates)",
+    )
+    serve.add_argument(
+        "--dataset-name",
+        default=None,
+        metavar="NAME",
+        help="name the single-graph deployment mounts its "
+        "dataset under (default: 'default'; ignored "
+        "with --datasets)",
+    )
+    serve.add_argument(
+        "--announce",
+        metavar="FILE",
+        default=None,
+        help="write the bound host:port to FILE once "
+        "listening (for scripts wanting the ephemeral "
+        "port)",
+    )
 
     replica = sub.add_parser(
         "replica",
         help="serve a read replica of one dataset on a running primary",
     )
-    replica.add_argument("--primary", required=True, metavar="HOST:PORT",
-                         help="the primary router to bootstrap from and tail")
-    replica.add_argument("--dataset", required=True, metavar="NAME",
-                         help="the (dynamic) dataset to replicate")
+    replica.add_argument(
+        "--primary",
+        required=True,
+        metavar="HOST:PORT",
+        help="the primary router to bootstrap from and tail",
+    )
+    replica.add_argument(
+        "--dataset",
+        required=True,
+        metavar="NAME",
+        help="the (dynamic) dataset to replicate",
+    )
     replica.add_argument("--host", default="127.0.0.1")
-    replica.add_argument("--port", type=int, default=0,
-                         help="TCP port (0 = pick an ephemeral port)")
-    replica.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
-                         help="interval between log polls while tailing")
-    replica.add_argument("--epsilon", type=_positive_float, default=None,
-                         help="this replica's global epsilon cap (privacy "
-                              "budgets are per replica instance)")
-    replica.add_argument("--user-epsilon", type=_positive_float, default=None,
-                         help="default per-user epsilon sub-budget")
-    replica.add_argument("--user-budget", action="append", default=[],
-                         metavar="USER=EPS",
-                         help="explicit sub-budget for one tenant "
-                              "(repeatable)")
-    replica.add_argument("--seed", type=int, default=None,
-                         help="session + request-seed entropy (match the "
-                              "primary's to reproduce its answer stream)")
-    replica.add_argument("--workers", type=_workers_arg, default=1,
-                         help=workers_help)
+    replica.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick an ephemeral port)"
+    )
+    replica.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="interval between log polls while tailing",
+    )
+    replica.add_argument(
+        "--epsilon",
+        type=_positive_float,
+        default=None,
+        help="this replica's global epsilon cap (privacy "
+        "budgets are per replica instance)",
+    )
+    replica.add_argument(
+        "--user-epsilon",
+        type=_positive_float,
+        default=None,
+        help="default per-user epsilon sub-budget",
+    )
+    replica.add_argument(
+        "--user-budget",
+        action="append",
+        default=[],
+        metavar="USER=EPS",
+        help="explicit sub-budget for one tenant " "(repeatable)",
+    )
+    replica.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="session + request-seed entropy (match the "
+        "primary's to reproduce its answer stream)",
+    )
+    replica.add_argument("--workers", type=_workers_arg, default=1, help=workers_help)
     add_lp_flags(replica)
-    replica.add_argument("--max-pending", type=int, default=64,
-                         help="backpressure bound: in-flight queries beyond "
-                              "this are refused ('overloaded')")
-    replica.add_argument("--announce", metavar="FILE", default=None,
-                         help="write the bound host:port to FILE once "
-                              "listening")
+    replica.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="backpressure bound: in-flight queries beyond "
+        "this are refused ('overloaded')",
+    )
+    replica.add_argument(
+        "--announce",
+        metavar="FILE",
+        default=None,
+        help="write the bound host:port to FILE once " "listening",
+    )
 
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
-    fig.add_argument("name", choices=[
-        "fig1", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "all",
-    ])
+    fig.add_argument(
+        "name",
+        choices=[
+            "fig1",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "all",
+        ],
+    )
     fig.add_argument("--scale", default=None, help="smoke | default | full")
     fig.add_argument("--seed", type=int, default=2024)
-    fig.add_argument("--workers", type=_workers_arg, default=None,
-                     help=workers_help)
+    fig.add_argument("--workers", type=_workers_arg, default=None, help=workers_help)
     add_lp_flags(fig)
 
     audit = sub.add_parser("audit", help="empirical privacy audit")
@@ -355,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("datasets", help="list dataset stand-ins")
+
+    from .analysis.cli import configure_parser as configure_lint
+
+    configure_lint(sub)
     return parser
 
 
@@ -365,8 +516,7 @@ def _cmd_count(args) -> int:
     from . import private_subgraph_count
 
     if args.edge_list:
-        graph = read_edge_list(args.edge_list,
-                               strict=not args.lenient_edge_list)
+        graph = read_edge_list(args.edge_list, strict=not args.lenient_edge_list)
     elif args.dataset:
         graph = load_dataset(args.dataset, scale=args.dataset_scale)
     else:
@@ -382,11 +532,15 @@ def _cmd_count(args) -> int:
         workers=resolve_workers(args.workers),
         backend=args.lp_backend,
     )
-    print(f"{args.privacy}-DP {args.query} count (eps={args.epsilon}): "
-          f"{result.answer:.2f}")
+    print(
+        f"{args.privacy}-DP {args.query} count (eps={args.epsilon}): "
+        f"{result.answer:.2f}"
+    )
     if args.show_true:
-        print(f"true count: {result.true_answer:.0f} "
-              f"(relative error {result.relative_error:.2%})")
+        print(
+            f"true count: {result.true_answer:.0f} "
+            f"(relative error {result.relative_error:.2%})"
+        )
     return 0
 
 
@@ -397,8 +551,7 @@ def _cmd_ingest(args) -> int:
     from .graphs.io import DEFAULT_CHUNK_SIZE
     from .store import ingest_edge_list
 
-    chunk_size = (DEFAULT_CHUNK_SIZE if args.chunk_size is None
-                  else args.chunk_size)
+    chunk_size = (DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size)
     try:
         report = ingest_edge_list(
             args.edge_list,
@@ -411,15 +564,21 @@ def _cmd_ingest(args) -> int:
         print(error, file=sys.stderr)
         return 2
     graph = report.graph
-    print(f"ingested {args.edge_list}: {report.num_nodes} nodes, "
-          f"{report.num_edges} edges at version {graph.version} "
-          f"(store: {graph.maintainer.store})")
-    print(f"  read+load: {report.read_seconds:.2f}s "
-          f"({report.edges_per_second:,.0f} edges/s), "
-          f"wrap: {report.wrap_seconds:.2f}s")
+    print(
+        f"ingested {args.edge_list}: {report.num_nodes} nodes, "
+        f"{report.num_edges} edges at version {graph.version} "
+        f"(store: {graph.maintainer.store})"
+    )
+    print(
+        f"  read+load: {report.read_seconds:.2f}s "
+        f"({report.edges_per_second:,.0f} edges/s), "
+        f"wrap: {report.wrap_seconds:.2f}s"
+    )
     for row in report.registered:
-        print(f"  registered {row['pattern']}: {row['occurrences']} "
-              f"occurrences in {row['seconds']:.2f}s")
+        print(
+            f"  registered {row['pattern']}: {row['occurrences']} "
+            f"occurrences in {row['seconds']:.2f}s"
+        )
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(report.summary(), handle, indent=2)
@@ -434,12 +593,11 @@ def _graph_from_spec(spec: dict):
 
     graph_spec = spec.get("graph") or {}
     if "edge_list" in graph_spec:
-        return read_edge_list(graph_spec["edge_list"],
-                              strict=not graph_spec.get("lenient", False))
-    if "dataset" in graph_spec:
-        return load_dataset(
-            graph_spec["dataset"], scale=graph_spec.get("scale", 0.05)
+        return read_edge_list(
+            graph_spec["edge_list"], strict=not graph_spec.get("lenient", False)
         )
+    if "dataset" in graph_spec:
+        return load_dataset(graph_spec["dataset"], scale=graph_spec.get("scale", 0.05))
     return random_graph_with_avg_degree(
         int(graph_spec.get("nodes", 100)),
         float(graph_spec.get("avgdeg", 8.0)),
@@ -477,8 +635,7 @@ def _update_row(label, status, version=None, applied=None):
     }
 
 
-_BATCH_COLUMNS = ["label", "user", "mechanism", "query", "epsilon",
-                  "status", "answer"]
+_BATCH_COLUMNS = ["label", "user", "mechanism", "query", "epsilon", "status", "answer"]
 
 
 def _cmd_batch_remote(args, spec) -> int:
@@ -493,17 +650,21 @@ def _cmd_batch_remote(args, spec) -> int:
     seed = args.seed if args.seed is not None else spec.get("seed")
     for key in ("graph", "budget", "workers"):
         if key in spec:
-            print(f"note: spec {key!r} is ignored with --remote "
-                  "(the server owns it)", file=sys.stderr)
+            print(
+                f"note: spec {key!r} is ignored with --remote " "(the server owns it)",
+                file=sys.stderr,
+            )
     rows = []
     failed = 0
     granted = 0
     with ServiceClient(args.remote, dataset=args.dataset) as client:
         hello = client.hello()
         dataset = args.dataset or hello.get("default_dataset")
-        print(f"remote: {args.remote} ({hello['name']}, protocol "
-              f"v{hello['protocol']}, multi_tenant={hello['multi_tenant']}"
-              + (f", dataset {dataset!r}" if dataset else "") + ")")
+        extra = f", dataset {dataset!r}" if dataset else ""
+        print(
+            f"remote: {args.remote} ({hello['name']}, protocol "
+            f"v{hello['protocol']}, multi_tenant={hello['multi_tenant']}{extra})"
+        )
         for index, item in enumerate(spec["queries"]):
             label = item.get("label", f"q{index}")
             if "update" in item:
@@ -512,24 +673,28 @@ def _cmd_batch_remote(args, spec) -> int:
                 # against the old version and later ones see the new.
                 try:
                     outcome = client.update(
-                        item["update"], token=args.update_token, label=label,
+                        item["update"],
+                        token=args.update_token,
+                        label=label,
                     )
                 except ServiceForbidden as error:
                     failed += 1
                     rows.append(_update_row(label, "forbidden"))
-                    print(f"update forbidden {label!r}: {error}",
-                          file=sys.stderr)
+                    print(f"update forbidden {label!r}: {error}", file=sys.stderr)
                     continue
                 except (ValueError, ServiceError) as error:
                     failed += 1
                     rows.append(_update_row(label, "update-failed"))
-                    print(f"update failed {label!r}: {error}",
-                          file=sys.stderr)
+                    print(f"update failed {label!r}: {error}", file=sys.stderr)
                     continue
-                rows.append(_update_row(
-                    label, "applied", version=outcome["version"],
-                    applied=outcome["applied"],
-                ))
+                rows.append(
+                    _update_row(
+                        label,
+                        "applied",
+                        version=outcome["version"],
+                        applied=outcome["applied"],
+                    )
+                )
                 continue
             if "seed" in item:
                 wire_seed = item["seed"]
@@ -578,19 +743,25 @@ def _cmd_batch_remote(args, spec) -> int:
                 # mirroring the local session, which only spawns a child
                 # for submissions whose rng it assigns itself.
                 granted += 1
-            rows.append(_batch_row(label, item, result["status"],
-                                   answer=result["answer"], entry=result))
+            rows.append(
+                _batch_row(
+                    label, item, result["status"], answer=result["answer"], entry=result
+                )
+            )
         print(format_table(rows, _BATCH_COLUMNS, title="batch workload (remote)"))
         budget = client.budget()
         cap = budget.get("budget")
         remaining = budget.get("remaining")
-        print(f"server budget spent: eps={budget['spent']:g}"
-              + ("" if remaining is None else f" (remaining {remaining:g})"))
+        print(
+            f"server budget spent: eps={budget['spent']:g}" + (
+                "" if remaining is None else f" (remaining {remaining:g})"
+            )
+        )
         if cap is not None and budget.get("users"):
             for user, row in sorted(budget["users"].items()):
-                print(f"  user {user}: spent={row['spent']:g}"
-                      + ("" if row["remaining"] is None
-                         else f" remaining={row['remaining']:g}"))
+                remaining = row["remaining"]
+                tail = "" if remaining is None else f" remaining={remaining:g}"
+                print(f"  user {user}: spent={row['spent']:g}{tail}")
         if args.audit_log:
             audit = client.audit(replay=True)
             print(json.dumps(audit, indent=2))
@@ -626,13 +797,15 @@ def _cmd_batch(args) -> int:
     if args.remote is not None:
         return _cmd_batch_remote(args, spec)
     if args.dataset is not None:
-        print("--dataset routes a --remote workload; local batch runs "
-              "build their graph from the spec", file=sys.stderr)
+        print(
+            "--dataset routes a --remote workload; local batch runs "
+            "build their graph from the spec",
+            file=sys.stderr,
+        )
         return 2
 
     graph = _graph_from_spec(spec)
-    has_updates = any(isinstance(item, dict) and "update" in item
-                      for item in queries)
+    has_updates = any(isinstance(item, dict) and "update" in item for item in queries)
     if has_updates:
         from .dynamic import VersionedGraph
 
@@ -640,10 +813,12 @@ def _cmd_batch(args) -> int:
     budget = args.budget if args.budget is not None else spec.get("budget")
     seed = args.seed if args.seed is not None else spec.get("seed")
     workers = args.workers if args.workers is not None else spec.get("workers", 1)
-    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
-          f"budget: {'unlimited' if budget is None else budget}; "
-          f"workers: {workers}"
-          + ("; dynamic (interleaved updates)" if has_updates else ""))
+    dynamic_note = "; dynamic (interleaved updates)" if has_updates else ""
+    print(
+        f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+        f"budget: {'unlimited' if budget is None else budget}; "
+        f"workers: {workers}{dynamic_note}"
+    )
 
     rows = []
     failed = 0
@@ -660,13 +835,20 @@ def _cmd_batch(args) -> int:
                     result = future.result()
                 except Exception as error:  # surface per-query failures
                     drained_failures += 1
-                    rows.append(_batch_row(label, item, "failed",
-                                           entry=future.entry.to_dict()))
+                    rows.append(
+                        _batch_row(label, item, "failed", entry=future.entry.to_dict())
+                    )
                     print(f"failed {label!r}: {error}", file=sys.stderr)
                     continue
-                rows.append(_batch_row(label, item, future.entry.status,
-                                       answer=result.answer,
-                                       entry=future.entry.to_dict()))
+                rows.append(
+                    _batch_row(
+                        label,
+                        item,
+                        future.entry.status,
+                        answer=result.answer,
+                        entry=future.entry.to_dict(),
+                    )
+                )
             pending.clear()
             return drained_failures
 
@@ -677,18 +859,20 @@ def _cmd_batch(args) -> int:
                 # the old version, later ones see the new one.
                 failed += drain()
                 try:
-                    outcome = session.apply_update(item["update"],
-                                                   label=label)
+                    outcome = session.apply_update(item["update"], label=label)
                 except Exception as error:
                     failed += 1
                     rows.append(_update_row(label, "update-failed"))
-                    print(f"update failed {label!r}: {error}",
-                          file=sys.stderr)
+                    print(f"update failed {label!r}: {error}", file=sys.stderr)
                     continue
-                rows.append(_update_row(
-                    label, "applied", version=outcome.version,
-                    applied=outcome.applied,
-                ))
+                rows.append(
+                    _update_row(
+                        label,
+                        "applied",
+                        version=outcome.version,
+                        applied=outcome.applied,
+                    )
+                )
                 continue
             try:
                 future = session.submit(
@@ -715,10 +899,15 @@ def _cmd_batch(args) -> int:
         print(format_table(rows, _BATCH_COLUMNS, title="batch workload"))
         info = session.cache_info()
         remaining = session.remaining
-        print(f"budget spent: eps={session.spent:g}"
-              + ("" if remaining is None else f" (remaining {remaining:g})"))
-        print(f"compiled-relation cache: {info.hits} hits, "
-              f"{info.misses} misses, {info.size} entries")
+        print(
+            f"budget spent: eps={session.spent:g}" + (
+                "" if remaining is None else f" (remaining {remaining:g})"
+            )
+        )
+        print(
+            f"compiled-relation cache: {info.hits} hits, "
+            f"{info.misses} misses, {info.size} entries"
+        )
         if args.audit_log:
             print(json.dumps(session.audit_log(), indent=2))
     return 1 if failed else 0
@@ -736,8 +925,9 @@ def _parse_user_budgets(pairs, flag: str = "--user-budget"):
         try:
             user_budgets[user] = validate_epsilon(float(eps), f"{flag} {user}")
         except ValueError:
-            return None, (f"{flag} {pair!r}: {eps!r} is not a positive "
-                          "finite number")
+            return None, (
+                f"{flag} {pair!r}: {eps!r} is not a positive " "finite number"
+            )
     return user_budgets, None
 
 
@@ -765,8 +955,12 @@ def _dataset_session(name, config, *, args, cache):
     )
     seed = config.get("seed", args.seed)
     session = PrivateSession(
-        graph, workers=args.workers, rng=seed, backend=args.lp_backend,
-        accountant=accountant, cache=cache.namespaced(name),
+        graph,
+        workers=args.workers,
+        rng=seed,
+        backend=args.lp_backend,
+        accountant=accountant,
+        cache=cache.namespaced(name),
         name=f"serve[{name}]",
     )
     return session, updates, config.get("writer_token"), seed
@@ -799,7 +993,9 @@ def _build_router(args):
     if args.cache_size is not None:
         cache.resize(args.cache_size)
     router = ServiceRouter(
-        host=args.host, port=args.port, max_pending=args.max_pending,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
         seed=args.seed,
     )
     sessions = []
@@ -809,7 +1005,11 @@ def _build_router(args):
         )
         sessions.append(session)
         router.add_dataset(
-            name, session, updates=updates, writer_token=token, seed=seed,
+            name,
+            session,
+            updates=updates,
+            writer_token=token,
+            seed=seed,
             default=(name == default),
         )
     return router, sessions
@@ -843,9 +1043,11 @@ def _cmd_serve(args) -> int:
     _apply_lp_backend(args)
     if args.datasets:
         if args.updates or args.update_token is not None:
-            print("--updates/--update-token are per-dataset keys of the "
-                  "--datasets config ('updates', 'writer_token')",
-                  file=sys.stderr)
+            print(
+                "--updates/--update-token are per-dataset keys of the "
+                "--datasets config ('updates', 'writer_token')",
+                file=sys.stderr,
+            )
             return 2
         try:
             router, sessions = _build_router(args)
@@ -860,15 +1062,16 @@ def _cmd_serve(args) -> int:
                 + (",dynamic" if lane.updates_enabled else "") + ")"
                 for lane in (router.lane(name) for name in router.datasets)
             )
-            return (f"serving {len(router.datasets)} datasets on "
-                    f"{host}:{port} (protocol v{PROTOCOL_VERSION}, default "
-                    f"{router.default_dataset!r}): {rows}")
+            return (
+                f"serving {len(router.datasets)} datasets on "
+                f"{host}:{port} (protocol v{PROTOCOL_VERSION}, default "
+                f"{router.default_dataset!r}): {rows}"
+            )
 
         return _run_service(router, sessions, args, banner)
 
     if args.graph:
-        graph = read_edge_list(args.graph,
-                               strict=not args.lenient_edge_list)
+        graph = read_edge_list(args.graph, strict=not args.lenient_edge_list)
     elif args.dataset:
         graph = load_dataset(args.dataset, scale=args.dataset_scale)
     else:
@@ -880,9 +1083,11 @@ def _cmd_serve(args) -> int:
         print(error, file=sys.stderr)
         return 2
     if args.update_token is not None and not args.updates:
-        print("--update-token only makes sense with --updates (as given, "
-              "updates would stay disabled and the token ignored)",
-              file=sys.stderr)
+        print(
+            "--update-token only makes sense with --updates (as given, "
+            "updates would stay disabled and the token ignored)",
+            file=sys.stderr,
+        )
         return 2
     if args.updates:
         from .dynamic import VersionedGraph
@@ -897,22 +1102,31 @@ def _cmd_serve(args) -> int:
     if args.cache_size is not None:
         cache.resize(args.cache_size)
     session = PrivateSession(
-        graph, workers=args.workers, rng=args.seed,
-        backend=args.lp_backend, accountant=accountant, cache=cache,
+        graph,
+        workers=args.workers,
+        rng=args.seed,
+        backend=args.lp_backend,
+        accountant=accountant,
+        cache=cache,
         name="serve",
     )
     service = PrivateQueryService(
-        session, host=args.host, port=args.port,
-        max_pending=args.max_pending, seed=args.seed,
-        updates=args.updates, update_token=args.update_token,
+        session,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        seed=args.seed,
+        updates=args.updates,
+        update_token=args.update_token,
         dataset=args.dataset_name or DEFAULT_DATASET,
     )
 
     def banner(host, port):
         updates_mode = "disabled"
         if args.updates:
-            updates_mode = ("token-gated" if args.update_token is not None
-                            else "enabled")
+            updates_mode = (
+                "token-gated" if args.update_token is not None else "enabled"
+            )
         return (
             f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n"
             f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
@@ -950,8 +1164,11 @@ def _cmd_replica(args) -> int:
             user_budgets=user_budgets,
         )
         session = PrivateSession(
-            graph, workers=args.workers, rng=args.seed,
-            backend=args.lp_backend, accountant=accountant,
+            graph,
+            workers=args.workers,
+            rng=args.seed,
+            backend=args.lp_backend,
+            accountant=accountant,
             cache=cache.namespaced(args.dataset),
             name=f"replica[{args.dataset}]",
         )
@@ -959,17 +1176,24 @@ def _cmd_replica(args) -> int:
         return session
 
     service = ReplicaService(
-        args.primary, args.dataset, session_factory,
-        poll_interval=args.poll, host=args.host, port=args.port,
-        max_pending=args.max_pending, seed=args.seed,
+        args.primary,
+        args.dataset,
+        session_factory,
+        poll_interval=args.poll,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        seed=args.seed,
     )
 
     def banner(host, port):
         lane = service.lane()
-        return (f"replica of {args.dataset!r} on {args.primary} "
-                f"(bootstrapped at graph version {lane.current_version()}) "
-                f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
-                f"poll {args.poll:g}s, updates refused)")
+        return (
+            f"replica of {args.dataset!r} on {args.primary} "
+            f"(bootstrapped at graph version {lane.current_version()}) "
+            f"serving on {host}:{port} (protocol v{PROTOCOL_VERSION}, "
+            f"poll {args.poll:g}s, updates refused)"
+        )
 
     return _run_service(service, sessions, args, banner)
 
@@ -998,54 +1222,75 @@ def _cmd_fig(args) -> int:
         result = fn(scale=scale, rng=seed)
         (x_name, x_values), = result.pop("_x").items()
         for query, series in result.items():
-            print(format_series(x_name, x_values, series,
-                                title=f"{name} — {query}"))
+            print(format_series(x_name, x_values, series, title=f"{name} — {query}"))
             print()
     elif name == "fig5":
         from .experiments.runtime import fig5_runtime_sweep
 
         sweep_rows = fig5_runtime_sweep(scale=scale, rng=seed, workers=workers)
         for combo, rows in sweep_rows.items():
-            print(format_table(rows, ["nodes", "tuples", "mechanism_seconds"],
-                               title=f"fig5 — {combo}"))
+            print(
+                format_table(
+                    rows,
+                    ["nodes", "tuples", "mechanism_seconds"],
+                    title=f"fig5 — {combo}",
+                )
+            )
             print()
     elif name == "fig6":
         from .experiments.real_graphs import fig6_dataset_table
 
-        print(format_table(
-            fig6_dataset_table(scale=scale, rng=seed),
-            ["dataset", "V", "E", "triangles", "node_seconds", "edge_seconds"],
-            title="fig6",
-        ))
+        print(
+            format_table(
+                fig6_dataset_table(scale=scale, rng=seed),
+                ["dataset", "V", "E", "triangles", "node_seconds", "edge_seconds"],
+                title="fig6",
+            )
+        )
     elif name == "fig7":
         from .experiments.real_graphs import fig7_accuracy_table
 
-        print(format_table(
-            fig7_accuracy_table(scale=scale, rng=seed),
-            ["dataset", "recursive-node", "recursive-edge",
-             "local-sensitivity", "rhms"],
-            title="fig7",
-        ))
+        print(
+            format_table(
+                fig7_accuracy_table(scale=scale, rng=seed),
+                [
+                    "dataset",
+                    "recursive-node",
+                    "recursive-edge",
+                    "local-sensitivity",
+                    "rhms",
+                ],
+                title="fig7",
+            )
+        )
     elif name in ("fig8", "fig9"):
         from .experiments.krelations import fig8_clause_sweep, fig9_size_sweep
 
         sweep = fig8_clause_sweep if name == "fig8" else fig9_size_sweep
         for kind, rows in sweep(scale=scale, rng=seed).items():
-            print(format_table(
-                rows,
-                ["clauses" if name == "fig8" else "size",
-                 "median_relative_error", "us_reference", "seconds"],
-                title=f"{name} — 3-{kind.upper()}",
-            ))
+            print(
+                format_table(
+                    rows,
+                    [
+                        "clauses" if name == "fig8" else "size",
+                        "median_relative_error",
+                        "us_reference",
+                        "seconds",
+                    ],
+                    title=f"{name} — 3-{kind.upper()}",
+                )
+            )
             print()
     elif name == "fig1":
         from .experiments.comparison import fig1_comparison_table
 
-        print(format_table(
-            fig1_comparison_table(scale=scale, rng=seed, workers=workers),
-            ["query", "mechanism", "privacy", "median_relative_error", "seconds"],
-            title="fig1",
-        ))
+        print(
+            format_table(
+                fig1_comparison_table(scale=scale, rng=seed, workers=workers),
+                ["query", "mechanism", "privacy", "median_relative_error", "seconds"],
+                title="fig1",
+            )
+        )
     return 0
 
 
@@ -1062,10 +1307,18 @@ def _cmd_audit(args) -> int:
         relation, params, trials=args.trials, rng=args.seed
     )
     print(f"claimed epsilon:   {report.claimed_epsilon:.3f}")
-    print(f"empirical epsilon: {report.empirical_epsilon:.3f} "
-          f"({report.trials} trials, {report.bins} bins)")
+    print(
+        f"empirical epsilon: {report.empirical_epsilon:.3f} "
+        f"({report.trials} trials, {report.bins} bins)"
+    )
     print(f"verdict:           {'PASS' if report.passed else 'FAIL'}")
     return 0 if report.passed else 1
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.cli import run
+
+    return run(args)
 
 
 def _cmd_datasets(_args) -> int:
@@ -1082,10 +1335,13 @@ def _cmd_datasets(_args) -> int:
         }
         for spec in DATASETS.values()
     ]
-    print(format_table(
-        rows, ["dataset", "paper_V", "paper_E", "paper_triangles", "family"],
-        title="Fig. 6 dataset stand-ins (synthetic; see DESIGN.md §4)",
-    ))
+    print(
+        format_table(
+            rows,
+            ["dataset", "paper_V", "paper_E", "paper_triangles", "family"],
+            title="Fig. 6 dataset stand-ins (synthetic; see DESIGN.md §4)",
+        )
+    )
     return 0
 
 
@@ -1101,6 +1357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig": _cmd_fig,
         "audit": _cmd_audit,
         "datasets": _cmd_datasets,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

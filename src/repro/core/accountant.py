@@ -76,7 +76,9 @@ class PrivacyAccountant:
             and self._spent_delta + delta <= self.total_delta + 1e-12
         )
 
-    def charge(self, epsilon: float, delta: float = 0.0, label: str = "release") -> None:
+    def charge(
+        self, epsilon: float, delta: float = 0.0, label: str = "release"
+    ) -> None:
         """Record a release; raises :class:`BudgetExceededError` if over."""
         if epsilon <= 0:
             raise PrivacyParameterError(f"epsilon must be positive, got {epsilon}")

@@ -149,18 +149,21 @@ class EfficientRecursiveMechanism(RecursiveMechanismBase):
             # conjunction of distinct variables, so "auto" bounding is
             # "paper" with no inspection pass.
             self._encoded = EncodedRelation.from_conjunctions(
-                relation.sorted_participants, relation.matrix, backend,
+                relation.sorted_participants,
+                relation.matrix,
+                backend,
                 compiled=compiled,
             )
             if bounding == "auto":
                 bounding = "paper"
         else:
             annotated = [
-                (annotation, self.query(tup))
-                for tup, annotation in relation.items()
+                (annotation, self.query(tup)) for tup, annotation in relation.items()
             ]
             self._encoded = EncodedRelation(
-                sorted(relation.participants), annotated, backend,
+                sorted(relation.participants),
+                annotated,
+                backend,
                 compiled=compiled,
             )
             if bounding == "auto":

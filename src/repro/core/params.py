@@ -122,7 +122,11 @@ def theorem1_error_bound(
     if c <= 0:
         raise PrivacyParameterError(f"c must be positive, got {c}")
     delta_star = max(params.theta, math.exp(params.beta) * g_final)
-    log_term = math.ceil(math.log(delta_star / params.theta) / params.beta) if delta_star > params.theta else 0
+    log_term = (
+        math.ceil(math.log(delta_star / params.theta) / params.beta)
+        if delta_star > params.theta
+        else 0
+    )
     return (
         math.exp(2 * params.mu) * delta_star * c / params.epsilon2
         + params.g * log_term * g_final

@@ -49,7 +49,11 @@ class SensitiveDatabase:
     general mechanism) decide which subsets to visit.
     """
 
-    def __init__(self, participants: Iterable[str], content_fn: Callable[[FrozenSet[str]], object]):
+    def __init__(
+        self,
+        participants: Iterable[str],
+        content_fn: Callable[[FrozenSet[str]], object],
+    ):
         self.participants: FrozenSet[str] = frozenset(participants)
         self._content_fn = content_fn
 
@@ -84,7 +88,9 @@ class SensitiveDatabase:
         return f"SensitiveDatabase(|P|={len(self.participants)})"
 
 
-def are_neighboring_databases(d1: SensitiveDatabase, d2: SensitiveDatabase, subsets_to_check: int = 64) -> bool:
+def are_neighboring_databases(
+    d1: SensitiveDatabase, d2: SensitiveDatabase, subsets_to_check: int = 64
+) -> bool:
     """Check Def. 6 (probabilistically for large ``P``).
 
     Verifies the symmetric difference of participant sets has size one and
@@ -155,7 +161,8 @@ class SensitiveKRelation:
                 extra = annotation.variables() - self.participants
                 if extra:
                     raise AnnotationError(
-                        f"annotation of {tup!r} references non-participants {sorted(extra)}"
+                        f"annotation of {tup!r} references "
+                        f"non-participants {sorted(extra)}"
                     )
             pairs.append((tup, annotation))
         self._pairs: Tuple[Tuple[object, Expr], ...] = tuple(pairs)
@@ -285,18 +292,22 @@ class SensitiveKRelation:
         )
 
 
-def are_neighboring_krelations(
-    r1: SensitiveKRelation, r2: SensitiveKRelation
-) -> bool:
+def are_neighboring_krelations(r1: SensitiveKRelation, r2: SensitiveKRelation) -> bool:
     """Def. 14: neighboring sensitive K-relations up to φ-equivalence.
 
     ``(P1, R1)`` and ``(P2, R2)`` with ``P2 = P1 ∪ {p}`` are neighboring if
     ``R1(t) ~ R2(t)|p→False`` for every tuple, where ``~`` is φ-equivalence
     (Def. 19).  The check is symmetric in its arguments.
     """
-    if len(r2.participants - r1.participants) == 1 and r1.participants <= r2.participants:
+    if (
+        len(r2.participants - r1.participants) == 1
+        and r1.participants <= r2.participants
+    ):
         smaller, larger = r1, r2
-    elif len(r1.participants - r2.participants) == 1 and r2.participants <= r1.participants:
+    elif (
+        len(r1.participants - r2.participants) == 1
+        and r2.participants <= r1.participants
+    ):
         smaller, larger = r2, r1
     else:
         return False

@@ -79,8 +79,9 @@ class GraphDelta:
 
     @classmethod
     def remove_node(cls, node, removed_edges=()) -> "GraphDelta":
-        return cls("remove_node", node,
-                   removed_edges=tuple((a, b) for a, b in removed_edges))
+        return cls(
+            "remove_node", node, removed_edges=tuple((a, b) for a, b in removed_edges)
+        )
 
     @classmethod
     def from_action(cls, action) -> "GraphDelta":
@@ -100,8 +101,7 @@ class GraphDelta:
         kind = action.get("action")
         if kind not in DELTA_KINDS:
             raise GraphError(
-                f"action must be one of {', '.join(DELTA_KINDS)}, "
-                f"got {kind!r}"
+                f"action must be one of {', '.join(DELTA_KINDS)}, " f"got {kind!r}"
             )
         if kind in _EDGE_KINDS:
             extra = set(action) - {"action", "u", "v"}

@@ -66,8 +66,9 @@ from .delta import GraphDelta
 __all__ = ["IncrementalOccurrences"]
 
 
-def _neighborhood_ball(graph: Graph, seeds: Iterable[object],
-                       radius: int) -> Set[object]:
+def _neighborhood_ball(
+    graph: Graph, seeds: Iterable[object], radius: int
+) -> Set[object]:
     """All nodes within ``radius`` hops of any seed (BFS)."""
     frontier = [node for node in seeds if graph.has_node(node)]
     ball = set(frontier)
@@ -87,11 +88,17 @@ def _neighborhood_ball(graph: Graph, seeds: Iterable[object],
 class _PatternState:
     """Maintained occurrence set of one registered pattern."""
 
-    __slots__ = ("pattern", "incremental", "backend", "rebuilds",
-                 "deltas_applied", "ball_last", "ball_max")
+    __slots__ = (
+        "pattern",
+        "incremental",
+        "backend",
+        "rebuilds",
+        "deltas_applied",
+        "ball_last",
+        "ball_max",
+    )
 
-    def __init__(self, pattern: Pattern, incremental: bool,
-                 backend: OccurrenceBackend):
+    def __init__(self, pattern: Pattern, incremental: bool, backend: OccurrenceBackend):
         self.pattern = pattern
         self.incremental = incremental
         self.backend = backend
@@ -253,9 +260,7 @@ class IncrementalOccurrences:
     def apply(self, delta: GraphDelta) -> None:
         """Apply one delta (the graph must already reflect it)."""
         if not isinstance(delta, GraphDelta):
-            raise GraphError(
-                f"apply() takes a GraphDelta, got {type(delta).__name__}"
-            )
+            raise GraphError(f"apply() takes a GraphDelta, got {type(delta).__name__}")
         if self._interner is not None and self._interner_synced:
             self._apply_presence(delta)
         for state in self._states.values():
@@ -304,8 +309,7 @@ class IncrementalOccurrences:
             state.ball_max = state.ball_last
         neighborhood = self._graph.subgraph(ball)
         for occurrence in occurrences_for_pattern(neighborhood, pattern):
-            uses_edge = any(frozenset(pair) == edge
-                            for pair in occurrence.edges)
+            uses_edge = any(frozenset(pair) == edge for pair in occurrence.edges)
             if uses_edge:
                 state.backend.insert(occurrence)
 
@@ -340,8 +344,11 @@ class IncrementalOccurrences:
         divergent pattern and its missing/extra occurrence counts;
         returns ``True`` when every registered pattern matches.
         """
-        states = ([self._state(pattern)] if pattern is not None
-                  else list(self._states.values()))
+        states = (
+            [self._state(pattern)]
+            if pattern is not None
+            else list(self._states.values())
+        )
         for state in states:
             missing, extra = self.diff(state.pattern)
             if missing or extra:

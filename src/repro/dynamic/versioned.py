@@ -91,9 +91,13 @@ class VersionedGraph(Graph):
     (2, 2)
     """
 
-    def __init__(self, graph: Optional[Graph] = None,
-                 nodes: Iterable[Node] = (), edges: Iterable[Edge] = (),
-                 store: Optional[str] = None):
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[Edge] = (),
+        store: Optional[str] = None,
+    ):
         # Attribute order matters: the overridden mutators consult
         # ``_recording`` and it must exist before Graph.__init__ runs them.
         self._recording = False
@@ -106,9 +110,7 @@ class VersionedGraph(Graph):
                     f"VersionedGraph wraps a Graph, got {type(graph).__name__}"
                 )
             if tuple(nodes) or tuple(edges):
-                raise GraphError(
-                    "pass either a base graph or nodes=/edges=, not both"
-                )
+                raise GraphError("pass either a base graph or nodes=/edges=, not both")
             super().__init__()
             self._adj = {node: set(adj) for node, adj in graph._adj.items()}
         else:
@@ -232,8 +234,7 @@ class VersionedGraph(Graph):
         """The state at ``version`` as an independent plain graph."""
         if not isinstance(version, int) or not 0 <= version <= self._version:
             raise GraphError(
-                f"version must be an int in [0, {self._version}], "
-                f"got {version!r}"
+                f"version must be an int in [0, {self._version}], " f"got {version!r}"
             )
         graph = self._base.copy()
         for delta in self._log[:version]:
@@ -248,8 +249,7 @@ class VersionedGraph(Graph):
         the live store, so the tuple order (and hence the compiled LP)
         is bit-identical.
         """
-        return VersionedGraph(self.at_version(version),
-                              store=self._maintainer.store)
+        return VersionedGraph(self.at_version(version), store=self._maintainer.store)
 
     # -- occurrence maintenance hooks -------------------------------------------
     def occurrences_for(self, pattern: Pattern):

@@ -30,6 +30,7 @@ __all__ = [
     "GraphError",
     "PatternError",
     "DatasetError",
+    "AnalysisError",
 ]
 
 
@@ -127,3 +128,8 @@ class PatternError(GraphError):
 
 class DatasetError(ReproError):
     """A dataset stand-in could not be generated or located."""
+
+
+class AnalysisError(ReproError):
+    """Static-analysis layer (:mod:`repro.analysis`) failure — a bad rule
+    registration, an unknown rule name, or an unreadable baseline file."""

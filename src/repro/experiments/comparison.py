@@ -45,7 +45,11 @@ def _privacy_label(mechanism: str, query: str) -> str:
         return "node-DP"
     if mechanism == "rhms":
         return "adversarial"
-    if mechanism == "local-sensitivity" and query.endswith("-triangle") and query != "triangle":
+    if (
+        mechanism == "local-sensitivity"
+        and query.endswith("-triangle")
+        and query != "triangle"
+    ):
         return "(eps,delta)-edge-DP"
     return "edge-DP"
 

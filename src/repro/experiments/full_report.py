@@ -64,8 +64,13 @@ def _fig5(scale: Scale, rng) -> str:
         sections.append(
             format_table(
                 rows,
-                ["nodes", "tuples", "delta_seconds", "release_seconds",
-                 "mechanism_seconds"],
+                [
+                    "nodes",
+                    "tuples",
+                    "delta_seconds",
+                    "release_seconds",
+                    "mechanism_seconds",
+                ],
                 title=f"Fig 5 — {combo}",
             )
         )
@@ -77,8 +82,17 @@ def _fig6(scale: Scale, rng) -> str:
 
     return format_table(
         fig6_dataset_table(scale=scale, rng=rng),
-        ["dataset", "V", "E", "triangles", "node_seconds", "edge_seconds",
-         "paper_V", "paper_E", "paper_triangles"],
+        [
+            "dataset",
+            "V",
+            "E",
+            "triangles",
+            "node_seconds",
+            "edge_seconds",
+            "paper_V",
+            "paper_E",
+            "paper_triangles",
+        ],
         title="Fig 6 — dataset stand-ins",
     )
 
@@ -165,8 +179,7 @@ def generate_report(
     if unknown:
         raise ValueError(f"unknown figures {unknown}; choose from {sorted(FIGURES)}")
     header = (
-        f"Recursive mechanism — reproduction report (scale={scale.name})\n"
-        + "=" * 64
+        f"Recursive mechanism — reproduction report (scale={scale.name})\n" + "=" * 64
     )
     sections = [header, _registry_section()]
     for name in names:

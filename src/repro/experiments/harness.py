@@ -147,9 +147,7 @@ class Scale:
         if self.sweep_points >= len(values) or len(values) <= 2:
             return values
         k = max(2, self.sweep_points)
-        indices = sorted(
-            {round(i * (len(values) - 1) / (k - 1)) for i in range(k)}
-        )
+        indices = sorted({round(i * (len(values) - 1) / (k - 1)) for i in range(k)})
         return [values[i] for i in indices]
 
 

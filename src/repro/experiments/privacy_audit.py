@@ -119,9 +119,7 @@ def audit_krelation_withdrawal(
         query = CountQuery()
         participant = max(
             relation.participants,
-            key=lambda p: (
-                universal_empirical_sensitivity(query, relation, p), p
-            ),
+            key=lambda p: (universal_empirical_sensitivity(query, relation, p), p),
         )
     mech_full = EfficientRecursiveMechanism(relation)
     mech_less = EfficientRecursiveMechanism(relation.withdraw(participant))

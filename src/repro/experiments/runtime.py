@@ -93,7 +93,11 @@ def _runtime_task(_payload, task) -> Dict[str, float]:
     """Worker-side grid point for the parallel Fig. 5 sweep."""
     num_nodes, avgdeg, query, privacy, epsilon, seed_sequence = task
     return runtime_point(
-        num_nodes, avgdeg, query, privacy, epsilon,
+        num_nodes,
+        avgdeg,
+        query,
+        privacy,
+        epsilon,
         rng=np.random.default_rng(seed_sequence),
     )
 

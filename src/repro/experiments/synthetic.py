@@ -57,9 +57,7 @@ def accuracy_point(
     for graph_rng in graph_rngs:
         graph = random_graph_with_avg_degree(num_nodes, avgdeg, graph_rng)
         run_once, truth = make_runner(mechanism, graph, query, epsilon)
-        per_graph.append(
-            run_mechanism_trials(run_once, truth, scale.trials, graph_rng)
-        )
+        per_graph.append(run_mechanism_trials(run_once, truth, scale.trials, graph_rng))
     return aggregate_median(per_graph)
 
 
@@ -85,14 +83,18 @@ def fig4a_nodes_sweep(
     scale = scale or resolve_scale()
     nodes = _scaled_nodes(scale, scale.subset(PAPER_NODE_SWEEP))
     generator = ensure_rng(rng)
-    out: Dict[str, Dict[str, List[float]]] = {"_x": {"nodes": [float(n) for n in nodes]}}
+    out: Dict[str, Dict[str, List[float]]] = {
+        "_x": {"nodes": [float(n) for n in nodes]}
+    }
     for query in queries:
         out[query] = {}
         for mechanism in mechanisms:
             errors = []
             for n in nodes:
                 errors.append(
-                    accuracy_point(n, avgdeg, query, mechanism, epsilon, scale, generator)
+                    accuracy_point(
+                        n, avgdeg, query, mechanism, epsilon, scale, generator
+                    )
                 )
             out[query][mechanism] = errors
     return out
@@ -119,7 +121,9 @@ def fig4b_avgdeg_sweep(
             errors = []
             for avgdeg in scale.subset(PAPER_AVGDEG_SWEEP):
                 errors.append(
-                    accuracy_point(n, avgdeg, query, mechanism, epsilon, scale, generator)
+                    accuracy_point(
+                        n, avgdeg, query, mechanism, epsilon, scale, generator
+                    )
                 )
             out[query][mechanism] = errors
     return out
@@ -146,7 +150,9 @@ def fig4c_epsilon_sweep(
             errors = []
             for epsilon in scale.subset(PAPER_EPSILON_SWEEP):
                 errors.append(
-                    accuracy_point(n, avgdeg, query, mechanism, epsilon, scale, generator)
+                    accuracy_point(
+                        n, avgdeg, query, mechanism, epsilon, scale, generator
+                    )
                 )
             out[query][mechanism] = errors
     return out

@@ -85,7 +85,5 @@ def load_dataset(name: str, scale: float = 1.0) -> Graph:
     Deterministic per (name, scale): the spec carries a fixed seed.
     """
     if name not in DATASETS:
-        raise DatasetError(
-            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
-        )
+        raise DatasetError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
     return DATASETS[name].generate(scale)

@@ -126,9 +126,7 @@ def preferential_attachment(
                 and generator.random() < closure_probability
                 and graph.degree(previous) > 0
             ):
-                candidate = int(
-                    generator.choice(sorted(graph.neighbors(previous)))
-                )
+                candidate = int(generator.choice(sorted(graph.neighbors(previous))))
             else:
                 candidate = int(repeated[int(generator.integers(0, len(repeated)))])
             if candidate != new_node and candidate not in targets:
@@ -163,9 +161,7 @@ def watts_strogatz(n: int, k: int, beta: float, rng: RngLike = None) -> Graph:
             if generator.random() < beta:
                 old = (node + offset) % n
                 candidates = [
-                    c
-                    for c in range(n)
-                    if c != node and not graph.has_edge(node, c)
+                    c for c in range(n) if c != node and not graph.has_edge(node, c)
                 ]
                 if candidates and graph.has_edge(node, old):
                     new = int(generator.choice(candidates))

@@ -59,9 +59,7 @@ class Graph:
         adj = self._adj
         for u, v in edges:
             if u == v:
-                raise GraphError(
-                    f"self-loop on {u!r} not allowed in a simple graph"
-                )
+                raise GraphError(f"self-loop on {u!r} not allowed in a simple graph")
             seen_u = adj.get(u)
             if seen_u is None:
                 seen_u = adj[u] = set()

@@ -90,9 +90,7 @@ def read_edge_list(
                 continue
             parts = line.split()
             if len(parts) < 2:
-                problems.append(
-                    f"{path}:{line_number}: expected 'u v', got {line!r}"
-                )
+                problems.append(f"{path}:{line_number}: expected 'u v', got {line!r}")
                 continue
             u, v = _parse_label(parts[0]), _parse_label(parts[1])
             if u == v:

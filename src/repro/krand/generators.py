@@ -16,9 +16,7 @@ def _participant_names(count: int) -> List[str]:
     return [f"p{i}" for i in range(count)]
 
 
-def _random_clause_vars(
-    names: List[str], width: int, rng
-) -> Tuple[str, ...]:
+def _random_clause_vars(names: List[str], width: int, rng) -> Tuple[str, ...]:
     """``width`` distinct variable names chosen uniformly."""
     indices = rng.choice(len(names), size=width, replace=False)
     return tuple(names[int(i)] for i in indices)

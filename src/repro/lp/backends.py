@@ -339,9 +339,7 @@ def create(name: str, **kwargs) -> SolverBackend:
             if fallbacks
             else ""
         )
-        raise LPError(
-            f"[lp-backend {cls.name}] backend unavailable: {reason}{hint}"
-        )
+        raise LPError(f"[lp-backend {cls.name}] backend unavailable: {reason}{hint}")
     return cls(**kwargs)
 
 
@@ -378,9 +376,7 @@ def load_preferences(path: Union[str, Path]) -> Dict[str, float]:
         ) from None
     fig5 = payload.get("fig5")
     if not isinstance(fig5, dict):
-        raise LPError(
-            f"backend preferences file {path} has no 'fig5' timing object"
-        )
+        raise LPError(f"backend preferences file {path} has no 'fig5' timing object")
     measured: Dict[str, float] = {}
     for name, row in fig5.items():
         seconds = row.get("wall_seconds") if isinstance(row, dict) else None

@@ -135,9 +135,7 @@ class CompiledProgram:
         self._bounds[:, 0] = 0.0
         self._bounds[:, 1] = 1.0
 
-        self._a_ub = _csr(
-            ub_rows, ub_cols, ub_vals, (len(ub_rhs), self.num_variables)
-        )
+        self._a_ub = _csr(ub_rows, ub_cols, ub_vals, (len(ub_rhs), self.num_variables))
         # linprog wants b_ub=None (not an empty array) when A_ub is None
         self._b_ub = (
             np.asarray(ub_rhs, dtype=float) if self._a_ub is not None else None
@@ -320,9 +318,7 @@ class CompiledProgram:
             }
             for row in range(g_csr.shape[0])
         ]
-        program._use_engine = bool(
-            getattr(backend, "supports_persistent", False)
-        )
+        program._use_engine = bool(getattr(backend, "supports_persistent", False))
         program._last_g_optimum = None
         program._g_overlay = None
         program._h_model = None
@@ -367,7 +363,9 @@ class CompiledProgram:
 
     # -- H -------------------------------------------------------------------
     def _build_h_model(self) -> PersistentModel:
-        blocks = [self._a_ub, self._a_mass] if self._a_ub is not None else [self._a_mass]
+        blocks = (
+            [self._a_ub, self._a_mass] if self._a_ub is not None else [self._a_mass]
+        )
         matrix = sparse.vstack(blocks, format="csr")
         row_lower = np.concatenate([self._ub_row_lower(), [0.0]])
         upper = self._b_ub if self._b_ub is not None else np.zeros(0)
@@ -433,9 +431,7 @@ class CompiledProgram:
         else:
             a_ub = g_block
             b_ub = np.zeros(len(self._g_row_maps))
-        a_eq = sparse.hstack(
-            [self._a_mass, sparse.csr_matrix((1, 1))], format="csr"
-        )
+        a_eq = sparse.hstack([self._a_mass, sparse.csr_matrix((1, 1))], format="csr")
         bounds = np.vstack([self._bounds, [[0.0, _INF]]])
         c = np.zeros(n + 1)
         c[z] = 1.0
@@ -459,8 +455,7 @@ class CompiledProgram:
         """The Eq. 19 min-max LP; the z overlay is assembled on first use."""
         if not self._g_row_maps:
             raise LPError(
-                f"{self._err_prefix()} relation has no G rows — "
-                "G_i is identically 0"
+                f"{self._err_prefix()} relation has no G rows — " "G_i is identically 0"
             )
         if self._g_overlay is None:
             self._build_g_overlay()
@@ -533,9 +528,7 @@ class CompiledProgram:
                 return model.solve_rhs_sweep(
                     model.num_rows - 1, [value for _, value in task_list]
                 )
-        return map_tasks(
-            _solve_overlay_task, task_list, payload=self, workers=workers
-        )
+        return map_tasks(_solve_overlay_task, task_list, payload=self, workers=workers)
 
     # -- the Δ-search predicate ----------------------------------------------
     def _prepare_feas_model(self, i: float, half: float) -> PersistentModel:
@@ -593,8 +586,7 @@ class CompiledProgram:
         if resolve_workers(workers) >= 2 and fork_available():
             return self._race_decide_processes(float(i), float(threshold))
         if not (
-            self._use_engine
-            and getattr(self.backend, "supports_warm_start", False)
+            self._use_engine and getattr(self.backend, "supports_warm_start", False)
         ):
             return self.solve_g_feasible(i, threshold), None
         if self._g_overlay is None:

@@ -103,9 +103,7 @@ class GurobiModel(PersistentModel):  # pragma: no cover - needs gurobipy
             lb=np.asarray(col_lower, dtype=float),
             ub=np.asarray(col_upper, dtype=float),
         )
-        model.setObjective(
-            np.asarray(col_costs, dtype=float) @ x, gp.GRB.MINIMIZE
-        )
+        model.setObjective(np.asarray(col_costs, dtype=float) @ x, gp.GRB.MINIMIZE)
         lower = np.asarray(row_lower, dtype=float)
         upper = np.asarray(row_upper, dtype=float)
         self._senses = []
@@ -274,6 +272,9 @@ class GurobiBackend(SolverBackend):
             row_lower = np.zeros(0)
             row_upper = np.zeros(0)
         bounds = np.asarray(bounds, dtype=float)
+        # repro: allow(fork-safety) — throwaway model scoped to this call
+        # (never stored, so it cannot cross a fork); the owner-pid guard
+        # is pinned by tests/test_backends.py::test_persistent_model_fork_guard
         model = self.build_persistent(
             matrix,
             col_costs=np.asarray(c, dtype=float),

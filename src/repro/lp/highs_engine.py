@@ -61,9 +61,7 @@ def _probe() -> Tuple[bool, str]:
         except Exception as exc:  # pragma: no cover - layout-dependent
             _PROBE = (False, f"{ENGINE_MODULE} failed to import: {exc}")
         else:
-            missing = [
-                name for name in _REQUIRED_NAMES if not hasattr(core, name)
-            ]
+            missing = [name for name in _REQUIRED_NAMES if not hasattr(core, name)]
             if missing:  # pragma: no cover - layout-dependent
                 _PROBE = (
                     False,
@@ -190,13 +188,10 @@ class PersistentLP(PersistentModel):
             (options or {}).get("ipm_iteration_limit", 2147483647)
         )
         #: the tighter of the two — the effective per-solve budget ceiling
-        self.base_iteration_limit = min(
-            self.base_simplex_limit, self.base_ipm_limit
-        )
+        self.base_iteration_limit = min(self.base_simplex_limit, self.base_ipm_limit)
         if self._solver.passModel(lp) == _core.HighsStatus.kError:
             raise LPError(
-                f"[lp-backend {self.backend_name}] HiGHS rejected the "
-                "compiled model"
+                f"[lp-backend {self.backend_name}] HiGHS rejected the " "compiled model"
             )
 
     # -- per-solve mutations -------------------------------------------------
@@ -209,9 +204,7 @@ class PersistentLP(PersistentModel):
         """Overwrite the objective coefficients of the given columns."""
         self._assert_owner()
         idx = np.asarray(indices, dtype=np.int32)
-        self._solver.changeColsCost(
-            len(idx), idx, np.asarray(values, dtype=float)
-        )
+        self._solver.changeColsCost(len(idx), idx, np.asarray(values, dtype=float))
 
     def set_option(self, key: str, value) -> None:
         """Set a HiGHS option (e.g. a temporary iteration budget)."""

@@ -32,7 +32,9 @@ class Constraint:
 
     def __post_init__(self):
         if self.sense not in _SENSES:
-            raise LPError(f"constraint sense must be one of {_SENSES}, got {self.sense!r}")
+            raise LPError(
+                f"constraint sense must be one of {_SENSES}, got {self.sense!r}"
+            )
         if len(self.indices) != len(self.coefficients):
             raise LPError("indices and coefficients must have equal length")
 
@@ -121,7 +123,9 @@ class LinearProgram:
         self._names.append(name)
         return len(self._lower) - 1
 
-    def add_variables(self, count: int, lb: float = 0.0, ub: Optional[float] = None) -> List[int]:
+    def add_variables(
+        self, count: int, lb: float = 0.0, ub: Optional[float] = None
+    ) -> List[int]:
         """Add ``count`` identical variables; return their indices."""
         return [self.add_variable(lb=lb, ub=ub) for _ in range(count)]
 
@@ -142,7 +146,9 @@ class LinearProgram:
         return self._names[index]
 
     # -- constraints ----------------------------------------------------------
-    def add_constraint(self, coefficients: Dict[int, float], sense: str, rhs: float) -> None:
+    def add_constraint(
+        self, coefficients: Dict[int, float], sense: str, rhs: float
+    ) -> None:
         """Add ``sum(c_j * x_j) sense rhs`` where coefficients maps index->c."""
         for index in coefficients:
             if not 0 <= index < self.num_variables:
@@ -162,7 +168,9 @@ class LinearProgram:
         return tuple(self._constraints)
 
     # -- objective ------------------------------------------------------------
-    def set_objective(self, coefficients: Dict[int, float], constant: float = 0.0) -> None:
+    def set_objective(
+        self, coefficients: Dict[int, float], constant: float = 0.0
+    ) -> None:
         """Set the minimization objective ``sum(c_j x_j) + constant``."""
         for index in coefficients:
             if not 0 <= index < self.num_variables:

@@ -209,7 +209,10 @@ class SimplexBackend:
                     if (
                         best_ratio is None
                         or ratio < best_ratio - _EPS
-                        or (abs(ratio - best_ratio) <= _EPS and basis[i] < basis[leaving])
+                        or (
+                            abs(ratio - best_ratio) <= _EPS
+                            and basis[i] < basis[leaving]
+                        )
                     ):
                         best_ratio = ratio
                         leaving = i

@@ -94,8 +94,9 @@ class QuerySpec:
     weight: Optional[LinearQuery] = None
 
     @classmethod
-    def of(cls, query, privacy: str = "edge",
-           weight: Optional[LinearQuery] = None) -> "QuerySpec":
+    def of(
+        cls, query, privacy: str = "edge", weight: Optional[LinearQuery] = None
+    ) -> "QuerySpec":
         """Build a spec from a query argument.
 
         ``query`` may be a :class:`Pattern`, a query-name string
@@ -246,8 +247,9 @@ class Mechanism:
                     return relation
         provider = getattr(graph, "occurrences_for", None)
         occurrences = provider(spec.pattern) if provider is not None else None
-        return subgraph_krelation(graph, spec.pattern, privacy=spec.privacy,
-                                  occurrences=occurrences)
+        return subgraph_krelation(
+            graph, spec.pattern, privacy=spec.privacy, occurrences=occurrences
+        )
 
     def prepare(self, spec: QuerySpec) -> PreparedQuery:
         """Do all per-query precomputation; checks the privacy model."""
@@ -263,9 +265,16 @@ class Mechanism:
         """Implementation hook for :meth:`prepare`."""
         raise NotImplementedError
 
-    def run(self, query, epsilon, rng: RngLike = None, *,
-            privacy: str = "edge", weight: Optional[LinearQuery] = None,
-            params=None) -> ResultBase:
+    def run(
+        self,
+        query,
+        epsilon,
+        rng: RngLike = None,
+        *,
+        privacy: str = "edge",
+        weight: Optional[LinearQuery] = None,
+        params=None,
+    ) -> ResultBase:
         """One-shot: prepare ``query`` and release once.
 
         The registry-wide uniform signature.  For repeated queries over
@@ -287,8 +296,7 @@ def register(cls: Type[Mechanism]) -> Type[Mechanism]:
         existing = _REGISTRY.get(key)
         if existing is not None and existing is not cls:
             raise MechanismError(
-                f"mechanism name {key!r} already registered to "
-                f"{existing.__name__}"
+                f"mechanism name {key!r} already registered to " f"{existing.__name__}"
             )
         _REGISTRY[key] = cls
     return cls

@@ -146,9 +146,7 @@ class SmoothBaseline(Mechanism):
         pattern_name = spec.pattern.name
         truth = exact_pattern_count(graph, spec.pattern)
         if pattern_name == "triangle":
-            nrs = NRSTriangleMechanism(
-                graph, exact_pairs=self.options["exact_pairs"]
-            )
+            nrs = NRSTriangleMechanism(graph, exact_pairs=self.options["exact_pairs"])
             return _PreparedBaseline(
                 spec, lambda epsilon, rng: nrs.run(epsilon, rng), truth
             )

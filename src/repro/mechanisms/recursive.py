@@ -64,9 +64,16 @@ class RecursiveMechanism(Mechanism):
     aliases = ("recursive-mechanism",)
     privacy_models = ("node", "edge")
 
-    def __init__(self, data, backend=None, workers: Optional[int] = 1,
-                 bounding: str = "auto", normalize: bool = False,
-                 s_bar=None, compiled: bool = True):
+    def __init__(
+        self,
+        data,
+        backend=None,
+        workers: Optional[int] = 1,
+        bounding: str = "auto",
+        normalize: bool = False,
+        s_bar=None,
+        compiled: bool = True,
+    ):
         super().__init__(
             data, backend=backend, workers=workers, bounding=bounding,
             normalize=normalize, s_bar=s_bar, compiled=compiled,

@@ -114,8 +114,7 @@ def resolve_start_method() -> str:
             )
         if method not in multiprocessing.get_all_start_methods():
             raise ValueError(
-                f"${START_METHOD_ENV}={method} is not available on this "
-                "platform"
+                f"${START_METHOD_ENV}={method} is not available on this " "platform"
             )
         return method
     if fork_available():
@@ -228,15 +227,23 @@ class WorkerPool:
         self._pending: List["weakref.ref"] = []
         context = multiprocessing.get_context("fork")
         self._pool = context.Pool(
-            processes=workers, initializer=_worker_init, initargs=(self._key,)
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(
+                self._key,
+            ),
         )
 
     def map(self, tasks: Sequence) -> List:
         """Run every task; results come back in task order."""
         return self._pool.map(_invoke, tasks)
 
-    def submit(self, task, callback: Optional[Callable] = None,
-               error_callback: Optional[Callable] = None):
+    def submit(
+        self,
+        task,
+        callback: Optional[Callable] = None,
+        error_callback: Optional[Callable] = None,
+    ):
         """Schedule one task asynchronously; returns an ``AsyncResult``.
 
         The session layer's future-based fan-out: ``result.get()`` blocks
@@ -247,7 +254,12 @@ class WorkerPool:
         if self._pool is None:
             raise RuntimeError("WorkerPool is closed")
         result = self._pool.apply_async(
-            _invoke, (task,), callback=callback, error_callback=error_callback
+            _invoke,
+            (
+                task,
+            ),
+            callback=callback,
+            error_callback=error_callback,
         )
         still_pending = []
         for ref in self._pending:
@@ -356,13 +368,9 @@ class SpawnWorkerPool:
 
     def __init__(self, workers: int, fn: Callable, rebuild: Callable, spec):
         if workers < 2:
-            raise ValueError(
-                f"SpawnWorkerPool needs >= 2 workers, got {workers}"
-            )
+            raise ValueError(f"SpawnWorkerPool needs >= 2 workers, got {workers}")
         if not spawn_available():  # pragma: no cover - spawn is universal
-            raise RuntimeError(
-                "SpawnWorkerPool requires the 'spawn' start method"
-            )
+            raise RuntimeError("SpawnWorkerPool requires the 'spawn' start method")
         context = multiprocessing.get_context("spawn")
         self._pool = context.Pool(
             processes=workers,

@@ -111,9 +111,7 @@ def first_decided(strands: Sequence[Tuple[str, Callable]], timeout=None):
                 name, _ = readers[reader]
                 failures.append(f"{name}: strand process died")
                 del readers[reader]
-        raise StrandError(
-            "every strand of the race failed: " + "; ".join(failures)
-        )
+        raise StrandError("every strand of the race failed: " + "; ".join(failures))
     finally:
         for process in processes:
             if process.is_alive():

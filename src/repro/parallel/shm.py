@@ -177,9 +177,7 @@ class SegmentRegistry:
     def owned(self) -> List[str]:
         """Names of the segments this process created and must unlink."""
         with self._lock:
-            return sorted(
-                name for name, entry in self._segments.items() if entry[2]
-            )
+            return sorted(name for name, entry in self._segments.items() if entry[2])
 
     def __len__(self) -> int:
         with self._lock:

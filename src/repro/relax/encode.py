@@ -107,12 +107,16 @@ class EncodedRelation:
         for expr, weight in annotated:
             weight = float(weight)
             if weight < 0:
-                raise LPError(f"negative query weight {weight} — decompose the query first")
+                raise LPError(
+                    f"negative query weight {weight} — decompose the query first"
+                )
             if weight == 0:
                 continue
             unknown = expr.variables() - set(self._pindex)
             if unknown:
-                raise LPError(f"annotation references unknown participants {sorted(unknown)}")
+                raise LPError(
+                    f"annotation references unknown participants {sorted(unknown)}"
+                )
             if isinstance(expr, _Const):
                 # FALSE-annotated tuples contribute nothing at any
                 # assignment — they must not count toward q(supp(R))
@@ -193,9 +197,7 @@ class EncodedRelation:
         self.backend = backend
         if len(set(self.participants)) != len(self.participants):
             raise LPError("duplicate participant names")
-        self._pindex = {
-            name: index for index, name in enumerate(self.participants)
-        }
+        self._pindex = {name: index for index, name in enumerate(self.participants)}
         num_participants = len(self.participants)
         matrix = np.ascontiguousarray(matrix, dtype=np.int64)
         if matrix.ndim != 2:
@@ -227,8 +229,9 @@ class EncodedRelation:
             self._ub_cols = np.empty(0, dtype=np.int64)
             self._ub_vals = np.empty(0, dtype=float)
             self._ub_rhs = np.empty(0, dtype=float)
-            self._root_vars = (matrix[:, 0].copy() if n else
-                               np.empty(0, dtype=np.int64))
+            self._root_vars = (
+                matrix[:, 0].copy() if n else np.empty(0, dtype=np.int64)
+            )
             self._num_structural = num_participants
         else:
             # one And node per row: v = P + r, row [-v, +children] <= m-1
@@ -237,9 +240,7 @@ class EncodedRelation:
             cols[:, 1:] = matrix
             self._ub_rows = np.repeat(np.arange(n, dtype=np.int64), width + 1)
             self._ub_cols = cols.ravel()
-            self._ub_vals = np.tile(
-                np.concatenate(([-1.0], np.ones(width))), n
-            )
+            self._ub_vals = np.tile(np.concatenate(([-1.0], np.ones(width))), n)
             self._ub_rhs = np.full(n, float(width - 1))
             self._root_vars = num_participants + np.arange(n, dtype=np.int64)
             self._num_structural = num_participants + n
@@ -254,9 +255,7 @@ class EncodedRelation:
             flat = matrix.ravel()
             order = np.argsort(flat, kind="stable")
             sorted_flat = flat[order]
-            starts = np.flatnonzero(
-                np.r_[True, sorted_flat[1:] != sorted_flat[:-1]]
-            )
+            starts = np.flatnonzero(np.r_[True, sorted_flat[1:] != sorted_flat[:-1]])
             ends = np.r_[starts[1:], flat.size]
             uniq, first_pos = np.unique(flat, return_index=True)
             row_of = order // width
@@ -348,9 +347,7 @@ class EncodedRelation:
                 lp.add_variable(lb=0.0, ub=1.0, name=f"f[{name}]")
             for _ in range(self._num_structural - len(self.participants)):
                 lp.add_variable(lb=0.0, ub=1.0)
-            row_coeffs: List[Dict[int, float]] = [
-                {} for _ in range(len(self._ub_rhs))
-            ]
+            row_coeffs: List[Dict[int, float]] = [{} for _ in range(len(self._ub_rhs))]
             for row, col, val in zip(
                 self._ub_rows.tolist(), self._ub_cols.tolist(), self._ub_vals.tolist()
             ):
@@ -369,9 +366,7 @@ class EncodedRelation:
 
     def _objective_terms(self) -> Dict[int, float]:
         coeffs: Dict[int, float] = {}
-        for var, weight in zip(
-            self._root_vars.tolist(), self._root_weights.tolist()
-        ):
+        for var, weight in zip(self._root_vars.tolist(), self._root_weights.tolist()):
             coeffs[var] = coeffs.get(var, 0.0) + weight
         return coeffs
 
@@ -383,7 +378,9 @@ class EncodedRelation:
 
     def _check(self, solution: LPSolution, what: str) -> LPSolution:
         if not solution.is_optimal:
-            raise LPError(f"{what} LP not optimal: {solution.status} {solution.message}")
+            raise LPError(
+                f"{what} LP not optimal: {solution.status} {solution.message}"
+            )
         return solution
 
     def _check_values(self, solution: LPSolution, what: str) -> LPSolution:

@@ -83,9 +83,7 @@ def phi_equivalent(
     # Boolean vertices first (exact, cheap for small expressions): cap at 2^16.
     if len(names) <= 16:
         for bits in range(1 << len(names)):
-            f = {
-                name: float((bits >> pos) & 1) for pos, name in enumerate(names)
-            }
+            f = {name: float((bits >> pos) & 1) for pos, name in enumerate(names)}
             if abs(phi(k1, f) - phi(k2, f)) > 1e-12:
                 return False
     generator = ensure_rng(rng)

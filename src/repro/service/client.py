@@ -77,15 +77,21 @@ class ServiceClient:
         Per-response socket timeout in seconds.
     """
 
-    def __init__(self, address: Union[str, Tuple[str, int]],
-                 port: Optional[int] = None, *,
-                 dataset: Optional[str] = None,
-                 user: Optional[str] = None, timeout: float = 60.0):
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        port: Optional[int] = None,
+        *,
+        dataset: Optional[str] = None,
+        user: Optional[str] = None,
+        timeout: float = 60.0,
+    ):
         if port is not None:
             warnings.warn(
                 "ServiceClient(host, port) is deprecated; pass one "
                 "address argument, e.g. ServiceClient('host:port')",
-                DeprecationWarning, stacklevel=2,
+                DeprecationWarning,
+                stacklevel=2,
             )
             address = (address, port)
         self._address = parse_address(address)
@@ -99,9 +105,7 @@ class ServiceClient:
     # -- plumbing ---------------------------------------------------------------
     def _connection(self):
         if self._sock is None:
-            self._sock = socket.create_connection(
-                self._address, timeout=self._timeout
-            )
+            self._sock = socket.create_connection(self._address, timeout=self._timeout)
             self._file = self._sock.makefile("rb")
         return self._sock, self._file
 
@@ -182,8 +186,9 @@ class ServiceClient:
             self._raise_error(frame)
         return frame
 
-    def _request(self, op: str, *, dataset: Optional[str] = None,
-                 **fields) -> Dict[str, Any]:
+    def _request(
+        self, op: str, *, dataset: Optional[str] = None, **fields
+    ) -> Dict[str, Any]:
         request = {"v": PROTOCOL_VERSION, "id": next(self._ids), "op": op}
         dataset = dataset if dataset is not None else self._dataset
         if dataset is not None:
@@ -206,21 +211,30 @@ class ServiceClient:
         """Per-dataset router stats: versions, in-flight, cache counters."""
         return self._roundtrip(self._request("stats"))["result"]
 
-    def budget(self, user: Optional[str] = None, *,
-               dataset: Optional[str] = None) -> Dict[str, Any]:
+    def budget(
+        self, user: Optional[str] = None, *, dataset: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Budget accounting snapshot: global + all tenants by default,
         one tenant's detail when ``user`` is named."""
         return self._roundtrip(self._request(
             "budget", dataset=dataset, user=user
         ))["result"]
 
-    def query(self, query: str, *, epsilon: float,
-              privacy: Optional[str] = None, mechanism: Optional[str] = None,
-              user: Optional[str] = None, label: Optional[str] = None,
-              seed=None, options: Optional[Dict[str, Any]] = None,
-              dataset: Optional[str] = None,
-              at_version: Optional[int] = None,
-              min_version: Optional[int] = None) -> Dict[str, Any]:
+    def query(
+        self,
+        query: str,
+        *,
+        epsilon: float,
+        privacy: Optional[str] = None,
+        mechanism: Optional[str] = None,
+        user: Optional[str] = None,
+        label: Optional[str] = None,
+        seed=None,
+        options: Optional[Dict[str, Any]] = None,
+        dataset: Optional[str] = None,
+        at_version: Optional[int] = None,
+        min_version: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """Answer one private query; returns the result payload.
 
         ``dataset`` routes to one of a v2 router's datasets (default:
@@ -241,9 +255,14 @@ class ServiceClient:
             user=user if user is not None else self._user,
         ))["result"]
 
-    def update(self, actions: List[Dict[str, Any]], *,
-               token: Optional[str] = None, label: Optional[str] = None,
-               dataset: Optional[str] = None) -> Dict[str, Any]:
+    def update(
+        self,
+        actions: List[Dict[str, Any]],
+        *,
+        token: Optional[str] = None,
+        label: Optional[str] = None,
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Apply a live graph update (dynamic servers only).
 
         ``actions`` is a list of update-action objects
@@ -266,12 +285,9 @@ class ServiceClient:
         The replica bootstrap: replaying the :meth:`log` onto this base
         reconstructs every historical version.
         """
-        return self._roundtrip(self._request(
-            "snapshot", dataset=dataset
-        ))["result"]
+        return self._roundtrip(self._request("snapshot", dataset=dataset))["result"]
 
-    def log(self, *, since: int = 0,
-            dataset: Optional[str] = None) -> Dict[str, Any]:
+    def log(self, *, since: int = 0, dataset: Optional[str] = None) -> Dict[str, Any]:
         """The dataset's delta log after version ``since``.
 
         Returns ``{"deltas": [{"version": v, "delta": {...}}, ...],
@@ -291,18 +307,25 @@ class ServiceClient:
                 self._raise_error(frame)
             event = frame.get("event")
             if event == "delta":
-                deltas.append({"version": frame.get("version"),
-                               "delta": frame.get("delta")})
-            elif event == "end":
-                return {"deltas": deltas, "version": frame.get("version"),
-                        "base_version": frame.get("base_version", 0)}
-            else:
-                raise ProtocolError(
-                    f"unexpected log stream frame: {frame!r}"
+                deltas.append(
+                    {"version": frame.get("version"), "delta": frame.get("delta")}
                 )
+            elif event == "end":
+                return {
+                    "deltas": deltas,
+                    "version": frame.get("version"),
+                    "base_version": frame.get("base_version", 0),
+                }
+            else:
+                raise ProtocolError(f"unexpected log stream frame: {frame!r}")
 
-    def audit(self, *, replay: bool = False, user: Optional[str] = None,
-              dataset: Optional[str] = None) -> Dict[str, Any]:
+    def audit(
+        self,
+        *,
+        replay: bool = False,
+        user: Optional[str] = None,
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Stream the server's audit log; returns ``{entries, ...totals}``.
 
         With ``replay=True`` the server re-executes every replayable
@@ -322,18 +345,20 @@ class ServiceClient:
                 self._raise_error(frame)
             event = frame.get("event")
             if event == "entry":
-                entries.append({
-                    key: value for key, value in frame.items()
-                    if key not in ("v", "id", "ok", "event")
-                })
+                entries.append(
+                    {
+                        key: value
+                        for key, value in frame.items()
+                        if key not in ("v", "id", "ok", "event")
+                    }
+                )
             elif event == "end":
                 summary = {
-                    key: value for key, value in frame.items()
+                    key: value
+                    for key, value in frame.items()
                     if key not in ("v", "id", "ok", "event")
                 }
                 summary["entries"] = entries
                 return summary
             else:
-                raise ProtocolError(
-                    f"unexpected audit stream frame: {frame!r}"
-                )
+                raise ProtocolError(f"unexpected audit stream frame: {frame!r}")

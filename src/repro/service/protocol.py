@@ -129,29 +129,30 @@ def encode_frame(obj: Dict[str, Any]) -> bytes:
 def decode_frame(line: bytes) -> Dict[str, Any]:
     """One wire line → the JSON object, or :class:`ProtocolError`."""
     if len(line) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame exceeds {MAX_FRAME_BYTES} bytes"
-        )
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
     try:
         obj = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise ProtocolError(f"malformed frame: {error}") from None
     if not isinstance(obj, dict):
-        raise ProtocolError(
-            f"frame must be a JSON object, got {type(obj).__name__}"
-        )
+        raise ProtocolError(f"frame must be a JSON object, got {type(obj).__name__}")
     return obj
 
 
-def result_frame(request_id, result: Dict[str, Any],
-                 v: int = PROTOCOL_VERSION) -> Dict[str, Any]:
+def result_frame(
+    request_id, result: Dict[str, Any], v: int = PROTOCOL_VERSION
+) -> Dict[str, Any]:
     """A successful response frame (``v`` echoes the request's version)."""
     return {"v": v, "id": request_id, "ok": True, "result": result}
 
 
-def error_frame(request_id, code: str, message: str,
-                user: Optional[str] = None,
-                v: int = PROTOCOL_VERSION) -> Dict[str, Any]:
+def error_frame(
+    request_id,
+    code: str,
+    message: str,
+    user: Optional[str] = None,
+    v: int = PROTOCOL_VERSION,
+) -> Dict[str, Any]:
     """A refusal/failure response frame (``user`` = the binding tenant)."""
     error: Dict[str, Any] = {"code": code, "message": message}
     if user is not None:
@@ -159,8 +160,9 @@ def error_frame(request_id, code: str, message: str,
     return {"v": v, "id": request_id, "ok": False, "error": error}
 
 
-def event_frame(request_id, event: str, v: int = PROTOCOL_VERSION,
-                **payload) -> Dict[str, Any]:
+def event_frame(
+    request_id, event: str, v: int = PROTOCOL_VERSION, **payload
+) -> Dict[str, Any]:
     """One frame of a streamed response (``entry`` ... then ``end``)."""
     return {"v": v, "id": request_id, "ok": True, "event": event, **payload}
 
@@ -215,8 +217,7 @@ def seed_to_wire(seed) -> Optional[WireSeed]:
     if isinstance(seed, (int, np.integer)):
         return int(seed)
     if isinstance(seed, np.random.SeedSequence):
-        return {"entropy": seed.entropy,
-                "spawn_key": [int(k) for k in seed.spawn_key]}
+        return {"entropy": seed.entropy, "spawn_key": [int(k) for k in seed.spawn_key]}
     raise ProtocolError(f"cannot encode seed {seed!r} for the wire")
 
 
@@ -239,14 +240,13 @@ def seed_from_wire(wire: Optional[WireSeed]):
 
 def _user_key(user: Optional[str]) -> int:
     """A stable 64-bit spawn-key component for one tenant name."""
-    digest = hashlib.sha256(
-        (user if user is not None else "").encode("utf-8")
-    ).digest()
+    digest = hashlib.sha256((user if user is not None else "").encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
 
 
-def request_seed(entropy: int, user: Optional[str],
-                 index: int) -> np.random.SeedSequence:
+def request_seed(
+    entropy: int, user: Optional[str], index: int
+) -> np.random.SeedSequence:
     """The service-side seed for a tenant's ``index``-th granted request.
 
     A pure function of the service's seed entropy, the tenant name, and

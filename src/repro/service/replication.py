@@ -64,8 +64,13 @@ class PrimaryLink:
     makes primary restarts a non-event.
     """
 
-    def __init__(self, primary: Union[str, Tuple[str, int]], dataset: str, *,
-                 timeout: float = 30.0):
+    def __init__(
+        self,
+        primary: Union[str, Tuple[str, int]],
+        dataset: str,
+        *,
+        timeout: float = 30.0,
+    ):
         self.address = parse_address(primary)
         self.dataset = dataset
         self._timeout = timeout
@@ -73,8 +78,12 @@ class PrimaryLink:
 
     async def _call(self, op: str, **fields) -> List[Dict[str, Any]]:
         """One request; returns every response frame for its id."""
-        request = {"v": PROTOCOL_VERSION, "id": next(self._ids), "op": op,
-                   "dataset": self.dataset}
+        request = {
+            "v": PROTOCOL_VERSION,
+            "id": next(self._ids),
+            "op": op,
+            "dataset": self.dataset,
+        }
         request.update((k, v) for k, v in fields.items() if v is not None)
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(*self.address, limit=MAX_FRAME_BYTES + 2),
@@ -87,14 +96,10 @@ class PrimaryLink:
             while True:
                 line = await asyncio.wait_for(reader.readline(), self._timeout)
                 if not line:
-                    raise ProtocolError(
-                        "primary closed the connection mid-response"
-                    )
+                    raise ProtocolError("primary closed the connection mid-response")
                 frame = decode_frame(line)
                 if frame.get("id") != request["id"]:
-                    raise ProtocolError(
-                        "interleaved response on the replication link"
-                    )
+                    raise ProtocolError("interleaved response on the replication link")
                 if not frame.get("ok"):
                     error = frame.get("error") or {}
                     raise RemoteServiceError(
@@ -119,11 +124,17 @@ class PrimaryLink:
     async def log(self, since: int = 0) -> Dict[str, Any]:
         """Deltas after version ``since``: ``{deltas, version}``."""
         frames = await self._call("log", since=since or None)
-        deltas = [{"version": f["version"], "delta": f["delta"]}
-                  for f in frames if f.get("event") == "delta"]
+        deltas = [
+            {"version": f["version"], "delta": f["delta"]}
+            for f in frames
+            if f.get("event") == "delta"
+        ]
         end = frames[-1]
-        return {"deltas": deltas, "version": end.get("version"),
-                "base_version": end.get("base_version", 0)}
+        return {
+            "deltas": deltas,
+            "version": end.get("version"),
+            "base_version": end.get("base_version", 0),
+        }
 
 
 def graph_from_snapshot(snapshot: Dict[str, Any]) -> VersionedGraph:
@@ -161,10 +172,16 @@ class ReplicaService(ServiceRouter):
 
     role = "replica"
 
-    def __init__(self, primary: Union[str, Tuple[str, int]], dataset: str,
-                 session_factory: Callable[[VersionedGraph], PrivateSession],
-                 *, poll_interval: float = 0.2, link_timeout: float = 30.0,
-                 **kwargs):
+    def __init__(
+        self,
+        primary: Union[str, Tuple[str, int]],
+        dataset: str,
+        session_factory: Callable[[VersionedGraph], PrivateSession],
+        *,
+        poll_interval: float = 0.2,
+        link_timeout: float = 30.0,
+        **kwargs,
+    ):
         kwargs.setdefault("name", f"repro-replica[{dataset}]")
         super().__init__(**kwargs)
         self._link = PrimaryLink(primary, dataset, timeout=link_timeout)
@@ -194,12 +211,9 @@ class ReplicaService(ServiceRouter):
             for item in shipped["deltas"]:
                 graph.apply(item["delta"])
             session = self._session_factory(graph)
-            self.add_dataset(self._dataset_name, session, updates=False,
-                             default=True)
+            self.add_dataset(self._dataset_name, session, updates=False, default=True)
         address = await super().start()
-        self._follow_task = asyncio.get_running_loop().create_task(
-            self._follow()
-        )
+        self._follow_task = asyncio.get_running_loop().create_task(self._follow())
         return address
 
     async def stop(self) -> None:
@@ -242,7 +256,8 @@ class ReplicaService(ServiceRouter):
                 self._follow_error = error
                 raise
 
-    async def _apply_replicated(self, lane: DatasetLane,
-                                actions: List[Dict[str, Any]]) -> None:
+    async def _apply_replicated(
+        self, lane: DatasetLane, actions: List[Dict[str, Any]]
+    ) -> None:
         """Apply shipped deltas behind the lane's drain barrier."""
         await self.apply_actions(lane, actions, label="replicated")

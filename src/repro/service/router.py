@@ -76,8 +76,9 @@ from .protocol import (
 __all__ = ["DatasetLane", "ServiceRouter"]
 
 #: Capability vocabulary advertised by the v2 ``hello``.
-CAPABILITIES = ("datasets", "min_version", "at_version", "snapshot", "log",
-                "stats", "result_frame")
+CAPABILITIES = (
+    "datasets", "min_version", "at_version", "snapshot", "log", "stats", "result_frame"
+)
 
 
 class DatasetLane:
@@ -90,13 +91,17 @@ class DatasetLane:
     state is touched from the event-loop thread only.
     """
 
-    def __init__(self, name: str, session: PrivateSession, *,
-                 updates: bool = False, writer_token: Optional[str] = None,
-                 entropy: Optional[int] = None):
+    def __init__(
+        self,
+        name: str,
+        session: PrivateSession,
+        *,
+        updates: bool = False,
+        writer_token: Optional[str] = None,
+        entropy: Optional[int] = None,
+    ):
         if not isinstance(name, str) or not name:
-            raise ValueError(
-                f"dataset name must be a non-empty string, got {name!r}"
-            )
+            raise ValueError(f"dataset name must be a non-empty string, got {name!r}")
         if not isinstance(session, PrivateSession):
             raise TypeError(
                 f"dataset {name!r} needs a PrivateSession, got "
@@ -116,8 +121,12 @@ class DatasetLane:
         self.session = session
         self.updates_enabled = bool(updates)
         self.writer_token = writer_token
-        self.entropy = (np.random.SeedSequence().entropy if entropy is None
-                        else int(entropy))
+        self.entropy = (
+            # repro: allow(rng-determinism) — entropy=None is the documented
+            # fresh-entropy lane; seeded lanes are pinned by
+            # tests/test_router.py::test_per_dataset_seed_streams_are_independent
+            np.random.SeedSequence().entropy if entropy is None else int(entropy)
+        )
         self.granted: Dict[Optional[str], int] = defaultdict(int)
         self.inflight = 0
         #: Pending-update barrier: while an update waits to apply, new
@@ -141,8 +150,9 @@ class DatasetLane:
     def exit_flight(self) -> None:
         """Count a query out; resolves the drain barrier at zero."""
         self.inflight -= 1
-        if (self.inflight == 0 and self.drained is not None
-                and not self.drained.done()):
+        if (
+            self.inflight == 0 and self.drained is not None and not self.drained.done()
+        ):
             self.drained.set_result(None)
 
     # -- consistency floors -----------------------------------------------------
@@ -196,14 +206,15 @@ class DatasetLane:
             "dynamic": self.session.dynamic,
             "graph_version": self.session.graph_version,
             "lp_backend": self.session.lp_backend,
-            "multi_tenant": isinstance(self.session.accountant,
-                                       HierarchicalAccountant),
+            "multi_tenant": isinstance(self.session.accountant, HierarchicalAccountant),
             "inflight": self.inflight,
             "granted": sum(self.granted.values()),
             "budget": self.budget_summary(),
             "cache": {
-                "hits": info.hits, "misses": info.misses,
-                "size": info.size, "evictions": info.evictions,
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.size,
+                "evictions": info.evictions,
                 "invalidations": info.invalidations,
             },
         }
@@ -246,10 +257,16 @@ class ServiceRouter:
     #: .ReplicaService` overrides with ``"replica"``.
     role = "primary"
 
-    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
-                 max_pending: int = 64, seed: Optional[int] = None,
-                 name: str = "repro-service",
-                 min_version_wait: float = 30.0):
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 64,
+        seed: Optional[int] = None,
+        name: str = "repro-service",
+        min_version_wait: float = 30.0,
+    ):
         if not isinstance(max_pending, int) or isinstance(max_pending, bool) \
                 or max_pending < 0:
             raise ValueError(
@@ -258,8 +275,13 @@ class ServiceRouter:
         self._host = host
         self._port = port
         self._max_pending = max_pending
-        self._entropy = (np.random.SeedSequence().entropy if seed is None
-                         else int(seed))
+        self._entropy = (
+            # repro: allow(rng-determinism) — seed=None is the documented
+            # fresh-entropy server; seeded servers answer byte-identically,
+            # pinned by
+            # tests/test_service.py::test_answers_byte_identical_to_in_process_session
+            np.random.SeedSequence().entropy if seed is None else int(seed)
+        )
         self.name = name
         self._min_version_wait = float(min_version_wait)
         self._lanes: Dict[str, DatasetLane] = {}
@@ -267,10 +289,16 @@ class ServiceRouter:
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- dataset mounting -------------------------------------------------------
-    def add_dataset(self, name: str, session: PrivateSession, *,
-                    updates: bool = False, writer_token: Optional[str] = None,
-                    seed: Optional[int] = None,
-                    default: bool = False) -> DatasetLane:
+    def add_dataset(
+        self,
+        name: str,
+        session: PrivateSession,
+        *,
+        updates: bool = False,
+        writer_token: Optional[str] = None,
+        seed: Optional[int] = None,
+        default: bool = False,
+    ) -> DatasetLane:
         """Mount one dataset; returns its lane.
 
         ``writer_token`` is the per-dataset writer secret the ``update``
@@ -281,7 +309,10 @@ class ServiceRouter:
         if name in self._lanes:
             raise ValueError(f"dataset {name!r} is already mounted")
         lane = DatasetLane(
-            name, session, updates=updates, writer_token=writer_token,
+            name,
+            session,
+            updates=updates,
+            writer_token=writer_token,
             entropy=self._entropy if seed is None else seed,
         )
         self._lanes[name] = lane
@@ -351,8 +382,9 @@ class ServiceRouter:
             await server.wait_closed()
 
     # -- connection handling ----------------------------------------------------
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         """Serve one client: one request per line, responses in order."""
         try:
             while True:
@@ -363,10 +395,15 @@ class ServiceRouter:
                 except (ValueError, asyncio.LimitOverrunError):
                     # Over-limit line: the stream is desynchronized —
                     # refuse loudly, then drop the connection.
-                    writer.write(encode_frame(error_frame(
-                        None, ERR_BAD_REQUEST,
-                        f"frame exceeds {MAX_FRAME_BYTES} bytes",
-                    )))
+                    writer.write(
+                        encode_frame(
+                            error_frame(
+                                None,
+                                ERR_BAD_REQUEST,
+                                f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                            )
+                        )
+                    )
                     await writer.drain()
                     break
                 if not line:
@@ -384,8 +421,7 @@ class ServiceRouter:
                 # the transport is closed either way.
                 pass
 
-    async def _serve_frame(self, line: bytes,
-                           writer: asyncio.StreamWriter) -> None:
+    async def _serve_frame(self, line: bytes, writer: asyncio.StreamWriter) -> None:
         """Decode, validate, route, dispatch one request; write response(s)."""
         request_id = None
         v = PROTOCOL_VERSION
@@ -395,28 +431,33 @@ class ServiceRouter:
             validate_service_request(request)
             if request.get("v") not in SUPPORTED_VERSIONS:
                 versions = "/".join(f"v{n}" for n in SUPPORTED_VERSIONS)
-                writer.write(encode_frame(error_frame(
-                    request_id, ERR_UNSUPPORTED_VERSION,
-                    f"this server speaks protocol {versions}, "
-                    f"got v={request.get('v')!r}",
-                )))
+                writer.write(
+                    encode_frame(
+                        error_frame(
+                            request_id,
+                            ERR_UNSUPPORTED_VERSION,
+                            f"this server speaks protocol {versions}, "
+                            f"got v={request.get('v')!r}",
+                        )
+                    )
+                )
                 return
             v = request["v"]
             op = request["op"]
             if op == "hello":
-                writer.write(encode_frame(result_frame(
-                    request_id, self._op_hello(request), v=v
-                )))
+                writer.write(
+                    encode_frame(result_frame(request_id, self._op_hello(request), v=v))
+                )
                 return
             if op == "ping":
-                writer.write(encode_frame(result_frame(
-                    request_id, self._op_ping(request), v=v
-                )))
+                writer.write(
+                    encode_frame(result_frame(request_id, self._op_ping(request), v=v))
+                )
                 return
             if op == "stats":
-                writer.write(encode_frame(result_frame(
-                    request_id, self._op_stats(request), v=v
-                )))
+                writer.write(
+                    encode_frame(result_frame(request_id, self._op_stats(request), v=v))
+                )
                 return
             # Every other op reads (or writes) one dataset: route it.
             dataset = request.get("dataset")
@@ -424,24 +465,34 @@ class ServiceRouter:
                 dataset = self._default
             lane = self._lanes.get(dataset)
             if lane is None:
-                writer.write(encode_frame(error_frame(
-                    request_id, ERR_UNKNOWN_DATASET,
-                    f"unknown dataset {dataset!r} "
-                    f"(served: {', '.join(self.datasets) or 'none'})",
-                    v=v,
-                )))
+                writer.write(
+                    encode_frame(
+                        error_frame(
+                            request_id,
+                            ERR_UNKNOWN_DATASET,
+                            f"unknown dataset {dataset!r} "
+                            f"(served: {', '.join(self.datasets) or 'none'})",
+                            v=v,
+                        )
+                    )
+                )
                 return
             floor = request.get("min_version")
             if floor is not None and not await lane.wait_for_version(
                 floor, self._min_version_wait
             ):
-                writer.write(encode_frame(error_frame(
-                    request_id, ERR_VERSION_BEHIND,
-                    f"dataset {lane.name!r} is at graph version "
-                    f"{lane.current_version()}, below the requested "
-                    f"min_version={floor} (waited {self._min_version_wait:g}s)",
-                    v=v,
-                )))
+                writer.write(
+                    encode_frame(
+                        error_frame(
+                            request_id,
+                            ERR_VERSION_BEHIND,
+                            f"dataset {lane.name!r} is at graph version "
+                            f"{lane.current_version()}, below the requested "
+                            f"min_version={floor} (waited {self._min_version_wait:g}s)",
+                            v=v,
+                        )
+                    )
+                )
                 return
             if op == "query":
                 writer.write(encode_frame(await self._op_query(lane, request)))
@@ -454,13 +505,15 @@ class ServiceRouter:
             elif op == "log":
                 await self._op_log(lane, request, writer)
             else:  # budget
-                writer.write(encode_frame(result_frame(
-                    request_id, self._op_budget(lane, request), v=v
-                )))
+                writer.write(
+                    encode_frame(
+                        result_frame(request_id, self._op_budget(lane, request), v=v)
+                    )
+                )
         except (ProtocolError, ValueError) as error:
-            writer.write(encode_frame(error_frame(
-                request_id, ERR_BAD_REQUEST, str(error), v=v
-            )))
+            writer.write(
+                encode_frame(error_frame(request_id, ERR_BAD_REQUEST, str(error), v=v))
+            )
 
     # -- simple ops -------------------------------------------------------------
     def _op_hello(self, request) -> Dict:
@@ -475,8 +528,9 @@ class ServiceRouter:
             "max_pending": self._max_pending,
             # v1-compat keys, describing the default dataset (v1 clients
             # only ever see that lane):
-            "multi_tenant": isinstance(default.session.accountant,
-                                       HierarchicalAccountant),
+            "multi_tenant": isinstance(
+                default.session.accountant, HierarchicalAccountant
+            ),
             "budget": default.budget_summary(),
             "updates": default.updates_enabled,
             "graph_version": default.session.graph_version,
@@ -491,24 +545,25 @@ class ServiceRouter:
                     "dynamic": lane.session.dynamic,
                     "graph_version": lane.session.graph_version,
                     "lp_backend": lane.session.lp_backend,
-                    "multi_tenant": isinstance(lane.session.accountant,
-                                               HierarchicalAccountant),
+                    "multi_tenant": isinstance(
+                        lane.session.accountant, HierarchicalAccountant
+                    ),
                 }
                 for name, lane in self._lanes.items()
             },
         }
 
     def _op_ping(self, request) -> Dict:
-        return {"pong": True,
-                "inflight": sum(lane.inflight
-                                for lane in self._lanes.values())}
+        return {
+            "pong": True,
+            "inflight": sum(lane.inflight for lane in self._lanes.values()),
+        }
 
     def _op_stats(self, request) -> Dict:
         return {
             "role": self.role,
             "default_dataset": self._default,
-            "datasets": {name: lane.describe()
-                         for name, lane in self._lanes.items()},
+            "datasets": {name: lane.describe() for name, lane in self._lanes.items()},
         }
 
     def _op_budget(self, lane: DatasetLane, request) -> Dict:
@@ -543,15 +598,19 @@ class ServiceRouter:
         await lane.admission_turn()
         if lane.inflight >= self._max_pending:
             return error_frame(
-                request_id, ERR_OVERLOADED,
+                request_id,
+                ERR_OVERLOADED,
                 f"{lane.inflight} queries already in flight on dataset "
                 f"{lane.name!r} (max_pending={self._max_pending}); "
                 f"retry later",
                 v=v,
             )
         explicit_seed = seed_from_wire(request.get("seed"))
-        seed = (explicit_seed if explicit_seed is not None
-                else request_seed(lane.entropy, user, lane.granted[user]))
+        seed = (
+            explicit_seed if explicit_seed is not None else request_seed(
+                lane.entropy, user, lane.granted[user]
+            )
+        )
         try:
             future = lane.session.submit(
                 request["query"],
@@ -568,8 +627,9 @@ class ServiceRouter:
             # error.user is None when the shared global cap (not this
             # tenant's sub-budget) was the binding constraint — preserve
             # that distinction over the wire.
-            return error_frame(request_id, ERR_BUDGET_EXHAUSTED, str(error),
-                               user=error.user, v=v)
+            return error_frame(
+                request_id, ERR_BUDGET_EXHAUSTED, str(error), user=error.user, v=v
+            )
         except (ReproError, ValueError, TypeError) as error:
             return error_frame(request_id, ERR_BAD_REQUEST, str(error), v=v)
         if explicit_seed is None:
@@ -580,6 +640,10 @@ class ServiceRouter:
         lane.enter_flight()
         try:
             if future.done():
+                # repro: allow(async-blocking) — guarded by future.done():
+                # a completed future returns without waiting; loop liveness
+                # under load is pinned by
+                # tests/test_service.py::test_hammering_ledger_exact_and_deterministic
                 result = future.result()
             else:
                 result = await asyncio.get_running_loop().run_in_executor(
@@ -589,10 +653,12 @@ class ServiceRouter:
             # Admission already spent the budget (side-channel safety);
             # report the failure with the ledger index it occupies.
             return error_frame(
-                request_id, ERR_FAILED,
+                request_id,
+                ERR_FAILED,
                 f"query {entry.label!r} failed after admission "
                 f"(eps={entry.epsilon:g} spent): {error}",
-                user=user, v=v,
+                user=user,
+                v=v,
             )
         finally:
             lane.exit_flight()
@@ -615,8 +681,9 @@ class ServiceRouter:
         return result_frame(request_id, payload, v=v)
 
     # -- live updates -----------------------------------------------------------
-    async def apply_actions(self, lane: DatasetLane, actions,
-                            label: Optional[str] = None):
+    async def apply_actions(
+        self, lane: DatasetLane, actions, label: Optional[str] = None
+    ):
         """Apply update actions behind the lane's drain barrier.
 
         The update waits for every in-flight request on the lane to drain
@@ -671,14 +738,18 @@ class ServiceRouter:
                     f"v{version_after}; see the audit log)"
                 )
             return error_frame(request_id, ERR_BAD_REQUEST, message, v=v)
-        return result_frame(request_id, {
-            "dataset": lane.name,
-            "version": outcome.version,
-            "applied": outcome.applied,
-            "deltas": [delta.to_dict() for delta in outcome.deltas],
-            "num_nodes": lane.session.data.num_nodes,
-            "num_edges": lane.session.data.num_edges,
-        }, v=v)
+        return result_frame(
+            request_id,
+            {
+                "dataset": lane.name,
+                "version": outcome.version,
+                "applied": outcome.applied,
+                "deltas": [delta.to_dict() for delta in outcome.deltas],
+                "num_nodes": lane.session.data.num_nodes,
+                "num_edges": lane.session.data.num_edges,
+            },
+            v=v,
+        )
 
     def _update_gate(self, lane: DatasetLane, request) -> Optional[str]:
         """The refusal message for an ``update``, or ``None`` to admit."""
@@ -706,22 +777,27 @@ class ServiceRouter:
         v = request["v"]
         if not lane.session.dynamic:
             return error_frame(
-                request_id, ERR_BAD_REQUEST,
-                f"dataset {lane.name!r} is static (no versioned log to "
-                "replicate)",
+                request_id,
+                ERR_BAD_REQUEST,
+                f"dataset {lane.name!r} is static (no versioned log to " "replicate)",
                 v=v,
             )
         base = lane.session.data.at_version(0)
-        return result_frame(request_id, {
-            "dataset": lane.name,
-            "version": lane.session.data.version,
-            "base_version": 0,
-            "nodes": base.nodes(),
-            "edges": [[u, w] for u, w in base.edges()],
-        }, v=v)
+        return result_frame(
+            request_id,
+            {
+                "dataset": lane.name,
+                "version": lane.session.data.version,
+                "base_version": 0,
+                "nodes": base.nodes(),
+                "edges": [[u, w] for u, w in base.edges()],
+            },
+            v=v,
+        )
 
-    async def _op_log(self, lane: DatasetLane, request,
-                      writer: asyncio.StreamWriter) -> None:
+    async def _op_log(
+        self, lane: DatasetLane, request, writer: asyncio.StreamWriter
+    ) -> None:
         """Stream the lane's delta log from ``since`` (exclusive).
 
         One ``delta`` event per committed :class:`~repro.dynamic
@@ -732,40 +808,67 @@ class ServiceRouter:
         request_id = request.get("id")
         v = request["v"]
         if not lane.session.dynamic:
-            writer.write(encode_frame(error_frame(
-                request_id, ERR_BAD_REQUEST,
-                f"dataset {lane.name!r} is static (no versioned log to "
-                "replicate)",
-                v=v,
-            )))
+            writer.write(
+                encode_frame(
+                    error_frame(
+                        request_id,
+                        ERR_BAD_REQUEST,
+                        f"dataset {lane.name!r} is static (no versioned log to "
+                        "replicate)",
+                        v=v,
+                    )
+                )
+            )
             return
         since = request.get("since", 0)
         log = lane.session.data.log
         if since > len(log):
-            writer.write(encode_frame(error_frame(
-                request_id, ERR_BAD_REQUEST,
-                f"since={since} is ahead of dataset {lane.name!r} "
-                f"(version {len(log)})",
-                v=v,
-            )))
+            writer.write(
+                encode_frame(
+                    error_frame(
+                        request_id,
+                        ERR_BAD_REQUEST,
+                        f"since={since} is ahead of dataset {lane.name!r} "
+                        f"(version {len(log)})",
+                        v=v,
+                    )
+                )
+            )
             return
         streamed = 0
         for index in range(since, len(log)):
-            writer.write(encode_frame(event_frame(
-                request_id, "delta", v=v, version=index + 1,
-                delta=log[index].to_dict(),
-            )))
+            writer.write(
+                encode_frame(
+                    event_frame(
+                        request_id,
+                        "delta",
+                        v=v,
+                        version=index + 1,
+                        delta=log[index].to_dict(),
+                    )
+                )
+            )
             streamed += 1
             if streamed % 64 == 0:
                 await writer.drain()
-        writer.write(encode_frame(event_frame(
-            request_id, "end", v=v, version=len(log), base_version=0,
-            count=streamed, dataset=lane.name,
-        )))
+        writer.write(
+            encode_frame(
+                event_frame(
+                    request_id,
+                    "end",
+                    v=v,
+                    version=len(log),
+                    base_version=0,
+                    count=streamed,
+                    dataset=lane.name,
+                )
+            )
+        )
 
     # -- streaming audit --------------------------------------------------------
-    async def _op_audit(self, lane: DatasetLane, request,
-                        writer: asyncio.StreamWriter) -> None:
+    async def _op_audit(
+        self, lane: DatasetLane, request, writer: asyncio.StreamWriter
+    ) -> None:
         """Stream the lane's ledger (optionally re-executing it).
 
         Replay runs on the event-loop thread on purpose: it re-executes
@@ -785,13 +888,18 @@ class ServiceRouter:
         await lane.admission_turn()
         if replay:
             if lane.inflight >= self._max_pending:
-                writer.write(encode_frame(error_frame(
-                    request_id, ERR_OVERLOADED,
-                    f"{lane.inflight} requests already in flight on "
-                    f"dataset {lane.name!r} "
-                    f"(max_pending={self._max_pending}); retry later",
-                    v=v,
-                )))
+                writer.write(
+                    encode_frame(
+                        error_frame(
+                            request_id,
+                            ERR_OVERLOADED,
+                            f"{lane.inflight} requests already in flight on "
+                            f"dataset {lane.name!r} "
+                            f"(max_pending={self._max_pending}); retry later",
+                            v=v,
+                        )
+                    )
+                )
                 return
             lane.enter_flight()
             try:
@@ -804,7 +912,10 @@ class ServiceRouter:
                 if user is not None and record.entry.user != user:
                     continue
                 frame = event_frame(
-                    request_id, "entry", v=v, entry=record.entry.to_dict(),
+                    request_id,
+                    "entry",
+                    v=v,
+                    entry=record.entry.to_dict(),
                     replayed_answer=record.replayed_answer,
                     matches=record.matches,
                 )
@@ -814,21 +925,35 @@ class ServiceRouter:
                     await writer.drain()
                 if record.matches:
                     matched += 1
-            writer.write(encode_frame(event_frame(
-                request_id, "end", v=v, count=streamed, matched=matched,
-                **lane.budget_summary(),
-            )))
+            writer.write(
+                encode_frame(
+                    event_frame(
+                        request_id,
+                        "end",
+                        v=v,
+                        count=streamed,
+                        matched=matched,
+                        **lane.budget_summary(),
+                    )
+                )
+            )
             return
         streamed = 0
         for entry in accountant.ledger:
             if user is not None and entry.user != user:
                 continue
-            writer.write(encode_frame(event_frame(
-                request_id, "entry", v=v, entry=entry.to_dict()
-            )))
+            writer.write(
+                encode_frame(
+                    event_frame(request_id, "entry", v=v, entry=entry.to_dict())
+                )
+            )
             streamed += 1
             if streamed % 64 == 0:
                 await writer.drain()
-        writer.write(encode_frame(event_frame(
-            request_id, "end", v=v, count=streamed, **lane.budget_summary()
-        )))
+        writer.write(
+            encode_frame(
+                event_frame(
+                    request_id, "end", v=v, count=streamed, **lane.budget_summary()
+                )
+            )
+        )

@@ -93,20 +93,30 @@ class PrivateQueryService(ServiceRouter):
         explicitly; v1 clients route to it implicitly as the default).
     """
 
-    def __init__(self, session: PrivateSession, *, host: str = "127.0.0.1",
-                 port: int = 0, max_pending: int = 64,
-                 seed: Optional[int] = None, name: str = "repro-service",
-                 updates: bool = False, update_token: Optional[str] = None,
-                 dataset: str = DEFAULT_DATASET):
+    def __init__(
+        self,
+        session: PrivateSession,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 64,
+        seed: Optional[int] = None,
+        name: str = "repro-service",
+        updates: bool = False,
+        update_token: Optional[str] = None,
+        dataset: str = DEFAULT_DATASET,
+    ):
         if not isinstance(session, PrivateSession):
             raise TypeError(
                 f"PrivateQueryService fronts a PrivateSession, got "
                 f"{type(session).__name__}"
             )
-        super().__init__(host=host, port=port, max_pending=max_pending,
-                         seed=seed, name=name)
-        self.add_dataset(dataset, session, updates=updates,
-                         writer_token=update_token, default=True)
+        super().__init__(
+            host=host, port=port, max_pending=max_pending, seed=seed, name=name
+        )
+        self.add_dataset(
+            dataset, session, updates=updates, writer_token=update_token, default=True
+        )
 
     @property
     def session(self) -> PrivateSession:
@@ -186,9 +196,7 @@ class BackgroundService:
                     )
                 self._loop.close()
 
-        self._thread = threading.Thread(
-            target=run, name="repro-service", daemon=True
-        )
+        self._thread = threading.Thread(target=run, name="repro-service", daemon=True)
         self._thread.start()
         self._ready.wait()
         if self._startup_error is not None:

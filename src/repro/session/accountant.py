@@ -129,8 +129,13 @@ class Reservation:
     spent, so concurrent admissions cannot collectively oversubscribe.
     """
 
-    def __init__(self, accountant: "BudgetAccountant", epsilon: float,
-                 label: str, user: Optional[str]):
+    def __init__(
+        self,
+        accountant: "BudgetAccountant",
+        epsilon: float,
+        label: str,
+        user: Optional[str],
+    ):
         self.epsilon = epsilon
         self.label = label
         self.user = user
@@ -145,8 +150,7 @@ class Reservation:
         accountant = self._accountant
         if accountant is None:
             raise ValueError(
-                f"reservation {self.label!r} was already committed or "
-                "rolled back"
+                f"reservation {self.label!r} was already committed or " "rolled back"
             )
         self._accountant = None
         accountant._reservations.remove(self)
@@ -211,9 +215,7 @@ class BudgetAccountant:
         or ``None`` for unlimited sessions."""
         if self.budget is None:
             return None
-        return self.budget - math.fsum(
-            [self.spent, self.reserved]
-        )
+        return self.budget - math.fsum([self.spent, self.reserved])
 
     @property
     def ledger(self) -> Tuple[LedgerEntry, ...]:
@@ -227,8 +229,9 @@ class BudgetAccountant:
         """Whether one more ε-release fits under the cap(s)."""
         return self._refusal(epsilon, user) is None
 
-    def _refusal(self, epsilon: float,
-                 user: Optional[str]) -> Optional[Tuple[str, Optional[str]]]:
+    def _refusal(
+        self, epsilon: float, user: Optional[str]
+    ) -> Optional[Tuple[str, Optional[str]]]:
         """``None`` if the charge fits, else ``(reason, binding user)``."""
         if self.budget is None:
             return None
@@ -237,8 +240,9 @@ class BudgetAccountant:
             return ("global", None)
         return None
 
-    def check(self, epsilon: float, label: str = "release",
-              user: Optional[str] = None) -> float:
+    def check(
+        self, epsilon: float, label: str = "release", user: Optional[str] = None
+    ) -> float:
         """Validate ε and raise :class:`BudgetExhausted` if it won't fit."""
         epsilon = validate_epsilon(epsilon)
         refusal = self._refusal(epsilon, user)
@@ -246,8 +250,9 @@ class BudgetAccountant:
             raise self._exhausted(epsilon, label, refusal)
         return epsilon
 
-    def _exhausted(self, epsilon: float, label: str,
-                   refusal: Tuple[str, Optional[str]]) -> BudgetExhausted:
+    def _exhausted(
+        self, epsilon: float, label: str, refusal: Tuple[str, Optional[str]]
+    ) -> BudgetExhausted:
         reason, binding_user = refusal
         if reason == "user":
             remaining = self.user_remaining(binding_user)
@@ -264,8 +269,9 @@ class BudgetAccountant:
             f"(eps={self.budget:g}) remains"
         )
 
-    def reserve(self, epsilon: float, label: str = "release",
-                user: Optional[str] = None) -> Reservation:
+    def reserve(
+        self, epsilon: float, label: str = "release", user: Optional[str] = None
+    ) -> Reservation:
         """Hold ε against the cap until committed or rolled back.
 
         Raises :class:`BudgetExhausted` immediately when the hold cannot
@@ -283,8 +289,7 @@ class BudgetAccountant:
         One-phase convenience over :meth:`reserve` + :meth:`commit` for
         callers that check and charge at the same point.
         """
-        entry.epsilon = self.check(entry.epsilon, label=entry.label,
-                                   user=entry.user)
+        entry.epsilon = self.check(entry.epsilon, label=entry.label, user=entry.user)
         return self._append(entry)
 
     def record(self, entry: LedgerEntry) -> LedgerEntry:
@@ -314,9 +319,7 @@ class BudgetAccountant:
 
     def user_spent(self, user: Optional[str]) -> float:
         """Exact total ε charged to ``user`` so far."""
-        return math.fsum(
-            entry.epsilon for entry in self._ledger if entry.user == user
-        )
+        return math.fsum(entry.epsilon for entry in self._ledger if entry.user == user)
 
     def user_remaining(self, user: Optional[str]) -> Optional[float]:
         """ε left in ``user``'s sub-budget (``None`` = uncapped)."""
@@ -324,9 +327,7 @@ class BudgetAccountant:
 
     def users(self) -> Tuple[str, ...]:
         """Every tenant that appears in the ledger or holds a reservation."""
-        seen = {e.user for e in self._ledger} | {
-            r.user for r in self._reservations
-        }
+        seen = {e.user for e in self._ledger} | {r.user for r in self._reservations}
         return tuple(sorted(user for user in seen if user is not None))
 
     def audit_log(self) -> List[Dict[str, Any]]:
@@ -366,13 +367,18 @@ class HierarchicalAccountant(BudgetAccountant):
     True
     """
 
-    def __init__(self, budget: Optional[float] = None, *,
-                 default_user_budget: Optional[float] = None,
-                 user_budgets: Optional[Dict[str, float]] = None):
+    def __init__(
+        self,
+        budget: Optional[float] = None,
+        *,
+        default_user_budget: Optional[float] = None,
+        user_budgets: Optional[Dict[str, float]] = None,
+    ):
         super().__init__(budget)
         self.default_user_budget = (
-            None if default_user_budget is None
-            else validate_epsilon(default_user_budget, "default_user_budget")
+            None if default_user_budget is None else validate_epsilon(
+                default_user_budget, "default_user_budget"
+            )
         )
         self._user_budgets: Dict[str, float] = {}
         for user, cap in (user_budgets or {}).items():
@@ -380,9 +386,7 @@ class HierarchicalAccountant(BudgetAccountant):
 
     def set_user_budget(self, user: str, budget: float) -> None:
         """Set (or tighten/loosen) one tenant's sub-budget cap."""
-        self._user_budgets[user] = validate_epsilon(
-            budget, f"user budget for {user!r}"
-        )
+        self._user_budgets[user] = validate_epsilon(budget, f"user budget for {user!r}")
 
     def user_budget(self, user: Optional[str]) -> Optional[float]:
         if user is None:
@@ -392,16 +396,13 @@ class HierarchicalAccountant(BudgetAccountant):
 
     def user_reserved(self, user: Optional[str]) -> float:
         """Total ε held for ``user`` by outstanding reservations."""
-        return math.fsum(
-            r.epsilon for r in self._reservations if r.user == user
-        )
+        return math.fsum(r.epsilon for r in self._reservations if r.user == user)
 
     def user_remaining(self, user: Optional[str]) -> Optional[float]:
         cap = self.user_budget(user)
         if cap is None:
             return None
-        return cap - math.fsum([self.user_spent(user),
-                                self.user_reserved(user)])
+        return cap - math.fsum([self.user_spent(user), self.user_reserved(user)])
 
     def users(self) -> Tuple[str, ...]:
         seen = set(self._user_budgets) | {e.user for e in self._ledger} | {
@@ -415,8 +416,9 @@ class HierarchicalAccountant(BudgetAccountant):
             return refusal
         cap = self.user_budget(user)
         if cap is not None:
-            total = math.fsum([self.user_spent(user),
-                               self.user_reserved(user), epsilon])
+            total = math.fsum(
+                [self.user_spent(user), self.user_reserved(user), epsilon]
+            )
             if total > cap + _CAP_TOLERANCE:
                 return ("user", user)
         return None

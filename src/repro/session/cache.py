@@ -129,9 +129,12 @@ class CompiledRelationCache:
 
     def info(self) -> CacheInfo:
         """Current hit/miss/size counters."""
-        return CacheInfo(hits=self._hits, misses=self._misses,
-                         size=len(self._entries),
-                         invalidations=self._invalidations)
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            invalidations=self._invalidations,
+        )
 
     def clear(self) -> None:
         """Drop every cached entry (counters are kept)."""
@@ -163,8 +166,9 @@ class SharedCompiledCache(CompiledRelationCache):
 
     def __init__(self, maxsize: Optional[int] = None):
         super().__init__()
-        if maxsize is not None and (not isinstance(maxsize, int)
-                                    or isinstance(maxsize, bool) or maxsize < 1):
+        if maxsize is not None and (
+            not isinstance(maxsize, int) or isinstance(maxsize, bool) or maxsize < 1
+        ):
             raise ValueError(
                 f"maxsize must be a positive integer or None, got {maxsize!r}"
             )
@@ -201,12 +205,11 @@ class SharedCompiledCache(CompiledRelationCache):
     def resize(self, maxsize: Optional[int]) -> None:
         """Change the bound, evicting LRU entries if now over it."""
         with self._lock:
-            if maxsize is not None and (not isinstance(maxsize, int)
-                                        or isinstance(maxsize, bool)
-                                        or maxsize < 1):
+            if maxsize is not None and (
+                not isinstance(maxsize, int) or isinstance(maxsize, bool) or maxsize < 1
+            ):
                 raise ValueError(
-                    f"maxsize must be a positive integer or None, "
-                    f"got {maxsize!r}"
+                    f"maxsize must be a positive integer or None, " f"got {maxsize!r}"
                 )
             self._maxsize = maxsize
             while maxsize is not None and len(self._entries) > maxsize:
@@ -215,11 +218,14 @@ class SharedCompiledCache(CompiledRelationCache):
 
     def info(self) -> CacheInfo:
         with self._lock:
-            return CacheInfo(hits=self._hits, misses=self._misses,
-                             size=len(self._entries),
-                             evictions=self._evictions,
-                             maxsize=self._maxsize,
-                             invalidations=self._invalidations)
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                evictions=self._evictions,
+                maxsize=self._maxsize,
+                invalidations=self._invalidations,
+            )
 
     def clear(self) -> None:
         with self._lock:
@@ -236,9 +242,7 @@ class SharedCompiledCache(CompiledRelationCache):
         dataset's sessions).
         """
         if not isinstance(dataset, str) or not dataset:
-            raise ValueError(
-                f"dataset must be a non-empty string, got {dataset!r}"
-            )
+            raise ValueError(f"dataset must be a non-empty string, got {dataset!r}")
         with self._lock:
             view = self._views.get(dataset)
             if view is None:
@@ -278,8 +282,7 @@ class DatasetCacheView(CompiledRelationCache):
 
     def invalidate(self, predicate: Callable[[tuple], bool]) -> int:
         def namespaced_predicate(key: tuple) -> bool:
-            return (len(key) > 0 and key[0] == self._prefix
-                    and predicate(key[1:]))
+            return (len(key) > 0 and key[0] == self._prefix and predicate(key[1:]))
 
         removed = self._parent.invalidate(namespaced_predicate)
         self._invalidations += removed
@@ -287,19 +290,23 @@ class DatasetCacheView(CompiledRelationCache):
 
     def _keys(self):
         with self._parent._lock:
-            return [key for key in self._parent._entries
-                    if len(key) > 0 and key[0] == self._prefix]
+            return [
+                key
+                for key in self._parent._entries
+                if len(key) > 0 and key[0] == self._prefix
+            ]
 
     def info(self) -> CacheInfo:
-        return CacheInfo(hits=self._hits, misses=self._misses,
-                         size=len(self._keys()),
-                         maxsize=self._parent.maxsize,
-                         invalidations=self._invalidations)
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._keys()),
+            maxsize=self._parent.maxsize,
+            invalidations=self._invalidations,
+        )
 
     def clear(self) -> None:
-        self._parent.invalidate(
-            lambda key: len(key) > 0 and key[0] == self._prefix
-        )
+        self._parent.invalidate(lambda key: len(key) > 0 and key[0] == self._prefix)
 
     def __len__(self) -> int:
         return len(self._keys())

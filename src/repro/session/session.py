@@ -102,8 +102,13 @@ class QueryFuture:
     worker finishes.
     """
 
-    def __init__(self, entry: LedgerEntry, value: Optional[ResultBase] = None,
-                 async_result=None, error: Optional[BaseException] = None):
+    def __init__(
+        self,
+        entry: LedgerEntry,
+        value: Optional[ResultBase] = None,
+        async_result=None,
+        error: Optional[BaseException] = None,
+    ):
         self.entry = entry
         self._value = value
         self._async = async_result
@@ -181,11 +186,18 @@ class PrivateSession:
     0.5
     """
 
-    def __init__(self, data, budget: Optional[float] = None, *,
-                 workers: Optional[int] = 1, backend=None, rng=None,
-                 name: str = "session",
-                 accountant: Optional[BudgetAccountant] = None,
-                 cache: Optional[CompiledRelationCache] = None):
+    def __init__(
+        self,
+        data,
+        budget: Optional[float] = None,
+        *,
+        workers: Optional[int] = 1,
+        backend=None,
+        rng=None,
+        name: str = "session",
+        accountant: Optional[BudgetAccountant] = None,
+        cache: Optional[CompiledRelationCache] = None,
+    ):
         if not isinstance(data, (Graph, SensitiveKRelation)):
             raise SessionError(
                 "PrivateSession wraps a Graph or a SensitiveKRelation, "
@@ -203,8 +215,7 @@ class PrivateSession:
                 )
         if cache is not None and not isinstance(cache, CompiledRelationCache):
             raise SessionError(
-                "cache must be a CompiledRelationCache, got "
-                f"{type(cache).__name__}"
+                "cache must be a CompiledRelationCache, got " f"{type(cache).__name__}"
             )
         self._data = data
         self._dynamic = isinstance(data, VersionedGraph)
@@ -216,8 +227,9 @@ class PrivateSession:
         self._backend = resolve_backend(backend)
         self._workers = validate_workers(workers)
         self.name = name
-        self.accountant = (accountant if accountant is not None
-                           else BudgetAccountant(budget))
+        self.accountant = (
+            accountant if accountant is not None else BudgetAccountant(budget)
+        )
         self._cache = cache if cache is not None else CompiledRelationCache()
         self._seed_root = self._seed_sequence_from(rng)
         self._pool: Optional[WorkerPool] = None
@@ -229,6 +241,10 @@ class PrivateSession:
     def _seed_sequence_from(rng) -> np.random.SeedSequence:
         """Build the session's root seed sequence from an ``rng``-like."""
         if rng is None:
+            # repro: allow(rng-determinism) — rng=None is the documented
+            # OS-entropy session; seeded sessions replay byte-identically,
+            # pinned by
+            # tests/test_session.py::test_ledger_replay_matches_released_answers
             return np.random.SeedSequence()
         if isinstance(rng, np.random.SeedSequence):
             return rng
@@ -326,12 +342,11 @@ class PrivateSession:
         """
         if not self._dynamic:
             return None
-        return version_token(
-            self._data.version if version is None else version
-        )
+        return version_token(self._data.version if version is None else version)
 
-    def _resolve_spec(self, query, privacy, mechanism, weight, options,
-                      version: Optional[int] = None):
+    def _resolve_spec(
+        self, query, privacy, mechanism, weight, options, version: Optional[int] = None
+    ):
         """Resolve a query to ``(cls, spec, opts, cache key)`` — no compile."""
         cls = get_mechanism(mechanism)
         if privacy is None:
@@ -344,12 +359,17 @@ class PrivateSession:
         # The data token keeps sessions over *different* datasets apart
         # on a shared (process-wide) cache; the version token keeps
         # different states of *one* dynamic dataset apart.
-        key = (data_token(self._data), self._version_token(version),
-               cls.name, options_token(opts)) + spec.cache_key()
+        key = (
+            data_token(self._data),
+            self._version_token(version),
+            cls.name,
+            options_token(opts),
+        ) + spec.cache_key()
         return cls, spec, opts, key
 
-    def _prepare_query(self, query, privacy, mechanism, weight, options,
-                       version: Optional[int] = None):
+    def _prepare_query(
+        self, query, privacy, mechanism, weight, options, version: Optional[int] = None
+    ):
         """Resolve, cache-key, and (re)use the prepared query state.
 
         ``version`` (dynamic sessions only) prepares against a historical
@@ -385,8 +405,7 @@ class PrivateSession:
         if (not isinstance(at_version, (int, np.integer))
                 or isinstance(at_version, bool) or at_version < 0):
             raise SessionError(
-                f"at_version must be a non-negative integer, got "
-                f"{at_version!r}"
+                f"at_version must be a non-negative integer, got " f"{at_version!r}"
             )
         at_version = int(at_version)
         if at_version > self._data.version:
@@ -419,8 +438,15 @@ class PrivateSession:
         raise SessionError(f"cannot build a generator from {rng!r}")
 
     # -- the serving API --------------------------------------------------------
-    def prepared(self, query=None, *, privacy: Optional[str] = None,
-                 mechanism: str = "recursive", weight=None, **options):
+    def prepared(
+        self,
+        query=None,
+        *,
+        privacy: Optional[str] = None,
+        mechanism: str = "recursive",
+        weight=None,
+        **options,
+    ):
         """The cached :class:`~repro.mechanisms.PreparedQuery` for a spec.
 
         Spends **no** privacy budget — preparation touches only the
@@ -434,11 +460,21 @@ class PrivateSession:
         )
         return prepared
 
-    def query(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
-              mechanism: str = "recursive", rng=None, params=None,
-              label: Optional[str] = None, weight=None,
-              user: Optional[str] = None, at_version: Optional[int] = None,
-              **options) -> ResultBase:
+    def query(
+        self,
+        query=None,
+        *,
+        epsilon=None,
+        privacy: Optional[str] = None,
+        mechanism: str = "recursive",
+        rng=None,
+        params=None,
+        label: Optional[str] = None,
+        weight=None,
+        user: Optional[str] = None,
+        at_version: Optional[int] = None,
+        **options,
+    ) -> ResultBase:
         """Answer one private query synchronously.
 
         ``query`` is a subgraph :class:`~repro.subgraphs.Pattern` or query
@@ -477,25 +513,44 @@ class PrivateSession:
             reservation.rollback()
             raise
         entry = LedgerEntry(
-            index=0, label=label, mechanism=mech_name, query=spec.describe(),
-            epsilon=charged, seed=seed_token, answer=float(result.answer),
-            status="released", cache_hit=hit,
-            seconds=time.perf_counter() - start, user=user,
+            index=0,
+            label=label,
+            mechanism=mech_name,
+            query=spec.describe(),
+            epsilon=charged,
+            seed=seed_token,
+            answer=float(result.answer),
+            status="released",
+            cache_hit=hit,
+            seconds=time.perf_counter() - start,
+            user=user,
         )
-        entry.extra["task"] = (query, weight, spec.privacy, mech_name,
-                               dict(options), epsilon, params)
+        entry.extra["task"] = (
+            query, weight, spec.privacy, mech_name, dict(options), epsilon, params
+        )
         if mech_name == "recursive":
             entry.extra["lp_backend"] = self.lp_backend
         if self._dynamic:
-            entry.extra["version"] = (self._data.version if at_version is None
-                                      else at_version)
+            entry.extra["version"] = (
+                self._data.version if at_version is None else at_version
+            )
         reservation.commit(entry)
         return result
 
-    def submit(self, query=None, *, epsilon=None, privacy: Optional[str] = None,
-               mechanism: str = "recursive", rng=None, params=None,
-               label: Optional[str] = None, user: Optional[str] = None,
-               at_version: Optional[int] = None, **options) -> QueryFuture:
+    def submit(
+        self,
+        query=None,
+        *,
+        epsilon=None,
+        privacy: Optional[str] = None,
+        mechanism: str = "recursive",
+        rng=None,
+        params=None,
+        label: Optional[str] = None,
+        user: Optional[str] = None,
+        at_version: Optional[int] = None,
+        **options,
+    ) -> QueryFuture:
         """Submit one private query for asynchronous execution.
 
         Fans out over the session's shared fork-after-compile
@@ -550,7 +605,11 @@ class PrivateSession:
             # pool would repeat.
             if not pooled or self._pool is None or key in self._cache:
                 prepared, hit, _, _ = self._prepare_query(
-                    query, privacy, mechanism, None, options,
+                    query,
+                    privacy,
+                    mechanism,
+                    None,
+                    options,
                     version=at_version,
                 )
             else:
@@ -560,17 +619,26 @@ class PrivateSession:
             reservation.rollback()
             raise
         entry = LedgerEntry(
-            index=0, label=label, mechanism=cls.name, query=spec.describe(),
-            epsilon=charged, seed=seed, answer=None, status="pending",
-            cache_hit=hit, user=user,
+            index=0,
+            label=label,
+            mechanism=cls.name,
+            query=spec.describe(),
+            epsilon=charged,
+            seed=seed,
+            answer=None,
+            status="pending",
+            cache_hit=hit,
+            user=user,
         )
-        entry.extra["task"] = (query, None, spec.privacy, cls.name,
-                               dict(options), epsilon, params)
+        entry.extra["task"] = (
+            query, None, spec.privacy, cls.name, dict(options), epsilon, params
+        )
         if cls.name == "recursive":
             entry.extra["lp_backend"] = self.lp_backend
         if self._dynamic:
-            entry.extra["version"] = (self._data.version if at_version is None
-                                      else at_version)
+            entry.extra["version"] = (
+                self._data.version if at_version is None else at_version
+            )
         # Charged at submission: the noisy answer *will* exist (refusing
         # to pay on a crash would itself be a side channel).
         reservation.commit(entry)
@@ -599,8 +667,16 @@ class PrivateSession:
             entry.status = "failed"
             entry.seconds = time.perf_counter() - start
 
-        task = (query, spec.privacy, cls.name, dict(options), epsilon,
-                params, seed, at_version)
+        task = (
+            query,
+            spec.privacy,
+            cls.name,
+            dict(options),
+            epsilon,
+            params,
+            seed,
+            at_version,
+        )
         async_result = self._ensure_pool(workers).submit(
             task, callback=_on_done, error_callback=_on_error
         )
@@ -629,9 +705,14 @@ class PrivateSession:
         self._pool = None
 
     # -- live updates -----------------------------------------------------------
-    def apply_update(self, updates, *, label: Optional[str] = None,
-                     user: Optional[str] = None,
-                     drop_stale: bool = False) -> UpdateResult:
+    def apply_update(
+        self,
+        updates,
+        *,
+        label: Optional[str] = None,
+        user: Optional[str] = None,
+        drop_stale: bool = False,
+    ) -> UpdateResult:
         """Mutate the session's graph and bump its version.
 
         ``updates`` is a sequence of update actions (``{"action":
@@ -688,10 +769,14 @@ class PrivateSession:
             failure = error
         new_version = self._data.version
         entry = LedgerEntry(
-            index=0, label=label, mechanism="-",
-            query=f"update v{old_version}->v{new_version}", epsilon=0.0,
+            index=0,
+            label=label,
+            mechanism="-",
+            query=f"update v{old_version}->v{new_version}",
+            epsilon=0.0,
             status="update" if failure is None else "update-failed",
-            seconds=time.perf_counter() - start, user=user,
+            seconds=time.perf_counter() - start,
+            user=user,
         )
         entry.extra["update"] = [delta.to_dict() for delta in applied]
         entry.extra["version"] = new_version
@@ -700,8 +785,12 @@ class PrivateSession:
             token = data_token(self._data)
             current = version_token(new_version)
             self._cache.invalidate(
-                lambda key: (len(key) >= 2 and key[0] == token
-                             and key[1] is not None and key[1] != current)
+                lambda key: (
+                    len(key) >= 2
+                    and key[0] == token
+                    and key[1] is not None
+                    and key[1] != current
+                )
             )
         if failure is not None:
             raise failure
@@ -728,18 +817,24 @@ class PrivateSession:
             if not entry.replayable or entry.answer is None:
                 records.append(ReplayRecord(entry, None, None))
                 continue
-            (query, weight, privacy, mech_name, options, epsilon,
-             params) = entry.extra["task"]
+            query, weight, privacy, mech_name, options, epsilon, params = (
+                entry.extra["task"]
+            )
             prepared, _, _, _ = self._prepare_query(
-                query, privacy, mech_name, weight, options,
+                query,
+                privacy,
+                mech_name,
+                weight,
+                options,
                 version=entry.extra.get("version"),
             )
             result = prepared.release(
                 epsilon, np.random.default_rng(entry.seed), params=params
             )
             records.append(
-                ReplayRecord(entry, float(result.answer),
-                             float(result.answer) == entry.answer)
+                ReplayRecord(
+                    entry, float(result.answer), float(result.answer) == entry.answer
+                )
             )
         return records
 

@@ -163,8 +163,9 @@ class DictOccurrenceBackend(OccurrenceBackend):
 
     def sorted_occurrences(self) -> Tuple[Occurrence, ...]:
         if self._sorted is None:
-            self._sorted = tuple(sorted(self.occurrences.values(),
-                                        key=_occurrence_sort_key))
+            self._sorted = tuple(
+                sorted(self.occurrences.values(), key=_occurrence_sort_key)
+            )
         return self._sorted
 
     def occ_keys(self) -> Set[_OccKey]:
@@ -193,8 +194,9 @@ class ColumnarOccurrenceBackend(OccurrenceBackend):
     # -- writes -------------------------------------------------------------------
     def insert(self, occurrence: Occurrence) -> bool:
         nodes, edges = self._row_ids(occurrence)
-        return self.table.insert(np.asarray(nodes, dtype=np.int64),
-                                 np.asarray(edges, dtype=np.int64))
+        return self.table.insert(
+            np.asarray(nodes, dtype=np.int64), np.asarray(edges, dtype=np.int64)
+        )
 
     def bulk_load(self, occurrences: Iterable[Occurrence]) -> None:
         self.table.clear()

@@ -66,15 +66,42 @@ class _InvertedIndex:
 class ColumnarOccurrenceTable:
     """Append-only occurrence rows with searchsorted inverted indexes."""
 
-    __slots__ = ("_k", "_m", "_rows", "_alive", "_size", "_indexed",
-                 "_edge_index", "_node_index", "_dead", "index_rebuilds",
-                 "_canonical", "mutations")
+    __slots__ = (
+        "_k",
+        "_m",
+        "_rows",
+        "_alive",
+        "_size",
+        "_indexed",
+        "_edge_index",
+        "_node_index",
+        "_dead",
+        "index_rebuilds",
+        "_canonical",
+        "mutations",
+    )
 
     def __init__(self, num_nodes: int, num_edges: int):
         self._k = int(num_nodes)
         self._m = int(num_edges)
-        dtype = np.dtype([("nodes", np.int64, (self._k,)),
-                          ("edges", np.int64, (self._m,))])
+        dtype = np.dtype(
+            [
+                (
+                    "nodes",
+                    np.int64,
+                    (
+                        self._k,
+                    ),
+                ),
+                (
+                    "edges",
+                    np.int64,
+                    (
+                        self._m,
+                    ),
+                ),
+            ]
+        )
         self._rows = np.empty(0, dtype=dtype)
         self._alive = np.empty(0, dtype=bool)
         self._size = 0           # rows appended (alive + tombstoned)
@@ -182,9 +209,7 @@ class ColumnarOccurrenceTable:
         candidates = self.rows_for_edge(int(edge_ids[0]))
         if candidates.size == 0:
             return None
-        hits = np.flatnonzero(
-            (self._rows["edges"][candidates] == edge_ids).all(axis=1)
-        )
+        hits = np.flatnonzero((self._rows["edges"][candidates] == edge_ids).all(axis=1))
         if hits.size == 0:
             return None
         return int(candidates[hits[0]])
@@ -225,8 +250,9 @@ class ColumnarOccurrenceTable:
         _, first = np.unique(edge_matrix, axis=0, return_index=True)
         keep = np.sort(first)  # first copy of each identity, input order
         if self._size - self._dead > 0:
-            fresh = [row for row in keep.tolist()
-                     if self._find(edge_matrix[row]) is None]
+            fresh = [
+                row for row in keep.tolist() if self._find(edge_matrix[row]) is None
+            ]
             keep = np.asarray(fresh, dtype=np.int64)
         count = int(keep.size)
         if count == 0:
@@ -284,8 +310,7 @@ class ColumnarOccurrenceTable:
             return rows
         ranks = edge_ranks[self._rows["edges"][rows]]
         ranks.sort(axis=1)  # per-occurrence sorted repr tuple, as ranks
-        keys = tuple(ranks[:, column]
-                     for column in range(ranks.shape[1] - 1, -1, -1))
+        keys = tuple(ranks[:, column] for column in range(ranks.shape[1] - 1, -1, -1))
         order = np.lexsort(keys)  # stable: ties keep insertion order
         self._canonical = rows[order]
         return self._canonical

@@ -100,11 +100,13 @@ def ingest_edge_list(
         pattern = resolve_pattern(query)
         pattern_start = time.perf_counter()
         versioned.maintainer.register(pattern)
-        registered.append({
-            "pattern": pattern.name,
-            "occurrences": versioned.maintainer.count(pattern),
-            "seconds": time.perf_counter() - pattern_start,
-        })
+        registered.append(
+            {
+                "pattern": pattern.name,
+                "occurrences": versioned.maintainer.count(pattern),
+                "seconds": time.perf_counter() - pattern_start,
+            }
+        )
     end = time.perf_counter()
     return IngestReport(
         graph=versioned,

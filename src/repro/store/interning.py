@@ -61,12 +61,23 @@ class InternTable:
     """Dense-id dictionary for node labels and undirected edges."""
 
     __slots__ = (
-        "_node_ids", "_node_labels", "_node_reprs", "_node_names",
-        "_node_present", "_num_nodes_present", "_repr_counts",
+        "_node_ids",
+        "_node_labels",
+        "_node_reprs",
+        "_node_names",
+        "_node_present",
+        "_num_nodes_present",
+        "_repr_counts",
         "has_repr_collision",
-        "_edge_ids", "_edge_codes", "_edge_endpoints", "_edge_reprs",
-        "_edge_names", "_edge_present", "_num_edges_present",
-        "_node_rank_cache", "_edge_rank_cache",
+        "_edge_ids",
+        "_edge_codes",
+        "_edge_endpoints",
+        "_edge_reprs",
+        "_edge_names",
+        "_edge_present",
+        "_num_edges_present",
+        "_node_rank_cache",
+        "_edge_rank_cache",
     )
 
     def __init__(self):
@@ -263,8 +274,7 @@ class InternTable:
         names = self._edge_names
         return [names[i] for i in edge_ids.tolist()]
 
-    def _ranks(self, reprs: List[str],
-               cache: Optional[Tuple[int, np.ndarray]]):
+    def _ranks(self, reprs: List[str], cache: Optional[Tuple[int, np.ndarray]]):
         if cache is not None and cache[0] == len(reprs):
             return cache, cache[1]
         text = np.asarray(reprs, dtype=object)
@@ -277,11 +287,13 @@ class InternTable:
     def node_ranks(self) -> np.ndarray:
         """Repr-string rank per node id (equal reprs share a rank)."""
         self._node_rank_cache, ranks = self._ranks(
-            self._node_reprs, self._node_rank_cache)
+            self._node_reprs, self._node_rank_cache
+        )
         return ranks
 
     def edge_ranks(self) -> np.ndarray:
         """Normalized-tuple repr rank per edge id (ties share a rank)."""
         self._edge_rank_cache, ranks = self._ranks(
-            self._edge_reprs, self._edge_rank_cache)
+            self._edge_reprs, self._edge_rank_cache
+        )
         return ranks

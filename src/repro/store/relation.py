@@ -91,17 +91,14 @@ class ConjunctiveKRelation(SensitiveKRelation):
             for row in range(self.matrix.shape[0]):
                 occurrence = Occurrence(
                     nodes=frozenset(
-                        interner.node_label(i)
-                        for i in self._node_ids[row].tolist()
+                        interner.node_label(i) for i in self._node_ids[row].tolist()
                     ),
                     edges=frozenset(
                         interner.edge_label_pair(i)
                         for i in self._edge_ids[row].tolist()
                     ),
                 )
-                annotation = And(
-                    Var(names[i]) for i in self.matrix[row].tolist()
-                )
+                annotation = And(Var(names[i]) for i in self.matrix[row].tolist())
                 pairs.append((occurrence, annotation))
             self._pairs_cache = tuple(pairs)
         return self._pairs_cache

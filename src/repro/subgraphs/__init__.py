@@ -13,6 +13,11 @@ handles arbitrary connected patterns, including patterns with per-node or
 per-edge constraints (Sec. 1.1's "arbitrary kinds of constraints").
 """
 
+from .annotate import (
+    edge_var,
+    occurrences_for_pattern,
+    subgraph_krelation,
+)
 from .counting import (
     count_k_stars,
     count_triangles,
@@ -31,11 +36,6 @@ from .patterns import (
     k_triangle,
     path_pattern,
     triangle,
-)
-from .annotate import (
-    edge_var,
-    occurrences_for_pattern,
-    subgraph_krelation,
 )
 
 __all__ = [

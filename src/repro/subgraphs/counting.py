@@ -89,9 +89,7 @@ def enumerate_k_triangles(graph: Graph, k: int) -> Iterator[Occurrence]:
             for apex in apexes:
                 edges.add(_edge(u, apex))
                 edges.add(_edge(v, apex))
-            yield Occurrence(
-                nodes=frozenset((u, v) + apexes), edges=frozenset(edges)
-            )
+            yield Occurrence(nodes=frozenset((u, v) + apexes), edges=frozenset(edges))
 
 
 def enumerate_k_cliques(graph: Graph, k: int) -> Iterator[Occurrence]:
@@ -111,7 +109,9 @@ def enumerate_k_cliques(graph: Graph, k: int) -> Iterator[Occurrence]:
             return
         for node in sorted(candidates, key=lambda n: rank[n]):
             new_candidates = {
-                c for c in candidates if rank[c] > rank[node] and graph.has_edge(node, c)
+                c
+                for c in candidates
+                if rank[c] > rank[node] and graph.has_edge(node, c)
             }
             if len(clique) + 1 + len(new_candidates) >= k:
                 yield from extend(clique + [node], new_candidates)
@@ -131,9 +131,7 @@ def enumerate_paths(graph: Graph, length: int) -> Iterator[Occurrence]:
             if rank[path[0]] < rank[path[-1]]:
                 yield Occurrence(
                     nodes=frozenset(path),
-                    edges=frozenset(
-                        _edge(a, b) for a, b in zip(path, path[1:])
-                    ),
+                    edges=frozenset(_edge(a, b) for a, b in zip(path, path[1:])),
                 )
             return
         for neighbor in sorted(graph.neighbors(path[-1]), key=lambda n: rank[n]):

@@ -55,8 +55,9 @@ def _search_order(pattern: Pattern) -> List[int]:
         frontier = [
             node
             for node in nodes
-            if node not in seen
-            and any(prior in pattern.graph.neighbors(node) for prior in seen)
+            if node not in seen and any(
+                prior in pattern.graph.neighbors(node) for prior in seen
+            )
         ]
         if not frontier:
             raise PatternError("pattern is not connected")

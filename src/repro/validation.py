@@ -96,8 +96,9 @@ def _is_positive_number(value) -> bool:
     return _is_number(value) and math.isfinite(float(value)) and float(value) > 0
 
 
-def _check_fields(obj: Dict, path: str, fields: Dict[str, tuple],
-                  errors: List[str]) -> None:
+def _check_fields(
+    obj: Dict, path: str, fields: Dict[str, tuple], errors: List[str]
+) -> None:
     """Validate one mapping against ``{key: (predicate, expectation)}``.
 
     Unknown keys and failed predicates each append one
@@ -109,9 +110,7 @@ def _check_fields(obj: Dict, path: str, fields: Dict[str, tuple],
             errors.append(f"{path}{key}: unknown key (known keys: {known})")
     for key, (predicate, expectation) in fields.items():
         if key in obj and not predicate(obj[key]):
-            errors.append(
-                f"{path}{key}: must be {expectation}, got {obj[key]!r}"
-            )
+            errors.append(f"{path}{key}: must be {expectation}, got {obj[key]!r}")
 
 
 _GRAPH_FIELDS = {
@@ -119,18 +118,31 @@ _GRAPH_FIELDS = {
     "avgdeg": (_is_positive_number, "a positive number"),
     "seed": (_is_int, "an integer"),
     "edge_list": (lambda v: isinstance(v, str), "a file-path string"),
-    "lenient": (lambda v: isinstance(v, bool),
-                "a boolean (skip self-loop/duplicate edge-list lines)"),
+    "lenient": (
+        lambda v: isinstance(v, bool),
+        "a boolean (skip self-loop/duplicate edge-list lines)",
+    ),
     "dataset": (lambda v: isinstance(v, str), "a dataset-name string"),
     "scale": (_is_positive_number, "a positive number"),
 }
 
 #: Option names that collide with the query call's own keyword arguments
 #: — they must be given as top-level fields, never inside ``options``.
-RESERVED_OPTION_KEYS = frozenset({
-    "query", "epsilon", "privacy", "mechanism", "label", "user", "seed",
-    "rng", "params", "weight", "options",
-})
+RESERVED_OPTION_KEYS = frozenset(
+    {
+        "query",
+        "epsilon",
+        "privacy",
+        "mechanism",
+        "label",
+        "user",
+        "seed",
+        "rng",
+        "params",
+        "weight",
+        "options",
+    }
+)
 
 
 def _is_options_dict(value) -> bool:
@@ -149,17 +161,13 @@ _EDGE_ACTION_KINDS = ("add_edge", "remove_edge")
 
 def _is_node_label(value) -> bool:
     """A node label as it appears in JSON: an int or a string."""
-    return isinstance(value, (str, int, np.integer)) and not isinstance(
-        value, bool
-    )
+    return isinstance(value, (str, int, np.integer)) and not isinstance(value, bool)
 
 
 def _check_update_action(action, path: str, errors: List[str]) -> None:
     """Validate one graph-update action object, field by field."""
     if not isinstance(action, dict):
-        errors.append(
-            f"{path}: must be an object, got {type(action).__name__}"
-        )
+        errors.append(f"{path}: must be an object, got {type(action).__name__}")
         return
     kind = action.get("action")
     if kind not in UPDATE_ACTION_KINDS:
@@ -198,33 +206,36 @@ def _check_update_action(action, path: str, errors: List[str]) -> None:
 
 def _check_update_actions(actions, path: str, errors: List[str]) -> None:
     if not isinstance(actions, list) or not actions:
-        errors.append(
-            f"{path}: must be a non-empty array of update actions"
-        )
+        errors.append(f"{path}: must be a non-empty array of update actions")
         return
     for index, action in enumerate(actions):
         _check_update_action(action, f"{path}[{index}]", errors)
 
 
 _UPDATE_ITEM_FIELDS = {
-    "update": (lambda v: isinstance(v, list) and len(v) > 0,
-               "a non-empty array of update actions"),
+    "update": (
+        lambda v: isinstance(v, list) and len(v) > 0,
+        "a non-empty array of update actions",
+    ),
     "label": (lambda v: isinstance(v, str), "a string"),
 }
 
 
 _QUERY_ITEM_FIELDS = {
-    "query": (lambda v: isinstance(v, str),
-              'a query-name string (e.g. "triangle", "2-star")'),
+    "query": (
+        lambda v: isinstance(v, str), 'a query-name string (e.g. "triangle", "2-star")'
+    ),
     "epsilon": (_is_positive_number, "a positive finite number"),
     "privacy": (lambda v: v in ("node", "edge"), '"node" or "edge"'),
     "mechanism": (lambda v: isinstance(v, str), "a mechanism-name string"),
     "label": (lambda v: isinstance(v, str), "a string"),
     "user": (lambda v: isinstance(v, str), "a tenant-name string"),
     "seed": (_is_int, "an integer"),
-    "options": (_is_options_dict,
-                "an object with string keys (mechanism options only — "
-                "query/epsilon/privacy/... are top-level fields)"),
+    "options": (
+        _is_options_dict,
+        "an object with string keys (mechanism options only — "
+        "query/epsilon/privacy/... are top-level fields)",
+    ),
 }
 
 
@@ -249,8 +260,10 @@ _BATCH_TOP_FIELDS = {
     "budget": (_is_positive_number, "a positive number"),
     "seed": (_is_int, "an integer"),
     "workers": (lambda v: _is_int(v) and v >= 1, "a positive integer"),
-    "queries": (lambda v: isinstance(v, list) and len(v) > 0,
-                "a non-empty array of query objects"),
+    "queries": (
+        lambda v: isinstance(v, list) and len(v) > 0,
+        "a non-empty array of query objects",
+    ),
 }
 
 
@@ -263,35 +276,30 @@ def validate_batch_spec(spec: Any) -> Dict:
     fixes the whole spec in one round trip instead of chasing tracebacks.
     """
     if not isinstance(spec, dict):
-        raise ValueError(
-            f"batch spec must be a JSON object, got {type(spec).__name__}"
-        )
+        raise ValueError(f"batch spec must be a JSON object, got {type(spec).__name__}")
     errors: List[str] = []
     _check_fields(spec, "", _BATCH_TOP_FIELDS, errors)
     graph = spec.get("graph")
     if isinstance(graph, dict):
         _check_fields(graph, "graph.", _GRAPH_FIELDS, errors)
         if "edge_list" in graph and "dataset" in graph:
-            errors.append(
-                "graph: pass either edge_list or dataset, not both"
-            )
+            errors.append("graph: pass either edge_list or dataset, not both")
     if "queries" not in spec:
         errors.append("queries: required")
     elif isinstance(spec["queries"], list):
         for index, item in enumerate(spec["queries"]):
             _check_query_item(item, f"queries[{index}]", errors)
     if errors:
-        raise ValueError(
-            "invalid batch spec:\n  " + "\n  ".join(errors)
-        )
+        raise ValueError("invalid batch spec:\n  " + "\n  ".join(errors))
     return spec
 
 
 #: Wire-protocol operations the service understands.  ``stats``,
 #: ``snapshot``, and ``log`` arrived with protocol v2 (multi-dataset
 #: routing + replication); the rest are the v1 vocabulary.
-SERVICE_OPS = ("hello", "ping", "budget", "query", "audit", "update",
-               "stats", "snapshot", "log")
+SERVICE_OPS = (
+    "hello", "ping", "budget", "query", "audit", "update", "stats", "snapshot", "log"
+)
 
 
 def _is_wire_seed(value) -> bool:
@@ -311,8 +319,10 @@ def _is_wire_seed(value) -> bool:
 
 _SERVICE_COMMON_FIELDS = {
     "v": (_is_int, "an integer protocol version"),
-    "id": (lambda v: isinstance(v, (str, int)) and not isinstance(v, bool),
-           "a string or integer correlation id"),
+    "id": (
+        lambda v: isinstance(v, (str, int)) and not isinstance(v, bool),
+        "a string or integer correlation id",
+    ),
     "op": (lambda v: v in SERVICE_OPS, f"one of {', '.join(SERVICE_OPS)}"),
     # Protocol v2: every request frame may name its dataset (absent →
     # the server's default) and a consistency floor on its graph version.
@@ -329,25 +339,28 @@ _SERVICE_OP_FIELDS = {
     "budget": {"user": (lambda v: isinstance(v, str), "a tenant-name string")},
     "query": {
         **{k: v for k, v in _QUERY_ITEM_FIELDS.items() if k != "seed"},
-        "seed": (_is_wire_seed,
-                 "an integer or {entropy, spawn_key} object"),
-        "at_version": (lambda v: _is_int(v) and v >= 0,
-                       "a non-negative integer graph version"),
+        "seed": (_is_wire_seed, "an integer or {entropy, spawn_key} object"),
+        "at_version": (
+            lambda v: _is_int(v) and v >= 0, "a non-negative integer graph version"
+        ),
     },
     "audit": {
         "replay": (lambda v: isinstance(v, bool), "a boolean"),
         "user": (lambda v: isinstance(v, str), "a tenant-name string"),
     },
     "update": {
-        "actions": (lambda v: isinstance(v, list) and len(v) > 0,
-                    "a non-empty array of update actions"),
+        "actions": (
+            lambda v: isinstance(v, list) and len(v) > 0,
+            "a non-empty array of update actions",
+        ),
         "token": (lambda v: isinstance(v, str), "the admin token string"),
         "label": (lambda v: isinstance(v, str), "a string"),
     },
     "snapshot": {},
     "log": {
-        "since": (lambda v: _is_int(v) and v >= 0,
-                  "a non-negative integer graph version"),
+        "since": (
+            lambda v: _is_int(v) and v >= 0, "a non-negative integer graph version"
+        ),
     },
 }
 
@@ -361,16 +374,14 @@ def validate_service_request(request: Any) -> Dict:
     only checks shape.
     """
     if not isinstance(request, dict):
-        raise ValueError(
-            f"request must be a JSON object, got {type(request).__name__}"
-        )
+        raise ValueError(f"request must be a JSON object, got {type(request).__name__}")
     errors: List[str] = []
     if "op" not in request:
         errors.append(f"op: required (one of {', '.join(SERVICE_OPS)})")
     _check_fields(
-        request, "",
-        {**_SERVICE_COMMON_FIELDS,
-         **_SERVICE_OP_FIELDS.get(request.get("op"), {})},
+        request,
+        "",
+        {**_SERVICE_COMMON_FIELDS, **_SERVICE_OP_FIELDS.get(request.get("op"), {})},
         errors,
     )
     if request.get("op") == "query" and not errors:

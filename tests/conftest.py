@@ -50,9 +50,13 @@ def paper_graph():
     """The 6-node social network of Fig. 2 (a-b-c-d-e path of triangles)."""
     g = Graph()
     for u, v in [
-        ("a", "b"), ("a", "c"), ("b", "c"),
-        ("b", "d"), ("c", "d"),
-        ("c", "e"), ("d", "e"),
+        ("a", "b"),
+        ("a", "c"),
+        ("b", "c"),
+        ("b", "d"),
+        ("c", "d"),
+        ("c", "e"),
+        ("d", "e"),
         ("e", "f"),
     ]:
         g.add_edge(u, v)

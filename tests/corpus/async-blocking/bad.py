@@ -1,0 +1,16 @@
+"""True positives: blocking calls inside async def bodies."""
+import time
+
+
+async def handle_request(queue, future, backend, arrays):
+    time.sleep(0.1)  # expect: async-blocking
+    frame = queue.get()  # expect: async-blocking
+    answer = future.result()  # expect: async-blocking
+    solution = backend.solve_arrays(*arrays)  # expect: async-blocking
+    with open("audit.log") as handle:  # expect: async-blocking
+        handle.read()
+    return frame, answer, solution
+
+
+async def pump(sock):
+    return sock.recv(4096)  # expect: async-blocking

@@ -1,0 +1,20 @@
+"""Near misses: awaited or executor-routed equivalents."""
+import asyncio
+
+
+async def handle_request(loop, queue, future, session, item, options):
+    await asyncio.sleep(0.1)
+    frame = await queue.get()  # awaited: the async-native queue read
+    answer = await loop.run_in_executor(None, future.result)
+    submitted = session.submit(item)  # scheduling, not solving, here
+    mode = options.get("mode", "fast")  # dict.get takes arguments
+    return frame, answer, submitted, mode
+
+
+def blocking_helper(queue):
+    # Synchronous by design: this helper runs inside the executor.
+    return queue.get()
+
+
+async def delegate(loop, queue):
+    return await loop.run_in_executor(None, blocking_helper, queue)

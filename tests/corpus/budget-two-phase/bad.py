@@ -1,0 +1,36 @@
+"""True positives: reservations that leak on some control-flow path."""
+
+
+def leak_on_early_return(accountant, work):
+    reservation = accountant.reserve(0.5, label="q")
+    if not work.ready():
+        return None  # expect: budget-two-phase
+    result = work.run()
+    reservation.commit(result)
+    return result
+
+
+def leak_on_bare_raise(accountant, work):
+    reservation = accountant.reserve(0.5, label="q")
+    try:
+        result = work.run()
+    except RuntimeError:
+        raise  # expect: budget-two-phase
+    reservation.commit(result)
+    return result
+
+
+def leak_in_swallowing_handler(accountant, work):
+    reservation = accountant.reserve(0.5, label="q")
+    try:
+        result = work.run()
+    except ValueError:
+        return None  # expect: budget-two-phase
+    reservation.commit(result)
+    return result
+
+
+def leak_on_fallthrough(accountant, work):
+    reservation = accountant.reserve(0.5, label="q")  # expect: budget-two-phase
+    if work.ready():
+        reservation.commit(work.run())

@@ -1,0 +1,38 @@
+"""Near misses: the canonical two-phase shapes, and untracked look-alikes."""
+
+
+def commit_or_rollback(accountant, work):
+    reservation = accountant.reserve(0.5, label="q")
+    try:
+        result = work.run()
+    except BaseException:
+        reservation.rollback()
+        raise
+    reservation.commit(result)
+    return result
+
+
+def resolved_in_finally(accountant, work):
+    reservation = accountant.reserve(0.5, label="q")
+    outcome = None
+    try:
+        outcome = work.run()
+    finally:
+        if outcome is None:
+            reservation.rollback()
+        else:
+            reservation.commit(outcome)
+    return outcome
+
+
+def ownership_transferred(accountant, work, ledger):
+    reservation = accountant.reserve(0.5, label="q")
+    ledger.adopt(reservation)  # the ledger resolves it from here on
+    return work.run()
+
+
+def reserve_on_something_else(seat_map, work):
+    ticket = seat_map.reserve(3)  # not a budget accountant: untracked
+    if work.ready():
+        return ticket
+    return None

@@ -1,0 +1,23 @@
+"""True positives: solver handles that would cross a fork unreset."""
+import multiprocessing
+import os
+
+BACKEND = None
+MATRIX = None
+
+_SHARED_MODEL = BACKEND.build_persistent(MATRIX)  # expect: fork-safety
+
+
+class UnresetHolder:
+    """Persistent model, but no fork_reset hook and no registration."""
+
+    def __init__(self, backend, matrix):
+        self._model = backend.build_persistent(matrix)  # expect: fork-safety
+
+
+def spawn_workers(task):
+    return multiprocessing.Pool(2).map(task, [1, 2])  # expect: fork-safety
+
+
+def raw_fork():
+    return os.fork()  # expect: fork-safety

@@ -1,0 +1,20 @@
+"""Near misses: the fork-reset contract carried correctly."""
+from repro.parallel.pool import register_fork_reset
+
+
+class ResettingHolder:
+    """Persistent model with the hook and the registration."""
+
+    def __init__(self, backend, matrix):
+        self._model = backend.build_persistent(matrix)
+        register_fork_reset(self)
+
+    def fork_reset(self):
+        self._model = None
+
+
+def build_transient(backend, matrix):
+    # Built and dropped inside one call: nothing outlives the frame to
+    # cross a fork, so plain functions are not held to the class contract.
+    model = backend.build_persistent(matrix)
+    return model.solve()

@@ -1,0 +1,13 @@
+"""True positives: sets iterated into order-sensitive output."""
+
+
+def occurrence_rows(edges, nodes):
+    rows = []
+    for node in {n for edge in edges for n in edge}:  # expect: iter-order
+        rows.append(node)
+    keys = [item for item in set(edges)]  # expect: iter-order
+    frame = list(set(nodes) | set(edges))  # expect: iter-order
+    total = sum(frozenset(nodes))  # expect: iter-order
+    for pair in set(edges).union(nodes):  # expect: iter-order
+        rows.append(pair)
+    return rows, keys, frame, total

@@ -1,0 +1,16 @@
+"""Near misses: sorted sets, order-free consumers, ordered dicts."""
+
+
+def occurrence_rows(edges, nodes):
+    rows = []
+    for node in sorted({n for edge in edges for n in edge}):
+        rows.append(node)
+    keys = [item for item in sorted(set(edges))]
+    if "hub" in set(nodes):  # membership: order-free
+        rows.append("hub")
+    count = len(set(edges))  # size: order-free
+    biggest = max(set(nodes))  # order-free reduction
+    by_node = dict.fromkeys(nodes, 0)
+    for node, weight in by_node.items():  # dicts are insertion-ordered
+        rows.append((node, weight))
+    return rows, keys, count, biggest

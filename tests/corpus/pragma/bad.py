@@ -1,0 +1,10 @@
+"""True positives: dishonest suppression pragmas."""
+import numpy as np
+
+
+def fresh_entropy():
+    # repro: allow(not-a-rule) — the rule id is a typo  # expect: pragma
+    first = np.random.default_rng(2024)
+    unexplained = np.random.default_rng()  # repro: allow(rng-determinism)  # expect: pragma
+    idle = np.random.default_rng(7)  # repro: allow(rng-determinism) — nothing here to suppress  # expect: pragma
+    return first, unexplained, idle

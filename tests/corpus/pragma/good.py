@@ -1,0 +1,8 @@
+"""Near miss: an honest pragma — real rule, reason naming the pinning test."""
+import numpy as np
+
+
+def fresh_entropy():
+    # repro: allow(rng-determinism) — deliberate OS entropy for the
+    # default path; seeded behavior is pinned by tests/test_analysis.py
+    return np.random.default_rng()

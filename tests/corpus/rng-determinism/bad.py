@@ -1,0 +1,18 @@
+"""True positives: entropy and clocks that bypass the session seed."""
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def sample_noise(values):
+    pick = random.choice(values)  # expect: rng-determinism
+    rng = np.random.default_rng()  # expect: rng-determinism
+    legacy = np.random.RandomState()  # expect: rng-determinism
+    np.random.seed(7)  # expect: rng-determinism
+    jitter = np.random.normal()  # expect: rng-determinism
+    stamp = time.time()  # expect: rng-determinism
+    today = datetime.now()  # expect: rng-determinism
+    seeds = np.random.SeedSequence()  # expect: rng-determinism
+    return pick, rng, legacy, jitter, stamp, today, seeds

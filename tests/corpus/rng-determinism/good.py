@@ -1,0 +1,24 @@
+"""Near misses: seeded construction, interval clocks, look-alike names."""
+import time
+
+import numpy as np
+
+
+def sample_noise(seed):
+    generator = np.random.default_rng(seed)
+    legacy = np.random.RandomState(seed)
+    root = np.random.SeedSequence(entropy=seed, spawn_key=(1,))
+    start = time.perf_counter()
+    draw = generator.normal()
+    elapsed = time.perf_counter() - start
+    return generator, legacy, root, draw, elapsed
+
+
+class Sampler:
+    """A method named ``random`` is not the stdlib module."""
+
+    def random(self):
+        return 4
+
+    def run(self):
+        return self.random()

@@ -235,9 +235,7 @@ class TestOps:
                 {f"e{min(u,v)}{max(u,v)}": (u, v) != (2, 3) for u, v in edges}
             )
 
-        grounded_after = {
-            t for t, annotation in result.items() if ground(annotation)
-        }
+        grounded_after = {t for t, annotation in result.items() if ground(annotation)}
         # evaluate the same query on the reduced plain relation
         reduced = _edge_relation([e for e in edges if e != (2, 3)])
         reduced_bool = reduced.map_annotations(ground, semiring=BOOLEAN)
@@ -268,19 +266,13 @@ class TestQueryAst:
         e3 = Rename(Table("E"), {"src": "u", "dst": "v"})
         two_path = Select(Join(e1, e2), lambda t: t["u"] != t["v"])
         friends_with_common = Join(two_path, e3)
-        result = evaluate_query(
-            Project(friends_with_common, ("u", "v")), tables
-        )
+        result = evaluate_query(Project(friends_with_common, ("u", "v")), tables)
         # b-c are friends and share no common friend? b's neighbors {a,c};
         # c's {b,d,e}; common = {} -> not in result. Add a-b? a-b share c? a's
         # neighbors {b}, b's {a,c}: common {} -> no pairs here at all except
         # none. Extend the graph for a positive case:
-        tables["E"] = _edge_relation(
-            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
-        )
-        result = evaluate_query(
-            Project(friends_with_common, ("u", "v")), tables
-        )
+        tables["E"] = _edge_relation([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        result = evaluate_query(Project(friends_with_common, ("u", "v")), tables)
         pairs = {frozenset((t["u"], t["v"])) for t in result.support()}
         assert frozenset(("a", "b")) in pairs  # common friend c
         # the annotation of (a,b) must mention all three edges

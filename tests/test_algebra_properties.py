@@ -52,9 +52,7 @@ def _equivalent_relations(r1: KRelation, r2: KRelation) -> bool:
     """Same support; annotations equal up to φ-equivalence."""
     if set(r1.support()) != set(r2.support()):
         return False
-    return all(
-        phi_equivalent(r1.annotation(t), r2.annotation(t)) for t in r1.support()
-    )
+    return all(phi_equivalent(r1.annotation(t), r2.annotation(t)) for t in r1.support())
 
 
 @given(relations(("a",)), relations(("a",)))
@@ -66,9 +64,7 @@ def test_union_commutative_up_to_phi(r1, r2):
 @given(relations(("a",)), relations(("a",)), relations(("a",)))
 @settings(max_examples=60, deadline=None)
 def test_union_associative_up_to_phi(r1, r2, r3):
-    assert _equivalent_relations(
-        union(union(r1, r2), r3), union(r1, union(r2, r3))
-    )
+    assert _equivalent_relations(union(union(r1, r2), r3), union(r1, union(r2, r3)))
 
 
 @given(relations(("a", "b")), relations(("b", "c")))
@@ -93,9 +89,7 @@ def test_join_distributes_over_union_up_to_phi(r, s1, s2):
 def test_projection_commutes_with_valuation(relation, valuation):
     """Ground-then-project == project-then-ground (support level)."""
     projected = project(relation, ("a",))
-    ground_after = {
-        t for t, ann in projected.items() if ann.evaluate(valuation)
-    }
+    ground_after = {t for t, ann in projected.items() if ann.evaluate(valuation)}
     grounded = relation.map_annotations(
         lambda ann: ann.evaluate(valuation), semiring=BOOLEAN
     )
@@ -111,9 +105,7 @@ def test_projection_commutes_with_valuation(relation, valuation):
 @settings(max_examples=80, deadline=None)
 def test_join_commutes_with_valuation(r1, r2, valuation):
     joined = natural_join(r1, r2)
-    ground_after = {
-        t for t, ann in joined.items() if ann.evaluate(valuation)
-    }
+    ground_after = {t for t, ann in joined.items() if ann.evaluate(valuation)}
     g1 = r1.map_annotations(lambda a: a.evaluate(valuation), semiring=BOOLEAN)
     g2 = r2.map_annotations(lambda a: a.evaluate(valuation), semiring=BOOLEAN)
     ground_before = set(natural_join(g1, g2).support())

@@ -1,0 +1,434 @@
+"""Self-tests for :mod:`repro.analysis` — the invariant linter.
+
+Three layers of pinning:
+
+* **corpus** — every rule flags exactly the ``# expect:``-marked lines
+  of its ``tests/corpus/<rule>/bad.py`` and stays silent on
+  ``good.py`` (the near-misses);
+* **framework** — pragma binding and hygiene, baseline round-trip and
+  staleness, the registry contract, parse-error reporting, and the CLI
+  surface (``--list-rules``, ``--explain``, ``--format json``, exit
+  codes);
+* **the tree itself** — ``src/`` is clean against the committed
+  baseline (no unexplained findings, no stale entries), and every
+  suppression pragma in ``src/`` names the test that pins its
+  invariant dynamically.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Rule,
+    all_rules,
+    apply_baseline,
+    available,
+    describe,
+    get,
+    lint_paths,
+    load_baseline,
+    register,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.baseline import DEFAULT_BASELINE
+from repro.analysis.core import PARSE_RULE_ID, SourceModule
+from repro.analysis.corpus import corpus_files, corpus_root, expected_lines
+from repro.cli import main
+from repro.errors import AnalysisError
+
+REPO = Path(__file__).resolve().parents[1]
+CORPUS = REPO / "tests" / "corpus"
+SRC = REPO / "src"
+
+RULE_IDS = sorted(available())
+
+
+def lint_snippet(tmp_path, code, name="snippet.py", rules=None):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return lint_paths([path], rules=rules, root=tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# corpus: every rule's true positives and near-misses
+# ---------------------------------------------------------------------------
+
+
+class TestCorpus:
+    def test_every_rule_has_corpus(self):
+        for rule_id in RULE_IDS:
+            files = corpus_files(rule_id, CORPUS)
+            assert set(files) == {"bad", "good"}, (
+                f"rule {rule_id} needs tests/corpus/{rule_id}/bad.py "
+                "and good.py"
+            )
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_corpus_flags_exactly_the_marked_lines(self, rule_id):
+        bad = CORPUS / rule_id / "bad.py"
+        report = lint_paths([bad], root=REPO)
+        actual = {}
+        for finding in report.active:
+            actual.setdefault(finding.line, set()).add(finding.rule)
+        expected = {line: set(rules) for line, rules in expected_lines(bad).items()}
+        assert actual == expected
+        assert any(rule_id in rules for rules in expected.values()), (
+            f"bad.py for {rule_id} must contain at least one "
+            f"`# expect: {rule_id}` true positive"
+        )
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_good_corpus_is_silent(self, rule_id):
+        good = CORPUS / rule_id / "good.py"
+        report = lint_paths([good], root=REPO)
+        assert [f.to_dict() for f in report.active] == []
+
+
+# ---------------------------------------------------------------------------
+# framework: pragmas
+# ---------------------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses_and_records_reason(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()  # repro: allow(rng-determinism) -- pinned by tests/test_analysis.py
+        """)
+        assert report.active == []
+        (finding,) = report.suppressed
+        assert finding.rule == "rng-determinism"
+        assert "tests/test_analysis.py" in finding.reason
+
+    def test_standalone_pragma_skips_continuation_comments(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def draw():
+                # repro: allow(rng-determinism) — deliberate OS entropy;
+                # the seeded path is pinned by tests/test_analysis.py
+                return np.random.default_rng()
+        """)
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
+    @pytest.mark.parametrize("separator", ["—", "–", "--", ":"])
+    def test_reason_separator_variants(self, tmp_path, separator):
+        report = lint_snippet(tmp_path, f"""\
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()  # repro: allow(rng-determinism) {separator} why not
+        """)
+        assert report.active == []
+        assert report.suppressed[0].reason == "why not"
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()  # repro: allow(iter-order) — wrong rule
+        """)
+        rules = {finding.rule for finding in report.active}
+        # The finding survives AND the mismatched pragma reads as unused.
+        assert rules == {"rng-determinism", "pragma"}
+
+    def test_docstring_pragma_syntax_is_not_a_pragma(self, tmp_path):
+        report = lint_snippet(tmp_path, '''\
+            """Docs may show ``# repro: allow(rng-determinism) — reason``."""
+
+            def nothing():
+                return 0
+        ''')
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# framework: baseline
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        path = tmp_path / "offender.py"
+        path.write_text(
+            "import numpy as np\nRNG = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "baseline.json"
+        report = lint_paths([path], root=tmp_path)
+        assert len(report.active) == 1
+        write_baseline(report, baseline)
+
+        fresh = lint_paths([path], root=tmp_path)
+        apply_baseline(fresh, baseline)
+        assert fresh.active == []
+        assert fresh.baselined == 1
+        assert fresh.stale_baseline == []
+
+    def test_baseline_survives_line_drift_but_not_edits(self, tmp_path):
+        path = tmp_path / "offender.py"
+        path.write_text(
+            "import numpy as np\nRNG = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "baseline.json"
+        write_baseline(lint_paths([path], root=tmp_path), baseline)
+
+        # Drift: new lines above move the finding; fingerprint holds.
+        path.write_text(
+            "import numpy as np\n\n\nRNG = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        drifted = lint_paths([path], root=tmp_path)
+        apply_baseline(drifted, baseline)
+        assert drifted.active == []
+
+        # Edit: the offending line changes; the old entry goes stale.
+        path.write_text(
+            "import numpy as np\nGEN = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        edited = lint_paths([path], root=tmp_path)
+        apply_baseline(edited, baseline)
+        assert len(edited.active) == 1
+        assert len(edited.stale_baseline) == 1
+
+    def test_stale_entry_is_reported(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("VALUE = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "path": "clean.py",
+                            "rule": "rng-determinism",
+                            "snippet": "gone = np.random.default_rng()",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        report = lint_paths([path], root=tmp_path)
+        apply_baseline(report, baseline)
+        assert len(report.stale_baseline) == 1
+        assert "no longer occurs" in render_text(report)
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[]", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_baseline(baseline)
+
+
+# ---------------------------------------------------------------------------
+# framework: registry, parse errors, reporting
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_registry_has_the_documented_rules(self):
+        assert {"rng-determinism", "iter-order", "fork-safety",
+                "budget-two-phase", "async-blocking",
+                "pragma"} <= set(available())
+
+    def test_every_rule_carries_title_and_rationale(self):
+        for rule in all_rules():
+            assert rule.title, rule.id
+            assert rule.rationale, rule.id
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(Rule):
+            id = "rng-determinism"
+
+        with pytest.raises(AnalysisError, match="already registered"):
+            register(Duplicate)
+
+    def test_unknown_rule_lists_available(self):
+        with pytest.raises(AnalysisError, match="rng-determinism"):
+            get("no-such-rule")
+
+    def test_parse_error_becomes_a_finding(self, tmp_path):
+        report = lint_snippet(tmp_path, "def broken(:\n")
+        (finding,) = report.findings
+        assert finding.rule == PARSE_RULE_ID
+        assert not finding.suppressed
+
+    def test_json_report_shape(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            import numpy as np
+            RNG = np.random.default_rng()
+        """)
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["active"] == 1
+        (entry,) = [f for f in payload["findings"]
+                    if f["rule"] == "rng-determinism"]
+        assert entry["snippet"] == "RNG = np.random.default_rng()"
+
+    def test_describe_rows_match_registry(self):
+        assert [row["rule"] for row in describe()] == list(available())
+
+
+# ---------------------------------------------------------------------------
+# the accounting walk accepts the codebase's canonical session shape
+# ---------------------------------------------------------------------------
+
+
+class TestAccountingWalk:
+    def test_session_release_shape_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def release(self, prepared, epsilon, label, user, params, rng):
+                reservation = self.accountant.reserve(
+                    epsilon, label=label, user=user)
+                try:
+                    generator = self._generator_for(rng)
+                    result = prepared.release(epsilon, generator,
+                                              params=params)
+                except BaseException:
+                    reservation.rollback()
+                    raise
+                entry = self._entry(result)
+                reservation.commit(entry)
+                return result
+        """, rules=["budget-two-phase"])
+        assert report.findings == []
+
+    def test_rebinding_a_held_reservation_is_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, """\
+            def double_reserve(accountant):
+                reservation = accountant.reserve(0.5)
+                reservation = accountant.reserve(0.5)
+                reservation.commit(None)
+        """, rules=["budget-two-phase"])
+        assert any("re-bound" in f.message for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_explain_sources_the_corpus(self, capsys, rule_id):
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        rule = get(rule_id)()
+        assert rule.rationale.split()[0] in out
+        # Single source of truth: the printed example IS the corpus file.
+        bad = (CORPUS / rule_id / "bad.py").read_text(encoding="utf-8")
+        marked = next(line for line in bad.splitlines() if "# expect:" in line)
+        assert marked.strip() in out
+
+    def test_explain_unknown_rule_fails_with_usage_code(self, capsys):
+        assert main(["lint", "--explain", "no-such-rule"]) == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_findings_exit_one_and_clean_exits_zero(self, capsys):
+        bad = str(CORPUS / "rng-determinism" / "bad.py")
+        good = str(CORPUS / "rng-determinism" / "good.py")
+        assert main(["lint", bad, "--no-baseline"]) == 1
+        assert main(["lint", good, "--no-baseline"]) == 0
+        capsys.readouterr()
+
+    def test_rule_filter_restricts_findings(self, capsys):
+        bad = str(CORPUS / "rng-determinism" / "bad.py")
+        assert main(["lint", bad, "--no-baseline", "--rule", "iter-order"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_filter_is_a_usage_error(self, capsys):
+        assert main(["lint", "--rule", "bogus"]) == 2
+        capsys.readouterr()
+
+    def test_json_format_and_output_file(self, tmp_path, capsys):
+        bad = str(CORPUS / "rng-determinism" / "bad.py")
+        out_file = tmp_path / "report.json"
+        argv = ["lint", bad, "--no-baseline", "--format", "json"]
+        assert main(argv + ["--output", str(out_file)]) == 1
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert stdout_payload == file_payload
+        assert stdout_payload["summary"]["active"] > 0
+
+    def test_write_baseline_then_clean(self, tmp_path, monkeypatch, capsys):
+        offender = tmp_path / "offender.py"
+        offender.write_text(
+            "import numpy as np\nRNG = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "offender.py"]) == 1
+        assert main(["lint", "offender.py", "--write-baseline"]) == 0
+        assert (tmp_path / DEFAULT_BASELINE).exists()
+        assert main(["lint", "offender.py"]) == 0
+        # Fixing the offense turns the entry stale: the gate fails again.
+        offender.write_text("RNG = None\n", encoding="utf-8")
+        assert main(["lint", "offender.py"]) == 1
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# the tree itself
+# ---------------------------------------------------------------------------
+
+
+class TestTreeIsClean:
+    def test_src_matches_committed_baseline_exactly(self):
+        report = lint_paths([SRC], root=REPO)
+        apply_baseline(report, REPO / DEFAULT_BASELINE)
+        assert [f.to_dict() for f in report.active] == [], (
+            "new lint findings in src/ — fix them or add a "
+            "# repro: allow(...) pragma naming the pinning test"
+        )
+        assert report.stale_baseline == [], (
+            "stale baseline entries — regenerate lint-baseline.json "
+            "with: python -m repro lint src --write-baseline"
+        )
+
+    def test_committed_baseline_is_empty(self):
+        # PR 9 lands with every finding fixed or pragma'd; keep it that
+        # way (a non-empty baseline needs a justified entry per finding).
+        payload = json.loads((REPO / DEFAULT_BASELINE).read_text(encoding="utf-8"))
+        assert payload == {"version": 1, "findings": []}
+
+    def test_every_src_pragma_reason_names_a_pinning_test(self):
+        pattern = re.compile(r"tests/test_\w+\.py")
+        for path in sorted(SRC.rglob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            module = SourceModule(path.as_posix(), text)
+            for pragma in module.pragmas:
+                # A standalone pragma may carry its reason across the
+                # continuation comment lines above the suppressed line.
+                stop = min(pragma.target, len(module.lines) + 1)
+                block = " ".join(
+                    module.lines[line - 1].strip()
+                    for line in range(pragma.line, stop)
+                ) or pragma.reason
+                assert pattern.search(block or pragma.reason), (
+                    f"{path}:{pragma.line}: pragma reason must name the "
+                    "test file pinning the invariant (tests/test_*.py)"
+                )
+
+    def test_corpus_root_resolves_inside_the_repo(self):
+        assert corpus_root() == CORPUS

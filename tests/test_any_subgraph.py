@@ -108,6 +108,4 @@ class TestLongerPaths:
         result = private_subgraph_count(
             g, path_pattern(3), privacy="edge", epsilon=2.0, rng=2
         )
-        assert result.true_answer == len(
-            list(enumerate_subgraphs(g, path_pattern(3)))
-        )
+        assert result.true_answer == len(list(enumerate_subgraphs(g, path_pattern(3))))

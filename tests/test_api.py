@@ -35,8 +35,12 @@ class TestPublicSurface:
 
         assert Var("a") & Var("b") == And((Var("a"), Var("b")))
         imported = (
-            CountQuery, EfficientRecursiveMechanism, Graph, KRelation,
-            Or, SensitiveKRelation,
+            CountQuery,
+            EfficientRecursiveMechanism,
+            Graph,
+            KRelation,
+            Or,
+            SensitiveKRelation,
         )
         assert all(isinstance(item, type) for item in imported)
 

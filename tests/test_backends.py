@@ -177,9 +177,7 @@ class TestStatusVocabulary:
         assert status.LINPROG_STATUS[0] == status.OPTIMAL
         assert status.LINPROG_STATUS[2] == status.INFEASIBLE
         assert status.LINPROG_STATUS[3] == status.UNBOUNDED
-        assert set(status.LINPROG_STATUS.values()) <= set(
-            status.CANONICAL_STATUSES
-        )
+        assert set(status.LINPROG_STATUS.values()) <= set(status.CANONICAL_STATUSES)
 
 
 class TestEngineProbeCaching:
@@ -222,21 +220,15 @@ class TestSessionIdentity:
         first, second = AVAILABLE[:2]
         session_a = PrivateSession(graph, backend=first)
         session_b = PrivateSession(graph, backend=second)
-        *_, key_a = session_a._resolve_spec(
-            triangle(), "edge", "recursive", None, {}
-        )
-        *_, key_b = session_b._resolve_spec(
-            triangle(), "edge", "recursive", None, {}
-        )
+        *_, key_a = session_a._resolve_spec(triangle(), "edge", "recursive", None, {})
+        *_, key_b = session_b._resolve_spec(triangle(), "edge", "recursive", None, {})
         assert key_a != key_b
 
     def test_cross_backend_released_answers_identical(self, graph):
         answers = set()
         for name in AVAILABLE:
             session = PrivateSession(graph, backend=name)
-            result = session.query(
-                triangle(), privacy="node", epsilon=0.5, rng=42
-            )
+            result = session.query(triangle(), privacy="node", epsilon=0.5, rng=42)
             answers.add(result.answer)
         assert len(answers) == 1
 
@@ -277,8 +269,7 @@ class TestCliKnob:
             == "scipy"
         )
         assert (
-            parser.parse_args(["serve", "--lp-backend", "scipy"]).lp_backend
-            == "scipy"
+            parser.parse_args(["serve", "--lp-backend", "scipy"]).lp_backend == "scipy"
         )
         assert (
             parser.parse_args(
@@ -301,18 +292,22 @@ class TestMeasuredPreferences:
 
     def _bench_file(self, tmp_path, timings):
         path = tmp_path / "BENCH_backends.json"
-        path.write_text(json.dumps(
-            {"fig5": {name: {"wall_seconds": seconds}
-                      for name, seconds in timings.items()}}
-        ))
+        path.write_text(
+            json.dumps(
+                {
+                    "fig5": {
+                        name: {"wall_seconds": seconds}
+                        for name, seconds in timings.items()
+                    }
+                }
+            )
+        )
         return path
 
     def test_measured_fastest_available_wins(self, tmp_path):
         slowest = {name: 100.0 + index for index, name in enumerate(AVAILABLE)}
         slowest["scipy"] = 0.01  # scipy is always available
-        installed = backends.load_preferences(
-            self._bench_file(tmp_path, slowest)
-        )
+        installed = backends.load_preferences(self._bench_file(tmp_path, slowest))
         assert installed["scipy"] == 0.01
         assert backends.default_backend().name == "scipy"
 
@@ -326,9 +321,7 @@ class TestMeasuredPreferences:
 
     def test_unavailable_timings_fall_back_to_static(self, tmp_path):
         static_choice = backends.default_backend().name
-        backends.load_preferences(
-            self._bench_file(tmp_path, {"no-such-solver": 0.001})
-        )
+        backends.load_preferences(self._bench_file(tmp_path, {"no-such-solver": 0.001}))
         assert backends.default_backend().name == static_choice
 
     def test_env_path_is_loaded_lazily_once(self, tmp_path, monkeypatch):

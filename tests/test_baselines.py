@@ -32,9 +32,7 @@ def medium_graph():
 class TestLaplaceMechanism:
     def test_unbiased(self):
         rng = np.random.default_rng(0)
-        answers = [
-            laplace_mechanism(100.0, 1.0, 1.0, rng).answer for _ in range(500)
-        ]
+        answers = [laplace_mechanism(100.0, 1.0, 1.0, rng).answer for _ in range(500)]
         assert abs(np.median(answers) - 100.0) < 1.0
 
     def test_noise_scale(self):
@@ -80,8 +78,7 @@ class TestSmoothSensitivity:
         smooth = SmoothSensitivity(lambda s: 1.0, ls_cap=1.0)
         rng = np.random.default_rng(1)
         answers = [
-            cauchy_noise_release(50.0, smooth, 1.0, rng).answer
-            for _ in range(400)
+            cauchy_noise_release(50.0, smooth, 1.0, rng).answer for _ in range(400)
         ]
         assert abs(np.median(answers) - 50.0) < 3.0
 
@@ -115,9 +112,7 @@ class TestNRSTriangles:
             g = erdos_renyi(16, 0.3, rng=seed)
             for s in (0, 1, 3, 7):
                 approx = triangle_local_sensitivity_at_distance(g, s)
-                exact = triangle_local_sensitivity_at_distance(
-                    g, s, exact_pairs=True
-                )
+                exact = triangle_local_sensitivity_at_distance(g, s, exact_pairs=True)
                 assert approx == exact, (seed, s)
 
     def test_run_centers_on_truth(self, medium_graph):
@@ -145,9 +140,7 @@ class TestKarwaKStar:
         """2-star counting with smooth sensitivity is tight (Fig. 4)."""
         mech = KarwaKStarMechanism(medium_graph, 2)
         rng = np.random.default_rng(3)
-        errors = [
-            mech.run(0.5, rng).relative_error for _ in range(51)
-        ]
+        errors = [mech.run(0.5, rng).relative_error for _ in range(51)]
         assert float(np.median(errors)) < 0.2
 
     def test_invalid_k(self, medium_graph):

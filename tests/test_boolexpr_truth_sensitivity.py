@@ -35,9 +35,7 @@ class TestTruth:
         ]
 
     def test_truth_equivalent_paper_pair(self):
-        assert truth_equivalent(
-            parse("(b1 | b2) & (b1 | b3)"), parse("b1 | (b2 & b3)")
-        )
+        assert truth_equivalent(parse("(b1 | b2) & (b1 | b3)"), parse("b1 | (b2 & b3)"))
 
     def test_truth_equivalent_negative(self):
         assert not truth_equivalent(parse("a & b"), parse("a | b"))

@@ -30,20 +30,41 @@ class TestCommands:
         assert "48260" in out
 
     def test_count_random_graph(self, capsys):
-        code = main([
-            "count", "--nodes", "24", "--avgdeg", "5", "--privacy", "edge",
-            "--epsilon", "2", "--seed", "3", "--show-true",
-        ])
+        code = main(
+            [
+                "count",
+                "--nodes",
+                "24",
+                "--avgdeg",
+                "5",
+                "--privacy",
+                "edge",
+                "--epsilon",
+                "2",
+                "--seed",
+                "3",
+                "--show-true",
+            ]
+        )
         assert code == 0
         out = capsys.readouterr().out
         assert "edge-DP triangle count" in out
         assert "true count" in out
 
     def test_count_dataset(self, capsys):
-        code = main([
-            "count", "--dataset", "1138_bus", "--dataset-scale", "0.02",
-            "--privacy", "edge", "--seed", "1",
-        ])
+        code = main(
+            [
+                "count",
+                "--dataset",
+                "1138_bus",
+                "--dataset-scale",
+                "0.02",
+                "--privacy",
+                "edge",
+                "--seed",
+                "1",
+            ]
+        )
         assert code == 0
         assert "graph:" in capsys.readouterr().out
 
@@ -55,10 +76,21 @@ class TestCommands:
         assert "4 nodes" in capsys.readouterr().out
 
     def test_audit_passes(self, capsys):
-        code = main([
-            "audit", "--nodes", "14", "--avgdeg", "5",
-            "--trials", "500", "--epsilon", "1.0", "--seed", "0",
-        ])
+        code = main(
+            [
+                "audit",
+                "--nodes",
+                "14",
+                "--avgdeg",
+                "5",
+                "--trials",
+                "500",
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "0",
+            ]
+        )
         out = capsys.readouterr().out
         assert "empirical epsilon" in out
         assert code == 0
@@ -88,12 +120,25 @@ class TestBatchCommand:
         "seed": 7,
         "queries": [
             {"query": "triangle", "privacy": "node", "epsilon": 0.5},
-            {"query": "triangle", "privacy": "node", "epsilon": 0.5,
-             "label": "tri-again"},
-            {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
-             "mechanism": "smooth"},
-            {"query": "2-star", "privacy": "edge", "epsilon": 0.5,
-             "mechanism": "rhms", "label": "over-budget"},
+            {
+                "query": "triangle",
+                "privacy": "node",
+                "epsilon": 0.5,
+                "label": "tri-again",
+            },
+            {
+                "query": "2-star",
+                "privacy": "edge",
+                "epsilon": 0.5,
+                "mechanism": "smooth",
+            },
+            {
+                "query": "2-star",
+                "privacy": "edge",
+                "epsilon": 0.5,
+                "mechanism": "rhms",
+                "label": "over-budget",
+            },
         ],
     }
 
@@ -119,9 +164,7 @@ class TestBatchCommand:
         spec = {
             "graph": {"nodes": 20, "avgdeg": 4, "seed": 2},
             "seed": 3,
-            "queries": [
-                {"query": "triangle", "privacy": "edge", "epsilon": 1.0}
-            ],
+            "queries": [{"query": "triangle", "privacy": "edge", "epsilon": 1.0}],
         }
         path = tmp_path / "spec.json"
         path.write_text(json.dumps(spec))
@@ -171,8 +214,12 @@ class TestBatchCommand:
             "graph": {"nodes": 20, "avgdeg": 4, "seed": 2},
             "seed": 3,
             "queries": [
-                {"query": "triangle", "privacy": "edge", "epsilon": 0.5,
-                 "user": "alice"},
+                {
+                    "query": "triangle",
+                    "privacy": "edge",
+                    "epsilon": 0.5,
+                    "user": "alice",
+                },
             ],
         }
         path = tmp_path / "spec.json"

@@ -102,9 +102,7 @@ def test_mechanism_intermediates_agree_across_paths(seed, bounding, lp_backend):
     relation = SensitiveKRelation(
         names, [(f"t{k}", expr) for k, (expr, _) in enumerate(annotated)]
     )
-    fast = EfficientRecursiveMechanism(
-        relation, bounding=bounding, backend=lp_backend
-    )
+    fast = EfficientRecursiveMechanism(relation, bounding=bounding, backend=lp_backend)
     slow = EfficientRecursiveMechanism(
         relation, bounding=bounding, backend=lp_backend, compiled=False
     )

@@ -109,9 +109,7 @@ class TestComputeDelta:
         params = RecursiveMechanismParams.paper(0.5)
         mech = SequenceMechanism(h, g)
         delta, j = mech.compute_delta(params)
-        expected_delta, expected_j = linear_scan_delta(
-            g, params.beta, params.theta
-        )
+        expected_delta, expected_j = linear_scan_delta(g, params.beta, params.theta)
         assert delta == pytest.approx(expected_delta)
         assert j == expected_j
 
@@ -160,10 +158,7 @@ class TestComputeDelta:
                 g2.append(g2[-1] + float(inc))
             # neighbor: G1_i sandwiched between G2_i and G2_{i+1}
             lam = rng.random(len(g2) - 1)
-            g1 = [
-                g2[i] + lam[i] * (g2[i + 1] - g2[i])
-                for i in range(len(g2) - 1)
-            ]
+            g1 = [g2[i] + lam[i] * (g2[i + 1] - g2[i]) for i in range(len(g2) - 1)]
             g1[0] = 0.0
             d1, _ = SequenceMechanism([0] * len(g1), g1).compute_delta(params)
             d2, _ = SequenceMechanism([0] * len(g2), g2).compute_delta(params)
@@ -174,9 +169,7 @@ class TestComputeX:
     def test_scan_minimum(self):
         mech = SequenceMechanism([0, 0, 1, 5], [0, 1, 2, 3])
         value, index = mech._compute_x(0.5)
-        expected = min(
-            [0 + 3 * 0.5, 0 + 2 * 0.5, 1 + 1 * 0.5, 5 + 0 * 0.5]
-        )
+        expected = min([0 + 3 * 0.5, 0 + 2 * 0.5, 1 + 1 * 0.5, 5 + 0 * 0.5])
         assert value == pytest.approx(expected)
         assert index == 1.0
 
@@ -191,10 +184,7 @@ class TestComputeX:
                 h2.append(h2[-1] + float(inc) * 3)
             # neighbor H1 interleaved: H2_i <= H1_i <= H2_{i+1}
             lam = rng.random(len(h2) - 1)
-            h1 = [
-                h2[i] + lam[i] * (h2[i + 1] - h2[i])
-                for i in range(len(h2) - 1)
-            ]
+            h1 = [h2[i] + lam[i] * (h2[i + 1] - h2[i]) for i in range(len(h2) - 1)]
             h1[0] = 0.0
             delta_hat = float(rng.random() * 2)
             x1, _ = SequenceMechanism(h1, [0] * len(h1))._compute_x(delta_hat)
@@ -233,16 +223,19 @@ class TestRun:
         mech = SequenceMechanism([0, 1, 3, 6], [0, 2, 4, 4])
         delta, _ = mech.compute_delta(params)
         rng = np.random.default_rng(5)
-        above = sum(
-            mech.noisy_delta(delta, params, rng) >= delta for _ in range(400)
-        )
+        above = sum(mech.noisy_delta(delta, params, rng) >= delta for _ in range(400))
         # failure probability is e^{-mu*eps1/beta}/2 = e^{-2.5}/2 ≈ 0.04
         assert above > 320
 
     def test_mechanism_result_relative_error_zero_truth(self):
         result = MechanismResult(
-            answer=0.0, delta=1, delta_hat=1, x_value=0, x_index=0,
-            j_star=0, params=RecursiveMechanismParams.paper(1.0),
+            answer=0.0,
+            delta=1,
+            delta_hat=1,
+            x_value=0,
+            x_index=0,
+            j_star=0,
+            params=RecursiveMechanismParams.paper(1.0),
             true_answer=0.0,
         )
         assert result.relative_error == 0.0

@@ -99,9 +99,7 @@ class TestGeneralMechanism:
             GeneralRecursiveMechanism(rel.as_sensitive_database(), bad_query)
 
     def test_rejects_too_many_participants(self):
-        rel = SensitiveKRelation(
-            [f"p{i}" for i in range(20)], [("t", Var("p0"))]
-        )
+        rel = SensitiveKRelation([f"p{i}" for i in range(20)], [("t", Var("p0"))])
         with pytest.raises(SensitiveModelError):
             GeneralRecursiveMechanism(rel.as_sensitive_database(), count_query)
 
@@ -120,9 +118,7 @@ class TestEfficientVsGeneral:
         g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (3, 4), (2, 4)])
         rel = subgraph_krelation(g, triangle(), privacy="node")
         eff = EfficientRecursiveMechanism(rel)
-        gen = GeneralRecursiveMechanism(
-            rel.as_sensitive_database(), count_query
-        )
+        gen = GeneralRecursiveMechanism(rel.as_sensitive_database(), count_query)
         n = eff.num_participants
         for i in range(n + 1):
             assert eff.h_entry(i) == pytest.approx(gen.h_entry(i), abs=1e-6)
@@ -160,29 +156,21 @@ class TestEfficientVsGeneral:
         n = eff.num_participants
         for delta_hat in (0.01, 0.2, 0.7, 2.0, 10.0):
             x_fast, _ = eff._compute_x(delta_hat)
-            x_scan = min(
-                eff.h_entry(i) + (n - i) * delta_hat for i in range(n + 1)
-            )
+            x_scan = min(eff.h_entry(i) + (n - i) * delta_hat for i in range(n + 1))
             assert x_fast == pytest.approx(x_scan, abs=1e-6)
 
 
 class TestEfficientMechanism:
     def test_normalize_option(self):
-        rel = SensitiveKRelation(
-            ["a", "b", "c"], [("t", parse("(a | b) & (a | c)"))]
-        )
+        rel = SensitiveKRelation(["a", "b", "c"], [("t", parse("(a | b) & (a | c)"))])
         eff = EfficientRecursiveMechanism(rel, normalize=True)
         assert eff.true_answer() == pytest.approx(1.0)
 
     def test_weighted_query(self):
         from repro.core.queries import WeightedQuery
 
-        rel = SensitiveKRelation(
-            ["a", "b"], [("t1", parse("a & b")), ("t2", Var("a"))]
-        )
-        eff = EfficientRecursiveMechanism(
-            rel, query=WeightedQuery(lambda t: 3.0)
-        )
+        rel = SensitiveKRelation(["a", "b"], [("t1", parse("a & b")), ("t2", Var("a"))])
+        eff = EfficientRecursiveMechanism(rel, query=WeightedQuery(lambda t: 3.0))
         assert eff.true_answer() == pytest.approx(6.0)
 
     def test_lp_size_reported(self, small_relation):

@@ -14,9 +14,7 @@ from repro.errors import AnnotationError, SensitiveModelError
 
 def counting_db(participants):
     """A toy (P, M): content is the sorted tuple of present participants."""
-    return SensitiveDatabase(
-        participants, lambda subset: tuple(sorted(subset))
-    )
+    return SensitiveDatabase(participants, lambda subset: tuple(sorted(subset)))
 
 
 class TestSensitiveDatabase:
@@ -121,9 +119,7 @@ class TestSensitiveKRelation:
         assert are_neighboring_krelations(rel.withdraw("a"), rel)  # symmetric
 
     def test_not_neighboring_when_two_apart(self):
-        rel = SensitiveKRelation(
-            ["a", "b", "c"], [("t1", parse("(a & b) | c"))]
-        )
+        rel = SensitiveKRelation(["a", "b", "c"], [("t1", parse("(a & b) | c"))])
         assert not are_neighboring_krelations(rel, rel.withdraw("a", "b"))
 
     def test_not_neighboring_when_annotations_differ(self):
@@ -138,9 +134,7 @@ class TestSensitiveKRelation:
         assert db.content({"a", "b"}) == {"t"}
 
     def test_normalized_rewrites_to_minimal_dnf(self):
-        rel = SensitiveKRelation(
-            ["a", "b", "c"], [("t", parse("(a | b) & (a | c)"))]
-        )
+        rel = SensitiveKRelation(["a", "b", "c"], [("t", parse("(a | b) & (a | c)"))])
         normalized = rel.normalized()
         assert dict(normalized.items())["t"] == parse("a | (b & c)")
 

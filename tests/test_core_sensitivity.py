@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.boolexpr import Var, parse
 from repro.core import (
     CountQuery,
     SensitiveKRelation,
@@ -10,7 +11,6 @@ from repro.core import (
     local_empirical_sensitivity,
     universal_empirical_sensitivity,
 )
-from repro.boolexpr import Var, parse
 from repro.core.queries import WeightedQuery
 from repro.errors import SensitiveModelError
 from repro.graphs import Graph
@@ -33,7 +33,8 @@ class TestLocalEmpirical:
 
     def test_empty_participants(self):
         rel = SensitiveKRelation([], [])
-        assert local_empirical_sensitivity(count_query, rel.as_sensitive_database()) == 0.0
+        db = rel.as_sensitive_database()
+        assert local_empirical_sensitivity(count_query, db) == 0.0
 
     def test_bounded_by_global_empirical(self):
         rel = SensitiveKRelation(
@@ -41,9 +42,9 @@ class TestLocalEmpirical:
             [("t1", parse("a & b")), ("t2", parse("(b | c) & d")), ("t3", Var("d"))],
         )
         db = rel.as_sensitive_database()
-        assert local_empirical_sensitivity(count_query, db) <= global_empirical_sensitivity(
+        assert local_empirical_sensitivity(
             count_query, db
-        )
+        ) <= global_empirical_sensitivity(count_query, db)
 
 
 class TestGlobalEmpirical:
@@ -62,9 +63,7 @@ class TestGlobalEmpirical:
         assert global_empirical_sensitivity(count_query, db) == 2.0
 
     def test_guard_on_large_participant_sets(self):
-        rel = SensitiveKRelation(
-            [f"p{i}" for i in range(25)], [("t", Var("p0"))]
-        )
+        rel = SensitiveKRelation([f"p{i}" for i in range(25)], [("t", Var("p0"))])
         with pytest.raises(SensitiveModelError):
             global_empirical_sensitivity(count_query, rel.as_sensitive_database())
 
@@ -106,9 +105,7 @@ class TestUniversalEmpirical:
         assert universal_empirical_sensitivity(q, rel) == 3.0
 
     def test_weighted_query(self):
-        rel = SensitiveKRelation(
-            ["a", "b"], [("t1", parse("a & b")), ("t2", Var("a"))]
-        )
+        rel = SensitiveKRelation(["a", "b"], [("t1", parse("a & b")), ("t2", Var("a"))])
         q = WeightedQuery(lambda t: 2.0 if t == "t1" else 5.0)
         assert universal_empirical_sensitivity(q, rel, "a") == 7.0
         assert universal_empirical_sensitivity(q, rel, "b") == 2.0

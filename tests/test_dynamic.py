@@ -55,9 +55,7 @@ class TestGraphDelta:
         # an audit-exported update log re-parses verbatim (round trip)
         back = GraphDelta.from_action(out)
         assert back.u == 3 and back.removed_edges == ((3, 1), (3, 2))
-        validate_service_request(
-            {"v": 1, "op": "update", "actions": [out]}
-        )
+        validate_service_request({"v": 1, "op": "update", "actions": [out]})
 
     def test_malformed_actions_rejected(self):
         with pytest.raises(GraphError, match="action must be one of"):
@@ -87,8 +85,7 @@ class TestVersionedGraph:
         g.add_node(9)
         g.remove_edge(0, 1)
         assert g.version == 3
-        assert [d.kind for d in g.log] == ["add_edge", "add_node",
-                                           "remove_edge"]
+        assert [d.kind for d in g.log] == ["add_edge", "add_node", "remove_edge"]
 
     def test_edge_insert_is_one_delta_despite_new_endpoints(self):
         g = VersionedGraph()
@@ -209,13 +206,17 @@ class TestIncrementalEquivalence:
         g1.add_edge(1, 3)
         g1.add_edge(0, 3)
         g2 = VersionedGraph(g1.as_graph())
-        for p1, p2 in zip(g1.occurrences_for(triangle()),
-                          g2.occurrences_for(triangle())):
+        for p1, p2 in zip(
+            g1.occurrences_for(triangle()), g2.occurrences_for(triangle())
+        ):
             assert p1.nodes == p2.nodes and p1.edges == p2.edges
 
     def test_constrained_pattern_falls_back_to_rebuild(self):
-        pattern = Pattern([(0, 1), (1, 2), (0, 2)], name="hot-triangle",
-                          node_constraints={0: lambda data: True})
+        pattern = Pattern(
+            [(0, 1), (1, 2), (0, 2)],
+            name="hot-triangle",
+            node_constraints={0: lambda data: True},
+        )
         g = VersionedGraph(random_graph_with_avg_degree(12, 4, rng=5))
         inc = g.maintainer
         inc.register(pattern)
@@ -278,11 +279,14 @@ class TestDynamicSession:
     def test_version_keyed_cache_never_serves_stale(self):
         g = self._graph()
         with PrivateSession(g, rng=7) as s:
-            before = s.query("triangle", privacy="node", epsilon=0.5,
-                             rng=11)
-            s.apply_update([{"action": "add_edge", "u": 0, "v": 1},
-                            {"action": "add_edge", "u": 0, "v": 2},
-                            {"action": "add_edge", "u": 1, "v": 2}])
+            before = s.query("triangle", privacy="node", epsilon=0.5, rng=11)
+            s.apply_update(
+                [
+                    {"action": "add_edge", "u": 0, "v": 1},
+                    {"action": "add_edge", "u": 0, "v": 2},
+                    {"action": "add_edge", "u": 1, "v": 2},
+                ]
+            )
             after = s.query("triangle", privacy="node", epsilon=0.5, rng=11)
             # same seed, new version: the compiled relation was rebuilt
             # (a stale cache hit would reproduce the old answer bit-for-bit)
@@ -296,23 +300,24 @@ class TestDynamicSession:
         """The acceptance pin for answers across updates."""
         g = self._graph(seed=3)
         seeds = [101, 202, 303]
+        cases = [("triangle", "node"), ("2-star", "edge"), ("triangle", "edge")]
         with PrivateSession(g, rng=1) as s:
             s.query("triangle", privacy="node", epsilon=0.5, rng=77)
-            s.apply_update([{"action": "add_edge", "u": 1, "v": 3},
-                            {"action": "remove_node", "node": 5}])
+            s.apply_update(
+                [
+                    {"action": "add_edge", "u": 1, "v": 3},
+                    {"action": "remove_node", "node": 5},
+                ]
+            )
             updated = [
                 s.query(q, privacy=p, epsilon=0.5, rng=seed)
-                for (q, p), seed in zip(
-                    [("triangle", "node"), ("2-star", "edge"),
-                     ("triangle", "edge")], seeds)
+                for (q, p), seed in zip(cases, seeds)
             ]
             final = VersionedGraph(g.as_graph())
         with PrivateSession(final, rng=999) as fresh:
             fresh_answers = [
                 fresh.query(q, privacy=p, epsilon=0.5, rng=seed)
-                for (q, p), seed in zip(
-                    [("triangle", "node"), ("2-star", "edge"),
-                     ("triangle", "edge")], seeds)
+                for (q, p), seed in zip(cases, seeds)
             ]
         for updated_result, fresh_result in zip(updated, fresh_answers):
             assert updated_result.answer == fresh_result.answer
@@ -328,21 +333,17 @@ class TestDynamicSession:
             assert s.verify_ledger()
             # ... even when superseded compiled relations were dropped
             # (forces rebuild from log snapshots)
-            s.apply_update([{"action": "add_node", "node": 90}],
-                           drop_stale=True)
+            s.apply_update([{"action": "add_node", "node": 90}], drop_stale=True)
             assert s.cache_info().invalidations > 0
             assert s.verify_ledger()
 
     def test_update_entries_are_ledgered_with_deltas(self):
         g = self._graph(seed=6)
         with PrivateSession(g, budget=1.0, rng=2) as s:
-            s.apply_update([{"action": "add_edge", "u": 0, "v": 3}],
-                           label="grow")
+            s.apply_update([{"action": "add_edge", "u": 0, "v": 3}], label="grow")
             (entry,) = s.ledger
             assert entry.status == "update" and entry.epsilon == 0.0
-            assert entry.extra["update"] == [
-                {"action": "add_edge", "u": 0, "v": 3}
-            ]
+            assert entry.extra["update"] == [{"action": "add_edge", "u": 0, "v": 3}]
             assert s.spent == 0.0  # updates never touch the privacy budget
             exported = s.audit_log()[0]
             assert exported["version"] == 1
@@ -393,8 +394,12 @@ class TestDynamicSession:
             with PrivateSession(g, rng=13, workers=workers) as s:
                 first = s.submit("triangle", privacy="node", epsilon=0.3)
                 first.result()
-                s.apply_update([{"action": "add_edge", "u": 0, "v": 7},
-                                {"action": "remove_node", "node": 2}])
+                s.apply_update(
+                    [
+                        {"action": "add_edge", "u": 0, "v": 7},
+                        {"action": "remove_node", "node": 2},
+                    ]
+                )
                 second = s.submit("triangle", privacy="node", epsilon=0.3)
                 third = s.submit("2-star", privacy="edge", epsilon=0.2)
                 answers[workers] = (first.result().answer,
@@ -443,8 +448,9 @@ class TestSharedCacheInvalidationRaces:
             while not stop.is_set():
                 version = current_version[0]
                 pattern = rng.randrange(4)
-                key = (("data", 1), ("version", version), "recursive",
-                       ("pattern", pattern))
+                key = (
+                    ("data", 1), ("version", version), "recursive", ("pattern", pattern)
+                )
                 value, _hit = cache.get_or_build(
                     key, lambda: {"version": key[1], "pattern": pattern}
                 )
@@ -457,12 +463,12 @@ class TestSharedCacheInvalidationRaces:
             while not stop.is_set():
                 current_version[0] += 1
                 current = ("version", current_version[0])
-                cache.invalidate(
-                    lambda k: k[1] != current and random.random() < 0.7
-                )
+                cache.invalidate(lambda k: k[1] != current and random.random() < 0.7)
 
-        threads = [threading.Thread(target=reader, args=(i,))
-                   for i in range(8)]
+        threads = [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(8)
+        ]
         threads.append(threading.Thread(target=updater))
         for thread in threads:
             thread.start()
@@ -492,7 +498,9 @@ class TestServiceUpdates:
     def _session(self, seed=1):
         graph = VersionedGraph(random_graph_with_avg_degree(24, 4.0, rng=seed))
         return PrivateSession(
-            graph, rng=7, accountant=HierarchicalAccountant(None),
+            graph,
+            rng=7,
+            accountant=HierarchicalAccountant(None),
             cache=SharedCompiledCache(maxsize=8),
         )
 
@@ -503,8 +511,9 @@ class TestServiceUpdates:
                 hello = client.hello()
                 assert hello["updates"] is True
                 assert hello["graph_version"] == 0
-                first = client.query("triangle", epsilon=0.5, privacy="node",
-                                     user="alice")
+                first = client.query(
+                    "triangle", epsilon=0.5, privacy="node", user="alice"
+                )
                 assert first["version"] == 0
                 outcome = client.update(
                     [{"action": "add_edge", "u": 0, "v": 1},
@@ -512,14 +521,16 @@ class TestServiceUpdates:
                     label="grow",
                 )
                 assert outcome["applied"] in (0, 1)
-                second = client.query("triangle", epsilon=0.5,
-                                      privacy="node", user="alice")
+                second = client.query(
+                    "triangle", epsilon=0.5, privacy="node", user="alice"
+                )
                 assert second["version"] == outcome["version"]
                 audit = client.audit(replay=True)
                 statuses = [e["entry"]["status"] for e in audit["entries"]]
                 assert "update" in statuses
-                released = [e for e in audit["entries"]
-                            if e["entry"]["status"] == "released"]
+                released = [
+                    e for e in audit["entries"] if e["entry"]["status"] == "released"
+                ]
                 assert all(e["matches"] for e in released)
         session.close()
 
@@ -536,14 +547,12 @@ class TestServiceUpdates:
 
     def test_update_token_gate(self):
         session = self._session(seed=3)
-        with BackgroundService(session, updates=True,
-                               update_token="hunter2") as bg:
+        with BackgroundService(session, updates=True, update_token="hunter2") as bg:
             with ServiceClient(bg.address) as client:
                 with pytest.raises(ServiceForbidden, match="token"):
                     client.update([{"action": "add_node", "node": 99}])
                 with pytest.raises(ServiceForbidden, match="token"):
-                    client.update([{"action": "add_node", "node": 99}],
-                                  token="wrong")
+                    client.update([{"action": "add_node", "node": 99}], token="wrong")
                 outcome = client.update(
                     [{"action": "add_node", "node": 99}], token="hunter2"
                 )
@@ -566,16 +575,16 @@ class TestServiceUpdates:
                     client.update([{"action": "explode"}])
                 # removal of an absent edge fails but keeps serving
                 with pytest.raises(ValueError):
-                    client.update([{"action": "remove_edge",
-                                    "u": 900, "v": 901}])
+                    client.update([{"action": "remove_edge", "u": 900, "v": 901}])
                 assert client.ping()["pong"]
                 # a mid-sequence failure names the applied prefix
-                with pytest.raises(ValueError,
-                                   match=r"WERE applied.*v0->v1"):
-                    client.update([
-                        {"action": "add_node", "node": 700},
-                        {"action": "remove_edge", "u": 900, "v": 901},
-                    ])
+                with pytest.raises(ValueError, match=r"WERE applied.*v0->v1"):
+                    client.update(
+                        [
+                            {"action": "add_node", "node": 700},
+                            {"action": "remove_edge", "u": 900, "v": 901},
+                        ]
+                    )
                 assert client.hello()["graph_version"] == 1
         session.close()
 
@@ -591,7 +600,9 @@ class TestServiceUpdates:
                 with ServiceClient(address, user=user) as client:
                     for index in range(6):
                         result = client.query(
-                            "triangle", epsilon=0.05, privacy="edge",
+                            "triangle",
+                            epsilon=0.05,
+                            privacy="edge",
                             seed=1000 + index,
                         )
                         answers.append((result["version"], result["answer"]))
@@ -608,8 +619,7 @@ class TestServiceUpdates:
                 thread.start()
             with ServiceClient(address) as admin:
                 for step in range(4):
-                    admin.update([{"action": "add_node",
-                                   "node": 500 + step}])
+                    admin.update([{"action": "add_node", "node": 500 + step}])
             for thread in threads:
                 thread.join()
         assert not errors
@@ -635,8 +645,12 @@ class TestServiceUpdates:
 class TestValidation:
     def test_service_update_request_shapes(self):
         validate_service_request(
-            {"v": 1, "op": "update", "token": "t",
-             "actions": [{"action": "add_edge", "u": 1, "v": 2}]}
+            {
+                "v": 1,
+                "op": "update",
+                "token": "t",
+                "actions": [{"action": "add_edge", "u": 1, "v": 2}],
+            }
         )
         with pytest.raises(ValueError, match="actions: required"):
             validate_service_request({"v": 1, "op": "update"})
@@ -646,31 +660,46 @@ class TestValidation:
             )
         with pytest.raises(ValueError, match=r"actions\[1\]\.v: required"):
             validate_service_request(
-                {"v": 1, "op": "update",
-                 "actions": [{"action": "add_node", "node": 1},
-                             {"action": "add_edge", "u": 1}]}
+                {
+                    "v": 1,
+                    "op": "update",
+                    "actions": [
+                        {"action": "add_node", "node": 1},
+                        {"action": "add_edge", "u": 1},
+                    ],
+                }
             )
         with pytest.raises(ValueError, match="unknown key"):
             validate_service_request(
-                {"v": 1, "op": "update",
-                 "actions": [{"action": "add_node", "node": 1, "x": 2}]}
+                {
+                    "v": 1,
+                    "op": "update",
+                    "actions": [{"action": "add_node", "node": 1, "x": 2}],
+                }
             )
 
     def test_batch_spec_update_steps(self):
-        validate_batch_spec({
-            "queries": [
-                {"query": "triangle", "epsilon": 0.5},
-                {"update": [{"action": "remove_node", "node": 3}],
-                 "label": "shrink"},
-            ]
-        })
+        validate_batch_spec(
+            {
+                "queries": [
+                    {"query": "triangle", "epsilon": 0.5},
+                    {
+                        "update": [{"action": "remove_node", "node": 3}],
+                        "label": "shrink",
+                    },
+                ]
+            }
+        )
         with pytest.raises(ValueError, match=r"queries\[0\]\.update"):
             validate_batch_spec({"queries": [{"update": "not-a-list"}]})
         with pytest.raises(ValueError, match="unknown key"):
-            validate_batch_spec({
-                "queries": [{"update": [{"action": "add_node", "node": 1}],
-                             "epsilon": 0.5}]
-            })
+            validate_batch_spec(
+                {
+                    "queries": [
+                        {"update": [{"action": "add_node", "node": 1}], "epsilon": 0.5}
+                    ]
+                }
+            )
 
 
 class TestBatchCLIWithUpdates:
@@ -684,9 +713,13 @@ class TestBatchCLIWithUpdates:
             "seed": 7,
             "queries": [
                 {"query": "triangle", "privacy": "node", "epsilon": 0.5},
-                {"update": [{"action": "add_edge", "u": 0, "v": 1},
-                            {"action": "add_edge", "u": 0, "v": 2}],
-                 "label": "grow"},
+                {
+                    "update": [
+                        {"action": "add_edge", "u": 0, "v": 1},
+                        {"action": "add_edge", "u": 0, "v": 2},
+                    ],
+                    "label": "grow",
+                },
                 {"query": "triangle", "privacy": "node", "epsilon": 0.5},
             ],
         }
@@ -704,8 +737,7 @@ class TestBatchCLIWithUpdates:
             ["serve", "--updates", "--update-token", "tok", "--port", "0"]
         )
         assert args.updates is True and args.update_token == "tok"
-        args = build_parser().parse_args(["batch", "spec.json",
-                                          "--update-token", "t"])
+        args = build_parser().parse_args(["batch", "spec.json", "--update-token", "t"])
         assert args.update_token == "t"
 
     def test_serve_rejects_token_without_updates(self, capsys):
@@ -714,16 +746,36 @@ class TestBatchCLIWithUpdates:
         assert main(["serve", "--nodes", "10", "--update-token", "t"]) == 2
         assert "--updates" in capsys.readouterr().err
 
-    def test_lenient_edge_list_flag_loads_snap_style_files(self, tmp_path,
-                                                           capsys):
+    def test_lenient_edge_list_flag_loads_snap_style_files(self, tmp_path, capsys):
         from repro.cli import main
 
         path = tmp_path / "both_orientations.txt"
         path.write_text("0 1\n1 0\n1 2\n2 1\n")  # SNAP-style double listing
         with pytest.raises(GraphError, match="duplicate edge"):
-            main(["count", "--edge-list", str(path), "--query", "triangle",
-                  "--privacy", "edge", "--seed", "1"])
-        assert main(["count", "--edge-list", str(path),
-                     "--lenient-edge-list", "--query", "triangle",
-                     "--privacy", "edge", "--seed", "1"]) == 0
+            main(
+                [
+                    "count",
+                    "--edge-list",
+                    str(path),
+                    "--query",
+                    "triangle",
+                    "--privacy",
+                    "edge",
+                    "--seed",
+                    "1",
+                ]
+            )
+        argv = [
+            "count",
+            "--edge-list",
+            str(path),
+            "--lenient-edge-list",
+            "--query",
+            "triangle",
+            "--privacy",
+            "edge",
+            "--seed",
+            "1",
+        ]
+        assert main(argv) == 0
         assert "2 edges" in capsys.readouterr().out

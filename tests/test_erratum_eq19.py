@@ -65,9 +65,7 @@ class TestEq19Violation:
 
     def test_lemma1_violated_by_paper_g(self, counterexample):
         full, less = counterexample
-        params = RecursiveMechanismParams(
-            epsilon1=0.25, epsilon2=0.25, beta=0.1
-        )
+        params = RecursiveMechanismParams(epsilon1=0.25, epsilon2=0.25, beta=0.1)
         delta_full, _ = EfficientRecursiveMechanism(
             full, bounding="paper"
         ).compute_delta(params)
@@ -105,9 +103,7 @@ class TestRepairs:
 
     def test_uniform_mode_restores_lemma1(self, counterexample):
         full, less = counterexample
-        params = RecursiveMechanismParams(
-            epsilon1=0.25, epsilon2=0.25, beta=0.1
-        )
+        params = RecursiveMechanismParams(epsilon1=0.25, epsilon2=0.25, beta=0.1)
         delta_full, _ = EfficientRecursiveMechanism(
             full, bounding="uniform", s_bar=1.0
         ).compute_delta(params)

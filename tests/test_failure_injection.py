@@ -79,9 +79,7 @@ class TestSolverFailures:
     def test_iteration_limited_solver_cause_surfaced(self, relation):
         """An LP stopped on the iteration budget must name the real cause
         in the raised error rather than a bare \"error\"."""
-        backend = ScipyBackend(
-            max_iterations=0, options={"presolve": False}
-        )
+        backend = ScipyBackend(max_iterations=0, options={"presolve": False})
         mechanism = EfficientRecursiveMechanism(relation, backend=backend)
         with pytest.raises(LPError, match="iteration_limit"):
             mechanism.h_entry(2)
@@ -149,9 +147,7 @@ class TestValidationGuards:
 
         relation = SensitiveKRelation(["a"], [("t", parse("a"))])
         with pytest.raises(MechanismError):
-            EfficientRecursiveMechanism(
-                relation, query=WeightedQuery(lambda t: -2.0)
-            )
+            EfficientRecursiveMechanism(relation, query=WeightedQuery(lambda t: -2.0))
 
     def test_mechanism_diagnostics_populated(self, relation):
         mechanism = EfficientRecursiveMechanism(relation)

@@ -5,9 +5,9 @@ import math
 import pytest
 
 from repro import (
+    PROVENANCE,
     Join,
     KRelation,
-    PROVENANCE,
     Project,
     Rename,
     SensitiveKRelation,
@@ -36,25 +36,19 @@ def tables():
 def two_path_query():
     e1 = Rename(Table("E"), {"src": "u", "dst": "w"})
     e2 = Rename(Table("E"), {"src": "w", "dst": "v"})
-    return Project(
-        Join(e1, e2).where(lambda t: t["u"] < t["v"]), ("u", "v")
-    )
+    return Project(Join(e1, e2).where(lambda t: t["u"] < t["v"]), ("u", "v"))
 
 
 class TestFromQuery:
     def test_builds_relation(self, tables, two_path_query):
         base, participants = tables
-        relation = SensitiveKRelation.from_query(
-            two_path_query, base, participants
-        )
+        relation = SensitiveKRelation.from_query(two_path_query, base, participants)
         assert relation.num_participants == 4
         assert len(relation) > 0
 
     def test_normalized_by_default(self, tables, two_path_query):
         base, participants = tables
-        relation = SensitiveKRelation.from_query(
-            two_path_query, base, participants
-        )
+        relation = SensitiveKRelation.from_query(two_path_query, base, participants)
         assert all(is_dnf(annotation) for annotation in relation.annotations())
 
     def test_raw_mode_keeps_algebra_provenance(self, tables, two_path_query):
@@ -71,12 +65,8 @@ class TestFromQuery:
 
     def test_end_to_end_release(self, tables, two_path_query):
         base, participants = tables
-        relation = SensitiveKRelation.from_query(
-            two_path_query, base, participants
-        )
-        result = private_linear_query(
-            relation, epsilon=4.0, node_privacy=True, rng=0
-        )
+        relation = SensitiveKRelation.from_query(two_path_query, base, participants)
+        result = private_linear_query(relation, epsilon=4.0, node_privacy=True, rng=0)
         assert math.isfinite(result.answer)
         assert result.true_answer == len(relation)
 
@@ -84,9 +74,7 @@ class TestFromQuery:
         """Grounding the from_query relation at P-{c} equals re-running the
         query with c's rows removed."""
         base, participants = tables
-        relation = SensitiveKRelation.from_query(
-            two_path_query, base, participants
-        )
+        relation = SensitiveKRelation.from_query(two_path_query, base, participants)
         world = relation.world({"a", "b", "d"})
         reduced_graph = Graph(edges=[("a", "b")])  # edges not touching c
         reduced_table = KRelation({"src", "dst"}, PROVENANCE)

@@ -45,9 +45,7 @@ def payroll_database():
         rows_a = frozenset(
             row for row, owners in assignments.items() if owners <= subset
         )
-        rows_p = frozenset(
-            row for row, owners in projects.items() if owners & subset
-        )
+        rows_p = frozenset(row for row, owners in projects.items() if owners & subset)
         return (rows_a, rows_p)
 
     return SensitiveDatabase(employees, content)

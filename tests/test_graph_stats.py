@@ -8,8 +8,8 @@ from repro.graphs import Graph, erdos_renyi, load_dataset, preferential_attachme
 from repro.graphs.stats import (
     average_clustering_coefficient,
     connected_components,
-    degree_histogram,
     degree_assortativity_proxy,
+    degree_histogram,
     global_clustering_coefficient,
     largest_component_size,
     summarize,

@@ -125,9 +125,7 @@ class TestMutationConsistency:
         assert set(g.nodes()) == ref_nodes
         edges = g.edges()
         assert len(edges) == len(ref_edges) == g.num_edges
-        assert {frozenset(e) for e in edges} == {
-            frozenset(e) for e in ref_edges
-        }
+        assert {frozenset(e) for e in edges} == {frozenset(e) for e in ref_edges}
         degrees = g.degrees()
         assert set(degrees) == ref_nodes
         for node in ref_nodes:

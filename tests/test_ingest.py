@@ -107,15 +107,17 @@ class TestBulkAddEdges:
 class TestIngestEdgeList:
     def test_report_fields_and_registration(self, tmp_path):
         path = _write(tmp_path, "1 2\n2 3\n1 3\n3 4\n")
-        report = ingest_edge_list(path, store="columnar",
-                                  register=["triangle"])
+        report = ingest_edge_list(path, store="columnar", register=["triangle"])
         assert isinstance(report, IngestReport)
         assert report.num_nodes == 4 and report.num_edges == 4
         assert report.graph.version == 0
-        assert report.registered == [{
-            "pattern": "triangle", "occurrences": 1,
-            "seconds": report.registered[0]["seconds"],
-        }]
+        assert report.registered == [
+            {
+                "pattern": "triangle",
+                "occurrences": 1,
+                "seconds": report.registered[0]["seconds"],
+            }
+        ]
         summary = report.summary()
         assert summary["num_edges"] == 4
         assert summary["path"] == str(path)
@@ -138,8 +140,9 @@ class TestIngestCli:
     def test_ingest_happy_path(self, tmp_path, capsys):
         path = _write(tmp_path, "1 2\n2 3\n1 3\n3 4\n")
         out_path = tmp_path / "report.json"
-        code = main(["ingest", str(path), "--register", "triangle",
-                     "--out", str(out_path)])
+        code = main(
+            ["ingest", str(path), "--register", "triangle", "--out", str(out_path)]
+        )
         assert code == 0
         out = capsys.readouterr().out
         assert "4 nodes" in out and "4 edges" in out

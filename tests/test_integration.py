@@ -6,9 +6,9 @@ import numpy as np
 import pytest
 
 from repro import (
-    KRelation,
     PROVENANCE,
     Join,
+    KRelation,
     Project,
     Rename,
     Select,
@@ -70,9 +70,7 @@ class TestAlgebraToMechanismPipeline:
         )
         participants = [f"v:{node}" for node in graph.nodes()]
         relation = SensitiveKRelation(participants, output).normalized()
-        result = private_linear_query(
-            relation, epsilon=2.0, node_privacy=True, rng=0
-        )
+        result = private_linear_query(relation, epsilon=2.0, node_privacy=True, rng=0)
         assert result.true_answer == len(output)
         assert math.isfinite(result.answer)
 

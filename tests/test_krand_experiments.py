@@ -153,9 +153,7 @@ class TestReporting:
         assert "inf" in text
 
     def test_format_series(self):
-        text = format_series(
-            "x", [1, 2], {"m1": [0.1, 0.2], "m2": [1e-9, 2e9]}
-        )
+        text = format_series("x", [1, 2], {"m1": [0.1, 0.2], "m2": [1e-9, 2e9]})
         assert "m1" in text and "m2" in text
         assert "1e-09" in text or "1.00e-09" in text
 

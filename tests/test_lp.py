@@ -128,7 +128,9 @@ class TestBackends:
         for trial in range(25):
             lp = LinearProgram()
             n = int(rng.integers(2, 6))
-            variables = [lp.add_variable(0.0, float(rng.uniform(0.5, 3))) for _ in range(n)]
+            variables = [
+                lp.add_variable(0.0, float(rng.uniform(0.5, 3))) for _ in range(n)
+            ]
             for _ in range(int(rng.integers(1, 5))):
                 coeffs = {
                     v: float(rng.uniform(-2, 2))
@@ -136,9 +138,7 @@ class TestBackends:
                 }
                 sense = ["<=", ">="][int(rng.integers(2))]
                 lp.add_constraint(coeffs, sense, float(rng.uniform(-1, 3)))
-            lp.set_objective(
-                {v: float(rng.uniform(-1, 2)) for v in variables}
-            )
+            lp.set_objective({v: float(rng.uniform(-1, 2)) for v in variables})
             s1, s2 = _solve_both(lp)
             assert s1.status == s2.status, f"trial {trial}"
             if s1.is_optimal:

@@ -119,9 +119,7 @@ def test_g_recursive_monotonicity_conjunctive_paper_mode(relation, victim):
     """Eq. 19's G IS a recursive sequence on conjunctive annotations —
     the subgraph-counting case, where the paper's Lemma 1 is sound."""
     mech_full = EfficientRecursiveMechanism(relation, bounding="paper")
-    mech_less = EfficientRecursiveMechanism(
-        relation.withdraw(victim), bounding="paper"
-    )
+    mech_less = EfficientRecursiveMechanism(relation.withdraw(victim), bounding="paper")
     n1 = mech_less.num_participants
     for i in range(n1 + 1):
         assert mech_full.g_entry(i) <= mech_less.g_entry(i) + 1e-6

@@ -145,8 +145,14 @@ class TestSharedResultBase:
     def test_mechanism_result_unknown_truth(self):
         params = RecursiveMechanismParams.paper(1.0)
         result = MechanismResult(
-            answer=5.0, delta=1.0, delta_hat=1.0, x_value=5.0, x_index=0.0,
-            j_star=0, params=params, true_answer=None,
+            answer=5.0,
+            delta=1.0,
+            delta_hat=1.0,
+            x_value=5.0,
+            x_index=0.0,
+            j_star=0,
+            params=params,
+            true_answer=None,
         )
         assert result.absolute_error is None
         assert result.relative_error is None

@@ -8,7 +8,7 @@ figure, expression by expression.
 
 import pytest
 
-from repro.algebra import KRelation, PROVENANCE, Tup
+from repro.algebra import PROVENANCE, KRelation, Tup
 from repro.algebra.query import Join, Project, Rename, Select, Table
 from repro.boolexpr import parse, truth_equivalent
 from repro.core import SensitiveKRelation
@@ -33,9 +33,7 @@ class TestFig2aTriangles:
 
     def test_node_privacy_annotations(self, fig2_graph):
         relation = subgraph_krelation(fig2_graph, triangle(), privacy="node")
-        annotations = {
-            "".join(sorted(occ.nodes)): ann for occ, ann in relation.items()
-        }
+        annotations = {"".join(sorted(occ.nodes)): ann for occ, ann in relation.items()}
         expected = {
             "abc": "v:a & v:b & v:c",
             "bcd": "v:b & v:c & v:d",
@@ -46,9 +44,7 @@ class TestFig2aTriangles:
 
     def test_edge_privacy_annotations(self, fig2_graph):
         relation = subgraph_krelation(fig2_graph, triangle(), privacy="edge")
-        annotations = {
-            "".join(sorted(occ.nodes)): ann for occ, ann in relation.items()
-        }
+        annotations = {"".join(sorted(occ.nodes)): ann for occ, ann in relation.items()}
         # paper: abc -> e_ab ∧ e_ac ∧ e_bc and so on
         expected = {
             "abc": "e:a-b & e:a-c & e:b-c",
@@ -111,9 +107,7 @@ class TestFig2bCommonFriends:
         output = self._run_query(fig2_graph)
         participants = list("abcdef")
         relation = SensitiveKRelation(participants, output).normalized()
-        annotations = {
-            (t["u"], t["v"]): ann for t, ann in relation.items()
-        }
+        annotations = {(t["u"], t["v"]): ann for t, ann in relation.items()}
         for (u, v), text in self.PAPER_NODE_TABLE.items():
             assert annotations[(u, v)] == minimal_dnf(parse(text)), (u, v)
 
@@ -122,9 +116,7 @@ class TestFig2bCommonFriends:
 
         output = self._run_query(fig2_graph)
         relation = SensitiveKRelation(list("abcdef"), output).normalized()
-        result = private_linear_query(
-            relation, epsilon=4.0, node_privacy=True, rng=0
-        )
+        result = private_linear_query(relation, epsilon=4.0, node_privacy=True, rng=0)
         assert result.true_answer == 7.0
 
 

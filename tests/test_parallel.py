@@ -203,16 +203,12 @@ def _failing_strand():
 @needs_fork
 class TestFirstDecided:
     def test_fast_strand_wins_and_loser_dies(self):
-        name, value = first_decided(
-            [("slow", _slow_strand), ("fast", _fast_strand)]
-        )
+        name, value = first_decided([("slow", _slow_strand), ("fast", _fast_strand)])
         assert (name, value) == ("fast", 42)
 
     def test_all_failures_raise(self):
         with pytest.raises(StrandError, match="strand broke"):
-            first_decided(
-                [("a", _failing_strand), ("b", _failing_strand)]
-            )
+            first_decided([("a", _failing_strand), ("b", _failing_strand)])
 
 
 class TestSpawnSeedSequences:
@@ -234,17 +230,13 @@ class TestDeterminism:
     """Serial vs parallel released answers are byte-identical."""
 
     def test_trials_byte_identical(self, small_graph):
-        run_once, truth = make_runner(
-            "recursive-edge", small_graph, "triangle", 1.0
-        )
+        run_once, truth = make_runner("recursive-edge", small_graph, "triangle", 1.0)
         serial = run_mechanism_trials(run_once, truth, 5, rng=123, workers=1)
         parallel = run_mechanism_trials(run_once, truth, 5, rng=123, workers=4)
         assert serial == parallel
 
     def test_harness_run_trials_identical(self, small_graph):
-        run_once, _ = make_runner(
-            "recursive-edge", small_graph, "triangle", 1.0
-        )
+        run_once, _ = make_runner("recursive-edge", small_graph, "triangle", 1.0)
         serial = ParallelHarness(1).run_trials(run_once, 4, rng=9)
         parallel = ParallelHarness(3).run_trials(run_once, 4, rng=9)
         assert serial == parallel
@@ -341,9 +333,7 @@ class TestSolveManyAndRace:
             program.solve_g(n / 2.0),
             program.solve_x(0.5),
         ]
-        assert [s.objective for s in batched] == [
-            s.objective for s in pointwise
-        ]
+        assert [s.objective for s in batched] == [s.objective for s in pointwise]
 
     def test_race_matches_serial_decision(self, small_graph):
         relation = subgraph_krelation(small_graph, triangle(), privacy="edge")

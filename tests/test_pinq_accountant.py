@@ -5,7 +5,11 @@ import pytest
 
 from repro.baselines.pinq import PINQStyleLaplace
 from repro.boolexpr import parse
-from repro.core import EfficientRecursiveMechanism, RecursiveMechanismParams, SensitiveKRelation
+from repro.core import (
+    EfficientRecursiveMechanism,
+    RecursiveMechanismParams,
+    SensitiveKRelation,
+)
 from repro.core.accountant import BudgetExceededError, PrivacyAccountant
 from repro.errors import MechanismError, PrivacyParameterError
 from repro.graphs import random_graph_with_avg_degree
@@ -38,9 +42,7 @@ class TestPINQBaseline:
 
     def test_strict_mode_refuses(self, star_relation):
         with pytest.raises(MechanismError):
-            PINQStyleLaplace(
-                star_relation, max_tuples_per_participant=3, strict=True
-            )
+            PINQStyleLaplace(star_relation, max_tuples_per_participant=3, strict=True)
 
     def test_noise_scale_is_bound_over_epsilon(self, star_relation):
         mech = PINQStyleLaplace(star_relation, max_tuples_per_participant=4)

@@ -68,9 +68,7 @@ class TestMechanismAudit:
     def test_recursive_mechanism_passes_audit(self, privacy):
         graph = random_graph_with_avg_degree(18, 5, rng=4)
         relation = subgraph_krelation(graph, triangle(), privacy=privacy)
-        params = RecursiveMechanismParams.paper(
-            1.0, node_privacy=(privacy == "node")
-        )
+        params = RecursiveMechanismParams.paper(1.0, node_privacy=(privacy == "node"))
         report = audit_krelation_withdrawal(
             relation, params, trials=900, bins=16, rng=5
         )
@@ -85,8 +83,12 @@ class TestMechanismAudit:
         some_participant = sorted(relation.participants)[0]
         params = RecursiveMechanismParams.paper(1.0, node_privacy=True)
         report = audit_krelation_withdrawal(
-            relation, params, participant=some_participant,
-            trials=400, bins=12, rng=7,
+            relation,
+            params,
+            participant=some_participant,
+            trials=400,
+            bins=12,
+            rng=7,
         )
         assert isinstance(report, AuditReport)
         assert report.trials == 400

@@ -51,9 +51,7 @@ class TestSolveH:
     def test_triangle_relation_fig2a(self):
         """Fig. 2(a): tuples abc, bcd, cde under node privacy."""
         participants = list("abcdef")
-        annotated = [
-            (And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")
-        ]
+        annotated = [(And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")]
         enc = encode_relation(participants, annotated)
         assert enc.solve_h(0) == pytest.approx(0.0)
         assert enc.solve_h(6) == pytest.approx(3.0)
@@ -96,8 +94,7 @@ class TestSolveH:
         h = [enc.solve_h(i) for i in range(5)]
         increments = [b - a for a, b in zip(h, h[1:])]
         assert all(
-            first <= second + 1e-7
-            for first, second in zip(increments, increments[1:])
+            first <= second + 1e-7 for first, second in zip(increments, increments[1:])
         )
 
     def test_against_grid_search(self):
@@ -134,18 +131,14 @@ class TestSolveH:
         endpoint closed form, not to q(supp(R))."""
         from repro.boolexpr import FALSE, TRUE
 
-        enc = encode_relation(
-            ["a", "b"], [(Var("a"), 1.0), (FALSE, 5.0), (TRUE, 2.0)]
-        )
+        enc = encode_relation(["a", "b"], [(Var("a"), 1.0), (FALSE, 5.0), (TRUE, 2.0)])
         assert enc.true_answer() == pytest.approx(3.0)
         assert enc.solve_h(2) == pytest.approx(3.0)
         # the endpoint closed form must agree with the LP limit
         assert enc.solve_h(2 - 1e-7) == pytest.approx(3.0, abs=1e-5)
 
     def test_zero_weight_tuples_skipped(self):
-        enc = encode_relation(
-            ["a", "b"], [(parse("a & b"), 0.0), (Var("a"), 1.0)]
-        )
+        enc = encode_relation(["a", "b"], [(parse("a & b"), 0.0), (Var("a"), 1.0)])
         assert enc.num_encoded_tuples == 1
         assert enc.true_answer() == pytest.approx(1.0)
 
@@ -165,9 +158,7 @@ class TestSolveH:
 class TestSolveG:
     def test_triangle_relation(self):
         participants = list("abcdef")
-        annotated = [
-            (And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")
-        ]
+        annotated = [(And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")]
         enc = encode_relation(participants, annotated)
         # G_n = 2 * max_p (#tuples containing p) = 2*3 (node c)
         assert enc.solve_g(6) == pytest.approx(6.0)
@@ -219,9 +210,7 @@ class TestSolveG:
 class TestSolveXRelaxation:
     def test_large_delta_prefers_full_index(self):
         participants = list("abcdef")
-        annotated = [
-            (And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")
-        ]
+        annotated = [(And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")]
         enc = encode_relation(participants, annotated)
         value, i_prime = enc.solve_x_relaxation(100.0)
         assert i_prime == pytest.approx(6.0, abs=1e-6)
@@ -229,9 +218,7 @@ class TestSolveXRelaxation:
 
     def test_small_delta_prefers_low_index(self):
         participants = list("abcdef")
-        annotated = [
-            (And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")
-        ]
+        annotated = [(And([Var(p) for p in t]), 1.0) for t in ("abc", "bcd", "cde")]
         enc = encode_relation(participants, annotated)
         value, i_prime = enc.solve_x_relaxation(0.1)
         # X = min_i H_i + (6-i)*0.1; H_5=0 so X <= 0.1
@@ -246,9 +233,7 @@ class TestSolveXRelaxation:
         enc = encode_relation(participants, annotated)
         for delta in (0.05, 0.3, 1.0, 5.0):
             relaxed, _ = enc.solve_x_relaxation(delta)
-            scan = min(
-                enc.solve_h(i) + (4 - i) * delta for i in range(5)
-            )
+            scan = min(enc.solve_h(i) + (4 - i) * delta for i in range(5))
             assert relaxed <= scan + 1e-7
 
     def test_negative_delta_rejected(self):

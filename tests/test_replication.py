@@ -37,7 +37,10 @@ def _versioned_graph():
 
 def _session_over(data, rng=7):
     return PrivateSession(
-        data, workers=1, rng=rng, accountant=HierarchicalAccountant(),
+        data,
+        workers=1,
+        rng=rng,
+        accountant=HierarchicalAccountant(),
         cache=SharedCompiledCache(maxsize=8),
     )
 
@@ -45,8 +48,9 @@ def _session_over(data, rng=7):
 def _primary(graph, **router_kwargs):
     router = ServiceRouter(seed=PRIMARY_SEED, **router_kwargs)
     session = _session_over(graph)
-    router.add_dataset("alpha", session, updates=True,
-                       writer_token=WRITER_TOKEN, default=True)
+    router.add_dataset(
+        "alpha", session, updates=True, writer_token=WRITER_TOKEN, default=True
+    )
     return router, session
 
 
@@ -70,11 +74,9 @@ class _UpdateStream:
             if roll < 0.25 and self._edges:
                 edge = self._rng.choice(sorted(self._edges))
                 self._edges.discard(edge)
-                actions.append({"action": "remove_edge",
-                                "u": edge[0], "v": edge[1]})
+                actions.append({"action": "remove_edge", "u": edge[0], "v": edge[1]})
             elif roll < 0.35:
-                actions.append({"action": "add_node",
-                                "node": self._next_node})
+                actions.append({"action": "add_node", "node": self._next_node})
                 self._next_node += 1
             else:
                 while True:
@@ -83,8 +85,7 @@ class _UpdateStream:
                     if edge not in self._edges:
                         break
                 self._edges.add(edge)
-                actions.append({"action": "add_edge",
-                                "u": edge[0], "v": edge[1]})
+                actions.append({"action": "add_edge", "u": edge[0], "v": edge[1]})
         return actions
 
 
@@ -99,11 +100,14 @@ class TestReplicationFeed:
                 assert snapshot["dataset"] == "alpha"
                 assert snapshot["base_version"] == 0
                 assert snapshot["version"] == 0
-                assert ({tuple(sorted(e)) for e in snapshot["edges"]}
-                        == base_edges)
-                client.update([{"action": "add_edge", "u": 100, "v": 101},
-                               {"action": "add_node", "node": 102}],
-                              token=WRITER_TOKEN)
+                assert ({tuple(sorted(e)) for e in snapshot["edges"]} == base_edges)
+                client.update(
+                    [
+                        {"action": "add_edge", "u": 100, "v": 101},
+                        {"action": "add_node", "node": 102},
+                    ],
+                    token=WRITER_TOKEN,
+                )
                 shipped = client.log()
                 suffix = client.log(since=1)
         assert shipped["version"] == 2
@@ -148,10 +152,15 @@ class TestReplicaConsistency:
         with BackgroundService(router) as primary_bg:
             stream = _UpdateStream(graph, seed=99)
             replicas = [
-                BackgroundService(ReplicaService(
-                    primary_bg.address, "alpha", factory,
-                    poll_interval=0.05, seed=PRIMARY_SEED + k,
-                ))
+                BackgroundService(
+                    ReplicaService(
+                        primary_bg.address,
+                        "alpha",
+                        factory,
+                        poll_interval=0.05,
+                        seed=PRIMARY_SEED + k,
+                    )
+                )
                 for k in range(self.REPLICAS)
             ]
             for bg in replicas:
@@ -168,8 +177,10 @@ class TestReplicaConsistency:
                             seed = 1000 + 10 * round_index + k
                             with ServiceClient(bg.address) as reader:
                                 result = reader.query(
-                                    "triangle", epsilon=self.EPSILON,
-                                    privacy="edge", seed=seed,
+                                    "triangle",
+                                    epsilon=self.EPSILON,
+                                    privacy="edge",
+                                    seed=seed,
                                     min_version=version,
                                 )
                             # the read-your-writes floor guarantees the
@@ -177,8 +188,7 @@ class TestReplicaConsistency:
                             # echo the exact version it saw
                             assert result["version"] >= version
                             assert result["dataset"] == "alpha"
-                            released.append((result["version"], seed,
-                                             result["answer"]))
+                            released.append((result["version"], seed, result["answer"]))
             finally:
                 for bg in replicas:
                     bg.stop()
@@ -187,8 +197,9 @@ class TestReplicaConsistency:
         # versioned store, checked out at each echoed version.
         for version, seed, answer in released:
             fresh = PrivateSession(graph.at_version(version), workers=1)
-            expected = fresh.query("triangle", privacy="edge",
-                                   epsilon=self.EPSILON, rng=seed)
+            expected = fresh.query(
+                "triangle", privacy="edge", epsilon=self.EPSILON, rng=seed
+            )
             fresh.close()
             assert answer == expected.answer, (version, seed)
         primary_session.close()
@@ -212,9 +223,14 @@ class TestReplicaConsistency:
             with ServiceClient(primary_bg.address) as writer:
                 out = writer.update(stream.batch(3), token=WRITER_TOKEN)
             primary_version = out["version"]
-            replica = BackgroundService(ReplicaService(
-                primary_bg.address, "alpha", factory, poll_interval=0.05,
-            ))
+            replica = BackgroundService(
+                ReplicaService(
+                    primary_bg.address,
+                    "alpha",
+                    factory,
+                    poll_interval=0.05,
+                )
+            )
             replica.start()
             try:
                 with ServiceClient(replica.address) as reader:
@@ -226,8 +242,7 @@ class TestReplicaConsistency:
                     assert lane["updates"] is False
                     # writes are refused on replicas, even with the
                     # primary's valid writer token
-                    with pytest.raises(ServiceForbidden,
-                                       match="updates are disabled"):
+                    with pytest.raises(ServiceForbidden, match="updates are disabled"):
                         reader.update(
                             [{"action": "add_node", "node": 5000}],
                             token=WRITER_TOKEN,

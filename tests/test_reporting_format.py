@@ -34,9 +34,7 @@ class TestFormatValue:
 
 class TestTables:
     def test_column_alignment(self):
-        text = format_table(
-            [{"a": 1, "bb": 22}, {"a": 333, "bb": 4}], ["a", "bb"]
-        )
+        text = format_table([{"a": 1, "bb": 22}, {"a": 333, "bb": 4}], ["a", "bb"])
         lines = text.splitlines()
         assert len({line.index("  ") for line in lines if "  " in line}) >= 1
         assert lines[1].startswith("-")

@@ -5,13 +5,13 @@ import math
 import numpy as np
 import pytest
 
+from repro.algebra import Tup
 from repro.core.queries import (
     CountQuery,
     SumQuery,
     WeightedQuery,
     decompose_signed,
 )
-from repro.algebra import Tup
 from repro.errors import MechanismError, PrivacyParameterError
 from repro.rng import ensure_rng, laplace, laplace_array, split_rng
 
@@ -114,7 +114,6 @@ class TestQueries:
         assert pos_mech.true_answer() == 7.0
         assert neg_mech.true_answer() == 3.0
         answer = (
-            pos_mech.run(params, rng=0).answer
-            - neg_mech.run(params, rng=1).answer
+            pos_mech.run(params, rng=0).answer - neg_mech.run(params, rng=1).answer
         )
         assert math.isfinite(answer)

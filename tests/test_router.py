@@ -51,17 +51,19 @@ def beta_graph():
 
 
 def _session(graph, *, cache=None, budget=None, user_budget=None, rng=7):
-    accountant = HierarchicalAccountant(
-        budget, default_user_budget=user_budget
-    )
+    accountant = HierarchicalAccountant(budget, default_user_budget=user_budget)
     return PrivateSession(
-        graph, workers=1, rng=rng, accountant=accountant,
+        graph,
+        workers=1,
+        rng=rng,
+        accountant=accountant,
         cache=cache if cache is not None else SharedCompiledCache(maxsize=8),
     )
 
 
-def _two_dataset_router(alpha_graph, beta_graph, *, seed=ROUTER_SEED,
-                        cache=None, **router_kwargs):
+def _two_dataset_router(
+    alpha_graph, beta_graph, *, seed=ROUTER_SEED, cache=None, **router_kwargs
+):
     """A router serving static ``alpha`` (default) and ``beta``."""
     router = ServiceRouter(seed=seed, **router_kwargs)
     shared = cache if cache is not None else SharedCompiledCache(maxsize=16)
@@ -120,31 +122,30 @@ class TestHelloAndMounting:
 
 
 class TestRouting:
-    def test_default_and_explicit_routing_identical(self, alpha_graph,
-                                                    beta_graph):
+    def test_default_and_explicit_routing_identical(self, alpha_graph, beta_graph):
         router, sessions = _two_dataset_router(alpha_graph, beta_graph)
         with BackgroundService(router) as bg:
             with ServiceClient(bg.address) as client:
-                implicit = client.query("triangle", epsilon=0.25,
-                                        privacy="edge", seed=4242)
-                explicit = client.query("triangle", epsilon=0.25,
-                                        privacy="edge", seed=4242,
-                                        dataset="alpha")
+                implicit = client.query(
+                    "triangle", epsilon=0.25, privacy="edge", seed=4242
+                )
+                explicit = client.query(
+                    "triangle", epsilon=0.25, privacy="edge", seed=4242, dataset="alpha"
+                )
         assert implicit["dataset"] == explicit["dataset"] == "alpha"
         assert implicit["answer"] == explicit["answer"]
         _close_all(sessions)
 
-    def test_datasets_answer_over_their_own_graphs(self, alpha_graph,
-                                                   beta_graph):
+    def test_datasets_answer_over_their_own_graphs(self, alpha_graph, beta_graph):
         router, sessions = _two_dataset_router(alpha_graph, beta_graph)
         with BackgroundService(router) as bg:
             # a client pinned to beta via the constructor kwarg ...
             with ServiceClient(bg.address, dataset="beta") as client:
-                beta = client.query("triangle", epsilon=0.25, privacy="edge",
-                                    seed=4242)
+                beta = client.query("triangle", epsilon=0.25, privacy="edge", seed=4242)
                 # ... can still route per call
-                alpha = client.query("triangle", epsilon=0.25, privacy="edge",
-                                     seed=4242, dataset="alpha")
+                alpha = client.query(
+                    "triangle", epsilon=0.25, privacy="edge", seed=4242, dataset="alpha"
+                )
         assert beta["dataset"] == "beta" and alpha["dataset"] == "alpha"
         expected_beta = PrivateSession(beta_graph).query(
             "triangle", privacy="edge", epsilon=0.25, rng=4242
@@ -157,27 +158,29 @@ class TestRouting:
         router, sessions = _two_dataset_router(alpha_graph, beta_graph)
         with BackgroundService(router) as bg:
             with ServiceClient(bg.address) as client:
-                with pytest.raises(RemoteServiceError,
-                                   match="unknown_dataset") as excinfo:
-                    client.query("triangle", epsilon=0.25, privacy="edge",
-                                 dataset="gamma")
+                with pytest.raises(
+                    RemoteServiceError, match="unknown_dataset"
+                ) as excinfo:
+                    client.query(
+                        "triangle", epsilon=0.25, privacy="edge", dataset="gamma"
+                    )
         assert "alpha" in str(excinfo.value)  # served datasets are listed
         _close_all(sessions)
 
-    def test_per_dataset_seed_streams_are_independent(self, alpha_graph,
-                                                      beta_graph):
+    def test_per_dataset_seed_streams_are_independent(self, alpha_graph, beta_graph):
         """Each lane advances its own per-tenant granted counter."""
         router, sessions = _two_dataset_router(alpha_graph, beta_graph)
         with BackgroundService(router) as bg:
             with ServiceClient(bg.address, user="alice") as client:
                 a0 = client.query("triangle", epsilon=0.2, privacy="edge")
-                client.query("triangle", epsilon=0.2, privacy="edge",
-                             dataset="beta")
+                client.query("triangle", epsilon=0.2, privacy="edge", dataset="beta")
                 a1 = client.query("triangle", epsilon=0.2, privacy="edge")
         reference = PrivateSession(alpha_graph, workers=1)
         for index, result in enumerate((a0, a1)):
             expected = reference.query(
-                "triangle", privacy="edge", epsilon=0.2,
+                "triangle",
+                privacy="edge",
+                epsilon=0.2,
                 rng=request_seed(ROUTER_SEED, "alice", index),
             )
             # the beta query in between must not shift alpha's stream
@@ -187,14 +190,12 @@ class TestRouting:
 
 
 class TestV1Compatibility:
-    def test_v1_frames_route_to_default_and_match_classic_service(
-            self, alpha_graph):
+    def test_v1_frames_route_to_default_and_match_classic_service(self, alpha_graph):
         """A v1 client against the v2 router == the classic service."""
         classic_session = _session(alpha_graph)
         with BackgroundService(classic_session, seed=ROUTER_SEED) as bg:
             with ServiceClient(bg.address) as client:
-                classic = client.query("triangle", epsilon=0.3,
-                                       privacy="edge")
+                classic = client.query("triangle", epsilon=0.3, privacy="edge")
         classic_session.close()
 
         router, sessions = _two_dataset_router(
@@ -204,15 +205,21 @@ class TestV1Compatibility:
             host, port = bg.address
             with socket.create_connection((host, port), timeout=30) as sock:
                 file = sock.makefile("rb")
-                sock.sendall(encode_frame(
-                    {"v": 1, "id": 1, "op": "hello"}
-                ))
+                sock.sendall(encode_frame({"v": 1, "id": 1, "op": "hello"}))
                 hello = json.loads(file.readline())
                 assert hello["v"] == 1 and hello["ok"] is True
-                sock.sendall(encode_frame(
-                    {"v": 1, "id": 2, "op": "query", "query": "triangle",
-                     "epsilon": 0.3, "privacy": "edge"}
-                ))
+                sock.sendall(
+                    encode_frame(
+                        {
+                            "v": 1,
+                            "id": 2,
+                            "op": "query",
+                            "query": "triangle",
+                            "epsilon": 0.3,
+                            "privacy": "edge",
+                        }
+                    )
+                )
                 frame = json.loads(file.readline())
         assert frame["v"] == 1 and frame["ok"] is True
         # no dataset field -> the default lane, same derived seed stream
@@ -229,13 +236,13 @@ class TestV1Compatibility:
 
 
 class TestResultFrame:
-    def test_query_payload_is_the_declared_frame(self, alpha_graph,
-                                                 beta_graph):
+    def test_query_payload_is_the_declared_frame(self, alpha_graph, beta_graph):
         router, sessions = _two_dataset_router(alpha_graph, beta_graph)
         with BackgroundService(router) as bg:
             with ServiceClient(bg.address, user="alice") as client:
-                result = client.query("triangle", epsilon=0.25,
-                                      privacy="edge", label="first")
+                result = client.query(
+                    "triangle", epsilon=0.25, privacy="edge", label="first"
+                )
         fields = {f.name for f in dataclasses.fields(ResultFrame)}
         assert set(result) == fields  # every key on the wire, no ad-hoc ones
         frame = ResultFrame.from_payload(result)
@@ -255,23 +262,22 @@ class TestResultFrame:
 
 class TestWriterAuthAndVersions:
     def _dynamic_router(self, *, min_version_wait=0.3):
-        router = ServiceRouter(seed=ROUTER_SEED,
-                               min_version_wait=min_version_wait)
+        router = ServiceRouter(seed=ROUTER_SEED, min_version_wait=min_version_wait)
         graphs = {
-            "alpha": VersionedGraph(random_graph_with_avg_degree(
-                20, 3.0, rng=3
-            )),
-            "beta": VersionedGraph(random_graph_with_avg_degree(
-                20, 3.0, rng=4
-            )),
+            "alpha": VersionedGraph(random_graph_with_avg_degree(20, 3.0, rng=3)),
+            "beta": VersionedGraph(random_graph_with_avg_degree(20, 3.0, rng=4)),
         }
         sessions = []
         for name, graph in graphs.items():
             session = _session(graph)
             sessions.append(session)
-            router.add_dataset(name, session, updates=True,
-                               writer_token=f"{name}-key",
-                               default=(name == "alpha"))
+            router.add_dataset(
+                name,
+                session,
+                updates=True,
+                writer_token=f"{name}-key",
+                default=(name == "alpha"),
+            )
         return router, sessions, graphs
 
     def test_writer_tokens_are_per_dataset(self):
@@ -294,20 +300,20 @@ class TestWriterAuthAndVersions:
         with BackgroundService(router) as bg:
             with ServiceClient(bg.address) as client:
                 # already satisfied: no wait
-                ok = client.query("triangle", epsilon=0.2, privacy="edge",
-                                  min_version=0)
+                ok = client.query(
+                    "triangle", epsilon=0.2, privacy="edge", min_version=0
+                )
                 assert ok["version"] == 0
-                with pytest.raises(RemoteServiceError,
-                                   match="version_behind"):
-                    client.query("triangle", epsilon=0.2, privacy="edge",
-                                 min_version=5)
+                with pytest.raises(RemoteServiceError, match="version_behind"):
+                    client.query("triangle", epsilon=0.2, privacy="edge", min_version=5)
                 # read-your-writes: write then read at the write's version
                 out = client.update(
                     [{"action": "add_edge", "u": 200, "v": 201}],
                     token="alpha-key",
                 )
-                res = client.query("triangle", epsilon=0.2, privacy="edge",
-                                   min_version=out["version"])
+                res = client.query(
+                    "triangle", epsilon=0.2, privacy="edge", min_version=out["version"]
+                )
                 assert res["version"] == out["version"] == 1
         _close_all(sessions)
 
@@ -317,18 +323,20 @@ class TestWriterAuthAndVersions:
             with ServiceClient(bg.address) as client:
                 # fresh node ids: both edges are genuinely new, so the
                 # batch commits exactly two versions
-                client.update([{"action": "add_edge", "u": 100, "v": 101},
-                               {"action": "add_edge", "u": 100, "v": 102}],
-                              token="alpha-key")
-                historical = client.query("triangle", epsilon=0.25,
-                                          privacy="edge", seed=777,
-                                          at_version=0)
-                live = client.query("triangle", epsilon=0.25,
-                                    privacy="edge", seed=777)
+                client.update(
+                    [
+                        {"action": "add_edge", "u": 100, "v": 101},
+                        {"action": "add_edge", "u": 100, "v": 102},
+                    ],
+                    token="alpha-key",
+                )
+                historical = client.query(
+                    "triangle", epsilon=0.25, privacy="edge", seed=777, at_version=0
+                )
+                live = client.query("triangle", epsilon=0.25, privacy="edge", seed=777)
         assert historical["version"] == 0 and live["version"] == 2
         fresh = PrivateSession(graphs["alpha"].at_version(0), workers=1)
-        expected = fresh.query("triangle", privacy="edge", epsilon=0.25,
-                               rng=777)
+        expected = fresh.query("triangle", privacy="edge", epsilon=0.25, rng=777)
         fresh.close()
         assert historical["answer"] == expected.answer
         _close_all(sessions)
@@ -337,16 +345,15 @@ class TestWriterAuthAndVersions:
 class TestPerDatasetStats:
     def test_cache_counters_are_namespaced(self, alpha_graph, beta_graph):
         shared = SharedCompiledCache(maxsize=16)
-        router, sessions = _two_dataset_router(alpha_graph, beta_graph,
-                                               cache=shared)
+        router, sessions = _two_dataset_router(alpha_graph, beta_graph, cache=shared)
         with BackgroundService(router) as bg:
             with ServiceClient(bg.address) as client:
-                client.query("triangle", epsilon=0.1, privacy="edge",
-                             seed=1)
+                client.query("triangle", epsilon=0.1, privacy="edge", seed=1)
                 client.query("triangle", epsilon=0.1, privacy="edge",
                              seed=2)  # same compiled relation: a hit
-                client.query("triangle", epsilon=0.1, privacy="edge",
-                             seed=3, dataset="beta")
+                client.query(
+                    "triangle", epsilon=0.1, privacy="edge", seed=3, dataset="beta"
+                )
                 stats = client.stats()
         alpha = stats["datasets"]["alpha"]
         beta = stats["datasets"]["beta"]

@@ -50,13 +50,13 @@ def graph():
     return random_graph_with_avg_degree(30, 5.0, rng=1)
 
 
-def _service_session(graph, budget=None, default_user_budget=None,
-                     workers=1, rng=7):
-    accountant = HierarchicalAccountant(
-        budget, default_user_budget=default_user_budget
-    )
+def _service_session(graph, budget=None, default_user_budget=None, workers=1, rng=7):
+    accountant = HierarchicalAccountant(budget, default_user_budget=default_user_budget)
     return PrivateSession(
-        graph, workers=workers, rng=rng, accountant=accountant,
+        graph,
+        workers=workers,
+        rng=rng,
+        accountant=accountant,
         cache=SharedCompiledCache(maxsize=8),
     )
 
@@ -101,8 +101,13 @@ class TestProtocol:
     def test_options_must_not_shadow_named_fields(self):
         with pytest.raises(ValueError, match="options"):
             validate_service_request(
-                {"v": 1, "op": "query", "query": "triangle", "epsilon": 0.5,
-                 "options": {"user": "mallory"}}
+                {
+                    "v": 1,
+                    "op": "query",
+                    "query": "triangle",
+                    "epsilon": 0.5,
+                    "options": {"user": "mallory"},
+                }
             )
 
     def test_validate_request_per_field_errors(self):
@@ -114,8 +119,13 @@ class TestProtocol:
             )
         with pytest.raises(ValueError, match="frobnicate: unknown key"):
             validate_service_request(
-                {"v": 1, "op": "query", "query": "triangle",
-                 "epsilon": 0.5, "frobnicate": True}
+                {
+                    "v": 1,
+                    "op": "query",
+                    "query": "triangle",
+                    "epsilon": 0.5,
+                    "frobnicate": True,
+                }
             )
         with pytest.raises(ValueError, match="query: required"):
             validate_service_request({"v": 1, "op": "query", "epsilon": 0.5})
@@ -135,8 +145,9 @@ class TestServiceEndToEnd:
         with BackgroundService(session, seed=SERVICE_SEED) as bg:
             with ServiceClient(bg.address) as client:
                 for i, (user, query, privacy, eps) in enumerate(workload):
-                    result = client.query(query, epsilon=eps, privacy=privacy,
-                                          user=user)
+                    result = client.query(
+                        query, epsilon=eps, privacy=privacy, user=user
+                    )
                     remote[i] = result["answer"]
         session.close()
 
@@ -148,7 +159,9 @@ class TestServiceEndToEnd:
             index = counts.get(user, 0)
             counts[user] = index + 1
             expected = reference.query(
-                query, epsilon=eps, privacy=privacy,
+                query,
+                epsilon=eps,
+                privacy=privacy,
                 rng=request_seed(SERVICE_SEED, user, index),
             )
             assert remote[i] == expected.answer, (i, user, query)
@@ -158,8 +171,9 @@ class TestServiceEndToEnd:
         session = _service_session(graph)
         with BackgroundService(session) as bg:
             with ServiceClient(bg.address) as client:
-                result = client.query("triangle", epsilon=0.5, privacy="edge",
-                                      seed=1234)
+                result = client.query(
+                    "triangle", epsilon=0.5, privacy="edge", seed=1234
+                )
         session.close()
         expected = PrivateSession(graph).query(
             "triangle", privacy="edge", epsilon=0.5, rng=1234
@@ -175,8 +189,7 @@ class TestServiceEndToEnd:
                     client.query("triangle", epsilon=0.5, privacy="edge")
                 assert excinfo.value.user == "alice"
                 # bob still has head room under the global cap
-                client.query("triangle", epsilon=0.5, privacy="edge",
-                             user="bob")
+                client.query("triangle", epsilon=0.5, privacy="edge", user="bob")
                 budget = client.budget(user="alice")
         assert budget["user"]["spent"] == 0.5
         assert session.accountant.user_spent("alice") == 0.5
@@ -216,8 +229,9 @@ class TestServiceEndToEnd:
         with BackgroundService(session) as bg:
             with ServiceClient(bg.address) as client:
                 with pytest.raises(ValueError, match="unknown mechanism"):
-                    client.query("triangle", epsilon=0.5, privacy="edge",
-                                 mechanism="nope")
+                    client.query(
+                        "triangle", epsilon=0.5, privacy="edge", mechanism="nope"
+                    )
                 with pytest.raises(ValueError, match="epsilon"):
                     client.query("triangle", epsilon=-1, privacy="edge")
                 # same connection keeps serving
@@ -242,9 +256,9 @@ class TestServiceEndToEnd:
                 assert frame["ok"] is False
                 assert frame["error"]["code"] == "bad_request"
                 # connection still alive
-                sock.sendall(encode_frame(
-                    {"v": PROTOCOL_VERSION, "op": "ping", "id": 2}
-                ))
+                sock.sendall(
+                    encode_frame({"v": PROTOCOL_VERSION, "op": "ping", "id": 2})
+                )
                 assert json.loads(file.readline())["ok"] is True
         session.close()
 
@@ -269,8 +283,9 @@ class TestServiceEndToEnd:
                 with pytest.raises(ValueError, match="label"):
                     # 100 KB frame round-trips; it fails *validation*
                     # (label type), proving the server parsed it.
-                    client.query("triangle", epsilon=0.5, privacy="edge",
-                                 label={"huge": big})
+                    client.query(
+                        "triangle", epsilon=0.5, privacy="edge", label={"huge": big}
+                    )
                 assert client.ping()["pong"] is True
         session.close()
 
@@ -280,8 +295,7 @@ class TestServiceEndToEnd:
             host, port = bg.address
             with socket.create_connection((host, port), timeout=30) as sock:
                 file = sock.makefile("rb")
-                sock.sendall(b'{"pad": "' + b"x" * (MAX_FRAME_BYTES + 16)
-                             + b'"}\n')
+                sock.sendall(b'{"pad": "' + b"x" * (MAX_FRAME_BYTES + 16) + b'"}\n')
                 frame = json.loads(file.readline())
                 assert frame["ok"] is False
                 assert "exceeds" in frame["error"]["message"]
@@ -293,8 +307,7 @@ class TestServiceEndToEnd:
         with BackgroundService(session, seed=3) as bg:
             with ServiceClient(bg.address, user="alice") as client:
                 client.query("triangle", epsilon=0.5, privacy="edge")
-                client.query("triangle", epsilon=0.25, privacy="edge",
-                             user="bob")
+                client.query("triangle", epsilon=0.25, privacy="edge", user="bob")
                 audit = client.audit(replay=True)
                 alice_only = client.audit(user="alice")
         assert audit["count"] == 2 and audit["matched"] == 2
@@ -318,8 +331,9 @@ class TestConcurrentClients:
             with ServiceClient(address, user=user, timeout=120.0) as client:
                 for _ in range(self.ATTEMPTS):
                     try:
-                        result = client.query("triangle", epsilon=self.EPS,
-                                              privacy="edge")
+                        result = client.query(
+                            "triangle", epsilon=self.EPS, privacy="edge"
+                        )
                         outcomes[user].append(("ok", result["answer"]))
                     except BudgetExhausted as refusal:
                         outcomes[user].append(("refused", refusal.user))
@@ -336,8 +350,9 @@ class TestConcurrentClients:
         errors: list = []
         with BackgroundService(session, seed=SERVICE_SEED) as bg:
             threads = [
-                threading.Thread(target=self._hammer,
-                                 args=(bg.address, user, outcomes, errors))
+                threading.Thread(
+                    target=self._hammer, args=(bg.address, user, outcomes, errors)
+                )
                 for user in self.USERS
             ]
             for thread in threads:
@@ -365,7 +380,9 @@ class TestConcurrentClients:
         for user in self.USERS:
             for index in range(2):
                 expected = reference.query(
-                    "triangle", privacy="edge", epsilon=self.EPS,
+                    "triangle",
+                    privacy="edge",
+                    epsilon=self.EPS,
                     rng=request_seed(SERVICE_SEED, user, index),
                 )
                 assert outcomes[user][index][1] == expected.answer
@@ -429,15 +446,24 @@ class TestRemoteBatchCLI:
     SPEC = {
         "seed": 11,
         "queries": [
-            {"query": "triangle", "privacy": "node", "epsilon": 0.5,
-             "user": "alice"},
+            {"query": "triangle", "privacy": "node", "epsilon": 0.5, "user": "alice"},
             # an explicit-seed item must not shift the derived stream
-            {"query": "triangle", "privacy": "edge", "epsilon": 0.25,
-             "user": "carol", "seed": 77, "label": "pinned"},
-            {"query": "triangle", "privacy": "node", "epsilon": 0.25,
-             "user": "bob"},
-            {"query": "triangle", "privacy": "node", "epsilon": 0.5,
-             "user": "alice", "label": "over"},
+            {
+                "query": "triangle",
+                "privacy": "edge",
+                "epsilon": 0.25,
+                "user": "carol",
+                "seed": 77,
+                "label": "pinned",
+            },
+            {"query": "triangle", "privacy": "node", "epsilon": 0.25, "user": "bob"},
+            {
+                "query": "triangle",
+                "privacy": "node",
+                "epsilon": 0.5,
+                "user": "alice",
+                "label": "over",
+            },
         ],
     }
 
@@ -458,8 +484,9 @@ class TestRemoteBatchCLI:
             host, port = bg.address
             remote_path = tmp_path / "remote_spec.json"
             remote_path.write_text(json.dumps(self.SPEC))
-            code = main(["batch", str(remote_path),
-                         "--remote", f"{host}:{port}", "--audit-log"])
+            code = main(
+                ["batch", str(remote_path), "--remote", f"{host}:{port}", "--audit-log"]
+            )
         session.close()
         assert code == 0
         remote_out = capsys.readouterr().out

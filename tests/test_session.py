@@ -118,15 +118,13 @@ class TestReservations:
 class TestHierarchicalAccountant:
     def test_user_sub_budgets_partition_the_global_cap(self):
         accountant = HierarchicalAccountant(1.0, default_user_budget=0.6)
-        accountant.charge(LedgerEntry(0, "a0", "recursive", "t/n", 0.5,
-                                      user="alice"))
+        accountant.charge(LedgerEntry(0, "a0", "recursive", "t/n", 0.5, user="alice"))
         with pytest.raises(BudgetExhausted) as excinfo:
             accountant.check(0.2, label="a1", user="alice")
         assert excinfo.value.user == "alice"
         assert "alice" in str(excinfo.value)
         # bob's own sub-budget is fresh; the global cap has 0.5 left
-        accountant.charge(LedgerEntry(0, "b0", "recursive", "t/n", 0.5,
-                                      user="bob"))
+        accountant.charge(LedgerEntry(0, "b0", "recursive", "t/n", 0.5, user="bob"))
         # now the *global* cap binds for everyone, carrying no tenant
         with pytest.raises(BudgetExhausted) as excinfo:
             accountant.check(0.1, label="c0", user="carol")
@@ -158,29 +156,31 @@ class TestHierarchicalAccountant:
     def test_session_mounts_hierarchical_accountant(self, graph):
         accountant = HierarchicalAccountant(2.0, default_user_budget=0.5)
         session = PrivateSession(graph, accountant=accountant)
-        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
-                      user="alice")
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1, user="alice")
         with pytest.raises(BudgetExhausted) as excinfo:
-            session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
-                          user="alice")
+            session.query(triangle(), privacy="edge", epsilon=0.5, rng=1, user="alice")
         assert excinfo.value.user == "alice"
-        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
-                      user="bob")
+        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1, user="bob")
         assert session.ledger[0].user == "alice"
         assert session.ledger[1].user == "bob"
         assert accountant.user_spent("alice") == 0.5
         # failed queries roll their reservation back
         with pytest.raises(Exception):
-            session.query(triangle(), privacy="edge", epsilon=0.4, rng=1,
-                          user="bob", mechanism="nope")
+            session.query(
+                triangle(),
+                privacy="edge",
+                epsilon=0.4,
+                rng=1,
+                user="bob",
+                mechanism="nope",
+            )
         assert accountant.reserved == 0.0
         assert accountant.user_spent("bob") == 0.5
         session.close()
 
     def test_session_rejects_budget_and_accountant_together(self, graph):
         with pytest.raises(SessionError):
-            PrivateSession(graph, budget=1.0,
-                           accountant=BudgetAccountant(1.0))
+            PrivateSession(graph, budget=1.0, accountant=BudgetAccountant(1.0))
         with pytest.raises(SessionError):
             PrivateSession(graph, accountant="not an accountant")
         with pytest.raises(SessionError):
@@ -221,9 +221,7 @@ class TestSharedCompiledCacheUnit:
             return "value"
 
         threads = [
-            threading.Thread(
-                target=lambda: cache.get_or_build(("k",), build)
-            )
+            threading.Thread(target=lambda: cache.get_or_build(("k",), build))
             for _ in range(8)
         ]
         for thread in threads:
@@ -279,8 +277,9 @@ class TestSessionQueries:
         session.query(triangle(), privacy="edge", epsilon=0.5, rng=1)
         session.query(triangle(), privacy="node", epsilon=0.5, rng=1)
         session.query(k_star(2), privacy="edge", epsilon=0.5, rng=1)
-        session.query(triangle(), privacy="edge", epsilon=0.5, rng=1,
-                      mechanism="smooth")
+        session.query(
+            triangle(), privacy="edge", epsilon=0.5, rng=1, mechanism="smooth"
+        )
         assert session.cache_info().misses == 4
 
     def test_budget_cap_enforced(self, graph):
@@ -347,8 +346,7 @@ class TestLedgerAndReplay:
         session = PrivateSession(graph, budget=3.0, rng=11)
         session.query(triangle(), privacy="edge", epsilon=0.5)
         session.query(triangle(), privacy="edge", epsilon=0.5, rng=42)
-        session.query(k_star(2), privacy="edge", epsilon=0.5,
-                      mechanism="smooth")
+        session.query(k_star(2), privacy="edge", epsilon=0.5, mechanism="smooth")
         records = session.replay()
         assert len(records) == 3
         assert all(record.matches for record in records)
@@ -358,8 +356,9 @@ class TestLedgerAndReplay:
 
     def test_generator_rng_not_replayable_but_ledgered(self, graph):
         session = PrivateSession(graph)
-        session.query(triangle(), privacy="edge", epsilon=0.5,
-                      rng=np.random.default_rng(0))
+        session.query(
+            triangle(), privacy="edge", epsilon=0.5, rng=np.random.default_rng(0)
+        )
         (record,) = session.replay()
         assert record.matches is None
         assert session.ledger[0].epsilon == 0.5
@@ -378,19 +377,15 @@ class TestLedgerAndReplay:
 
 class TestSubmitFutures:
     @pytest.mark.parametrize("workers", [1, 2])
-    def test_submit_released_answers_identical_any_worker_count(
-        self, graph, workers
-    ):
+    def test_submit_released_answers_identical_any_worker_count(self, graph, workers):
         session = PrivateSession(graph, workers=workers, rng=42)
         futures = [
-            session.submit(triangle(), privacy="edge", epsilon=0.25)
-            for _ in range(4)
+            session.submit(triangle(), privacy="edge", epsilon=0.25) for _ in range(4)
         ]
         answers = [future.result().answer for future in futures]
         reference = PrivateSession(graph, workers=1, rng=42)
         expected = [
-            reference.submit(triangle(), privacy="edge", epsilon=0.25)
-            .result().answer
+            reference.submit(triangle(), privacy="edge", epsilon=0.25).result().answer
             for _ in range(4)
         ]
         assert answers == expected
@@ -419,8 +414,9 @@ class TestSubmitFutures:
     def test_submit_rejects_generator_rng(self, graph):
         session = PrivateSession(graph, workers=1)
         with pytest.raises(SessionError):
-            session.submit(triangle(), privacy="edge", epsilon=0.5,
-                           rng=np.random.default_rng(0))
+            session.submit(
+                triangle(), privacy="edge", epsilon=0.5, rng=np.random.default_rng(0)
+            )
 
     def test_new_spec_after_fork_compiles_in_workers(self, graph):
         """A spec first submitted after the pool forked must not block the
@@ -439,8 +435,7 @@ class TestSubmitFutures:
         """Replay also covers answers computed in forked workers."""
         session = PrivateSession(graph, workers=2, rng=5)
         futures = [
-            session.submit(triangle(), privacy="edge", epsilon=0.25)
-            for _ in range(3)
+            session.submit(triangle(), privacy="edge", epsilon=0.25) for _ in range(3)
         ]
         for future in futures:
             future.result()

@@ -84,9 +84,11 @@ class TestArrayExportAttach:
     def test_release_spec_walks_nested_specs(self):
         registry = shm.registry()
         specs = [shm.export_array(np.arange(4.0)) for _ in range(3)]
-        nested = {"objective": specs[0],
-                  "g": {"data": specs[1], "extra": [specs[2], None]},
-                  "scalar": 7}
+        nested = {
+            "objective": specs[0],
+            "g": {"data": specs[1], "extra": [specs[2], None]},
+            "scalar": 7,
+        }
         names = [spec["segment"] for spec in specs]
         assert all(registry.refcount(name) == 1 for name in names)
         shm.release_spec(nested)
@@ -109,13 +111,16 @@ class TestCompiledProgramSharing:
         for i in points:
             # assert_equal, not ==: an infeasible mass must be infeasible
             # on both sides, and nan != nan under plain comparison
-            np.testing.assert_equal(attached.solve_h(i).objective,
-                                    program.solve_h(i).objective)
-            np.testing.assert_equal(attached.solve_g(i).objective,
-                                    program.solve_g(i).objective)
+            np.testing.assert_equal(
+                attached.solve_h(i).objective, program.solve_h(i).objective
+            )
+            np.testing.assert_equal(
+                attached.solve_g(i).objective, program.solve_g(i).objective
+            )
         for delta in (0.0, 0.1, 1.0):
-            np.testing.assert_equal(attached.solve_x(delta).objective,
-                                    program.solve_x(delta).objective)
+            np.testing.assert_equal(
+                attached.solve_x(delta).objective, program.solve_x(delta).objective
+            )
         for i, bound in ((1.0, 0.5), (2.0, 10.0)):
             assert (attached.solve_g_feasible(i, bound)
                     == program.solve_g_feasible(i, bound))
@@ -166,8 +171,11 @@ class TestAtexitCleanup:
         )
         env = dict(os.environ, PYTHONPATH=src)
         result = subprocess.run(
-            [sys.executable, "-c", script], capture_output=True, text=True,
-            env=env, timeout=120,
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
         )
         assert result.returncode == 0, result.stderr
         name = result.stdout.strip()

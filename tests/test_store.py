@@ -37,10 +37,7 @@ FIVE_NODE_PATTERN = cycle_pattern(5)
 def _occ_signature(occurrences):
     """Order-sensitive signature of an occurrence sequence."""
     return [
-        (
-            tuple(sorted(map(repr, occ.nodes))),
-            tuple(sorted(map(repr, occ.edges))),
-        )
+        (tuple(sorted(map(repr, occ.nodes))), tuple(sorted(map(repr, occ.edges))),)
         for occ in occurrences
     ]
 
@@ -95,10 +92,7 @@ class TestStoreOracleParity:
     def test_released_answers_byte_identical(self):
         for privacy in ("edge", "node"):
             columnar, oracle = _paired_graphs(n=30, rng_seed=11)
-            sessions = [
-                PrivateSession(graph, rng=5)
-                for graph in (columnar, oracle)
-            ]
+            sessions = [PrivateSession(graph, rng=5) for graph in (columnar, oracle)]
 
             def released(pattern, seed):
                 return [
@@ -111,8 +105,9 @@ class TestStoreOracleParity:
 
             fresh = released(triangle(), 101)
             assert fresh[0] == fresh[1]
-            for _ in _toggle_stream((columnar, oracle), steps=40,
-                                    rng_seed=29, universe=30):
+            for _ in _toggle_stream(
+                (columnar, oracle), steps=40, rng_seed=29, universe=30
+            ):
                 pass
             for pattern, seed in ((triangle(), 202), (cycle_pattern(4), 303)):
                 updated = released(pattern, seed)
@@ -122,8 +117,7 @@ class TestStoreOracleParity:
             # the columnar lane must match a cold session on the final
             # graph, not merely the dict lane (both could drift together)
             scratch = PrivateSession(
-                VersionedGraph(columnar.checkout(columnar.version),
-                               store="dict"), rng=5
+                VersionedGraph(columnar.checkout(columnar.version), store="dict"), rng=5
             )
             assert scratch.query(
                 triangle(), privacy=privacy, epsilon=0.8,
@@ -168,13 +162,12 @@ class TestEncoderIdentity:
             relation.sorted_participants, relation.matrix, backend
         )
         annotated = [(annotation, 1.0) for _, annotation in relation.items()]
-        legacy = EncodedRelation(
-            sorted(relation.participants), annotated, backend
-        )
+        legacy = EncodedRelation(sorted(relation.participants), annotated, backend)
 
         assert fast.participants == legacy.participants
-        for name in ("_ub_rows", "_ub_cols", "_ub_vals", "_ub_rhs",
-                     "_root_vars", "_root_weights"):
+        for name in (
+            "_ub_rows", "_ub_cols", "_ub_vals", "_ub_rhs", "_root_vars", "_root_weights"
+        ):
             np.testing.assert_array_equal(
                 getattr(fast, name), getattr(legacy, name), err_msg=name
             )
@@ -203,9 +196,7 @@ class TestSortedOccurrencesCache:
 
     @pytest.mark.parametrize("store", ["columnar", "dict"])
     def test_cached_until_mutation(self, store):
-        graph = VersionedGraph(
-            random_graph_with_avg_degree(24, 5, rng=9), store=store
-        )
+        graph = VersionedGraph(random_graph_with_avg_degree(24, 5, rng=9), store=store)
         pattern = triangle()
         graph.maintainer.register(pattern)
         first = graph.maintainer.occurrences(pattern)
@@ -301,14 +292,12 @@ class TestResolveStore:
             resolve_store("lsm")
 
     def test_backend_info_names_store(self):
-        graph = VersionedGraph(Graph(edges=[(1, 2), (2, 3), (1, 3)]),
-                               store="columnar")
+        graph = VersionedGraph(Graph(edges=[(1, 2), (2, 3), (1, 3)]), store="columnar")
         graph.maintainer.register(triangle())
         (row,) = graph.maintainer.info()
         assert row["store"] == "columnar"
         assert row["store_alive"] == 1
-        assert {"store_rows", "store_tail_rows",
-                "store_index_rebuilds"} <= set(row)
+        assert {"store_rows", "store_tail_rows", "store_index_rebuilds"} <= set(row)
 
 
 class TestMaintenanceInfoSurface:
@@ -317,8 +306,9 @@ class TestMaintenanceInfoSurface:
     def test_session_maintenance_info(self):
         graph = VersionedGraph(Graph(edges=[(1, 2), (2, 3), (1, 3)]))
         session = PrivateSession(graph, rng=1)
-        session.query(triangle(), privacy="edge", epsilon=1.0,
-                      rng=np.random.default_rng(4))
+        session.query(
+            triangle(), privacy="edge", epsilon=1.0, rng=np.random.default_rng(4)
+        )
         graph.add_edge(3, 4)
         rows = session.maintenance_info()
         assert rows and rows[0]["pattern"] == "triangle"

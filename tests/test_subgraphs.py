@@ -58,7 +58,9 @@ class TestPatterns:
         p = path_pattern(3)
         assert p.num_nodes == 4
 
-    @pytest.mark.parametrize("factory,arg", [(k_star, 0), (k_triangle, 0), (k_clique, 1), (path_pattern, 0)])
+    @pytest.mark.parametrize(
+        "factory,arg", [(k_star, 0), (k_triangle, 0), (k_clique, 1), (path_pattern, 0)]
+    )
     def test_invalid_parameters(self, factory, arg):
         with pytest.raises(PatternError):
             factory(arg)
@@ -88,9 +90,7 @@ class TestEnumerators:
 
     def test_k_stars_closed_form(self, diamond):
         for k in (1, 2, 3):
-            assert len(list(enumerate_k_stars(diamond, k))) == count_k_stars(
-                diamond, k
-            )
+            assert len(list(enumerate_k_stars(diamond, k))) == count_k_stars(diamond, k)
 
     def test_k_star_counts_match_binomials(self):
         g = Graph(edges=[(0, i) for i in range(1, 6)])  # star with 5 leaves
@@ -156,9 +156,7 @@ class TestGenericMatcher:
             name="hub-triangle",
             node_constraints={i: (lambda d: d >= 3) for i in range(3)},
         )
-        occurrences = list(
-            enumerate_subgraphs(diamond, pattern, node_data=degrees)
-        )
+        occurrences = list(enumerate_subgraphs(diamond, pattern, node_data=degrees))
         # nodes 1 and 2 have degree 3; nodes 0 and 3 degree 2 -> no triangle
         assert occurrences == []
 
@@ -170,9 +168,7 @@ class TestGenericMatcher:
             name="heavy-edge",
             edge_constraints={(0, 1): lambda w: (w or 0) >= 5},
         )
-        occurrences = list(
-            enumerate_subgraphs(g, pattern, edge_data=weights)
-        )
+        occurrences = list(enumerate_subgraphs(g, pattern, edge_data=weights))
         assert len(occurrences) == 2
 
 
@@ -180,12 +176,8 @@ class TestAnnotation:
     def test_node_privacy_fig2a(self, diamond):
         rel = subgraph_krelation(diamond, triangle(), privacy="node")
         assert rel.num_participants == diamond.num_nodes
-        annotations = {
-            tuple(sorted(occ.nodes)): ann for occ, ann in rel.items()
-        }
-        assert annotations[(0, 1, 2)] == And(
-            (Var("v:0"), Var("v:1"), Var("v:2"))
-        )
+        annotations = {tuple(sorted(occ.nodes)): ann for occ, ann in rel.items()}
+        assert annotations[(0, 1, 2)] == And((Var("v:0"), Var("v:1"), Var("v:2")))
 
     def test_edge_privacy_fig2a(self, diamond):
         rel = subgraph_krelation(diamond, triangle(), privacy="edge")

@@ -66,8 +66,7 @@ class TestScaleEquivariance:
         factor of the counting query's (the paper's 'almost the same')."""
         rng_weights = np.random.default_rng(0)
         weights = {
-            tup: float(rng_weights.uniform(1.0, 2.0))
-            for tup, _ in relation.items()
+            tup: float(rng_weights.uniform(1.0, 2.0)) for tup, _ in relation.items()
         }
         counting = EfficientRecursiveMechanism(relation, bounding="paper")
         weighted = EfficientRecursiveMechanism(
