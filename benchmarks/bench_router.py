@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from bench_service import scraped_quantiles
 
 from repro import PrivateSession, random_graph_with_avg_degree
 from repro.dynamic import VersionedGraph
@@ -116,6 +117,7 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
                         )
                         catchup.append(time.perf_counter() - start)
                         assert result["version"] >= out["version"]
+                scraped = client.metrics()
         finally:
             replica.stop()
     alpha_session.close()
@@ -148,10 +150,23 @@ def test_router_replication_shm_bench(scale, record_figure, results_dir):
     shm.release_spec(spec)
     program.release_shared()
 
+    # Per-dataset server-side latency quantiles from the wire metrics op
+    # (the lane label isolates this router's streams from other benches
+    # sharing the process registry — filter on dataset name only).
+    alpha_latency = scraped_quantiles(scraped, "repro_query_seconds", dataset="alpha")
+    beta_latency = scraped_quantiles(scraped, "repro_query_seconds", dataset="beta")
+    assert alpha_latency["count"] >= WARM_QUERIES + 1
+    assert beta_latency["count"] >= WARM_QUERIES + 1
     row = {
         "nodes": n,
         "warm_median_alpha_seconds": statistics.median(warm["alpha"]),
         "warm_median_beta_seconds": statistics.median(warm["beta"]),
+        "alpha_p50_seconds": alpha_latency["p50"],
+        "alpha_p95_seconds": alpha_latency["p95"],
+        "alpha_p99_seconds": alpha_latency["p99"],
+        "beta_p50_seconds": beta_latency["p50"],
+        "beta_p95_seconds": beta_latency["p95"],
+        "beta_p99_seconds": beta_latency["p99"],
         "replica_catchup_median_seconds": statistics.median(catchup),
         "replica_catchup_max_seconds": max(catchup),
         "shm_export_seconds": export_seconds,

@@ -17,10 +17,36 @@ from pathlib import Path
 
 from repro import PrivateSession, random_graph_with_avg_degree
 from repro.experiments import format_table
+from repro.obs import quantile_from_counts
 from repro.service import BackgroundService, ServiceClient
 from repro.session import HierarchicalAccountant, SharedCompiledCache
 
 WARM_QUERIES = 25
+
+
+def scraped_quantiles(payload, name, **labels):
+    """p50/p95/p99 of one wire-scraped histogram (rows merged over the
+    label subset — fixed bucket boundaries make the merge exact)."""
+    counts, total_sum, bounds = None, 0.0, None
+    for row in payload["metrics"]:
+        if row["name"] != name or row["kind"] != "histogram":
+            continue
+        if any(row["labels"].get(key) != value for key, value in labels.items()):
+            continue
+        if counts is None:
+            bounds = row["bounds"]
+            counts = list(row["counts"])
+        else:
+            counts = [a + b for a, b in zip(counts, row["counts"])]
+        total_sum += row["sum"]
+    if counts is None:
+        return {"p50": None, "p95": None, "p99": None, "count": 0}
+    return {
+        "p50": quantile_from_counts(bounds, counts, 0.50),
+        "p95": quantile_from_counts(bounds, counts, 0.95),
+        "p99": quantile_from_counts(bounds, counts, 0.99),
+        "count": sum(counts),
+    }
 
 
 def test_service_latency_throughput(scale, record_figure, results_dir):
@@ -47,6 +73,7 @@ def test_service_latency_throughput(scale, record_figure, results_dir):
             start = time.perf_counter()
             audit = client.audit(replay=True)
             audit_seconds = time.perf_counter() - start
+            scraped = client.metrics()
     session.close()
 
     assert audit["count"] == WARM_QUERIES + 1
@@ -54,12 +81,19 @@ def test_service_latency_throughput(scale, record_figure, results_dir):
 
     warm_median = statistics.median(warm_times)
     throughput = (1.0 / warm_median) if warm_median else float("inf")
+    # Server-side latency distribution from the new wire `metrics` op:
+    # the same histogram `repro obs` scrapes in production.
+    server_latency = scraped_quantiles(scraped, "repro_query_seconds")
+    assert server_latency["count"] >= WARM_QUERIES + 1
     row = {
         "nodes": graph.num_nodes,
         "edges": graph.num_edges,
         "cold_seconds": cold_seconds,
         "warm_median_seconds": warm_median,
         "warm_p90_seconds": sorted(warm_times)[int(0.9 * len(warm_times))],
+        "server_p50_seconds": server_latency["p50"],
+        "server_p95_seconds": server_latency["p95"],
+        "server_p99_seconds": server_latency["p99"],
         "requests_per_second": throughput,
         "audit_replay_seconds": audit_seconds,
     }
@@ -73,6 +107,9 @@ def test_service_latency_throughput(scale, record_figure, results_dir):
                 "cold_seconds",
                 "warm_median_seconds",
                 "warm_p90_seconds",
+                "server_p50_seconds",
+                "server_p95_seconds",
+                "server_p99_seconds",
                 "requests_per_second",
                 "audit_replay_seconds",
             ],

@@ -11,11 +11,21 @@ Each module contributes one invariant checker:
   reach ``commit()``/``rollback()``;
 * :mod:`.eventloop` — ``async-blocking``: no blocking calls on the
   service event loop;
+* :mod:`.shmlifecycle` — ``shm-lifecycle``: shared-memory exports need
+  a paired registered release;
 * :mod:`.pragmas` — ``pragma``: suppressions must name a real rule, a
   reason, and an actual finding.
 """
 
-from . import accounting, eventloop, forksafe, iteration, pragmas, rng
+from . import (
+    accounting,
+    eventloop,
+    forksafe,
+    iteration,
+    pragmas,
+    rng,
+    shmlifecycle,
+)
 
 __all__ = [
     "accounting",
@@ -24,4 +34,5 @@ __all__ = [
     "iteration",
     "pragmas",
     "rng",
+    "shmlifecycle",
 ]

@@ -1,0 +1,109 @@
+"""Rule: exported shared-memory segments must have a registered release.
+
+Named POSIX segments (:mod:`repro.parallel.shm`) outlive the mapping
+that created them: a process that calls ``export_shared(...)`` /
+``export_array(...)`` and never releases the spec leaks ``/dev/shm``
+entries until the owner's ``atexit`` hook — or forever, if the process
+is killed.  The repo's contract is that every export is *paired* with a
+registered release in the same lifecycle scope:
+
+* a method exporting segments belongs to a class that also defines (or
+  calls) ``release_shared``/``release_spec`` — the class owns both ends
+  of the lifecycle;
+* a free function exporting segments belongs to a module that releases
+  somewhere — e.g. a benchmark that exports in setup and releases in its
+  ``finally``;
+* a module that only ever exports has no balancing release at all and is
+  flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..core import Finding, Rule, SourceModule, register
+
+__all__ = ["ShmLifecycleRule"]
+
+#: Call / definition suffixes that create an owned or attached segment.
+_EXPORT_NAMES = ("export_shared", "export_array")
+
+#: Call / definition names that balance one: the registered releases of
+#: repro.parallel.shm plus the registry's own terminal operations.
+_RELEASE_NAMES = ("release_shared", "release_spec", "release", "shutdown")
+
+
+def _calls_in(node: ast.AST):
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def _is_export(call: ast.Call, module: SourceModule) -> bool:
+    name = module.call_name(call)
+    return any(name.split(".")[-1] == suffix for suffix in _EXPORT_NAMES)
+
+
+def _has_release(node: ast.AST, module: SourceModule) -> bool:
+    """Whether ``node`` contains a release call or defines a release hook."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = module.call_name(child).split(".")[-1]
+            if name in _RELEASE_NAMES:
+                return True
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if child.name in _RELEASE_NAMES:
+                return True
+    return False
+
+
+def _enclosing_class(tree: ast.AST, target: ast.AST) -> Optional[ast.ClassDef]:
+    """The innermost class whose body (transitively) contains ``target``."""
+    found = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and any(
+            child is target for child in ast.walk(node)
+        ):
+            found = node  # walk() visits outer classes first; keep the last
+    return found
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """Flag shared-memory exports with no paired registered release."""
+
+    id = "shm-lifecycle"
+    title = "shared-memory exports need a paired registered release"
+    rationale = (
+        "export_shared()/export_array() copy data into *named* POSIX "
+        "shared-memory segments that outlive the exporting mapping; "
+        "without a balancing release_shared()/release_spec() the names "
+        "leak in /dev/shm until atexit — or forever if the process is "
+        "killed.  The lifecycle scope that exports must also release: a "
+        "class that exports defines (or calls) the release; a module "
+        "whose functions export must release somewhere, e.g. in the "
+        "caller's finally block."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        exports = [call for call in _calls_in(module.tree) if _is_export(call, module)]
+        if not exports:
+            return
+        # Defining the export is not performing it: a module that
+        # implements `def export_shared()` (repro/parallel/shm.py,
+        # CompiledProgram) is the lifecycle *provider*, and its own
+        # release definitions pair it below anyway.
+        if _has_release(module.tree, module):
+            return
+        for call in exports:
+            owner = _enclosing_class(module.tree, call)
+            scope = f"class {owner.name}" if owner is not None else "this module"
+            yield module.finding(
+                self.id,
+                call,
+                f"`{module.call_name(call)}(...)` exports a named "
+                f"shared-memory segment, but {scope} never calls "
+                "release_shared()/release_spec() — the segment leaks in "
+                "/dev/shm if this process dies before atexit",
+            )

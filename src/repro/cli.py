@@ -167,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--lp-preferences", metavar="FILE", default=None, help=lp_preferences_help
         )
 
+    def add_obs_flags(command) -> None:
+        command.add_argument(
+            "--trace-log",
+            metavar="FILE",
+            default=None,
+            help="write one JSON span record per line to FILE "
+            "(deterministic trace/span ids; tracing never changes "
+            "released answers)",
+        )
+        command.add_argument(
+            "--slow-query-ms",
+            type=_positive_float,
+            default=None,
+            metavar="MS",
+            help="log requests whose root span exceeds MS "
+            "milliseconds to stderr",
+        )
+
     count = sub.add_parser("count", help="private subgraph count")
     count.add_argument("--workers", type=_workers_arg, default=None, help=workers_help)
     add_lp_flags(count)
@@ -252,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("spec", help="path to the JSON spec ('-' for stdin)")
     batch.add_argument("--workers", type=_workers_arg, default=None, help=workers_help)
     add_lp_flags(batch)
+    add_obs_flags(batch)
     batch.add_argument(
         "--seed", type=int, default=None, help="override the spec's session seed"
     )
@@ -402,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
         "listening (for scripts wanting the ephemeral "
         "port)",
     )
+    add_obs_flags(serve)
 
     replica = sub.add_parser(
         "replica",
@@ -471,6 +491,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the bound host:port to FILE once " "listening",
+    )
+    add_obs_flags(replica)
+
+    obs = sub.add_parser(
+        "obs",
+        help="scrape a running service's metrics (the wire 'metrics' op)",
+    )
+    obs.add_argument("address", metavar="HOST:PORT", help="a running repro service")
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON rows (with p50/p95/p99) instead of "
+        "the Prometheus text exposition",
+    )
+    obs.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the full JSON metrics payload to FILE "
+        "(e.g. a CI metrics-snapshot.json artifact)",
     )
 
     fig = sub.add_parser("fig", help="regenerate a figure of the paper")
@@ -775,6 +815,21 @@ def _cmd_batch_remote(args, spec) -> int:
     return 1 if failed else 0
 
 
+def _apply_obs(args) -> None:
+    """Arm tracing/slow-query logging from the shared CLI flags.
+
+    Opens the trace-log file synchronously, before any event loop or
+    worker pool exists — the ``async-blocking`` contract for sinks.
+    """
+    if getattr(args, "trace_log", None) is None and (
+        getattr(args, "slow_query_ms", None) is None
+    ):
+        return
+    from .obs import configure as configure_obs
+
+    configure_obs(trace_log=args.trace_log, slow_query_ms=args.slow_query_ms)
+
+
 def _cmd_batch(args) -> int:
     import json
 
@@ -782,6 +837,7 @@ def _cmd_batch(args) -> int:
     from .session import BudgetExhausted, PrivateSession
     from .validation import validate_batch_spec
 
+    _apply_obs(args)
     if args.spec == "-":
         spec = json.load(sys.stdin)
     else:
@@ -1041,6 +1097,7 @@ def _cmd_serve(args) -> int:
     from .session import HierarchicalAccountant, PrivateSession, shared_cache
 
     _apply_lp_backend(args)
+    _apply_obs(args)
     if args.datasets:
         if args.updates or args.update_token is not None:
             print(
@@ -1154,6 +1211,7 @@ def _cmd_replica(args) -> int:
         print(error, file=sys.stderr)
         return 2
     _apply_lp_backend(args)
+    _apply_obs(args)
     cache = shared_cache()
     sessions = []
 
@@ -1315,6 +1373,32 @@ def _cmd_audit(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_obs(args) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    try:
+        with ServiceClient(args.address) as client:
+            payload = client.metrics()
+    except (OSError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(
+            {key: payload[key] for key in payload if key != "text"},
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        sys.stdout.write(payload.get("text", ""))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis.cli import run
 
@@ -1357,6 +1441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig": _cmd_fig,
         "audit": _cmd_audit,
         "datasets": _cmd_datasets,
+        "obs": _cmd_obs,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

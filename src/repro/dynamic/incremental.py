@@ -51,6 +51,8 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import GraphError
 from ..graphs.graph import Graph
+from ..obs import metrics as obs_metrics
+from ..obs import size_buckets
 from ..store.backend import (
     ColumnarOccurrenceBackend,
     DictOccurrenceBackend,
@@ -263,10 +265,17 @@ class IncrementalOccurrences:
             raise GraphError(f"apply() takes a GraphDelta, got {type(delta).__name__}")
         if self._interner is not None and self._interner_synced:
             self._apply_presence(delta)
+        registry = obs_metrics()
         for state in self._states.values():
             state.deltas_applied += 1
+            registry.counter(
+                "repro_maintenance_deltas_total", pattern=state.pattern.name
+            ).inc()
             if not state.incremental:
                 state.rebuild(self._graph)
+                registry.counter(
+                    "repro_maintenance_rebuilds_total", pattern=state.pattern.name
+                ).inc()
             elif delta.kind == "add_edge":
                 self._apply_edge_insert(state, delta.u, delta.v)
             elif delta.kind == "remove_edge":
@@ -307,6 +316,11 @@ class IncrementalOccurrences:
         state.ball_last = len(ball)
         if state.ball_last > state.ball_max:
             state.ball_max = state.ball_last
+        obs_metrics().histogram(
+            "repro_maintenance_ball_size",
+            buckets=size_buckets(),
+            pattern=pattern.name,
+        ).observe(float(state.ball_last))
         neighborhood = self._graph.subgraph(ball)
         for occurrence in occurrences_for_pattern(neighborhood, pattern):
             uses_edge = any(frozenset(pair) == edge for pair in occurrence.edges)

@@ -36,12 +36,15 @@ available backend — together.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from ..errors import LPError
+from ..obs import metrics as obs_metrics
+from ..obs import size_buckets
 from ..parallel.pool import (
     fork_available,
     map_tasks,
@@ -55,6 +58,24 @@ from .model import LPSolution
 __all__ = ["CompiledProgram"]
 
 _INF = float("inf")
+
+
+def _observe_solve(overlay: str, backend, elapsed: float, model=None) -> None:
+    """Record one overlay solve: latency always, simplex iterations when
+    the persistent engine reports them (the arrays path has none)."""
+    registry = obs_metrics()
+    registry.histogram(
+        "repro_lp_solve_seconds", overlay=overlay, backend=backend.name
+    ).observe(elapsed)
+    iterations = getattr(model, "last_iteration_count", 0) if model is not None else 0
+    if iterations:
+        registry.histogram(
+            "repro_lp_iterations",
+            buckets=size_buckets(),
+            overlay=overlay,
+            backend=backend.name,
+        ).observe(float(iterations))
+
 
 #: First iteration budget of the Δ-probe race (doubles each round).
 RACE_INITIAL_BUDGET = 256
@@ -386,11 +407,14 @@ class CompiledProgram:
 
     def solve_h(self, i: float) -> LPSolution:
         """``H_i`` with only the mass-row RHS rebuilt per call."""
+        tick = time.perf_counter()
         if self._use_engine:
             model = self._ensure_h_model()
             model.set_row_bounds(model.num_rows - 1, float(i), float(i))
-            return self._with_constant(model.solve(), self._constant)
-        return self.backend.solve_arrays(
+            solution = self._with_constant(model.solve(), self._constant)
+            _observe_solve("h", self.backend, time.perf_counter() - tick, model)
+            return solution
+        solution = self.backend.solve_arrays(
             c=self._c,
             a_ub=self._a_ub,
             b_ub=self._b_ub,
@@ -399,6 +423,8 @@ class CompiledProgram:
             bounds=self._bounds,
             objective_constant=self._constant,
         )
+        _observe_solve("h", self.backend, time.perf_counter() - tick)
+        return solution
 
     # -- G -------------------------------------------------------------------
     def _build_g_overlay(self):
@@ -460,11 +486,14 @@ class CompiledProgram:
         if self._g_overlay is None:
             self._build_g_overlay()
         c, a_ub, b_ub, a_eq, bounds = self._g_overlay
+        tick = time.perf_counter()
         if self._use_engine:
             model = self._ensure_g_model()
             model.set_row_bounds(model.num_rows - 1, float(i), float(i))
-            return model.solve()
-        return self.backend.solve_arrays(
+            solution = model.solve()
+            _observe_solve("g", self.backend, time.perf_counter() - tick, model)
+            return solution
+        solution = self.backend.solve_arrays(
             c=c,
             a_ub=a_ub,
             b_ub=b_ub,
@@ -473,6 +502,8 @@ class CompiledProgram:
             bounds=bounds,
             objective_constant=0.0,
         )
+        _observe_solve("g", self.backend, time.perf_counter() - tick)
+        return solution
 
     # -- batched overlay solves ----------------------------------------------
     def solve_many(
@@ -741,6 +772,7 @@ class CompiledProgram:
         """Eq. 20: the base program with a ``-Δ̂`` objective perturbation."""
         constant = self._constant + self.num_participants * float(delta_hat)
         participant_cols = np.arange(self.num_participants)
+        tick = time.perf_counter()
         if self._use_engine and self._a_ub is not None:
             if self._x_model is None:
                 self._x_model = self.backend.build_persistent(
@@ -755,10 +787,12 @@ class CompiledProgram:
                 participant_cols,
                 self._c[: self.num_participants] - float(delta_hat),
             )
-            return self._with_constant(self._x_model.solve(), constant)
+            solution = self._with_constant(self._x_model.solve(), constant)
+            _observe_solve("x", self.backend, time.perf_counter() - tick, self._x_model)
+            return solution
         c = self._c.copy()
         c[: self.num_participants] -= float(delta_hat)
-        return self.backend.solve_arrays(
+        solution = self.backend.solve_arrays(
             c=c,
             a_ub=self._a_ub,
             b_ub=self._b_ub,
@@ -767,6 +801,8 @@ class CompiledProgram:
             bounds=self._bounds,
             objective_constant=constant,
         )
+        _observe_solve("x", self.backend, time.perf_counter() - tick)
+        return solution
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,118 @@
+"""Exposition: registry snapshots as Prometheus text and JSON payloads.
+
+The wire ``metrics`` op returns both renderings of one snapshot —
+``text`` for scrapers, ``metrics`` (JSON rows + p50/p95/p99) for
+programmatic clients like ``repro obs`` and the benchmarks.  The text
+format follows the Prometheus exposition conventions: ``# TYPE`` lines,
+``name{label="value"} value`` samples, histograms as cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count``.
+:func:`parse_prometheus_text` is the matching reader the smoke tests and
+the CI ``obs-smoke`` job use to assert the exposition round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .registry import OBS_SCHEMA, quantile_from_counts
+
+__all__ = ["prometheus_text", "json_payload", "parse_prometheus_text"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None):
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape(str(value))}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    return f"{float(value):.10g}"
+
+
+def prometheus_text(snapshot: Dict) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines: List[str] = []
+    typed: set = set()
+    for row in snapshot.get("metrics", ()):
+        name = row["name"]
+        if not _NAME_RE.match(name):
+            raise ValueError(f"metric name {name!r} is not exposition-safe")
+        kind = row["kind"]
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        labels = row.get("labels", {})
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_labels_text(labels)} {_format_value(row['value'])}")
+            continue
+        cumulative = 0
+        for bound, count in zip(row["bounds"], row["counts"]):
+            cumulative += count
+            le = _labels_text(labels, ("le", _format_value(bound)))
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        cumulative += row["counts"][-1]
+        inf = _labels_text(labels, ("le", "+Inf"))
+        lines.append(f"{name}_bucket{inf} {cumulative}")
+        lines.append(f"{name}_sum{_labels_text(labels)} {_format_value(row['sum'])}")
+        lines.append(f"{name}_count{_labels_text(labels)} {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_payload(snapshot: Dict) -> Dict:
+    """The snapshot rows with p50/p95/p99 attached to every histogram."""
+    rows: List[Dict] = []
+    for row in snapshot.get("metrics", ()):
+        row = dict(row)
+        if row["kind"] == "histogram":
+            row["quantiles"] = {
+                label: quantile_from_counts(row["bounds"], row["counts"], q)
+                for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+            }
+        rows.append(row)
+    return {"schema": snapshot.get("schema", OBS_SCHEMA), "metrics": rows}
+
+
+def parse_prometheus_text(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse exposition text back into ``(name, labels, value)`` samples.
+
+    Strict on shape (a malformed sample line raises :class:`ValueError`)
+    so the smoke tests actually verify the renderer, not just that some
+    string came back.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for key, value in _LABEL_RE.findall(raw):
+                labels[key] = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples.append((match.group("name"), labels, value))
+    return samples

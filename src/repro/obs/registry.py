@@ -1,0 +1,361 @@
+"""Process-wide metrics: counters, gauges, and log-bucket histograms.
+
+One :class:`MetricsRegistry` per process (:func:`metrics`), holding every
+metric the serving stack emits.  The design constraints come from the
+repo's determinism and serving contracts:
+
+* **lock-cheap hot path** — the registry lock is taken only on metric
+  *creation*; increments and observations are plain attribute updates on
+  the returned metric object (atomic enough under the GIL), so a counter
+  bump on the query path costs an add, not a lock round-trip;
+* **interval clocks only** — durations are measured with
+  ``time.perf_counter``; nothing here reads the wall clock or an RNG, so
+  instrumentation can never perturb released bytes;
+* **mergeable across processes** — worker pools return a
+  :meth:`MetricsRegistry.drain_delta` payload alongside every task result
+  (see :mod:`repro.parallel.pool`), and the parent folds it back in with
+  :meth:`MetricsRegistry.merge`.  Deltas are JSON-able, so the same shape
+  rides the wire ``metrics`` op.
+
+Histograms use **fixed log-spaced bucket boundaries** chosen at creation
+time (four buckets per decade for latencies, powers of two for sizes and
+iteration counts): fixed boundaries make cross-process merges exact —
+counts add bucket-by-bucket — where adaptive schemes would need
+re-binning.  Quantiles are read back by rank interpolation inside the
+covering bucket (:func:`quantile_from_counts`).
+
+Naming scheme: ``repro_<subsystem>_<quantity>[_<unit>]`` with
+lowercase label keys, e.g. ``repro_query_seconds{dataset="alpha"}`` or
+``repro_lp_solve_seconds{overlay="g"}``.  The payload schema version is
+:data:`OBS_SCHEMA`; ``hello``/``stats``/``metrics`` frames carry it so
+clients can detect shape changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OBS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "time_buckets",
+    "size_buckets",
+    "quantile_from_counts",
+]
+
+#: Version of the snapshot/delta payload shape (bump on breaking change).
+OBS_SCHEMA = 1
+
+
+def time_buckets() -> Tuple[float, ...]:
+    """Default latency boundaries: 1 µs … ~5600 s, four buckets/decade."""
+    return tuple(10.0 ** (k / 4.0 - 6.0) for k in range(40))
+
+
+def size_buckets() -> Tuple[float, ...]:
+    """Default count/size boundaries: powers of two, 1 … 2^23."""
+    return tuple(float(2**k) for k in range(24))
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Rank-interpolated quantile of a bucketed distribution.
+
+    ``counts`` has ``len(bounds) + 1`` entries (the last is the overflow
+    bucket); bucket ``i`` covers ``(bounds[i-1], bounds[i]]``.  The
+    overflow bucket has no upper edge, so quantiles landing there clamp
+    to the largest boundary.  Returns ``None`` for an empty histogram.
+    """
+    total = sum(counts)
+    if total == 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if count and cumulative >= target:
+            if index == len(bounds):
+                return float(bounds[-1])
+            lower = 0.0 if index == 0 else float(bounds[index - 1])
+            upper = float(bounds[index])
+            rank_inside = target - (cumulative - count)
+            fraction = min(1.0, max(0.0, rank_inside / count))
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])  # pragma: no cover - cumulative == total above
+
+
+class Counter:
+    """A monotonically increasing count (float-valued, exact for ints)."""
+
+    __slots__ = ("_value", "_drained")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._drained = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount!r})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (in-flight counts, versions, utilization)."""
+
+    __slots__ = ("_value", "_dirty")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._dirty = False
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+        self._dirty = True
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount`` (down when negative)."""
+        self._value += amount
+        self._dirty = True
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed log-bucket histogram (value goes to the first bucket whose
+    upper boundary is ``>=`` it; the last bucket is unbounded)."""
+
+    __slots__ = ("bounds", "_counts", "_sum", "_drained_counts", "_drained_sum")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        chosen = tuple(float(b) for b in (time_buckets() if bounds is None else bounds))
+        if not chosen or any(b <= a for a, b in zip(chosen, chosen[1:])):
+            raise ValueError(
+                "histogram bounds must be a non-empty strictly increasing "
+                f"sequence, got {chosen!r}"
+            )
+        self.bounds = chosen
+        self._counts = [0] * (len(chosen) + 1)
+        self._sum = 0.0
+        self._drained_counts = [0] * (len(chosen) + 1)
+        self._drained_sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its covering bucket."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def counts(self) -> List[int]:
+        """Per-bucket counts (``len(bounds) + 1``; last is overflow)."""
+        return list(self._counts)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Rank-interpolated quantile (see :func:`quantile_from_counts`)."""
+        return quantile_from_counts(self.bounds, self._counts, q)
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The serving dashboard triple: p50 / p95 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def merge_counts(self, counts: Sequence[int], total: float) -> None:
+        """Fold another process's bucket counts and sum in (exact —
+        boundaries are fixed, so buckets align or the merge refuses)."""
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"cannot merge {len(counts)} buckets into "
+                f"{len(self._counts)} (boundary mismatch)"
+            )
+        for index, count in enumerate(counts):
+            self._counts[index] += count
+        self._sum += total
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create metric store with JSON-able snapshot/delta/merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (name, ((label, value), ...)) -> metric object
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+
+    # -- get-or-create --------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        """The :class:`Counter` for ``(name, labels)``, created on first use."""
+        return self._get(name, labels, Counter, ())
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The :class:`Gauge` for ``(name, labels)``, created on first use."""
+        return self._get(name, labels, Gauge, ())
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        """The :class:`Histogram` for ``(name, labels)`` (default
+        :func:`time_buckets` boundaries; ``buckets`` must match on reuse)."""
+        metric = self._get(name, labels, Histogram, (buckets,))
+        if buckets is not None and metric.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already exists with different bucket "
+                "boundaries"
+            )
+        return metric
+
+    def _get(self, name: str, labels, factory, args):
+        key = (str(name), _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = factory(*args)
+                    self._metrics[key] = metric
+        if not isinstance(metric, factory):
+            raise ValueError(
+                f"metric {name!r}{dict(key[1])!r} is a "
+                f"{type(metric).__name__}, not a {factory.__name__}"
+            )
+        return metric
+
+    # -- snapshot / delta / merge ---------------------------------------------
+    def _rows(self, delta: bool) -> List[Dict]:
+        rows: List[Dict] = []
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), metric in items:
+            row: Dict = {"name": name, "labels": dict(labels)}
+            if isinstance(metric, Counter):
+                current = metric._value
+                value = current - (metric._drained if delta else 0.0)
+                if delta:
+                    metric._drained = current
+                    if value == 0.0:
+                        continue
+                row.update(kind="counter", value=value)
+            elif isinstance(metric, Gauge):
+                if delta:
+                    if not metric._dirty:
+                        continue
+                    metric._dirty = False
+                row.update(kind="gauge", value=metric._value)
+            else:
+                full = metric.counts()
+                counts, total = full, metric._sum
+                if delta:
+                    counts = [c - d for c, d in zip(full, metric._drained_counts)]
+                    total -= metric._drained_sum
+                    metric._drained_counts = full
+                    metric._drained_sum += total
+                    if not any(counts):
+                        continue
+                row.update(
+                    kind="histogram",
+                    bounds=list(metric.bounds),
+                    counts=counts,
+                    sum=total,
+                    count=sum(counts),
+                )
+            rows.append(row)
+        return rows
+
+    def snapshot(self) -> Dict:
+        """Full JSON-able state of every metric (read-only)."""
+        return {"schema": OBS_SCHEMA, "metrics": self._rows(delta=False)}
+
+    def drain_delta(self) -> Dict:
+        """Changes since the last drain (and mark them drained).
+
+        The worker-pool result envelope: each task ships the increments
+        it caused, the parent merges them, and nothing is counted twice.
+        """
+        return {"schema": OBS_SCHEMA, "metrics": self._rows(delta=True)}
+
+    def rebaseline(self) -> None:
+        """Discard pending deltas without reporting them.
+
+        Called in freshly forked workers: values inherited from the
+        parent must not be re-shipped as if the worker produced them.
+        """
+        self._rows(delta=True)
+
+    def merge(self, payload: Optional[Dict]) -> None:
+        """Fold a snapshot/delta payload from another process in."""
+        if not payload:
+            return
+        for row in payload.get("metrics", ()):
+            labels = row.get("labels", {})
+            kind = row.get("kind")
+            if kind == "counter":
+                self.counter(row["name"], **labels).inc(row["value"])
+            elif kind == "gauge":
+                self.gauge(row["name"], **labels).set(row["value"])
+            elif kind == "histogram":
+                self.histogram(
+                    row["name"], buckets=row["bounds"], **labels
+                ).merge_counts(row["counts"], row["sum"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    # -- maintenance ----------------------------------------------------------
+    def find(self, name: str, **labels) -> Iterable[Tuple[Dict[str, str], object]]:
+        """``(labels, metric)`` pairs matching ``name`` and the given
+        label subset (sorted by labels — deterministic)."""
+        wanted = _label_key(labels)
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (metric_name, metric_labels), metric in items:
+            if metric_name != name:
+                continue
+            if any(pair not in metric_labels for pair in wanted):
+                continue
+            yield dict(metric_labels), metric
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry.  Forked workers inherit it (and rebaseline
+#: in the pool initializer); spawn workers start a fresh empty one.
+_DEFAULT = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _DEFAULT

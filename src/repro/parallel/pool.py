@@ -53,6 +53,9 @@ import os
 import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+
 __all__ = [
     "fork_available",
     "spawn_available",
@@ -187,12 +190,89 @@ def _worker_init(key: int) -> None:
     global _ACTIVE_KEY
     _ACTIVE_KEY = key
     run_fork_resets()
+    # Telemetry state inherited through the fork belongs to the parent:
+    # re-baseline the metrics registry (so this worker only ever ships
+    # increments it caused) and switch the tracer to buffer mode (the
+    # parent's sink stream must not be written from two processes).
+    obs_metrics().rebaseline()
+    obs_tracer().worker_mode()
+
+
+class _ObsTask:
+    """A task wrapped with the submitter's span context."""
+
+    def __init__(self, context, task):
+        self.context = context
+        self.task = task
+
+
+class _ObsEnvelope:
+    """A worker result plus the telemetry it produced.
+
+    Crosses the result pipe in place of the bare result; the pool
+    unwraps it parent-side (merging metrics deltas and buffered spans
+    into the parent's registry/tracer) before any caller sees it.
+    """
+
+    def __init__(self, result, metrics_delta, spans):
+        self.result = result
+        self.metrics_delta = metrics_delta
+        self.spans = spans
+
+
+def _wrap_task(task):
+    """Attach the current span context (when tracing is active)."""
+    context = obs_tracer().current_context()
+    return task if context is None else _ObsTask(context, task)
+
+
+def _absorb(envelope):
+    """Merge one envelope's telemetry; returns the bare result."""
+    obs_metrics().merge(envelope.metrics_delta)
+    if envelope.spans:
+        obs_tracer().absorb(envelope.spans)
+    return envelope.result
+
+
+def _run_enveloped(fn, payload, task):
+    """Worker-side execution: activate context, run, pack telemetry."""
+    tracing = obs_tracer()
+    if isinstance(task, _ObsTask):
+        token = tracing.activate(task.context)
+        try:
+            result = fn(payload, task.task)
+        finally:
+            tracing.deactivate(token)
+    else:
+        result = fn(payload, task)
+    return _ObsEnvelope(result, obs_metrics().drain_delta(), tracing.drain_buffered())
 
 
 def _invoke(task):
     """Run one task against the worker's inherited payload."""
     fn, payload = _PAYLOADS[_ACTIVE_KEY]
-    return fn(payload, task)
+    return _run_enveloped(fn, payload, task)
+
+
+class _PoolResult:
+    """Handle to one submitted task (``ready()`` / ``get(timeout)``).
+
+    Wraps the pool's ``AsyncResult`` so ``get()`` hands back the bare
+    worker result: the telemetry envelope was already merged by the
+    completion callback, which runs before the result becomes ready.
+    """
+
+    __slots__ = ("_async",)
+
+    def __init__(self, async_result):
+        self._async = async_result
+
+    def ready(self) -> bool:
+        return self._async.ready()
+
+    def get(self, timeout: Optional[float] = None):
+        value = self._async.get(timeout)
+        return value.result if isinstance(value, _ObsEnvelope) else value
 
 
 class WorkerPool:
@@ -236,7 +316,9 @@ class WorkerPool:
 
     def map(self, tasks: Sequence) -> List:
         """Run every task; results come back in task order."""
-        return self._pool.map(_invoke, tasks)
+        tasks = [_wrap_task(task) for task in tasks]
+        obs_metrics().counter("repro_pool_tasks_total", mode="fork").inc(len(tasks))
+        return [_absorb(envelope) for envelope in self._pool.map(_invoke, tasks)]
 
     def submit(
         self,
@@ -244,22 +326,40 @@ class WorkerPool:
         callback: Optional[Callable] = None,
         error_callback: Optional[Callable] = None,
     ):
-        """Schedule one task asynchronously; returns an ``AsyncResult``.
+        """Schedule one task asynchronously; returns a result handle.
 
-        The session layer's future-based fan-out: ``result.get()`` blocks
-        for (and re-raises errors from) the worker-side run.  ``callback``
-        / ``error_callback`` fire on the pool's result-handler thread when
-        the task completes.
+        The session layer's future-based fan-out: the returned handle's
+        ``get()`` blocks for (and re-raises errors from) the worker-side
+        run; ``ready()`` polls it.  ``callback`` / ``error_callback``
+        fire on the pool's result-handler thread when the task completes
+        — ``callback`` receives the bare result (the telemetry envelope
+        is unwrapped and merged first).
         """
         if self._pool is None:
             raise RuntimeError("WorkerPool is closed")
+        registry = obs_metrics()
+        registry.counter("repro_pool_tasks_total", mode="fork").inc()
+        inflight_gauge = registry.gauge("repro_pool_inflight")
+        inflight_gauge.inc()
+
+        def _on_envelope(envelope) -> None:
+            inflight_gauge.dec()
+            value = _absorb(envelope)
+            if callback is not None:
+                callback(value)
+
+        def _on_failure(error: BaseException) -> None:
+            inflight_gauge.dec()
+            if error_callback is not None:
+                error_callback(error)
+
         result = self._pool.apply_async(
             _invoke,
             (
-                task,
+                _wrap_task(task),
             ),
-            callback=callback,
-            error_callback=error_callback,
+            callback=_on_envelope,
+            error_callback=_on_failure,
         )
         still_pending = []
         for ref in self._pending:
@@ -268,7 +368,7 @@ class WorkerPool:
                 still_pending.append(ref)
         still_pending.append(weakref.ref(result))
         self._pending = still_pending
-        return result
+        return _PoolResult(result)
 
     def inflight(self) -> int:
         """Number of submitted tasks whose results are not yet ready.
@@ -346,7 +446,7 @@ def _spawn_worker_init(fn: Callable, rebuild: Callable, spec) -> None:
 def _spawn_invoke(task):
     """Run one task against the worker's rebuilt payload."""
     fn, payload = _SPAWN_STATE
-    return fn(payload, task)
+    return _run_enveloped(fn, payload, task)
 
 
 class SpawnWorkerPool:
@@ -380,7 +480,9 @@ class SpawnWorkerPool:
 
     def map(self, tasks: Sequence) -> List:
         """Run every task; results come back in task order."""
-        return self._pool.map(_spawn_invoke, tasks)
+        tasks = [_wrap_task(task) for task in tasks]
+        obs_metrics().counter("repro_pool_tasks_total", mode="spawn").inc(len(tasks))
+        return [_absorb(envelope) for envelope in self._pool.map(_spawn_invoke, tasks)]
 
     def close(self) -> None:
         """Terminate the workers (their segment mappings die with them)."""

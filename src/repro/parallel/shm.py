@@ -42,6 +42,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+
 __all__ = [
     "SegmentRegistry",
     "registry",
@@ -109,6 +111,10 @@ class SegmentRegistry:
         #: name -> [SharedMemory, refcount, owned]
         self._segments: Dict[str, list] = {}
 
+    def _track(self) -> None:
+        """Mirror the mapped-segment count into the metrics registry."""
+        obs_metrics().gauge("repro_shm_segments").set(len(self._segments))
+
     # -- creation / attachment -----------------------------------------------
     def create(self, nbytes: int):
         """Create (and own) a new segment of at least ``nbytes`` bytes."""
@@ -117,6 +123,7 @@ class SegmentRegistry:
         shm = shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
         with self._lock:
             self._segments[shm.name] = [shm, 1, True]
+            self._track()
         return shm
 
     def attach(self, name: str):
@@ -128,6 +135,7 @@ class SegmentRegistry:
                 return entry[0]
             shm = _attach_untracked(name)
             self._segments[name] = [shm, 1, False]
+            self._track()
             return shm
 
     # -- release -------------------------------------------------------------
@@ -141,6 +149,7 @@ class SegmentRegistry:
             if entry[1] > 0:
                 return
             del self._segments[name]
+            self._track()
             self._dispose(entry)
 
     def shutdown(self) -> None:
@@ -148,6 +157,7 @@ class SegmentRegistry:
         with self._lock:
             entries = list(self._segments.values())
             self._segments.clear()
+            self._track()
         for entry in entries:
             self._dispose(entry)
 

@@ -211,6 +211,11 @@ class ServiceClient:
         """Per-dataset router stats: versions, in-flight, cache counters."""
         return self._roundtrip(self._request("stats"))["result"]
 
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot: Prometheus ``text`` plus JSON
+        rows with p50/p95/p99 quantiles (``repro obs`` renders this)."""
+        return self._roundtrip(self._request("metrics"))["result"]
+
     def budget(
         self, user: Optional[str] = None, *, dataset: Optional[str] = None
     ) -> Dict[str, Any]:

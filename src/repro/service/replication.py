@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..dynamic import VersionedGraph
 from ..errors import ProtocolError, RemoteServiceError, ReproError
 from ..graphs.graph import Graph
+from ..obs import metrics as obs_metrics
 from ..session import PrivateSession
 from .client import parse_address
 from .protocol import (
@@ -237,6 +239,8 @@ class ReplicaService(ServiceRouter):
         of serving answers from a wrong graph.
         """
         lane = self.lane()
+        registry = obs_metrics()
+        age_gauge = registry.gauge("repro_replica_version_age", dataset=lane.name)
         while True:
             await asyncio.sleep(self._poll_interval)
             since = lane.current_version()
@@ -245,9 +249,15 @@ class ReplicaService(ServiceRouter):
             except (ConnectionError, OSError, asyncio.TimeoutError,
                     ProtocolError, RemoteServiceError):
                 continue  # primary briefly unreachable — retry next poll
+            primary_version = shipped.get("version")
+            if primary_version is not None:
+                # How many versions the lane trails the primary *before*
+                # this batch is replayed (0 on an idle, caught-up tail).
+                age_gauge.set(max(0, int(primary_version) - since))
             actions = [item["delta"] for item in shipped["deltas"]]
             if not actions:
                 continue
+            tick = time.perf_counter()
             try:
                 await self._apply_replicated(lane, actions)
             except asyncio.CancelledError:
@@ -255,6 +265,13 @@ class ReplicaService(ServiceRouter):
             except (ReproError, ValueError, TypeError) as error:
                 self._follow_error = error
                 raise
+            registry.histogram(
+                "repro_replica_catchup_seconds", dataset=lane.name
+            ).observe(time.perf_counter() - tick)
+            registry.counter(
+                "repro_replica_deltas_total", dataset=lane.name
+            ).inc(len(actions))
+            age_gauge.set(max(0, int(primary_version or 0) - lane.current_version()))
 
     async def _apply_replicated(
         self, lane: DatasetLane, actions: List[Dict[str, Any]]

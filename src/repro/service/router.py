@@ -41,13 +41,17 @@ from __future__ import annotations
 
 import asyncio
 import hmac
-from collections import defaultdict
+import itertools
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ProtocolError, ReproError
 from ..mechanisms import available as available_mechanisms
+from ..obs import OBS_SCHEMA, json_payload, prometheus_text, seed_trace_id
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
 from ..session import BudgetExhausted, HierarchicalAccountant, PrivateSession
 from ..validation import validate_service_request
 from . import protocol
@@ -77,8 +81,59 @@ __all__ = ["DatasetLane", "ServiceRouter"]
 
 #: Capability vocabulary advertised by the v2 ``hello``.
 CAPABILITIES = (
-    "datasets", "min_version", "at_version", "snapshot", "log", "stats", "result_frame"
+    "datasets", "min_version", "at_version", "snapshot", "log", "stats",
+    "result_frame", "metrics",
 )
+
+#: Process-unique lane ordinals for registry labels.  Two routers in one
+#: process may mount the *same* dataset name; keying lane counters by
+#: ``(dataset, lane)`` keeps their granted-request (seed) streams apart.
+_LANE_IDS = itertools.count(1)
+
+
+class _GrantedView:
+    """``lane.granted`` as a live view over per-tenant registry counters.
+
+    Keeps the ``defaultdict[user] -> int`` interface the admission path
+    uses (read the granted index, advance it on grant) while the counts
+    themselves live in the process metrics registry as
+    ``repro_lane_granted_total{dataset=...,lane=...,user=...}``.  The
+    view holds direct metric references, so a test calling
+    ``metrics().reset()`` detaches the lane from future snapshots without
+    corrupting its seed stream.
+    """
+
+    __slots__ = ("_labels", "_counters")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self._labels = dict(labels)
+        self._counters: Dict[Optional[str], object] = {}
+
+    def _counter(self, user: Optional[str]):
+        counter = self._counters.get(user)
+        if counter is None:
+            counter = obs_metrics().counter(
+                "repro_lane_granted_total",
+                user="" if user is None else str(user),
+                **self._labels,
+            )
+            self._counters[user] = counter
+        return counter
+
+    def __getitem__(self, user: Optional[str]) -> int:
+        counter = self._counters.get(user)
+        return 0 if counter is None else int(counter.value)
+
+    def __setitem__(self, user: Optional[str], value) -> None:
+        counter = self._counter(user)
+        delta = int(value) - int(counter.value)
+        if delta < 0:
+            raise ValueError("granted-request counters never decrease")
+        if delta:
+            counter.inc(delta)
+
+    def values(self) -> List[int]:
+        return [int(counter.value) for counter in self._counters.values()]
 
 
 class DatasetLane:
@@ -127,8 +182,14 @@ class DatasetLane:
             # tests/test_router.py::test_per_dataset_seed_streams_are_independent
             np.random.SeedSequence().entropy if entropy is None else int(entropy)
         )
-        self.granted: Dict[Optional[str], int] = defaultdict(int)
-        self.inflight = 0
+        #: Registry-backed views (satellite of the one metrics registry):
+        #: ``granted`` is the per-tenant seed-stream index, ``inflight``
+        #: the lane's in-flight gauge — ``describe()`` reads both back.
+        self._obs_labels = {"dataset": name, "lane": str(next(_LANE_IDS))}
+        self.granted = _GrantedView(self._obs_labels)
+        self._inflight_gauge = obs_metrics().gauge(
+            "repro_lane_inflight", **self._obs_labels
+        )
         #: Pending-update barrier: while an update waits to apply, new
         #: queries/audits on this lane queue here instead of admitting.
         self.update_barrier: Optional[asyncio.Future] = None
@@ -143,13 +204,18 @@ class DatasetLane:
         while self.update_barrier is not None:
             await self.update_barrier
 
+    @property
+    def inflight(self) -> int:
+        """Queries in flight on this lane (a registry gauge view)."""
+        return int(self._inflight_gauge.value)
+
     def enter_flight(self) -> None:
         """Count a query into the lane's in-flight gauge."""
-        self.inflight += 1
+        self._inflight_gauge.inc()
 
     def exit_flight(self) -> None:
         """Count a query out; resolves the drain barrier at zero."""
-        self.inflight -= 1
+        self._inflight_gauge.dec()
         if (
             self.inflight == 0 and self.drained is not None and not self.drained.done()
         ):
@@ -287,6 +353,7 @@ class ServiceRouter:
         self._lanes: Dict[str, DatasetLane] = {}
         self._default: Optional[str] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.perf_counter()
 
     # -- dataset mounting -------------------------------------------------------
     def add_dataset(
@@ -459,6 +526,13 @@ class ServiceRouter:
                     encode_frame(result_frame(request_id, self._op_stats(request), v=v))
                 )
                 return
+            if op == "metrics":
+                writer.write(
+                    encode_frame(
+                        result_frame(request_id, self._op_metrics(request), v=v)
+                    )
+                )
+                return
             # Every other op reads (or writes) one dataset: route it.
             dataset = request.get("dataset")
             if dataset is None:
@@ -526,6 +600,10 @@ class ServiceRouter:
             "name": self.name,
             "mechanisms": list(available_mechanisms()),
             "max_pending": self._max_pending,
+            # Additive observability fields (older clients ignore them —
+            # ResultFrame.from_payload tolerance is pinned in tests):
+            "uptime_seconds": time.perf_counter() - self._started,
+            "obs_schema": OBS_SCHEMA,
             # v1-compat keys, describing the default dataset (v1 clients
             # only ever see that lane):
             "multi_tenant": isinstance(
@@ -563,8 +641,20 @@ class ServiceRouter:
         return {
             "role": self.role,
             "default_dataset": self._default,
+            "uptime_seconds": time.perf_counter() - self._started,
+            "obs_schema": OBS_SCHEMA,
             "datasets": {name: lane.describe() for name, lane in self._lanes.items()},
         }
+
+    def _op_metrics(self, request) -> Dict:
+        """One registry snapshot, rendered both ways: Prometheus ``text``
+        for scrapers plus JSON rows (with p50/p95/p99) for clients."""
+        snapshot = obs_metrics().snapshot()
+        payload = json_payload(snapshot)
+        payload["text"] = prometheus_text(snapshot)
+        payload["role"] = self.role
+        payload["uptime_seconds"] = time.perf_counter() - self._started
+        return payload
 
     def _op_budget(self, lane: DatasetLane, request) -> Dict:
         accountant = lane.session.accountant
@@ -591,11 +681,29 @@ class ServiceRouter:
 
     # -- the query pipeline -----------------------------------------------------
     async def _op_query(self, lane: DatasetLane, request) -> Dict:
-        """Admit, budget, dispatch, and answer one private query."""
+        """Admit, budget, dispatch, and answer one private query.
+
+        A thin timing wrapper: end-to-end latency (admission wait
+        included) lands in ``repro_query_seconds{dataset=...}`` whatever
+        frame :meth:`_dispatch_query` answers with.
+        """
+        start = time.perf_counter()
+        try:
+            return await self._dispatch_query(lane, request)
+        finally:
+            obs_metrics().histogram(
+                "repro_query_seconds", dataset=lane.name
+            ).observe(time.perf_counter() - start)
+
+    async def _dispatch_query(self, lane: DatasetLane, request) -> Dict:
         request_id = request.get("id")
         v = request["v"]
         user = request.get("user")
+        admitted = time.perf_counter()
         await lane.admission_turn()
+        obs_metrics().histogram(
+            "repro_admission_wait_seconds", dataset=lane.name
+        ).observe(time.perf_counter() - admitted)
         if lane.inflight >= self._max_pending:
             return error_frame(
                 request_id,
@@ -611,6 +719,24 @@ class ServiceRouter:
                 lane.entropy, user, lane.granted[user]
             )
         )
+        # The request's *root* span: its trace id hashes the same seed
+        # material that will noise the answer, so the trace is stable
+        # across replays and tracing can never perturb released bytes.
+        span = obs_tracer().span(
+            "router.query",
+            trace_id=seed_trace_id(seed, user),
+            dataset=lane.name,
+            user=user,
+            label=request.get("label"),
+        )
+        with span:
+            return await self._answer_query(
+                lane, request, seed, explicit_seed, user, request_id, v
+            )
+
+    async def _answer_query(
+        self, lane, request, seed, explicit_seed, user, request_id, v
+    ) -> Dict:
         try:
             future = lane.session.submit(
                 request["query"],

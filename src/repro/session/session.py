@@ -40,6 +40,9 @@ from ..errors import GraphError, SessionError
 from ..graphs.graph import Graph
 from ..mechanisms import QuerySpec
 from ..mechanisms import get as get_mechanism
+from ..obs import metrics as obs_metrics
+from ..obs import seed_trace_id
+from ..obs import tracer as obs_tracer
 from ..parallel.pool import WorkerPool, fork_available, resolve_workers
 from ..results import ResultBase
 from ..validation import validate_epsilon, validate_workers
@@ -60,7 +63,11 @@ def _run_session_task(session: "PrivateSession", task) -> ResultBase:
     prepared, _, _, _ = session._prepare_query(
         query, privacy, mechanism, None, options, version=version
     )
-    return prepared.release(epsilon, np.random.default_rng(seed), params=params)
+    tick = time.perf_counter()
+    with obs_tracer().span("session.release", pooled=True):
+        result = prepared.release(epsilon, np.random.default_rng(seed), params=params)
+    obs_metrics().histogram("repro_release_seconds").observe(time.perf_counter() - tick)
+    return result
 
 
 @dataclass
@@ -390,7 +397,15 @@ class PrivateSession:
                 data = self._data.checkout(version)
             return cls(data, **opts).prepare(spec)
 
-        prepared, hit = self._cache.get_or_build(key, build)
+        tick = time.perf_counter()
+        with obs_tracer().span("session.prepare", mechanism=cls.name):
+            prepared, hit = self._cache.get_or_build(key, build)
+        outcome = "hit" if hit else "miss"
+        registry = obs_metrics()
+        registry.counter("repro_cache_requests_total", result=outcome).inc()
+        registry.histogram("repro_compile_seconds", cache=outcome).observe(
+            time.perf_counter() - tick
+        )
         return prepared, hit, cls.name, spec
 
     def _resolve_at_version(self, at_version) -> Optional[int]:
@@ -502,16 +517,26 @@ class PrivateSession:
         at_version = self._resolve_at_version(at_version)
         label = label if label is not None else f"q{len(self.accountant)}"
         reservation = self.accountant.reserve(charged, label=label, user=user)
+        obs_metrics().counter("repro_budget_reserved_total").inc()
         try:
             prepared, hit, mech_name, spec = self._prepare_query(
                 query, privacy, mechanism, weight, options, version=at_version
             )
             generator, seed_token = self._generator_for(rng)
             start = time.perf_counter()
-            result = prepared.release(epsilon, generator, params=params)
+            with obs_tracer().span(
+                "session.query",
+                trace_id=seed_trace_id(seed_token, user),
+                label=label,
+                mechanism=mech_name,
+            ):
+                result = prepared.release(epsilon, generator, params=params)
         except BaseException:
             reservation.rollback()
+            obs_metrics().counter("repro_budget_rolled_back_total").inc()
             raise
+        elapsed = time.perf_counter() - start
+        obs_metrics().histogram("repro_release_seconds").observe(elapsed)
         entry = LedgerEntry(
             index=0,
             label=label,
@@ -522,7 +547,7 @@ class PrivateSession:
             answer=float(result.answer),
             status="released",
             cache_hit=hit,
-            seconds=time.perf_counter() - start,
+            seconds=elapsed,
             user=user,
         )
         entry.extra["task"] = (
@@ -535,6 +560,7 @@ class PrivateSession:
                 self._data.version if at_version is None else at_version
             )
         reservation.commit(entry)
+        obs_metrics().counter("repro_budget_committed_total").inc()
         return result
 
     def submit(
@@ -584,6 +610,7 @@ class PrivateSession:
                 "in-flight generators"
             )
         reservation = self.accountant.reserve(charged, label=label, user=user)
+        obs_metrics().counter("repro_budget_reserved_total").inc()
         try:
             workers = resolve_workers(self._workers)
             pooled = workers > 1 and fork_available()
@@ -617,6 +644,7 @@ class PrivateSession:
             _, seed = self._generator_for(rng)
         except BaseException:
             reservation.rollback()
+            obs_metrics().counter("repro_budget_rolled_back_total").inc()
             raise
         entry = LedgerEntry(
             index=0,
@@ -642,13 +670,21 @@ class PrivateSession:
         # Charged at submission: the noisy answer *will* exist (refusing
         # to pay on a crash would itself be a side channel).
         reservation.commit(entry)
+        obs_metrics().counter("repro_budget_committed_total").inc()
         start = time.perf_counter()
 
         if not pooled:
             try:
-                result = prepared.release(
-                    epsilon, np.random.default_rng(seed), params=params
-                )
+                with obs_tracer().span(
+                    "session.submit",
+                    trace_id=seed_trace_id(seed, user),
+                    label=label,
+                    mechanism=cls.name,
+                    pooled=False,
+                ):
+                    result = prepared.release(
+                        epsilon, np.random.default_rng(seed), params=params
+                    )
             except Exception as error:
                 entry.status = "failed"
                 entry.seconds = time.perf_counter() - start
@@ -656,6 +692,7 @@ class PrivateSession:
             entry.answer = float(result.answer)
             entry.status = "released"
             entry.seconds = time.perf_counter() - start
+            obs_metrics().histogram("repro_release_seconds").observe(entry.seconds)
             return QueryFuture(entry, value=result)
 
         def _on_done(result: ResultBase) -> None:
@@ -677,9 +714,19 @@ class PrivateSession:
             seed,
             at_version,
         )
-        async_result = self._ensure_pool(workers).submit(
-            task, callback=_on_done, error_callback=_on_error
-        )
+        # The span brackets dispatch only (the release itself is timed
+        # worker-side); entering it installs the request's deterministic
+        # trace context so pool.submit() ships it across the fork.
+        with obs_tracer().span(
+            "session.submit",
+            trace_id=seed_trace_id(seed, user),
+            label=label,
+            mechanism=cls.name,
+            pooled=True,
+        ):
+            async_result = self._ensure_pool(workers).submit(
+                task, callback=_on_done, error_callback=_on_error
+            )
         return QueryFuture(entry, async_result=async_result)
 
     def _ensure_pool(self, workers: int) -> WorkerPool:

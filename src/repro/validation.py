@@ -298,7 +298,8 @@ def validate_batch_spec(spec: Any) -> Dict:
 #: ``snapshot``, and ``log`` arrived with protocol v2 (multi-dataset
 #: routing + replication); the rest are the v1 vocabulary.
 SERVICE_OPS = (
-    "hello", "ping", "budget", "query", "audit", "update", "stats", "snapshot", "log"
+    "hello", "ping", "budget", "query", "audit", "update", "stats", "snapshot",
+    "log", "metrics",
 )
 
 
@@ -336,6 +337,7 @@ _SERVICE_OP_FIELDS = {
     "hello": {},
     "ping": {},
     "stats": {},
+    "metrics": {},
     "budget": {"user": (lambda v: isinstance(v, str), "a tenant-name string")},
     "query": {
         **{k: v for k, v in _QUERY_ITEM_FIELDS.items() if k != "seed"},

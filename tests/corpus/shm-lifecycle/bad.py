@@ -1,0 +1,12 @@
+"""True positives: exported segments with no balancing release."""
+from repro.parallel import shm
+
+SPECS = []
+
+
+def export_blocks(program):
+    return program.export_shared()  # expect: shm-lifecycle
+
+
+def export_column(array):
+    SPECS.append(shm.export_array(array))  # expect: shm-lifecycle

@@ -1,0 +1,21 @@
+"""Near misses: the export/release lifecycle carried correctly."""
+from repro.parallel import shm
+
+
+class SharedBlocks:
+    """Owns the exported specs and releases them on close()."""
+
+    def __init__(self, program):
+        self._spec = program.export_shared()
+
+    def close(self):
+        shm.release_spec(self._spec)
+
+
+def export_for_bench(array):
+    # Balanced in the same frame: the spec cannot outlive the release.
+    spec = shm.export_array(array)
+    try:
+        return dict(spec)
+    finally:
+        shm.release_spec(spec)
